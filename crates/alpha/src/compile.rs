@@ -1,0 +1,218 @@
+//! The RISC backend: lowers the shared workload IR to the baseline
+//! ISA.
+//!
+//! Each function's virtual registers map to a disjoint range of
+//! baseline registers (the out-of-order core renames, so the wide
+//! namespace is harmless); basic blocks lay out linearly with
+//! fall-through optimization; calls copy arguments into the callee's
+//! parameter registers and use the hardware call/return stack.
+
+use std::collections::HashMap;
+
+use trips_tasm::ir::{BbId, FuncId, Inst, Program, Term};
+
+use crate::risc::{RInst, Reg, RiscProgram};
+
+/// Errors from the baseline backend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The IR failed validation.
+    Ir(String),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::Ir(e) => write!(f, "ir error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Compiles an IR program to the baseline ISA.
+///
+/// # Errors
+///
+/// Fails if the IR does not validate.
+pub fn compile_risc(prog: &Program) -> Result<RiscProgram, CompileError> {
+    prog.check().map_err(|e| CompileError::Ir(e.to_string()))?;
+
+    // Register-space layout: each function gets vregs + 1 (the extra
+    // slot is its return-value register).
+    let mut base = Vec::with_capacity(prog.funcs.len());
+    let mut next = 0u32;
+    for f in &prog.funcs {
+        base.push(next);
+        next += f.nvregs + 1;
+    }
+    let reg = |f: usize, v: u32| Reg(base[f] + v);
+    let ret_reg = |f: usize| Reg(base[f] + prog.funcs[f].nvregs);
+
+    let mut out = RiscProgram::default();
+    let mut bb_start: HashMap<(FuncId, BbId), usize> = HashMap::new();
+    let mut func_start: HashMap<FuncId, usize> = HashMap::new();
+    // (inst index, target) fixups resolved after layout.
+    enum Fix {
+        Bnz(FuncId, BbId),
+        Jump(FuncId, BbId),
+        Call(FuncId),
+    }
+    let mut fixups: Vec<(usize, Fix)> = Vec::new();
+
+    for (fi, func) in prog.funcs.iter().enumerate() {
+        let fid = FuncId(fi as u32);
+        // Layout blocks: entry first, then the rest in id order.
+        let mut layout: Vec<BbId> = vec![func.entry];
+        for b in 0..func.blocks.len() as u32 {
+            if BbId(b) != func.entry {
+                layout.push(BbId(b));
+            }
+        }
+        func_start.insert(fid, out.insts.len());
+        for (li, &bb) in layout.iter().enumerate() {
+            bb_start.insert((fid, bb), out.insts.len());
+            let block = func.block(bb);
+            for inst in &block.insts {
+                out.insts.push(lower_inst(inst, |v| reg(fi, v.0)));
+            }
+            let next_bb = layout.get(li + 1).copied();
+            match &block.term {
+                Term::Jmp(t) => {
+                    if next_bb != Some(*t) {
+                        fixups.push((out.insts.len(), Fix::Jump(fid, *t)));
+                        out.insts.push(RInst::Jump { target: 0 });
+                    }
+                }
+                Term::Br { cond, t, f } => {
+                    fixups.push((out.insts.len(), Fix::Bnz(fid, *t)));
+                    out.insts.push(RInst::Bnz { rs: reg(fi, cond.0), target: 0 });
+                    if next_bb != Some(*f) {
+                        fixups.push((out.insts.len(), Fix::Jump(fid, *f)));
+                        out.insts.push(RInst::Jump { target: 0 });
+                    }
+                }
+                Term::Ret(v) => {
+                    if let Some(v) = v {
+                        out.insts.push(RInst::Un {
+                            op: trips_isa::Opcode::Mov,
+                            rd: ret_reg(fi),
+                            rs1: reg(fi, v.0),
+                        });
+                    }
+                    out.insts.push(RInst::Ret);
+                }
+                Term::Call { func: callee, args, dst, next } => {
+                    let ci = callee.0 as usize;
+                    for (k, a) in args.iter().enumerate() {
+                        out.insts.push(RInst::Un {
+                            op: trips_isa::Opcode::Mov,
+                            rd: reg(ci, k as u32),
+                            rs1: reg(fi, a.0),
+                        });
+                    }
+                    fixups.push((out.insts.len(), Fix::Call(*callee)));
+                    out.insts.push(RInst::Call { target: 0 });
+                    if let Some(d) = dst {
+                        out.insts.push(RInst::Un {
+                            op: trips_isa::Opcode::Mov,
+                            rd: reg(fi, d.0),
+                            rs1: ret_reg(ci),
+                        });
+                    }
+                    if next_bb != Some(*next) {
+                        fixups.push((out.insts.len(), Fix::Jump(fid, *next)));
+                        out.insts.push(RInst::Jump { target: 0 });
+                    }
+                }
+                Term::Halt => out.insts.push(RInst::Halt),
+            }
+        }
+    }
+
+    for (idx, fix) in fixups {
+        let target = match fix {
+            Fix::Bnz(f, b) | Fix::Jump(f, b) => bb_start[&(f, b)],
+            Fix::Call(f) => func_start[&f],
+        };
+        match &mut out.insts[idx] {
+            RInst::Bnz { target: t, .. } | RInst::Jump { target: t } | RInst::Call { target: t } => {
+                *t = target;
+            }
+            other => unreachable!("fixup against {other:?}"),
+        }
+    }
+
+    out.entry = func_start[&prog.entry];
+    out.globals = prog.globals.iter().map(|g| (g.base, g.data.clone())).collect();
+    debug_assert_eq!(out.check(), Ok(()));
+    Ok(out)
+}
+
+fn lower_inst(inst: &Inst, mut reg: impl FnMut(trips_tasm::VReg) -> Reg) -> RInst {
+    match *inst {
+        Inst::Bin { op, dst, a, b } => RInst::Bin { op, rd: reg(dst), rs1: reg(a), rs2: reg(b) },
+        Inst::Un { op, dst, a } => RInst::Un { op, rd: reg(dst), rs1: reg(a) },
+        Inst::BinImm { op, dst, a, imm } => {
+            RInst::BinImm { op, rd: reg(dst), rs1: reg(a), imm }
+        }
+        Inst::Const { dst, val } => RInst::Const { rd: reg(dst), val },
+        Inst::Load { op, dst, addr, off } => RInst::Load { op, rd: reg(dst), rs1: reg(addr), off },
+        Inst::Store { op, addr, off, val } => {
+            RInst::Store { op, rs1: reg(addr), off, rs2: reg(val) }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trips_tasm::{Opcode, ProgramBuilder};
+
+    #[test]
+    fn lowers_a_loop_with_fallthrough() {
+        let mut p = ProgramBuilder::new();
+        let mut f = p.func("main", 0);
+        let i = f.fresh();
+        f.iconst_into(i, 0);
+        let body = f.new_block();
+        let done = f.new_block();
+        f.jmp(body);
+        f.switch_to(body);
+        f.bini_into(i, Opcode::Addi, i, 1);
+        let c = f.bini(Opcode::Tlti, i, 10);
+        f.br(c, body, done);
+        f.switch_to(done);
+        f.halt();
+        f.finish();
+        let r = compile_risc(&p.finish()).unwrap();
+        r.check().unwrap();
+        assert!(r.insts.iter().any(|i| matches!(i, RInst::Bnz { .. })));
+        assert!(matches!(r.insts.last(), Some(RInst::Halt)));
+        // Fall-through: no jump between entry and body needed beyond
+        // the loop structure.
+        let jumps = r.insts.iter().filter(|i| matches!(i, RInst::Jump { .. })).count();
+        assert_eq!(jumps, 0, "all successors fall through: {:?}", r.insts);
+    }
+
+    #[test]
+    fn call_copies_args_and_result() {
+        let mut p = ProgramBuilder::new();
+        let mut main = p.func("main", 0);
+        let x = main.iconst(5);
+        let y = main.call(trips_tasm::FuncId(1), &[x]);
+        let buf = main.iconst(0x1000);
+        main.store(Opcode::Sd, buf, 0, y);
+        main.halt();
+        main.finish();
+        let mut g = p.func("g", 1);
+        let a = g.param(0);
+        let r = g.addi(a, 1);
+        g.ret(Some(r));
+        g.finish();
+        let r = compile_risc(&p.finish()).unwrap();
+        r.check().unwrap();
+        assert!(r.insts.iter().any(|i| matches!(i, RInst::Call { .. })));
+        assert!(r.insts.iter().any(|i| matches!(i, RInst::Ret)));
+    }
+}

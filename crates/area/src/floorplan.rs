@@ -1,0 +1,44 @@
+//! An ASCII rendition of the Figure 6 chip floorplan.
+
+use crate::tiles::ChipConfig;
+
+/// Renders the chip floorplan: two processor cores flank the central
+/// OCN column of memory tiles, with the controllers on the left edge
+/// (Figure 6).
+pub fn floorplan(cfg: &ChipConfig) -> String {
+    let mut s = String::new();
+    s.push_str("+------------------------------------------------------------------+\n");
+    s.push_str("| DMA | MT  MT |  EBC |            PROC 0                           |\n");
+    s.push_str("|-----+--------+------+   I  G  R  R  R  R                          |\n");
+    s.push_str("| SDC | MT  MT |      |   I  D  E  E  E  E                          |\n");
+    s.push_str("|-----+--------+ OCN  |   I  D  E  E  E  E                          |\n");
+    s.push_str("|     | MT  MT | (4x10|   I  D  E  E  E  E                          |\n");
+    s.push_str("|     |        | mesh,|   I  D  E  E  E  E                          |\n");
+    s.push_str("|     | MT  MT | 24 NT|                                             |\n");
+    s.push_str("|     |        | ring)|            PROC 1                           |\n");
+    s.push_str("|     | MT  MT |      |   I  G  R  R  R  R                          |\n");
+    s.push_str("|-----+--------+------+   I  D  E  E  E  E                          |\n");
+    s.push_str("| SDC | MT  MT |      |   I  D  E  E  E  E                          |\n");
+    s.push_str("|-----+--------+ C2C  |   I  D  E  E  E  E                          |\n");
+    s.push_str("| DMA | MT  MT |      |   I  D  E  E  E  E                          |\n");
+    s.push_str("+------------------------------------------------------------------+\n");
+    s.push_str(&format!(
+        "  {} cores, {} MTs of {} KB ({}-way), {} NTs; die 18.30 x 18.37 mm\n",
+        cfg.cores, cfg.mt_banks, cfg.mt_bank_kb, cfg.mt_ways, cfg.nts
+    ));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floorplan_mentions_both_cores_and_the_ocn() {
+        let s = floorplan(&ChipConfig::prototype());
+        assert!(s.contains("PROC 0"));
+        assert!(s.contains("PROC 1"));
+        assert!(s.contains("OCN"));
+        assert!(s.contains("16 MTs of 64 KB"));
+    }
+}

@@ -1,0 +1,54 @@
+//! Ablation: the memory-side dependence predictor (§3.5).
+//!
+//! With the predictor disabled, every load issues aggressively and
+//! every store-to-load conflict costs a full pipeline flush; with it
+//! enabled, conflicting loads wait. The paper's design point (a
+//! 1024-entry bit vector cleared every 10,000 blocks) sits between
+//! never-stall and always-stall.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use trips_bench::run_trips;
+use trips_core::CoreConfig;
+use trips_tasm::Quality;
+use trips_workloads::suite;
+
+fn deppred(c: &mut Criterion) {
+    println!("\nAblation: dependence predictor (simulated cycles / violation flushes)");
+    println!("{:<12} {:>12} {:>8} {:>12} {:>8}", "bench", "on:cycles", "flush", "off:cycles", "flush");
+    for name in ["256.bzip2", "181.mcf", "sha", "300.twolf"] {
+        let wl = suite::by_name(name).expect("registered");
+        let on = run_trips(&wl, Quality::Hand, CoreConfig::prototype());
+        let off = run_trips(
+            &wl,
+            Quality::Hand,
+            CoreConfig { deppred_disabled: true, ..CoreConfig::prototype() },
+        );
+        println!(
+            "{:<12} {:>12} {:>8} {:>12} {:>8}",
+            name, on.cycles, on.violation_flushes, off.cycles, off.violation_flushes
+        );
+    }
+    println!("(violations with the predictor on are first-touch training misses)");
+
+    let wl = suite::by_name("256.bzip2").expect("registered");
+    c.bench_function("sim/bzip2_deppred_on", |b| {
+        b.iter(|| run_trips(&wl, Quality::Hand, CoreConfig::prototype()).cycles)
+    });
+    c.bench_function("sim/bzip2_deppred_off", |b| {
+        b.iter(|| {
+            run_trips(
+                &wl,
+                Quality::Hand,
+                CoreConfig { deppred_disabled: true, ..CoreConfig::prototype() },
+            )
+            .cycles
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = deppred
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Ablation: operand-network bandwidth.
+//!
+//! §7 names "more operand network bandwidth" as a likely architectural
+//! extension because operand hop latency and contention dominate the
+//! critical path (Table 3). This bench runs communication-heavy
+//! kernels with one OPN (the prototype) and with two parallel OPNs,
+//! printing the simulated-cycle series, and times one representative
+//! configuration under Criterion.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use trips_bench::run_trips;
+use trips_core::CoreConfig;
+use trips_tasm::Quality;
+use trips_workloads::suite;
+
+fn opn_bandwidth(c: &mut Criterion) {
+    println!("\nAblation: OPN bandwidth (simulated cycles, hand quality)");
+    println!("{:<10} {:>10} {:>10} {:>8}", "bench", "1xOPN", "2xOPN", "gain");
+    for name in ["vadd", "conv", "dct8x8", "pm", "matrix"] {
+        let wl = suite::by_name(name).expect("registered");
+        let base = run_trips(&wl, Quality::Hand, CoreConfig::prototype());
+        let wide = run_trips(
+            &wl,
+            Quality::Hand,
+            CoreConfig { opn_networks: 2, ..CoreConfig::prototype() },
+        );
+        println!(
+            "{:<10} {:>10} {:>10} {:>7.1}%",
+            name,
+            base.cycles,
+            wide.cycles,
+            100.0 * (base.cycles as f64 - wide.cycles as f64) / base.cycles as f64
+        );
+    }
+
+    let wl = suite::by_name("conv").expect("registered");
+    c.bench_function("sim/conv_hand_1xopn", |b| {
+        b.iter(|| run_trips(&wl, Quality::Hand, CoreConfig::prototype()).cycles)
+    });
+    c.bench_function("sim/conv_hand_2xopn", |b| {
+        b.iter(|| {
+            run_trips(&wl, Quality::Hand, CoreConfig { opn_networks: 2, ..CoreConfig::prototype() })
+                .cycles
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = opn_bandwidth
+}
+criterion_main!(benches);

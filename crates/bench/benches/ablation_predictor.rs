@@ -1,0 +1,49 @@
+//! Ablation: the next-block predictor (§3.1).
+//!
+//! Compares the full tournament exit predictor + BTB/CTB/RAS/type
+//! target predictor against a degenerate always-sequential predictor
+//! on the control-heavy part of the suite, where every block boundary
+//! is a prediction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use trips_bench::run_trips;
+use trips_core::{CoreConfig, PredictorConfig};
+use trips_tasm::Quality;
+use trips_workloads::suite;
+
+fn predictor(c: &mut Criterion) {
+    println!("\nAblation: next-block predictor (hand quality)");
+    println!(
+        "{:<12} {:>12} {:>9} {:>12} {:>9}",
+        "bench", "full:cyc", "acc", "seq:cyc", "acc"
+    );
+    for name in ["tblook01", "197.parser", "rspeed01", "a2time01", "matrix"] {
+        let wl = suite::by_name(name).expect("registered");
+        let full = run_trips(&wl, Quality::Hand, CoreConfig::prototype());
+        let seq = run_trips(
+            &wl,
+            Quality::Hand,
+            CoreConfig { predictor: PredictorConfig::sequential_only(), ..CoreConfig::prototype() },
+        );
+        println!(
+            "{:<12} {:>12} {:>8.1}% {:>12} {:>8.1}%",
+            name,
+            full.cycles,
+            100.0 * full.prediction_accuracy(),
+            seq.cycles,
+            100.0 * seq.prediction_accuracy(),
+        );
+    }
+
+    let wl = suite::by_name("tblook01").expect("registered");
+    c.bench_function("sim/tblook01_full_predictor", |b| {
+        b.iter(|| run_trips(&wl, Quality::Hand, CoreConfig::prototype()).cycles)
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = predictor
+}
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Criterion microbenchmarks of the substrate components: the OPN
+//! router mesh, the next-block predictor, block encode/decode, the
+//! block-level interpreter, and the secondary memory system.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use trips_core::{NextBlockPredictor, PredictorConfig};
+use trips_isa::{decode, encode, BranchKind, Instruction, Opcode, Target, TripsBlock};
+use trips_micronet::{Coord, Mesh, MeshMsg};
+use trips_mem::{MemConfig, MemReq, SecondarySystem};
+
+fn opn_router(c: &mut Criterion) {
+    c.bench_function("micronet/opn_saturated_1k_cycles", |b| {
+        b.iter(|| {
+            let mut m: Mesh<u64> = Mesh::new(5, 5, 4);
+            let mut delivered = 0u64;
+            for t in 0..1000u64 {
+                for src_row in 0..5u8 {
+                    let src = Coord { row: src_row, col: 0 };
+                    let dst = Coord { row: 4 - src_row, col: 4 };
+                    if m.can_inject(src) {
+                        m.inject(t, MeshMsg::new(src, dst, t));
+                    }
+                }
+                m.tick(t);
+                for r in 0..5 {
+                    for col in 0..5 {
+                        while m.eject(Coord { row: r, col }).is_some() {
+                            delivered += 1;
+                        }
+                    }
+                }
+            }
+            delivered
+        })
+    });
+}
+
+fn predictor(c: &mut Criterion) {
+    c.bench_function("predictor/predict_update_1k", |b| {
+        let mut p = NextBlockPredictor::new(PredictorConfig::prototype());
+        b.iter(|| {
+            let mut sum = 0u64;
+            for i in 0..1000u64 {
+                let addr = 0x1_0000 + (i % 37) * 384;
+                let cp = p.checkpoint();
+                let pred = p.predict(addr, 384);
+                sum = sum.wrapping_add(pred.target);
+                p.update(addr, (i % 3) as u8, BranchKind::Branch, addr + 384, cp.history());
+            }
+            sum
+        })
+    });
+}
+
+fn encode_decode(c: &mut Criterion) {
+    let mut b = TripsBlock::new();
+    for i in 0..96u8 {
+        b.push(Instruction::opi(Opcode::Addi, i as i32, [Target::left(96), Target::none()]))
+            .unwrap();
+    }
+    b.push(Instruction::op(Opcode::Mov, [Target::none(), Target::none()])).unwrap();
+    b.push(Instruction::branch(Opcode::Halt, 0, 0)).unwrap();
+    let bytes = encode(&b);
+    c.bench_function("isa/encode_full_block", |bch| bch.iter(|| encode(&b).len()));
+    c.bench_function("isa/decode_full_block", |bch| {
+        bch.iter(|| decode(&bytes).expect("roundtrip").insts.len())
+    });
+}
+
+fn secondary_memory(c: &mut Criterion) {
+    c.bench_function("mem/nuca_64_line_reads", |b| {
+        b.iter(|| {
+            let mut l2 = SecondarySystem::new(MemConfig::prototype());
+            let mut got = 0;
+            let mut t = 0u64;
+            for i in 0..64u64 {
+                l2.request(t, (i % 20) as usize, MemReq::read_line(i, i * 64));
+                for _ in 0..200 {
+                    l2.tick(t);
+                    t += 1;
+                    if l2.pop_response(t, (i % 20) as usize).is_some() {
+                        got += 1;
+                        break;
+                    }
+                }
+            }
+            got
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = opn_router, predictor, encode_decode, secondary_memory
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! # trips-bench — the evaluation harness
+//!
+//! One binary per table/figure of the paper's evaluation:
+//!
+//! | Target | Regenerates |
+//! |---|---|
+//! | `cargo run --release -p trips-bench --bin table1` | Table 1 — tile specifications |
+//! | `cargo run --release -p trips-bench --bin table2` | Table 2 — control and data networks |
+//! | `cargo run --release -p trips-bench --bin table3` | Table 3 — overhead breakdown + performance vs Alpha |
+//! | `cargo run --release -p trips-bench --bin fig5`   | Figure 5 — execution example and commit-pipeline timeline |
+//! | `cargo run --release -p trips-bench --bin fig6`   | Figure 6 — chip floorplan |
+//!
+//! plus Criterion ablation benches (`cargo bench -p trips-bench`) for
+//! the design choices DESIGN.md calls out: operand-network bandwidth,
+//! the dependence predictor, and the next-block predictor.
+
+use trips_alpha::{AlphaConfig, AlphaCore, AlphaStats};
+use trips_core::{CoreConfig, CoreStats, Processor};
+use trips_tasm::Quality;
+use trips_workloads::Workload;
+
+/// Cycle budget for harness runs.
+pub const MAX_CYCLES: u64 = 200_000_000;
+
+/// Runs a workload on the TRIPS core at `quality` with `cfg`.
+///
+/// # Panics
+///
+/// Panics on compile or simulation failure — the harness treats any
+/// failure as a reportable bug.
+pub fn run_trips(wl: &Workload, quality: Quality, cfg: CoreConfig) -> CoreStats {
+    let image = wl
+        .build_trips(quality)
+        .unwrap_or_else(|e| panic!("{} ({quality}): compile failed: {e}", wl.name))
+        .image;
+    let mut cpu = Processor::new(cfg);
+    cpu.run(&image, MAX_CYCLES)
+        .unwrap_or_else(|e| panic!("{} ({quality}): simulation failed: {e}", wl.name))
+}
+
+/// Runs a workload on the baseline core.
+///
+/// # Panics
+///
+/// Panics on compile or simulation failure.
+pub fn run_alpha(wl: &Workload) -> AlphaStats {
+    let prog = wl
+        .build_risc()
+        .unwrap_or_else(|e| panic!("{}: risc compile failed: {e}", wl.name));
+    let mut cpu = AlphaCore::new(AlphaConfig::alpha21264(), &prog)
+        .unwrap_or_else(|e| panic!("{}: invalid program: {e}", wl.name));
+    cpu.run(MAX_CYCLES).unwrap_or_else(|e| panic!("{}: alpha failed: {e}", wl.name))
+}
+
+/// Speedup of a TRIPS run over the baseline (cycles ratio, as the
+/// paper computes it).
+pub fn speedup(alpha: &AlphaStats, trips: &CoreStats) -> f64 {
+    if trips.cycles == 0 {
+        return 0.0;
+    }
+    alpha.cycles as f64 / trips.cycles as f64
+}

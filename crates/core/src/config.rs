@@ -1,0 +1,181 @@
+//! Configuration of the processor core model.
+
+/// Number of ET rows/columns (fixed by the 128-instruction block
+/// format: four chunks of 32 instructions map to four rows).
+pub const ET_ROWS: usize = 4;
+/// ET columns per row.
+pub const ET_COLS: usize = 4;
+/// Register tiles (= register banks).
+pub const NUM_RTS: usize = 4;
+/// Data tiles (= L1D banks).
+pub const NUM_DTS: usize = 4;
+/// Instruction tiles (header + four body chunks).
+pub const NUM_ITS: usize = 5;
+/// In-flight block frames.
+pub const NUM_FRAMES: usize = 8;
+/// Reservation stations per ET per frame.
+pub const RS_PER_FRAME: usize = 8;
+
+/// Next-block predictor sizing (§3.1: a tournament local/gshare exit
+/// predictor plus a BTB/CTB/RAS/type target predictor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PredictorConfig {
+    /// Entries in the local exit predictor (paper: 9K bits).
+    pub local_entries: usize,
+    /// Entries in the gshare exit predictor (paper: 16K bits).
+    pub gshare_entries: usize,
+    /// Entries in the tournament chooser (paper: 12K bits).
+    pub chooser_entries: usize,
+    /// Exits of history used by gshare (3 bits each).
+    pub history_exits: usize,
+    /// Branch target buffer entries (paper: 20K bits).
+    pub btb_entries: usize,
+    /// Call target buffer entries (paper: 6K bits).
+    pub ctb_entries: usize,
+    /// Return address stack depth (paper: 7K bits).
+    pub ras_entries: usize,
+    /// Branch type predictor entries (paper: 12K bits).
+    pub btype_entries: usize,
+}
+
+impl PredictorConfig {
+    /// The prototype's sizing.
+    pub fn prototype() -> PredictorConfig {
+        PredictorConfig {
+            local_entries: 1024,
+            gshare_entries: 4096,
+            chooser_entries: 4096,
+            history_exits: 8,
+            btb_entries: 512,
+            ctb_entries: 128,
+            ras_entries: 128,
+            btype_entries: 4096,
+        }
+    }
+
+    /// A degenerate predictor for ablations: always predicts the
+    /// sequential next block.
+    pub fn sequential_only() -> PredictorConfig {
+        PredictorConfig {
+            local_entries: 1,
+            gshare_entries: 1,
+            chooser_entries: 1,
+            history_exits: 1,
+            btb_entries: 1,
+            ctb_entries: 1,
+            ras_entries: 1,
+            btype_entries: 1,
+        }
+    }
+}
+
+/// Full configuration of the core.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreConfig {
+    /// Parallel operand networks (1 in the prototype; 2 models the
+    /// "more operand network bandwidth" extension of §7).
+    pub opn_networks: usize,
+    /// OPN router input-FIFO depth.
+    pub opn_fifo: usize,
+    /// L1D sets per DT bank (8 KB, 2-way, 64 B lines = 64 sets).
+    pub l1d_sets: usize,
+    /// L1D associativity.
+    pub l1d_ways: usize,
+    /// L1D hit latency in cycles.
+    pub l1d_hit_lat: u64,
+    /// Latency of the (perfect) secondary memory system for both
+    /// I-side refills and D-side misses. The paper's Table 3 runs use
+    /// a perfect L2 to isolate core effects.
+    pub l2_latency: u64,
+    /// Integer ALU latency.
+    pub int_lat: u64,
+    /// Integer multiply latency (pipelined).
+    pub mul_lat: u64,
+    /// Integer divide latency (unpipelined, §3.4: 24 cycles).
+    pub div_lat: u64,
+    /// FP add/mul/compare latency (pipelined).
+    pub fp_lat: u64,
+    /// FP divide/sqrt latency (unpipelined).
+    pub fdiv_lat: u64,
+    /// Dependence predictor entries (§3.5: 1024-entry bit vector).
+    pub deppred_entries: usize,
+    /// Blocks between dependence-predictor clears (§3.5: 10,000).
+    pub deppred_clear_blocks: u64,
+    /// Disable the dependence predictor entirely (ablation): loads
+    /// always issue aggressively.
+    pub deppred_disabled: bool,
+    /// Load/store queue entries per DT (replicated ×4, §3.5: 256).
+    pub lsq_entries: usize,
+    /// Outstanding miss lines per DT MSHR (§3.5: 4).
+    pub mshr_lines: usize,
+    /// Cycles of next-block prediction in the fetch pipeline (§4.1: 3).
+    pub predict_lat: u64,
+    /// Cycles of I-TLB + tag access + hit/miss detection (§4.1: 2).
+    pub tag_lat: u64,
+    /// Architectural register writes committed per RT per cycle.
+    pub commit_bw: usize,
+    /// The next-block predictor.
+    pub predictor: PredictorConfig,
+    /// Record the critical-path event graph (costs memory and time).
+    pub critpath: bool,
+    /// Maximum in-flight frames to use (≤ 8); 1 disables speculation.
+    pub max_frames: usize,
+}
+
+impl CoreConfig {
+    /// The TRIPS prototype configuration of the paper.
+    pub fn prototype() -> CoreConfig {
+        CoreConfig {
+            opn_networks: 1,
+            opn_fifo: 4,
+            l1d_sets: 64,
+            l1d_ways: 2,
+            l1d_hit_lat: 2,
+            l2_latency: 12,
+            int_lat: 1,
+            mul_lat: 3,
+            div_lat: 24,
+            fp_lat: 4,
+            fdiv_lat: 24,
+            deppred_entries: 1024,
+            deppred_clear_blocks: 10_000,
+            deppred_disabled: false,
+            lsq_entries: 256,
+            mshr_lines: 4,
+            predict_lat: 3,
+            tag_lat: 2,
+            commit_bw: 1,
+            predictor: PredictorConfig::prototype(),
+            critpath: false,
+            max_frames: NUM_FRAMES,
+        }
+    }
+
+    /// The prototype with critical-path recording on (for Table 3).
+    pub fn prototype_critpath() -> CoreConfig {
+        CoreConfig { critpath: true, ..CoreConfig::prototype() }
+    }
+}
+
+impl Default for CoreConfig {
+    fn default() -> CoreConfig {
+        CoreConfig::prototype()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prototype_matches_paper_parameters() {
+        let c = CoreConfig::prototype();
+        assert_eq!(c.l1d_sets * c.l1d_ways * 64, 8 * 1024, "8KB L1D bank");
+        assert_eq!(c.div_lat, 24);
+        assert_eq!(c.deppred_entries, 1024);
+        assert_eq!(c.deppred_clear_blocks, 10_000);
+        assert_eq!(c.lsq_entries, 256);
+        assert_eq!(c.max_frames, 8);
+        assert_eq!(c.predict_lat + c.tag_lat, 5, "front of the 13-cycle fetch pipe");
+    }
+}

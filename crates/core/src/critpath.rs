@@ -1,0 +1,248 @@
+//! Critical-path analysis in the style of Fields et al. (ISCA 2001),
+//! as used for the overhead attribution of Table 3 (§5.4).
+//!
+//! Every microarchitectural happening of interest appends an *event*
+//! carrying its time, its last-arriving parent, and the category and
+//! latency of the edge from that parent. At the end of a run, walking
+//! the parent chain backward from the final commit yields the
+//! program's critical path, with each cycle attributed to one of the
+//! paper's overhead categories.
+
+/// Overhead categories: the columns of Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Cat {
+    /// Instruction distribution: fetch pipeline and GDN dispatch.
+    IFetch = 0,
+    /// Operand network hop latency.
+    OpnHop = 1,
+    /// Operand network contention (queueing beyond hop latency).
+    OpnContention = 2,
+    /// Execution of fanout (`mov`) instructions.
+    Fanout = 3,
+    /// Waiting for the GT to learn all block outputs were produced.
+    BlockComplete = 4,
+    /// The commit command/acknowledgement round trip.
+    BlockCommit = 5,
+    /// Everything a conventional core also pays: ALU execution,
+    /// selection, cache access, misses.
+    Other = 6,
+}
+
+/// Number of categories.
+pub const NUM_CATS: usize = 7;
+
+/// All categories in display order.
+pub const CATS: [Cat; NUM_CATS] = [
+    Cat::IFetch,
+    Cat::OpnHop,
+    Cat::OpnContention,
+    Cat::Fanout,
+    Cat::BlockComplete,
+    Cat::BlockCommit,
+    Cat::Other,
+];
+
+impl Cat {
+    /// Column label used by the Table 3 printer.
+    pub fn label(self) -> &'static str {
+        match self {
+            Cat::IFetch => "IFetch",
+            Cat::OpnHop => "OPN Hops",
+            Cat::OpnContention => "OPN Cont.",
+            Cat::Fanout => "Fanout Ops",
+            Cat::BlockComplete => "Block Complete",
+            Cat::BlockCommit => "Block Commit",
+            Cat::Other => "Other",
+        }
+    }
+}
+
+/// Sentinel for "no parent" (a root event).
+pub const NO_EVENT: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    time: u32,
+    parent: u32,
+    cat: Cat,
+    lat: u32,
+}
+
+/// The event graph recorder.
+///
+/// When disabled, [`CritPath::event`] is a no-op returning
+/// [`NO_EVENT`], so the simulator pays nothing on runs that do not
+/// need attribution.
+#[derive(Debug, Default)]
+pub struct CritPath {
+    enabled: bool,
+    events: Vec<Event>,
+}
+
+/// Per-category cycle totals from a critical-path walk.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CritBreakdown {
+    /// Cycles attributed to each [`Cat`] (indexed by discriminant).
+    pub cycles: [u64; NUM_CATS],
+}
+
+impl CritBreakdown {
+    /// Total cycles over all categories.
+    pub fn total(&self) -> u64 {
+        self.cycles.iter().sum()
+    }
+
+    /// Fraction (0..=1) of the path in `cat`.
+    pub fn fraction(&self, cat: Cat) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.cycles[cat as usize] as f64 / t as f64
+        }
+    }
+}
+
+impl CritPath {
+    /// A recorder; `enabled` selects whether events are stored.
+    pub fn new(enabled: bool) -> CritPath {
+        CritPath { enabled, events: Vec::new() }
+    }
+
+    /// True if events are being recorded.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Appends an event at `time`, reached from `parent` over an edge
+    /// of `cat` costing `lat` cycles. Returns the event's id.
+    pub fn event(&mut self, time: u64, parent: u32, cat: Cat, lat: u64) -> u32 {
+        if !self.enabled {
+            return NO_EVENT;
+        }
+        let id = self.events.len() as u32;
+        self.events.push(Event {
+            time: time.min(u32::MAX as u64) as u32,
+            parent,
+            cat,
+            lat: lat.min(u32::MAX as u64) as u32,
+        });
+        id
+    }
+
+    /// The recorded time of `ev` (0 for `NO_EVENT`).
+    pub fn time_of(&self, ev: u32) -> u64 {
+        if ev == NO_EVENT || !self.enabled {
+            0
+        } else {
+            u64::from(self.events[ev as usize].time)
+        }
+    }
+
+    /// Of two candidate parents, the one with the later recorded time
+    /// (the last-arriving edge).
+    pub fn later(&self, a: u32, b: u32) -> u32 {
+        match (a, b) {
+            (NO_EVENT, b) => b,
+            (a, NO_EVENT) => a,
+            (a, b) => {
+                if self.time_of(a) >= self.time_of(b) {
+                    a
+                } else {
+                    b
+                }
+            }
+        }
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of events on the chain from `last` back to a root.
+    pub fn chain_len(&self, last: u32) -> usize {
+        let mut n = 0;
+        let mut cur = last;
+        while cur != NO_EVENT {
+            n += 1;
+            cur = self.events[cur as usize].parent;
+        }
+        n
+    }
+
+    /// Renders the first `n` chain events from `last` for debugging.
+    pub fn debug_chain(&self, last: u32, n: usize) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let mut cur = last;
+        for _ in 0..n {
+            if cur == NO_EVENT {
+                out.push_str("ROOT\n");
+                break;
+            }
+            let e = self.events[cur as usize];
+            let _ = writeln!(out, "ev{cur}: t={} {:?} lat={} parent={}", e.time, e.cat, e.lat, e.parent as i64);
+            cur = e.parent;
+        }
+        out
+    }
+
+    /// Walks the critical path backward from `last`, accumulating
+    /// per-category cycles.
+    pub fn walk(&self, last: u32) -> CritBreakdown {
+        let mut out = CritBreakdown::default();
+        let mut cur = last;
+        while cur != NO_EVENT {
+            let e = self.events[cur as usize];
+            out.cycles[e.cat as usize] += u64::from(e.lat);
+            cur = e.parent;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_is_free() {
+        let mut cp = CritPath::new(false);
+        assert_eq!(cp.event(10, NO_EVENT, Cat::Other, 5), NO_EVENT);
+        assert!(cp.is_empty());
+    }
+
+    #[test]
+    fn walk_accumulates_by_category() {
+        let mut cp = CritPath::new(true);
+        let a = cp.event(0, NO_EVENT, Cat::IFetch, 10);
+        let b = cp.event(3, a, Cat::OpnHop, 3);
+        let c = cp.event(5, b, Cat::OpnContention, 2);
+        let d = cp.event(6, c, Cat::Other, 1);
+        let bd = cp.walk(d);
+        assert_eq!(bd.cycles[Cat::IFetch as usize], 10);
+        assert_eq!(bd.cycles[Cat::OpnHop as usize], 3);
+        assert_eq!(bd.cycles[Cat::OpnContention as usize], 2);
+        assert_eq!(bd.cycles[Cat::Other as usize], 1);
+        assert_eq!(bd.total(), 16);
+        assert!((bd.fraction(Cat::IFetch) - 10.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn later_picks_by_time() {
+        let mut cp = CritPath::new(true);
+        let a = cp.event(5, NO_EVENT, Cat::Other, 5);
+        let b = cp.event(9, NO_EVENT, Cat::Other, 9);
+        assert_eq!(cp.later(a, b), b);
+        assert_eq!(cp.later(b, a), b);
+        assert_eq!(cp.later(NO_EVENT, a), a);
+        assert_eq!(cp.later(a, NO_EVENT), a);
+    }
+}

@@ -1,0 +1,686 @@
+//! Data tiles (§3.5).
+//!
+//! Each DT holds one 2-way 8 KB L1 data-cache bank (addresses
+//! interleave across the four DTs at 64-byte-line granularity), a
+//! replicated copy of the 256-entry load/store queue, a memory-side
+//! dependence predictor, and an MSHR. Loads issue aggressively unless
+//! the dependence predictor holds them back; a later-arriving older
+//! store that overlaps a performed younger load raises a
+//! memory-ordering violation, which flushes from the load's block and
+//! trains the predictor (§3.5). Store arrivals are broadcast on the
+//! DSN so every DT can detect store completion against the block's
+//! store mask (§4.4).
+
+use trips_isa::mem::SparseMem;
+use trips_isa::semantics::{extend_load, Tok};
+use trips_isa::{Opcode, Target};
+
+use crate::config::{CoreConfig, NUM_FRAMES};
+use crate::critpath::{Cat, CritPath};
+use crate::msg::{DsnMsg, EvId, FrameId, Gen, GcnMsg, GsnMsg, OpnPayload, RowMsg, TileId};
+use crate::nets::{dt_chain_pos, gcn_pos, opn_recv, Nets, OpnOutbox};
+use crate::stats::CoreStats;
+
+#[derive(Debug, Clone, Copy)]
+#[allow(dead_code)] // `ev` kept for trace output
+struct StoreRec {
+    lsid: u8,
+    ea: u64,
+    val: u64,
+    bytes: u32,
+    nullified: bool,
+    ev: EvId,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LoadRec {
+    lsid: u8,
+    ea: u64,
+    bytes: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingLoad {
+    lsid: u8,
+    opcode: Opcode,
+    ea: u64,
+    target: Target,
+    ev: EvId,
+}
+
+#[derive(Debug, Default)]
+struct DtFrame {
+    active: bool,
+    in_order: bool,
+    gen: Gen,
+    mask_known: bool,
+    store_mask: u32,
+    arrived: u32,
+    own_stores: Vec<StoreRec>,
+    performed_loads: Vec<LoadRec>,
+    deferred: Vec<PendingLoad>,
+    pending: Vec<OpnPayload>,
+    done_sent: bool,
+    done_ev: EvId,
+    committing: bool,
+    commit_cursor: usize,
+    commit_done: bool,
+    south_ack: bool,
+    ack_sent: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+#[allow(dead_code)] // `ea` kept for trace output
+struct ExecLoad {
+    frame: FrameId,
+    gen: Gen,
+    opcode: Opcode,
+    ea: u64,
+    raw: u64,
+    target: Target,
+    ev: EvId,
+}
+
+#[derive(Debug)]
+struct Mshr {
+    line: u64,
+    fill_at: u64,
+    waiting: Vec<ExecLoad>,
+}
+
+/// One data tile.
+pub struct DataTile {
+    /// Tile index 0..4 (0 is nearest the GT).
+    pub index: u8,
+    frames: [DtFrame; NUM_FRAMES],
+    order: Vec<FrameId>,
+    tags: Vec<Vec<Option<u64>>>,
+    lru: Vec<u8>,
+    deppred: Vec<bool>,
+    blocks_since_clear: u64,
+    mshrs: Vec<Mshr>,
+    respond_q: Vec<(u64, ExecLoad)>,
+    outbox: OpnOutbox,
+    /// Current LSQ occupancy (own live memory records).
+    occupancy: usize,
+}
+
+impl DataTile {
+    /// A fresh DT.
+    pub fn new(index: u8, cfg: &CoreConfig) -> DataTile {
+        DataTile {
+            index,
+            frames: Default::default(),
+            order: Vec::new(),
+            tags: vec![vec![None; cfg.l1d_ways]; cfg.l1d_sets],
+            lru: vec![0; cfg.l1d_sets],
+            deppred: vec![false; cfg.deppred_entries],
+            blocks_since_clear: 0,
+            mshrs: Vec::new(),
+            respond_q: Vec::new(),
+            outbox: OpnOutbox::default(),
+            occupancy: 0,
+        }
+    }
+
+    /// True when nothing is pending.
+    pub fn idle(&self) -> bool {
+        self.mshrs.is_empty() && self.respond_q.is_empty() && self.outbox.is_empty()
+    }
+
+    fn tile_id(&self) -> TileId {
+        TileId::Dt(self.index)
+    }
+
+    fn ensure_frame(&mut self, frame: FrameId, gen: Gen, from_dispatch: bool) -> bool {
+        let f = &mut self.frames[frame.0 as usize];
+        if f.gen > gen {
+            return false;
+        }
+        if !(f.active && f.gen == gen) {
+            *f = DtFrame {
+                active: true,
+                gen,
+                south_ack: self.index == 3,
+                ..DtFrame::default()
+            };
+        }
+        if from_dispatch {
+            let f = &mut self.frames[frame.0 as usize];
+            if !f.in_order {
+                f.in_order = true;
+                self.order.push(frame);
+            }
+        }
+        true
+    }
+
+    fn frame_ok(&self, frame: FrameId, gen: Gen) -> bool {
+        let f = &self.frames[frame.0 as usize];
+        f.active && f.gen == gen
+    }
+
+    fn set_index(&self, ea: u64, cfg: &CoreConfig) -> (usize, u64) {
+        let line = ea >> 6;
+        debug_assert_eq!((line & 3) as u8, self.index, "address routed to wrong DT");
+        let set = ((line >> 2) as usize) % cfg.l1d_sets;
+        let tag = line >> 2;
+        (set, tag)
+    }
+
+    fn is_hit(&self, ea: u64, cfg: &CoreConfig) -> bool {
+        let (set, tag) = self.set_index(ea, cfg);
+        self.tags[set].iter().any(|t| *t == Some(tag))
+    }
+
+    fn install(&mut self, ea: u64, cfg: &CoreConfig) {
+        let (set, tag) = self.set_index(ea, cfg);
+        if self.tags[set].iter().any(|t| *t == Some(tag)) {
+            return;
+        }
+        let way = self.lru[set] as usize % cfg.l1d_ways;
+        self.tags[set][way] = Some(tag);
+        self.lru[set] = (self.lru[set] + 1) % cfg.l1d_ways as u8;
+    }
+
+    fn deppred_index(&self, ea: u64) -> usize {
+        ((ea >> 3) as usize ^ (ea >> 13) as usize) % self.deppred.len().max(1)
+    }
+
+    /// One cycle.
+    pub fn tick(
+        &mut self,
+        now: u64,
+        cfg: &CoreConfig,
+        nets: &mut Nets,
+        crit: &mut CritPath,
+        stats: &mut CoreStats,
+        mem: &mut SparseMem,
+    ) {
+        // GCN commit/flush.
+        while let Some(msg) = nets.gcn.recv(now, gcn_pos(self.tile_id())) {
+            match msg {
+                GcnMsg::Commit { frame, gen } => {
+                    if self.frame_ok(frame, gen) {
+                        self.frames[frame.0 as usize].committing = true;
+                    }
+                }
+                GcnMsg::Flush { mask, gens } => {
+                    for fi in 0..NUM_FRAMES {
+                        if mask & (1 << fi) == 0 {
+                            continue;
+                        }
+                        let f = &mut self.frames[fi];
+                        if f.gen < gens[fi] {
+                            self.occupancy = self
+                                .occupancy
+                                .saturating_sub(f.own_stores.len() + f.performed_loads.len());
+                            *f = DtFrame { active: false, gen: gens[fi], ..DtFrame::default() };
+                            self.order.retain(|&x| x.0 as usize != fi);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Store mask dispatch from this row's IT.
+        let row = self.index as usize + 1;
+        while let Some(msg) = nets.gdn_rows[row].recv(now, 1) {
+            if let RowMsg::DtMask { frame, gen, store_mask, ev } = msg {
+                if self.ensure_frame(frame, gen, true) {
+                    let f = &mut self.frames[frame.0 as usize];
+                    f.mask_known = true;
+                    f.store_mask = store_mask;
+                    f.done_ev = crit.later(f.done_ev, ev);
+                    let pending = std::mem::take(&mut f.pending);
+                    for p in pending {
+                        self.process_req(now, cfg, nets, crit, stats, mem, p);
+                    }
+                }
+            }
+        }
+
+        // DSN store-arrival broadcasts from the other DTs.
+        while let Some(d) = nets.dsn.recv(now, self.index as usize) {
+            if self.ensure_frame(d.frame, d.gen, false) {
+                let f = &mut self.frames[d.frame.0 as usize];
+                f.arrived |= 1 << d.lsid;
+                f.done_ev = crit.later(f.done_ev, d.ev);
+            }
+        }
+
+        // Memory requests from the ETs.
+        while let Some(m) = opn_recv(nets, self.tile_id()) {
+            let (hops, queued) = (m.hops, m.queued);
+            let (frame, gen, ev0) = match &m.payload {
+                OpnPayload::LoadReq { frame, gen, ev, .. }
+                | OpnPayload::StoreReq { frame, gen, ev, .. } => (*frame, *gen, *ev),
+                _ => continue,
+            };
+            if !self.ensure_frame(frame, gen, false) {
+                continue;
+            }
+            let e_hop = crit.event(now - u64::from(queued), ev0, Cat::OpnHop, u64::from(hops) + 1);
+            let e_arr = crit.event(now, e_hop, Cat::OpnContention, u64::from(queued));
+            let payload = retag(m.payload, e_arr);
+            let f = &self.frames[frame.0 as usize];
+            if f.in_order && f.mask_known {
+                self.process_req(now, cfg, nets, crit, stats, mem, payload);
+            } else {
+                self.frames[frame.0 as usize].pending.push(payload);
+            }
+        }
+
+        // South neighbour's commit acks.
+        while let Some(msg) = nets.gsn_dt.recv(now, dt_chain_pos(self.index as usize)) {
+            if let GsnMsg::StoresCommitted { frame, gen } = msg {
+                if self.frame_ok(frame, gen) {
+                    self.frames[frame.0 as usize].south_ack = true;
+                }
+            }
+        }
+
+        // MSHR fills.
+        let mut filled = Vec::new();
+        let mut k = 0;
+        while k < self.mshrs.len() {
+            if self.mshrs[k].fill_at <= now {
+                filled.push(self.mshrs.swap_remove(k));
+            } else {
+                k += 1;
+            }
+        }
+        for m in filled {
+            self.install(m.line << 6, cfg);
+            for ld in m.waiting {
+                self.respond_q.push((now + cfg.l1d_hit_lat, ld));
+            }
+        }
+
+        // Load responses.
+        let mut r = 0;
+        while r < self.respond_q.len() {
+            if self.respond_q[r].0 <= now {
+                let (_, ld) = self.respond_q.swap_remove(r);
+                self.respond(now, crit, ld);
+            } else {
+                r += 1;
+            }
+        }
+
+        // Wake deferred loads whose prior stores have all arrived.
+        self.wake_deferred(now, cfg, stats, mem);
+
+        // Completion detection and commit draining.
+        self.advance_frames(now, cfg, nets, crit, stats, mem);
+
+        stats.lsq_peak_occupancy = stats.lsq_peak_occupancy.max(self.occupancy);
+        self.outbox.flush(nets, now, self.tile_id());
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn process_req(
+        &mut self,
+        now: u64,
+        cfg: &CoreConfig,
+        nets: &mut Nets,
+        crit: &mut CritPath,
+        stats: &mut CoreStats,
+        mem: &SparseMem,
+        payload: OpnPayload,
+    ) {
+        match payload {
+            OpnPayload::LoadReq { frame, gen, lsid, opcode, ea, target, ev } => {
+                let stalled = !cfg.deppred_disabled && self.deppred[self.deppred_index(ea)];
+                if stalled && !self.prior_stores_arrived(frame, lsid) {
+                    stats.deppred_stalls += 1;
+                    self.frames[frame.0 as usize].deferred.push(PendingLoad {
+                        lsid,
+                        opcode,
+                        ea,
+                        target,
+                        ev,
+                    });
+                    return;
+                }
+                self.execute_load(now, cfg, stats, mem, frame, gen, lsid, opcode, ea, target, ev);
+            }
+            OpnPayload::StoreReq { frame, gen, lsid, ea, val, bytes, nullified, ev } => {
+                self.store_arrived(
+                    now, nets, crit, stats, frame, gen, lsid, ea, val, bytes, nullified, ev,
+                );
+            }
+            _ => unreachable!("only memory requests are queued"),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn execute_load(
+        &mut self,
+        now: u64,
+        cfg: &CoreConfig,
+        stats: &mut CoreStats,
+        mem: &SparseMem,
+        frame: FrameId,
+        gen: Gen,
+        lsid: u8,
+        opcode: Opcode,
+        ea: u64,
+        target: Target,
+        ev: EvId,
+    ) {
+        let bytes = opcode.access_bytes();
+        let (raw, forwarded) = self.load_value(mem, frame, lsid, ea, bytes);
+        if forwarded {
+            stats.lsq_forwards += 1;
+        }
+        {
+            let f = &mut self.frames[frame.0 as usize];
+            f.performed_loads.push(LoadRec { lsid, ea, bytes });
+        }
+        self.occupancy += 1;
+        let ld = ExecLoad { frame, gen, opcode, ea, raw, target, ev };
+        if self.is_hit(ea, cfg) || forwarded {
+            stats.l1d_hits += 1;
+            self.respond_q.push((now + cfg.l1d_hit_lat, ld));
+        } else {
+            stats.l1d_misses += 1;
+            let line = ea >> 6;
+            if let Some(m) = self.mshrs.iter_mut().find(|m| m.line == line) {
+                m.waiting.push(ld);
+            } else if self.mshrs.len() < cfg.mshr_lines {
+                self.mshrs.push(Mshr { line, fill_at: now + cfg.l2_latency, waiting: vec![ld] });
+            } else {
+                // MSHR full: model a structural stall by serializing
+                // behind the earliest fill.
+                let earliest = self
+                    .mshrs
+                    .iter_mut()
+                    .min_by_key(|m| m.fill_at)
+                    .expect("mshr_lines > 0");
+                earliest.waiting.push(ld);
+            }
+        }
+    }
+
+    /// The loaded value: memory overlaid with arrived older stores, in
+    /// age order (LSQ store-to-load forwarding, byte-accurate).
+    fn load_value(
+        &self,
+        mem: &SparseMem,
+        frame: FrameId,
+        lsid: u8,
+        ea: u64,
+        bytes: u32,
+    ) -> (u64, bool) {
+        let mut buf = [0u8; 8];
+        mem.read_bytes(ea, &mut buf[..bytes as usize]);
+        let mut forwarded = false;
+        let my_pos =
+            self.order.iter().position(|&x| x == frame).expect("load frame must be in order");
+        for pi in 0..=my_pos {
+            let of = self.order[pi];
+            let fr = &self.frames[of.0 as usize];
+            let mut stores: Vec<&StoreRec> = fr.own_stores.iter().collect();
+            stores.sort_by_key(|s| s.lsid);
+            for s in stores {
+                if s.nullified {
+                    continue;
+                }
+                if of == frame && s.lsid >= lsid {
+                    continue;
+                }
+                // Byte overlay.
+                let (s0, s1) = (s.ea, s.ea + u64::from(s.bytes));
+                for b in 0..u64::from(bytes) {
+                    let a = ea + b;
+                    if a >= s0 && a < s1 {
+                        buf[b as usize] = (s.val >> (8 * (a - s0))) as u8;
+                        forwarded = true;
+                    }
+                }
+            }
+        }
+        (u64::from_le_bytes(buf), forwarded)
+    }
+
+    fn prior_stores_arrived(&self, frame: FrameId, lsid: u8) -> bool {
+        let Some(my_pos) = self.order.iter().position(|&x| x == frame) else {
+            return false;
+        };
+        for pi in 0..=my_pos {
+            let f = &self.frames[self.order[pi].0 as usize];
+            if pi < my_pos {
+                if !f.mask_known || f.arrived & f.store_mask != f.store_mask {
+                    return false;
+                }
+            } else {
+                let prior: u32 = (1u32 << lsid) - 1;
+                let need = f.store_mask & prior;
+                if f.arrived & need != need {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn store_arrived(
+        &mut self,
+        now: u64,
+        nets: &mut Nets,
+        crit: &mut CritPath,
+        stats: &mut CoreStats,
+        frame: FrameId,
+        gen: Gen,
+        lsid: u8,
+        ea: u64,
+        val: u64,
+        bytes: u32,
+        nullified: bool,
+        ev: EvId,
+    ) {
+        {
+            let f = &mut self.frames[frame.0 as usize];
+            f.arrived |= 1 << lsid;
+            f.own_stores.push(StoreRec { lsid, ea, val, bytes, nullified, ev });
+            f.done_ev = crit.later(f.done_ev, ev);
+        }
+        self.occupancy += 1;
+
+        // Broadcast arrival on the DSN so every DT can count (§4.4).
+        for other in 0..4usize {
+            if other != self.index as usize {
+                nets.dsn.send(now, self.index as usize, other, DsnMsg { frame, gen, lsid, ev });
+            }
+        }
+
+        // Memory-ordering violation: a younger load already performed
+        // against this address without seeing this store (§3.5). The
+        // GT is notified over the GSN and flushes from the load's
+        // block; the dependence predictor trains on the load address
+        // hash (here equal to the conflicting store address range).
+        if !nullified {
+            if let Some((victim, victim_gen, load_ea)) =
+                self.find_violation(frame, lsid, ea, bytes)
+            {
+                let di = self.deppred_index(load_ea);
+                self.deppred[di] = true;
+                stats.violation_flushes += 1;
+                nets.gsn_dt.send(
+                    now,
+                    dt_chain_pos(self.index as usize),
+                    0,
+                    GsnMsg::Violation { frame: victim, gen: victim_gen },
+                );
+            }
+        }
+    }
+
+    /// Finds the oldest performed load that is younger than the
+    /// arriving store and overlaps its bytes.
+    fn find_violation(
+        &self,
+        frame: FrameId,
+        lsid: u8,
+        ea: u64,
+        bytes: u32,
+    ) -> Option<(FrameId, Gen, u64)> {
+        let my_pos = self.order.iter().position(|&x| x == frame)?;
+        let (s0, s1) = (ea, ea + u64::from(bytes));
+        for (pi, &yf) in self.order.iter().enumerate() {
+            if pi < my_pos {
+                continue;
+            }
+            let f = &self.frames[yf.0 as usize];
+            let mut best: Option<&LoadRec> = None;
+            for l in &f.performed_loads {
+                if yf == frame && l.lsid <= lsid {
+                    continue;
+                }
+                let (l0, l1) = (l.ea, l.ea + u64::from(l.bytes));
+                if l0 < s1 && s0 < l1 && best.map_or(true, |b| l.lsid < b.lsid) {
+                    best = Some(l);
+                }
+            }
+            if let Some(l) = best {
+                return Some((yf, f.gen, l.ea));
+            }
+        }
+        None
+    }
+
+    fn wake_deferred(
+        &mut self,
+        now: u64,
+        cfg: &CoreConfig,
+        stats: &mut CoreStats,
+        mem: &SparseMem,
+    ) {
+        for fi in 0..NUM_FRAMES {
+            if !self.frames[fi].active || self.frames[fi].deferred.is_empty() {
+                continue;
+            }
+            let frame = FrameId(fi as u8);
+            let gen = self.frames[fi].gen;
+            let deferred = std::mem::take(&mut self.frames[fi].deferred);
+            for d in deferred {
+                if self.prior_stores_arrived(frame, d.lsid) {
+                    self.execute_load(
+                        now, cfg, stats, mem, frame, gen, d.lsid, d.opcode, d.ea, d.target, d.ev,
+                    );
+                } else {
+                    self.frames[fi].deferred.push(d);
+                }
+            }
+        }
+    }
+
+    fn respond(&mut self, now: u64, crit: &mut CritPath, ld: ExecLoad) {
+        if !self.frame_ok(ld.frame, ld.gen) {
+            return;
+        }
+        let ev = crit.event(now, ld.ev, Cat::Other, now.saturating_sub(crit.time_of(ld.ev)).max(1));
+        let tok = Tok::Val(extend_load(ld.opcode, ld.raw));
+        match ld.target {
+            Target::None => {}
+            Target::Inst { idx, slot } => self.outbox.push(
+                TileId::of_inst(idx),
+                OpnPayload::Operand { frame: ld.frame, gen: ld.gen, idx, slot, tok, ev },
+            ),
+            Target::Write { slot } => self.outbox.push(
+                TileId::of_header_slot(slot),
+                OpnPayload::WriteVal { frame: ld.frame, gen: ld.gen, wslot: slot, tok, ev },
+            ),
+        }
+    }
+
+    fn advance_frames(
+        &mut self,
+        now: u64,
+        cfg: &CoreConfig,
+        nets: &mut Nets,
+        crit: &mut CritPath,
+        stats: &mut CoreStats,
+        mem: &mut SparseMem,
+    ) {
+        let my_pos = dt_chain_pos(self.index as usize);
+        let north = my_pos - 1;
+        for fi in 0..NUM_FRAMES {
+            let frame = FrameId(fi as u8);
+            // Store-completion detection: the nearest DT notifies the
+            // GT (§4.4).
+            {
+                let f = &mut self.frames[fi];
+                if f.active
+                    && self.index == 0
+                    && f.mask_known
+                    && !f.done_sent
+                    && f.arrived & f.store_mask == f.store_mask
+                {
+                    f.done_sent = true;
+                    let ev = crit.event(now, f.done_ev, Cat::BlockComplete, 1);
+                    nets.gsn_dt.send(
+                        now,
+                        my_pos,
+                        0,
+                        GsnMsg::StoresDone { frame, gen: f.gen, ev },
+                    );
+                }
+            }
+            // Commit drain: one store per cycle to the cache/memory.
+            let f = &mut self.frames[fi];
+            if f.active && f.committing && !f.commit_done {
+                if f.commit_cursor == 0 {
+                    f.own_stores.sort_by_key(|s| s.lsid);
+                }
+                if let Some(s) = f.own_stores.get(f.commit_cursor).copied() {
+                    if !s.nullified {
+                        mem.write_uint(s.ea, s.val, s.bytes);
+                        stats.stores += 1;
+                        self.install(s.ea, cfg);
+                    }
+                    let f = &mut self.frames[fi];
+                    f.commit_cursor += 1;
+                } else {
+                    f.commit_done = true;
+                }
+                let f = &mut self.frames[fi];
+                if f.commit_cursor >= f.own_stores.len() {
+                    f.commit_done = true;
+                }
+            }
+            let f = &mut self.frames[fi];
+            if f.active && f.commit_done && f.south_ack && !f.ack_sent {
+                f.ack_sent = true;
+                nets.gsn_dt.send(now, my_pos, north, GsnMsg::StoresCommitted { frame, gen: f.gen });
+                self.occupancy = self
+                    .occupancy
+                    .saturating_sub(f.own_stores.len() + f.performed_loads.len());
+                f.active = false;
+                f.gen += 1;
+                f.own_stores.clear();
+                f.performed_loads.clear();
+                self.order.retain(|&x| x != frame);
+                self.blocks_since_clear += 1;
+                if self.blocks_since_clear >= cfg.deppred_clear_blocks {
+                    self.blocks_since_clear = 0;
+                    self.deppred.iter_mut().for_each(|b| *b = false);
+                }
+            }
+        }
+    }
+}
+
+fn retag(payload: OpnPayload, new_ev: EvId) -> OpnPayload {
+    match payload {
+        OpnPayload::LoadReq { frame, gen, lsid, opcode, ea, target, .. } => {
+            OpnPayload::LoadReq { frame, gen, lsid, opcode, ea, target, ev: new_ev }
+        }
+        OpnPayload::StoreReq { frame, gen, lsid, ea, val, bytes, nullified, .. } => {
+            OpnPayload::StoreReq { frame, gen, lsid, ea, val, bytes, nullified, ev: new_ev }
+        }
+        other => other,
+    }
+}

@@ -1,0 +1,478 @@
+//! Execution tiles (§3.4).
+//!
+//! Each ET is a single-issue pipeline with 64 reservation stations
+//! (eight per in-flight block), an integer unit, and an FP unit; all
+//! units are pipelined except divide. Operands arriving from the OPN
+//! wake instructions; a selected instruction executes and routes its
+//! result either through the local bypass (back-to-back issue on the
+//! same ET) or onto the OPN toward a remote consumer, a register
+//! tile's write queue, a data tile (loads/stores), or the GT
+//! (branches) — §4.2.
+
+use trips_isa::semantics::{eval, Tok};
+use trips_isa::{Instruction, Opcode, OperandNeeds, OperandSlot, Pred, Target};
+
+use crate::config::{CoreConfig, NUM_FRAMES, RS_PER_FRAME};
+use crate::critpath::{Cat, CritPath};
+use crate::msg::{EvId, FrameId, Gen, GcnMsg, OpnPayload, RowMsg, TileId};
+use crate::nets::{gcn_pos, opn_recv, row_pos_of_col, Nets, OpnOutbox};
+use crate::stats::CoreStats;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SState {
+    Waiting,
+    Issued,
+    Done,
+    Dead,
+}
+
+#[derive(Debug, Clone)]
+struct Station {
+    inst: Instruction,
+    idx: u8,
+    ops: [Option<(Tok, EvId)>; 3],
+    state: SState,
+    disp_ev: EvId,
+}
+
+#[derive(Debug, Default)]
+struct EtFrame {
+    active: bool,
+    gen: Gen,
+    stations: [Option<Station>; RS_PER_FRAME],
+    early: Vec<(u8, OperandSlot, Tok, EvId)>,
+    fired: u64,
+}
+
+#[derive(Debug)]
+struct InFlight {
+    done: u64,
+    frame: FrameId,
+    gen: Gen,
+    slot: usize,
+}
+
+/// One execution tile.
+pub struct ExecTile {
+    /// Grid row (0..4).
+    pub row: u8,
+    /// Grid column (0..4).
+    pub col: u8,
+    frames: [EtFrame; NUM_FRAMES],
+    order: Vec<FrameId>,
+    inflight: Vec<InFlight>,
+    local_q: Vec<(u64, FrameId, Gen, u8, OperandSlot, Tok, EvId)>,
+    fu_busy_until: u64,
+    outbox: OpnOutbox,
+}
+
+fn slot_ix(slot: OperandSlot) -> usize {
+    match slot {
+        OperandSlot::Left => 0,
+        OperandSlot::Right => 1,
+        OperandSlot::Predicate => 2,
+    }
+}
+
+impl ExecTile {
+    /// A fresh ET at (row, col).
+    pub fn new(row: u8, col: u8) -> ExecTile {
+        ExecTile {
+            row,
+            col,
+            frames: Default::default(),
+            order: Vec::new(),
+            inflight: Vec::new(),
+            local_q: Vec::new(),
+            fu_busy_until: 0,
+            outbox: OpnOutbox::default(),
+        }
+    }
+
+    /// True when nothing is pending.
+    pub fn idle(&self) -> bool {
+        self.inflight.is_empty() && self.local_q.is_empty() && self.outbox.is_empty()
+    }
+
+    fn tile_id(&self) -> TileId {
+        TileId::Et(self.row, self.col)
+    }
+
+    fn exec_latency(&self, cfg: &CoreConfig, op: Opcode) -> (u64, bool) {
+        // (latency, pipelined)
+        match op {
+            Opcode::Div | Opcode::Divu | Opcode::Mod => (cfg.div_lat, false),
+            Opcode::Fdiv | Opcode::Fsqrt => (cfg.fdiv_lat, false),
+            Opcode::Mul => (cfg.mul_lat, true),
+            o if o.is_fp() => (cfg.fp_lat, true),
+            _ => (cfg.int_lat, true),
+        }
+    }
+
+    fn ensure_frame(&mut self, frame: FrameId, gen: Gen) -> bool {
+        let f = &mut self.frames[frame.0 as usize];
+        if f.active && f.gen == gen {
+            return true;
+        }
+        if f.gen > gen {
+            return false;
+        }
+        *f = EtFrame { active: true, gen, ..EtFrame::default() };
+        self.order.push(frame);
+        true
+    }
+
+    fn frame_ok(&self, frame: FrameId, gen: Gen) -> bool {
+        let f = &self.frames[frame.0 as usize];
+        f.active && f.gen == gen
+    }
+
+    /// One cycle.
+    pub fn tick(
+        &mut self,
+        now: u64,
+        cfg: &CoreConfig,
+        nets: &mut Nets,
+        crit: &mut CritPath,
+        stats: &mut CoreStats,
+    ) {
+        // GCN commit/flush.
+        while let Some(msg) = nets.gcn.recv(now, gcn_pos(self.tile_id())) {
+            match msg {
+                GcnMsg::Commit { frame, gen } => {
+                    if self.frame_ok(frame, gen) {
+                        let f = &mut self.frames[frame.0 as usize];
+                        stats.insts_committed += f.fired;
+                        // The commit command flushes remaining
+                        // speculative in-flight state for the block
+                        // (§4.4). Bumping the generation matches the
+                        // GT's deallocation bump so straggler operands
+                        // of this incarnation are recognized as stale.
+                        f.active = false;
+                        f.gen += 1;
+                        f.stations = Default::default();
+                        f.early.clear();
+                        self.order.retain(|&x| x != frame);
+                    }
+                }
+                GcnMsg::Flush { mask, gens } => {
+                    for fi in 0..NUM_FRAMES {
+                        if mask & (1 << fi) == 0 {
+                            continue;
+                        }
+                        let f = &mut self.frames[fi];
+                        if f.gen < gens[fi] {
+                            *f = EtFrame { active: false, gen: gens[fi], ..EtFrame::default() };
+                            self.order.retain(|&x| x.0 as usize != fi);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Instruction dispatch from this row's IT.
+        let row_chain = self.row as usize + 1;
+        let pos = row_pos_of_col(self.col as usize);
+        while let Some(msg) = nets.gdn_rows[row_chain].recv(now, pos) {
+            if let RowMsg::Inst { frame, gen, idx, inst, ev } = msg {
+                if !self.ensure_frame(frame, gen) {
+                    continue;
+                }
+                let dev = crit.event(now, ev, Cat::IFetch, now.saturating_sub(crit.time_of(ev)));
+                let slot = trips_isa::InstSlot::from_index(idx).slot as usize;
+                let f = &mut self.frames[frame.0 as usize];
+                debug_assert!(f.stations[slot].is_none(), "reservation station collision");
+                let mut st = Station { inst, idx, ops: [None; 3], state: SState::Waiting, disp_ev: dev };
+                // Apply any operands that arrived early.
+                let early = std::mem::take(&mut f.early);
+                for (eidx, eslot, tok, eev) in early {
+                    if eidx == idx {
+                        st.ops[slot_ix(eslot)] = Some((tok, eev));
+                    } else {
+                        f.early.push((eidx, eslot, tok, eev));
+                    }
+                }
+                check_dead(&mut st);
+                f.stations[slot] = Some(st);
+            }
+        }
+
+        // OPN operand arrivals. Operands may beat this ET's dispatch
+        // beats, so arrival activates the frame and buffers early.
+        while let Some(m) = opn_recv(nets, self.tile_id()) {
+            let (hops, queued) = (m.hops, m.queued);
+            if let OpnPayload::Operand { frame, gen, idx, slot, tok, ev } = m.payload {
+                if !self.ensure_frame(frame, gen) {
+                    continue;
+                }
+                let e_hop =
+                    crit.event(now - u64::from(queued), ev, Cat::OpnHop, u64::from(hops) + 1);
+                let e_arr = crit.event(now, e_hop, Cat::OpnContention, u64::from(queued));
+                self.deliver_operand(frame, idx, slot, tok, e_arr);
+            }
+        }
+
+        // Completion of in-flight executions (before local bypass
+        // delivery so a result can reach a same-ET consumer in time
+        // for back-to-back issue, §4.2).
+        let mut done_list = Vec::new();
+        let mut j = 0;
+        while j < self.inflight.len() {
+            if self.inflight[j].done <= now {
+                done_list.push(self.inflight.swap_remove(j));
+            } else {
+                j += 1;
+            }
+        }
+        for fin in done_list {
+            self.finish(now, fin, crit, stats);
+        }
+
+        // Local bypass deliveries.
+        let mut i = 0;
+        while i < self.local_q.len() {
+            if self.local_q[i].0 <= now {
+                let (_, frame, gen, idx, slot, tok, ev) = self.local_q.swap_remove(i);
+                if self.frame_ok(frame, gen) {
+                    self.deliver_operand(frame, idx, slot, tok, ev);
+                }
+            } else {
+                i += 1;
+            }
+        }
+
+        // Select and issue one ready instruction (oldest frame first).
+        self.select_and_issue(now, cfg, crit, stats);
+
+        self.outbox.flush(nets, now, self.tile_id());
+    }
+
+    fn deliver_operand(&mut self, frame: FrameId, idx: u8, slot: OperandSlot, tok: Tok, ev: EvId) {
+        let f = &mut self.frames[frame.0 as usize];
+        let sslot = trips_isa::InstSlot::from_index(idx).slot as usize;
+        match &mut f.stations[sslot] {
+            Some(st) if st.idx == idx => {
+                let cell = &mut st.ops[slot_ix(slot)];
+                assert!(
+                    cell.is_none(),
+                    "double operand delivery to N[{idx}] {slot} at ET({},{})",
+                    self.row,
+                    self.col
+                );
+                *cell = Some((tok, ev));
+                check_dead(st);
+            }
+            _ => f.early.push((idx, slot, tok, ev)),
+        }
+    }
+
+    fn select_and_issue(
+        &mut self,
+        now: u64,
+        cfg: &CoreConfig,
+        crit: &mut CritPath,
+        stats: &mut CoreStats,
+    ) {
+        let order = self.order.clone();
+        for frame in order {
+            let fi = frame.0 as usize;
+            if !self.frames[fi].active {
+                continue;
+            }
+            for slot in 0..RS_PER_FRAME {
+                let Some(st) = &self.frames[fi].stations[slot] else { continue };
+                if st.state != SState::Waiting || !is_ready(st) {
+                    continue;
+                }
+                let (lat, pipelined) = self.exec_latency(cfg, st.inst.opcode);
+                if !pipelined && self.fu_busy_until > now {
+                    continue;
+                }
+                // Issue.
+                let gen = self.frames[fi].gen;
+                let st = self.frames[fi].stations[slot].as_mut().expect("checked above");
+                st.state = SState::Issued;
+                let mut parent = st.disp_ev;
+                for op in st.ops.iter().flatten() {
+                    parent = crit.later(parent, op.1);
+                }
+                let iev = crit.event(
+                    now,
+                    parent,
+                    Cat::Other,
+                    now.saturating_sub(crit.time_of(parent)),
+                );
+                st.disp_ev = iev; // reuse the field to carry the issue event
+                if !pipelined {
+                    self.fu_busy_until = now + lat;
+                }
+                stats.insts_executed += 1;
+                self.frames[fi].fired += 1;
+                if st.inst.opcode == Opcode::Mov {
+                    stats.fanout_movs += 1;
+                }
+                self.inflight.push(InFlight { done: now + lat, frame, gen, slot });
+                return;
+            }
+        }
+    }
+
+    fn finish(&mut self, now: u64, fin: InFlight, crit: &mut CritPath, stats: &mut CoreStats) {
+        if !self.frame_ok(fin.frame, fin.gen) {
+            return;
+        }
+        let fi = fin.frame.0 as usize;
+        let gen = fin.gen;
+        let st = {
+            let f = &mut self.frames[fi];
+            let Some(st) = f.stations[fin.slot].as_mut() else { return };
+            st.state = SState::Done;
+            st.clone()
+        };
+        let inst = st.inst;
+        let iev = st.disp_ev;
+        let cat = if inst.opcode == Opcode::Mov { Cat::Fanout } else { Cat::Other };
+        let dev = crit.event(now, iev, cat, now.saturating_sub(crit.time_of(iev)).max(1));
+
+        let l = st.ops[0].map(|(t, _)| t);
+        let r = st.ops[1].map(|(t, _)| t);
+        let nullified = l == Some(Tok::Null) || r == Some(Tok::Null) || pred_is_null(&st);
+
+        if inst.opcode.is_store() {
+            let (ea, val, dst) = if nullified {
+                (0, 0, TileId::Dt(inst.lsid % 4))
+            } else {
+                let a = l.and_then(Tok::value).expect("store address");
+                let v = r.and_then(Tok::value).expect("store data");
+                let ea = a.wrapping_add(inst.imm as i64 as u64);
+                (ea, v, TileId::of_addr(ea))
+            };
+            self.outbox.push(
+                dst,
+                OpnPayload::StoreReq {
+                    frame: fin.frame,
+                    gen,
+                    lsid: inst.lsid,
+                    ea,
+                    val,
+                    bytes: inst.opcode.access_bytes(),
+                    nullified,
+                    ev: dev,
+                },
+            );
+        } else if inst.opcode.is_load() {
+            if nullified {
+                // A nullified load delivers null straight to its
+                // consumers; it is not a block output.
+                for t in inst.live_targets() {
+                    self.route_value(now, fin.frame, gen, t, Tok::Null, dev);
+                }
+            } else {
+                let a = l.and_then(Tok::value).expect("load address");
+                let ea = a.wrapping_add(inst.imm as i64 as u64);
+                stats.loads += 1;
+                self.outbox.push(
+                    TileId::of_addr(ea),
+                    OpnPayload::LoadReq {
+                        frame: fin.frame,
+                        gen,
+                        lsid: inst.lsid,
+                        opcode: inst.opcode,
+                        ea,
+                        target: inst.targets[0],
+                        ev: dev,
+                    },
+                );
+            }
+        } else if let Some(kind) = inst.opcode.branch_kind() {
+            let reg_target = if inst.opcode.format() == trips_isa::Format::G {
+                Some(l.and_then(Tok::value).unwrap_or(0))
+            } else {
+                None
+            };
+            self.outbox.push(
+                TileId::Gt,
+                OpnPayload::Branch {
+                    frame: fin.frame,
+                    gen,
+                    kind,
+                    exit: inst.exit,
+                    offset: inst.imm,
+                    reg_target,
+                    ev: dev,
+                },
+            );
+        } else {
+            // A value producer.
+            let tok = if inst.opcode == Opcode::Null || nullified {
+                Tok::Null
+            } else {
+                let lv = l.and_then(Tok::value).unwrap_or(0);
+                let rv = r.and_then(Tok::value).unwrap_or(0);
+                Tok::Val(eval(inst.opcode, lv, rv, inst.imm))
+            };
+            for t in inst.live_targets() {
+                self.route_value(now, fin.frame, gen, t, tok, dev);
+            }
+        }
+    }
+
+    fn route_value(
+        &mut self,
+        now: u64,
+        frame: FrameId,
+        gen: Gen,
+        target: Target,
+        tok: Tok,
+        ev: EvId,
+    ) {
+        match target {
+            Target::None => {}
+            Target::Inst { idx, slot } => {
+                let dest = TileId::of_inst(idx);
+                if dest == self.tile_id() {
+                    // Local bypass: delivered this cycle so the
+                    // consumer can issue back-to-back next cycle.
+                    self.local_q.push((now, frame, gen, idx, slot, tok, ev));
+                } else {
+                    self.outbox
+                        .push(dest, OpnPayload::Operand { frame, gen, idx, slot, tok, ev });
+                }
+            }
+            Target::Write { slot } => {
+                self.outbox.push(
+                    TileId::of_header_slot(slot),
+                    OpnPayload::WriteVal { frame, gen, wslot: slot, tok, ev },
+                );
+            }
+        }
+    }
+}
+
+fn pred_is_null(st: &Station) -> bool {
+    st.inst.pred != Pred::None && st.ops[2].map(|(t, _)| t) == Some(Tok::Null)
+}
+
+fn is_ready(st: &Station) -> bool {
+    let needs = st.inst.opcode.needs();
+    let data_ok = match needs {
+        OperandNeeds::None => true,
+        OperandNeeds::Left => st.ops[0].is_some(),
+        OperandNeeds::LeftRight => st.ops[0].is_some() && st.ops[1].is_some(),
+    };
+    let pred_ok = st.inst.pred == Pred::None || st.ops[2].is_some();
+    data_ok && pred_ok
+}
+
+/// Marks a station dead when its predicate has arrived and mismatches.
+fn check_dead(st: &mut Station) {
+    if st.inst.pred == Pred::None || st.state != SState::Waiting {
+        return;
+    }
+    if let Some((Tok::Val(v), _)) = st.ops[2] {
+        if !st.inst.pred.matches(v) {
+            st.state = SState::Dead;
+        }
+    }
+}
+

@@ -1,0 +1,208 @@
+//! Instruction tiles (§3.2).
+//!
+//! Each IT holds one bank of the L1 I-cache and acts as a slave to the
+//! GT: on a dispatch command it streams its 128-byte chunk to its row
+//! over eight cycles, four instructions per cycle (§4.1). IT0 holds
+//! header chunks and feeds the register tiles; IT1..IT4 hold body
+//! chunks and feed the ET rows (delivering the store mask to their
+//! row's DT on the first beat).
+//!
+//! Tag state lives at the GT (which holds "the single tag array"); the
+//! ITs model bank-port occupancy, dispatch pipelining, and the refill
+//! protocol's south-to-north completion chain.
+
+use std::collections::VecDeque;
+
+use trips_isa::mem::SparseMem;
+use trips_isa::{decode_body_chunk, decode_header, CHUNK_BYTES};
+
+use crate::config::CoreConfig;
+use crate::msg::{GdnFetch, GsnMsg, RowMsg};
+use crate::nets::{it_col_pos, row_pos_of_col, Nets};
+
+const BEATS: u8 = 8;
+
+#[derive(Debug)]
+struct DispatchJob {
+    cmd: GdnFetch,
+    beat: u8,
+}
+
+#[derive(Debug)]
+struct Refill {
+    addr: u64,
+    done_at: u64,
+    own_done: bool,
+    south_done: bool,
+    signalled: bool,
+}
+
+/// One instruction tile.
+pub struct InstTile {
+    /// Tile index 0..5; index 0 serves the header row.
+    pub index: usize,
+    jobs: VecDeque<DispatchJob>,
+    refill: Option<Refill>,
+    /// Dispatch beats issued (for utilization stats).
+    pub beats_issued: u64,
+}
+
+impl InstTile {
+    /// A fresh IT.
+    pub fn new(index: usize) -> InstTile {
+        InstTile { index, jobs: VecDeque::new(), refill: None, beats_issued: 0 }
+    }
+
+    /// True if the tile has no queued work (drain check).
+    pub fn idle(&self) -> bool {
+        self.jobs.is_empty() && self.refill.is_none()
+    }
+
+    /// One cycle.
+    pub fn tick(&mut self, now: u64, cfg: &CoreConfig, nets: &mut Nets, mem: &SparseMem) {
+        let pos = it_col_pos(self.index);
+
+        // Forwarded fetch commands arrive down the column.
+        while let Some(cmd) = nets.gdn_col.recv(now, pos) {
+            self.jobs.push_back(DispatchJob { cmd, beat: 0 });
+        }
+
+        // Refill commands.
+        while let Some(r) = nets.grn.recv(now, pos) {
+            let participates = self.index == 0 || self.index <= r.chunks as usize;
+            self.refill = Some(Refill {
+                addr: r.addr,
+                done_at: now + if participates { cfg.l2_latency } else { 0 },
+                own_done: !participates,
+                south_done: self.index == 4,
+                signalled: false,
+            });
+        }
+
+        // South neighbour's refill completion (chain positions put IT4
+        // furthest from the GT; completion daisies northward, §4.1).
+        while let Some(msg) = nets.gsn_it.recv(now, pos) {
+            if let GsnMsg::RefillDone { addr } = msg {
+                if let Some(r) = &mut self.refill {
+                    if r.addr == addr {
+                        r.south_done = true;
+                    }
+                }
+            }
+        }
+
+        // Advance the refill.
+        if let Some(r) = &mut self.refill {
+            if !r.own_done && now >= r.done_at {
+                r.own_done = true;
+            }
+            if r.own_done && r.south_done && !r.signalled {
+                r.signalled = true;
+                let north = if self.index == 0 { 0 } else { pos - 1 };
+                nets.gsn_it.send(now, pos, north, GsnMsg::RefillDone { addr: r.addr });
+            }
+            if r.signalled {
+                self.refill = None;
+            }
+        }
+
+        // One dispatch beat per cycle from the I-cache bank's single
+        // read port.
+        if let Some(job) = self.jobs.front_mut() {
+            let cmd = job.cmd;
+            let beat = job.beat;
+            job.beat += 1;
+            let finished = job.beat >= BEATS;
+            if finished {
+                self.jobs.pop_front();
+            }
+            self.beats_issued += 1;
+            self.issue_beat(now, nets, mem, cmd, beat);
+        }
+    }
+
+    fn issue_beat(&mut self, now: u64, nets: &mut Nets, mem: &SparseMem, cmd: GdnFetch, beat: u8) {
+        let row = &mut nets.gdn_rows[self.index];
+        if self.index == 0 {
+            // Header chunk: reads and writes to the RTs, four header
+            // slots per beat.
+            let mut bytes = [0u8; CHUNK_BYTES];
+            mem.read_bytes(cmd.addr, &mut bytes);
+            let Ok((header, _)) = decode_header(&bytes) else { return };
+            for s in (beat * 4)..(beat * 4 + 4) {
+                let rt_col = (s / 8) as usize;
+                if let Some(read) = header.reads[s as usize] {
+                    row.send(
+                        now,
+                        0,
+                        row_pos_of_col(rt_col),
+                        RowMsg::Read { frame: cmd.frame, gen: cmd.gen, slot: s, read, ev: cmd.ev },
+                    );
+                }
+                if let Some(write) = header.writes[s as usize] {
+                    row.send(
+                        now,
+                        0,
+                        row_pos_of_col(rt_col),
+                        RowMsg::Write {
+                            frame: cmd.frame,
+                            gen: cmd.gen,
+                            slot: s,
+                            write,
+                            ev: cmd.ev,
+                        },
+                    );
+                }
+            }
+            if beat == BEATS - 1 {
+                // Declarations complete: tell every RT.
+                for rt in 0..4usize {
+                    row.send(
+                        now,
+                        0,
+                        row_pos_of_col(rt),
+                        RowMsg::HeaderDone { frame: cmd.frame, gen: cmd.gen, ev: cmd.ev },
+                    );
+                }
+            }
+        } else {
+            // Body chunk: four instructions per beat to the row's ETs,
+            // plus the store mask to the row's DT on beat zero.
+            if beat == 0 {
+                row.send(
+                    now,
+                    0,
+                    1,
+                    RowMsg::DtMask {
+                        frame: cmd.frame,
+                        gen: cmd.gen,
+                        store_mask: cmd.store_mask,
+                        ev: cmd.ev,
+                    },
+                );
+            }
+            let chunk = self.index - 1;
+            if chunk >= cmd.chunks as usize {
+                return;
+            }
+            let base = cmd.addr + CHUNK_BYTES as u64 * (1 + chunk as u64);
+            let mut bytes = [0u8; CHUNK_BYTES];
+            mem.read_bytes(base, &mut bytes);
+            let Ok(insts) = decode_body_chunk(&bytes) else { return };
+            for s in (beat as usize * 4)..(beat as usize * 4 + 4) {
+                let inst = insts[s];
+                if inst.is_nop() {
+                    continue;
+                }
+                let idx = (chunk * 32 + s) as u8;
+                let col = s % 4;
+                row.send(
+                    now,
+                    0,
+                    row_pos_of_col(col),
+                    RowMsg::Inst { frame: cmd.frame, gen: cmd.gen, idx, inst, ev: cmd.ev },
+                );
+            }
+        }
+    }
+}

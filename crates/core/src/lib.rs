@@ -1,0 +1,70 @@
+//! # trips-core — the TRIPS prototype processor core, cycle by cycle
+//!
+//! This crate is the reproduction's `tsim-proc`: a cycle-level model
+//! of the distributed, tiled TRIPS core of *Distributed
+//! Microarchitectural Protocols in the TRIPS Prototype Processor*
+//! (MICRO-39, 2006). One [`Processor`] contains:
+//!
+//! * one **GT** (global control tile): block management, the
+//!   next-block predictor, fetch, flush, and commit orchestration;
+//! * five **IT**s: L1 I-cache banks streaming dispatch beats to their
+//!   rows;
+//! * four **RT**s: register banks with per-block read/write queues
+//!   that forward values between in-flight blocks;
+//! * sixteen **ET**s: single-issue dataflow pipelines with 64
+//!   reservation stations each;
+//! * four **DT**s: L1 D-cache banks with replicated load/store queues
+//!   and memory-side dependence predictors;
+//!
+//! connected by seven micronetworks (OPN, GDN, GCN, GSN, GRN, DSN and
+//! the modelled-away ESN). All traditionally-centralized functions —
+//! fetch, execution, flush, commit — run as the paper's distributed
+//! protocols over those networks; there is no global state shared
+//! between tiles other than the clock.
+//!
+//! ## Example
+//!
+//! ```
+//! use trips_core::{CoreConfig, Processor};
+//! use trips_tasm::{compile, ProgramBuilder, Quality, Opcode};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut p = ProgramBuilder::new();
+//! let mut f = p.func("main", 0);
+//! let a = f.iconst(40);
+//! let b = f.addi(a, 2);
+//! let buf = f.iconst(0x10_0000);
+//! f.store(Opcode::Sd, buf, 0, b);
+//! f.halt();
+//! f.finish();
+//! let image = compile(&p.finish(), Quality::Hand)?.image;
+//!
+//! let mut cpu = Processor::new(CoreConfig::prototype());
+//! let stats = cpu.run(&image, 100_000)?;
+//! assert_eq!(cpu.memory().read_u64(0x10_0000), 42);
+//! assert!(stats.blocks_committed >= 1);
+//! # Ok(())
+//! # }
+//! ```
+
+mod config;
+pub mod critpath;
+mod dt;
+mod et;
+mod gt;
+mod it;
+pub mod msg;
+mod nets;
+mod predictor;
+mod proc;
+mod rt;
+mod stats;
+
+pub use config::{
+    CoreConfig, PredictorConfig, ET_COLS, ET_ROWS, NUM_DTS, NUM_FRAMES, NUM_ITS, NUM_RTS,
+    RS_PER_FRAME,
+};
+pub use critpath::{Cat, CritBreakdown, CritPath, CATS, NUM_CATS};
+pub use predictor::{NextBlockPredictor, Prediction, PredictorCheckpoint};
+pub use proc::{Processor, SimError};
+pub use stats::{BlockTiming, CoreStats};

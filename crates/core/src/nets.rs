@@ -1,0 +1,250 @@
+//! The seven micronetworks of the core, bundled.
+
+use std::collections::VecDeque;
+
+use trips_micronet::{Chain, Mesh, MeshMsg};
+
+use crate::config::CoreConfig;
+use crate::msg::{DsnMsg, GcnMsg, GdnFetch, GrnRefill, GsnMsg, OpnPayload, RowMsg, TileId};
+
+/// Chain positions of the GDN/GRN instruction-tile column: the GT at
+/// 0, IT0..IT4 at 1..=5.
+pub fn it_col_pos(it: usize) -> usize {
+    1 + it
+}
+
+/// Chain positions within a GDN row: the IT at 0, the GT or DT at 1,
+/// and the RTs or ETs at 2..=5.
+pub fn row_pos_of_col(col: usize) -> usize {
+    2 + col
+}
+
+/// Chain positions of the RT status chain: GT at 0, RT0..RT3 at 1..=4.
+pub fn rt_chain_pos(rt: usize) -> usize {
+    1 + rt
+}
+
+/// Chain positions of the DT status chain: GT at 0, DT0..DT3 at 1..=4.
+pub fn dt_chain_pos(dt: usize) -> usize {
+    1 + dt
+}
+
+/// GCN position of a routed tile (0 = GT, 1..=4 RTs, 5..=8 DTs,
+/// 9..=24 ETs row-major).
+pub fn gcn_pos(tile: TileId) -> usize {
+    match tile {
+        TileId::Gt => 0,
+        TileId::Rt(b) => 1 + b as usize,
+        TileId::Dt(d) => 5 + d as usize,
+        TileId::Et(r, c) => 9 + r as usize * 4 + c as usize,
+    }
+}
+
+/// All micronetworks of one core.
+pub struct Nets {
+    /// Operand network(s): one in the prototype, two for the
+    /// bandwidth ablation. Traffic round-robins across them.
+    pub opn: Vec<Mesh<OpnPayload>>,
+    opn_next: usize,
+    /// GDN, GT → IT column (fetch commands).
+    pub gdn_col: Chain<GdnFetch>,
+    /// GDN rows, IT → row tiles (dispatch), one chain per row 0..=4.
+    pub gdn_rows: Vec<Chain<RowMsg>>,
+    /// GSN along the RT row (block status / commit acks).
+    pub gsn_rt: Chain<GsnMsg>,
+    /// GSN along the DT column.
+    pub gsn_dt: Chain<GsnMsg>,
+    /// GSN along the IT column (refill completion).
+    pub gsn_it: Chain<GsnMsg>,
+    /// GCN commit/flush wave over all 25 routed tiles.
+    pub gcn: Chain<GcnMsg>,
+    /// GRN refill commands, GT → ITs.
+    pub grn: Chain<GrnRefill>,
+    /// DSN between the DTs (store-arrival broadcasts).
+    pub dsn: Chain<DsnMsg>,
+}
+
+impl Nets {
+    /// Networks for the given configuration.
+    pub fn new(cfg: &CoreConfig) -> Nets {
+        Nets {
+            opn: (0..cfg.opn_networks.max(1))
+                .map(|_| Mesh::new(5, 5, cfg.opn_fifo))
+                .collect(),
+            opn_next: 0,
+            gdn_col: Chain::new(6),
+            gdn_rows: (0..5).map(|_| Chain::new(6)).collect(),
+            gsn_rt: Chain::new(5),
+            gsn_dt: Chain::new(5),
+            gsn_it: Chain::new(6),
+            gcn: Chain::new(25),
+            grn: Chain::new(6),
+            dsn: Chain::new(4),
+        }
+    }
+
+    /// Broadcasts a GCN message from the GT; the wave reaches each
+    /// tile after its two-dimensional manhattan distance (§4.3: one
+    /// hop per cycle across the array).
+    pub fn gcn_broadcast(&mut self, now: u64, msg: GcnMsg) {
+        let from = TileId::Gt.opn();
+        for b in 0..4u8 {
+            let t = TileId::Rt(b);
+            self.gcn.send_delayed(now, gcn_pos(t), u64::from(from.distance(t.opn())), msg);
+        }
+        for d in 0..4u8 {
+            let t = TileId::Dt(d);
+            self.gcn.send_delayed(now, gcn_pos(t), u64::from(from.distance(t.opn())), msg);
+        }
+        for r in 0..4u8 {
+            for c in 0..4u8 {
+                let t = TileId::Et(r, c);
+                self.gcn.send_delayed(now, gcn_pos(t), u64::from(from.distance(t.opn())), msg);
+            }
+        }
+    }
+
+    /// Ticks the contention-modelled networks.
+    pub fn tick(&mut self, now: u64) {
+        for m in &mut self.opn {
+            m.tick(now);
+        }
+    }
+
+    /// True once every network has drained.
+    pub fn idle(&self) -> bool {
+        self.opn.iter().all(|m| m.in_flight() == 0)
+            && self.gdn_col.idle()
+            && self.gdn_rows.iter().all(Chain::idle)
+            && self.gsn_rt.idle()
+            && self.gsn_dt.idle()
+            && self.gsn_it.idle()
+            && self.gcn.idle()
+            && self.grn.idle()
+            && self.dsn.idle()
+    }
+}
+
+/// An operand-network outbox: tiles enqueue sends here and the helper
+/// injects up to one message per network per cycle, preserving order
+/// and modelling the single local-inject port of an OPN router.
+#[derive(Debug, Default)]
+pub struct OpnOutbox {
+    queue: VecDeque<(TileId, OpnPayload)>,
+}
+
+impl OpnOutbox {
+    /// Queues a message for `dst`.
+    pub fn push(&mut self, dst: TileId, payload: OpnPayload) {
+        self.queue.push_back((dst, payload));
+    }
+
+    /// True if nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Injects up to one queued message per OPN network this cycle.
+    pub fn flush(&mut self, nets: &mut Nets, now: u64, src: TileId) {
+        for _ in 0..nets.opn.len() {
+            let Some(&(_dst, _)) = self.queue.front() else { return };
+            let n = nets.opn_next % nets.opn.len();
+            nets.opn_next = nets.opn_next.wrapping_add(1);
+            let mesh = &mut nets.opn[n];
+            if !mesh.can_inject(src.opn()) {
+                continue;
+            }
+            let (dst, payload) = self.queue.pop_front().expect("checked front");
+            let ok = mesh.inject(now, MeshMsg::new(src.opn(), dst.opn(), payload));
+            debug_assert!(ok, "can_inject said yes");
+        }
+    }
+}
+
+/// Drains one delivered OPN message for `tile`, scanning the parallel
+/// networks round-robin. Returns the message with its hop/queue
+/// counts.
+pub fn opn_recv(nets: &mut Nets, tile: TileId) -> Option<MeshMsg<OpnPayload>> {
+    let node = tile.opn();
+    for m in &mut nets.opn {
+        if let Some(msg) = m.eject(node) {
+            return Some(msg);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::FrameId;
+    use trips_isa::semantics::Tok;
+    use trips_isa::OperandSlot;
+
+    fn operand() -> OpnPayload {
+        OpnPayload::Operand {
+            frame: FrameId(0),
+            gen: 0,
+            idx: 5,
+            slot: OperandSlot::Left,
+            tok: Tok::Val(7),
+            ev: 0,
+        }
+    }
+
+    #[test]
+    fn outbox_single_port_per_network() {
+        let cfg = CoreConfig::prototype();
+        let mut nets = Nets::new(&cfg);
+        let mut ob = OpnOutbox::default();
+        ob.push(TileId::Et(0, 1), operand());
+        ob.push(TileId::Et(0, 1), operand());
+        ob.flush(&mut nets, 0, TileId::Et(0, 0));
+        assert!(!ob.is_empty(), "one network, one inject per cycle");
+        ob.flush(&mut nets, 1, TileId::Et(0, 0));
+        assert!(ob.is_empty());
+    }
+
+    #[test]
+    fn two_networks_double_injection() {
+        let cfg = CoreConfig { opn_networks: 2, ..CoreConfig::prototype() };
+        let mut nets = Nets::new(&cfg);
+        let mut ob = OpnOutbox::default();
+        ob.push(TileId::Et(0, 1), operand());
+        ob.push(TileId::Et(0, 1), operand());
+        ob.flush(&mut nets, 0, TileId::Et(0, 0));
+        assert!(ob.is_empty(), "two networks accept two per cycle");
+    }
+
+    #[test]
+    fn gcn_wave_arrives_at_manhattan_distance() {
+        let cfg = CoreConfig::prototype();
+        let mut nets = Nets::new(&cfg);
+        let msg = GcnMsg::Commit { frame: FrameId(1), gen: 0 };
+        nets.gcn_broadcast(0, msg);
+        // RT0 is one hop away.
+        assert_eq!(nets.gcn.recv(1, gcn_pos(TileId::Rt(0))), Some(msg));
+        // ET(3,3) is eight hops away.
+        assert_eq!(nets.gcn.recv(7, gcn_pos(TileId::Et(3, 3))), None);
+        assert_eq!(nets.gcn.recv(8, gcn_pos(TileId::Et(3, 3))), Some(msg));
+    }
+
+    #[test]
+    fn opn_roundtrip_through_fabric() {
+        let cfg = CoreConfig::prototype();
+        let mut nets = Nets::new(&cfg);
+        let mut ob = OpnOutbox::default();
+        ob.push(TileId::Gt, operand());
+        ob.flush(&mut nets, 0, TileId::Et(3, 3));
+        let mut got = None;
+        for t in 0..30 {
+            nets.tick(t);
+            if let Some(m) = opn_recv(&mut nets, TileId::Gt) {
+                got = Some((t, m));
+                break;
+            }
+        }
+        let (_, m) = got.expect("delivered");
+        assert_eq!(m.hops, 8);
+    }
+}

@@ -1,0 +1,188 @@
+//! The assembled processor: one GT, five ITs, four RTs, sixteen ETs,
+//! four DTs, and the seven micronetworks connecting them.
+
+use std::fmt;
+
+use trips_isa::mem::SparseMem;
+use trips_isa::{ArchReg, ProgramImage};
+use trips_micronet::MeshStats;
+
+use crate::config::{CoreConfig, ET_COLS, ET_ROWS, NUM_DTS, NUM_ITS, NUM_RTS};
+use crate::critpath::CritPath;
+use crate::dt::DataTile;
+use crate::et::ExecTile;
+use crate::gt::GlobalTile;
+use crate::it::InstTile;
+use crate::nets::Nets;
+use crate::rt::RegTile;
+use crate::stats::CoreStats;
+
+/// Errors from running the processor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The run did not halt within the cycle budget.
+    Timeout {
+        /// Cycles simulated.
+        cycles: u64,
+        /// Blocks committed before the timeout.
+        blocks_committed: u64,
+        /// Frames still in flight (for diagnosing deadlocks).
+        in_flight: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Timeout { cycles, blocks_committed, in_flight } => write!(
+                f,
+                "timeout after {cycles} cycles ({blocks_committed} blocks committed, \
+                 {in_flight} frames in flight)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// A TRIPS processor core.
+pub struct Processor {
+    cfg: CoreConfig,
+    gt: GlobalTile,
+    its: Vec<InstTile>,
+    rts: Vec<RegTile>,
+    ets: Vec<ExecTile>,
+    dts: Vec<DataTile>,
+    nets: Nets,
+    mem: SparseMem,
+    crit: CritPath,
+    stats: CoreStats,
+    cycle: u64,
+}
+
+impl Processor {
+    /// A processor with the given configuration (state is built when
+    /// [`Processor::run`] loads a program).
+    pub fn new(cfg: CoreConfig) -> Processor {
+        let mut p = Processor {
+            gt: GlobalTile::new(&cfg, 0),
+            its: Vec::new(),
+            rts: Vec::new(),
+            ets: Vec::new(),
+            dts: Vec::new(),
+            nets: Nets::new(&cfg),
+            mem: SparseMem::new(),
+            crit: CritPath::new(cfg.critpath),
+            stats: CoreStats::default(),
+            cycle: 0,
+            cfg,
+        };
+        p.reset(0);
+        p
+    }
+
+    fn reset(&mut self, entry: u64) {
+        self.gt = GlobalTile::new(&self.cfg, entry);
+        self.its = (0..NUM_ITS).map(InstTile::new).collect();
+        self.rts = (0..NUM_RTS).map(|b| RegTile::new(b as u8)).collect();
+        self.ets = (0..ET_ROWS)
+            .flat_map(|r| (0..ET_COLS).map(move |c| ExecTile::new(r as u8, c as u8)))
+            .collect();
+        self.dts = (0..NUM_DTS).map(|d| DataTile::new(d as u8, &self.cfg)).collect();
+        self.nets = Nets::new(&self.cfg);
+        self.crit = CritPath::new(self.cfg.critpath);
+        self.stats = CoreStats::default();
+        self.cycle = 0;
+    }
+
+    /// The simulated memory (for inspecting results after a run).
+    pub fn memory(&self) -> &SparseMem {
+        &self.mem
+    }
+
+    /// An architectural register value (thread 0).
+    pub fn arch_reg(&self, reg: ArchReg) -> u64 {
+        self.rts[reg.bank() as usize].arch_reg(reg.index_in_bank())
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
+    }
+
+    /// Runs `image` from its entry block until a `halt` branch commits
+    /// or `max_cycles` elapse.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Timeout`] if the program does not halt in budget.
+    pub fn run(&mut self, image: &ProgramImage, max_cycles: u64) -> Result<CoreStats, SimError> {
+        self.reset(image.entry);
+        self.mem = SparseMem::from_image(image);
+        while !self.gt.halted {
+            if self.cycle >= max_cycles {
+                return Err(SimError::Timeout {
+                    cycles: self.cycle,
+                    blocks_committed: self.stats.blocks_committed,
+                    in_flight: self.gt.in_flight(),
+                });
+            }
+            self.tick();
+        }
+        self.stats.cycles = self.cycle;
+        self.stats.opn = self.nets.opn.iter().fold(MeshStats::default(), |mut acc, m| {
+            acc.injected += m.stats.injected;
+            acc.ejected += m.stats.ejected;
+            acc.inject_fails += m.stats.inject_fails;
+            acc.total_hops += m.stats.total_hops;
+            acc.total_queued += m.stats.total_queued;
+            acc.total_latency += m.stats.total_latency;
+            acc
+        });
+        if self.crit.enabled() {
+            self.stats.critpath = Some(self.crit.walk(self.gt.final_ev));
+        }
+        Ok(self.stats.clone())
+    }
+
+    /// True when every tile and network has drained (no queued work
+    /// besides architectural state) — useful for tests that stop the
+    /// clock manually.
+    pub fn quiesced(&self) -> bool {
+        self.nets.idle()
+            && self.its.iter().all(|t| t.idle())
+            && self.rts.iter().all(|t| t.idle())
+            && self.ets.iter().all(|t| t.idle())
+            && self.dts.iter().all(|t| t.idle())
+    }
+
+    /// A diagnostic snapshot for debugging hangs.
+    pub fn dump(&self) -> String {
+        format!("cycle {}\n{}", self.cycle, self.gt.dump())
+    }
+
+    /// Renders the tail of the recorded critical path (debugging).
+    pub fn debug_critpath(&self, n: usize) -> String {
+        self.crit.debug_chain(self.gt.final_ev, n)
+    }
+
+    /// Advances one cycle.
+    pub fn tick(&mut self) {
+        let now = self.cycle;
+        self.gt.tick(now, &self.cfg, &mut self.nets, &mut self.crit, &mut self.stats, &self.mem);
+        for it in &mut self.its {
+            it.tick(now, &self.cfg, &mut self.nets, &self.mem);
+        }
+        for rt in &mut self.rts {
+            rt.tick(now, &self.cfg, &mut self.nets, &mut self.crit, &mut self.stats);
+        }
+        for et in &mut self.ets {
+            et.tick(now, &self.cfg, &mut self.nets, &mut self.crit, &mut self.stats);
+        }
+        for dt in &mut self.dts {
+            dt.tick(now, &self.cfg, &mut self.nets, &mut self.crit, &mut self.stats, &mut self.mem);
+        }
+        self.nets.tick(now);
+        self.cycle += 1;
+    }
+}

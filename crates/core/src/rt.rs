@@ -1,0 +1,450 @@
+//! Register tiles (§3.3).
+//!
+//! Each RT owns one 32-register bank plus per-frame read and write
+//! queues. The queues perform the work register renaming does in a
+//! superscalar: a read first searches the write queues of all older
+//! in-flight blocks and either forwards the matching write's value,
+//! defers until it arrives, or falls through to the architectural
+//! file (§4.2). Write arrival drives distributed block-completion
+//! detection; commit drains the write queue into the architectural
+//! file and joins the commit-acknowledgement daisy chain (§4.4).
+
+use trips_isa::semantics::Tok;
+use trips_isa::{ArchReg, ReadInst, Target};
+
+use crate::config::{CoreConfig, NUM_FRAMES};
+use crate::critpath::{Cat, CritPath, NO_EVENT};
+use crate::msg::{EvId, FrameId, Gen, GcnMsg, GsnMsg, OpnPayload, RowMsg, TileId};
+use crate::nets::{gcn_pos, opn_recv, row_pos_of_col, rt_chain_pos, Nets, OpnOutbox};
+use crate::stats::CoreStats;
+
+#[derive(Debug, Default, Clone)]
+struct WriteEntry {
+    reg: Option<ArchReg>,
+    declared: bool,
+    value: Option<(Tok, EvId)>,
+    waiters: Vec<Waiter>,
+}
+
+#[derive(Debug, Clone)]
+struct Waiter {
+    frame: FrameId,
+    gen: Gen,
+    read: ReadInst,
+    ev: EvId,
+    /// Resume the older-frame search from the order position just
+    /// below this entry's frame if the value turns out to be null.
+    resume_below: FrameId,
+}
+
+#[derive(Debug, Default)]
+struct RtFrame {
+    active: bool,
+    gen: Gen,
+    writes: [WriteEntry; 8],
+    header_done: bool,
+    done_sent: bool,
+    east_done: bool,
+    done_ev: EvId,
+    committing: bool,
+    commit_cursor: usize,
+    commit_done: bool,
+    east_ack: bool,
+    ack_sent: bool,
+}
+
+/// One register tile.
+pub struct RegTile {
+    /// Bank index 0..4.
+    pub bank: u8,
+    regs: [u64; 32],
+    frames: [RtFrame; NUM_FRAMES],
+    order: Vec<FrameId>,
+    outbox: OpnOutbox,
+}
+
+impl RegTile {
+    /// A fresh RT for `bank`.
+    pub fn new(bank: u8) -> RegTile {
+        RegTile {
+            bank,
+            regs: [0; 32],
+            frames: Default::default(),
+            order: Vec::new(),
+            outbox: OpnOutbox::default(),
+        }
+    }
+
+    /// Reads an architectural register of this bank (tests/debug).
+    pub fn arch_reg(&self, gr: u8) -> u64 {
+        self.regs[gr as usize]
+    }
+
+    /// True when no frame state or traffic is pending.
+    pub fn idle(&self) -> bool {
+        self.order.is_empty() && self.outbox.is_empty()
+    }
+
+    /// Activates (or validates) a frame. Only GDN dispatch messages
+    /// may establish the age order — OPN traffic can overtake the
+    /// dispatch chains, and the write-queue search depends on correct
+    /// relative block ages.
+    fn ensure_frame(&mut self, frame: FrameId, gen: Gen, from_dispatch: bool) -> bool {
+        let f = &mut self.frames[frame.0 as usize];
+        if f.gen > gen {
+            return false; // stale message for a flushed/retired incarnation
+        }
+        if !(f.active && f.gen == gen) {
+            *f = RtFrame {
+                active: true,
+                gen,
+                east_done: self.bank == 3,
+                east_ack: self.bank == 3,
+                done_ev: NO_EVENT,
+                ..RtFrame::default()
+            };
+        }
+        if from_dispatch && !self.order.contains(&frame) {
+            self.order.push(frame);
+        }
+        true
+    }
+
+    fn frame_ok(&self, frame: FrameId, gen: Gen) -> bool {
+        let f = &self.frames[frame.0 as usize];
+        f.active && f.gen == gen
+    }
+
+    /// One cycle.
+    pub fn tick(
+        &mut self,
+        now: u64,
+        cfg: &CoreConfig,
+        nets: &mut Nets,
+        crit: &mut CritPath,
+        stats: &mut CoreStats,
+    ) {
+        let pos = row_pos_of_col(self.bank as usize);
+
+        // Dispatch messages from IT0's row.
+        while let Some(msg) = nets.gdn_rows[0].recv(now, pos) {
+            match msg {
+                RowMsg::Read { frame, gen, read, ev, .. } => {
+                    if self.ensure_frame(frame, gen, true) {
+                        let dev = crit.event(now, ev, Cat::IFetch, now - crit.time_of(ev));
+                        self.resolve_read(now, frame, gen, read, dev, None, crit);
+                    }
+                }
+                RowMsg::Write { frame, gen, slot, write, .. } => {
+                    if self.ensure_frame(frame, gen, true) {
+                        let e = &mut self.frames[frame.0 as usize].writes[slot as usize % 8];
+                        e.reg = Some(write.reg);
+                        e.declared = true;
+                    }
+                }
+                RowMsg::HeaderDone { frame, gen, ev } => {
+                    if self.ensure_frame(frame, gen, true) {
+                        let f = &mut self.frames[frame.0 as usize];
+                        f.header_done = true;
+                        // Anchor the completion chain to the dispatch
+                        // so a block with no register writes still
+                        // traces back through fetch on the critical
+                        // path.
+                        let anchor =
+                            crit.event(now, ev, Cat::IFetch, now.saturating_sub(crit.time_of(ev)));
+                        f.done_ev = crit.later(f.done_ev, anchor);
+                    }
+                }
+                RowMsg::Inst { .. } | RowMsg::DtMask { .. } => {
+                    unreachable!("body traffic on the header row")
+                }
+            }
+        }
+
+        // Write values from the OPN.
+        while let Some(m) = opn_recv(nets, TileId::Rt(self.bank)) {
+            let (hops, queued) = (m.hops, m.queued);
+            if let OpnPayload::WriteVal { frame, gen, wslot, tok, ev } = m.payload {
+                if !self.ensure_frame(frame, gen, false) {
+                    continue;
+                }
+                let e_hop =
+                    crit.event(now - u64::from(queued), ev, Cat::OpnHop, u64::from(hops) + 1);
+                let e_arr = crit.event(now, e_hop, Cat::OpnContention, u64::from(queued));
+                self.write_arrived(now, frame, wslot, tok, e_arr, crit);
+            }
+        }
+
+        // GCN commit/flush.
+        while let Some(msg) = nets.gcn.recv(now, gcn_pos(TileId::Rt(self.bank))) {
+            match msg {
+                GcnMsg::Commit { frame, gen } => {
+                    if self.frame_ok(frame, gen) {
+                        self.frames[frame.0 as usize].committing = true;
+                    }
+                }
+                GcnMsg::Flush { mask, gens } => self.flush(now, mask, gens, crit),
+            }
+        }
+
+        // East neighbour's status chain messages.
+        while let Some(msg) = nets.gsn_rt.recv(now, rt_chain_pos(self.bank as usize)) {
+            match msg {
+                GsnMsg::WritesDone { frame, gen, ev } => {
+                    if self.frame_ok(frame, gen) {
+                        let f = &mut self.frames[frame.0 as usize];
+                        f.east_done = true;
+                        f.done_ev = crit.later(f.done_ev, ev);
+                    }
+                }
+                GsnMsg::WritesCommitted { frame, gen } => {
+                    if self.frame_ok(frame, gen) {
+                        self.frames[frame.0 as usize].east_ack = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // Advance completion signalling, commit draining, and acks.
+        self.advance_frames(now, cfg, nets, crit);
+
+        self.outbox.flush(nets, now, TileId::Rt(self.bank));
+        let _ = stats;
+    }
+
+    fn advance_frames(
+        &mut self,
+        now: u64,
+        cfg: &CoreConfig,
+        nets: &mut Nets,
+        crit: &mut CritPath,
+    ) {
+        let my_pos = rt_chain_pos(self.bank as usize);
+        let west = my_pos - 1;
+        let mut cleared: Vec<FrameId> = Vec::new();
+        for fi in 0..NUM_FRAMES {
+            let frame = FrameId(fi as u8);
+            let f = &mut self.frames[fi];
+            if !f.active {
+                continue;
+            }
+            // Block-completion detection: all declared writes have
+            // values and the east neighbour agrees.
+            if !f.done_sent && f.header_done && f.east_done {
+                let all = f.writes.iter().all(|w| !w.declared || w.value.is_some());
+                if all {
+                    f.done_sent = true;
+                    let ev = crit.event(now, f.done_ev, Cat::BlockComplete, 1);
+                    nets.gsn_rt.send(
+                        now,
+                        my_pos,
+                        west,
+                        GsnMsg::WritesDone { frame, gen: f.gen, ev },
+                    );
+                }
+            }
+            // Commit: drain writes to the architectural file.
+            if f.committing && !f.commit_done {
+                for _ in 0..cfg.commit_bw {
+                    if f.commit_cursor >= 8 {
+                        break;
+                    }
+                    let e = &f.writes[f.commit_cursor];
+                    if let (true, Some(reg), Some((Tok::Val(v), _))) =
+                        (e.declared, e.reg, e.value)
+                    {
+                        self.regs[reg.index_in_bank() as usize] = v;
+                    }
+                    f.commit_cursor += 1;
+                }
+                if f.commit_cursor >= 8 {
+                    f.commit_done = true;
+                }
+            }
+            if f.commit_done && f.east_ack && !f.ack_sent {
+                f.ack_sent = true;
+                nets.gsn_rt.send(
+                    now,
+                    my_pos,
+                    west,
+                    GsnMsg::WritesCommitted { frame, gen: f.gen },
+                );
+                // Deactivate; the generation bump matches the GT's
+                // deallocation bump so stragglers read as stale.
+                f.active = false;
+                f.gen += 1;
+                cleared.push(frame);
+            }
+        }
+        for frame in cleared {
+            self.order.retain(|&x| x != frame);
+        }
+    }
+
+    fn flush(&mut self, now: u64, mask: u8, gens: [Gen; 8], crit: &mut CritPath) {
+        let mut orphaned: Vec<Waiter> = Vec::new();
+        for fi in 0..NUM_FRAMES {
+            if mask & (1 << fi) == 0 {
+                continue;
+            }
+            let f = &mut self.frames[fi];
+            if f.active && f.gen < gens[fi] {
+                for w in &mut f.writes {
+                    orphaned.append(&mut w.waiters);
+                }
+                *f = RtFrame { active: false, gen: gens[fi], ..RtFrame::default() };
+                self.order.retain(|&x| x.0 as usize != fi);
+            } else if !f.active && f.gen < gens[fi] {
+                f.gen = gens[fi];
+            }
+        }
+        // Waiters from surviving frames must retry their search (they
+        // were waiting on a squashed producer). Waiters from flushed
+        // frames are gone with their frames.
+        for w in orphaned {
+            if self.frame_ok(w.frame, w.gen) {
+                let resume = Some(w.resume_below);
+                self.resolve_read(now, w.frame, w.gen, w.read, w.ev, resume, crit);
+            }
+        }
+    }
+
+    /// Resolves a read: search older frames' write queues from the
+    /// youngest older frame (or from below `resume_below`), forwarding
+    /// or deferring; fall through to the architectural file.
+    fn resolve_read(
+        &mut self,
+        now: u64,
+        frame: FrameId,
+        gen: Gen,
+        read: ReadInst,
+        ev: EvId,
+        resume_below: Option<FrameId>,
+        crit: &mut CritPath,
+    ) {
+        let start = match resume_below {
+            Some(below) => self.order.iter().position(|&x| x == below).unwrap_or(
+                self.order.iter().position(|&x| x == frame).unwrap_or(self.order.len()),
+            ),
+            None => self
+                .order
+                .iter()
+                .position(|&x| x == frame)
+                .expect("reader frame must be in dispatch order"),
+        };
+        for oi in (0..start).rev() {
+            let older = self.order[oi];
+            let of = &mut self.frames[older.0 as usize];
+            if !of.active {
+                continue;
+            }
+            let hit = of
+                .writes
+                .iter_mut()
+                .find(|w| w.declared && w.reg == Some(read.reg));
+            if let Some(entry) = hit {
+                match entry.value {
+                    None => {
+                        entry.waiters.push(Waiter {
+                            frame,
+                            gen,
+                            read,
+                            ev,
+                            resume_below: older,
+                        });
+                        return;
+                    }
+                    Some((Tok::Val(v), vev)) => {
+                        let pe = crit.later(ev, vev);
+                        let dev = crit.event(
+                            now,
+                            pe,
+                            Cat::Other,
+                            now.saturating_sub(crit.time_of(pe)).max(1),
+                        );
+                        self.deliver(frame, gen, read.targets, Tok::Val(v), dev);
+                        return;
+                    }
+                    Some((Tok::Null, _)) => continue, // nullified: older value stands
+                }
+            }
+        }
+        // Architectural file.
+        let v = self.regs[read.reg.index_in_bank() as usize];
+        let dev = crit.event(now, ev, Cat::Other, 1);
+        self.deliver(frame, gen, read.targets, Tok::Val(v), dev);
+    }
+
+    fn write_arrived(
+        &mut self,
+        now: u64,
+        frame: FrameId,
+        wslot: u8,
+        tok: Tok,
+        ev: EvId,
+        crit: &mut CritPath,
+    ) {
+        let fi = frame.0 as usize;
+        let slot = wslot as usize % 8;
+        let waiters;
+        {
+            let f = &mut self.frames[fi];
+            let e = &mut f.writes[slot];
+            debug_assert!(e.value.is_none(), "double write delivery to W[{wslot}]");
+            e.value = Some((tok, ev));
+            f.done_ev = crit.later(f.done_ev, ev);
+            waiters = std::mem::take(&mut e.waiters);
+        }
+        for w in waiters {
+            if !self.frame_ok(w.frame, w.gen) {
+                continue;
+            }
+            match tok {
+                Tok::Val(v) => {
+                    let pe = crit.later(w.ev, ev);
+                    let dev = crit.event(
+                        now,
+                        pe,
+                        Cat::Other,
+                        now.saturating_sub(crit.time_of(pe)).max(1),
+                    );
+                    self.deliver(w.frame, w.gen, w.read.targets, Tok::Val(v), dev);
+                }
+                Tok::Null => {
+                    // The write was nullified: resume the search below
+                    // the producing frame.
+                    self.resolve_read(
+                        now,
+                        w.frame,
+                        w.gen,
+                        w.read,
+                        w.ev,
+                        Some(w.resume_below),
+                        crit,
+                    );
+                }
+            }
+        }
+    }
+
+    fn deliver(&mut self, frame: FrameId, gen: Gen, targets: [Target; 2], tok: Tok, ev: EvId) {
+        for t in targets {
+            match t {
+                Target::None => {}
+                Target::Inst { idx, slot } => {
+                    self.outbox.push(
+                        TileId::of_inst(idx),
+                        OpnPayload::Operand { frame, gen, idx, slot, tok, ev },
+                    );
+                }
+                Target::Write { slot } => {
+                    self.outbox.push(
+                        TileId::of_header_slot(slot),
+                        OpnPayload::WriteVal { frame, gen, wslot: slot, tok, ev },
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Run statistics.
+
+use crate::critpath::CritBreakdown;
+use trips_micronet::MeshStats;
+
+/// Lifecycle timestamps of one committed block, for the Figure 5b
+/// commit-pipeline timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockTiming {
+    /// Block header address.
+    pub pc: u64,
+    /// Cycle the GT began fetching the block.
+    pub fetch: u64,
+    /// Cycle the GT issued the dispatch command.
+    pub dispatch: u64,
+    /// Cycle the GT learned all outputs arrived (block complete).
+    pub complete: u64,
+    /// Cycle the commit command went out on the GCN.
+    pub commit: u64,
+    /// Cycle both commit acknowledgements arrived (deallocation).
+    pub ack: u64,
+}
+
+/// Statistics accumulated over one run of the core.
+#[derive(Debug, Clone, Default)]
+pub struct CoreStats {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Blocks committed.
+    pub blocks_committed: u64,
+    /// Useful instructions executed by committed blocks (the IPC
+    /// numerator; register reads/writes and nullified outputs count,
+    /// as in the hardware's accounting of fired instructions).
+    pub insts_committed: u64,
+    /// Instructions executed including squashed (speculative) work.
+    pub insts_executed: u64,
+    /// Blocks fetched (including squashed).
+    pub blocks_fetched: u64,
+    /// Pipeline flushes from branch mispredictions.
+    pub branch_flushes: u64,
+    /// Pipeline flushes from memory-ordering violations.
+    pub violation_flushes: u64,
+    /// Next-block predictions made.
+    pub predictions: u64,
+    /// Next-block mispredictions.
+    pub mispredictions: u64,
+    /// Loads executed.
+    pub loads: u64,
+    /// Stores performed.
+    pub stores: u64,
+    /// L1D hits.
+    pub l1d_hits: u64,
+    /// L1D misses.
+    pub l1d_misses: u64,
+    /// I-cache block misses (refills).
+    pub icache_refills: u64,
+    /// Loads stalled by the dependence predictor.
+    pub deppred_stalls: u64,
+    /// Store-to-load forwards in the LSQ.
+    pub lsq_forwards: u64,
+    /// Peak LSQ occupancy observed across DTs (for the §5.2 claim that
+    /// maximum occupancy of the replicated LSQs is ~25%).
+    pub lsq_peak_occupancy: usize,
+    /// Fanout `mov` instructions executed.
+    pub fanout_movs: u64,
+    /// Operand-network statistics (summed across parallel networks).
+    pub opn: MeshStats,
+    /// Critical-path breakdown (present when recording was enabled).
+    pub critpath: Option<CritBreakdown>,
+    /// Lifecycle timestamps of the first committed blocks (up to 64),
+    /// recording the Figure 5b fetch/complete/commit/ack overlap.
+    pub timeline: Vec<BlockTiming>,
+}
+
+impl CoreStats {
+    /// Committed instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.insts_committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Next-block prediction accuracy.
+    pub fn prediction_accuracy(&self) -> f64 {
+        if self.predictions == 0 {
+            1.0
+        } else {
+            1.0 - self.mispredictions as f64 / self.predictions as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_rates() {
+        let s = CoreStats {
+            cycles: 100,
+            insts_committed: 250,
+            predictions: 10,
+            mispredictions: 1,
+            ..CoreStats::default()
+        };
+        assert!((s.ipc() - 2.5).abs() < 1e-12);
+        assert!((s.prediction_accuracy() - 0.9).abs() < 1e-12);
+        let empty = CoreStats::default();
+        assert_eq!(empty.ipc(), 0.0);
+        assert_eq!(empty.prediction_accuracy(), 1.0);
+    }
+}

@@ -1,0 +1,336 @@
+//! A textual assembler for single blocks, accepting the notation the
+//! [`disassemble`](crate::disassemble) function emits (and Figure 5a
+//! of the paper uses):
+//!
+//! ```text
+//! R[0]  read R4 N[1,L] N[2,L]
+//! N[0]  movi #0 N[1,R]
+//! N[1]  teq N[2,P] N[3,P]
+//! N[2]  p_f muli #4 N[32,L]
+//! N[32] lw #8 [lsid=0] N[33,L]
+//! N[34] sw #0 [lsid=1]
+//! N[35] bro exit=0 offset=16
+//! W[5]  write R7
+//! ```
+//!
+//! Lines starting with `;` are comments. The store mask is derived
+//! from the store instructions' LSIDs.
+
+use std::collections::HashMap;
+
+use crate::block::{ReadInst, TripsBlock, WriteInst};
+use crate::inst::{ArchReg, Instruction, Pred, Target};
+use crate::opcode::{Format, Opcode};
+
+/// Errors from the textual assembler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, AsmError> {
+    Err(AsmError { line, msg: msg.into() })
+}
+
+fn mnemonic_table() -> HashMap<&'static str, Opcode> {
+    let mut m = HashMap::new();
+    for bits in 0..128u8 {
+        if let Some(op) = Opcode::from_bits(bits) {
+            m.insert(op.mnemonic(), op);
+        }
+    }
+    m
+}
+
+fn parse_target(tok: &str, line: usize) -> Result<Target, AsmError> {
+    if tok == "-" {
+        return Ok(Target::None);
+    }
+    if let Some(rest) = tok.strip_prefix("W[").and_then(|r| r.strip_suffix(']')) {
+        let slot: u8 = match rest.parse() {
+            Ok(s) if s < 32 => s,
+            _ => return err(line, format!("bad write slot in {tok}")),
+        };
+        return Ok(Target::write(slot));
+    }
+    if let Some(rest) = tok.strip_prefix("N[").and_then(|r| r.strip_suffix(']')) {
+        let (idx, slot) = rest
+            .split_once(',')
+            .ok_or_else(|| AsmError { line, msg: format!("expected N[idx,slot] in {tok}") })?;
+        let idx: u8 = match idx.trim().parse() {
+            Ok(i) if i < 128 => i,
+            _ => return err(line, format!("bad instruction index in {tok}")),
+        };
+        return match slot.trim() {
+            "L" => Ok(Target::left(idx)),
+            "R" => Ok(Target::right(idx)),
+            "P" => Ok(Target::pred(idx)),
+            other => err(line, format!("bad operand slot '{other}' in {tok}")),
+        };
+    }
+    err(line, format!("unrecognized target '{tok}'"))
+}
+
+fn parse_slot(prefix: &str, head: &str, line: usize) -> Result<Option<u8>, AsmError> {
+    let Some(rest) = head.strip_prefix(prefix) else { return Ok(None) };
+    let Some(inner) = rest.strip_suffix(']') else {
+        return err(line, format!("expected {prefix}...] in '{head}'"));
+    };
+    match inner.parse::<u8>() {
+        Ok(n) => Ok(Some(n)),
+        Err(_) => err(line, format!("bad index in '{head}'")),
+    }
+}
+
+/// Assembles one block from text.
+///
+/// The result is validated before being returned.
+///
+/// # Errors
+///
+/// Returns the first syntax or validation problem, with its line.
+pub fn assemble_block(text: &str) -> Result<TripsBlock, AsmError> {
+    let mnems = mnemonic_table();
+    let mut block = TripsBlock::new();
+    let mut body: Vec<(u8, Instruction)> = Vec::new();
+
+    for (ln, raw) in text.lines().enumerate() {
+        let line = ln + 1;
+        let src = raw.split(';').next().unwrap_or("").trim();
+        if src.is_empty() {
+            continue;
+        }
+        let mut toks = src.split_whitespace().peekable();
+        let head = toks.next().expect("non-empty line has a token");
+
+        if let Some(slot) = parse_slot("R[", head, line)? {
+            // R[s] read Rn targets...
+            match toks.next() {
+                Some("read") => {}
+                other => return err(line, format!("expected 'read', got {other:?}")),
+            }
+            let reg_tok = toks
+                .next()
+                .ok_or_else(|| AsmError { line, msg: "missing register".into() })?;
+            let reg = parse_reg(reg_tok, line)?;
+            let mut targets = [Target::None; 2];
+            for (k, t) in toks.enumerate() {
+                if k >= 2 {
+                    return err(line, "reads carry at most two targets");
+                }
+                targets[k] = parse_target(t, line)?;
+            }
+            block
+                .set_read(slot, ReadInst::new(reg, targets))
+                .map_err(|e| AsmError { line, msg: e.to_string() })?;
+            continue;
+        }
+        if let Some(slot) = parse_slot("W[", head, line)? {
+            match toks.next() {
+                Some("write") => {}
+                other => return err(line, format!("expected 'write', got {other:?}")),
+            }
+            let reg_tok = toks
+                .next()
+                .ok_or_else(|| AsmError { line, msg: "missing register".into() })?;
+            let reg = parse_reg(reg_tok, line)?;
+            block
+                .set_write(slot, WriteInst::new(reg))
+                .map_err(|e| AsmError { line, msg: e.to_string() })?;
+            continue;
+        }
+        let Some(idx) = parse_slot("N[", head, line)? else {
+            return err(line, format!("expected R[..], W[..], or N[..], got '{head}'"));
+        };
+        if idx >= 128 {
+            return err(line, format!("instruction index {idx} out of range"));
+        }
+
+        // Optional predicate prefix.
+        let mut pred = Pred::None;
+        if let Some(&p) = toks.peek() {
+            if p == "p_t" {
+                pred = Pred::OnTrue;
+                toks.next();
+            } else if p == "p_f" {
+                pred = Pred::OnFalse;
+                toks.next();
+            }
+        }
+        let mnem = toks
+            .next()
+            .ok_or_else(|| AsmError { line, msg: "missing mnemonic".into() })?;
+        let &opcode = mnems
+            .get(mnem)
+            .ok_or_else(|| AsmError { line, msg: format!("unknown mnemonic '{mnem}'") })?;
+
+        let mut imm: i32 = 0;
+        let mut lsid: u8 = 0;
+        let mut exit: u8 = 0;
+        let mut targets: Vec<Target> = Vec::new();
+        for t in toks {
+            if let Some(v) = t.strip_prefix('#') {
+                imm = v
+                    .parse()
+                    .map_err(|_| AsmError { line, msg: format!("bad immediate '{t}'") })?;
+            } else if let Some(v) = t.strip_prefix("[lsid=").and_then(|r| r.strip_suffix(']')) {
+                lsid = v
+                    .parse()
+                    .map_err(|_| AsmError { line, msg: format!("bad lsid '{t}'") })?;
+            } else if let Some(v) = t.strip_prefix("exit=") {
+                exit = v
+                    .parse()
+                    .map_err(|_| AsmError { line, msg: format!("bad exit '{t}'") })?;
+            } else if let Some(v) = t.strip_prefix("offset=") {
+                imm = v
+                    .parse()
+                    .map_err(|_| AsmError { line, msg: format!("bad offset '{t}'") })?;
+            } else {
+                targets.push(parse_target(t, line)?);
+            }
+        }
+        if targets.len() > 2 {
+            return err(line, "at most two targets");
+        }
+        let mut ts = [Target::None; 2];
+        for (k, t) in targets.into_iter().enumerate() {
+            ts[k] = t;
+        }
+        let inst = Instruction { opcode, pred, targets: ts, imm, lsid, exit };
+        check_ranges(&inst, line)?;
+        body.push((idx, inst));
+    }
+
+    // Instructions may appear in any order; indices just name slots.
+    body.sort_by_key(|(idx, _)| *idx);
+    for (idx, inst) in body {
+        while block.insts.len() < idx as usize {
+            block.push(Instruction::nop()).map_err(|e| AsmError {
+                line: 0,
+                msg: e.to_string(),
+            })?;
+        }
+        if block.insts.len() != idx as usize {
+            return err(0, format!("duplicate instruction index {idx}"));
+        }
+        block.push(inst).map_err(|e| AsmError { line: 0, msg: e.to_string() })?;
+    }
+
+    // Derive the store mask from the stores.
+    let mut mask = 0u32;
+    for i in &block.insts {
+        if i.opcode.is_store() {
+            mask |= 1 << i.lsid;
+        }
+    }
+    block.header.store_mask = mask;
+
+    block.validate().map_err(|e| AsmError { line: 0, msg: e.to_string() })?;
+    Ok(block)
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<ArchReg, AsmError> {
+    let Some(n) = tok.strip_prefix('R').and_then(|r| r.parse::<u8>().ok()) else {
+        return err(line, format!("bad register '{tok}'"));
+    };
+    if n >= 128 {
+        return err(line, format!("register {n} out of range"));
+    }
+    Ok(ArchReg::new(n))
+}
+
+fn check_ranges(inst: &Instruction, line: usize) -> Result<(), AsmError> {
+    let ok = match inst.opcode.format() {
+        Format::I => (-(1 << 13)..(1 << 13)).contains(&inst.imm),
+        Format::L | Format::S => (-(1 << 8)..(1 << 8)).contains(&inst.imm) && inst.lsid < 32,
+        Format::B => (-(1 << 19)..(1 << 19)).contains(&inst.imm) && inst.exit < 8,
+        Format::C => (0..=0xffff).contains(&inst.imm),
+        Format::G => inst.exit < 8,
+    };
+    if ok {
+        Ok(())
+    } else {
+        err(line, format!("field out of range for {}", inst.opcode))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disasm::disassemble;
+
+    const FIG5A: &str = "
+        ; Figure 5a of the paper
+        R[0]  read R4 N[1,L] N[2,L]
+        N[0]  movi #0 N[1,R]
+        N[1]  teq N[2,P] N[3,P]
+        N[2]  p_f muli #4 N[32,L]
+        N[3]  p_t null N[34,L] N[34,R]
+        N[32] lw #8 [lsid=0] N[33,L]
+        N[33] mov N[34,L] N[34,R]
+        N[34] sw #0 [lsid=1]
+        N[35] callo exit=0 offset=16
+    ";
+
+    #[test]
+    fn assembles_figure_5a() {
+        let b = assemble_block(FIG5A).expect("assembles");
+        assert_eq!(b.header.store_mask, 0b10);
+        assert_eq!(b.useful_insts(), 8);
+        assert_eq!(b.inst(2).pred, Pred::OnFalse);
+        assert_eq!(b.inst(32).opcode, Opcode::Lw);
+        assert_eq!(b.inst(35).exit, 0);
+        assert_eq!(b.inst(35).imm, 16);
+    }
+
+    #[test]
+    fn roundtrips_through_the_disassembler() {
+        let b = assemble_block(FIG5A).unwrap();
+        let text = disassemble(&b);
+        let again = assemble_block(&text).expect("disassembly reassembles");
+        assert_eq!(b, again);
+    }
+
+    #[test]
+    fn reports_unknown_mnemonics_with_line() {
+        let e = assemble_block("N[0] frobnicate N[1,L]\nN[1] bro offset=1").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.msg.contains("frobnicate"));
+    }
+
+    #[test]
+    fn reports_bad_targets() {
+        let e = assemble_block("N[0] movi #1 N[200,L]").unwrap_err();
+        assert!(e.msg.contains("instruction index"));
+    }
+
+    #[test]
+    fn rejects_out_of_range_immediates() {
+        let e = assemble_block("N[0] movi #99999 N[1,L]\nN[1] mov -").unwrap_err();
+        assert!(e.msg.contains("out of range"), "{e}");
+    }
+
+    #[test]
+    fn rejects_duplicate_indices() {
+        let e = assemble_block("N[0] bro offset=1\nN[0] bro offset=2").unwrap_err();
+        assert!(e.msg.contains("duplicate"), "{e}");
+    }
+
+    #[test]
+    fn validation_errors_propagate() {
+        // No branch at all.
+        let e = assemble_block("N[0] movi #1 -").unwrap_err();
+        assert!(e.msg.contains("branch"), "{e}");
+    }
+}

@@ -1,0 +1,624 @@
+//! TRIPS blocks: the unit of fetch, execution, and commit.
+
+use std::fmt;
+
+use crate::coords::{read_slot_bank, write_slot_bank};
+use crate::inst::{ArchReg, Instruction, OperandSlot, Pred, Target};
+use crate::opcode::OperandNeeds;
+use crate::{CHUNK_INSTS, MAX_BLOCK_INSTS, MAX_READS, MAX_WRITES};
+
+/// Errors detected while building or validating a block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlockError {
+    /// More than 128 body instructions.
+    TooManyInsts,
+    /// A read/write slot outside 0..32.
+    SlotOutOfRange(u8),
+    /// Register `reg` cannot live in header slot `slot`: the slot's
+    /// bank does not match the register's bank.
+    BankMismatch {
+        /// The offending header slot.
+        slot: u8,
+        /// The register that cannot be placed there.
+        reg: ArchReg,
+    },
+    /// A target names a body instruction index at or beyond the block
+    /// length, or an empty (`nop`) slot.
+    DanglingTarget {
+        /// Index of the producing instruction (or 128+slot for reads).
+        from: u16,
+        /// The dangling target.
+        target: Target,
+    },
+    /// A target names the predicate of an unpredicated instruction.
+    PredicateOfUnpredicated {
+        /// The offending target.
+        target: Target,
+    },
+    /// A target names a write slot with no valid write instruction.
+    TargetInvalidWrite {
+        /// The write slot named.
+        slot: u8,
+    },
+    /// A target delivers an operand the consumer never reads (e.g. the
+    /// right operand of a `mov`).
+    UselessOperand {
+        /// The offending target.
+        target: Target,
+    },
+    /// The block contains no branch instruction, so it could never
+    /// produce its (mandatory) branch output.
+    NoBranch,
+    /// Two or more unpredicated branches would both fire, violating
+    /// the exactly-one-branch output rule.
+    MultipleUnpredicatedBranches,
+    /// More than 32 distinct load/store IDs in use.
+    TooManyMemoryOps,
+    /// A store's LSID is missing from the header store mask, or a
+    /// load's LSID is present in it.
+    StoreMaskMismatch {
+        /// The LSID whose classification disagrees with the mask.
+        lsid: u8,
+    },
+    /// A store-mask bit is set but no store in the block carries that
+    /// LSID, so store-completion counting could never terminate.
+    OrphanStoreMaskBit {
+        /// The orphaned LSID.
+        lsid: u8,
+    },
+    /// An instruction requires an operand no producer ever sends.
+    MissingProducer {
+        /// Index of the starved instruction.
+        idx: u8,
+        /// Which operand has no producer.
+        slot: OperandSlot,
+    },
+    /// An unpredicated, zero-input instruction that produces no value
+    /// (a free-running store or branch would fire unconditionally —
+    /// legal, but a zero-input *predicated* op missing its predicate
+    /// producer is not; this reports the latter).
+    DeadInstruction {
+        /// Index of the dead instruction.
+        idx: u8,
+    },
+    /// An instruction carries more targets than its format encodes
+    /// (only G format has a `T1` field; stores and branches have
+    /// none).
+    TooManyTargets {
+        /// Index of the offending instruction.
+        idx: u8,
+    },
+}
+
+impl fmt::Display for BlockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockError::TooManyInsts => write!(f, "block exceeds 128 instructions"),
+            BlockError::SlotOutOfRange(s) => write!(f, "header slot {s} out of range"),
+            BlockError::BankMismatch { slot, reg } => {
+                write!(f, "register {reg} cannot occupy header slot {slot} (bank mismatch)")
+            }
+            BlockError::DanglingTarget { from, target } => {
+                write!(f, "instruction {from} targets {target} which does not exist")
+            }
+            BlockError::PredicateOfUnpredicated { target } => {
+                write!(f, "target {target} predicates an unpredicated instruction")
+            }
+            BlockError::TargetInvalidWrite { slot } => {
+                write!(f, "target names write slot {slot} which holds no write instruction")
+            }
+            BlockError::UselessOperand { target } => {
+                write!(f, "target {target} delivers an operand its consumer never reads")
+            }
+            BlockError::NoBranch => write!(f, "block contains no branch instruction"),
+            BlockError::MultipleUnpredicatedBranches => {
+                write!(f, "more than one unpredicated branch")
+            }
+            BlockError::TooManyMemoryOps => write!(f, "more than 32 load/store IDs in use"),
+            BlockError::StoreMaskMismatch { lsid } => {
+                write!(f, "store mask disagrees with instruction kind for lsid {lsid}")
+            }
+            BlockError::OrphanStoreMaskBit { lsid } => {
+                write!(f, "store mask bit {lsid} set but no store carries that lsid")
+            }
+            BlockError::MissingProducer { idx, slot } => {
+                write!(f, "instruction {idx} operand {slot} has no producer")
+            }
+            BlockError::DeadInstruction { idx } => {
+                write!(f, "instruction {idx} can never fire")
+            }
+            BlockError::TooManyTargets { idx } => {
+                write!(f, "instruction {idx} has more targets than its format encodes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BlockError {}
+
+/// Block execution flags held in the header chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct BlockFlags(u8);
+
+impl BlockFlags {
+    /// The block must not execute speculatively: the GT holds its
+    /// fetch until it is the oldest in-flight block.
+    pub const INHIBIT_SPECULATION: BlockFlags = BlockFlags(0x01);
+
+    /// No flags set.
+    pub fn empty() -> BlockFlags {
+        BlockFlags(0)
+    }
+
+    /// Raw flag byte as stored in the header.
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Reconstruct from the raw header byte.
+    pub fn from_bits(bits: u8) -> BlockFlags {
+        BlockFlags(bits)
+    }
+
+    /// True if every flag in `other` is set in `self`.
+    pub fn contains(self, other: BlockFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Set the flags in `other`.
+    pub fn insert(&mut self, other: BlockFlags) {
+        self.0 |= other.0;
+    }
+}
+
+/// A register-read instruction in the block header.
+///
+/// Reads pull a value out of the architectural register file (or the
+/// forwarding path from an older in-flight block's write) and send it
+/// to up to two consumers in the block body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ReadInst {
+    /// The architectural register to read.
+    pub reg: ArchReg,
+    /// Where the value is delivered.
+    pub targets: [Target; 2],
+}
+
+impl ReadInst {
+    /// Creates a read of `reg` delivered to `targets`.
+    pub fn new(reg: ArchReg, targets: [Target; 2]) -> ReadInst {
+        ReadInst { reg, targets }
+    }
+}
+
+/// A register-write instruction in the block header.
+///
+/// The value arrives from a body instruction that names this write
+/// slot as a target; at commit it is written to the architectural
+/// register file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WriteInst {
+    /// The architectural register to write.
+    pub reg: ArchReg,
+}
+
+impl WriteInst {
+    /// Creates a write of `reg`.
+    pub fn new(reg: ArchReg) -> WriteInst {
+        WriteInst { reg }
+    }
+}
+
+/// The header chunk: the block's interface to architectural state.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BlockHeader {
+    /// Execution-mode flags.
+    pub flags: BlockFlags,
+    /// Bit `i` set means LSID `i` is a store; used by the DTs for
+    /// distributed store-completion detection (§4.4).
+    pub store_mask: u32,
+    /// Up to 32 register reads; slot `s` lives in register bank `s/8`.
+    pub reads: [Option<ReadInst>; 32],
+    /// Up to 32 register writes; slot `s` lives in register bank `s/8`.
+    pub writes: [Option<WriteInst>; 32],
+}
+
+impl BlockHeader {
+    /// Number of valid write instructions (the register-output count
+    /// used for completion detection).
+    pub fn write_count(&self) -> u32 {
+        self.writes.iter().filter(|w| w.is_some()).count() as u32
+    }
+
+    /// Number of stores the block will emit (population count of the
+    /// store mask).
+    pub fn store_count(&self) -> u32 {
+        self.store_mask.count_ones()
+    }
+}
+
+/// A TRIPS block: a header plus up to 128 body instructions.
+///
+/// Blocks obey the block-atomic execution model: the microarchitecture
+/// fetches, executes, and commits a block as a single unit, and every
+/// execution of the block emits the same outputs — `write_count`
+/// register writes, `store_count` stores, and exactly one branch.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TripsBlock {
+    /// The header chunk.
+    pub header: BlockHeader,
+    /// The body instructions, in index order (`N[0]`, `N[1]`, …).
+    pub insts: Vec<Instruction>,
+}
+
+impl TripsBlock {
+    /// An empty block.
+    pub fn new() -> TripsBlock {
+        TripsBlock::default()
+    }
+
+    /// Appends a body instruction, returning its index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BlockError::TooManyInsts`] past 128 instructions.
+    pub fn push(&mut self, inst: Instruction) -> Result<u8, BlockError> {
+        if self.insts.len() >= MAX_BLOCK_INSTS {
+            return Err(BlockError::TooManyInsts);
+        }
+        self.insts.push(inst);
+        Ok((self.insts.len() - 1) as u8)
+    }
+
+    /// Installs a read instruction in header slot `slot`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the slot is out of range or the register's bank does
+    /// not match the slot's bank.
+    pub fn set_read(&mut self, slot: u8, read: ReadInst) -> Result<(), BlockError> {
+        if slot as usize >= MAX_READS {
+            return Err(BlockError::SlotOutOfRange(slot));
+        }
+        if read.reg.bank() != read_slot_bank(slot) {
+            return Err(BlockError::BankMismatch { slot, reg: read.reg });
+        }
+        self.header.reads[slot as usize] = Some(read);
+        Ok(())
+    }
+
+    /// Installs a write instruction in header slot `slot`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the slot is out of range or the register's bank does
+    /// not match the slot's bank.
+    pub fn set_write(&mut self, slot: u8, write: WriteInst) -> Result<(), BlockError> {
+        if slot as usize >= MAX_WRITES {
+            return Err(BlockError::SlotOutOfRange(slot));
+        }
+        if write.reg.bank() != write_slot_bank(slot) {
+            return Err(BlockError::BankMismatch { slot, reg: write.reg });
+        }
+        self.header.writes[slot as usize] = Some(write);
+        Ok(())
+    }
+
+    /// Number of 128-byte body chunks the block occupies (1..=4).
+    pub fn body_chunks(&self) -> usize {
+        self.insts.len().div_ceil(CHUNK_INSTS).max(1)
+    }
+
+    /// Total footprint in bytes: the header chunk plus body chunks.
+    pub fn size_bytes(&self) -> u64 {
+        128 * (1 + self.body_chunks() as u64)
+    }
+
+    /// The body instruction at `idx`, treating indices past the end as
+    /// `nop` padding.
+    pub fn inst(&self, idx: u8) -> Instruction {
+        self.insts.get(idx as usize).copied().unwrap_or_else(Instruction::nop)
+    }
+
+    /// Checks every static block constraint of §2.1.
+    ///
+    /// This performs the checks the TRIPS compiler is responsible for:
+    /// target sanity, read/write banking, the store mask, the LSID
+    /// budget, branch multiplicity, and producer coverage. Constraints
+    /// that depend on the predicate path taken (exactly-one-branch,
+    /// constant output counts) can only be checked approximately here;
+    /// the simulator enforces them dynamically.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), BlockError> {
+        if self.insts.len() > MAX_BLOCK_INSTS {
+            return Err(BlockError::TooManyInsts);
+        }
+
+        // Branch multiplicity.
+        let branches: Vec<&Instruction> =
+            self.insts.iter().filter(|i| i.opcode.is_branch()).collect();
+        if branches.is_empty() {
+            return Err(BlockError::NoBranch);
+        }
+        if branches.iter().filter(|b| b.pred == Pred::None).count() > 1 {
+            return Err(BlockError::MultipleUnpredicatedBranches);
+        }
+
+        // LSID budget and store-mask consistency.
+        let mut lsids_used = 0u32;
+        for i in &self.insts {
+            if i.opcode.is_load() || i.opcode.is_store() {
+                lsids_used |= 1 << i.lsid;
+                let in_mask = self.header.store_mask & (1 << i.lsid) != 0;
+                if i.opcode.is_store() != in_mask {
+                    return Err(BlockError::StoreMaskMismatch { lsid: i.lsid });
+                }
+            }
+        }
+        if lsids_used.count_ones() > 32 {
+            return Err(BlockError::TooManyMemoryOps);
+        }
+        let orphan = self.header.store_mask & !lsids_used;
+        if orphan != 0 {
+            return Err(BlockError::OrphanStoreMaskBit { lsid: orphan.trailing_zeros() as u8 });
+        }
+
+        // Target sanity, and producer coverage for every needed operand.
+        let mut produced = vec![[false; 3]; self.insts.len()];
+        let check_target = |from: u16, t: Target| -> Result<Option<(u8, OperandSlot)>, BlockError> {
+            match t {
+                Target::None => Ok(None),
+                Target::Write { slot } => {
+                    if self.header.writes[slot as usize].is_none() {
+                        Err(BlockError::TargetInvalidWrite { slot })
+                    } else {
+                        Ok(None)
+                    }
+                }
+                Target::Inst { idx, slot } => {
+                    let Some(consumer) = self.insts.get(idx as usize) else {
+                        return Err(BlockError::DanglingTarget { from, target: t });
+                    };
+                    if consumer.is_nop() {
+                        return Err(BlockError::DanglingTarget { from, target: t });
+                    }
+                    match slot {
+                        OperandSlot::Predicate if consumer.pred == Pred::None => {
+                            return Err(BlockError::PredicateOfUnpredicated { target: t });
+                        }
+                        OperandSlot::Left if consumer.opcode.needs() == OperandNeeds::None => {
+                            return Err(BlockError::UselessOperand { target: t });
+                        }
+                        OperandSlot::Right
+                            if consumer.opcode.needs() != OperandNeeds::LeftRight =>
+                        {
+                            return Err(BlockError::UselessOperand { target: t });
+                        }
+                        _ => {}
+                    }
+                    Ok(Some((idx, slot)))
+                }
+            }
+        };
+
+        for (n, i) in self.insts.iter().enumerate() {
+            if i.is_nop() {
+                continue;
+            }
+            let max_targets = match i.opcode.format() {
+                crate::Format::G => 2,
+                crate::Format::I | crate::Format::L | crate::Format::C => 1,
+                crate::Format::S | crate::Format::B => 0,
+            };
+            if i.live_targets().count() > max_targets {
+                return Err(BlockError::TooManyTargets { idx: n as u8 });
+            }
+            for t in i.live_targets() {
+                if let Some((idx, slot)) = check_target(n as u16, t)? {
+                    produced[idx as usize][slot_index(slot)] = true;
+                }
+            }
+        }
+        for (s, r) in self.header.reads.iter().enumerate() {
+            let Some(r) = r else { continue };
+            for t in r.targets.iter().copied().filter(|t| !t.is_none()) {
+                if let Some((idx, slot)) = check_target(128 + s as u16, t)? {
+                    produced[idx as usize][slot_index(slot)] = true;
+                }
+            }
+        }
+
+        for (n, i) in self.insts.iter().enumerate() {
+            if i.is_nop() {
+                continue;
+            }
+            let needs = i.opcode.needs();
+            if matches!(needs, OperandNeeds::Left | OperandNeeds::LeftRight)
+                && !produced[n][slot_index(OperandSlot::Left)]
+            {
+                return Err(BlockError::MissingProducer { idx: n as u8, slot: OperandSlot::Left });
+            }
+            if needs == OperandNeeds::LeftRight && !produced[n][slot_index(OperandSlot::Right)] {
+                return Err(BlockError::MissingProducer { idx: n as u8, slot: OperandSlot::Right });
+            }
+            if i.pred != Pred::None && !produced[n][slot_index(OperandSlot::Predicate)] {
+                return Err(BlockError::DeadInstruction { idx: n as u8 });
+            }
+        }
+
+        Ok(())
+    }
+
+    /// Count of dynamic useful (non-`nop`) instructions in the body.
+    pub fn useful_insts(&self) -> usize {
+        self.insts.iter().filter(|i| !i.is_nop()).count()
+    }
+}
+
+fn slot_index(slot: OperandSlot) -> usize {
+    match slot {
+        OperandSlot::Left => 0,
+        OperandSlot::Right => 1,
+        OperandSlot::Predicate => 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opcode::Opcode;
+
+    fn minimal_block() -> TripsBlock {
+        let mut b = TripsBlock::new();
+        b.push(Instruction::branch(Opcode::Bro, 0, 1)).unwrap();
+        b
+    }
+
+    #[test]
+    fn minimal_block_validates() {
+        assert_eq!(minimal_block().validate(), Ok(()));
+    }
+
+    #[test]
+    fn no_branch_rejected() {
+        let mut b = TripsBlock::new();
+        b.push(Instruction::movi(1, [Target::none(), Target::none()])).unwrap();
+        assert_eq!(b.validate(), Err(BlockError::NoBranch));
+    }
+
+    #[test]
+    fn two_unpredicated_branches_rejected() {
+        let mut b = minimal_block();
+        b.push(Instruction::branch(Opcode::Bro, 1, 2)).unwrap();
+        assert_eq!(b.validate(), Err(BlockError::MultipleUnpredicatedBranches));
+    }
+
+    #[test]
+    fn predicated_branch_pair_accepted() {
+        let mut b = TripsBlock::new();
+        b.push(Instruction::movi(0, [Target::left(1), Target::none()])).unwrap();
+        b.push(Instruction::op(Opcode::Mov, [Target::pred(2), Target::pred(3)])).unwrap();
+        b.push(Instruction::branch(Opcode::Bro, 0, 1).with_pred(Pred::OnTrue)).unwrap();
+        b.push(Instruction::branch(Opcode::Bro, 1, 2).with_pred(Pred::OnFalse)).unwrap();
+        assert_eq!(b.validate(), Ok(()));
+    }
+
+    #[test]
+    fn too_many_targets_rejected() {
+        let mut b = minimal_block();
+        // movi is I-format: only T0 exists.
+        b.push(Instruction {
+            opcode: Opcode::Movi,
+            pred: Pred::None,
+            targets: [Target::left(2), Target::right(2)],
+            imm: 0,
+            lsid: 0,
+            exit: 0,
+        })
+        .unwrap();
+        b.push(Instruction::op(Opcode::Add, [Target::none(), Target::none()])).unwrap();
+        assert_eq!(b.validate(), Err(BlockError::TooManyTargets { idx: 1 }));
+    }
+
+    #[test]
+    fn store_mask_mismatch_detected() {
+        let mut b = minimal_block();
+        b.push(Instruction::op(Opcode::Null, [Target::left(2), Target::right(2)])).unwrap();
+        b.push(Instruction::store(Opcode::Sw, 3, 0)).unwrap();
+        // mask does not contain lsid 3
+        assert_eq!(b.validate(), Err(BlockError::StoreMaskMismatch { lsid: 3 }));
+        b.header.store_mask = 1 << 3;
+        assert_eq!(b.validate(), Ok(()));
+        // orphan bit
+        b.header.store_mask |= 1 << 7;
+        assert_eq!(b.validate(), Err(BlockError::OrphanStoreMaskBit { lsid: 7 }));
+    }
+
+    #[test]
+    fn dangling_target_detected() {
+        let mut b = minimal_block();
+        b.push(Instruction::movi(0, [Target::left(99), Target::none()])).unwrap();
+        assert!(matches!(b.validate(), Err(BlockError::DanglingTarget { .. })));
+    }
+
+    #[test]
+    fn predicate_of_unpredicated_detected() {
+        let mut b = minimal_block();
+        b.push(Instruction::movi(0, [Target::pred(2), Target::none()])).unwrap();
+        b.push(Instruction::movi(1, [Target::none(), Target::none()])).unwrap();
+        assert!(matches!(b.validate(), Err(BlockError::PredicateOfUnpredicated { .. })));
+    }
+
+    #[test]
+    fn missing_producer_detected() {
+        let mut b = minimal_block();
+        // add needs left+right but nothing targets it
+        b.push(Instruction::op(Opcode::Add, [Target::none(), Target::none()])).unwrap();
+        assert_eq!(
+            b.validate(),
+            Err(BlockError::MissingProducer { idx: 1, slot: OperandSlot::Left })
+        );
+    }
+
+    #[test]
+    fn useless_operand_detected() {
+        let mut b = minimal_block();
+        // movi takes no inputs; feeding its left operand is a bug
+        b.push(Instruction::movi(0, [Target::left(2), Target::none()])).unwrap();
+        b.push(Instruction::movi(1, [Target::none(), Target::none()])).unwrap();
+        assert!(matches!(b.validate(), Err(BlockError::UselessOperand { .. })));
+    }
+
+    #[test]
+    fn bank_mismatch_rejected() {
+        let mut b = TripsBlock::new();
+        // slot 0 is bank 0, register 40 is bank 1
+        let err = b.set_read(0, ReadInst::new(ArchReg::new(40), [Target::none(); 2]));
+        assert!(matches!(err, Err(BlockError::BankMismatch { .. })));
+        assert!(b.set_read(8, ReadInst::new(ArchReg::new(40), [Target::none(); 2])).is_ok());
+    }
+
+    #[test]
+    fn write_target_requires_valid_write() {
+        let mut b = minimal_block();
+        b.push(Instruction::movi(0, [Target::write(4), Target::none()])).unwrap();
+        assert_eq!(b.validate(), Err(BlockError::TargetInvalidWrite { slot: 4 }));
+        b.set_write(4, WriteInst::new(ArchReg::new(4))).unwrap();
+        assert_eq!(b.validate(), Ok(()));
+    }
+
+    #[test]
+    fn size_accounting() {
+        let b = minimal_block();
+        assert_eq!(b.body_chunks(), 1);
+        assert_eq!(b.size_bytes(), 256);
+        let mut big = TripsBlock::new();
+        for _ in 0..33 {
+            big.push(Instruction::nop()).unwrap();
+        }
+        assert_eq!(big.body_chunks(), 2);
+        assert_eq!(big.size_bytes(), 384);
+    }
+
+    #[test]
+    fn push_limit() {
+        let mut b = TripsBlock::new();
+        for _ in 0..128 {
+            b.push(Instruction::nop()).unwrap();
+        }
+        assert_eq!(b.push(Instruction::nop()), Err(BlockError::TooManyInsts));
+    }
+
+    #[test]
+    fn output_counts() {
+        let mut b = TripsBlock::new();
+        b.set_write(0, WriteInst::new(ArchReg::new(1))).unwrap();
+        b.set_write(9, WriteInst::new(ArchReg::new(33))).unwrap();
+        b.header.store_mask = 0b101;
+        assert_eq!(b.header.write_count(), 2);
+        assert_eq!(b.header.store_count(), 2);
+    }
+}

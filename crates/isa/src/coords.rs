@@ -1,0 +1,124 @@
+//! The implicit mapping from instruction position to hardware
+//! coordinates.
+//!
+//! "A microarchitecture supporting this ISA maps each of a block's 128
+//! instructions to particular coordinates" (§2.2). In the prototype the
+//! coordinates are implied by the instruction's position: body chunk
+//! `c` is dispatched to ET row `c`, and within a chunk the 32
+//! instructions stripe across the row's four ETs, eight reservation
+//! stations per ET per block.
+
+/// Number of architectural registers per thread.
+pub const ARCH_REGS: usize = 128;
+/// Number of register banks (register tiles).
+pub const REG_BANKS: usize = 4;
+/// Registers per bank.
+pub const REGS_PER_BANK: usize = 32;
+
+/// Grid coordinates of an execution tile (row 0..4, col 0..4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EtCoord {
+    /// ET row, equal to the body chunk number (0..4).
+    pub row: u8,
+    /// ET column within the row (0..4).
+    pub col: u8,
+}
+
+/// The full placement of one instruction: which ET and which of the
+/// per-block reservation-station slots it occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct InstSlot {
+    /// The execution tile.
+    pub et: EtCoord,
+    /// Reservation-station slot within the ET for this block (0..8).
+    pub slot: u8,
+}
+
+impl InstSlot {
+    /// The placement of body instruction `idx` (0..128).
+    ///
+    /// Chunk `idx / 32` selects the ET row; within the chunk,
+    /// instruction `p` goes to column `p % 4`, slot `p / 4`. This makes
+    /// consecutive indices land on consecutive columns, matching the
+    /// ITs' ability to deliver four instructions per cycle across a
+    /// row (§4.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 128`.
+    pub fn from_index(idx: u8) -> InstSlot {
+        assert!(idx < 128, "instruction index out of range: {idx}");
+        let chunk = idx / 32;
+        let p = idx % 32;
+        InstSlot { et: EtCoord { row: chunk, col: p % 4 }, slot: p / 4 }
+    }
+
+    /// The inverse of [`InstSlot::from_index`].
+    pub fn to_index(self) -> u8 {
+        self.et.row * 32 + self.slot * 4 + self.et.col
+    }
+}
+
+/// The register bank (register tile) that holds read-queue slot
+/// `slot` (0..32): slots stripe eight-per-bank, matching the 8-entry
+/// per-block read queue of each RT (§3.3).
+///
+/// # Panics
+///
+/// Panics if `slot >= 32`.
+pub fn read_slot_bank(slot: u8) -> u8 {
+    assert!(slot < 32, "read slot out of range: {slot}");
+    slot / 8
+}
+
+/// The register bank (register tile) that holds write-queue slot
+/// `slot` (0..32).
+///
+/// # Panics
+///
+/// Panics if `slot >= 32`.
+pub fn write_slot_bank(slot: u8) -> u8 {
+    assert!(slot < 32, "write slot out of range: {slot}");
+    slot / 8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_slot_roundtrip() {
+        for i in 0u8..128 {
+            assert_eq!(InstSlot::from_index(i).to_index(), i);
+        }
+    }
+
+    #[test]
+    fn chunk_maps_to_row() {
+        assert_eq!(InstSlot::from_index(0).et, EtCoord { row: 0, col: 0 });
+        assert_eq!(InstSlot::from_index(3).et, EtCoord { row: 0, col: 3 });
+        assert_eq!(InstSlot::from_index(4).et, EtCoord { row: 0, col: 0 });
+        assert_eq!(InstSlot::from_index(4).slot, 1);
+        assert_eq!(InstSlot::from_index(32).et, EtCoord { row: 1, col: 0 });
+        assert_eq!(InstSlot::from_index(127).et, EtCoord { row: 3, col: 3 });
+        assert_eq!(InstSlot::from_index(127).slot, 7);
+    }
+
+    #[test]
+    fn eight_slots_per_et_per_block() {
+        let mut counts = std::collections::HashMap::new();
+        for i in 0u8..128 {
+            *counts.entry(InstSlot::from_index(i).et).or_insert(0usize) += 1;
+        }
+        assert_eq!(counts.len(), 16);
+        assert!(counts.values().all(|&c| c == 8));
+    }
+
+    #[test]
+    fn slot_banks_stripe_eight_per_bank() {
+        for s in 0u8..32 {
+            assert_eq!(read_slot_bank(s), s / 8);
+            assert_eq!(write_slot_bank(s), s / 8);
+        }
+    }
+}

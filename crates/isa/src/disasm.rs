@@ -1,0 +1,101 @@
+//! Textual disassembly of blocks, in the `N[i]`-style notation used in
+//! Figure 5a of the paper.
+
+use std::fmt::Write as _;
+
+use crate::block::TripsBlock;
+
+/// Renders a block as human-readable assembly.
+///
+/// Read and write header instructions appear first (`R[slot]` /
+/// `W[slot]`), then the body (`N[idx]`), skipping `nop` slots.
+///
+/// ```
+/// use trips_isa::*;
+///
+/// # fn main() -> Result<(), BlockError> {
+/// let mut b = TripsBlock::new();
+/// b.set_read(0, ReadInst::new(ArchReg::new(4), [Target::left(0), Target::none()]))?;
+/// b.push(Instruction::opi(Opcode::Addi, 1, [Target::write(0), Target::none()]))?;
+/// b.set_write(0, WriteInst::new(ArchReg::new(4)))?;
+/// b.push(Instruction::branch(Opcode::Bro, 0, 2))?;
+/// let text = disassemble(&b);
+/// assert!(text.contains("R[0]  read R4 N[0,L]"));
+/// assert!(text.contains("N[0]  addi #1 W[0]"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn disassemble(block: &TripsBlock) -> String {
+    let mut out = String::new();
+    let h = &block.header;
+    let _ = writeln!(
+        out,
+        "; block: {} insts, {} body chunks, {} writes, {} stores, store_mask={:#010x}",
+        block.useful_insts(),
+        block.body_chunks(),
+        h.write_count(),
+        h.store_count(),
+        h.store_mask,
+    );
+    for (s, r) in h.reads.iter().enumerate() {
+        if let Some(r) = r {
+            let _ = write!(out, "R[{s}]  read {}", r.reg);
+            for t in r.targets.iter().filter(|t| !t.is_none()) {
+                let _ = write!(out, " {t}");
+            }
+            out.push('\n');
+        }
+    }
+    for (idx, inst) in block.insts.iter().enumerate() {
+        if inst.is_nop() {
+            continue;
+        }
+        let _ = writeln!(out, "N[{idx}]  {inst}");
+    }
+    for (s, w) in h.writes.iter().enumerate() {
+        if let Some(w) = w {
+            let _ = writeln!(out, "W[{s}]  write {}", w.reg);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{Instruction, Pred, Target};
+    use crate::opcode::Opcode;
+
+    #[test]
+    fn figure_5a_block_reads_like_the_paper() {
+        let mut b = TripsBlock::new();
+        b.push(Instruction::movi(0, [Target::right(1), Target::none()])).unwrap();
+        b.push(Instruction::op(Opcode::Teq, [Target::pred(2), Target::pred(3)])).unwrap();
+        b.push(
+            Instruction::opi(Opcode::Muli, 4, [Target::left(32), Target::none()])
+                .with_pred(Pred::OnFalse),
+        )
+        .unwrap();
+        b.push(
+            Instruction::op(Opcode::Null, [Target::left(34), Target::right(34)])
+                .with_pred(Pred::OnTrue),
+        )
+        .unwrap();
+        for _ in 4..32 {
+            b.push(Instruction::nop()).unwrap();
+        }
+        b.push(Instruction::load(Opcode::Lw, 0, 8, Target::left(33))).unwrap();
+        b.push(Instruction::op(Opcode::Mov, [Target::left(34), Target::right(34)])).unwrap();
+        b.push(Instruction::store(Opcode::Sw, 1, 0)).unwrap();
+        b.push(Instruction::branch(Opcode::Callo, 0, 16)).unwrap();
+        b.header.store_mask = 0b10;
+
+        let text = disassemble(&b);
+        assert!(text.contains("N[1]  teq N[2,P] N[3,P]"), "{text}");
+        assert!(text.contains("N[2]  p_f muli #4 N[32,L]"), "{text}");
+        assert!(text.contains("N[3]  p_t null N[34,L] N[34,R]"), "{text}");
+        assert!(text.contains("N[32]  lw #8 [lsid=0] N[33,L]"), "{text}");
+        assert!(text.contains("N[34]  sw #0 [lsid=1]"), "{text}");
+        assert!(!text.contains("N[5]"), "nops should be skipped: {text}");
+    }
+}

@@ -1,0 +1,400 @@
+//! Binary encoding of TRIPS blocks.
+//!
+//! A block occupies 128-byte chunks in memory: one header chunk plus
+//! one to four body chunks (§2.1). The header chunk packs the 32 read
+//! and 32 write instructions, the store mask, the block flags, and the
+//! body chunk count into 32 little-endian words; each body chunk holds
+//! 32 instruction words in the formats of Figure 1.
+
+use crate::block::{BlockFlags, BlockHeader, ReadInst, TripsBlock, WriteInst};
+use crate::inst::{ArchReg, Instruction, Pred, Target};
+use crate::opcode::{Format, Opcode};
+use crate::CHUNK_INSTS;
+
+/// Bytes per chunk (header or body).
+pub const CHUNK_BYTES: usize = 128;
+/// Maximum encoded block size: a header plus four body chunks.
+pub const MAX_BLOCK_BYTES: usize = CHUNK_BYTES * 5;
+
+/// Errors from decoding block bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input shorter than a header chunk, or shorter than the header's
+    /// chunk count implies.
+    Truncated {
+        /// Bytes expected.
+        expected: usize,
+        /// Bytes available.
+        got: usize,
+    },
+    /// Header chunk count outside 1..=4.
+    BadChunkCount(u8),
+    /// Unknown opcode byte.
+    BadOpcode(u8),
+    /// Reserved target encoding.
+    BadTarget(u16),
+    /// Reserved predicate encoding.
+    BadPred(u8),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated { expected, got } => {
+                write!(f, "block truncated: expected {expected} bytes, got {got}")
+            }
+            DecodeError::BadChunkCount(c) => write!(f, "invalid body chunk count {c}"),
+            DecodeError::BadOpcode(o) => write!(f, "unknown opcode {o:#x}"),
+            DecodeError::BadTarget(t) => write!(f, "reserved target encoding {t:#x}"),
+            DecodeError::BadPred(p) => write!(f, "reserved predicate encoding {p:#b}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn encode_header(h: &BlockHeader, body_chunks: usize) -> [u8; CHUNK_BYTES] {
+    // 64-bit meta stream distributed two bits per word.
+    let mut meta = 0u64;
+    meta |= u64::from(h.store_mask);
+    meta |= u64::from(h.flags.bits()) << 32;
+    meta |= (body_chunks as u64) << 40;
+
+    let mut out = [0u8; CHUNK_BYTES];
+    for i in 0..32 {
+        let mut w = 0u32;
+        if let Some(r) = h.reads[i] {
+            w |= u32::from(r.targets[0].to_bits());
+            w |= u32::from(r.targets[1].to_bits()) << 9;
+            w |= u32::from(r.reg.index_in_bank()) << 18;
+            w |= 1 << 23;
+        }
+        if let Some(wr) = h.writes[i] {
+            w |= u32::from(wr.reg.index_in_bank()) << 24;
+            w |= 1 << 29;
+        }
+        w |= (((meta >> (2 * i)) & 0b11) as u32) << 30;
+        out[4 * i..4 * i + 4].copy_from_slice(&w.to_le_bytes());
+    }
+    out
+}
+
+/// Decodes a header chunk, returning the header and the body chunk
+/// count it declares.
+///
+/// # Errors
+///
+/// Fails if fewer than 128 bytes are supplied, the chunk count is
+/// outside 1..=4, or a read target uses a reserved encoding.
+pub fn decode_header(bytes: &[u8]) -> Result<(BlockHeader, usize), DecodeError> {
+    if bytes.len() < CHUNK_BYTES {
+        return Err(DecodeError::Truncated { expected: CHUNK_BYTES, got: bytes.len() });
+    }
+    let mut h = BlockHeader::default();
+    let mut meta = 0u64;
+    for i in 0..32 {
+        let w = u32::from_le_bytes(bytes[4 * i..4 * i + 4].try_into().unwrap());
+        meta |= u64::from(w >> 30) << (2 * i);
+        if w & (1 << 23) != 0 {
+            let t0 = Target::from_bits((w & 0x1ff) as u16)
+                .ok_or(DecodeError::BadTarget((w & 0x1ff) as u16))?;
+            let t1 = Target::from_bits(((w >> 9) & 0x1ff) as u16)
+                .ok_or(DecodeError::BadTarget(((w >> 9) & 0x1ff) as u16))?;
+            let gr = ((w >> 18) & 0x1f) as u8;
+            let bank = crate::coords::read_slot_bank(i as u8);
+            h.reads[i] =
+                Some(ReadInst::new(ArchReg::from_bank_index(bank, gr), [t0, t1]));
+        }
+        if w & (1 << 29) != 0 {
+            let gr = ((w >> 24) & 0x1f) as u8;
+            let bank = crate::coords::write_slot_bank(i as u8);
+            h.writes[i] = Some(WriteInst::new(ArchReg::from_bank_index(bank, gr)));
+        }
+    }
+    h.store_mask = (meta & 0xffff_ffff) as u32;
+    h.flags = BlockFlags::from_bits(((meta >> 32) & 0xff) as u8);
+    let chunks = ((meta >> 40) & 0b111) as u8;
+    if !(1..=4).contains(&chunks) {
+        return Err(DecodeError::BadChunkCount(chunks));
+    }
+    Ok((h, chunks as usize))
+}
+
+fn sext(v: u32, bits: u32) -> i32 {
+    let shift = 32 - bits;
+    ((v << shift) as i32) >> shift
+}
+
+fn encode_inst(i: &Instruction) -> u32 {
+    if i.is_nop() {
+        return 0;
+    }
+    let mut w = u32::from(i.opcode as u8) << 25;
+    let fmt = i.opcode.format();
+    if fmt != Format::C {
+        w |= i.pred.to_bits() << 23;
+    }
+    match fmt {
+        Format::G => {
+            w |= u32::from(i.exit & 0b111) << 18; // XOP: exit for register branches
+            w |= u32::from(i.targets[1].to_bits()) << 9;
+            w |= u32::from(i.targets[0].to_bits());
+        }
+        Format::I => {
+            w |= ((i.imm as u32) & 0x3fff) << 9;
+            w |= u32::from(i.targets[0].to_bits());
+        }
+        Format::L => {
+            w |= u32::from(i.lsid) << 18;
+            w |= ((i.imm as u32) & 0x1ff) << 9;
+            w |= u32::from(i.targets[0].to_bits());
+        }
+        Format::S => {
+            w |= u32::from(i.lsid) << 18;
+            w |= ((i.imm as u32) & 0x1ff) << 9;
+        }
+        Format::B => {
+            w |= u32::from(i.exit) << 20;
+            w |= (i.imm as u32) & 0xf_ffff;
+        }
+        Format::C => {
+            w |= ((i.imm as u32) & 0xffff) << 9;
+            w |= u32::from(i.targets[0].to_bits());
+        }
+    }
+    w
+}
+
+fn decode_inst(w: u32) -> Result<Instruction, DecodeError> {
+    if w == 0 {
+        return Ok(Instruction::nop());
+    }
+    let opbits = (w >> 25) as u8;
+    let opcode = Opcode::from_bits(opbits).ok_or(DecodeError::BadOpcode(opbits))?;
+    let fmt = opcode.format();
+    let pred = if fmt == Format::C {
+        Pred::None
+    } else {
+        Pred::from_bits(w >> 23).ok_or(DecodeError::BadPred(((w >> 23) & 0b11) as u8))?
+    };
+    let target = |raw: u32| -> Result<Target, DecodeError> {
+        Target::from_bits((raw & 0x1ff) as u16).ok_or(DecodeError::BadTarget((raw & 0x1ff) as u16))
+    };
+    let mut inst = Instruction::nop();
+    inst.opcode = opcode;
+    inst.pred = pred;
+    match fmt {
+        Format::G => {
+            inst.exit = ((w >> 18) & 0b111) as u8;
+            inst.targets = [target(w)?, target(w >> 9)?];
+        }
+        Format::I => {
+            inst.imm = sext((w >> 9) & 0x3fff, 14);
+            inst.targets = [target(w)?, Target::None];
+        }
+        Format::L => {
+            inst.lsid = ((w >> 18) & 0x1f) as u8;
+            inst.imm = sext((w >> 9) & 0x1ff, 9);
+            inst.targets = [target(w)?, Target::None];
+        }
+        Format::S => {
+            inst.lsid = ((w >> 18) & 0x1f) as u8;
+            inst.imm = sext((w >> 9) & 0x1ff, 9);
+        }
+        Format::B => {
+            inst.exit = ((w >> 20) & 0b111) as u8;
+            inst.imm = sext(w & 0xf_ffff, 20);
+        }
+        Format::C => {
+            inst.imm = ((w >> 9) & 0xffff) as i32;
+            inst.targets = [target(w)?, Target::None];
+        }
+    }
+    Ok(inst)
+}
+
+/// Decodes one 128-byte body chunk into its 32 instructions, as an
+/// instruction tile does when dispatching its chunk to its row.
+///
+/// # Errors
+///
+/// Fails on short input or reserved encodings.
+pub fn decode_body_chunk(bytes: &[u8]) -> Result<Vec<Instruction>, DecodeError> {
+    if bytes.len() < CHUNK_BYTES {
+        return Err(DecodeError::Truncated { expected: CHUNK_BYTES, got: bytes.len() });
+    }
+    (0..CHUNK_INSTS)
+        .map(|s| {
+            let w = u32::from_le_bytes(bytes[4 * s..4 * s + 4].try_into().unwrap());
+            decode_inst(w)
+        })
+        .collect()
+}
+
+/// Encodes a block into its in-memory byte representation: one header
+/// chunk followed by [`TripsBlock::body_chunks`] body chunks, with
+/// unused body slots encoded as `nop`.
+pub fn encode(block: &TripsBlock) -> Vec<u8> {
+    let chunks = block.body_chunks();
+    let mut out = Vec::with_capacity(CHUNK_BYTES * (1 + chunks));
+    out.extend_from_slice(&encode_header(&block.header, chunks));
+    for c in 0..chunks {
+        for s in 0..CHUNK_INSTS {
+            let idx = (c * CHUNK_INSTS + s) as u8;
+            out.extend_from_slice(&encode_inst(&block.inst(idx)).to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Decodes a block from its in-memory byte representation.
+///
+/// Trailing `nop` padding in the last body chunk is trimmed, so a
+/// block whose final instructions are explicit `nop`s will not
+/// round-trip to an identical instruction count (its semantics are
+/// unchanged: `nop`s are never dispatched).
+///
+/// # Errors
+///
+/// Fails on truncated input or any reserved field encoding.
+pub fn decode(bytes: &[u8]) -> Result<TripsBlock, DecodeError> {
+    let (header, chunks) = decode_header(bytes)?;
+    let need = CHUNK_BYTES * (1 + chunks);
+    if bytes.len() < need {
+        return Err(DecodeError::Truncated { expected: need, got: bytes.len() });
+    }
+    let mut insts = Vec::with_capacity(chunks * CHUNK_INSTS);
+    for c in 0..chunks {
+        let base = CHUNK_BYTES * (1 + c);
+        for s in 0..CHUNK_INSTS {
+            let off = base + 4 * s;
+            let w = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap());
+            insts.push(decode_inst(w)?);
+        }
+    }
+    while insts.last().is_some_and(Instruction::is_nop) {
+        insts.pop();
+    }
+    Ok(TripsBlock { header, insts })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::OperandSlot;
+
+    fn sample_block() -> TripsBlock {
+        let mut b = TripsBlock::new();
+        b.set_read(0, ReadInst::new(ArchReg::new(4), [Target::left(1), Target::left(2)]))
+            .unwrap();
+        b.set_read(9, ReadInst::new(ArchReg::new(33), [Target::right(1), Target::none()]))
+            .unwrap();
+        b.set_write(5, WriteInst::new(ArchReg::new(7))).unwrap();
+        b.set_write(17, WriteInst::new(ArchReg::new(64))).unwrap();
+        b.header.store_mask = 0b10;
+        b.header.flags = BlockFlags::INHIBIT_SPECULATION;
+        b.push(Instruction::movi(-3, [Target::right(2), Target::none()])).unwrap(); // N[0]
+        b.push(Instruction::op(Opcode::Add, [Target::write(5), Target::pred(3)]).with_pred(Pred::None))
+            .unwrap(); // N[1] — pred target checked by validate, not encode
+        b.push(Instruction::op(Opcode::Mul, [Target::left(4), Target::write(17)])).unwrap(); // N[2]
+        b.push(Instruction::branch(Opcode::Bro, 3, -17).with_pred(Pred::OnTrue)).unwrap(); // N[3]
+        b.push(Instruction::load(Opcode::Ld, 0, -8, Target::left(5))).unwrap(); // N[4]
+        b.push(Instruction::op(Opcode::Mov, [Target::left(6), Target::right(6)])).unwrap(); // N[5]
+        b.push(Instruction::store(Opcode::Sd, 1, 255)).unwrap(); // N[6]
+        b.push(Instruction::constant(Opcode::Genu, 0xbeef, Target::left(8))).unwrap(); // N[7]
+        b.push(Instruction::op(Opcode::Sextw, [Target::none(), Target::none()])).unwrap(); // N[8]
+        b.push(Instruction::branch_reg(Opcode::Ret, 5).with_pred(Pred::OnFalse)).unwrap(); // N[9]
+        b
+    }
+
+    #[test]
+    fn roundtrip_sample() {
+        let b = sample_block();
+        let bytes = encode(&b);
+        assert_eq!(bytes.len(), 256);
+        let back = decode(&bytes).unwrap();
+        assert_eq!(b, back);
+    }
+
+    #[test]
+    fn header_roundtrip_preserves_meta() {
+        let b = sample_block();
+        let bytes = encode(&b);
+        let (h, chunks) = decode_header(&bytes).unwrap();
+        assert_eq!(chunks, 1);
+        assert_eq!(h.store_mask, 0b10);
+        assert!(h.flags.contains(BlockFlags::INHIBIT_SPECULATION));
+        assert_eq!(h.reads[0].unwrap().reg, ArchReg::new(4));
+        assert_eq!(h.reads[9].unwrap().reg, ArchReg::new(33));
+        assert_eq!(h.writes[17].unwrap().reg, ArchReg::new(64));
+    }
+
+    #[test]
+    fn four_chunk_block() {
+        let mut b = TripsBlock::new();
+        for i in 0..127 {
+            b.push(Instruction::movi(i % 100, [Target::none(), Target::none()])).unwrap();
+        }
+        b.push(Instruction::branch(Opcode::Halt, 0, 0)).unwrap();
+        let bytes = encode(&b);
+        assert_eq!(bytes.len(), 640);
+        assert_eq!(decode(&bytes).unwrap(), b);
+    }
+
+    #[test]
+    fn trailing_nops_trimmed() {
+        let mut b = TripsBlock::new();
+        b.push(Instruction::branch(Opcode::Bro, 0, 1)).unwrap();
+        b.push(Instruction::nop()).unwrap();
+        let back = decode(&encode(&b)).unwrap();
+        assert_eq!(back.insts.len(), 1);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let b = sample_block();
+        let bytes = encode(&b);
+        assert!(matches!(decode(&bytes[..100]), Err(DecodeError::Truncated { .. })));
+        assert!(matches!(decode(&bytes[..200]), Err(DecodeError::Truncated { .. })));
+    }
+
+    #[test]
+    fn bad_chunk_count_detected() {
+        let b = sample_block();
+        let mut bytes = encode(&b);
+        // Zero out the chunk-count meta bits (meta bits 40..43 live in
+        // words 20 and 21, top two bits each).
+        for w in [20usize, 21] {
+            let mut word =
+                u32::from_le_bytes(bytes[4 * w..4 * w + 4].try_into().unwrap());
+            word &= 0x3fff_ffff;
+            bytes[4 * w..4 * w + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        assert_eq!(decode(&bytes), Err(DecodeError::BadChunkCount(0)));
+    }
+
+    #[test]
+    fn immediate_sign_extension() {
+        for imm in [-8192i32, -1, 0, 1, 8191] {
+            let i = Instruction::movi(imm, [Target::none(), Target::none()]);
+            assert_eq!(decode_inst(encode_inst(&i)).unwrap().imm, imm);
+        }
+        for imm in [-256i32, -1, 0, 255] {
+            let i = Instruction::load(Opcode::Lw, 3, imm, Target::left(0));
+            assert_eq!(decode_inst(encode_inst(&i)).unwrap().imm, imm);
+        }
+        for off in [-524288i32, -1, 0, 524287] {
+            let i = Instruction::branch(Opcode::Bro, 7, off);
+            assert_eq!(decode_inst(encode_inst(&i)).unwrap().imm, off);
+        }
+    }
+
+    #[test]
+    fn target_slots_roundtrip_in_g_format() {
+        for slot in [OperandSlot::Left, OperandSlot::Right, OperandSlot::Predicate] {
+            let t = Target::Inst { idx: 77, slot };
+            let i = Instruction::op(Opcode::Xor, [t, Target::write(31)]);
+            assert_eq!(decode_inst(encode_inst(&i)).unwrap(), i);
+        }
+    }
+}

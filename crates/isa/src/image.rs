@@ -1,0 +1,135 @@
+//! Program images: encoded blocks plus data, ready to load into a
+//! simulated memory.
+
+use std::collections::BTreeMap;
+
+use crate::block::TripsBlock;
+use crate::encode::encode;
+use crate::BLOCK_ALIGN;
+
+/// A contiguous run of initialized bytes at a base address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// First byte address of the segment.
+    pub base: u64,
+    /// The bytes.
+    pub data: Vec<u8>,
+}
+
+impl Segment {
+    /// Address one past the last byte.
+    pub fn end(&self) -> u64 {
+        self.base + self.data.len() as u64
+    }
+}
+
+/// A loadable program: the entry block address plus code and data
+/// segments.
+///
+/// Images are what the toolchain produces and what both the TRIPS core
+/// and (in its own ISA's variant) the baseline simulator consume.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ProgramImage {
+    /// Address of the first block to fetch.
+    pub entry: u64,
+    segments: BTreeMap<u64, Vec<u8>>,
+}
+
+impl ProgramImage {
+    /// An empty image with entry address 0.
+    pub fn new() -> ProgramImage {
+        ProgramImage::default()
+    }
+
+    /// Adds raw bytes at `base`. Overlapping segments are rejected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new segment overlaps an existing one.
+    pub fn add_segment(&mut self, base: u64, data: Vec<u8>) {
+        if data.is_empty() {
+            return;
+        }
+        let end = base + data.len() as u64;
+        for (&b, d) in &self.segments {
+            let e = b + d.len() as u64;
+            assert!(end <= b || base >= e, "segment {base:#x}..{end:#x} overlaps {b:#x}..{e:#x}");
+        }
+        self.segments.insert(base, data);
+    }
+
+    /// Encodes `block` and places it at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not 128-byte aligned or overlaps an
+    /// existing segment.
+    pub fn add_block(&mut self, addr: u64, block: &TripsBlock) {
+        assert_eq!(addr % BLOCK_ALIGN, 0, "block address {addr:#x} not 128-byte aligned");
+        self.add_segment(addr, encode(block));
+    }
+
+    /// Iterates over the segments in address order.
+    pub fn segments(&self) -> impl Iterator<Item = Segment> + '_ {
+        self.segments.iter().map(|(&base, data)| Segment { base, data: data.clone() })
+    }
+
+    /// Total initialized bytes.
+    pub fn size(&self) -> usize {
+        self.segments.values().map(Vec::len).sum()
+    }
+
+    /// Reads back a byte, if initialized (mainly for tests and the
+    /// loader).
+    pub fn byte(&self, addr: u64) -> Option<u8> {
+        let (&base, data) = self.segments.range(..=addr).next_back()?;
+        data.get((addr - base) as usize).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Instruction;
+    use crate::opcode::Opcode;
+
+    #[test]
+    fn segments_stay_sorted_and_disjoint() {
+        let mut img = ProgramImage::new();
+        img.add_segment(0x2000, vec![1, 2, 3]);
+        img.add_segment(0x1000, vec![4]);
+        let segs: Vec<_> = img.segments().collect();
+        assert_eq!(segs[0].base, 0x1000);
+        assert_eq!(segs[1].base, 0x2000);
+        assert_eq!(img.size(), 4);
+        assert_eq!(img.byte(0x2001), Some(2));
+        assert_eq!(img.byte(0x3000), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps")]
+    fn overlap_rejected() {
+        let mut img = ProgramImage::new();
+        img.add_segment(0x1000, vec![0; 16]);
+        img.add_segment(0x100f, vec![0]);
+    }
+
+    #[test]
+    fn add_block_encodes() {
+        let mut b = TripsBlock::new();
+        b.push(Instruction::branch(Opcode::Halt, 0, 0)).unwrap();
+        let mut img = ProgramImage::new();
+        img.entry = 0x1000;
+        img.add_block(0x1000, &b);
+        assert_eq!(img.size(), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn misaligned_block_rejected() {
+        let mut b = TripsBlock::new();
+        b.push(Instruction::branch(Opcode::Halt, 0, 0)).unwrap();
+        let mut img = ProgramImage::new();
+        img.add_block(0x1001, &b);
+    }
+}

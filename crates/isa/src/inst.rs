@@ -1,0 +1,548 @@
+//! Instruction words, targets, and predicates.
+
+use std::fmt;
+
+use crate::opcode::{Format, Opcode};
+
+/// One of the three operand slots of a reservation station.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OperandSlot {
+    /// The left (first) data operand.
+    Left,
+    /// The right (second) data operand.
+    Right,
+    /// The one-bit predicate operand.
+    Predicate,
+}
+
+impl fmt::Display for OperandSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            OperandSlot::Left => "L",
+            OperandSlot::Right => "R",
+            OperandSlot::Predicate => "P",
+        })
+    }
+}
+
+/// A 9-bit target specifier: where a producer's result is delivered.
+///
+/// Targets are how EDGE instructions communicate directly: instead of
+/// naming an output register, an instruction names up to two consumers.
+/// A consumer is either an operand slot of another instruction in the
+/// same block, or one of the block's 32 register-write slots.
+///
+/// The raw encoding is:
+///
+/// | bits `[8:7]` | meaning                                  |
+/// |--------------|------------------------------------------|
+/// | `01`         | predicate of instruction `[6:0]`         |
+/// | `10`         | left operand of instruction `[6:0]`      |
+/// | `11`         | right operand of instruction `[6:0]`     |
+/// | `00`         | `0` = no target; `0b0_01sssss` = write slot `s` |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Target {
+    /// No target (unused target field).
+    #[default]
+    None,
+    /// An operand slot of instruction `idx` (0..128) in the same block.
+    Inst {
+        /// Index of the consumer within the block body.
+        idx: u8,
+        /// Which operand slot of the consumer receives the value.
+        slot: OperandSlot,
+    },
+    /// Register-write slot `0..32` in the block header.
+    Write {
+        /// The write-queue slot number.
+        slot: u8,
+    },
+}
+
+impl Target {
+    /// Target the left operand of body instruction `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 128`.
+    pub fn left(idx: u8) -> Target {
+        assert!(idx < 128, "instruction index out of range: {idx}");
+        Target::Inst { idx, slot: OperandSlot::Left }
+    }
+
+    /// Target the right operand of body instruction `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 128`.
+    pub fn right(idx: u8) -> Target {
+        assert!(idx < 128, "instruction index out of range: {idx}");
+        Target::Inst { idx, slot: OperandSlot::Right }
+    }
+
+    /// Target the predicate operand of body instruction `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 128`.
+    pub fn pred(idx: u8) -> Target {
+        assert!(idx < 128, "instruction index out of range: {idx}");
+        Target::Inst { idx, slot: OperandSlot::Predicate }
+    }
+
+    /// Target register-write slot `slot` of the block header.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= 32`.
+    pub fn write(slot: u8) -> Target {
+        assert!(slot < 32, "write slot out of range: {slot}");
+        Target::Write { slot }
+    }
+
+    /// The absent target.
+    pub fn none() -> Target {
+        Target::None
+    }
+
+    /// True if this is [`Target::None`].
+    pub fn is_none(self) -> bool {
+        self == Target::None
+    }
+
+    /// Encode into the 9-bit field.
+    pub fn to_bits(self) -> u16 {
+        match self {
+            Target::None => 0,
+            Target::Write { slot } => 0b0_0100000 | u16::from(slot),
+            Target::Inst { idx, slot } => {
+                let ty = match slot {
+                    OperandSlot::Predicate => 0b01,
+                    OperandSlot::Left => 0b10,
+                    OperandSlot::Right => 0b11,
+                };
+                (ty << 7) | u16::from(idx)
+            }
+        }
+    }
+
+    /// Decode from the 9-bit field. Returns `None` for encodings that
+    /// are not valid targets (reserved patterns in type `00`).
+    pub fn from_bits(bits: u16) -> Option<Target> {
+        let bits = bits & 0x1ff;
+        let idx = (bits & 0x7f) as u8;
+        match bits >> 7 {
+            0b00 => {
+                if bits == 0 {
+                    Some(Target::None)
+                } else if idx & 0b110_0000 == 0b010_0000 {
+                    Some(Target::Write { slot: idx & 0x1f })
+                } else {
+                    None
+                }
+            }
+            0b01 => Some(Target::Inst { idx, slot: OperandSlot::Predicate }),
+            0b10 => Some(Target::Inst { idx, slot: OperandSlot::Left }),
+            0b11 => Some(Target::Inst { idx, slot: OperandSlot::Right }),
+            _ => unreachable!(),
+        }
+    }
+}
+
+impl fmt::Display for Target {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Target::None => f.write_str("-"),
+            Target::Inst { idx, slot } => write!(f, "N[{idx},{slot}]"),
+            Target::Write { slot } => write!(f, "W[{slot}]"),
+        }
+    }
+}
+
+/// The two-bit predicate field (`PR` in Figure 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Pred {
+    /// Not predicated: fires as soon as its data operands arrive.
+    #[default]
+    None,
+    /// Fires only if the arriving predicate operand is `0`.
+    OnFalse,
+    /// Fires only if the arriving predicate operand is `1` (non-zero).
+    OnTrue,
+}
+
+impl Pred {
+    /// Encode into the 2-bit field.
+    pub fn to_bits(self) -> u32 {
+        match self {
+            Pred::None => 0b00,
+            Pred::OnFalse => 0b10,
+            Pred::OnTrue => 0b11,
+        }
+    }
+
+    /// Decode from the 2-bit field; `0b01` is reserved.
+    pub fn from_bits(bits: u32) -> Option<Pred> {
+        match bits & 0b11 {
+            0b00 => Some(Pred::None),
+            0b10 => Some(Pred::OnFalse),
+            0b11 => Some(Pred::OnTrue),
+            _ => None,
+        }
+    }
+
+    /// True if this instruction waits for a predicate operand.
+    pub fn is_predicated(self) -> bool {
+        self != Pred::None
+    }
+
+    /// Whether a predicate value of `v` allows the instruction to fire.
+    pub fn matches(self, v: u64) -> bool {
+        match self {
+            Pred::None => true,
+            Pred::OnFalse => v == 0,
+            Pred::OnTrue => v != 0,
+        }
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Pred::None => "",
+            Pred::OnFalse => "p_f ",
+            Pred::OnTrue => "p_t ",
+        })
+    }
+}
+
+/// One of the 128 architectural registers of a thread.
+///
+/// The register file is banked four ways; register `r` lives in bank
+/// `r / 32` at index `r % 32` (the 5-bit `GR` field of read and write
+/// instructions indexes within the bank).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArchReg(u8);
+
+impl ArchReg {
+    /// Creates a register number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= 128`.
+    pub fn new(r: u8) -> ArchReg {
+        assert!(r < 128, "architectural register out of range: {r}");
+        ArchReg(r)
+    }
+
+    /// The register number (0..128).
+    pub fn num(self) -> u8 {
+        self.0
+    }
+
+    /// The register bank (0..4) holding this register.
+    pub fn bank(self) -> u8 {
+        self.0 / 32
+    }
+
+    /// The index within the bank (0..32) — the `GR` encoding field.
+    pub fn index_in_bank(self) -> u8 {
+        self.0 % 32
+    }
+
+    /// Reassemble from a bank and `GR` field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank >= 4` or `gr >= 32`.
+    pub fn from_bank_index(bank: u8, gr: u8) -> ArchReg {
+        assert!(bank < 4 && gr < 32, "bad bank {bank} / gr {gr}");
+        ArchReg(bank * 32 + gr)
+    }
+}
+
+impl fmt::Display for ArchReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+/// One decoded TRIPS body instruction.
+///
+/// This is the in-memory form of the 32-bit instruction word of any of
+/// the six formats; which fields are meaningful depends on
+/// [`Opcode::format`]. Use the constructors ([`Instruction::op`],
+/// [`Instruction::opi`], [`Instruction::load`], …) rather than filling
+/// fields in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Instruction {
+    /// The primary opcode.
+    pub opcode: Opcode,
+    /// The predicate condition guarding this instruction.
+    pub pred: Pred,
+    /// Up to two result targets (`[T0, T1]`); T1 is always `None` for
+    /// the I, L, C formats which encode only T0.
+    pub targets: [Target; 2],
+    /// Immediate: 14-bit signed (I), 9-bit signed (L/S), 20-bit signed
+    /// block offset (B), or 16-bit constant (C).
+    pub imm: i32,
+    /// Load/store ID giving this memory operation's position in the
+    /// block's sequential memory order (L and S formats).
+    pub lsid: u8,
+    /// Exit number (0..8) used to build exit histories (branches).
+    pub exit: u8,
+}
+
+impl Instruction {
+    /// An empty slot (`nop`), which is never dispatched or executed.
+    pub fn nop() -> Instruction {
+        Instruction {
+            opcode: Opcode::Nop,
+            pred: Pred::None,
+            targets: [Target::None; 2],
+            imm: 0,
+            lsid: 0,
+            exit: 0,
+        }
+    }
+
+    /// A G-format instruction with up to two targets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `opcode` is not G format or is a register branch
+    /// (use [`Instruction::branch_reg`]).
+    pub fn op(opcode: Opcode, targets: [Target; 2]) -> Instruction {
+        assert_eq!(opcode.format(), Format::G, "{opcode} is not G format");
+        assert!(!opcode.is_branch(), "use branch_reg for {opcode}");
+        Instruction { opcode, pred: Pred::None, targets, imm: 0, lsid: 0, exit: 0 }
+    }
+
+    /// An I-format instruction with a 14-bit signed immediate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `opcode` is not I format or `imm` does not fit 14
+    /// signed bits.
+    pub fn opi(opcode: Opcode, imm: i32, targets: [Target; 2]) -> Instruction {
+        assert_eq!(opcode.format(), Format::I, "{opcode} is not I format");
+        assert!((-(1 << 13)..(1 << 13)).contains(&imm), "imm14 out of range: {imm}");
+        Instruction { opcode, pred: Pred::None, targets, imm, lsid: 0, exit: 0 }
+    }
+
+    /// `movi` — generate a small signed constant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `imm` does not fit 14 signed bits.
+    pub fn movi(imm: i32, targets: [Target; 2]) -> Instruction {
+        Instruction::opi(Opcode::Movi, imm, targets)
+    }
+
+    /// A C-format instruction with a 16-bit constant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `opcode` is not C format or `c` does not fit 16 bits.
+    pub fn constant(opcode: Opcode, c: u16, target: Target) -> Instruction {
+        assert_eq!(opcode.format(), Format::C, "{opcode} is not C format");
+        Instruction {
+            opcode,
+            pred: Pred::None,
+            targets: [target, Target::None],
+            imm: i32::from(c),
+            lsid: 0,
+            exit: 0,
+        }
+    }
+
+    /// An L-format load with a 9-bit signed offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `opcode` is not a load, `lsid >= 32`, or `imm` does
+    /// not fit 9 signed bits.
+    pub fn load(opcode: Opcode, lsid: u8, imm: i32, target: Target) -> Instruction {
+        assert!(opcode.is_load(), "{opcode} is not a load");
+        assert!(lsid < 32, "lsid out of range: {lsid}");
+        assert!((-(1 << 8)..(1 << 8)).contains(&imm), "imm9 out of range: {imm}");
+        Instruction {
+            opcode,
+            pred: Pred::None,
+            targets: [target, Target::None],
+            imm,
+            lsid,
+            exit: 0,
+        }
+    }
+
+    /// An S-format store with a 9-bit signed offset. Stores have no
+    /// targets: the address arrives left, the data right.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `opcode` is not a store, `lsid >= 32`, or `imm` does
+    /// not fit 9 signed bits.
+    pub fn store(opcode: Opcode, lsid: u8, imm: i32) -> Instruction {
+        assert!(opcode.is_store(), "{opcode} is not a store");
+        assert!(lsid < 32, "lsid out of range: {lsid}");
+        assert!((-(1 << 8)..(1 << 8)).contains(&imm), "imm9 out of range: {imm}");
+        Instruction {
+            opcode,
+            pred: Pred::None,
+            targets: [Target::None; 2],
+            imm,
+            lsid,
+            exit: 0,
+        }
+    }
+
+    /// A B-format branch with an exit number and a signed block offset
+    /// in units of 128 bytes, relative to the current block's header.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `opcode` is not B format, `exit >= 8`, or `offset`
+    /// does not fit 20 signed bits.
+    pub fn branch(opcode: Opcode, exit: u8, offset: i32) -> Instruction {
+        assert_eq!(opcode.format(), Format::B, "{opcode} is not B format");
+        assert!(exit < 8, "exit out of range: {exit}");
+        assert!((-(1 << 19)..(1 << 19)).contains(&offset), "offset20 out of range: {offset}");
+        Instruction {
+            opcode,
+            pred: Pred::None,
+            targets: [Target::None; 2],
+            imm: offset,
+            lsid: 0,
+            exit,
+        }
+    }
+
+    /// A register-indirect branch (`br` / `call` / `ret`): the target
+    /// block address arrives as the left operand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `opcode` is not one of `Br`, `Call`, `Ret` or
+    /// `exit >= 8`.
+    pub fn branch_reg(opcode: Opcode, exit: u8) -> Instruction {
+        assert!(
+            matches!(opcode, Opcode::Br | Opcode::Call | Opcode::Ret),
+            "{opcode} is not a register branch"
+        );
+        assert!(exit < 8, "exit out of range: {exit}");
+        Instruction {
+            opcode,
+            pred: Pred::None,
+            targets: [Target::None; 2],
+            imm: 0,
+            lsid: 0,
+            exit,
+        }
+    }
+
+    /// The same instruction guarded by `pred`.
+    pub fn with_pred(mut self, pred: Pred) -> Instruction {
+        self.pred = pred;
+        self
+    }
+
+    /// True if this slot is empty.
+    pub fn is_nop(&self) -> bool {
+        self.opcode == Opcode::Nop
+    }
+
+    /// Iterator over the non-`None` targets.
+    pub fn live_targets(&self) -> impl Iterator<Item = Target> + '_ {
+        self.targets.iter().copied().filter(|t| !t.is_none())
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_nop() {
+            return f.write_str("nop");
+        }
+        write!(f, "{}{}", self.pred, self.opcode)?;
+        match self.opcode.format() {
+            Format::G => {}
+            Format::I | Format::C => write!(f, " #{}", self.imm)?,
+            Format::L | Format::S => write!(f, " #{} [lsid={}]", self.imm, self.lsid)?,
+            Format::B => write!(f, " exit={} offset={}", self.exit, self.imm)?,
+        }
+        for t in self.live_targets() {
+            write!(f, " {t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_bits_roundtrip() {
+        for bits in 0u16..512 {
+            if let Some(t) = Target::from_bits(bits) {
+                assert_eq!(t.to_bits(), bits, "raw {bits:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn target_constructors() {
+        assert_eq!(Target::left(5), Target::Inst { idx: 5, slot: OperandSlot::Left });
+        assert_eq!(Target::write(31).to_bits(), 0b0_0111111);
+        assert!(Target::none().is_none());
+        assert_eq!(Target::from_bits(0), Some(Target::None));
+        // Reserved type-00 patterns decode to None-the-Option.
+        assert_eq!(Target::from_bits(1), None);
+        assert_eq!(Target::from_bits(0b0_1000000), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn target_rejects_big_index() {
+        let _ = Target::left(128);
+    }
+
+    #[test]
+    fn pred_bits() {
+        for p in [Pred::None, Pred::OnFalse, Pred::OnTrue] {
+            assert_eq!(Pred::from_bits(p.to_bits()), Some(p));
+        }
+        assert_eq!(Pred::from_bits(0b01), None);
+        assert!(Pred::OnTrue.matches(1));
+        assert!(!Pred::OnTrue.matches(0));
+        assert!(Pred::OnFalse.matches(0));
+        assert!(Pred::None.matches(17));
+    }
+
+    #[test]
+    fn arch_reg_banking() {
+        let r = ArchReg::new(37);
+        assert_eq!(r.bank(), 1);
+        assert_eq!(r.index_in_bank(), 5);
+        assert_eq!(ArchReg::from_bank_index(1, 5), r);
+        assert_eq!(ArchReg::new(0).bank(), 0);
+        assert_eq!(ArchReg::new(127).bank(), 3);
+    }
+
+    #[test]
+    fn display_forms() {
+        let i = Instruction::opi(Opcode::Muli, 4, [Target::left(32), Target::none()])
+            .with_pred(Pred::OnFalse);
+        assert_eq!(i.to_string(), "p_f muli #4 N[32,L]");
+        let s = Instruction::store(Opcode::Sw, 1, 0);
+        assert_eq!(s.to_string(), "sw #0 [lsid=1]");
+        assert_eq!(Instruction::nop().to_string(), "nop");
+    }
+
+    #[test]
+    fn live_targets_skips_none() {
+        let i = Instruction::op(Opcode::Add, [Target::none(), Target::right(3)]);
+        let ts: Vec<_> = i.live_targets().collect();
+        assert_eq!(ts, vec![Target::right(3)]);
+    }
+}

@@ -1,0 +1,99 @@
+//! # trips-isa — the TRIPS EDGE instruction set
+//!
+//! This crate implements the instruction set architecture of the TRIPS
+//! prototype processor, an instance of an EDGE (Explicit Data Graph
+//! Execution) architecture as described in §2 of *Distributed
+//! Microarchitectural Protocols in the TRIPS Prototype Processor*
+//! (MICRO-39, 2006).
+//!
+//! The two defining EDGE properties are both first-class here:
+//!
+//! * **Block-atomic execution** — instructions are aggregated into
+//!   [`TripsBlock`]s of up to 128 instructions that are fetched,
+//!   executed, and committed as a unit. A block's outputs (up to 32
+//!   register writes, up to 32 stores, exactly one branch) are declared
+//!   in its header so a distributed substrate can detect completion.
+//! * **Direct instruction communication** — instructions name their
+//!   consumers via [`Target`] fields instead of writing registers, so a
+//!   microarchitecture can route a producer's result straight to its
+//!   consumers' reservation stations.
+//!
+//! ## Layout of a block
+//!
+//! A block occupies two to five 128-byte chunks in memory:
+//! a *header chunk* holding up to 32 [`ReadInst`]s, up to 32
+//! [`WriteInst`]s, the 32-bit store mask, the block flags, and the body
+//! chunk count; and one to four *body chunks* of 32 encoded
+//! instructions each. [`encode`] and [`decode`] convert between
+//! [`TripsBlock`] and this binary layout.
+//!
+//! ## Example
+//!
+//! Build the example block of Figure 5a of the paper (a predicated
+//! load/store diamond) and encode it:
+//!
+//! ```
+//! use trips_isa::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = TripsBlock::new();
+//! b.set_read(0, ReadInst::new(ArchReg::new(4), [Target::left(1), Target::left(2)]))?;
+//! b.push(Instruction::movi(0, [Target::right(1), Target::none()]))?;    // N[0]
+//! b.push(Instruction::op(Opcode::Teq, [Target::pred(2), Target::pred(3)]))?; // N[1]
+//! b.push(Instruction::with_pred(
+//!     Instruction::opi(Opcode::Muli, 4, [Target::left(32), Target::none()]),
+//!     Pred::OnFalse,
+//! ))?;                                                                   // N[2]
+//! b.push(Instruction::with_pred(
+//!     Instruction::op(Opcode::Null, [Target::left(34), Target::right(34)]),
+//!     Pred::OnTrue,
+//! ))?;                                                                   // N[3]
+//! for _ in 4..32 { b.push(Instruction::nop())?; }
+//! b.push(Instruction::load(Opcode::Lw, 0, 8, Target::left(33)))?;        // N[32]
+//! b.push(Instruction::op(Opcode::Mov, [Target::left(34), Target::right(34)]))?; // N[33]
+//! b.push(Instruction::store(Opcode::Sw, 1, 0))?;                         // N[34]
+//! b.push(Instruction::branch(Opcode::Callo, 0, 16))?;                    // N[35]
+//! b.header.store_mask = 1 << 1;
+//! b.validate()?;
+//! let bytes = encode(&b);
+//! assert_eq!(bytes.len(), 128 * 3); // header + two body chunks
+//! let back = decode(&bytes)?;
+//! assert_eq!(b, back);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod asm;
+mod block;
+mod coords;
+mod disasm;
+mod encode;
+mod image;
+mod inst;
+pub mod mem;
+mod opcode;
+pub mod semantics;
+
+pub use block::{BlockError, BlockFlags, BlockHeader, ReadInst, TripsBlock, WriteInst};
+pub use coords::{EtCoord, InstSlot, read_slot_bank, write_slot_bank, ARCH_REGS, REG_BANKS, REGS_PER_BANK};
+pub use disasm::disassemble;
+pub use encode::{
+    decode, decode_body_chunk, decode_header, encode, DecodeError, CHUNK_BYTES, MAX_BLOCK_BYTES,
+};
+pub use image::{ProgramImage, Segment};
+pub use inst::{ArchReg, Instruction, OperandSlot, Pred, Target};
+pub use opcode::{BranchKind, Format, Opcode, OperandNeeds};
+
+/// Number of instructions in one body chunk.
+pub const CHUNK_INSTS: usize = 32;
+/// Maximum number of body instructions in a block.
+pub const MAX_BLOCK_INSTS: usize = 128;
+/// Maximum number of register read instructions in a block header.
+pub const MAX_READS: usize = 32;
+/// Maximum number of register write instructions in a block header.
+pub const MAX_WRITES: usize = 32;
+/// Maximum number of load/store IDs (and thus memory instructions that
+/// may issue) per block.
+pub const MAX_LSIDS: usize = 32;
+/// Blocks are aligned to (and addressed in units of) this many bytes.
+pub const BLOCK_ALIGN: u64 = 128;

@@ -1,0 +1,150 @@
+//! A sparse, paged byte memory shared by the simulators and
+//! interpreters.
+
+use std::collections::HashMap;
+
+use crate::image::ProgramImage;
+
+const PAGE_SHIFT: u64 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+
+/// A sparse 64-bit byte-addressed memory backed by 4 KiB pages.
+///
+/// Uninitialized bytes read as zero, which matches the behaviour a
+/// workload sees from a zero-filled simulation DRAM.
+#[derive(Debug, Clone, Default)]
+pub struct SparseMem {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl SparseMem {
+    /// An empty (all-zero) memory.
+    pub fn new() -> SparseMem {
+        SparseMem::default()
+    }
+
+    /// A memory initialized from a program image.
+    pub fn from_image(image: &ProgramImage) -> SparseMem {
+        let mut m = SparseMem::new();
+        m.load_image(image);
+        m
+    }
+
+    /// Copies every segment of `image` into memory.
+    pub fn load_image(&mut self, image: &ProgramImage) {
+        for seg in image.segments() {
+            self.write_bytes(seg.base, &seg.data);
+        }
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            Some(p) => p[(addr & (PAGE_SIZE as u64 - 1)) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u64, val: u8) {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0; PAGE_SIZE]));
+        page[(addr & (PAGE_SIZE as u64 - 1)) as usize] = val;
+    }
+
+    /// Reads `n <= 8` bytes little-endian.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 8`.
+    pub fn read_uint(&self, addr: u64, n: u32) -> u64 {
+        assert!(n <= 8, "read of {n} bytes");
+        let mut v = 0u64;
+        for i in (0..n as u64).rev() {
+            v = (v << 8) | u64::from(self.read_u8(addr + i));
+        }
+        v
+    }
+
+    /// Writes the low `n <= 8` bytes of `val` little-endian.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 8`.
+    pub fn write_uint(&mut self, addr: u64, val: u64, n: u32) {
+        assert!(n <= 8, "write of {n} bytes");
+        for i in 0..n as u64 {
+            self.write_u8(addr + i, (val >> (8 * i)) as u8);
+        }
+    }
+
+    /// Reads a 64-bit little-endian word.
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        self.read_uint(addr, 8)
+    }
+
+    /// Writes a 64-bit little-endian word.
+    pub fn write_u64(&mut self, addr: u64, val: u64) {
+        self.write_uint(addr, val, 8)
+    }
+
+    /// Reads `out.len()` bytes.
+    pub fn read_bytes(&self, addr: u64, out: &mut [u8]) {
+        for (i, b) in out.iter_mut().enumerate() {
+            *b = self.read_u8(addr + i as u64);
+        }
+    }
+
+    /// Writes a byte slice.
+    pub fn write_bytes(&mut self, addr: u64, data: &[u8]) {
+        for (i, &b) in data.iter().enumerate() {
+            self.write_u8(addr + i as u64, b);
+        }
+    }
+
+    /// Number of resident pages (for tests and stats).
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fill_and_roundtrip() {
+        let mut m = SparseMem::new();
+        assert_eq!(m.read_u64(0xdead_beef), 0);
+        m.write_u64(0x1000, 0x0123_4567_89ab_cdef);
+        assert_eq!(m.read_u64(0x1000), 0x0123_4567_89ab_cdef);
+        assert_eq!(m.read_u8(0x1000), 0xef, "little endian");
+        assert_eq!(m.read_uint(0x1004, 4), 0x0123_4567);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = SparseMem::new();
+        m.write_u64(0xffc, u64::MAX);
+        assert_eq!(m.read_u64(0xffc), u64::MAX);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn subword_writes_preserve_neighbors() {
+        let mut m = SparseMem::new();
+        m.write_u64(0, u64::MAX);
+        m.write_uint(2, 0, 2);
+        assert_eq!(m.read_u64(0), 0xffff_ffff_0000_ffff);
+    }
+
+    #[test]
+    fn image_loading() {
+        let mut img = ProgramImage::new();
+        img.add_segment(0x2000, vec![1, 2, 3, 4]);
+        let m = SparseMem::from_image(&img);
+        assert_eq!(m.read_uint(0x2000, 4), 0x0403_0201);
+    }
+}

@@ -1,0 +1,364 @@
+//! Opcodes of the TRIPS EDGE ISA and their static properties.
+
+use std::fmt;
+
+/// Instruction encoding formats (Figure 1 of the paper).
+///
+/// Every opcode belongs to exactly one format, which fixes how its
+/// 32-bit word is laid out and which dynamic operands it consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Format {
+    /// General: `OPCODE PR XOP T1 T0` — register-to-register compute.
+    G,
+    /// Immediate: `OPCODE PR IMM14 T0`.
+    I,
+    /// Load: `OPCODE PR LSID IMM9 T0`.
+    L,
+    /// Store: `OPCODE PR LSID IMM9 0`.
+    S,
+    /// Branch: `OPCODE PR EXIT OFFSET20`.
+    B,
+    /// Constant: `OPCODE CONST16 T0` — note: no predicate field.
+    C,
+}
+
+/// Which dynamic operands an instruction must receive before it fires.
+///
+/// The predicate operand is in addition to these, required whenever
+/// [`Pred`](crate::Pred) is not `None`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OperandNeeds {
+    /// Fires immediately on dispatch (constants, `movi`, `null`, …).
+    None,
+    /// Requires only the left operand.
+    Left,
+    /// Requires left and right operands.
+    LeftRight,
+}
+
+/// The control-flow class of a branch, used by the GT's branch *type*
+/// predictor to select among target predictions (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchKind {
+    /// Ordinary branch (direct `bro` or register-indirect `br`).
+    Branch,
+    /// Call: pushes the successor block onto the return-address stack.
+    Call,
+    /// Return: predicted by the return-address stack.
+    Return,
+    /// Sequential branch: falls through to the next block in memory.
+    Sequential,
+    /// Halts the machine when the block commits (stands in for the
+    /// board-level control processor of the prototype).
+    Halt,
+}
+
+macro_rules! opcodes {
+    ($( $name:ident = $num:expr, $fmt:ident, $needs:ident, $mnem:expr; )+) => {
+        /// A TRIPS primary opcode.
+        ///
+        /// The discriminant is the 7-bit encoding used in the
+        /// instruction word.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        #[repr(u8)]
+        pub enum Opcode {
+            $(
+                #[doc = concat!("`", $mnem, "`")]
+                $name = $num,
+            )+
+        }
+
+        impl Opcode {
+            /// Decodes a 7-bit opcode field.
+            pub fn from_bits(bits: u8) -> Option<Opcode> {
+                match bits {
+                    $( $num => Some(Opcode::$name), )+
+                    _ => None,
+                }
+            }
+
+            /// The encoding format this opcode uses.
+            pub fn format(self) -> Format {
+                match self {
+                    $( Opcode::$name => Format::$fmt, )+
+                }
+            }
+
+            /// The dynamic operands this opcode waits for before firing.
+            pub fn needs(self) -> OperandNeeds {
+                match self {
+                    $( Opcode::$name => OperandNeeds::$needs, )+
+                }
+            }
+
+            /// The assembly mnemonic.
+            pub fn mnemonic(self) -> &'static str {
+                match self {
+                    $( Opcode::$name => $mnem, )+
+                }
+            }
+        }
+    };
+}
+
+opcodes! {
+    // ---- pseudo ----
+    Nop   = 0x00, G, None, "nop";
+
+    // ---- G format: integer compute ----
+    Add   = 0x01, G, LeftRight, "add";
+    Sub   = 0x02, G, LeftRight, "sub";
+    Mul   = 0x03, G, LeftRight, "mul";
+    Div   = 0x04, G, LeftRight, "div";
+    And   = 0x05, G, LeftRight, "and";
+    Or    = 0x06, G, LeftRight, "or";
+    Xor   = 0x07, G, LeftRight, "xor";
+    Sll   = 0x08, G, LeftRight, "sll";
+    Srl   = 0x09, G, LeftRight, "srl";
+    Sra   = 0x0a, G, LeftRight, "sra";
+    Divu  = 0x0b, G, LeftRight, "divu";
+    Mod   = 0x0c, G, LeftRight, "mod";
+
+    // ---- G format: tests (produce 0/1, usually routed to predicates) ----
+    Teq   = 0x10, G, LeftRight, "teq";
+    Tne   = 0x11, G, LeftRight, "tne";
+    Tlt   = 0x12, G, LeftRight, "tlt";
+    Tle   = 0x13, G, LeftRight, "tle";
+    Tgt   = 0x14, G, LeftRight, "tgt";
+    Tge   = 0x15, G, LeftRight, "tge";
+    Tltu  = 0x16, G, LeftRight, "tltu";
+    Tgeu  = 0x17, G, LeftRight, "tgeu";
+
+    // ---- G format: unary / data movement ----
+    Mov   = 0x18, G, Left, "mov";
+    Null  = 0x19, G, None, "null";
+    Sextb = 0x1a, G, Left, "sextb";
+    Sexth = 0x1b, G, Left, "sexth";
+    Sextw = 0x1c, G, Left, "sextw";
+    Not   = 0x1d, G, Left, "not";
+    Getra = 0x1e, G, None, "getra";
+
+    // ---- G format: floating point (f64 bit patterns in 64-bit values) ----
+    Fadd  = 0x20, G, LeftRight, "fadd";
+    Fsub  = 0x21, G, LeftRight, "fsub";
+    Fmul  = 0x22, G, LeftRight, "fmul";
+    Fdiv  = 0x23, G, LeftRight, "fdiv";
+    Flt   = 0x24, G, LeftRight, "flt";
+    Fle   = 0x25, G, LeftRight, "fle";
+    Feq   = 0x26, G, LeftRight, "feq";
+    Itof  = 0x27, G, Left, "itof";
+    Ftoi  = 0x28, G, Left, "ftoi";
+    Fsqrt = 0x29, G, Left, "fsqrt";
+
+    // ---- G format: register-indirect control flow ----
+    Br    = 0x2c, G, Left, "br";
+    Call  = 0x2d, G, Left, "call";
+    Ret   = 0x2e, G, Left, "ret";
+
+    // ---- I format ----
+    Addi  = 0x30, I, Left, "addi";
+    Subi  = 0x31, I, Left, "subi";
+    Muli  = 0x32, I, Left, "muli";
+    Divi  = 0x33, I, Left, "divi";
+    Andi  = 0x34, I, Left, "andi";
+    Ori   = 0x35, I, Left, "ori";
+    Xori  = 0x36, I, Left, "xori";
+    Slli  = 0x37, I, Left, "slli";
+    Srli  = 0x38, I, Left, "srli";
+    Srai  = 0x39, I, Left, "srai";
+    Teqi  = 0x3a, I, Left, "teqi";
+    Tnei  = 0x3b, I, Left, "tnei";
+    Tlti  = 0x3c, I, Left, "tlti";
+    Tlei  = 0x3d, I, Left, "tlei";
+    Tgti  = 0x3e, I, Left, "tgti";
+    Tgei  = 0x3f, I, Left, "tgei";
+    Movi  = 0x40, I, None, "movi";
+    Modi  = 0x41, I, Left, "modi";
+
+    // ---- C format ----
+    Gens  = 0x44, C, None, "gens";
+    Genu  = 0x45, C, None, "genu";
+    App   = 0x46, C, Left, "app";
+
+    // ---- L format ----
+    Lb    = 0x48, L, Left, "lb";
+    Lbu   = 0x49, L, Left, "lbu";
+    Lh    = 0x4a, L, Left, "lh";
+    Lhu   = 0x4b, L, Left, "lhu";
+    Lw    = 0x4c, L, Left, "lw";
+    Lwu   = 0x4d, L, Left, "lwu";
+    Ld    = 0x4e, L, Left, "ld";
+
+    // ---- S format ----
+    Sb    = 0x50, S, LeftRight, "sb";
+    Sh    = 0x51, S, LeftRight, "sh";
+    Sw    = 0x52, S, LeftRight, "sw";
+    Sd    = 0x53, S, LeftRight, "sd";
+
+    // ---- B format ----
+    Bro   = 0x58, B, None, "bro";
+    Callo = 0x59, B, None, "callo";
+    Sbro  = 0x5a, B, None, "sbro";
+    Halt  = 0x5b, B, None, "halt";
+}
+
+impl Opcode {
+    /// True for memory loads (L format).
+    pub fn is_load(self) -> bool {
+        self.format() == Format::L
+    }
+
+    /// True for memory stores (S format).
+    pub fn is_store(self) -> bool {
+        self.format() == Format::S
+    }
+
+    /// True for any control-flow instruction that produces the block's
+    /// single branch output.
+    pub fn is_branch(self) -> bool {
+        self.branch_kind().is_some()
+    }
+
+    /// The branch class, if this opcode is a branch.
+    pub fn branch_kind(self) -> Option<BranchKind> {
+        match self {
+            Opcode::Bro | Opcode::Br => Some(BranchKind::Branch),
+            Opcode::Callo | Opcode::Call => Some(BranchKind::Call),
+            Opcode::Ret => Some(BranchKind::Return),
+            Opcode::Sbro => Some(BranchKind::Sequential),
+            Opcode::Halt => Some(BranchKind::Halt),
+            _ => None,
+        }
+    }
+
+    /// True if the result is a test producing 0 or 1 (the only values a
+    /// predicate operand may legally carry).
+    pub fn is_test(self) -> bool {
+        matches!(
+            self,
+            Opcode::Teq
+                | Opcode::Tne
+                | Opcode::Tlt
+                | Opcode::Tle
+                | Opcode::Tgt
+                | Opcode::Tge
+                | Opcode::Tltu
+                | Opcode::Tgeu
+                | Opcode::Teqi
+                | Opcode::Tnei
+                | Opcode::Tlti
+                | Opcode::Tlei
+                | Opcode::Tgti
+                | Opcode::Tgei
+                | Opcode::Flt
+                | Opcode::Fle
+                | Opcode::Feq
+        )
+    }
+
+    /// True for opcodes whose dynamic execution produces a value that
+    /// is sent to [`Target`](crate::Target)s (everything except stores
+    /// and branches, whose outputs travel on dedicated paths).
+    pub fn produces_value(self) -> bool {
+        !self.is_store() && !self.is_branch() && self != Opcode::Nop
+    }
+
+    /// True for opcodes that use the floating-point unit.
+    pub fn is_fp(self) -> bool {
+        matches!(
+            self,
+            Opcode::Fadd
+                | Opcode::Fsub
+                | Opcode::Fmul
+                | Opcode::Fdiv
+                | Opcode::Flt
+                | Opcode::Fle
+                | Opcode::Feq
+                | Opcode::Itof
+                | Opcode::Ftoi
+                | Opcode::Fsqrt
+        )
+    }
+
+    /// Access size in bytes for loads and stores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the opcode is not a load or store.
+    pub fn access_bytes(self) -> u32 {
+        match self {
+            Opcode::Lb | Opcode::Lbu | Opcode::Sb => 1,
+            Opcode::Lh | Opcode::Lhu | Opcode::Sh => 2,
+            Opcode::Lw | Opcode::Lwu | Opcode::Sw => 4,
+            Opcode::Ld | Opcode::Sd => 8,
+            _ => panic!("access_bytes on non-memory opcode {self:?}"),
+        }
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_opcodes_through_bits() {
+        for bits in 0u8..128 {
+            if let Some(op) = Opcode::from_bits(bits) {
+                assert_eq!(op as u8, bits);
+            }
+        }
+    }
+
+    #[test]
+    fn format_classes_are_consistent() {
+        for bits in 0u8..128 {
+            let Some(op) = Opcode::from_bits(bits) else { continue };
+            assert_eq!(op.is_load(), op.format() == Format::L);
+            assert_eq!(op.is_store(), op.format() == Format::S);
+            if op.format() == Format::B {
+                assert!(op.is_branch());
+            }
+        }
+    }
+
+    #[test]
+    fn stores_and_branches_produce_no_value() {
+        assert!(!Opcode::Sw.produces_value());
+        assert!(!Opcode::Bro.produces_value());
+        assert!(!Opcode::Ret.produces_value());
+        assert!(Opcode::Add.produces_value());
+        assert!(Opcode::Lw.produces_value());
+    }
+
+    #[test]
+    fn access_sizes() {
+        assert_eq!(Opcode::Lb.access_bytes(), 1);
+        assert_eq!(Opcode::Sh.access_bytes(), 2);
+        assert_eq!(Opcode::Lw.access_bytes(), 4);
+        assert_eq!(Opcode::Sd.access_bytes(), 8);
+    }
+
+    #[test]
+    fn branch_kinds() {
+        assert_eq!(Opcode::Callo.branch_kind(), Some(BranchKind::Call));
+        assert_eq!(Opcode::Ret.branch_kind(), Some(BranchKind::Return));
+        assert_eq!(Opcode::Add.branch_kind(), None);
+    }
+
+    #[test]
+    fn mnemonics_are_lowercase_and_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for bits in 0u8..128 {
+            let Some(op) = Opcode::from_bits(bits) else { continue };
+            let m = op.mnemonic();
+            assert_eq!(m, m.to_lowercase());
+            assert!(seen.insert(m), "duplicate mnemonic {m}");
+        }
+    }
+}

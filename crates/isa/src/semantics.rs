@@ -1,0 +1,229 @@
+//! Functional semantics of the compute opcodes.
+//!
+//! Both the execution-tile model and the reference interpreters need
+//! the same definition of what each ALU opcode computes, so it lives
+//! here, next to the opcode definitions. Memory and branch opcodes are
+//! not evaluated here — their effects belong to the data tiles and the
+//! global control tile respectively.
+
+use crate::opcode::Opcode;
+
+/// A dataflow token: a 64-bit value or the null token that nullifies
+/// block outputs on untaken predicate paths (§4.2 of the paper).
+///
+/// Any instruction that receives a null operand produces null; a
+/// nullified store or register write counts as a block output without
+/// touching architectural state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tok {
+    /// A 64-bit value.
+    Val(u64),
+    /// The null token.
+    Null,
+}
+
+impl Tok {
+    /// The value, or `None` for null.
+    pub fn value(self) -> Option<u64> {
+        match self {
+            Tok::Val(v) => Some(v),
+            Tok::Null => None,
+        }
+    }
+
+    /// True for [`Tok::Null`].
+    pub fn is_null(self) -> bool {
+        self == Tok::Null
+    }
+}
+
+/// Evaluates a compute opcode on 64-bit operand values.
+///
+/// `left`/`right` are ignored when the opcode does not consume them;
+/// `imm` carries the instruction's immediate for I- and C-format
+/// opcodes. Floating point operates on `f64` bit patterns. Tests
+/// return `1` or `0`. Division by zero returns `0` (the prototype
+/// would raise an exception into the control processor; no workload in
+/// the suite divides by zero) and signed overflow wraps.
+///
+/// # Panics
+///
+/// Panics if called with a load, store, branch, or `nop` opcode —
+/// those have no ALU semantics.
+pub fn eval(op: Opcode, left: u64, right: u64, imm: i32) -> u64 {
+    use Opcode::*;
+    let l = left;
+    let r = right;
+    let li = left as i64;
+    let ri = right as i64;
+    let im = i64::from(imm);
+    let lf = f64::from_bits(left);
+    let rf = f64::from_bits(right);
+    let b = |v: bool| u64::from(v);
+    match op {
+        Add => l.wrapping_add(r),
+        Sub => l.wrapping_sub(r),
+        Mul => l.wrapping_mul(r),
+        Div => {
+            if ri == 0 { 0 } else { li.wrapping_div(ri) as u64 }
+        }
+        Divu => {
+            if r == 0 { 0 } else { l / r }
+        }
+        Mod => {
+            if ri == 0 { 0 } else { li.wrapping_rem(ri) as u64 }
+        }
+        And => l & r,
+        Or => l | r,
+        Xor => l ^ r,
+        Sll => l.wrapping_shl((r & 63) as u32),
+        Srl => l.wrapping_shr((r & 63) as u32),
+        Sra => (li.wrapping_shr((r & 63) as u32)) as u64,
+        Teq => b(l == r),
+        Tne => b(l != r),
+        Tlt => b(li < ri),
+        Tle => b(li <= ri),
+        Tgt => b(li > ri),
+        Tge => b(li >= ri),
+        Tltu => b(l < r),
+        Tgeu => b(l >= r),
+        Mov => l,
+        Not => !l,
+        Sextb => l as i8 as i64 as u64,
+        Sexth => l as i16 as i64 as u64,
+        Sextw => l as i32 as i64 as u64,
+        Fadd => (lf + rf).to_bits(),
+        Fsub => (lf - rf).to_bits(),
+        Fmul => (lf * rf).to_bits(),
+        Fdiv => (lf / rf).to_bits(),
+        Fsqrt => lf.sqrt().to_bits(),
+        Flt => b(lf < rf),
+        Fle => b(lf <= rf),
+        Feq => b(lf == rf),
+        Itof => (li as f64).to_bits(),
+        Ftoi => (lf as i64) as u64,
+        Addi => l.wrapping_add(im as u64),
+        Subi => l.wrapping_sub(im as u64),
+        Muli => l.wrapping_mul(im as u64),
+        Divi => {
+            if im == 0 { 0 } else { li.wrapping_div(im) as u64 }
+        }
+        Modi => {
+            if im == 0 { 0 } else { li.wrapping_rem(im) as u64 }
+        }
+        Andi => l & (im as u64),
+        Ori => l | (im as u64),
+        Xori => l ^ (im as u64),
+        Slli => l.wrapping_shl((im & 63) as u32),
+        Srli => l.wrapping_shr((im & 63) as u32),
+        Srai => (li.wrapping_shr((im & 63) as u32)) as u64,
+        Teqi => b(li == im),
+        Tnei => b(li != im),
+        Tlti => b(li < im),
+        Tlei => b(li <= im),
+        Tgti => b(li > im),
+        Tgei => b(li >= im),
+        Movi => im as u64,
+        Gens => im as i16 as i64 as u64,
+        Genu => (im as u64) & 0xffff,
+        App => (l << 16) | ((im as u64) & 0xffff),
+        Null => 0,
+        Getra | Nop | Lb | Lbu | Lh | Lhu | Lw | Lwu | Ld | Sb | Sh | Sw | Sd | Bro | Callo
+        | Sbro | Halt | Br | Call | Ret => {
+            panic!("{op} has no ALU semantics")
+        }
+    }
+}
+
+/// Extracts and extends a loaded value of the given load opcode's
+/// width from the raw 64-bit little-endian word read at the access
+/// address.
+///
+/// # Panics
+///
+/// Panics if `op` is not a load.
+pub fn extend_load(op: Opcode, raw: u64) -> u64 {
+    match op {
+        Opcode::Lb => raw as u8 as i8 as i64 as u64,
+        Opcode::Lbu => raw as u8 as u64,
+        Opcode::Lh => raw as u16 as i16 as i64 as u64,
+        Opcode::Lhu => raw as u16 as u64,
+        Opcode::Lw => raw as u32 as i32 as i64 as u64,
+        Opcode::Lwu => raw as u32 as u64,
+        Opcode::Ld => raw,
+        _ => panic!("{op} is not a load"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_arithmetic() {
+        assert_eq!(eval(Opcode::Add, 3, 4, 0), 7);
+        assert_eq!(eval(Opcode::Sub, 3, 4, 0), (-1i64) as u64);
+        assert_eq!(eval(Opcode::Mul, u64::MAX, 2, 0), u64::MAX.wrapping_mul(2));
+        assert_eq!(eval(Opcode::Div, (-9i64) as u64, 2, 0), (-4i64) as u64);
+        assert_eq!(eval(Opcode::Div, 5, 0, 0), 0, "div by zero defined as 0");
+        assert_eq!(eval(Opcode::Divu, u64::MAX, 2, 0), u64::MAX / 2);
+        assert_eq!(eval(Opcode::Mod, 7, 3, 0), 1);
+    }
+
+    #[test]
+    fn shifts_mask_the_amount() {
+        assert_eq!(eval(Opcode::Sll, 1, 64, 0), 1, "shift amount taken mod 64");
+        assert_eq!(eval(Opcode::Sra, (-8i64) as u64, 1, 0), (-4i64) as u64);
+        assert_eq!(eval(Opcode::Srli, (-1i64) as u64, 0, 63), 1);
+    }
+
+    #[test]
+    fn tests_produce_zero_or_one() {
+        assert_eq!(eval(Opcode::Tlt, (-1i64) as u64, 0, 0), 1, "signed compare");
+        assert_eq!(eval(Opcode::Tltu, (-1i64) as u64, 0, 0), 0, "unsigned compare");
+        assert_eq!(eval(Opcode::Teqi, 5, 0, 5), 1);
+        assert_eq!(eval(Opcode::Tgei, 4, 0, 5), 0);
+    }
+
+    #[test]
+    fn float_ops_on_bit_patterns() {
+        let x = 1.5f64.to_bits();
+        let y = 2.25f64.to_bits();
+        assert_eq!(f64::from_bits(eval(Opcode::Fadd, x, y, 0)), 3.75);
+        assert_eq!(f64::from_bits(eval(Opcode::Fmul, x, y, 0)), 3.375);
+        assert_eq!(eval(Opcode::Flt, x, y, 0), 1);
+        assert_eq!(eval(Opcode::Ftoi, 2.9f64.to_bits(), 0, 0), 2);
+        assert_eq!(f64::from_bits(eval(Opcode::Itof, (-3i64) as u64, 0, 0)), -3.0);
+        assert_eq!(f64::from_bits(eval(Opcode::Fsqrt, 9.0f64.to_bits(), 0, 0)), 3.0);
+    }
+
+    #[test]
+    fn constant_generation() {
+        assert_eq!(eval(Opcode::Movi, 0, 0, -3), (-3i64) as u64);
+        assert_eq!(eval(Opcode::Gens, 0, 0, 0x8000), 0xffff_ffff_ffff_8000);
+        assert_eq!(eval(Opcode::Genu, 0, 0, 0x8000), 0x8000);
+        assert_eq!(eval(Opcode::App, 0x1234, 0, 0x5678), 0x1234_5678);
+    }
+
+    #[test]
+    fn sign_extensions() {
+        assert_eq!(eval(Opcode::Sextb, 0x80, 0, 0), (-128i64) as u64);
+        assert_eq!(eval(Opcode::Sexth, 0x8000, 0, 0), (-32768i64) as u64);
+        assert_eq!(eval(Opcode::Sextw, 0x8000_0000, 0, 0), (-2147483648i64) as u64);
+    }
+
+    #[test]
+    fn load_extension() {
+        assert_eq!(extend_load(Opcode::Lb, 0xff), (-1i64) as u64);
+        assert_eq!(extend_load(Opcode::Lbu, 0xff), 0xff);
+        assert_eq!(extend_load(Opcode::Lw, 0xffff_ffff), (-1i64) as u64);
+        assert_eq!(extend_load(Opcode::Lwu, 0xffff_ffff), 0xffff_ffff);
+        assert_eq!(extend_load(Opcode::Ld, u64::MAX), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "no ALU semantics")]
+    fn memory_ops_rejected() {
+        let _ = eval(Opcode::Lw, 0, 0, 0);
+    }
+}

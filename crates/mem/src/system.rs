@@ -1,0 +1,438 @@
+//! The assembled secondary system: NUCA banks on the 4×10 OCN.
+
+use trips_isa::mem::SparseMem;
+use trips_micronet::{Coord, PacketMesh, PacketMsg};
+
+use crate::tiles::{MemTile, NetTile, LINE};
+
+/// Memory-system organization (§3.6 lists these configurations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemMode {
+    /// One 1 MB shared L2 striped over all sixteen banks.
+    L2Shared,
+    /// Two independent 512 KB L2s, one per processor (ports 0–9 use
+    /// the top half, ports 10–19 the bottom).
+    L2Split,
+    /// 1 MB of on-chip physical memory: no tags, no misses.
+    Scratchpad,
+}
+
+/// Configuration of the secondary system.
+#[derive(Debug, Clone)]
+pub struct MemConfig {
+    /// Organization.
+    pub mode: MemMode,
+    /// NUCA banks (16 in the prototype, two columns of eight).
+    pub banks: usize,
+    /// Kilobytes per bank.
+    pub bank_kb: usize,
+    /// Bank associativity.
+    pub ways: usize,
+    /// Bank access latency (tag + SRAM).
+    pub bank_lat: u64,
+    /// DRAM access latency through an SDC.
+    pub dram_lat: u64,
+    /// Per-virtual-channel router buffering, in packets.
+    pub vc_cap: usize,
+}
+
+impl MemConfig {
+    /// The prototype: 16 × 64 KB 4-way banks as a shared L2.
+    pub fn prototype() -> MemConfig {
+        MemConfig {
+            mode: MemMode::L2Shared,
+            banks: 16,
+            bank_kb: 64,
+            ways: 4,
+            bank_lat: 3,
+            dram_lat: 60,
+            vc_cap: 2,
+        }
+    }
+}
+
+/// Request kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReqKind {
+    /// Fetch a 64-byte line.
+    ReadLine,
+    /// Write a 64-byte line back.
+    WriteLine,
+}
+
+/// A request from an IT/DT port into the secondary system.
+#[derive(Debug, Clone)]
+pub struct MemReq {
+    /// Caller-chosen id, echoed in the response.
+    pub id: u64,
+    /// Line-aligned byte address.
+    pub addr: u64,
+    /// Kind.
+    pub kind: ReqKind,
+    /// Line contents for writes.
+    pub data: [u8; LINE],
+}
+
+impl MemReq {
+    /// A line read.
+    pub fn read_line(id: u64, addr: u64) -> MemReq {
+        MemReq { id, addr: addr & !(LINE as u64 - 1), kind: ReqKind::ReadLine, data: [0; LINE] }
+    }
+
+    /// A line writeback.
+    pub fn write_line(id: u64, addr: u64, data: [u8; LINE]) -> MemReq {
+        MemReq { id, addr: addr & !(LINE as u64 - 1), kind: ReqKind::WriteLine, data }
+    }
+}
+
+/// A response to a [`MemReq`].
+#[derive(Debug, Clone)]
+pub struct MemResp {
+    /// The request's id.
+    pub id: u64,
+    /// The request's address.
+    pub addr: u64,
+    /// Line contents for reads.
+    pub data: [u8; LINE],
+}
+
+#[derive(Debug, Clone)]
+enum Packet {
+    Req { port: usize, req: MemReq },
+    Resp {
+        #[allow(dead_code)] // symmetric with Req; used in trace output
+        port: usize,
+        resp: MemResp,
+    },
+}
+
+/// The secondary memory system: banks, NTs, the OCN, and the DRAM
+/// backing store.
+pub struct SecondarySystem {
+    cfg: MemConfig,
+    ocn: PacketMesh<Packet>,
+    banks: Vec<MemTile>,
+    nts: Vec<NetTile>,
+    backing: SparseMem,
+    /// Requests the bank is working on: (ready_at, bank, packet).
+    in_bank: Vec<(u64, usize, Packet)>,
+    /// Total requests accepted.
+    pub requests: u64,
+    /// Total DRAM accesses.
+    pub dram_accesses: u64,
+}
+
+/// The OCN is 4 columns × 10 rows; the two middle columns hold the
+/// sixteen MTs, the edge columns the NTs/clients (Figure 6).
+const OCN_ROWS: u8 = 10;
+const OCN_COLS: u8 = 4;
+
+fn bank_coord(i: usize) -> Coord {
+    // Two columns of eight banks in rows 1..=8.
+    Coord { row: 1 + (i % 8) as u8, col: 1 + (i / 8) as u8 }
+}
+
+fn port_coord(port: usize) -> Coord {
+    // Client ports sit on the edge columns (IT/DT private ports).
+    let side = if port < 10 { 0 } else { 3 };
+    Coord { row: (port % 10) as u8, col: side }
+}
+
+impl SecondarySystem {
+    /// Builds the system.
+    pub fn new(cfg: MemConfig) -> SecondarySystem {
+        let banks: Vec<MemTile> = (0..cfg.banks)
+            .map(|i| {
+                let mut mt = MemTile::new(bank_coord(i), cfg.bank_kb, cfg.ways);
+                mt.scratchpad = cfg.mode == MemMode::Scratchpad;
+                mt
+            })
+            .collect();
+        let nts = (0..20)
+            .map(|p| {
+                let table: Vec<Coord> = match cfg.mode {
+                    MemMode::L2Shared | MemMode::Scratchpad => {
+                        (0..cfg.banks).map(bank_coord).collect()
+                    }
+                    MemMode::L2Split => {
+                        let half = cfg.banks / 2;
+                        if p < 10 {
+                            (0..half).map(bank_coord).collect()
+                        } else {
+                            (half..cfg.banks).map(bank_coord).collect()
+                        }
+                    }
+                };
+                NetTile::new(port_coord(p), table)
+            })
+            .collect();
+        SecondarySystem {
+            ocn: PacketMesh::new(OCN_ROWS, OCN_COLS, cfg.vc_cap),
+            banks,
+            nts,
+            backing: SparseMem::new(),
+            in_bank: Vec::new(),
+            requests: 0,
+            dram_accesses: 0,
+            cfg,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MemConfig {
+        &self.cfg
+    }
+
+    /// Initializes backing-store contents (DRAM image).
+    pub fn write_backing(&mut self, addr: u64, data: &[u8]) {
+        self.backing.write_bytes(addr, data);
+    }
+
+    /// Reads backing-store contents (for tests).
+    pub fn read_backing(&self, addr: u64, out: &mut [u8]) {
+        self.backing.read_bytes(addr, out);
+    }
+
+    /// Injects a request at client port `port` (0..20). Returns false
+    /// if the network refused it this cycle.
+    pub fn request(&mut self, now: u64, port: usize, req: MemReq) -> bool {
+        let src = port_coord(port);
+        let dst = self.nts[port].route(req.addr / LINE as u64);
+        // A line plus header: five 16-byte flits; requests travel VC0,
+        // writes VC1 (separating traffic classes).
+        let (flits, vc) = match req.kind {
+            ReqKind::ReadLine => (1, 0),
+            ReqKind::WriteLine => (5, 1),
+        };
+        let ok = self.ocn.inject(now, PacketMsg::new(src, dst, Packet::Req { port, req }, flits, vc));
+        if ok {
+            self.requests += 1;
+        }
+        ok
+    }
+
+    /// Pops a response for `port`, if one has arrived by `now`.
+    pub fn pop_response(&mut self, now: u64, port: usize) -> Option<MemResp> {
+        match self.ocn.eject(now, port_coord(port)) {
+            Some(m) => match m.payload {
+                Packet::Resp { resp, .. } => Some(resp),
+                Packet::Req { .. } => unreachable!("request delivered to a client port"),
+            },
+            None => None,
+        }
+    }
+
+    /// One cycle: move the network, run the banks.
+    pub fn tick(&mut self, now: u64) {
+        // Bank-side: accept packets at each bank's router.
+        for (bi, bank) in self.banks.iter_mut().enumerate() {
+            // Complete an outstanding fill.
+            if bank.mshr_fill(now).is_some() {
+                // Line now present; waiting request retried below.
+            }
+            if let Some(m) = self.ocn.eject(now, bank.coord) {
+                match m.payload {
+                    Packet::Req { port, req } => {
+                        let line = req.addr / LINE as u64;
+                        let ready = if bank.present(line) {
+                            bank.hits += 1;
+                            now + self.cfg.bank_lat
+                        } else if bank.mshr_free(now) {
+                            bank.misses += 1;
+                            self.dram_accesses += 1;
+                            bank.mshr_alloc(line, now + self.cfg.dram_lat);
+                            now + self.cfg.dram_lat + self.cfg.bank_lat
+                        } else {
+                            // Single-entry MSHR busy: serialize behind
+                            // the outstanding fill.
+                            bank.misses += 1;
+                            self.dram_accesses += 1;
+                            let (_, busy_until) = (line, now);
+                            let _ = busy_until;
+                            now + 2 * self.cfg.dram_lat + self.cfg.bank_lat
+                        };
+                        self.in_bank.push((ready, bi, Packet::Req { port, req }));
+                    }
+                    Packet::Resp { .. } => unreachable!("response delivered to a bank"),
+                }
+            }
+        }
+
+        // Finish bank accesses and send responses.
+        let mut k = 0;
+        while k < self.in_bank.len() {
+            if self.in_bank[k].0 <= now {
+                let (_, bi, pkt) = self.in_bank.swap_remove(k);
+                let Packet::Req { port, req } = pkt else { unreachable!() };
+                match req.kind {
+                    ReqKind::WriteLine => {
+                        self.backing.write_bytes(req.addr, &req.data);
+                        self.banks[bi].install(req.addr / LINE as u64);
+                        // Writes are acknowledged with a header flit.
+                        let resp =
+                            MemResp { id: req.id, addr: req.addr, data: [0; LINE] };
+                        self.ocn.inject(
+                            now,
+                            PacketMsg::new(
+                                self.banks[bi].coord,
+                                port_coord(port),
+                                Packet::Resp { port, resp },
+                                1,
+                                2,
+                            ),
+                        );
+                    }
+                    ReqKind::ReadLine => {
+                        let mut data = [0u8; LINE];
+                        self.backing.read_bytes(req.addr, &mut data);
+                        let resp = MemResp { id: req.id, addr: req.addr, data };
+                        // A full line back: five flits on VC2/3.
+                        let accepted = self.ocn.inject(
+                            now,
+                            PacketMsg::new(
+                                self.banks[bi].coord,
+                                port_coord(port),
+                                Packet::Resp { port, resp },
+                                5,
+                                3,
+                            ),
+                        );
+                        if !accepted {
+                            // Retry next cycle.
+                            self.in_bank.push((
+                                now + 1,
+                                bi,
+                                Packet::Req { port, req },
+                            ));
+                        }
+                    }
+                }
+            } else {
+                k += 1;
+            }
+        }
+
+        self.ocn.tick(now);
+    }
+
+    /// Aggregate hit rate across banks.
+    pub fn hit_rate(&self) -> f64 {
+        let hits: u64 = self.banks.iter().map(|b| b.hits).sum();
+        let misses: u64 = self.banks.iter().map(|b| b.misses).sum();
+        if hits + misses == 0 {
+            return 1.0;
+        }
+        hits as f64 / (hits + misses) as f64
+    }
+
+    /// Per-bank (hits, misses), for NUCA distribution checks.
+    pub fn bank_stats(&self) -> Vec<(u64, u64)> {
+        self.banks.iter().map(|b| (b.hits, b.misses)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_until_resp(l2: &mut SecondarySystem, port: usize, start: u64, limit: u64) -> (MemResp, u64) {
+        let mut t = start;
+        loop {
+            l2.tick(t);
+            t += 1;
+            if let Some(r) = l2.pop_response(t, port) {
+                return (r, t - start);
+            }
+            assert!(t < start + limit, "no response within {limit}");
+        }
+    }
+
+    #[test]
+    fn read_misses_then_hits() {
+        let mut l2 = SecondarySystem::new(MemConfig::prototype());
+        l2.write_backing(0x1000, &[0xab; 64]);
+        l2.request(0, 0, MemReq::read_line(1, 0x1000));
+        let (r1, lat1) = run_until_resp(&mut l2, 0, 0, 1000);
+        assert_eq!(r1.data[0], 0xab);
+        assert!(lat1 > l2.config().dram_lat, "first touch goes to DRAM: {lat1}");
+        let t0 = 2000;
+        l2.request(t0, 0, MemReq::read_line(2, 0x1000));
+        let (_, lat2) = run_until_resp(&mut l2, 0, t0, 1000);
+        assert!(lat2 < lat1, "second touch hits in the bank: {lat2} vs {lat1}");
+    }
+
+    #[test]
+    fn writeback_then_read_roundtrip() {
+        let mut l2 = SecondarySystem::new(MemConfig::prototype());
+        let mut line = [0u8; 64];
+        line[7] = 99;
+        l2.request(0, 3, MemReq::write_line(5, 0x2040, line));
+        let (ack, _) = run_until_resp(&mut l2, 3, 0, 1000);
+        assert_eq!(ack.id, 5);
+        l2.request(500, 3, MemReq::read_line(6, 0x2040));
+        let (r, _) = run_until_resp(&mut l2, 3, 500, 1000);
+        assert_eq!(r.data[7], 99);
+    }
+
+    #[test]
+    fn nuca_latency_depends_on_bank_distance() {
+        // Two lines homed at different banks see different round-trip
+        // latencies from the same port — the static-NUCA property.
+        let mut l2 = SecondarySystem::new(MemConfig::prototype());
+        // Warm both lines.
+        l2.request(0, 0, MemReq::read_line(1, 0)); // line 0 -> bank 0 (near row 0)
+        run_until_resp(&mut l2, 0, 0, 1000);
+        l2.request(2000, 0, MemReq::read_line(2, 7 * 64)); // line 7 -> bank 7 (far row)
+        run_until_resp(&mut l2, 0, 2000, 1000);
+        let (_, near) = {
+            l2.request(4000, 0, MemReq::read_line(3, 0));
+            run_until_resp(&mut l2, 0, 4000, 1000)
+        };
+        let (_, far) = {
+            l2.request(6000, 0, MemReq::read_line(4, 7 * 64));
+            run_until_resp(&mut l2, 0, 6000, 1000)
+        };
+        assert!(far > near, "far bank must cost more hops: near={near} far={far}");
+    }
+
+    #[test]
+    fn split_mode_partitions_banks() {
+        let cfg = MemConfig { mode: MemMode::L2Split, ..MemConfig::prototype() };
+        let mut l2 = SecondarySystem::new(cfg);
+        // Port 0 (processor 0) and port 10 (processor 1) read the same
+        // line; it must land in different halves.
+        l2.request(0, 0, MemReq::read_line(1, 0x8000));
+        run_until_resp(&mut l2, 0, 0, 1000);
+        l2.request(3000, 10, MemReq::read_line(2, 0x8000));
+        run_until_resp(&mut l2, 10, 3000, 1000);
+        let stats = l2.bank_stats();
+        let top: u64 = stats[..8].iter().map(|s| s.0 + s.1).sum();
+        let bottom: u64 = stats[8..].iter().map(|s| s.0 + s.1).sum();
+        assert!(top > 0 && bottom > 0, "both halves served their processor");
+    }
+
+    #[test]
+    fn scratchpad_never_misses() {
+        let cfg = MemConfig { mode: MemMode::Scratchpad, ..MemConfig::prototype() };
+        let mut l2 = SecondarySystem::new(cfg);
+        for i in 0..8u64 {
+            let t = i * 500;
+            l2.request(t, 0, MemReq::read_line(i, i * 64 * 131));
+            run_until_resp(&mut l2, 0, t, 400);
+        }
+        assert_eq!(l2.dram_accesses, 0);
+        assert_eq!(l2.hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn shared_mode_stripes_across_banks() {
+        let mut l2 = SecondarySystem::new(MemConfig::prototype());
+        for i in 0..32u64 {
+            let t = i * 500;
+            l2.request(t, 0, MemReq::read_line(i, i * 64));
+            run_until_resp(&mut l2, 0, t, 400);
+        }
+        let used = l2.bank_stats().iter().filter(|(h, m)| h + m > 0).count();
+        assert_eq!(used, 16, "consecutive lines stripe across all banks");
+    }
+}

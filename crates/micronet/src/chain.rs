@@ -1,0 +1,155 @@
+//! Pipelined nearest-neighbour chains: the model for the TRIPS
+//! control micronets.
+//!
+//! The GDN, GSN, GCN, GRN, DSN, and ESN connect tiles in rows, columns,
+//! or trees of point-to-point links; messages traverse one tile per
+//! cycle (§3). A [`Chain`] models one such linear path: a message sent
+//! from position `a` to position `b` is receivable `max(|a-b|, 1)`
+//! cycles later, in send order. The paper measures the control
+//! networks' overheads as insignificant next to the operand network
+//! (§5.2), so — unlike [`Mesh`](crate::Mesh) — chains model latency
+//! but not link contention.
+
+use std::collections::VecDeque;
+
+/// A linear chain of `n` tile positions with one-cycle hops.
+#[derive(Debug, Clone)]
+pub struct Chain<T> {
+    inboxes: Vec<VecDeque<(u64, u64, T)>>,
+    seq: u64,
+    /// Total messages sent, for utilization statistics.
+    pub total_sent: u64,
+}
+
+impl<T> Chain<T> {
+    /// A chain with positions `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Chain<T> {
+        assert!(n > 0, "empty chain");
+        Chain { inboxes: (0..n).map(|_| VecDeque::new()).collect(), seq: 0, total_sent: 0 }
+    }
+
+    /// Number of positions.
+    pub fn len(&self) -> usize {
+        self.inboxes.len()
+    }
+
+    /// True if the chain has no positions (never: constructor forbids).
+    pub fn is_empty(&self) -> bool {
+        self.inboxes.is_empty()
+    }
+
+    /// Sends `msg` from `from` to `to`; receivable `max(distance, 1)`
+    /// cycles later.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a position is out of range.
+    pub fn send(&mut self, now: u64, from: usize, to: usize, msg: T) {
+        assert!(from < self.len() && to < self.len(), "chain position out of range");
+        let dist = from.abs_diff(to).max(1) as u64;
+        let at = now + dist;
+        let seq = self.seq;
+        self.seq += 1;
+        self.total_sent += 1;
+        // Keep each inbox sorted by (time, seq); sends are usually in
+        // increasing time order so push_back then bubble is cheap.
+        let inbox = &mut self.inboxes[to];
+        let pos = inbox.partition_point(|&(t, s, _)| (t, s) <= (at, seq));
+        inbox.insert(pos, (at, seq, msg));
+    }
+
+    /// Sends `msg` to `to` with an explicit `delay` in cycles, for
+    /// paths whose physical distance differs from the chain-linear one
+    /// (e.g. the GCN wavefront, which spreads at the two-dimensional
+    /// manhattan distance from the GT).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is out of range or `delay == 0`.
+    pub fn send_delayed(&mut self, now: u64, to: usize, delay: u64, msg: T) {
+        assert!(to < self.len(), "chain position out of range");
+        assert!(delay > 0, "zero-delay sends would break cycle accounting");
+        let at = now + delay;
+        let seq = self.seq;
+        self.seq += 1;
+        self.total_sent += 1;
+        let inbox = &mut self.inboxes[to];
+        let pos = inbox.partition_point(|&(t, s, _)| (t, s) <= (at, seq));
+        inbox.insert(pos, (at, seq, msg));
+    }
+
+    /// Receives the oldest message available at `pos` by cycle `now`.
+    pub fn recv(&mut self, now: u64, pos: usize) -> Option<T> {
+        let inbox = &mut self.inboxes[pos];
+        match inbox.front() {
+            Some(&(at, _, _)) if at <= now => inbox.pop_front().map(|(_, _, m)| m),
+            _ => None,
+        }
+    }
+
+    /// True if no messages are pending anywhere.
+    pub fn idle(&self) -> bool {
+        self.inboxes.iter().all(VecDeque::is_empty)
+    }
+}
+
+impl<T: Clone> Chain<T> {
+    /// Broadcasts `msg` from `from` to every other position, arriving
+    /// at each after its chain distance — the GCN flush/commit wave
+    /// propagating "one hop per cycle across the array" (§4.3).
+    pub fn broadcast(&mut self, now: u64, from: usize, msg: T) {
+        for to in 0..self.len() {
+            if to != from {
+                self.send(now, from, to, msg.clone());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_is_distance() {
+        let mut c: Chain<u32> = Chain::new(5);
+        c.send(10, 0, 3, 7);
+        assert_eq!(c.recv(12, 3), None);
+        assert_eq!(c.recv(13, 3), Some(7));
+    }
+
+    #[test]
+    fn same_position_costs_one_cycle() {
+        let mut c: Chain<u32> = Chain::new(2);
+        c.send(0, 1, 1, 9);
+        assert_eq!(c.recv(0, 1), None);
+        assert_eq!(c.recv(1, 1), Some(9));
+    }
+
+    #[test]
+    fn fifo_by_arrival_then_send_order() {
+        let mut c: Chain<u32> = Chain::new(4);
+        c.send(0, 3, 0, 1); // arrives at 3
+        c.send(1, 1, 0, 2); // arrives at 2
+        c.send(3, 0, 0, 3); // arrives at 4
+        assert_eq!(c.recv(10, 0), Some(2));
+        assert_eq!(c.recv(10, 0), Some(1));
+        assert_eq!(c.recv(10, 0), Some(3));
+        assert!(c.idle());
+    }
+
+    #[test]
+    fn broadcast_wave() {
+        let mut c: Chain<&'static str> = Chain::new(4);
+        c.broadcast(0, 0, "flush");
+        assert_eq!(c.recv(1, 1), Some("flush"));
+        assert_eq!(c.recv(1, 2), None, "wave has not reached position 2");
+        assert_eq!(c.recv(2, 2), Some("flush"));
+        assert_eq!(c.recv(3, 3), Some("flush"));
+        assert_eq!(c.recv(5, 0), None, "sender does not hear its own broadcast");
+    }
+}

@@ -1,0 +1,58 @@
+//! # trips-micronet — micronetworks for distributed microarchitectures
+//!
+//! The TRIPS processor replaces global wires and broadcast busses with
+//! *micronets*: switched, flow-controlled networks whose clients are
+//! the tiles of the processor (§1, §3 of the MICRO-39 paper). This
+//! crate provides the network substrate the processor model is built
+//! on:
+//!
+//! * [`Link`] — a registered, nearest-neighbour, credit-flow-controlled
+//!   wire segment with one-cycle latency, the primitive from which the
+//!   six control micronets (GDN, GCN, GSN, GRN, DSN, ESN) are wired.
+//! * [`Mesh`] — a two-dimensional mesh of single-flit wormhole routers
+//!   with Y-X dimension-order routing, used for the operand network
+//!   (OPN): a 5×5 mesh with separate control/data phits delivering one
+//!   64-bit operand per link per cycle.
+//! * [`PacketMesh`] — a multi-flit packet mesh with virtual channels,
+//!   used for the on-chip network (OCN): the 4×10, 16-byte-link,
+//!   4-virtual-channel network of the secondary memory system.
+//! * [`widths`] — the bit widths of every TRIPS micronet (Table 2),
+//!   derived from the message definitions and consumed by the area
+//!   model.
+//!
+//! All components are deterministic: ticked once per cycle with
+//! fixed-order, round-robin arbitration, so a simulation run is
+//! exactly reproducible.
+//!
+//! ## Example
+//!
+//! ```
+//! use trips_micronet::{Coord, Mesh, MeshMsg};
+//!
+//! let mut opn: Mesh<&'static str> = Mesh::new(5, 5, 4);
+//! let src = Coord { row: 0, col: 0 };
+//! let dst = Coord { row: 4, col: 4 };
+//! assert!(opn.inject(0, MeshMsg::new(src, dst, "operand")));
+//! let mut cycle = 0;
+//! let msg = loop {
+//!     opn.tick(cycle);
+//!     cycle += 1;
+//!     if let Some(m) = opn.eject(dst) {
+//!         break m;
+//!     }
+//!     assert!(cycle < 100, "message lost");
+//! };
+//! assert_eq!(msg.payload, "operand");
+//! assert_eq!(msg.hops, 8); // manhattan distance in the 5x5 mesh
+//! ```
+
+mod chain;
+mod link;
+mod mesh;
+mod packet;
+pub mod widths;
+
+pub use chain::Chain;
+pub use link::Link;
+pub use mesh::{Coord, Mesh, MeshMsg, MeshStats};
+pub use packet::{PacketMesh, PacketMsg, PacketStats, VIRTUAL_CHANNELS};

@@ -1,0 +1,391 @@
+//! A multi-flit packet mesh with virtual channels: the model for the
+//! on-chip network (OCN).
+//!
+//! The OCN is a 4×10 wormhole-routed mesh with 16-byte links and four
+//! virtual channels, optimized for cache-line-sized transfers (§3.6).
+//! This model carries whole packets whose flit count occupies each
+//! traversed link for that many cycles, giving wormhole-accurate
+//! bandwidth and head-of-line behaviour at packet granularity.
+
+use std::collections::VecDeque;
+
+use crate::mesh::Coord;
+
+/// Number of virtual channels per physical link.
+pub const VIRTUAL_CHANNELS: usize = 4;
+
+/// A packet travelling through a [`PacketMesh`].
+#[derive(Debug, Clone)]
+pub struct PacketMsg<P> {
+    /// Injecting node.
+    pub src: Coord,
+    /// Destination node.
+    pub dst: Coord,
+    /// The carried value.
+    pub payload: P,
+    /// Number of 16-byte flits (header included); a 64-byte cache line
+    /// with its header is five flits.
+    pub flits: u32,
+    /// Virtual channel (0..4), usually assigned by traffic class to
+    /// avoid protocol deadlock (e.g. requests vs replies).
+    pub vc: u8,
+    /// Cycle the packet entered the network.
+    pub injected_at: u64,
+    /// Router-to-router link traversals so far.
+    pub hops: u32,
+    /// Contention cycles, finalized at delivery.
+    pub queued: u32,
+}
+
+impl<P> PacketMsg<P> {
+    /// A new packet of `flits` flits on virtual channel `vc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flits == 0` or `vc >= 4`.
+    pub fn new(src: Coord, dst: Coord, payload: P, flits: u32, vc: u8) -> PacketMsg<P> {
+        assert!(flits > 0, "packets have at least a header flit");
+        assert!((vc as usize) < VIRTUAL_CHANNELS, "vc out of range: {vc}");
+        PacketMsg { src, dst, payload, flits, vc, injected_at: 0, hops: 0, queued: 0 }
+    }
+}
+
+/// Aggregate statistics for a [`PacketMesh`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PacketStats {
+    /// Packets accepted.
+    pub injected: u64,
+    /// Packets delivered.
+    pub ejected: u64,
+    /// Rejected injection attempts.
+    pub inject_fails: u64,
+    /// Sum of hop counts.
+    pub total_hops: u64,
+    /// Sum of contention cycles.
+    pub total_queued: u64,
+    /// Sum of latencies, including serialization of the packet tail.
+    pub total_latency: u64,
+    /// Sum of flits carried by delivered packets.
+    pub total_flits: u64,
+}
+
+const LOCAL: usize = 0;
+const NORTH: usize = 1;
+const EAST: usize = 2;
+const SOUTH: usize = 3;
+const WEST: usize = 4;
+const PORTS: usize = 5;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Out {
+    Eject,
+    North,
+    East,
+    South,
+    West,
+}
+
+struct PacketRouter<P> {
+    /// `inputs[port][vc]`
+    inputs: [[VecDeque<PacketMsg<P>>; VIRTUAL_CHANNELS]; PORTS],
+    /// `(available_at, msg)`
+    eject: VecDeque<(u64, PacketMsg<P>)>,
+    /// Physical output links are busy while a packet's flits stream
+    /// across them.
+    busy_until: [u64; PORTS],
+    rr: [usize; PORTS],
+}
+
+impl<P> PacketRouter<P> {
+    fn new() -> PacketRouter<P> {
+        PacketRouter {
+            inputs: Default::default(),
+            eject: VecDeque::new(),
+            busy_until: [0; PORTS],
+            rr: [0; PORTS],
+        }
+    }
+}
+
+/// A W×H wormhole packet mesh with [`VIRTUAL_CHANNELS`] virtual
+/// channels per link and Y-X dimension-order routing.
+pub struct PacketMesh<P> {
+    rows: u8,
+    cols: u8,
+    vc_cap: usize,
+    routers: Vec<PacketRouter<P>>,
+    /// Aggregate statistics.
+    pub stats: PacketStats,
+    in_flight: usize,
+}
+
+impl<P> PacketMesh<P> {
+    /// A `rows`×`cols` packet mesh with per-VC buffers of `vc_cap`
+    /// packets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or `vc_cap == 0`.
+    pub fn new(rows: u8, cols: u8, vc_cap: usize) -> PacketMesh<P> {
+        assert!(rows > 0 && cols > 0 && vc_cap > 0, "degenerate mesh");
+        let n = rows as usize * cols as usize;
+        PacketMesh {
+            rows,
+            cols,
+            vc_cap,
+            routers: (0..n).map(|_| PacketRouter::new()).collect(),
+            stats: PacketStats::default(),
+            in_flight: 0,
+        }
+    }
+
+    fn idx(&self, c: Coord) -> usize {
+        assert!(c.row < self.rows && c.col < self.cols, "coord {c} outside mesh");
+        c.row as usize * self.cols as usize + c.col as usize
+    }
+
+    /// Packets currently inside routers.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// True if an injection at `src` on `vc` would be accepted.
+    pub fn can_inject(&self, src: Coord, vc: u8) -> bool {
+        self.routers[self.idx(src)].inputs[LOCAL][vc as usize].len() < self.vc_cap
+    }
+
+    /// Injects a packet. Returns `false` if the local VC buffer is
+    /// full.
+    pub fn inject(&mut self, now: u64, mut msg: PacketMsg<P>) -> bool {
+        let i = self.idx(msg.src);
+        let _ = self.idx(msg.dst);
+        if self.routers[i].inputs[LOCAL][msg.vc as usize].len() >= self.vc_cap {
+            self.stats.inject_fails += 1;
+            return false;
+        }
+        msg.injected_at = now;
+        msg.hops = 0;
+        self.routers[i].inputs[LOCAL][msg.vc as usize].push_back(msg);
+        self.stats.injected += 1;
+        self.in_flight += 1;
+        true
+    }
+
+    /// Pops the next fully-arrived packet at `node`.
+    pub fn eject(&mut self, now: u64, node: Coord) -> Option<PacketMsg<P>> {
+        let i = self.idx(node);
+        match self.routers[i].eject.front() {
+            Some(&(avail, _)) if avail <= now => Some(self.routers[i].eject.pop_front().unwrap().1),
+            _ => None,
+        }
+    }
+
+    fn route(at: Coord, dst: Coord) -> Out {
+        if dst.row < at.row {
+            Out::North
+        } else if dst.row > at.row {
+            Out::South
+        } else if dst.col > at.col {
+            Out::East
+        } else if dst.col < at.col {
+            Out::West
+        } else {
+            Out::Eject
+        }
+    }
+
+    /// Advances the network one cycle.
+    pub fn tick(&mut self, now: u64) {
+        if self.in_flight == 0 {
+            return;
+        }
+        let n = self.routers.len();
+        let mut start_len = vec![[[0usize; VIRTUAL_CHANNELS]; PORTS]; n];
+        for (r, router) in self.routers.iter().enumerate() {
+            for p in 0..PORTS {
+                for v in 0..VIRTUAL_CHANNELS {
+                    start_len[r][p][v] = router.inputs[p][v].len();
+                }
+            }
+        }
+        let mut moves: Vec<(usize, usize, usize, Out)> = Vec::new();
+        let mut incoming = vec![[[false; VIRTUAL_CHANNELS]; PORTS]; n];
+
+        for r in 0..n {
+            let at = Coord {
+                row: (r / self.cols as usize) as u8,
+                col: (r % self.cols as usize) as u8,
+            };
+            let mut input_used = [[false; VIRTUAL_CHANNELS]; PORTS];
+            for (oi, out) in [Out::Eject, Out::North, Out::East, Out::South, Out::West]
+                .into_iter()
+                .enumerate()
+            {
+                if out != Out::Eject && self.routers[r].busy_until[oi] > now {
+                    continue;
+                }
+                let dest = match out {
+                    Out::Eject => None,
+                    Out::North if at.row == 0 => continue,
+                    Out::South if at.row + 1 == self.rows => continue,
+                    Out::East if at.col + 1 == self.cols => continue,
+                    Out::West if at.col == 0 => continue,
+                    Out::North => Some((self.idx(Coord { row: at.row - 1, col: at.col }), SOUTH)),
+                    Out::South => Some((self.idx(Coord { row: at.row + 1, col: at.col }), NORTH)),
+                    Out::East => Some((self.idx(Coord { row: at.row, col: at.col + 1 }), WEST)),
+                    Out::West => Some((self.idx(Coord { row: at.row, col: at.col - 1 }), EAST)),
+                };
+                // Round-robin across the PORTS*VC candidate queues.
+                let base = self.routers[r].rr[oi];
+                let total = PORTS * VIRTUAL_CHANNELS;
+                for k in 0..total {
+                    let q = (base + k) % total;
+                    let (p, v) = (q / VIRTUAL_CHANNELS, q % VIRTUAL_CHANNELS);
+                    if input_used[p][v] {
+                        continue;
+                    }
+                    let Some(head) = self.routers[r].inputs[p][v].front() else { continue };
+                    if Self::route(at, head.dst) != out {
+                        continue;
+                    }
+                    if let Some((nb, port)) = dest {
+                        if incoming[nb][port][v] || start_len[nb][port][v] >= self.vc_cap {
+                            continue;
+                        }
+                    }
+                    input_used[p][v] = true;
+                    self.routers[r].rr[oi] = (q + 1) % total;
+                    if let Some((nb, port)) = dest {
+                        incoming[nb][port][v] = true;
+                    }
+                    moves.push((r, p, v, out));
+                    break;
+                }
+            }
+        }
+
+        for (r, p, v, out) in moves {
+            let mut msg = self.routers[r].inputs[p][v].pop_front().unwrap();
+            match out {
+                Out::Eject => {
+                    // The tail arrives flits-1 cycles after the head.
+                    let avail = now + u64::from(msg.flits - 1);
+                    let latency = (avail - msg.injected_at) as u32;
+                    msg.queued = latency.saturating_sub(msg.hops + msg.flits - 1);
+                    self.stats.ejected += 1;
+                    self.stats.total_hops += u64::from(msg.hops);
+                    self.stats.total_queued += u64::from(msg.queued);
+                    self.stats.total_latency += u64::from(latency);
+                    self.stats.total_flits += u64::from(msg.flits);
+                    self.in_flight -= 1;
+                    self.routers[r].eject.push_back((avail, msg));
+                }
+                _ => {
+                    let oi = match out {
+                        Out::North => 1,
+                        Out::East => 2,
+                        Out::South => 3,
+                        Out::West => 4,
+                        Out::Eject => unreachable!(),
+                    };
+                    self.routers[r].busy_until[oi] = now + u64::from(msg.flits);
+                    let at = Coord {
+                        row: (r / self.cols as usize) as u8,
+                        col: (r % self.cols as usize) as u8,
+                    };
+                    let nbc = match out {
+                        Out::North => Coord { row: at.row - 1, col: at.col },
+                        Out::South => Coord { row: at.row + 1, col: at.col },
+                        Out::East => Coord { row: at.row, col: at.col + 1 },
+                        Out::West => Coord { row: at.row, col: at.col - 1 },
+                        Out::Eject => unreachable!(),
+                    };
+                    let port = match out {
+                        Out::North => SOUTH,
+                        Out::South => NORTH,
+                        Out::East => WEST,
+                        Out::West => EAST,
+                        Out::Eject => unreachable!(),
+                    };
+                    let nb = self.idx(nbc);
+                    msg.hops += 1;
+                    self.routers[nb].inputs[port][v].push_back(msg);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_flit_behaves_like_mesh() {
+        let mut m: PacketMesh<u32> = PacketMesh::new(10, 4, 2);
+        let src = Coord { row: 0, col: 0 };
+        let dst = Coord { row: 9, col: 3 };
+        m.inject(0, PacketMsg::new(src, dst, 5, 1, 0));
+        let mut t = 0;
+        let msg = loop {
+            m.tick(t);
+            t += 1;
+            if let Some(msg) = m.eject(t, dst) {
+                break msg;
+            }
+            assert!(t < 100);
+        };
+        assert_eq!(msg.hops, 12);
+        assert_eq!(msg.queued, 0);
+    }
+
+    #[test]
+    fn cache_line_serialization_delays_tail() {
+        let mut m: PacketMesh<u32> = PacketMesh::new(1, 2, 2);
+        let src = Coord { row: 0, col: 0 };
+        let dst = Coord { row: 0, col: 1 };
+        m.inject(0, PacketMsg::new(src, dst, 1, 5, 0));
+        m.tick(0); // crosses the link (head)
+        m.tick(1); // ejects at router, tail streaming
+        assert!(m.eject(2, dst).is_none(), "tail still arriving");
+        assert!(m.eject(5, dst).is_some(), "five flits done");
+    }
+
+    #[test]
+    fn link_busy_serializes_packets() {
+        let mut m: PacketMesh<u32> = PacketMesh::new(1, 2, 4);
+        let src = Coord { row: 0, col: 0 };
+        let dst = Coord { row: 0, col: 1 };
+        m.inject(0, PacketMsg::new(src, dst, 1, 5, 0));
+        m.inject(0, PacketMsg::new(src, dst, 2, 5, 1));
+        let mut got = Vec::new();
+        for t in 0..40u64 {
+            m.tick(t);
+            while let Some(msg) = m.eject(t + 1, dst) {
+                got.push((t + 1, msg.payload));
+            }
+        }
+        assert_eq!(got.len(), 2);
+        assert!(
+            got[1].0 >= got[0].0 + 5,
+            "second packet delayed by first packet's flits: {got:?}"
+        );
+    }
+
+    #[test]
+    fn separate_vcs_buffer_independently() {
+        let mut m: PacketMesh<u32> = PacketMesh::new(1, 2, 1);
+        let src = Coord { row: 0, col: 0 };
+        let dst = Coord { row: 0, col: 1 };
+        assert!(m.inject(0, PacketMsg::new(src, dst, 1, 1, 0)));
+        assert!(!m.can_inject(src, 0), "vc0 buffer full");
+        assert!(m.can_inject(src, 1), "vc1 independent");
+        assert!(m.inject(0, PacketMsg::new(src, dst, 2, 1, 1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "vc out of range")]
+    fn vc_bounds_checked() {
+        let _ = PacketMsg::new(Coord { row: 0, col: 0 }, Coord { row: 0, col: 0 }, 0, 1, 4);
+    }
+}

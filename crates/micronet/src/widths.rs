@@ -1,0 +1,145 @@
+//! The TRIPS control and data networks (Table 2 of the paper).
+//!
+//! These specifications are consumed by the area model (which charges
+//! wiring and router area per network) and printed verbatim by the
+//! `table2` bench target.
+
+/// Specification of one micronetwork.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetworkSpec {
+    /// Short name, e.g. `"GDN"`.
+    pub abbrev: &'static str,
+    /// Full name.
+    pub name: &'static str,
+    /// What the network is used for (the "Use" column of Table 2).
+    pub purpose: &'static str,
+    /// Link width in wires.
+    pub bits: u16,
+    /// Links per routed tile (`1` for point-to-point chains; the OPN
+    /// and OCN have eight links — four in, four out — at each router).
+    pub links_per_tile: u8,
+    /// True for the two data networks, which carry routers and
+    /// per-port buffering; control networks are wires plus a small
+    /// amount of logic.
+    pub routed: bool,
+}
+
+/// All seven processor micronetworks plus the on-chip network, in the
+/// order of Table 2.
+pub const NETWORKS: [NetworkSpec; 8] = [
+    NetworkSpec {
+        abbrev: "GDN",
+        name: "Global Dispatch Network",
+        purpose: "I-fetch",
+        bits: 205,
+        links_per_tile: 1,
+        routed: false,
+    },
+    NetworkSpec {
+        abbrev: "GSN",
+        name: "Global Status Network",
+        purpose: "Block status",
+        bits: 6,
+        links_per_tile: 1,
+        routed: false,
+    },
+    NetworkSpec {
+        abbrev: "GCN",
+        name: "Global Control Network",
+        purpose: "Commit/flush",
+        bits: 13,
+        links_per_tile: 1,
+        routed: false,
+    },
+    NetworkSpec {
+        abbrev: "GRN",
+        name: "Global Refill Network",
+        purpose: "I-cache refill",
+        bits: 36,
+        links_per_tile: 1,
+        routed: false,
+    },
+    NetworkSpec {
+        abbrev: "DSN",
+        name: "Data Status Network",
+        purpose: "Store completion",
+        bits: 72,
+        links_per_tile: 1,
+        routed: false,
+    },
+    NetworkSpec {
+        abbrev: "ESN",
+        name: "External Store Network",
+        purpose: "L1 misses",
+        bits: 10,
+        links_per_tile: 1,
+        routed: false,
+    },
+    NetworkSpec {
+        abbrev: "OPN",
+        name: "Operand Network",
+        purpose: "Operand routing",
+        bits: 141,
+        links_per_tile: 8,
+        routed: true,
+    },
+    NetworkSpec {
+        abbrev: "OCN",
+        name: "On-chip Network",
+        purpose: "Memory traffic",
+        bits: 138,
+        links_per_tile: 8,
+        routed: true,
+    },
+];
+
+/// Looks up a network by abbreviation.
+pub fn by_abbrev(abbrev: &str) -> Option<&'static NetworkSpec> {
+    NETWORKS.iter().find(|n| n.abbrev == abbrev)
+}
+
+/// The OPN data payload width: one 64-bit operand per link per cycle.
+pub const OPN_OPERAND_BITS: u16 = 64;
+
+/// The OCN link width in bytes (16-byte data links).
+pub const OCN_FLIT_BYTES: u16 = 16;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_has_all_networks() {
+        for abbrev in ["GDN", "GSN", "GCN", "GRN", "DSN", "ESN", "OPN", "OCN"] {
+            assert!(by_abbrev(abbrev).is_some(), "{abbrev} missing");
+        }
+        assert_eq!(by_abbrev("XXX"), None);
+    }
+
+    #[test]
+    fn widths_match_the_paper() {
+        assert_eq!(by_abbrev("GDN").unwrap().bits, 205);
+        assert_eq!(by_abbrev("GSN").unwrap().bits, 6);
+        assert_eq!(by_abbrev("GCN").unwrap().bits, 13);
+        assert_eq!(by_abbrev("GRN").unwrap().bits, 36);
+        assert_eq!(by_abbrev("DSN").unwrap().bits, 72);
+        assert_eq!(by_abbrev("ESN").unwrap().bits, 10);
+        assert_eq!(by_abbrev("OPN").unwrap().bits, 141);
+        assert_eq!(by_abbrev("OCN").unwrap().bits, 138);
+    }
+
+    #[test]
+    fn only_data_networks_are_routed() {
+        for n in &NETWORKS {
+            assert_eq!(n.routed, n.abbrev == "OPN" || n.abbrev == "OCN");
+            assert_eq!(n.links_per_tile, if n.routed { 8 } else { 1 });
+        }
+    }
+
+    #[test]
+    fn opn_control_header_plus_payload_fits_link() {
+        // 64-bit operand + destination/slot control information must
+        // fit the 141 physical wires.
+        assert!(OPN_OPERAND_BITS < by_abbrev("OPN").unwrap().bits);
+    }
+}

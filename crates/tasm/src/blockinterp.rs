@@ -1,0 +1,463 @@
+//! A dataflow reference interpreter for compiled TRIPS images.
+//!
+//! This executes encoded blocks with the *architectural* semantics of
+//! the EDGE ISA — dataflow firing, predication, nullification, LSID
+//! memory ordering, block-atomic commit — but no timing. It sits
+//! between the IR interpreter and the cycle-level core: toolchain bugs
+//! show up as IR-vs-block divergence, core protocol bugs as
+//! block-vs-core divergence.
+
+use std::fmt;
+
+use trips_isa::mem::SparseMem;
+use trips_isa::semantics::{eval, extend_load};
+pub use trips_isa::semantics::Tok;
+use trips_isa::{
+    decode, decode_header, BranchKind, Opcode, OperandNeeds, OperandSlot, Pred, ProgramImage,
+    Target, TripsBlock, CHUNK_BYTES,
+};
+
+/// Errors from block-level execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlockInterpError {
+    /// A block failed to decode at `addr`.
+    Decode {
+        /// The block address.
+        addr: u64,
+        /// The decoder's message.
+        msg: String,
+    },
+    /// The block stalled before producing all outputs.
+    Deadlock {
+        /// The block address.
+        addr: u64,
+        /// What was still missing.
+        missing: String,
+    },
+    /// A block fired more than one branch.
+    MultipleBranches {
+        /// The block address.
+        addr: u64,
+    },
+    /// An operand arrived at a slot that already held a token.
+    DoubleDelivery {
+        /// The block address.
+        addr: u64,
+        /// The consumer instruction index.
+        inst: u8,
+    },
+    /// The block budget was exhausted (probable infinite loop).
+    BlockLimit,
+}
+
+impl fmt::Display for BlockInterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockInterpError::Decode { addr, msg } => {
+                write!(f, "decode failed at {addr:#x}: {msg}")
+            }
+            BlockInterpError::Deadlock { addr, missing } => {
+                write!(f, "block {addr:#x} deadlocked; missing {missing}")
+            }
+            BlockInterpError::MultipleBranches { addr } => {
+                write!(f, "block {addr:#x} fired more than one branch")
+            }
+            BlockInterpError::DoubleDelivery { addr, inst } => {
+                write!(f, "block {addr:#x}: double operand delivery to N[{inst}]")
+            }
+            BlockInterpError::BlockLimit => write!(f, "block budget exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for BlockInterpError {}
+
+/// Result of running an image to halt.
+#[derive(Debug)]
+pub struct BlockRunResult {
+    /// Final memory.
+    pub mem: SparseMem,
+    /// Final architectural registers.
+    pub regs: [u64; 128],
+    /// Blocks committed.
+    pub blocks: u64,
+    /// Useful instructions fired (reads and writes not counted, like
+    /// the hardware's IPC accounting).
+    pub insts: u64,
+}
+
+/// Runs `image` from its entry until a `halt` branch commits.
+///
+/// # Errors
+///
+/// See [`BlockInterpError`].
+pub fn run_image(image: &ProgramImage, max_blocks: u64) -> Result<BlockRunResult, BlockInterpError> {
+    let mut mem = SparseMem::from_image(image);
+    let mut regs = [0u64; 128];
+    let mut pc = image.entry;
+    let mut blocks = 0u64;
+    let mut insts = 0u64;
+    loop {
+        if blocks >= max_blocks {
+            return Err(BlockInterpError::BlockLimit);
+        }
+        let block = fetch_block(&mem, pc)?;
+        let out = execute_block(&block, &mut regs, &mut mem, pc)?;
+        blocks += 1;
+        insts += out.fired;
+        match out.next {
+            NextPc::Halt => {
+                return Ok(BlockRunResult { mem, regs, blocks, insts });
+            }
+            NextPc::At(next) => pc = next,
+        }
+    }
+}
+
+/// Reads and decodes the block at `addr` from simulated memory.
+pub fn fetch_block(mem: &SparseMem, addr: u64) -> Result<TripsBlock, BlockInterpError> {
+    let mut header = [0u8; CHUNK_BYTES];
+    mem.read_bytes(addr, &mut header);
+    let (_, chunks) = decode_header(&header)
+        .map_err(|e| BlockInterpError::Decode { addr, msg: e.to_string() })?;
+    let mut bytes = vec![0u8; CHUNK_BYTES * (1 + chunks)];
+    mem.read_bytes(addr, &mut bytes);
+    decode(&bytes).map_err(|e| BlockInterpError::Decode { addr, msg: e.to_string() })
+}
+
+enum NextPc {
+    At(u64),
+    Halt,
+}
+
+struct BlockOutcome {
+    next: NextPc,
+    fired: u64,
+}
+
+fn slot_ix(slot: OperandSlot) -> usize {
+    match slot {
+        OperandSlot::Left => 0,
+        OperandSlot::Right => 1,
+        OperandSlot::Predicate => 2,
+    }
+}
+
+/// Executes one block against registers and memory, committing its
+/// outputs atomically on success.
+fn execute_block(
+    block: &TripsBlock,
+    regs: &mut [u64; 128],
+    mem: &mut SparseMem,
+    addr: u64,
+) -> Result<BlockOutcome, BlockInterpError> {
+    let n = block.insts.len();
+    let mut ops: Vec<[Option<Tok>; 3]> = vec![[None; 3]; n];
+    let mut fired = vec![false; n];
+    let mut write_buf: [Option<Tok>; 32] = [None; 32];
+    let mut store_buf: Vec<(u8, Option<(u64, u64, u32)>)> = Vec::new(); // (lsid, (addr, val, bytes))
+    let mut branch: Option<(Opcode, i32, Option<u64>)> = None;
+    let mut fired_count = 0u64;
+
+    let mut deliveries: Vec<(Target, Tok)> = Vec::new();
+    // Header reads inject register values.
+    for r in block.header.reads.iter().flatten() {
+        for t in r.targets.iter().filter(|t| !t.is_none()) {
+            deliveries.push((*t, Tok::Val(regs[r.reg.num() as usize])));
+        }
+    }
+
+    loop {
+        // Deliver pending tokens.
+        while let Some((t, tok)) = deliveries.pop() {
+            match t {
+                Target::None => {}
+                Target::Write { slot } => {
+                    if write_buf[slot as usize].is_some() {
+                        return Err(BlockInterpError::DoubleDelivery { addr, inst: 128 + slot });
+                    }
+                    write_buf[slot as usize] = Some(tok);
+                }
+                Target::Inst { idx, slot } => {
+                    let cell = &mut ops[idx as usize][slot_ix(slot)];
+                    if cell.is_some() {
+                        return Err(BlockInterpError::DoubleDelivery { addr, inst: idx });
+                    }
+                    *cell = Some(tok);
+                }
+            }
+        }
+
+        // Find a fireable instruction: non-loads first, then the
+        // ready load with the smallest LSID whose older stores have
+        // all resolved or can never fire.
+        let ready = |i: usize| -> bool {
+            if fired[i] {
+                return false;
+            }
+            let inst = &block.insts[i];
+            if inst.is_nop() {
+                return false;
+            }
+            let needs = inst.opcode.needs();
+            let have = &ops[i];
+            let data_ok = match needs {
+                OperandNeeds::None => true,
+                OperandNeeds::Left => have[0].is_some(),
+                OperandNeeds::LeftRight => have[0].is_some() && have[1].is_some(),
+            };
+            let pred_ok = inst.pred == Pred::None || have[2].is_some();
+            data_ok && pred_ok
+        };
+        let pred_allows = |i: usize| -> Option<bool> {
+            // None => fire-with-null (null predicate); Some(b) => b.
+            let inst = &block.insts[i];
+            if inst.pred == Pred::None {
+                return Some(true);
+            }
+            match ops[i][2].expect("checked by ready()") {
+                Tok::Null => None,
+                Tok::Val(v) => Some(inst.pred.matches(v)),
+            }
+        };
+
+        let mut candidate: Option<usize> = None;
+        for i in 0..n {
+            if ready(i) && !block.insts[i].opcode.is_load() {
+                candidate = Some(i);
+                break;
+            }
+        }
+        if candidate.is_none() {
+            // Loads, smallest LSID first, gated on older stores.
+            let mut loads: Vec<usize> =
+                (0..n).filter(|&i| ready(i) && block.insts[i].opcode.is_load()).collect();
+            loads.sort_by_key(|&i| block.insts[i].lsid);
+            let can_ever_fire = compute_fireability(block, &ops, &fired);
+            'load: for i in loads {
+                let lsid = block.insts[i].lsid;
+                for j in 0..n {
+                    let s = &block.insts[j];
+                    if s.opcode.is_store() && s.lsid < lsid && !fired[j] && can_ever_fire[j] {
+                        continue 'load; // must wait for this store
+                    }
+                }
+                candidate = Some(i);
+                break;
+            }
+        }
+
+        let Some(i) = candidate else { break };
+        let inst = block.insts[i];
+        fired[i] = true;
+
+        match pred_allows(i) {
+            Some(false) => continue, // mismatched predicate: dead, no output
+            allows => {
+                let nullified = allows.is_none()
+                    || ops[i][0].map_or(false, |t| t == Tok::Null)
+                    || ops[i][1].map_or(false, |t| t == Tok::Null);
+                fired_count += 1;
+                if inst.opcode.is_store() {
+                    let rec = if nullified {
+                        None
+                    } else {
+                        let a = ops[i][0].unwrap().value().unwrap();
+                        let v = ops[i][1].unwrap().value().unwrap();
+                        Some((
+                            a.wrapping_add(inst.imm as i64 as u64),
+                            v,
+                            inst.opcode.access_bytes(),
+                        ))
+                    };
+                    store_buf.push((inst.lsid, rec));
+                } else if let Some(kind) = inst.opcode.branch_kind() {
+                    if branch.is_some() {
+                        return Err(BlockInterpError::MultipleBranches { addr });
+                    }
+                    let target = match kind {
+                        BranchKind::Branch | BranchKind::Call
+                            if inst.opcode.format() == trips_isa::Format::G =>
+                        {
+                            ops[i][0].unwrap().value()
+                        }
+                        BranchKind::Return => ops[i][0].unwrap().value(),
+                        _ => None,
+                    };
+                    branch = Some((inst.opcode, inst.imm, target));
+                } else if inst.opcode.is_load() {
+                    let tok = if nullified {
+                        Tok::Null
+                    } else {
+                        let a = ops[i][0].unwrap().value().unwrap();
+                        let ea = a.wrapping_add(inst.imm as i64 as u64);
+                        // Forward from older stores in this block.
+                        let bytes = inst.opcode.access_bytes();
+                        let mut raw = mem.read_uint(ea, bytes);
+                        let mut best: Option<u8> = None;
+                        for (lsid, rec) in &store_buf {
+                            if *lsid < inst.lsid {
+                                if let Some((sa, sv, sb)) = rec {
+                                    if *sa == ea && *sb >= bytes && best.map_or(true, |b| *lsid > b)
+                                    {
+                                        raw = *sv & mask(bytes);
+                                        best = Some(*lsid);
+                                    }
+                                }
+                            }
+                        }
+                        Tok::Val(extend_load(inst.opcode, raw))
+                    };
+                    for t in inst.live_targets() {
+                        deliveries.push((t, tok));
+                    }
+                } else {
+                    // Compute instruction.
+                    let tok = if inst.opcode == Opcode::Null {
+                        Tok::Null
+                    } else if nullified {
+                        Tok::Null
+                    } else {
+                        let l = ops[i][0].and_then(Tok::value).unwrap_or(0);
+                        let r = ops[i][1].and_then(Tok::value).unwrap_or(0);
+                        Tok::Val(eval(inst.opcode, l, r, inst.imm))
+                    };
+                    for t in inst.live_targets() {
+                        deliveries.push((t, tok));
+                    }
+                }
+            }
+        }
+    }
+
+    // Completion check.
+    let mut missing = String::new();
+    for lsid in 0..32u8 {
+        if block.header.store_mask & (1 << lsid) != 0
+            && !store_buf.iter().any(|(l, _)| *l == lsid)
+        {
+            missing.push_str(&format!("store lsid {lsid}; "));
+        }
+    }
+    for (s, w) in block.header.writes.iter().enumerate() {
+        if w.is_some() && write_buf[s].is_none() {
+            missing.push_str(&format!("write W[{s}]; "));
+        }
+    }
+    if branch.is_none() {
+        missing.push_str("branch; ");
+    }
+    if !missing.is_empty() {
+        return Err(BlockInterpError::Deadlock { addr, missing });
+    }
+
+    // Commit: writes, stores in LSID order, then the branch.
+    for (s, w) in block.header.writes.iter().enumerate() {
+        if let Some(w) = w {
+            if let Some(Tok::Val(v)) = write_buf[s] {
+                regs[w.reg.num() as usize] = v;
+            }
+        }
+    }
+    store_buf.sort_by_key(|(l, _)| *l);
+    for (_, rec) in &store_buf {
+        if let Some((a, v, b)) = rec {
+            mem.write_uint(*a, *v, *b);
+        }
+    }
+    let (op, imm, target) = branch.expect("checked above");
+    let next = match op.branch_kind().expect("branch opcode") {
+        BranchKind::Halt => NextPc::Halt,
+        _ => match op.format() {
+            trips_isa::Format::B => {
+                NextPc::At(addr.wrapping_add((i64::from(imm) * 128) as u64))
+            }
+            _ => NextPc::At(target.expect("register branch with null target")),
+        },
+    };
+    Ok(BlockOutcome { next, fired: fired_count })
+}
+
+fn mask(bytes: u32) -> u64 {
+    if bytes >= 8 { u64::MAX } else { (1u64 << (8 * bytes)) - 1 }
+}
+
+/// Conservative "could this instruction still fire" analysis used to
+/// release loads past stores that can never execute.
+fn compute_fireability(
+    block: &TripsBlock,
+    ops: &[[Option<Tok>; 3]],
+    fired: &[bool],
+) -> Vec<bool> {
+    let n = block.insts.len();
+    // producers[i][slot]: instructions (or header reads, implicit)
+    // that could still deliver to (i, slot).
+    let mut can = vec![true; n];
+    // Iterate to fixpoint: an unfired instruction can fire only if
+    // each missing operand has some unfired-but-fireable producer (or
+    // a header read, which always delivers — but those were delivered
+    // up front, so missing means no read).
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in 0..n {
+            if !can[i] || fired[i] {
+                continue;
+            }
+            let inst = &block.insts[i];
+            if inst.is_nop() {
+                can[i] = false;
+                changed = true;
+                continue;
+            }
+            // A predicate that has already arrived and mismatches
+            // means the instruction is dead.
+            if inst.pred != Pred::None {
+                if let Some(Tok::Val(v)) = ops[i][2] {
+                    if !inst.pred.matches(v) {
+                        can[i] = false;
+                        changed = true;
+                        continue;
+                    }
+                }
+            }
+            let mut needs: Vec<usize> = Vec::new();
+            match inst.opcode.needs() {
+                OperandNeeds::None => {}
+                OperandNeeds::Left => needs.push(0),
+                OperandNeeds::LeftRight => {
+                    needs.push(0);
+                    needs.push(1);
+                }
+            }
+            if inst.pred != Pred::None {
+                needs.push(2);
+            }
+            for slot in needs {
+                if ops[i][slot].is_some() {
+                    continue;
+                }
+                // Any live producer?
+                let mut alive = false;
+                for (j, p) in block.insts.iter().enumerate() {
+                    if fired[j] || !can[j] || p.is_nop() {
+                        continue;
+                    }
+                    for t in p.live_targets() {
+                        if let Target::Inst { idx, slot: ts } = t {
+                            if idx as usize == i && slot_ix(ts) == slot {
+                                alive = true;
+                            }
+                        }
+                    }
+                }
+                if !alive {
+                    can[i] = false;
+                    changed = true;
+                    break;
+                }
+            }
+        }
+    }
+    can
+}

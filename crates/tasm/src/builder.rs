@@ -1,0 +1,395 @@
+//! Ergonomic construction of IR programs.
+//!
+//! [`ProgramBuilder`] and [`FuncBuilder`] let workload generators
+//! write kernels as straight-line Rust:
+//!
+//! ```
+//! use trips_tasm::{ProgramBuilder, Opcode};
+//!
+//! let mut p = ProgramBuilder::new();
+//! let mut f = p.func("sum3", 0);
+//! let a = f.iconst(1);
+//! let b = f.iconst(2);
+//! let c = f.add(a, b);
+//! let d = f.addi(c, 3);
+//! let buf = f.iconst(0x10_0000);
+//! f.store(Opcode::Sd, buf, 0, d);
+//! f.halt();
+//! f.finish();
+//! let prog = p.finish();
+//! assert!(prog.check().is_ok());
+//! ```
+
+use crate::ir::{Bb, BbId, Func, FuncId, Global, Inst, Program, Term, VReg};
+use trips_isa::Opcode;
+
+/// Builds a [`Program`] incrementally.
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    funcs: Vec<Option<Func>>,
+    entry: FuncId,
+    globals: Vec<Global>,
+}
+
+impl ProgramBuilder {
+    /// An empty program builder.
+    pub fn new() -> ProgramBuilder {
+        ProgramBuilder::default()
+    }
+
+    /// Starts a new function with `nparams` parameters; parameters are
+    /// `VReg(0)..VReg(nparams)`. The first function created is the
+    /// program entry unless [`ProgramBuilder::set_entry`] says
+    /// otherwise.
+    pub fn func(&mut self, name: &str, nparams: u32) -> FuncBuilder<'_> {
+        let id = FuncId(self.funcs.len() as u32);
+        self.funcs.push(None);
+        FuncBuilder {
+            owner: self,
+            id,
+            name: name.to_string(),
+            nparams,
+            blocks: vec![Bb { insts: vec![], term: Term::Halt }],
+            cur: BbId(0),
+            terminated: vec![false],
+            next_vreg: nparams,
+        }
+    }
+
+    /// Pre-declares a function id (for forward calls), to be defined
+    /// later with [`ProgramBuilder::func`] in declaration order.
+    pub fn next_func_id(&self) -> FuncId {
+        FuncId(self.funcs.len() as u32)
+    }
+
+    /// Sets the entry function.
+    pub fn set_entry(&mut self, f: FuncId) {
+        self.entry = f;
+    }
+
+    /// Adds initialized global data at an absolute address.
+    pub fn global(&mut self, base: u64, data: Vec<u8>) {
+        self.globals.push(Global { base, data });
+    }
+
+    /// Adds a global of 64-bit little-endian words.
+    pub fn global_words(&mut self, base: u64, words: &[u64]) {
+        let mut data = Vec::with_capacity(words.len() * 8);
+        for w in words {
+            data.extend_from_slice(&w.to_le_bytes());
+        }
+        self.global(base, data);
+    }
+
+    /// Finalizes the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any started function was not finished.
+    pub fn finish(self) -> Program {
+        let funcs = self
+            .funcs
+            .into_iter()
+            .enumerate()
+            .map(|(i, f)| f.unwrap_or_else(|| panic!("function {i} never finished")))
+            .collect();
+        Program { funcs, entry: self.entry, globals: self.globals }
+    }
+}
+
+/// Builds one function. Create with [`ProgramBuilder::func`]; call
+/// [`FuncBuilder::finish`] when done.
+#[derive(Debug)]
+pub struct FuncBuilder<'p> {
+    owner: &'p mut ProgramBuilder,
+    id: FuncId,
+    name: String,
+    nparams: u32,
+    blocks: Vec<Bb>,
+    cur: BbId,
+    terminated: Vec<bool>,
+    next_vreg: u32,
+}
+
+impl<'p> FuncBuilder<'p> {
+    /// This function's id (usable for calls before it is finished).
+    pub fn id(&self) -> FuncId {
+        self.id
+    }
+
+    /// Parameter `i` as a register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= nparams`.
+    pub fn param(&self, i: u32) -> VReg {
+        assert!(i < self.nparams, "param {i} out of range");
+        VReg(i)
+    }
+
+    /// A fresh virtual register.
+    pub fn fresh(&mut self) -> VReg {
+        let v = VReg(self.next_vreg);
+        self.next_vreg += 1;
+        v
+    }
+
+    /// Creates a new, empty basic block (does not switch to it).
+    pub fn new_block(&mut self) -> BbId {
+        let id = BbId(self.blocks.len() as u32);
+        self.blocks.push(Bb { insts: vec![], term: Term::Halt });
+        self.terminated.push(false);
+        id
+    }
+
+    /// Switches the insertion point to `bb`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bb` is already terminated.
+    pub fn switch_to(&mut self, bb: BbId) {
+        assert!(!self.terminated[bb.0 as usize], "{bb} already terminated");
+        self.cur = bb;
+    }
+
+    /// The current insertion block.
+    pub fn current(&self) -> BbId {
+        self.cur
+    }
+
+    fn push(&mut self, inst: Inst) {
+        assert!(
+            !self.terminated[self.cur.0 as usize],
+            "emitting into terminated block {}",
+            self.cur
+        );
+        inst.check().expect("ill-formed instruction");
+        self.blocks[self.cur.0 as usize].insts.push(inst);
+    }
+
+    fn terminate(&mut self, term: Term) {
+        assert!(
+            !self.terminated[self.cur.0 as usize],
+            "double terminator in block {}",
+            self.cur
+        );
+        self.blocks[self.cur.0 as usize].term = term;
+        self.terminated[self.cur.0 as usize] = true;
+    }
+
+    /// `dst = op(a, b)`.
+    pub fn bin(&mut self, op: Opcode, a: VReg, b: VReg) -> VReg {
+        let dst = self.fresh();
+        self.push(Inst::Bin { op, dst, a, b });
+        dst
+    }
+
+    /// `dst = op(a, b)` into an existing register (for loop-carried
+    /// values).
+    pub fn bin_into(&mut self, dst: VReg, op: Opcode, a: VReg, b: VReg) {
+        self.push(Inst::Bin { op, dst, a, b });
+    }
+
+    /// `dst = op(a)`.
+    pub fn un(&mut self, op: Opcode, a: VReg) -> VReg {
+        let dst = self.fresh();
+        self.push(Inst::Un { op, dst, a });
+        dst
+    }
+
+    /// `dst = op(a, imm)`.
+    pub fn bini(&mut self, op: Opcode, a: VReg, imm: i64) -> VReg {
+        let dst = self.fresh();
+        self.push(Inst::BinImm { op, dst, a, imm });
+        dst
+    }
+
+    /// `dst = op(a, imm)` into an existing register.
+    pub fn bini_into(&mut self, dst: VReg, op: Opcode, a: VReg, imm: i64) {
+        self.push(Inst::BinImm { op, dst, a, imm });
+    }
+
+    /// `a + b`.
+    pub fn add(&mut self, a: VReg, b: VReg) -> VReg {
+        self.bin(Opcode::Add, a, b)
+    }
+
+    /// `a - b`.
+    pub fn sub(&mut self, a: VReg, b: VReg) -> VReg {
+        self.bin(Opcode::Sub, a, b)
+    }
+
+    /// `a * b`.
+    pub fn mul(&mut self, a: VReg, b: VReg) -> VReg {
+        self.bin(Opcode::Mul, a, b)
+    }
+
+    /// `a + imm`.
+    pub fn addi(&mut self, a: VReg, imm: i64) -> VReg {
+        self.bini(Opcode::Addi, a, imm)
+    }
+
+    /// Copy `a` into a fresh register.
+    pub fn mov(&mut self, a: VReg) -> VReg {
+        self.un(Opcode::Mov, a)
+    }
+
+    /// Copy `a` into `dst`.
+    pub fn mov_into(&mut self, dst: VReg, a: VReg) {
+        self.push(Inst::Un { op: Opcode::Mov, dst, a });
+    }
+
+    /// Materializes a constant.
+    pub fn iconst(&mut self, val: i64) -> VReg {
+        let dst = self.fresh();
+        self.push(Inst::Const { dst, val });
+        dst
+    }
+
+    /// Materializes a constant into an existing register.
+    pub fn iconst_into(&mut self, dst: VReg, val: i64) {
+        self.push(Inst::Const { dst, val });
+    }
+
+    /// Materializes an `f64` constant (as its bit pattern).
+    pub fn fconst(&mut self, val: f64) -> VReg {
+        self.iconst(val.to_bits() as i64)
+    }
+
+    /// `dst = extend(mem[addr + off])`.
+    pub fn load(&mut self, op: Opcode, addr: VReg, off: i32) -> VReg {
+        let dst = self.fresh();
+        self.push(Inst::Load { op, dst, addr, off });
+        dst
+    }
+
+    /// `mem[addr + off] = val`.
+    pub fn store(&mut self, op: Opcode, addr: VReg, off: i32, val: VReg) {
+        self.push(Inst::Store { op, addr, off, val });
+    }
+
+    /// Terminates with an unconditional jump.
+    pub fn jmp(&mut self, bb: BbId) {
+        self.terminate(Term::Jmp(bb));
+    }
+
+    /// Terminates with a conditional branch; `cond` must be 0/1.
+    pub fn br(&mut self, cond: VReg, t: BbId, f: BbId) {
+        self.terminate(Term::Br { cond, t, f });
+    }
+
+    /// Terminates with a return.
+    pub fn ret(&mut self, val: Option<VReg>) {
+        self.terminate(Term::Ret(val));
+    }
+
+    /// Terminates with a halt.
+    pub fn halt(&mut self) {
+        self.terminate(Term::Halt);
+    }
+
+    /// Terminates with a call and switches to the (fresh) continuation
+    /// block; returns the register bound to the callee's return value.
+    pub fn call(&mut self, func: FuncId, args: &[VReg]) -> VReg {
+        let dst = self.fresh();
+        let next = self.new_block();
+        self.terminate(Term::Call { func, args: args.to_vec(), dst: Some(dst), next });
+        self.cur = next;
+        dst
+    }
+
+    /// Like [`FuncBuilder::call`] but discarding any return value.
+    pub fn call_void(&mut self, func: FuncId, args: &[VReg]) {
+        let next = self.new_block();
+        self.terminate(Term::Call { func, args: args.to_vec(), dst: None, next });
+        self.cur = next;
+    }
+
+    /// Finalizes the function into the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any block lacks a terminator.
+    pub fn finish(self) {
+        for (i, t) in self.terminated.iter().enumerate() {
+            assert!(t, "block bb{i} of {} lacks a terminator", self.name);
+        }
+        let f = Func {
+            name: self.name,
+            nparams: self.nparams,
+            blocks: self.blocks,
+            entry: BbId(0),
+            nvregs: self.next_vreg,
+        };
+        self.owner.funcs[self.id.0 as usize] = Some(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Term;
+
+    #[test]
+    fn builds_a_loop() {
+        let mut p = ProgramBuilder::new();
+        let mut f = p.func("count", 0);
+        let i = f.fresh();
+        f.iconst_into(i, 0);
+        let body = f.new_block();
+        let done = f.new_block();
+        f.jmp(body);
+        f.switch_to(body);
+        f.bini_into(i, Opcode::Addi, i, 1);
+        let c = f.bini(Opcode::Tlti, i, 10);
+        f.br(c, body, done);
+        f.switch_to(done);
+        f.halt();
+        f.finish();
+        let prog = p.finish();
+        prog.check().unwrap();
+        assert_eq!(prog.funcs[0].blocks.len(), 3);
+        assert!(matches!(prog.funcs[0].blocks[1].term, Term::Br { .. }));
+    }
+
+    #[test]
+    fn call_switches_to_continuation() {
+        let mut p = ProgramBuilder::new();
+        let main_id = p.next_func_id();
+        let mut main = p.func("main", 0);
+        assert_eq!(main.id(), main_id);
+        let one = main.iconst(1);
+        let r = main.call(FuncId(1), &[one]);
+        let buf = main.iconst(0x1000);
+        main.store(Opcode::Sd, buf, 0, r);
+        main.halt();
+        main.finish();
+        let mut inc = p.func("inc", 1);
+        assert_eq!(inc.id(), FuncId(1)); // ids follow allocation order
+        let a = inc.param(0);
+        let b = inc.addi(a, 1);
+        inc.ret(Some(b));
+        inc.finish();
+        let prog = p.finish();
+        prog.check().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "lacks a terminator")]
+    fn unterminated_block_panics() {
+        let mut p = ProgramBuilder::new();
+        let mut f = p.func("bad", 0);
+        let _orphan = f.new_block();
+        f.halt();
+        f.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "double terminator")]
+    fn double_terminator_panics() {
+        let mut p = ProgramBuilder::new();
+        let mut f = p.func("bad", 0);
+        f.halt();
+        f.halt();
+    }
+}

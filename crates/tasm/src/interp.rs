@@ -1,0 +1,358 @@
+//! A reference interpreter for the IR.
+//!
+//! The interpreter defines the *meaning* of every workload: both
+//! backends (TRIPS blocks and baseline RISC) must produce machines
+//! whose final memory agrees with it. It also traps on reads of
+//! undefined virtual registers, enforcing the define-before-use rule
+//! the TRIPS backend's if-conversion depends on.
+
+use std::fmt;
+
+use trips_isa::mem::SparseMem;
+use trips_isa::semantics::{eval, extend_load};
+use trips_isa::Opcode;
+
+use crate::ir::{BbId, FuncId, Inst, Program, Term, VReg};
+
+/// Result of an IR execution.
+#[derive(Debug)]
+pub struct InterpResult {
+    /// Final memory contents.
+    pub mem: SparseMem,
+    /// Dynamic IR instructions executed (including terminators).
+    pub steps: u64,
+    /// Dynamic basic blocks executed.
+    pub blocks: u64,
+    /// Value returned by the entry function, if it returned one.
+    pub ret: Option<u64>,
+}
+
+/// Errors during interpretation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// A register was read before any path defined it.
+    UndefinedRead {
+        /// The function.
+        func: FuncId,
+        /// The block.
+        bb: BbId,
+        /// The offending register.
+        vreg: VReg,
+    },
+    /// A branch condition held a value other than 0 or 1.
+    NonBooleanCond {
+        /// The offending value.
+        value: u64,
+    },
+    /// The step budget was exhausted (probable infinite loop).
+    StepLimit,
+    /// The entry function returned instead of halting.
+    ReturnedFromEntry,
+    /// Call-argument count mismatch.
+    ArityMismatch {
+        /// The callee.
+        func: FuncId,
+        /// Arguments supplied.
+        got: usize,
+        /// Parameters expected.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::UndefinedRead { func, bb, vreg } => {
+                write!(f, "read of undefined {vreg} in func {} {bb}", func.0)
+            }
+            InterpError::NonBooleanCond { value } => {
+                write!(f, "branch condition must be 0/1, got {value}")
+            }
+            InterpError::StepLimit => write!(f, "step limit exhausted"),
+            InterpError::ReturnedFromEntry => {
+                write!(f, "entry function returned; end programs with halt")
+            }
+            InterpError::ArityMismatch { func, got, expected } => {
+                write!(f, "call to func {} with {got} args, expected {expected}", func.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+struct Frame {
+    func: FuncId,
+    regs: Vec<Option<u64>>,
+    bb: BbId,
+    /// Where to deposit the return value in the caller.
+    ret_into: Option<VReg>,
+    /// Caller resumes at this block.
+    resume: BbId,
+}
+
+/// Runs `prog` from its entry function until `halt`, a trap, or
+/// `max_steps` dynamic instructions.
+///
+/// # Errors
+///
+/// See [`InterpError`].
+pub fn run(prog: &Program, max_steps: u64) -> Result<InterpResult, InterpError> {
+    let mut mem = SparseMem::new();
+    for g in &prog.globals {
+        mem.write_bytes(g.base, &g.data);
+    }
+    let mut steps = 0u64;
+    let mut blocks = 0u64;
+
+    let entry = prog.func(prog.entry);
+    let mut stack = vec![Frame {
+        func: prog.entry,
+        regs: vec![None; entry.nvregs as usize],
+        bb: entry.entry,
+        ret_into: None,
+        resume: BbId(0),
+    }];
+    let mut last_ret: Option<u64> = None;
+
+    'outer: loop {
+        let frame = stack.last_mut().expect("frame stack never empty here");
+        let func = prog.func(frame.func);
+        let bb = func.block(frame.bb);
+        blocks += 1;
+
+        let read = |regs: &[Option<u64>], v: VReg, func: FuncId, bb: BbId| {
+            regs.get(v.0 as usize)
+                .copied()
+                .flatten()
+                .ok_or(InterpError::UndefinedRead { func, bb, vreg: v })
+        };
+
+        for inst in &bb.insts {
+            steps += 1;
+            if steps > max_steps {
+                return Err(InterpError::StepLimit);
+            }
+            let (fid, bid) = (frame.func, frame.bb);
+            match *inst {
+                Inst::Bin { op, dst, a, b } => {
+                    let va = read(&frame.regs, a, fid, bid)?;
+                    let vb = read(&frame.regs, b, fid, bid)?;
+                    frame.regs[dst.0 as usize] = Some(eval(op, va, vb, 0));
+                }
+                Inst::Un { op, dst, a } => {
+                    let va = read(&frame.regs, a, fid, bid)?;
+                    frame.regs[dst.0 as usize] = Some(eval(op, va, 0, 0));
+                }
+                Inst::BinImm { op, dst, a, imm } => {
+                    let va = read(&frame.regs, a, fid, bid)?;
+                    // Wide immediates are materialized by backends; the
+                    // interpreter applies them exactly.
+                    let v = match op {
+                        Opcode::Addi => va.wrapping_add(imm as u64),
+                        Opcode::Subi => va.wrapping_sub(imm as u64),
+                        Opcode::Muli => va.wrapping_mul(imm as u64),
+                        Opcode::Andi => va & imm as u64,
+                        Opcode::Ori => va | imm as u64,
+                        Opcode::Xori => va ^ imm as u64,
+                        _ => eval(op, va, 0, imm as i32),
+                    };
+                    frame.regs[dst.0 as usize] = Some(v);
+                }
+                Inst::Const { dst, val } => {
+                    frame.regs[dst.0 as usize] = Some(val as u64);
+                }
+                Inst::Load { op, dst, addr, off } => {
+                    let base = read(&frame.regs, addr, fid, bid)?;
+                    let ea = base.wrapping_add(off as i64 as u64);
+                    let raw = mem.read_uint(ea, op.access_bytes());
+                    frame.regs[dst.0 as usize] = Some(extend_load(op, raw));
+                }
+                Inst::Store { op, addr, off, val } => {
+                    let base = read(&frame.regs, addr, fid, bid)?;
+                    let v = read(&frame.regs, val, fid, bid)?;
+                    let ea = base.wrapping_add(off as i64 as u64);
+                    mem.write_uint(ea, v, op.access_bytes());
+                }
+            }
+        }
+
+        steps += 1;
+        if steps > max_steps {
+            return Err(InterpError::StepLimit);
+        }
+        match &bb.term {
+            Term::Jmp(next) => frame.bb = *next,
+            Term::Br { cond, t, f } => {
+                let c = read(&frame.regs, *cond, frame.func, frame.bb)?;
+                if c > 1 {
+                    return Err(InterpError::NonBooleanCond { value: c });
+                }
+                frame.bb = if c == 1 { *t } else { *f };
+            }
+            Term::Halt => break 'outer,
+            Term::Ret(v) => {
+                let val = match v {
+                    Some(v) => Some(read(&frame.regs, *v, frame.func, frame.bb)?),
+                    None => None,
+                };
+                let finished = stack.pop().expect("ret with empty stack");
+                last_ret = val;
+                match stack.last_mut() {
+                    None => return Err(InterpError::ReturnedFromEntry),
+                    Some(caller) => {
+                        if let Some(dst) = finished.ret_into {
+                            caller.regs[dst.0 as usize] = val;
+                        }
+                        caller.bb = finished.resume;
+                    }
+                }
+            }
+            Term::Call { func: callee, args, dst, next } => {
+                let cf = prog.func(*callee);
+                if args.len() != cf.nparams as usize {
+                    return Err(InterpError::ArityMismatch {
+                        func: *callee,
+                        got: args.len(),
+                        expected: cf.nparams as usize,
+                    });
+                }
+                let mut regs = vec![None; cf.nvregs as usize];
+                for (i, a) in args.iter().enumerate() {
+                    regs[i] = Some(read(&frame.regs, *a, frame.func, frame.bb)?);
+                }
+                let entry_bb = cf.entry;
+                let (ret_into, resume) = (*dst, *next);
+                stack.push(Frame { func: *callee, regs, bb: entry_bb, ret_into, resume });
+            }
+        }
+    }
+
+    Ok(InterpResult { mem, steps, blocks, ret: last_ret })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use trips_isa::Opcode;
+
+    #[test]
+    fn straightline_store() {
+        let mut p = ProgramBuilder::new();
+        let mut f = p.func("main", 0);
+        let a = f.iconst(20);
+        let b = f.iconst(22);
+        let c = f.add(a, b);
+        let buf = f.iconst(0x1000);
+        f.store(Opcode::Sd, buf, 0, c);
+        f.halt();
+        f.finish();
+        let r = run(&p.finish(), 1000).unwrap();
+        assert_eq!(r.mem.read_u64(0x1000), 42);
+    }
+
+    #[test]
+    fn loop_sums() {
+        let mut p = ProgramBuilder::new();
+        let mut f = p.func("main", 0);
+        let sum = f.fresh();
+        let i = f.fresh();
+        f.iconst_into(sum, 0);
+        f.iconst_into(i, 0);
+        let body = f.new_block();
+        let done = f.new_block();
+        f.jmp(body);
+        f.switch_to(body);
+        f.bin_into(sum, Opcode::Add, sum, i);
+        f.bini_into(i, Opcode::Addi, i, 1);
+        let c = f.bini(Opcode::Tlti, i, 10);
+        f.br(c, body, done);
+        f.switch_to(done);
+        let buf = f.iconst(0x2000);
+        f.store(Opcode::Sd, buf, 0, sum);
+        f.halt();
+        f.finish();
+        let r = run(&p.finish(), 10_000).unwrap();
+        assert_eq!(r.mem.read_u64(0x2000), 45);
+        assert!(r.blocks >= 11);
+    }
+
+    #[test]
+    fn call_and_return() {
+        let mut p = ProgramBuilder::new();
+        let mut main = p.func("main", 0);
+        let x = main.iconst(5);
+        let sq_id = FuncId(1);
+        let y = main.call(sq_id, &[x]);
+        let buf = main.iconst(0x3000);
+        main.store(Opcode::Sd, buf, 0, y);
+        main.halt();
+        main.finish();
+        let mut sq = p.func("square", 1);
+        let a = sq.param(0);
+        let r = sq.mul(a, a);
+        sq.ret(Some(r));
+        sq.finish();
+        let prog = p.finish();
+        prog.check().unwrap();
+        let r = run(&prog, 1000).unwrap();
+        assert_eq!(r.mem.read_u64(0x3000), 25);
+    }
+
+    #[test]
+    fn undefined_read_traps() {
+        let mut p = ProgramBuilder::new();
+        let mut f = p.func("main", 0);
+        let ghost = f.fresh();
+        let buf = f.iconst(0x1000);
+        f.store(Opcode::Sd, buf, 0, ghost);
+        f.halt();
+        f.finish();
+        assert!(matches!(run(&p.finish(), 100), Err(InterpError::UndefinedRead { .. })));
+    }
+
+    #[test]
+    fn nonboolean_cond_traps() {
+        let mut p = ProgramBuilder::new();
+        let mut f = p.func("main", 0);
+        let two = f.iconst(2);
+        let done = f.new_block();
+        f.br(two, done, done);
+        f.switch_to(done);
+        f.halt();
+        f.finish();
+        assert_eq!(
+            run(&p.finish(), 100).unwrap_err(),
+            InterpError::NonBooleanCond { value: 2 }
+        );
+    }
+
+    #[test]
+    fn step_limit_guards_infinite_loops() {
+        let mut p = ProgramBuilder::new();
+        let mut f = p.func("main", 0);
+        let spin = f.new_block();
+        f.jmp(spin);
+        f.switch_to(spin);
+        f.jmp(spin);
+        f.finish();
+        assert_eq!(run(&p.finish(), 50).unwrap_err(), InterpError::StepLimit);
+    }
+
+    #[test]
+    fn globals_are_loaded() {
+        let mut p = ProgramBuilder::new();
+        p.global_words(0x4000, &[7, 9]);
+        let mut f = p.func("main", 0);
+        let base = f.iconst(0x4000);
+        let a = f.load(Opcode::Ld, base, 0);
+        let b = f.load(Opcode::Ld, base, 8);
+        let c = f.add(a, b);
+        f.store(Opcode::Sd, base, 16, c);
+        f.halt();
+        f.finish();
+        let r = run(&p.finish(), 100).unwrap();
+        assert_eq!(r.mem.read_u64(0x4010), 16);
+    }
+}

@@ -1,0 +1,493 @@
+//! A small register-based intermediate representation.
+//!
+//! Workloads are written once against this IR and lowered twice: by
+//! the TRIPS backend in this crate (into EDGE blocks) and by the RISC
+//! backend in `trips-alpha` (into conventional three-address code for
+//! the baseline core). The IR is deliberately minimal: 64-bit virtual
+//! registers, basic blocks, explicit loads/stores, and calls as block
+//! terminators.
+//!
+//! The IR is *not* SSA: virtual registers may be assigned repeatedly.
+//! A virtual register must be defined on every path before any use
+//! that can observe both sides of a branch — the interpreter traps on
+//! reads of undefined registers, and the TRIPS backend relies on this
+//! rule when it if-converts.
+
+use std::fmt;
+
+use trips_isa::{Format, Opcode, OperandNeeds};
+
+/// A virtual register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VReg(pub u32);
+
+impl fmt::Display for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A basic block within a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BbId(pub u32);
+
+impl fmt::Display for BbId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// A function within a program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct FuncId(pub u32);
+
+/// A non-terminator IR instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Inst {
+    /// `dst = op(a, b)` for a two-operand G-format compute opcode.
+    Bin {
+        /// The operation (a G-format, `LeftRight` opcode).
+        op: Opcode,
+        /// Destination.
+        dst: VReg,
+        /// Left operand.
+        a: VReg,
+        /// Right operand.
+        b: VReg,
+    },
+    /// `dst = op(a)` for a one-operand compute opcode.
+    Un {
+        /// The operation (a G-format, `Left` opcode).
+        op: Opcode,
+        /// Destination.
+        dst: VReg,
+        /// Operand.
+        a: VReg,
+    },
+    /// `dst = op(a, imm)` for an I-format compute opcode.
+    BinImm {
+        /// The operation (an I-format, `Left` opcode).
+        op: Opcode,
+        /// Destination.
+        dst: VReg,
+        /// Operand.
+        a: VReg,
+        /// The immediate (any `i64`; backends materialize wide ones).
+        imm: i64,
+    },
+    /// `dst = const`.
+    Const {
+        /// Destination.
+        dst: VReg,
+        /// The constant.
+        val: i64,
+    },
+    /// `dst = extend(mem[addr + off])`.
+    Load {
+        /// A load opcode selecting width and extension.
+        op: Opcode,
+        /// Destination.
+        dst: VReg,
+        /// Base address register.
+        addr: VReg,
+        /// Byte offset.
+        off: i32,
+    },
+    /// `mem[addr + off] = truncate(val)`.
+    Store {
+        /// A store opcode selecting width.
+        op: Opcode,
+        /// Base address register.
+        addr: VReg,
+        /// Byte offset.
+        off: i32,
+        /// The value to store.
+        val: VReg,
+    },
+}
+
+impl Inst {
+    /// The destination register, if the instruction defines one.
+    pub fn dst(&self) -> Option<VReg> {
+        match *self {
+            Inst::Bin { dst, .. }
+            | Inst::Un { dst, .. }
+            | Inst::BinImm { dst, .. }
+            | Inst::Const { dst, .. }
+            | Inst::Load { dst, .. } => Some(dst),
+            Inst::Store { .. } => None,
+        }
+    }
+
+    /// The registers the instruction reads.
+    pub fn uses(&self) -> Vec<VReg> {
+        match *self {
+            Inst::Bin { a, b, .. } => vec![a, b],
+            Inst::Un { a, .. } | Inst::BinImm { a, .. } => vec![a],
+            Inst::Const { .. } => vec![],
+            Inst::Load { addr, .. } => vec![addr],
+            Inst::Store { addr, val, .. } => vec![addr, val],
+        }
+    }
+
+    /// Checks opcode/format agreement.
+    pub fn check(&self) -> Result<(), IrError> {
+        let ok = match *self {
+            Inst::Bin { op, .. } => {
+                op.format() == Format::G
+                    && op.needs() == OperandNeeds::LeftRight
+                    && !op.is_branch()
+            }
+            Inst::Un { op, .. } => {
+                op.format() == Format::G && op.needs() == OperandNeeds::Left && !op.is_branch()
+            }
+            Inst::BinImm { op, .. } => {
+                op.format() == Format::I && op.needs() == OperandNeeds::Left
+            }
+            Inst::Const { .. } => true,
+            Inst::Load { op, .. } => op.is_load(),
+            Inst::Store { op, .. } => op.is_store(),
+        };
+        if ok { Ok(()) } else { Err(IrError::BadOpcode(*self)) }
+    }
+}
+
+/// A basic-block terminator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Term {
+    /// Unconditional jump.
+    Jmp(BbId),
+    /// Conditional branch; `cond` must hold `0` or `1` (produced by a
+    /// test opcode).
+    Br {
+        /// The 0/1 condition.
+        cond: VReg,
+        /// Successor when `cond == 1`.
+        t: BbId,
+        /// Successor when `cond == 0`.
+        f: BbId,
+    },
+    /// Return to the caller, optionally with a value.
+    Ret(Option<VReg>),
+    /// Call `func(args…)`, then continue at `next` with `dst` bound to
+    /// the return value (if any). Calls end blocks because they end
+    /// TRIPS blocks (`callo`).
+    Call {
+        /// The callee.
+        func: FuncId,
+        /// Argument registers.
+        args: Vec<VReg>,
+        /// Register bound to the return value in `next`.
+        dst: Option<VReg>,
+        /// The continuation block.
+        next: BbId,
+    },
+    /// Stop the machine (the whole simulation).
+    Halt,
+}
+
+impl Term {
+    /// Successor blocks within the same function.
+    pub fn successors(&self) -> Vec<BbId> {
+        match self {
+            Term::Jmp(b) => vec![*b],
+            Term::Br { t, f, .. } => vec![*t, *f],
+            Term::Call { next, .. } => vec![*next],
+            Term::Ret(_) | Term::Halt => vec![],
+        }
+    }
+
+    /// Registers the terminator reads.
+    pub fn uses(&self) -> Vec<VReg> {
+        match self {
+            Term::Br { cond, .. } => vec![*cond],
+            Term::Ret(Some(v)) => vec![*v],
+            Term::Call { args, .. } => args.clone(),
+            _ => vec![],
+        }
+    }
+}
+
+/// A basic block: straight-line instructions plus a terminator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bb {
+    /// The instructions in order.
+    pub insts: Vec<Inst>,
+    /// The terminator.
+    pub term: Term,
+}
+
+/// A function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Func {
+    /// Name, for diagnostics and disassembly.
+    pub name: String,
+    /// Number of parameters; parameters are `VReg(0)..VReg(n)`.
+    pub nparams: u32,
+    /// Basic blocks; `BbId` indexes this vector.
+    pub blocks: Vec<Bb>,
+    /// The entry block.
+    pub entry: BbId,
+    /// Number of virtual registers used.
+    pub nvregs: u32,
+}
+
+impl Func {
+    /// The block with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn block(&self, id: BbId) -> &Bb {
+        &self.blocks[id.0 as usize]
+    }
+
+    /// Predecessor map: `preds[b]` lists blocks branching to `b`.
+    pub fn predecessors(&self) -> Vec<Vec<BbId>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for (i, bb) in self.blocks.iter().enumerate() {
+            for s in bb.term.successors() {
+                preds[s.0 as usize].push(BbId(i as u32));
+            }
+        }
+        preds
+    }
+}
+
+/// Initialized global data at an absolute address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Global {
+    /// Base byte address.
+    pub base: u64,
+    /// Contents.
+    pub data: Vec<u8>,
+}
+
+/// A whole program: functions plus global data.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    /// The functions; `FuncId` indexes this vector.
+    pub funcs: Vec<Func>,
+    /// Index of the entry function (executed with no arguments).
+    pub entry: FuncId,
+    /// Initialized data.
+    pub globals: Vec<Global>,
+}
+
+impl Program {
+    /// The function with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn func(&self, id: FuncId) -> &Func {
+        &self.funcs[id.0 as usize]
+    }
+
+    /// Structural validation: every id in range, opcode formats legal,
+    /// call graph acyclic (the backends use static register pools and
+    /// so reject recursion).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first inconsistency found.
+    pub fn check(&self) -> Result<(), IrError> {
+        if self.entry.0 as usize >= self.funcs.len() {
+            return Err(IrError::BadFunc(self.entry));
+        }
+        for (fi, f) in self.funcs.iter().enumerate() {
+            if f.entry.0 as usize >= f.blocks.len() {
+                return Err(IrError::BadBlock(FuncId(fi as u32), f.entry));
+            }
+            for bb in &f.blocks {
+                for i in &bb.insts {
+                    i.check()?;
+                }
+                for s in bb.term.successors() {
+                    if s.0 as usize >= f.blocks.len() {
+                        return Err(IrError::BadBlock(FuncId(fi as u32), s));
+                    }
+                }
+                if let Term::Call { func, .. } = &bb.term {
+                    if func.0 as usize >= self.funcs.len() {
+                        return Err(IrError::BadFunc(*func));
+                    }
+                }
+            }
+        }
+        self.check_acyclic_calls()?;
+        Ok(())
+    }
+
+    fn check_acyclic_calls(&self) -> Result<(), IrError> {
+        // Kahn's algorithm over the call graph.
+        let n = self.funcs.len();
+        let mut callees = vec![Vec::new(); n];
+        for (fi, f) in self.funcs.iter().enumerate() {
+            for bb in &f.blocks {
+                if let Term::Call { func, .. } = &bb.term {
+                    callees[fi].push(func.0 as usize);
+                }
+            }
+        }
+        let mut indeg = vec![0usize; n];
+        for cs in &callees {
+            for &c in cs {
+                indeg[c] += 1;
+            }
+        }
+        let mut ready: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut seen = 0;
+        while let Some(i) = ready.pop() {
+            seen += 1;
+            for &c in &callees[i] {
+                indeg[c] -= 1;
+                if indeg[c] == 0 {
+                    ready.push(c);
+                }
+            }
+        }
+        if seen == n { Ok(()) } else { Err(IrError::RecursiveCalls) }
+    }
+
+    /// Topological order of functions with callees before callers (for
+    /// static register-pool assignment).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the call graph is cyclic; run [`Program::check`]
+    /// first.
+    pub fn callees_first(&self) -> Vec<FuncId> {
+        let n = self.funcs.len();
+        let mut callees = vec![Vec::new(); n];
+        for (fi, f) in self.funcs.iter().enumerate() {
+            for bb in &f.blocks {
+                if let Term::Call { func, .. } = &bb.term {
+                    callees[fi].push(func.0 as usize);
+                }
+            }
+        }
+        let mut order = Vec::with_capacity(n);
+        let mut state = vec![0u8; n]; // 0 new, 1 visiting, 2 done
+        fn visit(
+            i: usize,
+            callees: &[Vec<usize>],
+            state: &mut [u8],
+            order: &mut Vec<FuncId>,
+        ) {
+            assert_ne!(state[i], 1, "recursive call graph");
+            if state[i] == 2 {
+                return;
+            }
+            state[i] = 1;
+            for &c in &callees[i] {
+                visit(c, callees, state, order);
+            }
+            state[i] = 2;
+            order.push(FuncId(i as u32));
+        }
+        for i in 0..n {
+            visit(i, &callees, &mut state, &mut order);
+        }
+        order
+    }
+}
+
+/// Errors from IR validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IrError {
+    /// An instruction uses an opcode of the wrong format.
+    BadOpcode(Inst),
+    /// A function id out of range.
+    BadFunc(FuncId),
+    /// A block id out of range.
+    BadBlock(FuncId, BbId),
+    /// The call graph contains a cycle.
+    RecursiveCalls,
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::BadOpcode(i) => write!(f, "opcode/format mismatch in {i:?}"),
+            IrError::BadFunc(id) => write!(f, "function id {} out of range", id.0),
+            IrError::BadBlock(fid, b) => {
+                write!(f, "block {b} out of range in function {}", fid.0)
+            }
+            IrError::RecursiveCalls => {
+                write!(f, "recursive call graph (static register pools forbid recursion)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf(name: &str) -> Func {
+        Func {
+            name: name.into(),
+            nparams: 0,
+            blocks: vec![Bb { insts: vec![], term: Term::Ret(None) }],
+            entry: BbId(0),
+            nvregs: 0,
+        }
+    }
+
+    #[test]
+    fn check_catches_bad_block_id() {
+        let mut f = leaf("f");
+        f.blocks[0].term = Term::Jmp(BbId(9));
+        let p = Program { funcs: vec![f], entry: FuncId(0), globals: vec![] };
+        assert_eq!(p.check(), Err(IrError::BadBlock(FuncId(0), BbId(9))));
+    }
+
+    #[test]
+    fn check_catches_recursion() {
+        let mut f = leaf("f");
+        f.blocks[0].term =
+            Term::Call { func: FuncId(0), args: vec![], dst: None, next: BbId(0) };
+        let p = Program { funcs: vec![f], entry: FuncId(0), globals: vec![] };
+        assert_eq!(p.check(), Err(IrError::RecursiveCalls));
+    }
+
+    #[test]
+    fn check_catches_format_mismatch() {
+        let bad = Inst::Bin { op: Opcode::Mov, dst: VReg(0), a: VReg(1), b: VReg(2) };
+        assert!(bad.check().is_err());
+        let good = Inst::Un { op: Opcode::Mov, dst: VReg(0), a: VReg(1) };
+        assert!(good.check().is_ok());
+        assert!(Inst::BinImm { op: Opcode::Addi, dst: VReg(0), a: VReg(1), imm: 3 }
+            .check()
+            .is_ok());
+        assert!(Inst::BinImm { op: Opcode::Add, dst: VReg(0), a: VReg(1), imm: 3 }
+            .check()
+            .is_err());
+    }
+
+    #[test]
+    fn callees_first_orders_leaves_first() {
+        let mut main = leaf("main");
+        main.blocks[0].term =
+            Term::Call { func: FuncId(1), args: vec![], dst: None, next: BbId(1) };
+        main.blocks.push(Bb { insts: vec![], term: Term::Halt });
+        let helper = leaf("helper");
+        let p = Program { funcs: vec![main, helper], entry: FuncId(0), globals: vec![] };
+        p.check().unwrap();
+        let order = p.callees_first();
+        assert_eq!(order, vec![FuncId(1), FuncId(0)]);
+    }
+
+    #[test]
+    fn uses_and_dst() {
+        let i = Inst::Store { op: Opcode::Sd, addr: VReg(1), off: 8, val: VReg(2) };
+        assert_eq!(i.dst(), None);
+        assert_eq!(i.uses(), vec![VReg(1), VReg(2)]);
+        let t = Term::Br { cond: VReg(3), t: BbId(0), f: BbId(1) };
+        assert_eq!(t.uses(), vec![VReg(3)]);
+        assert_eq!(t.successors(), vec![BbId(0), BbId(1)]);
+    }
+}

@@ -1,0 +1,147 @@
+//! # trips-tasm — the TRIPS block toolchain
+//!
+//! The paper's evaluation runs code produced by the Scale-based TRIPS
+//! compiler and by hand optimization of its output (§5.4). This crate
+//! is the reproduction's equivalent: a small [`ir`] in which the
+//! workload suite is written once, lowered into EDGE blocks by the
+//! [`lower`] backend at either of two [`Quality`] levels:
+//!
+//! * [`Quality::Compiled`] — one TRIPS block per IR basic block,
+//!   sequential instruction placement, chained fanout. Blocks come out
+//!   small and communication-heavy, modelling the immature compiler
+//!   whose "blocks will be too small" (§5.4).
+//! * [`Quality::Hand`] — hyperblock formation (chain merging,
+//!   if-conversion of triangles and diamonds), greedy
+//!   minimum-communication placement on the 4×4 ET grid, balanced
+//!   fanout trees. Models the hand-optimized kernels.
+//!
+//! Two reference interpreters anchor correctness: [`interp`] executes
+//! the IR directly, and [`blockinterp`] executes compiled images with
+//! architectural EDGE semantics (dataflow firing, predication,
+//! nullification, LSID ordering). The cycle-level core in `trips-core`
+//! must agree with both.
+//!
+//! ```
+//! use trips_tasm::{compile, interp, blockinterp, ProgramBuilder, Quality, Opcode};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut p = ProgramBuilder::new();
+//! let mut f = p.func("main", 0);
+//! let a = f.iconst(40);
+//! let b = f.addi(a, 2);
+//! let buf = f.iconst(0x10_0000);
+//! f.store(Opcode::Sd, buf, 0, b);
+//! f.halt();
+//! f.finish();
+//! let prog = p.finish();
+//!
+//! let reference = interp::run(&prog, 10_000)?;
+//! let compiled = compile(&prog, Quality::Hand)?;
+//! let executed = blockinterp::run_image(&compiled.image, 10_000)?;
+//! assert_eq!(executed.mem.read_u64(0x10_0000), 42);
+//! assert_eq!(reference.mem.read_u64(0x10_0000), 42);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod blockinterp;
+mod builder;
+pub mod interp;
+pub mod ir;
+pub mod lower;
+
+pub use builder::{FuncBuilder, ProgramBuilder};
+pub use ir::{Bb, BbId, Func, FuncId, Global, Inst, IrError, Program, Term, VReg};
+pub use lower::{compile, CompileStats, CompiledProgram, PlacedBlock, CODE_BASE};
+pub use trips_isa::Opcode;
+
+use std::fmt;
+
+/// Code-quality level of the TRIPS backend, modelling the paper's
+/// compiled (TCC) versus hand-optimized code split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Quality {
+    /// Immature-compiler code: small blocks, naive placement.
+    Compiled,
+    /// Hand-optimized code: hyperblocks, locality-aware placement.
+    Hand,
+}
+
+impl fmt::Display for Quality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Quality::Compiled => "compiled",
+            Quality::Hand => "hand",
+        })
+    }
+}
+
+/// Errors from the TRIPS backend.
+#[derive(Debug)]
+pub enum TasmError {
+    /// Structural IR problem.
+    Ir(IrError),
+    /// A hardware budget was exceeded; used internally to stop region
+    /// growth and reported only when a single basic block cannot fit.
+    Budget {
+        /// Which budget.
+        reason: &'static str,
+    },
+    /// A single basic block exceeds hardware budgets even unmerged;
+    /// restructure the workload into smaller blocks.
+    BlockTooLarge {
+        /// The function.
+        func: String,
+        /// The offending block id.
+        bb: u32,
+    },
+    /// A call path needs more than 128 architectural registers.
+    OutOfRegisters {
+        /// The function whose pool overflowed.
+        func: String,
+        /// Registers the path would need.
+        needed: usize,
+    },
+    /// A branch target is beyond the ±64 MiB reach of the 20-bit
+    /// block offset.
+    BranchOutOfRange {
+        /// Branching block address.
+        from: u64,
+        /// Target address.
+        to: u64,
+    },
+    /// The generated block failed ISA validation (an internal bug).
+    InvalidBlock(trips_isa::BlockError),
+    /// An internal invariant failed.
+    Internal(&'static str),
+}
+
+impl fmt::Display for TasmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TasmError::Ir(e) => write!(f, "ir error: {e}"),
+            TasmError::Budget { reason } => write!(f, "hardware budget exceeded: {reason}"),
+            TasmError::BlockTooLarge { func, bb } => {
+                write!(f, "basic block bb{bb} of {func} exceeds hardware budgets even unmerged")
+            }
+            TasmError::OutOfRegisters { func, needed } => {
+                write!(f, "register pool exhausted at {func}: call path needs {needed} registers")
+            }
+            TasmError::BranchOutOfRange { from, to } => {
+                write!(f, "branch from {from:#x} to {to:#x} out of 20-bit range")
+            }
+            TasmError::InvalidBlock(e) => write!(f, "generated block failed validation: {e}"),
+            TasmError::Internal(m) => write!(f, "internal toolchain error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TasmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TasmError::Ir(e) => Some(e),
+            TasmError::InvalidBlock(e) => Some(e),
+            _ => None,
+        }
+    }
+}

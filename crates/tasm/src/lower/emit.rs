@@ -1,0 +1,1047 @@
+//! Region → TRIPS block emission.
+//!
+//! Turns a guarded region of IR blocks into one TRIPS block: builds
+//! the dataflow graph (producers name their consumers), applies
+//! predicates, inserts the `null`s that keep block outputs constant on
+//! every path (§4.2, Figure 5a), expands fanout through `mov` trees,
+//! assigns load/store IDs and read/write queue slots, spatially places
+//! instructions on the 4×4 ET grid, and assembles a validated
+//! [`TripsBlock`].
+
+use std::collections::{HashMap, HashSet};
+
+use trips_isa::{
+    ArchReg, InstSlot, Instruction, Opcode, OperandSlot, Pred, ReadInst, Target, TripsBlock,
+    WriteInst,
+};
+
+use crate::ir::{BbId, FuncId, Inst, Program, Term, VReg};
+use crate::lower::regalloc::ProgramAlloc;
+use crate::lower::region::{Guard, Region};
+use crate::{Quality, TasmError};
+
+/// Where a fixed-up field ultimately points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkTarget {
+    /// The TRIPS block for the region headed by `head` in `func`.
+    Block {
+        /// The function.
+        func: FuncId,
+        /// The region head block.
+        head: BbId,
+    },
+    /// The entry region of `func`.
+    FuncEntry(FuncId),
+}
+
+/// A field of an emitted instruction to patch once block addresses are
+/// known.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FixupKind {
+    /// Patch a branch offset (in 128-byte units, relative to this
+    /// block's address).
+    Branch(LinkTarget),
+    /// Patch a `genu` immediate with bits 31:16 of the target address.
+    AddrHi(LinkTarget),
+    /// Patch an `app` immediate with bits 15:0 of the target address.
+    AddrLo(LinkTarget),
+}
+
+/// A pending patch in an emitted block.
+#[derive(Debug, Clone, Copy)]
+pub struct Fixup {
+    /// Index of the instruction within the block body.
+    pub inst: u8,
+    /// What to patch it with.
+    pub kind: FixupKind,
+}
+
+/// One emitted (but not yet address-patched) TRIPS block.
+#[derive(Debug, Clone)]
+pub struct EmittedBlock {
+    /// The assembled block; passes [`TripsBlock::validate`].
+    pub block: TripsBlock,
+    /// Address fixups to apply during layout.
+    pub fixups: Vec<Fixup>,
+    /// The region head this block implements.
+    pub head: BbId,
+}
+
+const MAX_BODY: usize = 128;
+const MAX_LSIDS: u8 = 32;
+const SLOTS_PER_BANK: u8 = 8;
+
+#[derive(Debug, Clone)]
+enum SymKind {
+    Read { reg: ArchReg },
+    Body { op: Opcode, pred: Pred, imm: i32, lsid: u8, exit: u8, fix: Option<FixupKind> },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Out {
+    /// Operand slot of another sym.
+    Op(usize, OperandSlot),
+    /// Register-write output.
+    Write(ArchReg),
+}
+
+#[derive(Debug, Clone)]
+struct Sym {
+    kind: SymKind,
+    outs: Vec<Out>,
+    /// IR-level guard this sym was emitted under, used to elide
+    /// redundant guarded `mov`s when feeding stores.
+    guard: Guard,
+}
+
+type PSet = Vec<usize>;
+
+struct Emitter<'a> {
+    fid: FuncId,
+    alloc: &'a ProgramAlloc,
+    syms: Vec<Sym>,
+    cur: HashMap<VReg, PSet>,
+    defined: HashSet<VReg>,
+    reads: HashMap<ArchReg, usize>,
+    consts: HashMap<i64, usize>,
+    next_lsid: u8,
+    store_mask: u32,
+}
+
+impl<'a> Emitter<'a> {
+    fn body(&mut self, op: Opcode, pred: Pred, imm: i32, guard: Guard) -> usize {
+        self.syms.push(Sym {
+            kind: SymKind::Body { op, pred, imm, lsid: 0, exit: 0, fix: None },
+            outs: Vec::new(),
+            guard,
+        });
+        self.syms.len() - 1
+    }
+
+    fn connect(&mut self, from: usize, to: usize, slot: OperandSlot) {
+        self.syms[from].outs.push(Out::Op(to, slot));
+    }
+
+    fn connect_write(&mut self, from: usize, reg: ArchReg) {
+        self.syms[from].outs.push(Out::Write(reg));
+    }
+
+    fn read_sym(&mut self, reg: ArchReg) -> usize {
+        if let Some(&s) = self.reads.get(&reg) {
+            return s;
+        }
+        self.syms.push(Sym {
+            kind: SymKind::Read { reg },
+            outs: Vec::new(),
+            guard: Guard::Always,
+        });
+        let s = self.syms.len() - 1;
+        self.reads.insert(reg, s);
+        s
+    }
+
+    fn producers_of(&mut self, v: VReg) -> Result<PSet, TasmError> {
+        if let Some(ps) = self.cur.get(&v) {
+            return Ok(ps.clone());
+        }
+        // Live-in: read the architectural register. The read must NOT
+        // enter `cur` — the value map records *definitions*, and a
+        // use inside a predicated arm is not one (the arm-merge logic
+        // distinguishes arm definitions from the pre-diamond state).
+        let reg = *self
+            .alloc
+            .func(self.fid)
+            .map
+            .get(&v)
+            .ok_or(TasmError::Internal("live-in vreg has no register"))?;
+        Ok(vec![self.read_sym(reg)])
+    }
+
+    /// Wires the guard's condition into `sym`'s predicate slot and
+    /// returns the `Pred` field value.
+    fn apply_guard(&mut self, sym: usize, guard: Guard) -> Result<Pred, TasmError> {
+        match guard {
+            Guard::Always => Ok(Pred::None),
+            Guard::Cond { cond, polarity } => {
+                for p in self.producers_of(cond)? {
+                    self.connect(p, sym, OperandSlot::Predicate);
+                }
+                Ok(if polarity { Pred::OnTrue } else { Pred::OnFalse })
+            }
+        }
+    }
+
+    fn set_pred(&mut self, sym: usize, pred: Pred) {
+        if let SymKind::Body { pred: p, .. } = &mut self.syms[sym].kind {
+            *p = pred;
+        }
+    }
+
+    fn guarded_body(&mut self, op: Opcode, imm: i32, guard: Guard) -> Result<usize, TasmError> {
+        let s = self.body(op, Pred::None, imm, guard);
+        let pred = self.apply_guard(s, guard)?;
+        self.set_pred(s, pred);
+        Ok(s)
+    }
+
+    /// Materializes a 64-bit constant, returning the sym producing it.
+    /// The chain is unpredicated except for a trailing guarded `mov`
+    /// when a guard is required and the constant does not fit `movi`
+    /// (C-format instructions have no predicate field). Unguarded
+    /// constants are common-subexpression-cached within the block.
+    fn materialize(&mut self, val: i64, guard: Guard) -> Result<usize, TasmError> {
+        if guard == Guard::Always {
+            if let Some(&s) = self.consts.get(&val) {
+                return Ok(s);
+            }
+            let s = self.materialize_uncached(val, guard)?;
+            self.consts.insert(val, s);
+            return Ok(s);
+        }
+        self.materialize_uncached(val, guard)
+    }
+
+    fn materialize_uncached(&mut self, val: i64, guard: Guard) -> Result<usize, TasmError> {
+        let fits_i14 = (-(1 << 13)..(1 << 13)).contains(&val);
+        if fits_i14 {
+            return self.guarded_body(Opcode::Movi, val as i32, guard);
+        }
+        let chain_end = if (-(1 << 15)..(1 << 15)).contains(&val) {
+            self.body(Opcode::Gens, Pred::None, (val as u16) as i32, Guard::Always)
+        } else if (i64::from(i32::MIN)..=i64::from(i32::MAX)).contains(&val) {
+            let hi = self.body(Opcode::Gens, Pred::None, ((val >> 16) as u16) as i32, Guard::Always);
+            let lo = self.body(Opcode::App, Pred::None, (val as u16) as i32, Guard::Always);
+            self.connect(hi, lo, OperandSlot::Left);
+            lo
+        } else {
+            let u = val as u64;
+            let mut cur = self.body(Opcode::Genu, Pred::None, ((u >> 48) as u16) as i32, Guard::Always);
+            for shift in [32u32, 16, 0] {
+                let nxt = self.body(
+                    Opcode::App,
+                    Pred::None,
+                    ((u >> shift) as u16) as i32,
+                    Guard::Always,
+                );
+                self.connect(cur, nxt, OperandSlot::Left);
+                cur = nxt;
+            }
+            cur
+        };
+        match guard {
+            Guard::Always => Ok(chain_end),
+            g @ Guard::Cond { .. } => {
+                let m = self.guarded_body(Opcode::Mov, 0, g)?;
+                self.connect(chain_end, m, OperandSlot::Left);
+                Ok(m)
+            }
+        }
+    }
+
+    fn alloc_lsid(&mut self) -> Result<u8, TasmError> {
+        if self.next_lsid >= MAX_LSIDS {
+            return Err(TasmError::Budget { reason: "more than 32 load/store IDs" });
+        }
+        let l = self.next_lsid;
+        self.next_lsid += 1;
+        Ok(l)
+    }
+
+    fn set_lsid(&mut self, sym: usize, lsid: u8) {
+        if let SymKind::Body { lsid: l, .. } = &mut self.syms[sym].kind {
+            *l = lsid;
+        }
+    }
+
+    fn set_exit(&mut self, sym: usize, exit: u8) {
+        if let SymKind::Body { exit: e, .. } = &mut self.syms[sym].kind {
+            *e = exit;
+        }
+    }
+
+    fn set_fix(&mut self, sym: usize, fix: FixupKind) {
+        if let SymKind::Body { fix: f, .. } = &mut self.syms[sym].kind {
+            *f = Some(fix);
+        }
+    }
+
+    /// Delivers the value of `refs` to `(to, slot)`. When `guard`
+    /// holds, delivery happens only on the guard's path and a `null`
+    /// must cover the opposite path separately (stores only).
+    fn deliver(
+        &mut self,
+        refs: &PSet,
+        to: usize,
+        slot: OperandSlot,
+        guard: Guard,
+    ) -> Result<(), TasmError> {
+        match guard {
+            Guard::Always => {
+                for &p in refs {
+                    self.connect(p, to, slot);
+                }
+            }
+            Guard::Cond { .. } => {
+                // If every producer already fires exactly under this
+                // guard, connect directly (the Figure 5a pattern);
+                // otherwise gate through a guarded mov.
+                if refs.iter().all(|&p| self.syms[p].guard == guard) {
+                    for &p in refs {
+                        self.connect(p, to, slot);
+                    }
+                } else {
+                    let m = self.guarded_body(Opcode::Mov, 0, guard)?;
+                    for &p in refs {
+                        self.connect(p, m, OperandSlot::Left);
+                    }
+                    self.connect(m, to, slot);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Lowers one IR instruction under `guard`.
+    fn lower_inst(&mut self, inst: &Inst, guard: Guard) -> Result<(), TasmError> {
+        match *inst {
+            Inst::Bin { op, dst, a, b } => {
+                let pa = self.producers_of(a)?;
+                let pb = self.producers_of(b)?;
+                let s = self.guarded_body(op, 0, guard)?;
+                for p in pa {
+                    self.connect(p, s, OperandSlot::Left);
+                }
+                for p in pb {
+                    self.connect(p, s, OperandSlot::Right);
+                }
+                self.define(dst, vec![s]);
+            }
+            Inst::Un { op, dst, a } => {
+                let pa = self.producers_of(a)?;
+                let s = self.guarded_body(op, 0, guard)?;
+                for p in pa {
+                    self.connect(p, s, OperandSlot::Left);
+                }
+                self.define(dst, vec![s]);
+            }
+            Inst::BinImm { op, dst, a, imm } => {
+                let pa = self.producers_of(a)?;
+                if (-(1 << 13)..(1 << 13)).contains(&imm) {
+                    let s = self.guarded_body(op, imm as i32, guard)?;
+                    for p in pa {
+                        self.connect(p, s, OperandSlot::Left);
+                    }
+                    self.define(dst, vec![s]);
+                } else {
+                    let c = self.materialize(imm, Guard::Always)?;
+                    let g = wide_imm_op(op)?;
+                    let s = self.guarded_body(g, 0, guard)?;
+                    for p in pa {
+                        self.connect(p, s, OperandSlot::Left);
+                    }
+                    self.connect(c, s, OperandSlot::Right);
+                    self.define(dst, vec![s]);
+                }
+            }
+            Inst::Const { dst, val } => {
+                let s = self.materialize(val, guard)?;
+                self.define(dst, vec![s]);
+            }
+            Inst::Load { op, dst, addr, off } => {
+                let (base, off) = self.effective_address(addr, off, guard)?;
+                let lsid = self.alloc_lsid()?;
+                let s = self.guarded_body(op, off, guard)?;
+                self.set_lsid(s, lsid);
+                for p in base {
+                    self.connect(p, s, OperandSlot::Left);
+                }
+                self.define(dst, vec![s]);
+            }
+            Inst::Store { op, addr, off, val } => {
+                let (base, off) = self.effective_address(addr, off, guard)?;
+                let pv = self.producers_of(val)?;
+                let lsid = self.alloc_lsid()?;
+                self.store_mask |= 1 << lsid;
+                // Stores are emitted unpredicated so the block's store
+                // count is path-independent; under a guard a `null` on
+                // the opposite path nullifies both operands (§4.2).
+                let s = self.body(op, Pred::None, off, guard);
+                self.set_lsid(s, lsid);
+                self.deliver(&base, s, OperandSlot::Left, guard)?;
+                self.deliver(&pv, s, OperandSlot::Right, guard)?;
+                if let Guard::Cond { cond, polarity } = guard {
+                    let opp = Guard::Cond { cond, polarity: !polarity };
+                    let n = self.guarded_body(Opcode::Null, 0, opp)?;
+                    self.connect(n, s, OperandSlot::Left);
+                    self.connect(n, s, OperandSlot::Right);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Folds a byte offset into the 9-bit load/store immediate or an
+    /// explicit address add.
+    fn effective_address(
+        &mut self,
+        addr: VReg,
+        off: i32,
+        guard: Guard,
+    ) -> Result<(PSet, i32), TasmError> {
+        let base = self.producers_of(addr)?;
+        if (-(1 << 8)..(1 << 8)).contains(&off) {
+            return Ok((base, off));
+        }
+        if (-(1 << 13)..(1 << 13)).contains(&off) {
+            let s = self.guarded_body(Opcode::Addi, off, guard)?;
+            for p in &base {
+                self.connect(*p, s, OperandSlot::Left);
+            }
+            return Ok((vec![s], 0));
+        }
+        let c = self.materialize(i64::from(off), Guard::Always)?;
+        let s = self.guarded_body(Opcode::Add, 0, guard)?;
+        for p in &base {
+            self.connect(*p, s, OperandSlot::Left);
+        }
+        self.connect(c, s, OperandSlot::Right);
+        Ok((vec![s], 0))
+    }
+
+    fn define(&mut self, v: VReg, refs: PSet) {
+        self.cur.insert(v, refs);
+        self.defined.insert(v);
+    }
+}
+
+/// The G-format opcode equivalent of an I-format opcode, for wide
+/// immediates.
+fn wide_imm_op(op: Opcode) -> Result<Opcode, TasmError> {
+    Ok(match op {
+        Opcode::Addi => Opcode::Add,
+        Opcode::Subi => Opcode::Sub,
+        Opcode::Muli => Opcode::Mul,
+        Opcode::Divi => Opcode::Div,
+        Opcode::Modi => Opcode::Mod,
+        Opcode::Andi => Opcode::And,
+        Opcode::Ori => Opcode::Or,
+        Opcode::Xori => Opcode::Xor,
+        Opcode::Slli => Opcode::Sll,
+        Opcode::Srli => Opcode::Srl,
+        Opcode::Srai => Opcode::Sra,
+        Opcode::Teqi => Opcode::Teq,
+        Opcode::Tnei => Opcode::Tne,
+        Opcode::Tlti => Opcode::Tlt,
+        Opcode::Tlei => Opcode::Tle,
+        Opcode::Tgti => Opcode::Tgt,
+        Opcode::Tgei => Opcode::Tge,
+        _ => return Err(TasmError::Internal("no wide-immediate equivalent")),
+    })
+}
+
+/// Emits one region into a TRIPS block.
+///
+/// # Errors
+///
+/// [`TasmError::Budget`] when the region exceeds a hardware budget
+/// (the caller shrinks the region); other variants are fatal.
+pub fn emit_region(
+    prog: &Program,
+    fid: FuncId,
+    region: &Region,
+    alloc: &ProgramAlloc,
+    live_out: &HashSet<VReg>,
+    quality: Quality,
+) -> Result<EmittedBlock, TasmError> {
+    let func = prog.func(fid);
+    let mut em = Emitter {
+        fid,
+        alloc,
+        syms: Vec::new(),
+        cur: HashMap::new(),
+        defined: HashSet::new(),
+        reads: HashMap::new(),
+        consts: HashMap::new(),
+        next_lsid: 0,
+        store_mask: 0,
+    };
+
+    // Call-continuation binding: the call result arrives in the
+    // callee's return register.
+    if let Some((dst, callee)) = region.ret_binding {
+        let r = em.alloc.func(callee).ret;
+        let s = em.read_sym(r);
+        em.define(dst, vec![s]);
+    }
+
+    // Lower the parts, pairing guarded arms around their snapshot.
+    let mut i = 0;
+    while i < region.parts.len() {
+        let (bb, guard) = region.parts[i];
+        match guard {
+            Guard::Always => {
+                for inst in &func.block(bb).insts {
+                    em.lower_inst(inst, Guard::Always)?;
+                }
+                i += 1;
+            }
+            Guard::Cond { cond, polarity: true } => {
+                let snapshot = em.cur.clone();
+                for inst in &func.block(bb).insts {
+                    em.lower_inst(inst, guard)?;
+                }
+                let cur_t = std::mem::replace(&mut em.cur, snapshot.clone());
+                let cur_f = if let Some(&(fbb, fg @ Guard::Cond { cond: fc, polarity: false })) =
+                    region.parts.get(i + 1).filter(|(_, g)| {
+                        matches!(g, Guard::Cond { cond: fc, polarity: false } if *fc == cond)
+                    }) {
+                    debug_assert_eq!(fc, cond);
+                    for inst in &func.block(fbb).insts {
+                        em.lower_inst(inst, fg)?;
+                    }
+                    i += 2;
+                    std::mem::take(&mut em.cur)
+                } else {
+                    i += 1;
+                    snapshot.clone()
+                };
+                em.cur = merge_paths(&mut em, snapshot, cur_t, cur_f, cond)?;
+            }
+            Guard::Cond { polarity: false, .. } => {
+                // A lone else-side arm (mirrored triangle).
+                let snapshot = em.cur.clone();
+                for inst in &func.block(bb).insts {
+                    em.lower_inst(inst, guard)?;
+                }
+                let cur_f = std::mem::replace(&mut em.cur, snapshot.clone());
+                let cond = match guard {
+                    Guard::Cond { cond, .. } => cond,
+                    Guard::Always => unreachable!(),
+                };
+                let cur_t = snapshot.clone();
+                em.cur = merge_paths(&mut em, snapshot, cur_t, cur_f, cond)?;
+                i += 1;
+            }
+        }
+    }
+
+    // Register writes for values defined here and live afterwards.
+    let falloc = alloc.func(fid);
+    let mut outs: Vec<VReg> = em.defined.iter().copied().collect();
+    outs.sort();
+    for v in outs {
+        if !live_out.contains(&v) {
+            continue;
+        }
+        let Some(&reg) = falloc.map.get(&v) else { continue };
+        let refs = em.cur[&v].clone();
+        for p in refs {
+            em.connect_write(p, reg);
+        }
+    }
+
+    // Terminator.
+    match &region.term {
+        Term::Jmp(n) => {
+            let b = em.body(Opcode::Bro, Pred::None, 0, Guard::Always);
+            em.set_fix(b, FixupKind::Branch(LinkTarget::Block { func: fid, head: *n }));
+        }
+        Term::Br { cond, t, f } => {
+            let pc = em.producers_of(*cond)?;
+            let bt = em.body(Opcode::Bro, Pred::OnTrue, 0, Guard::Always);
+            em.set_exit(bt, 0);
+            em.set_fix(bt, FixupKind::Branch(LinkTarget::Block { func: fid, head: *t }));
+            let bf = em.body(Opcode::Bro, Pred::OnFalse, 0, Guard::Always);
+            em.set_exit(bf, 1);
+            em.set_fix(bf, FixupKind::Branch(LinkTarget::Block { func: fid, head: *f }));
+            for p in pc {
+                em.connect(p, bt, OperandSlot::Predicate);
+                em.connect(p, bf, OperandSlot::Predicate);
+            }
+        }
+        Term::Ret(v) => {
+            if let Some(v) = v {
+                let refs = em.producers_of(*v)?;
+                for p in refs {
+                    em.connect_write(p, falloc.ret);
+                }
+            }
+            let link = em.read_sym(falloc.link);
+            let b = em.body(Opcode::Ret, Pred::None, 0, Guard::Always);
+            em.connect(link, b, OperandSlot::Left);
+        }
+        Term::Call { func: callee, args, dst: _, next } => {
+            let c = alloc.func(*callee);
+            let arg_regs = c.args.clone();
+            if args.len() != arg_regs.len() {
+                return Err(TasmError::Internal("call arity mismatch"));
+            }
+            for (a, reg) in args.iter().zip(arg_regs) {
+                let refs = em.producers_of(*a)?;
+                for p in refs {
+                    em.connect_write(p, reg);
+                }
+            }
+            // Return address = address of the continuation block,
+            // materialized as gens/app and written to the callee's
+            // link register.
+            let ra_target = LinkTarget::Block { func: fid, head: *next };
+            let hi = em.body(Opcode::Genu, Pred::None, 0, Guard::Always);
+            em.set_fix(hi, FixupKind::AddrHi(ra_target));
+            let lo = em.body(Opcode::App, Pred::None, 0, Guard::Always);
+            em.set_fix(lo, FixupKind::AddrLo(ra_target));
+            em.connect(hi, lo, OperandSlot::Left);
+            em.connect_write(lo, c.link);
+            let b = em.body(Opcode::Callo, Pred::None, 0, Guard::Always);
+            em.set_fix(b, FixupKind::Branch(LinkTarget::FuncEntry(*callee)));
+        }
+        Term::Halt => {
+            em.body(Opcode::Halt, Pred::None, 0, Guard::Always);
+        }
+    }
+
+    prune_dead(&mut em);
+    expand_fanout(&mut em, quality)?;
+    assemble(em, region.head, quality)
+}
+
+/// Merges the value maps of the two arms of a diamond (or triangle)
+/// guarded by `cond`, inserting guarded `mov`s so that exactly one
+/// producer fires per path.
+fn merge_paths(
+    em: &mut Emitter<'_>,
+    snapshot: HashMap<VReg, PSet>,
+    cur_t: HashMap<VReg, PSet>,
+    cur_f: HashMap<VReg, PSet>,
+    cond: VReg,
+) -> Result<HashMap<VReg, PSet>, TasmError> {
+    let mut keys: HashSet<VReg> = HashSet::new();
+    keys.extend(cur_t.keys().copied());
+    keys.extend(cur_f.keys().copied());
+    keys.extend(snapshot.keys().copied());
+    let mut sorted: Vec<VReg> = keys.into_iter().collect();
+    sorted.sort();
+
+    let mut merged = HashMap::new();
+    for v in sorted {
+        let base = snapshot.get(&v);
+        let tv = cur_t.get(&v).or(base);
+        let fv = cur_f.get(&v).or(base);
+        let refs = match (tv, fv) {
+            (Some(t), Some(f)) if t == f => t.clone(),
+            (Some(t), Some(f)) => {
+                let t_changed = base != Some(t);
+                let f_changed = base != Some(f);
+                let mut refs = Vec::new();
+                // A side equal to the snapshot fires on both paths, so
+                // it must be gated with a mov predicated on this
+                // diamond's condition.
+                let side = |em: &mut Emitter<'_>,
+                                src: &PSet,
+                                changed: bool,
+                                polarity: bool|
+                 -> Result<Vec<usize>, TasmError> {
+                    if changed {
+                        Ok(src.clone())
+                    } else {
+                        let g = Guard::Cond { cond, polarity };
+                        let m = em.guarded_body(Opcode::Mov, 0, g)?;
+                        for &p in src {
+                            em.connect(p, m, OperandSlot::Left);
+                        }
+                        Ok(vec![m])
+                    }
+                };
+                refs.extend(side(em, t, t_changed, true)?);
+                refs.extend(side(em, f, f_changed, false)?);
+                refs
+            }
+            (Some(t), None) => {
+                one_sided(em, v, t.clone(), cond, /*defined_on_true=*/ true)?
+            }
+            (None, Some(f)) => {
+                one_sided(em, v, f.clone(), cond, /*defined_on_true=*/ false)?
+            }
+            (None, None) => continue,
+        };
+        merged.insert(v, refs);
+    }
+    Ok(merged)
+}
+
+/// A vreg defined on only one arm with no pre-diamond producer: when
+/// it is a live-in (has an architectural register), the missing arm's
+/// value is the register's current contents — materialize a read gated
+/// by a mov predicated on the opposite polarity. A vreg with no
+/// register is a path-local temporary and keeps its single side.
+fn one_sided(
+    em: &mut Emitter<'_>,
+    v: VReg,
+    mut refs: PSet,
+    cond: VReg,
+    defined_on_true: bool,
+) -> Result<PSet, TasmError> {
+    let reg = em.alloc.func(em.fid).map.get(&v).copied();
+    if let Some(reg) = reg {
+        let read = em.read_sym(reg);
+        let g = Guard::Cond { cond, polarity: !defined_on_true };
+        let m = em.guarded_body(Opcode::Mov, 0, g)?;
+        em.connect(read, m, OperandSlot::Left);
+        refs.push(m);
+    }
+    Ok(refs)
+}
+
+/// Removes value-producing syms whose results are never consumed.
+fn prune_dead(em: &mut Emitter<'_>) {
+    loop {
+        let mut dead: Vec<usize> = Vec::new();
+        for (i, s) in em.syms.iter().enumerate() {
+            let prunable = match &s.kind {
+                SymKind::Read { .. } => s.outs.is_empty(),
+                SymKind::Body { op, .. } => {
+                    s.outs.is_empty() && op.produces_value() && *op != Opcode::Nop
+                }
+            };
+            if prunable {
+                dead.push(i);
+            }
+        }
+        if dead.is_empty() {
+            return;
+        }
+        let dead_set: HashSet<usize> = dead.iter().copied().collect();
+        for (i, s) in em.syms.iter_mut().enumerate() {
+            if dead_set.contains(&i) {
+                // Mark dead by turning into a targetless nop shell.
+                s.kind = SymKind::Body {
+                    op: Opcode::Nop,
+                    pred: Pred::None,
+                    imm: 0,
+                    lsid: 0,
+                    exit: 0,
+                    fix: None,
+                };
+                s.outs.clear();
+            } else {
+                s.outs.retain(|o| !matches!(o, Out::Op(t, _) if dead_set.contains(t)));
+            }
+        }
+        em.reads.retain(|_, s| !dead_set.contains(s));
+    }
+}
+
+/// How many result targets an instruction word can encode: two for G
+/// format, one for I/L/C (only `T0` exists), none for stores and
+/// branches.
+fn max_outs(kind: &SymKind) -> usize {
+    match kind {
+        SymKind::Read { .. } => 2,
+        SymKind::Body { op, .. } => match op.format() {
+            trips_isa::Format::G => 2,
+            trips_isa::Format::I | trips_isa::Format::L | trips_isa::Format::C => 1,
+            trips_isa::Format::S | trips_isa::Format::B => 0,
+        },
+    }
+}
+
+/// Expands producers with more outputs than their format encodes
+/// through `mov` fanout trees (balanced in `Hand` quality, chains in
+/// `Compiled`) — the "fanout ops" overhead of Table 3.
+fn expand_fanout(em: &mut Emitter<'_>, quality: Quality) -> Result<(), TasmError> {
+    let mut i = 0;
+    while i < em.syms.len() {
+        let cap = max_outs(&em.syms[i].kind);
+        if em.syms[i].outs.len() > cap {
+            if cap == 0 {
+                return Err(TasmError::Internal("store or branch with result targets"));
+            }
+            let outs = std::mem::take(&mut em.syms[i].outs);
+            let guard = em.syms[i].guard;
+            let fan = |em: &mut Emitter<'_>, outs: &[Out]| match quality {
+                Quality::Hand => fan_tree(em, outs, guard),
+                Quality::Compiled => fan_chain(em, outs, guard),
+            };
+            em.syms[i].outs = if cap == 2 {
+                fan(em, &outs)
+            } else {
+                // Single-target format: route everything through one mov.
+                let m = fan_mov(em, guard);
+                em.syms[m].outs = fan(em, &outs);
+                vec![Out::Op(m, OperandSlot::Left)]
+            };
+        }
+        i += 1;
+    }
+    Ok(())
+}
+
+fn fan_mov(em: &mut Emitter<'_>, guard: Guard) -> usize {
+    // Fanout movs are unpredicated: they fire only when their operand
+    // arrives, which already encodes the path condition.
+    em.syms.push(Sym {
+        kind: SymKind::Body { op: Opcode::Mov, pred: Pred::None, imm: 0, lsid: 0, exit: 0, fix: None },
+        outs: Vec::new(),
+        guard,
+    });
+    em.syms.len() - 1
+}
+
+/// Balanced fanout: produces at most two outs, splitting recursively.
+fn fan_tree(em: &mut Emitter<'_>, outs: &[Out], guard: Guard) -> Vec<Out> {
+    if outs.len() <= 2 {
+        return outs.to_vec();
+    }
+    let mid = outs.len().div_ceil(2);
+    let make_half = |em: &mut Emitter<'_>, half: &[Out]| -> Out {
+        if half.len() == 1 {
+            half[0]
+        } else {
+            let m = fan_mov(em, guard);
+            em.syms[m].outs = fan_tree(em, half, guard);
+            Out::Op(m, OperandSlot::Left)
+        }
+    };
+    let l = make_half(em, &outs[..mid]);
+    let r = make_half(em, &outs[mid..]);
+    vec![l, r]
+}
+
+/// Chained fanout: out0 direct, remainder through a linear mov chain.
+fn fan_chain(em: &mut Emitter<'_>, outs: &[Out], guard: Guard) -> Vec<Out> {
+    if outs.len() <= 2 {
+        return outs.to_vec();
+    }
+    let m = fan_mov(em, guard);
+    em.syms[m].outs = fan_chain(em, &outs[1..], guard);
+    vec![outs[0], Out::Op(m, OperandSlot::Left)]
+}
+
+/// Spatial placement plus final assembly.
+fn assemble(em: Emitter<'_>, head: BbId, quality: Quality) -> Result<EmittedBlock, TasmError> {
+    let Emitter { syms, store_mask, .. } = em;
+
+    // Collect body syms (skipping pruned nop shells).
+    let body: Vec<usize> = syms
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| matches!(&s.kind, SymKind::Body { op, .. } if *op != Opcode::Nop))
+        .map(|(i, _)| i)
+        .collect();
+    if body.len() > MAX_BODY {
+        return Err(TasmError::Budget { reason: "more than 128 instructions" });
+    }
+
+    // Write-slot allocation (per bank).
+    let mut written: Vec<ArchReg> = syms
+        .iter()
+        .flat_map(|s| s.outs.iter())
+        .filter_map(|o| match o {
+            Out::Write(r) => Some(*r),
+            _ => None,
+        })
+        .collect();
+    written.sort();
+    written.dedup();
+    let mut write_slot: HashMap<ArchReg, u8> = HashMap::new();
+    let mut wcount = [0u8; 4];
+    for r in &written {
+        let b = r.bank() as usize;
+        if wcount[b] >= SLOTS_PER_BANK {
+            return Err(TasmError::Budget { reason: "more than 8 write slots in a bank" });
+        }
+        write_slot.insert(*r, r.bank() * SLOTS_PER_BANK + wcount[b]);
+        wcount[b] += 1;
+    }
+
+    // Read-slot allocation (per bank), in deterministic register order.
+    let mut read_syms: Vec<(ArchReg, usize)> = syms
+        .iter()
+        .enumerate()
+        .filter_map(|(i, s)| match &s.kind {
+            SymKind::Read { reg } => Some((*reg, i)),
+            _ => None,
+        })
+        .collect();
+    read_syms.sort();
+    let mut read_slot: HashMap<usize, u8> = HashMap::new();
+    let mut rcount = [0u8; 4];
+    for (r, s) in &read_syms {
+        let b = r.bank() as usize;
+        if rcount[b] >= SLOTS_PER_BANK {
+            return Err(TasmError::Budget { reason: "more than 8 read slots in a bank" });
+        }
+        read_slot.insert(*s, r.bank() * SLOTS_PER_BANK + rcount[b]);
+        rcount[b] += 1;
+    }
+
+    // Placement: map body sym -> instruction index.
+    let place = match quality {
+        Quality::Compiled => place_sequential(&body),
+        Quality::Hand => place_greedy(&syms, &body, &read_slot),
+    };
+
+    // Assemble the block.
+    let max_idx = place.values().copied().max().map_or(0, |m| m as usize + 1);
+    let mut insts = vec![Instruction::nop(); max_idx];
+    let mut fixups = Vec::new();
+    let target_of = |o: &Out| -> Target {
+        match o {
+            Out::Op(t, slot) => Target::Inst { idx: place[t], slot: *slot },
+            Out::Write(r) => Target::Write { slot: write_slot[r] },
+        }
+    };
+    for &si in &body {
+        let s = &syms[si];
+        let SymKind::Body { op, pred, imm, lsid, exit, fix } = &s.kind else { unreachable!() };
+        let idx = place[&si];
+        let mut t = [Target::None; 2];
+        for (k, o) in s.outs.iter().enumerate() {
+            t[k] = target_of(o);
+        }
+        insts[idx as usize] = Instruction {
+            opcode: *op,
+            pred: *pred,
+            targets: t,
+            imm: *imm,
+            lsid: *lsid,
+            exit: *exit,
+        };
+        if let Some(kind) = fix {
+            fixups.push(Fixup { inst: idx, kind: *kind });
+        }
+    }
+
+    let mut block = TripsBlock { insts, ..TripsBlock::default() };
+    block.header.store_mask = store_mask;
+    for (reg, si) in &read_syms {
+        let s = &syms[*si];
+        let mut t = [Target::None; 2];
+        for (k, o) in s.outs.iter().enumerate() {
+            t[k] = target_of(o);
+        }
+        let slot = read_slot[si];
+        block
+            .set_read(slot, ReadInst::new(*reg, t))
+            .map_err(|_| TasmError::Internal("read slot/bank mismatch"))?;
+    }
+    for r in &written {
+        block
+            .set_write(write_slot[r], WriteInst::new(*r))
+            .map_err(|_| TasmError::Internal("write slot/bank mismatch"))?;
+    }
+
+    block.validate().map_err(TasmError::InvalidBlock)?;
+    Ok(EmittedBlock { block, fixups, head })
+}
+
+/// Compiled-quality placement: emission order, striped row-major —
+/// ignores locality, as the immature compiler did.
+fn place_sequential(body: &[usize]) -> HashMap<usize, u8> {
+    body.iter().enumerate().map(|(i, &s)| (s, i as u8)).collect()
+}
+
+/// Hand-quality placement: greedy minimum-communication placement of
+/// the dataflow graph onto the 4×4 ET grid (8 slots per ET).
+fn place_greedy(
+    syms: &[Sym],
+    body: &[usize],
+    read_slot: &HashMap<usize, u8>,
+) -> HashMap<usize, u8> {
+    let body_set: HashSet<usize> = body.iter().copied().collect();
+    // Producer lists per body sym.
+    let mut producers: HashMap<usize, Vec<usize>> = HashMap::new();
+    for (i, s) in syms.iter().enumerate() {
+        for o in &s.outs {
+            if let Out::Op(t, _) = o {
+                if body_set.contains(t) {
+                    producers.entry(*t).or_default().push(i);
+                }
+            }
+        }
+    }
+    // Topological order via Kahn over body-to-body edges.
+    let mut indeg: HashMap<usize, usize> = body.iter().map(|&b| (b, 0)).collect();
+    for (&t, ps) in &producers {
+        let n = ps.iter().filter(|p| body_set.contains(p)).count();
+        indeg.insert(t, n);
+    }
+    let mut ready: Vec<usize> = body.iter().copied().filter(|b| indeg[b] == 0).collect();
+    ready.sort();
+    let mut order = Vec::with_capacity(body.len());
+    let mut seen: HashSet<usize> = HashSet::new();
+    while let Some(b) = ready.pop() {
+        if !seen.insert(b) {
+            continue;
+        }
+        order.push(b);
+        for o in &syms[b].outs {
+            if let Out::Op(t, _) = o {
+                if body_set.contains(t) {
+                    let d = indeg.get_mut(t).unwrap();
+                    *d = d.saturating_sub(1);
+                    if *d == 0 {
+                        ready.push(*t);
+                    }
+                }
+            }
+        }
+        ready.sort();
+    }
+    // Safety net for any cycle (should not happen in a dataflow block).
+    for &b in body {
+        if !seen.contains(&b) {
+            order.push(b);
+        }
+    }
+
+    // OPN coordinates: ET (row, col) sits at OPN (row + 1, col + 1);
+    // DTs at column 0; RTs/GT on row 0.
+    let opn_of_idx = |idx: u8| -> (i32, i32) {
+        let s = InstSlot::from_index(idx);
+        (i32::from(s.et.row) + 1, i32::from(s.et.col) + 1)
+    };
+    let opn_of_read = |slot: u8| -> (i32, i32) { (0, i32::from(slot / 8) + 1) };
+    let dist = |a: (i32, i32), b: (i32, i32)| (a.0 - b.0).abs() + (a.1 - b.1).abs();
+
+    let mut placed: HashMap<usize, u8> = HashMap::new();
+    let mut used = [false; 128];
+    for &b in &order {
+        let s = &syms[b];
+        let is_mem = matches!(&s.kind, SymKind::Body { op, .. } if op.is_load() || op.is_store());
+        let is_branch = matches!(&s.kind, SymKind::Body { op, .. } if op.is_branch());
+        let mut best: Option<(i64, u8)> = None;
+        for idx in 0..128u8 {
+            if used[idx as usize] {
+                continue;
+            }
+            let pos = opn_of_idx(idx);
+            let mut cost: i64 = 0;
+            if let Some(ps) = producers.get(&b) {
+                for &p in ps {
+                    if let Some(&pi) = placed.get(&p) {
+                        cost += i64::from(dist(opn_of_idx(pi), pos)) * 2;
+                    } else if let Some(&slot) = read_slot.get(&p) {
+                        cost += i64::from(dist(opn_of_read(slot), pos));
+                    }
+                }
+            }
+            if is_mem {
+                cost += i64::from(pos.1); // pull toward the DT column
+            }
+            if is_branch {
+                cost += i64::from(pos.0 + pos.1); // pull toward the GT
+            }
+            // Light tiebreak toward low indices for determinism and
+            // dispatch-order friendliness.
+            cost = cost * 256 + i64::from(idx);
+            if best.map_or(true, |(c, _)| cost < c) {
+                best = Some((cost, idx));
+            }
+        }
+        let (_, idx) = best.expect("more body syms than slots");
+        used[idx as usize] = true;
+        placed.insert(b, idx);
+    }
+    placed
+}

@@ -1,0 +1,167 @@
+//! The TRIPS backend: IR → regions → blocks → laid-out program image.
+
+pub mod emit;
+pub mod regalloc;
+pub mod region;
+
+use std::collections::HashMap;
+
+use trips_isa::{ProgramImage, TripsBlock, BLOCK_ALIGN};
+
+use crate::ir::{BbId, FuncId, Program};
+use crate::{Quality, TasmError};
+use emit::{EmittedBlock, FixupKind, LinkTarget};
+
+/// Base address where code is laid out.
+pub const CODE_BASE: u64 = 0x1_0000;
+
+/// One block at its final address.
+#[derive(Debug, Clone)]
+pub struct PlacedBlock {
+    /// The block's header address.
+    pub addr: u64,
+    /// Owning function.
+    pub func: FuncId,
+    /// Region head this block implements.
+    pub head: BbId,
+    /// The final (patched) block.
+    pub block: TripsBlock,
+}
+
+/// Compilation statistics, for reporting block quality (the paper
+/// attributes compiled-code slowdowns to small blocks, §5.4).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CompileStats {
+    /// Blocks produced.
+    pub blocks: usize,
+    /// Total useful (non-nop) instructions.
+    pub insts: usize,
+    /// Total register reads in headers.
+    pub reads: usize,
+    /// Total register writes in headers.
+    pub writes: usize,
+    /// Mean useful instructions per block.
+    pub avg_block_size: f64,
+}
+
+/// A fully lowered program.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    /// The loadable image (code and globals).
+    pub image: ProgramImage,
+    /// All blocks in layout order.
+    pub blocks: Vec<PlacedBlock>,
+    /// Statistics.
+    pub stats: CompileStats,
+}
+
+/// Compiles an IR program into a TRIPS program image.
+///
+/// # Errors
+///
+/// Fails on IR inconsistencies, register-pool exhaustion, basic blocks
+/// that exceed hardware budgets even unmerged, or layout overflow.
+pub fn compile(prog: &Program, quality: Quality) -> Result<CompiledProgram, TasmError> {
+    prog.check().map_err(TasmError::Ir)?;
+    let alloc = regalloc::allocate(prog)?;
+
+    // Emit every function's regions.
+    let mut emitted: Vec<(FuncId, Vec<EmittedBlock>)> = Vec::new();
+    for fi in 0..prog.funcs.len() {
+        let fid = FuncId(fi as u32);
+        let fr = region::form_regions(prog, fid, &alloc, quality)?;
+        let blocks = region::emit_all(prog, fid, &fr, &alloc, quality)?;
+        emitted.push((fid, blocks));
+    }
+
+    // Layout: functions in id order, each function's entry region
+    // first (so `FuncEntry` targets the first block), then the rest in
+    // region discovery order.
+    let mut addr = CODE_BASE;
+    let mut placed: Vec<PlacedBlock> = Vec::new();
+    let mut block_addr: HashMap<(FuncId, BbId), u64> = HashMap::new();
+    let mut func_entry: HashMap<FuncId, u64> = HashMap::new();
+    let mut fixup_sets: Vec<Vec<emit::Fixup>> = Vec::new();
+    for (fid, blocks) in emitted {
+        let entry_bb = prog.func(fid).entry;
+        for eb in blocks {
+            debug_assert_eq!(addr % BLOCK_ALIGN, 0);
+            if eb.head == entry_bb {
+                func_entry.insert(fid, addr);
+            }
+            block_addr.insert((fid, eb.head), addr);
+            addr += eb.block.size_bytes();
+            fixup_sets.push(eb.fixups.clone());
+            placed.push(PlacedBlock { addr: 0, func: fid, head: eb.head, block: eb.block });
+        }
+    }
+    // Second pass: assign addresses (recompute, same order).
+    let mut addr = CODE_BASE;
+    for pb in &mut placed {
+        pb.addr = addr;
+        addr += pb.block.size_bytes();
+    }
+
+    // Apply fixups.
+    let resolve = |t: LinkTarget| -> Result<u64, TasmError> {
+        match t {
+            LinkTarget::Block { func, head } => block_addr
+                .get(&(func, head))
+                .copied()
+                .ok_or(TasmError::Internal("fixup to unknown block")),
+            LinkTarget::FuncEntry(f) => {
+                func_entry.get(&f).copied().ok_or(TasmError::Internal("fixup to unknown function"))
+            }
+        }
+    };
+    for (pb, fixups) in placed.iter_mut().zip(&fixup_sets) {
+        for fx in fixups {
+            let target = resolve(match fx.kind {
+                FixupKind::Branch(t) | FixupKind::AddrHi(t) | FixupKind::AddrLo(t) => t,
+            })?;
+            let inst = &mut pb.block.insts[fx.inst as usize];
+            match fx.kind {
+                FixupKind::Branch(_) => {
+                    let delta = (target as i64 - pb.addr as i64) / BLOCK_ALIGN as i64;
+                    if !(-(1 << 19)..(1 << 19)).contains(&delta) {
+                        return Err(TasmError::BranchOutOfRange {
+                            from: pb.addr,
+                            to: target,
+                        });
+                    }
+                    inst.imm = delta as i32;
+                }
+                FixupKind::AddrHi(_) => {
+                    if target >> 32 != 0 {
+                        return Err(TasmError::Internal("code address above 4 GiB"));
+                    }
+                    inst.imm = ((target >> 16) & 0xffff) as i32;
+                }
+                FixupKind::AddrLo(_) => {
+                    inst.imm = (target & 0xffff) as i32;
+                }
+            }
+        }
+    }
+
+    // Build the image.
+    let mut image = ProgramImage::new();
+    let mut stats = CompileStats::default();
+    for pb in &placed {
+        image.add_block(pb.addr, &pb.block);
+        stats.blocks += 1;
+        stats.insts += pb.block.useful_insts();
+        stats.reads += pb.block.header.reads.iter().filter(|r| r.is_some()).count();
+        stats.writes += pb.block.header.write_count() as usize;
+    }
+    stats.avg_block_size =
+        if stats.blocks == 0 { 0.0 } else { stats.insts as f64 / stats.blocks as f64 };
+    for g in &prog.globals {
+        image.add_segment(g.base, g.data.clone());
+    }
+    image.entry = *func_entry
+        .get(&prog.entry)
+        .ok_or(TasmError::Internal("entry function has no entry block"))?;
+
+    Ok(CompiledProgram { image, blocks: placed, stats })
+}

@@ -1,0 +1,323 @@
+//! Liveness analysis and static register allocation.
+//!
+//! TRIPS converts most def-use pairs into intra-block temporaries that
+//! never touch the register file (§3.3 credits this with ~70% of the
+//! register-bandwidth reduction). Only values live across block
+//! boundaries get architectural registers here.
+//!
+//! Functions receive *disjoint static register pools* sized so that a
+//! callee's registers never collide with any caller on any call path
+//! (the IR forbids recursion). This removes the need for a stack and
+//! matches how the hand-optimized kernels of the paper were coded.
+
+use std::collections::{HashMap, HashSet};
+
+use trips_isa::{ArchReg, REG_BANKS};
+
+use crate::ir::{Func, FuncId, Program, Term, VReg};
+use crate::TasmError;
+
+/// Per-function register assignment.
+#[derive(Debug, Clone)]
+pub struct FuncAlloc {
+    /// Virtual registers that live across basic blocks, mapped to
+    /// architectural registers.
+    pub map: HashMap<VReg, ArchReg>,
+    /// Register the caller writes the return address into.
+    pub link: ArchReg,
+    /// Register the callee writes its return value into.
+    pub ret: ArchReg,
+    /// Argument registers, one per parameter.
+    pub args: Vec<ArchReg>,
+    /// First global pool index used by this function.
+    pub base: usize,
+    /// Pool registers consumed.
+    pub size: usize,
+}
+
+/// Register assignment for a whole program.
+#[derive(Debug, Clone)]
+pub struct ProgramAlloc {
+    /// Indexed by function id.
+    pub funcs: Vec<FuncAlloc>,
+}
+
+impl ProgramAlloc {
+    /// The allocation for `f`.
+    pub fn func(&self, f: FuncId) -> &FuncAlloc {
+        &self.funcs[f.0 as usize]
+    }
+}
+
+/// Pool index → architectural register, striping across the four
+/// banks so block headers stay within the eight read/write slots each
+/// bank offers per block.
+fn pool_reg(idx: usize) -> Option<ArchReg> {
+    if idx >= 128 {
+        return None;
+    }
+    let bank = (idx % REG_BANKS) as u8;
+    let within = (idx / REG_BANKS) as u8;
+    Some(ArchReg::from_bank_index(bank, within))
+}
+
+/// Per-block liveness sets for one function.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    /// `live_in[b]`: registers live on entry to block `b`.
+    pub live_in: Vec<HashSet<VReg>>,
+    /// `live_out[b]`: registers live on exit from block `b`.
+    pub live_out: Vec<HashSet<VReg>>,
+}
+
+/// Computes backward liveness at basic-block granularity.
+pub fn liveness(func: &Func) -> Liveness {
+    let n = func.blocks.len();
+    let mut use_: Vec<HashSet<VReg>> = vec![HashSet::new(); n];
+    let mut def: Vec<HashSet<VReg>> = vec![HashSet::new(); n];
+    for (i, bb) in func.blocks.iter().enumerate() {
+        for inst in &bb.insts {
+            for u in inst.uses() {
+                if !def[i].contains(&u) {
+                    use_[i].insert(u);
+                }
+            }
+            if let Some(d) = inst.dst() {
+                def[i].insert(d);
+            }
+        }
+        for u in bb.term.uses() {
+            if !def[i].contains(&u) {
+                use_[i].insert(u);
+            }
+        }
+        if let Term::Call { dst: Some(d), .. } = &bb.term {
+            def[i].insert(*d);
+        }
+    }
+    let mut live_in: Vec<HashSet<VReg>> = vec![HashSet::new(); n];
+    let mut live_out: Vec<HashSet<VReg>> = vec![HashSet::new(); n];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in (0..n).rev() {
+            let mut out = HashSet::new();
+            for s in func.blocks[i].term.successors() {
+                out.extend(live_in[s.0 as usize].iter().copied());
+            }
+            let mut inn: HashSet<VReg> = use_[i].clone();
+            for v in &out {
+                if !def[i].contains(v) {
+                    inn.insert(*v);
+                }
+            }
+            if out != live_out[i] || inn != live_in[i] {
+                live_out[i] = out;
+                live_in[i] = inn;
+                changed = true;
+            }
+        }
+    }
+    // Parameters are live-in to the entry block by definition.
+    for p in 0..func.nparams {
+        live_in[func.entry.0 as usize].insert(VReg(p));
+    }
+    Liveness { live_in, live_out }
+}
+
+/// Allocates registers for every function of `prog`.
+///
+/// Pool offsets satisfy `offset(callee) >= offset(caller) +
+/// size(caller)` along every call edge, so functions on one call path
+/// never share registers while functions on disjoint paths may.
+///
+/// # Errors
+///
+/// Returns [`TasmError::OutOfRegisters`] if a call path needs more
+/// than the 128 architectural registers.
+pub fn allocate(prog: &Program) -> Result<ProgramAlloc, TasmError> {
+    let n = prog.funcs.len();
+
+    // How many pool slots each function needs: link + ret + params +
+    // cross-block vregs (params counted once).
+    let mut needs = vec![0usize; n];
+    let mut cross: Vec<Vec<VReg>> = vec![Vec::new(); n];
+    for (i, f) in prog.funcs.iter().enumerate() {
+        let lv = liveness(f);
+        let mut set: HashSet<VReg> = HashSet::new();
+        for b in 0..f.blocks.len() {
+            set.extend(lv.live_in[b].iter().copied());
+        }
+        // Call result bindings cross a block boundary by construction.
+        for bb in &f.blocks {
+            if let Term::Call { dst: Some(d), .. } = &bb.term {
+                set.insert(*d);
+            }
+        }
+        for p in 0..f.nparams {
+            set.insert(VReg(p));
+        }
+        let mut sorted: Vec<VReg> = set.into_iter().collect();
+        sorted.sort();
+        needs[i] = 2 + sorted.len(); // link + ret + the rest
+        cross[i] = sorted;
+    }
+
+    // offset(f) = max over callers c of offset(c) + size(c); process
+    // callers before callees (reverse of callees_first).
+    let order = prog.callees_first();
+    let mut offset = vec![0usize; n];
+    for f in order.iter().rev() {
+        let fi = f.0 as usize;
+        for bb in &prog.funcs[fi].blocks {
+            if let Term::Call { func, .. } = &bb.term {
+                let ci = func.0 as usize;
+                offset[ci] = offset[ci].max(offset[fi] + needs[fi]);
+            }
+        }
+    }
+
+    let mut funcs = Vec::with_capacity(n);
+    for i in 0..n {
+        let base = offset[i];
+        let mut next = base;
+        let mut take = || -> Result<ArchReg, TasmError> {
+            let r = pool_reg(next).ok_or(TasmError::OutOfRegisters {
+                func: prog.funcs[i].name.clone(),
+                needed: offset[i] + needs[i],
+            })?;
+            next += 1;
+            Ok(r)
+        };
+        let link = take()?;
+        let ret = take()?;
+        let mut map = HashMap::new();
+        let mut args = Vec::new();
+        for &v in &cross[i] {
+            let r = take()?;
+            map.insert(v, r);
+            if v.0 < prog.funcs[i].nparams {
+                // Keep args in declaration order below.
+            }
+        }
+        for p in 0..prog.funcs[i].nparams {
+            args.push(map[&VReg(p)]);
+        }
+        funcs.push(FuncAlloc { map, link, ret, args, base, size: needs[i] });
+    }
+    Ok(ProgramAlloc { funcs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use trips_isa::Opcode;
+
+    #[test]
+    fn pool_reg_stripes_banks() {
+        assert_eq!(pool_reg(0).unwrap().bank(), 0);
+        assert_eq!(pool_reg(1).unwrap().bank(), 1);
+        assert_eq!(pool_reg(2).unwrap().bank(), 2);
+        assert_eq!(pool_reg(3).unwrap().bank(), 3);
+        assert_eq!(pool_reg(4).unwrap(), ArchReg::from_bank_index(0, 1));
+        assert_eq!(pool_reg(127).unwrap(), ArchReg::from_bank_index(3, 31));
+        assert_eq!(pool_reg(128), None);
+    }
+
+    #[test]
+    fn temporaries_get_no_register() {
+        let mut p = ProgramBuilder::new();
+        let mut f = p.func("main", 0);
+        let a = f.iconst(1);
+        let b = f.iconst(2);
+        let c = f.add(a, b); // all three die in this block
+        let buf = f.iconst(0x1000);
+        f.store(Opcode::Sd, buf, 0, c);
+        f.halt();
+        f.finish();
+        let prog = p.finish();
+        let alloc = allocate(&prog).unwrap();
+        assert!(alloc.funcs[0].map.is_empty(), "{:?}", alloc.funcs[0].map);
+    }
+
+    #[test]
+    fn loop_carried_values_get_registers() {
+        let mut p = ProgramBuilder::new();
+        let mut f = p.func("main", 0);
+        let sum = f.fresh();
+        let i = f.fresh();
+        f.iconst_into(sum, 0);
+        f.iconst_into(i, 0);
+        let body = f.new_block();
+        let done = f.new_block();
+        f.jmp(body);
+        f.switch_to(body);
+        f.bin_into(sum, Opcode::Add, sum, i);
+        f.bini_into(i, Opcode::Addi, i, 1);
+        let c = f.bini(Opcode::Tlti, i, 10);
+        f.br(c, body, done);
+        f.switch_to(done);
+        let buf = f.iconst(0x1000);
+        f.store(Opcode::Sd, buf, 0, sum);
+        f.halt();
+        f.finish();
+        let prog = p.finish();
+        let alloc = allocate(&prog).unwrap();
+        let m = &alloc.funcs[0].map;
+        assert!(m.contains_key(&sum) && m.contains_key(&i), "{m:?}");
+        assert!(!m.contains_key(&c), "condition is block-local: {m:?}");
+    }
+
+    #[test]
+    fn disjoint_pools_along_call_paths() {
+        let mut p = ProgramBuilder::new();
+        let mut main = p.func("main", 0);
+        let x = main.iconst(5);
+        let y = main.call(FuncId(1), &[x]);
+        let buf = main.iconst(0x1000);
+        main.store(Opcode::Sd, buf, 0, y);
+        main.halt();
+        main.finish();
+        let mut g = p.func("g", 1);
+        let a = g.param(0);
+        let r = g.addi(a, 1);
+        g.ret(Some(r));
+        g.finish();
+        let prog = p.finish();
+        let alloc = allocate(&prog).unwrap();
+        let (m, c) = (&alloc.funcs[0], &alloc.funcs[1]);
+        assert!(c.base >= m.base + m.size, "callee pool overlaps caller");
+        let caller_regs: HashSet<ArchReg> = m.map.values().copied().collect();
+        assert!(!caller_regs.contains(&c.link));
+        assert!(!caller_regs.contains(&c.ret));
+        for a in &c.args {
+            assert!(!caller_regs.contains(a));
+        }
+    }
+
+    use crate::ir::FuncId;
+
+    #[test]
+    fn liveness_through_branches() {
+        let mut p = ProgramBuilder::new();
+        let mut f = p.func("main", 0);
+        let v = f.iconst(3);
+        let c = f.bini(Opcode::Tgti, v, 0);
+        let t = f.new_block();
+        let e = f.new_block();
+        f.br(c, t, e);
+        f.switch_to(t);
+        let buf1 = f.iconst(0x1000);
+        f.store(Opcode::Sd, buf1, 0, v); // v used here
+        f.halt();
+        f.switch_to(e);
+        f.halt();
+        f.finish();
+        let prog = p.finish();
+        let lv = liveness(&prog.funcs[0]);
+        assert!(lv.live_in[1].contains(&v), "v live into then-block");
+        assert!(!lv.live_in[2].contains(&v), "v dead in else-block");
+        assert!(lv.live_out[0].contains(&v));
+    }
+}

@@ -1,0 +1,297 @@
+//! Region (hyperblock) formation.
+//!
+//! A *region* is the set of IR basic blocks that will become one TRIPS
+//! block. In `Compiled` quality every basic block is its own region —
+//! modelling the immature compiler of the paper whose "blocks will be
+//! too small" (§5.4). In `Hand` quality the former merges:
+//!
+//! * **chains** — a block whose every predecessor is already in the
+//!   region and which is entered by the region's unconditional exit;
+//! * **triangles** — `if (c) { then } join`, if-converted by
+//!   predicating the `then` side;
+//! * **diamonds** — `if (c) { then } else { else } join`, predicating
+//!   both sides;
+//!
+//! and keeps merging while the trial-emitted block still fits the
+//! hardware budgets (128 instructions, 32 load/store IDs, 8 read and 8
+//! write slots per register bank). This mirrors hyperblock formation
+//! in the TRIPS compiler [Smith et al., CGO 2006].
+
+use std::collections::{HashMap, HashSet};
+
+use crate::ir::{BbId, Func, FuncId, Program, Term, VReg};
+use crate::lower::emit::{emit_region, EmittedBlock};
+use crate::lower::regalloc::{liveness, Liveness, ProgramAlloc};
+use crate::{Quality, TasmError};
+
+/// The predicate guard of a merged basic block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Guard {
+    /// Executes on every path through the region.
+    Always,
+    /// Executes only when `cond` (a 0/1 value) matches `polarity`.
+    Cond {
+        /// The guarding condition register.
+        cond: VReg,
+        /// `true` = then-side, `false` = else-side.
+        polarity: bool,
+    },
+}
+
+/// One TRIPS-block-to-be: an ordered list of guarded basic blocks plus
+/// the region's effective terminator.
+#[derive(Debug, Clone)]
+pub struct Region {
+    /// The head basic block (the region's identity and branch target).
+    pub head: BbId,
+    /// The merged blocks in emission order, with their guards.
+    pub parts: Vec<(BbId, Guard)>,
+    /// The terminator of the region (the last merged block's).
+    pub term: Term,
+    /// Set when this region is a call continuation: the call's result
+    /// register and the callee whose return register holds it.
+    pub ret_binding: Option<(VReg, FuncId)>,
+    /// The basic block whose `live_out` is the region's `live_out`.
+    pub exit_bb: BbId,
+}
+
+/// All regions of one function, keyed by head block.
+#[derive(Debug)]
+pub struct FuncRegions {
+    /// The regions, in discovery order (entry first).
+    pub regions: Vec<Region>,
+    /// Maps a head `BbId` to its index in `regions`.
+    pub head_index: HashMap<BbId, usize>,
+    /// Block-level liveness, reused by emission.
+    pub liveness: Liveness,
+}
+
+impl FuncRegions {
+    /// The region headed by `bb`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bb` is not a region head.
+    pub fn by_head(&self, bb: BbId) -> &Region {
+        &self.regions[self.head_index[&bb]]
+    }
+}
+
+/// Forms the regions of `func` and trial-emits each to prove it fits.
+///
+/// # Errors
+///
+/// Propagates fatal emission errors (for example a single basic block
+/// that exceeds hardware budgets even unmerged).
+pub fn form_regions(
+    prog: &Program,
+    fid: FuncId,
+    alloc: &ProgramAlloc,
+    quality: Quality,
+) -> Result<FuncRegions, TasmError> {
+    let func = prog.func(fid);
+    let lv = liveness(func);
+    let preds = func.predecessors();
+
+    let mut regions: Vec<Region> = Vec::new();
+    let mut head_index: HashMap<BbId, usize> = HashMap::new();
+    let mut worklist: Vec<(BbId, Option<(VReg, FuncId)>)> = vec![(func.entry, None)];
+    let mut queued: HashSet<BbId> = HashSet::new();
+    queued.insert(func.entry);
+
+    while let Some((head, ret_binding)) = worklist.pop() {
+        if head_index.contains_key(&head) {
+            continue;
+        }
+        let region = grow_region(prog, fid, func, &lv, &preds, alloc, quality, head, ret_binding)?;
+        // Queue successors as new region heads.
+        let mut push = |bb: BbId, rb: Option<(VReg, FuncId)>| {
+            if queued.insert(bb) || rb.is_some() {
+                worklist.push((bb, rb));
+            }
+        };
+        match &region.term {
+            Term::Jmp(n) => push(*n, None),
+            Term::Br { t, f, .. } => {
+                push(*t, None);
+                push(*f, None);
+            }
+            Term::Call { func: callee, dst, next, .. } => {
+                push(*next, dst.map(|d| (d, *callee)));
+            }
+            Term::Ret(_) | Term::Halt => {}
+        }
+        head_index.insert(head, regions.len());
+        regions.push(region);
+    }
+    Ok(FuncRegions { regions, head_index, liveness: lv })
+}
+
+/// Live-out virtual registers of a region.
+pub fn region_live_out(lv: &Liveness, region: &Region) -> HashSet<VReg> {
+    lv.live_out[region.exit_bb.0 as usize].clone()
+}
+
+/// Trial-emits a region to check hardware budgets.
+fn fits(
+    prog: &Program,
+    fid: FuncId,
+    region: &Region,
+    lv: &Liveness,
+    alloc: &ProgramAlloc,
+    quality: Quality,
+) -> Result<bool, TasmError> {
+    match emit_region(prog, fid, region, alloc, &region_live_out(lv, region), quality) {
+        Ok(_) => Ok(true),
+        Err(TasmError::Budget { .. }) => Ok(false),
+        Err(e) => Err(e),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn grow_region(
+    prog: &Program,
+    fid: FuncId,
+    func: &Func,
+    lv: &Liveness,
+    preds: &[Vec<BbId>],
+    alloc: &ProgramAlloc,
+    quality: Quality,
+    head: BbId,
+    ret_binding: Option<(VReg, FuncId)>,
+) -> Result<Region, TasmError> {
+    let mut region = Region {
+        head,
+        parts: vec![(head, Guard::Always)],
+        term: func.block(head).term.clone(),
+        ret_binding,
+        exit_bb: head,
+    };
+    // The base region must fit on its own.
+    if !fits(prog, fid, &region, lv, alloc, quality)? {
+        return Err(TasmError::BlockTooLarge { func: func.name.clone(), bb: head.0 });
+    }
+    if quality == Quality::Compiled {
+        return Ok(region);
+    }
+
+    let mut consumed: HashSet<BbId> = [head].into();
+    loop {
+        let candidate = extend_once(func, preds, &region, &consumed);
+        let Some((new_parts, new_term, new_exit)) = candidate else { break };
+        let mut trial = region.clone();
+        trial.parts.extend(new_parts.iter().cloned());
+        trial.term = new_term;
+        trial.exit_bb = new_exit;
+        if fits(prog, fid, &trial, lv, alloc, quality)? {
+            for (bb, _) in &new_parts {
+                consumed.insert(*bb);
+            }
+            region = trial;
+        } else {
+            break;
+        }
+    }
+    Ok(region)
+}
+
+/// Computes the next merge step (chain, triangle, or diamond), if any.
+#[allow(clippy::type_complexity)]
+fn extend_once(
+    func: &Func,
+    preds: &[Vec<BbId>],
+    region: &Region,
+    consumed: &HashSet<BbId>,
+) -> Option<(Vec<(BbId, Guard)>, Term, BbId)> {
+    let tail = region.exit_bb;
+    match region.term.clone() {
+        Term::Jmp(n) => {
+            // Chain: all of n's predecessors already merged.
+            if consumed.contains(&n) {
+                return None;
+            }
+            if !preds[n.0 as usize].iter().all(|p| consumed.contains(p)) {
+                return None;
+            }
+            Some((vec![(n, Guard::Always)], func.block(n).term.clone(), n))
+        }
+        Term::Br { cond, t, f } => {
+            if t == f || consumed.contains(&t) || consumed.contains(&f) {
+                return None;
+            }
+            // Arms must not redefine the condition register.
+            let redefines = |bb: BbId| {
+                func.block(bb).insts.iter().any(|i| i.dst() == Some(cond))
+            };
+            let sole_pred = |bb: BbId| preds[bb.0 as usize] == [tail];
+            // Diamond: head → {t, f} → j.
+            if sole_pred(t) && sole_pred(f) && !redefines(t) && !redefines(f) {
+                if let (Term::Jmp(jt), Term::Jmp(jf)) =
+                    (&func.block(t).term, &func.block(f).term)
+                {
+                    if jt == jf && !consumed.contains(jt) {
+                        let j = *jt;
+                        let jp: HashSet<BbId> = preds[j.0 as usize].iter().copied().collect();
+                        if jp == [t, f].into() {
+                            return Some((
+                                vec![
+                                    (t, Guard::Cond { cond, polarity: true }),
+                                    (f, Guard::Cond { cond, polarity: false }),
+                                    (j, Guard::Always),
+                                ],
+                                func.block(j).term.clone(),
+                                j,
+                            ));
+                        }
+                    }
+                }
+            }
+            // Triangle: head → t → f, or head → f directly.
+            if sole_pred(t) && !redefines(t) && func.block(t).term == Term::Jmp(f) {
+                let fp: HashSet<BbId> = preds[f.0 as usize].iter().copied().collect();
+                if fp == [tail, t].into() && !consumed.contains(&f) {
+                    return Some((
+                        vec![(t, Guard::Cond { cond, polarity: true }), (f, Guard::Always)],
+                        func.block(f).term.clone(),
+                        f,
+                    ));
+                }
+            }
+            // Mirrored triangle: head → f → t.
+            if sole_pred(f) && !redefines(f) && func.block(f).term == Term::Jmp(t) {
+                let tp: HashSet<BbId> = preds[t.0 as usize].iter().copied().collect();
+                if tp == [tail, f].into() && !consumed.contains(&t) {
+                    return Some((
+                        vec![(f, Guard::Cond { cond, polarity: false }), (t, Guard::Always)],
+                        func.block(t).term.clone(),
+                        t,
+                    ));
+                }
+            }
+            None
+        }
+        Term::Call { .. } | Term::Ret(_) | Term::Halt => None,
+    }
+}
+
+/// Returns an [`EmittedBlock`] for every region of a function, in
+/// region order.
+///
+/// # Errors
+///
+/// Propagates emission failures (which, after successful formation,
+/// indicate an internal inconsistency).
+pub fn emit_all(
+    prog: &Program,
+    fid: FuncId,
+    fr: &FuncRegions,
+    alloc: &ProgramAlloc,
+    quality: Quality,
+) -> Result<Vec<EmittedBlock>, TasmError> {
+    fr.regions
+        .iter()
+        .map(|r| {
+            emit_region(prog, fid, r, alloc, &region_live_out(&fr.liveness, r), quality)
+        })
+        .collect()
+}

@@ -1,0 +1,355 @@
+//! Differential tests: the IR interpreter and the block-level EDGE
+//! interpreter must agree on final memory for every program, at both
+//! code-quality levels.
+
+use trips_tasm::{blockinterp, compile, interp, Opcode, ProgramBuilder, Quality};
+
+const OUT: u64 = 0x10_0000;
+
+fn check(p: trips_tasm::Program, cells: &[u64]) {
+    let reference = interp::run(&p, 2_000_000).expect("IR interp failed");
+    for q in [Quality::Compiled, Quality::Hand] {
+        let c = compile(&p, q).unwrap_or_else(|e| panic!("compile({q}) failed: {e}"));
+        let r = blockinterp::run_image(&c.image, 500_000)
+            .unwrap_or_else(|e| panic!("blockinterp({q}) failed: {e}"));
+        for (i, &cell) in cells.iter().enumerate() {
+            assert_eq!(
+                r.mem.read_u64(cell),
+                reference.mem.read_u64(cell),
+                "quality {q}, cell {i} at {cell:#x}"
+            );
+        }
+    }
+}
+
+#[test]
+fn straightline_arith() {
+    let mut p = ProgramBuilder::new();
+    let mut f = p.func("main", 0);
+    let a = f.iconst(123456);
+    let b = f.iconst(-7);
+    let c = f.mul(a, b);
+    let d = f.bini(Opcode::Xori, c, 0x5a5a);
+    let two = f.iconst(2);
+    let e = f.bin(Opcode::Sra, d, two);
+    let buf = f.iconst(OUT as i64);
+    f.store(Opcode::Sd, buf, 0, e);
+    f.halt();
+    f.finish();
+    check(p.finish(), &[OUT]);
+}
+
+#[test]
+fn wide_constants() {
+    let mut p = ProgramBuilder::new();
+    let mut f = p.func("main", 0);
+    let buf = f.iconst(OUT as i64);
+    for (i, val) in [
+        0i64,
+        1,
+        -1,
+        8191,
+        -8192,
+        8192,
+        0x7fff,
+        -0x8000,
+        0x12345,
+        -0x12345,
+        0x7fff_ffff,
+        -0x8000_0000,
+        0x1_0000_0000,
+        0x0123_4567_89ab_cdef,
+        -0x0123_4567_89ab_cdef,
+        i64::MIN,
+        i64::MAX,
+    ]
+    .iter()
+    .enumerate()
+    {
+        let v = f.iconst(*val);
+        f.store(Opcode::Sd, buf, (i * 8) as i32, v);
+    }
+    f.halt();
+    f.finish();
+    check(p.finish(), &(0..17).map(|i| OUT + 8 * i).collect::<Vec<_>>());
+}
+
+#[test]
+fn counted_loop() {
+    let mut p = ProgramBuilder::new();
+    let mut f = p.func("main", 0);
+    let sum = f.fresh();
+    let i = f.fresh();
+    f.iconst_into(sum, 0);
+    f.iconst_into(i, 0);
+    let body = f.new_block();
+    let done = f.new_block();
+    f.jmp(body);
+    f.switch_to(body);
+    let sq = f.mul(i, i);
+    f.bin_into(sum, Opcode::Add, sum, sq);
+    f.bini_into(i, Opcode::Addi, i, 1);
+    let c = f.bini(Opcode::Tlti, i, 50);
+    f.br(c, body, done);
+    f.switch_to(done);
+    let buf = f.iconst(OUT as i64);
+    f.store(Opcode::Sd, buf, 0, sum);
+    f.halt();
+    f.finish();
+    check(p.finish(), &[OUT]);
+}
+
+#[test]
+fn diamond_if_else() {
+    // for i in 0..20 { out[i] = if a[i] odd { a[i]*3+1 } else { a[i]/2 } }
+    let mut p = ProgramBuilder::new();
+    p.global_words(0x20_0000, &(0..20u64).map(|i| i * 7 + 3).collect::<Vec<_>>());
+    let mut f = p.func("main", 0);
+    let i = f.fresh();
+    f.iconst_into(i, 0);
+    let body = f.new_block();
+    let then_b = f.new_block();
+    let else_b = f.new_block();
+    let join = f.new_block();
+    let done = f.new_block();
+    f.jmp(body);
+
+    f.switch_to(body);
+    let a_base = f.iconst(0x20_0000);
+    let off = f.bini(Opcode::Slli, i, 3);
+    let addr = f.add(a_base, off);
+    let a = f.load(Opcode::Ld, addr, 0);
+    let bit = f.bini(Opcode::Andi, a, 1);
+    let odd = f.bini(Opcode::Teqi, bit, 1);
+    let res = f.fresh();
+    f.br(odd, then_b, else_b);
+
+    f.switch_to(then_b);
+    let t1 = f.bini(Opcode::Muli, a, 3);
+    f.bini_into(res, Opcode::Addi, t1, 1);
+    f.jmp(join);
+
+    f.switch_to(else_b);
+    f.bini_into(res, Opcode::Srai, a, 1);
+    f.jmp(join);
+
+    f.switch_to(join);
+    let out_base = f.iconst(OUT as i64);
+    let oaddr = f.add(out_base, off);
+    f.store(Opcode::Sd, oaddr, 0, res);
+    f.bini_into(i, Opcode::Addi, i, 1);
+    let c = f.bini(Opcode::Tlti, i, 20);
+    f.br(c, body, done);
+
+    f.switch_to(done);
+    f.halt();
+    f.finish();
+    check(p.finish(), &(0..20).map(|i| OUT + 8 * i).collect::<Vec<_>>());
+}
+
+#[test]
+fn triangle_conditional_store() {
+    // out[i] written only when a[i] > 50 — exercises nullified stores.
+    let mut p = ProgramBuilder::new();
+    p.global_words(0x20_0000, &(0..16u64).map(|i| i * 13 % 101).collect::<Vec<_>>());
+    let mut f = p.func("main", 0);
+    let i = f.fresh();
+    f.iconst_into(i, 0);
+    let body = f.new_block();
+    let then_b = f.new_block();
+    let join = f.new_block();
+    let done = f.new_block();
+    f.jmp(body);
+
+    f.switch_to(body);
+    let a_base = f.iconst(0x20_0000);
+    let off = f.bini(Opcode::Slli, i, 3);
+    let addr = f.add(a_base, off);
+    let a = f.load(Opcode::Ld, addr, 0);
+    let big = f.bini(Opcode::Tgti, a, 50);
+    f.br(big, then_b, join);
+
+    f.switch_to(then_b);
+    let out_base = f.iconst(OUT as i64);
+    let oaddr = f.add(out_base, off);
+    f.store(Opcode::Sd, oaddr, 0, a);
+    f.jmp(join);
+
+    f.switch_to(join);
+    f.bini_into(i, Opcode::Addi, i, 1);
+    let c = f.bini(Opcode::Tlti, i, 16);
+    f.br(c, body, done);
+
+    f.switch_to(done);
+    f.halt();
+    f.finish();
+    check(p.finish(), &(0..16).map(|i| OUT + 8 * i).collect::<Vec<_>>());
+}
+
+#[test]
+fn nested_calls() {
+    let mut p = ProgramBuilder::new();
+    let mut main = p.func("main", 0);
+    let x = main.iconst(10);
+    let r = main.call(trips_tasm::FuncId(1), &[x]);
+    let buf = main.iconst(OUT as i64);
+    main.store(Opcode::Sd, buf, 0, r);
+    main.halt();
+    main.finish();
+
+    // f(x) = g(x) + g(x+1)
+    let mut f = p.func("f", 1);
+    let a = f.param(0);
+    let r1 = f.call(trips_tasm::FuncId(2), &[a]);
+    let a1 = f.addi(a, 1);
+    let r2 = f.call(trips_tasm::FuncId(2), &[a1]);
+    let s = f.add(r1, r2);
+    f.ret(Some(s));
+    f.finish();
+
+    // g(x) = x*x + 7
+    let mut g = p.func("g", 1);
+    let a = g.param(0);
+    let sq = g.mul(a, a);
+    let r = g.addi(sq, 7);
+    g.ret(Some(r));
+    g.finish();
+
+    check(p.finish(), &[OUT]);
+}
+
+#[test]
+fn memory_ordering_store_then_load() {
+    // Write then read the same location within one block region —
+    // exercises LSID ordering and store-to-load forwarding.
+    let mut p = ProgramBuilder::new();
+    let mut f = p.func("main", 0);
+    let buf = f.iconst(OUT as i64);
+    let a = f.iconst(111);
+    f.store(Opcode::Sd, buf, 0, a);
+    let b = f.load(Opcode::Ld, buf, 0);
+    let c = f.addi(b, 1);
+    f.store(Opcode::Sd, buf, 8, c);
+    let d = f.load(Opcode::Ld, buf, 8);
+    let e = f.addi(d, 1);
+    f.store(Opcode::Sd, buf, 16, e);
+    f.halt();
+    f.finish();
+    check(p.finish(), &[OUT, OUT + 8, OUT + 16]);
+}
+
+#[test]
+fn subword_memory() {
+    let mut p = ProgramBuilder::new();
+    let mut f = p.func("main", 0);
+    let buf = f.iconst(OUT as i64);
+    let v = f.iconst(-2);
+    f.store(Opcode::Sb, buf, 0, v);
+    f.store(Opcode::Sh, buf, 8, v);
+    f.store(Opcode::Sw, buf, 16, v);
+    let b = f.load(Opcode::Lb, buf, 0);
+    let bu = f.load(Opcode::Lbu, buf, 0);
+    let h = f.load(Opcode::Lh, buf, 8);
+    let hu = f.load(Opcode::Lhu, buf, 8);
+    let w = f.load(Opcode::Lw, buf, 16);
+    let wu = f.load(Opcode::Lwu, buf, 16);
+    f.store(Opcode::Sd, buf, 24, b);
+    f.store(Opcode::Sd, buf, 32, bu);
+    f.store(Opcode::Sd, buf, 40, h);
+    f.store(Opcode::Sd, buf, 48, hu);
+    f.store(Opcode::Sd, buf, 56, w);
+    f.store(Opcode::Sd, buf, 64, wu);
+    f.halt();
+    f.finish();
+    check(p.finish(), &(0..9).map(|i| OUT + 8 * i).collect::<Vec<_>>());
+}
+
+#[test]
+fn float_kernel() {
+    let mut p = ProgramBuilder::new();
+    let mut f = p.func("main", 0);
+    let x = f.fconst(1.5);
+    let y = f.fconst(-2.25);
+    let s = f.bin(Opcode::Fadd, x, y);
+    let m = f.bin(Opcode::Fmul, s, s);
+    let d = f.bin(Opcode::Fdiv, m, y);
+    let q = f.un(Opcode::Fsqrt, m);
+    let i = f.un(Opcode::Ftoi, d);
+    let buf = f.iconst(OUT as i64);
+    f.store(Opcode::Sd, buf, 0, s);
+    f.store(Opcode::Sd, buf, 8, m);
+    f.store(Opcode::Sd, buf, 16, d);
+    f.store(Opcode::Sd, buf, 24, q);
+    f.store(Opcode::Sd, buf, 32, i);
+    f.halt();
+    f.finish();
+    check(p.finish(), &(0..5).map(|i| OUT + 8 * i).collect::<Vec<_>>());
+}
+
+#[test]
+fn deep_fanout() {
+    // One value consumed 20 times — exercises fanout trees and chains.
+    let mut p = ProgramBuilder::new();
+    let mut f = p.func("main", 0);
+    let v = f.iconst(3);
+    let buf = f.iconst(OUT as i64);
+    let mut acc = f.iconst(0);
+    for k in 0..20 {
+        let t = f.bini(Opcode::Muli, v, k + 1);
+        acc = f.add(acc, t);
+    }
+    f.store(Opcode::Sd, buf, 0, acc);
+    f.halt();
+    f.finish();
+    check(p.finish(), &[OUT]);
+}
+
+#[test]
+fn hand_quality_merges_blocks() {
+    // Structural check: the diamond loop above must produce fewer
+    // blocks at Hand quality than at Compiled quality.
+    let mut p = ProgramBuilder::new();
+    let mut f = p.func("main", 0);
+    let i = f.fresh();
+    f.iconst_into(i, 0);
+    let body = f.new_block();
+    let t = f.new_block();
+    let e = f.new_block();
+    let j = f.new_block();
+    let done = f.new_block();
+    f.jmp(body);
+    f.switch_to(body);
+    let bit = f.bini(Opcode::Andi, i, 1);
+    let odd = f.bini(Opcode::Teqi, bit, 1);
+    let r = f.fresh();
+    f.br(odd, t, e);
+    f.switch_to(t);
+    f.bini_into(r, Opcode::Muli, i, 3);
+    f.jmp(j);
+    f.switch_to(e);
+    f.bini_into(r, Opcode::Muli, i, 5);
+    f.jmp(j);
+    f.switch_to(j);
+    let buf = f.iconst(OUT as i64);
+    let off = f.bini(Opcode::Slli, i, 3);
+    let a = f.add(buf, off);
+    f.store(Opcode::Sd, a, 0, r);
+    f.bini_into(i, Opcode::Addi, i, 1);
+    let c = f.bini(Opcode::Tlti, i, 8);
+    f.br(c, body, done);
+    f.switch_to(done);
+    f.halt();
+    f.finish();
+    let prog = p.finish();
+
+    let compiled = compile(&prog, Quality::Compiled).unwrap();
+    let hand = compile(&prog, Quality::Hand).unwrap();
+    assert!(
+        hand.stats.blocks < compiled.stats.blocks,
+        "hand {} vs compiled {}",
+        hand.stats.blocks,
+        compiled.stats.blocks
+    );
+    assert!(hand.stats.avg_block_size > compiled.stats.avg_block_size);
+    check(prog, &(0..8).map(|i| OUT + 8 * i).collect::<Vec<_>>());
+}

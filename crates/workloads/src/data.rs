@@ -1,0 +1,180 @@
+//! Deterministic input-data generation and shared builder helpers.
+
+use trips_tasm::{FuncBuilder, Opcode, VReg};
+
+use crate::Variant;
+
+/// Input array A.
+pub const A: u64 = 0x20_0000;
+/// Input array B.
+pub const B: u64 = 0x24_0000;
+/// Coefficient / table area.
+pub const COEF: u64 = 0x28_0000;
+/// Scratch area.
+pub const SCRATCH: u64 = 0x2c_0000;
+/// Output area (checked cells live here).
+pub const OUT: u64 = 0x10_0000;
+
+/// A tiny deterministic xorshift64* stream.
+#[derive(Debug, Clone)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// Seeded stream (seed 0 is remapped).
+    pub fn new(seed: u64) -> Rng {
+        Rng(seed.max(1))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform value below `bound`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound.max(1)
+    }
+
+    /// An `f64` in `[0, 1)`, stored as bits for IR globals.
+    pub fn f64_bits(&mut self) -> u64 {
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64).to_bits()
+    }
+}
+
+/// `n` pseudo-random words below `bound`.
+pub fn words(seed: u64, n: usize, bound: u64) -> Vec<u64> {
+    let mut r = Rng::new(seed);
+    (0..n).map(|_| r.below(bound)).collect()
+}
+
+/// `n` pseudo-random `f64`s in `[0, scale)`, as bit patterns.
+pub fn floats(seed: u64, n: usize, scale: f64) -> Vec<u64> {
+    let mut r = Rng::new(seed);
+    (0..n).map(|_| (f64::from_bits(r.f64_bits()) * scale).to_bits()).collect()
+}
+
+/// Unroll factor for a variant: `hand` when hand-tuned, 1 otherwise.
+pub fn unroll_of(v: Variant, hand: usize) -> usize {
+    match v {
+        Variant::Hand => hand,
+        Variant::Compiled => 1,
+    }
+}
+
+/// Builds `for i in (0..n).step_by(unroll)`, invoking `body` once per
+/// unrolled lane with that lane's index register.
+///
+/// # Panics
+///
+/// Panics if `n % unroll != 0`.
+pub fn counted_loop<F>(f: &mut FuncBuilder<'_>, n: i64, unroll: usize, mut body: F)
+where
+    F: FnMut(&mut FuncBuilder<'_>, VReg, usize),
+{
+    assert!(unroll > 0 && n % unroll as i64 == 0, "n={n} not divisible by unroll={unroll}");
+    let i = f.fresh();
+    f.iconst_into(i, 0);
+    let lb = f.new_block();
+    let done = f.new_block();
+    f.jmp(lb);
+    f.switch_to(lb);
+    for k in 0..unroll {
+        let ik = if k == 0 { i } else { f.addi(i, k as i64) };
+        body(f, ik, k);
+    }
+    f.bini_into(i, Opcode::Addi, i, unroll as i64);
+    let c = f.bini(Opcode::Tlti, i, n);
+    f.br(c, lb, done);
+    f.switch_to(done);
+}
+
+/// A pointer-walking counted loop, the idiom of hand-optimized TRIPS
+/// kernels: `iters` is split into `iters/unroll` iterations; each lane
+/// `k` accesses its data through the pointer registers at constant
+/// byte offset `k * stride`, and every pointer advances by
+/// `unroll * stride` once per iteration. This keeps per-access address
+/// arithmetic out of the block entirely (one fold into the load/store
+/// immediate), which is what lets hand blocks approach the
+/// 128-instruction budget.
+///
+/// # Panics
+///
+/// Panics if `iters % unroll != 0`.
+pub fn ptr_loop<F>(
+    f: &mut FuncBuilder<'_>,
+    iters: i64,
+    unroll: usize,
+    ptrs: &[(VReg, i64)],
+    mut body: F,
+) where
+    F: FnMut(&mut FuncBuilder<'_>, usize),
+{
+    assert!(unroll > 0 && iters % unroll as i64 == 0, "iters={iters} unroll={unroll}");
+    let i = f.fresh();
+    f.iconst_into(i, 0);
+    let lb = f.new_block();
+    let done = f.new_block();
+    f.jmp(lb);
+    f.switch_to(lb);
+    for k in 0..unroll {
+        body(f, k);
+    }
+    for &(p, stride) in ptrs {
+        f.bini_into(p, Opcode::Addi, p, stride * unroll as i64);
+    }
+    f.bini_into(i, Opcode::Addi, i, unroll as i64);
+    let c = f.bini(Opcode::Tlti, i, iters);
+    f.br(c, lb, done);
+    f.switch_to(done);
+}
+
+/// Loads `base[idx*8 + extra]` as a 64-bit word.
+pub fn load_w(f: &mut FuncBuilder<'_>, base: u64, idx: VReg, extra: i32) -> VReg {
+    let b = f.iconst(base as i64);
+    let off = f.bini(Opcode::Slli, idx, 3);
+    let addr = f.add(b, off);
+    f.load(Opcode::Ld, addr, extra)
+}
+
+/// Stores `val` to `base[idx*8 + extra]`.
+pub fn store_w(f: &mut FuncBuilder<'_>, base: u64, idx: VReg, extra: i32, val: VReg) {
+    let b = f.iconst(base as i64);
+    let off = f.bini(Opcode::Slli, idx, 3);
+    let addr = f.add(b, off);
+    f.store(Opcode::Sd, addr, extra, val);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_and_bounded() {
+        let a: Vec<u64> = words(7, 100, 50);
+        let b: Vec<u64> = words(7, 100, 50);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&x| x < 50));
+        assert_ne!(words(8, 100, 50), a);
+    }
+
+    #[test]
+    fn floats_in_range() {
+        for bits in floats(3, 50, 10.0) {
+            let v = f64::from_bits(bits);
+            assert!((0.0..10.0).contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn unroll_must_divide() {
+        let mut p = trips_tasm::ProgramBuilder::new();
+        let mut f = p.func("t", 0);
+        counted_loop(&mut f, 10, 3, |_, _, _| {});
+    }
+}

@@ -1,0 +1,445 @@
+//! The seven signal-processing library kernels: `cfar`, `conv`, `ct`,
+//! `genalg`, `pm`, `qr`, `svd`.
+
+use trips_tasm::{FuncBuilder, Opcode, Program, ProgramBuilder};
+
+use crate::data::{counted_loop, floats, load_w, ptr_loop, store_w, unroll_of, words, A, B, COEF, OUT};
+use crate::Variant;
+
+/// `cfar`: constant-false-alarm-rate detection — for each range cell,
+/// average the leading and lagging noise windows and flag cells above
+/// a threshold multiple. Integer, window-heavy.
+pub fn cfar(v: Variant) -> (Program, Vec<u64>) {
+    const N: i64 = 256;
+    const W: i64 = 8;
+    const GUARD: i64 = 2;
+    let mut p = ProgramBuilder::new();
+    p.global_words(A, &words(51, (N + 2 * (W + GUARD)) as usize, 1000));
+    let mut f = p.func("cfar", 0);
+    // Pointers: leading window, cell under test, lagging window, output.
+    let lp = f.iconst(A as i64);
+    let cp = f.iconst((A + 8 * (W + GUARD) as u64) as i64);
+    let gp = f.iconst((A + 8 * (W + 2 * GUARD + 1) as u64) as i64);
+    let op = f.iconst(OUT as i64);
+    match v {
+        Variant::Hand => {
+            // Fully unrolled windows: one block per range cell.
+            ptr_loop(&mut f, N, 1, &[(lp, 8), (cp, 8), (gp, 8), (op, 8)], |f, _| {
+                let noise = f.fresh();
+                f.iconst_into(noise, 0);
+                for w in 0..W {
+                    let a = f.load(Opcode::Ld, lp, (8 * w) as i32);
+                    f.bin_into(noise, Opcode::Add, noise, a);
+                    let b = f.load(Opcode::Ld, gp, (8 * w) as i32);
+                    f.bin_into(noise, Opcode::Add, noise, b);
+                }
+                let avg = f.bini(Opcode::Srai, noise, 4);
+                let cell = f.load(Opcode::Ld, cp, 0);
+                let thresh = f.bini(Opcode::Muli, avg, 3);
+                let det = f.bin(Opcode::Tgt, cell, thresh);
+                f.store(Opcode::Sd, op, 0, det);
+            });
+        }
+        Variant::Compiled => {
+            ptr_loop(&mut f, N, 1, &[(lp, 8), (cp, 8), (gp, 8), (op, 8)], |f, _| {
+                let noise = f.fresh();
+                f.iconst_into(noise, 0);
+                counted_loop(f, W, 1, |f, w, _| {
+                    let w8 = f.bini(Opcode::Slli, w, 3);
+                    let la = f.add(lp, w8);
+                    let a = f.load(Opcode::Ld, la, 0);
+                    f.bin_into(noise, Opcode::Add, noise, a);
+                    let ga = f.add(gp, w8);
+                    let b = f.load(Opcode::Ld, ga, 0);
+                    f.bin_into(noise, Opcode::Add, noise, b);
+                });
+                let avg = f.bini(Opcode::Srai, noise, 4);
+                let cell = f.load(Opcode::Ld, cp, 0);
+                let thresh = f.bini(Opcode::Muli, avg, 3);
+                let det = f.bin(Opcode::Tgt, cell, thresh);
+                f.store(Opcode::Sd, op, 0, det);
+            });
+        }
+    }
+    f.halt();
+    f.finish();
+    (p.finish(), (0..N as u64).map(|i| OUT + 8 * i).collect())
+}
+
+/// `conv`: 1-D convolution of a 256-sample signal with 16 taps —
+/// streaming multiply-accumulate, L1-bandwidth-hungry like `vadd`.
+pub fn conv(v: Variant) -> (Program, Vec<u64>) {
+    const N: i64 = 256;
+    const TAPS: i64 = 16;
+    let mut p = ProgramBuilder::new();
+    p.global_words(A, &floats(52, (N + TAPS) as usize, 4.0));
+    p.global_words(COEF, &floats(53, TAPS as usize, 1.0));
+    let mut f = p.func("conv", 0);
+    let xp = f.iconst(A as i64);
+    let op = f.iconst(OUT as i64);
+    let hbase = f.iconst(COEF as i64);
+    ptr_loop(&mut f, N, 1, &[(xp, 8), (op, 8)], |f, _| {
+        let acc = f.fresh();
+        f.iconst_into(acc, 0);
+        let xq = f.mov(xp);
+        let hq = f.mov(hbase);
+        ptr_loop(f, TAPS, unroll_of(v, 8), &[(xq, 8), (hq, 8)], |f, k| {
+            let x = f.load(Opcode::Ld, xq, 8 * k as i32);
+            let h = f.load(Opcode::Ld, hq, 8 * k as i32);
+            let m = f.bin(Opcode::Fmul, x, h);
+            f.bin_into(acc, Opcode::Fadd, acc, m);
+        });
+        f.store(Opcode::Sd, op, 0, acc);
+    });
+    f.halt();
+    f.finish();
+    (p.finish(), (0..N as u64).map(|i| OUT + 8 * i).collect())
+}
+
+/// `ct`: corner turn — a 32×32 matrix transpose; pure data movement
+/// through the distributed L1.
+pub fn ct(v: Variant) -> (Program, Vec<u64>) {
+    const N: i64 = 32;
+    let mut p = ProgramBuilder::new();
+    p.global_words(A, &words(54, (N * N) as usize, 1 << 40));
+    let mut f = p.func("ct", 0);
+    let obase = f.iconst(OUT as i64);
+    let sp = f.iconst(A as i64);
+    counted_loop(&mut f, N, 1, |f, i, _| {
+        // Source walks a row sequentially; destination walks a column.
+        let i8 = f.bini(Opcode::Slli, i, 3);
+        let dp = f.add(obase, i8);
+        ptr_loop(f, N, unroll_of(v, 8), &[(sp, 8), (dp, 8 * N)], |f, k| {
+            let x = f.load(Opcode::Ld, sp, 8 * k as i32);
+            let doff = (8 * N) as i32 * k as i32;
+            if doff <= 255 {
+                f.store(Opcode::Sd, dp, doff, x);
+            } else {
+                let dq = f.addi(dp, doff as i64);
+                f.store(Opcode::Sd, dq, 0, x);
+            }
+        });
+    });
+    f.halt();
+    f.finish();
+    (p.finish(), (0..(N * N) as u64).map(|i| OUT + 8 * i).collect())
+}
+
+/// `genalg`: one generation of a toy genetic algorithm — fitness
+/// evaluation through a real function call per genome, tournament
+/// selection, and crossover with an in-IR xorshift generator; branchy
+/// and call-heavy.
+pub fn genalg(_v: Variant) -> (Program, Vec<u64>) {
+    const POP: i64 = 32;
+    const GENS: i64 = 4;
+    let mut p = ProgramBuilder::new();
+    p.global_words(A, &words(55, POP as usize, u64::MAX));
+    let fitness_id = trips_tasm::FuncId(1);
+
+    let mut f = p.func("genalg", 0);
+    let seed = f.fresh();
+    f.iconst_into(seed, 0x9e3779b97f4a7c15u64 as i64);
+    counted_loop(&mut f, GENS, 1, |f, _g, _| {
+        counted_loop(f, POP, 1, |f, i, _| {
+            // Two tournament picks via xorshift.
+            let rnd = |f: &mut FuncBuilder<'_>| {
+                let s1 = f.bini(Opcode::Slli, seed, 13);
+                let x1 = f.bin(Opcode::Xor, seed, s1);
+                let s2 = f.bini(Opcode::Srli, x1, 7);
+                let x2 = f.bin(Opcode::Xor, x1, s2);
+                let s3 = f.bini(Opcode::Slli, x2, 17);
+                let x3 = f.bin(Opcode::Xor, x2, s3);
+                f.mov_into(seed, x3);
+                f.bini(Opcode::Andi, x3, POP - 1)
+            };
+            let p1 = rnd(f);
+            let p2 = rnd(f);
+            let g1 = load_w(f, A, p1, 0);
+            let g2 = load_w(f, A, p2, 0);
+            let f1 = f.call(fitness_id, &[g1]);
+            let f2 = f.call(fitness_id, &[g2]);
+            // Pick the fitter parent, then crossover with the other.
+            let better = f.bin(Opcode::Tge, f1, f2);
+            let t = f.new_block();
+            let e = f.new_block();
+            let j = f.new_block();
+            let win = f.fresh();
+            let lose = f.fresh();
+            f.br(better, t, e);
+            f.switch_to(t);
+            f.mov_into(win, g1);
+            f.mov_into(lose, g2);
+            f.jmp(j);
+            f.switch_to(e);
+            f.mov_into(win, g2);
+            f.mov_into(lose, g1);
+            f.jmp(j);
+            f.switch_to(j);
+            let cmask = rnd(f);
+            let m1 = f.bini(Opcode::Slli, cmask, 32);
+            let keep = f.bin(Opcode::And, win, m1);
+            let nm = f.un(Opcode::Not, m1);
+            let take = f.bin(Opcode::And, lose, nm);
+            let child = f.bin(Opcode::Or, keep, take);
+            store_w(f, OUT, i, 0, child);
+        });
+        // Copy the new population back for the next generation.
+        counted_loop(f, POP, 1, |f, i, _| {
+            let c = load_w(f, OUT, i, 0);
+            store_w(f, A, i, 0, c);
+        });
+    });
+    f.halt();
+    f.finish();
+
+    // fitness(g) = weighted popcount over 8-bit nibbles.
+    let mut fit = p.func("fitness", 1);
+    let g = fit.param(0);
+    let acc = fit.fresh();
+    fit.iconst_into(acc, 0);
+    counted_loop(&mut fit, 8, 1, |f, k, _| {
+        let sh = f.bini(Opcode::Slli, k, 3);
+        let b = f.bin(Opcode::Srl, g, sh);
+        let byte = f.bini(Opcode::Andi, b, 0xff);
+        let w = f.addi(k, 1);
+        let m = f.mul(byte, w);
+        f.bin_into(acc, Opcode::Add, acc, m);
+    });
+    fit.ret(Some(acc));
+    fit.finish();
+
+    (p.finish(), (0..POP as u64).map(|i| OUT + 8 * i).collect())
+}
+
+/// `pm`: pattern match — correlate a 32-element template against 64
+/// library vectors and record the best-matching index; MAC-dense with
+/// a branchy running-max update.
+pub fn pm(v: Variant) -> (Program, Vec<u64>) {
+    const VECS: i64 = 64;
+    const LEN: i64 = 32;
+    let mut p = ProgramBuilder::new();
+    p.global_words(A, &words(56, (VECS * LEN) as usize, 256));
+    p.global_words(B, &words(57, LEN as usize, 256));
+    let mut f = p.func("pm", 0);
+    let best = f.fresh();
+    let best_i = f.fresh();
+    f.iconst_into(best, -1);
+    f.iconst_into(best_i, 0);
+    counted_loop(&mut f, VECS, 1, |f, i, _| {
+        let corr = f.fresh();
+        f.iconst_into(corr, 0);
+        let len8 = f.bini(Opcode::Muli, i, 8 * LEN);
+        let abase = f.iconst(A as i64);
+        let vp = f.add(abase, len8);
+        let tp = f.iconst(B as i64);
+        ptr_loop(f, LEN, unroll_of(v, 8), &[(vp, 8), (tp, 8)], |f, k| {
+            let a = f.load(Opcode::Ld, vp, 8 * k as i32);
+            let t = f.load(Opcode::Ld, tp, 8 * k as i32);
+            let m = f.mul(a, t);
+            f.bin_into(corr, Opcode::Add, corr, m);
+        });
+        let better = f.bin(Opcode::Tgt, corr, best);
+        let t = f.new_block();
+        let j = f.new_block();
+        f.br(better, t, j);
+        f.switch_to(t);
+        f.mov_into(best, corr);
+        f.mov_into(best_i, i);
+        f.jmp(j);
+        f.switch_to(j);
+    });
+    let z = f.iconst(0);
+    store_w(&mut f, OUT, z, 0, best);
+    let one = f.iconst(1);
+    store_w(&mut f, OUT, one, 0, best_i);
+    f.halt();
+    f.finish();
+    (p.finish(), vec![OUT, OUT + 8])
+}
+
+/// `qr`: QR decomposition of an 8×8 matrix by classical Gram-Schmidt —
+/// serial FP with divides and square roots on the critical path.
+pub fn qr(v: Variant) -> (Program, Vec<u64>) {
+    const N: i64 = 8;
+    let mut p = ProgramBuilder::new();
+    p.global_words(A, &floats(58, (N * N) as usize, 2.0));
+    let mut f = p.func("qr", 0);
+    // Q initially = A (work in place on a copy in OUT), R in COEF area
+    // is not checked; OUT holds Q.
+    counted_loop(&mut f, N * N, unroll_of(v, 8), |f, i, _| {
+        let x = load_w(f, A, i, 0);
+        store_w(f, OUT, i, 0, x);
+    });
+    counted_loop(&mut f, N, 1, |f, k, _| {
+        // norm = sqrt(sum(Q[:,k]^2))
+        let sum = f.fresh();
+        f.iconst_into(sum, 0);
+        counted_loop(f, N, unroll_of(v, 4), |f, r, _| {
+            let ri = f.bini(Opcode::Muli, r, N);
+            let qi = f.add(ri, k);
+            let q = load_w(f, OUT, qi, 0);
+            let sq = f.bin(Opcode::Fmul, q, q);
+            f.bin_into(sum, Opcode::Fadd, sum, sq);
+        });
+        let norm = f.un(Opcode::Fsqrt, sum);
+        counted_loop(f, N, unroll_of(v, 4), |f, r, _| {
+            let ri = f.bini(Opcode::Muli, r, N);
+            let qi = f.add(ri, k);
+            let q = load_w(f, OUT, qi, 0);
+            let d = f.bin(Opcode::Fdiv, q, norm);
+            store_w(f, OUT, qi, 0, d);
+        });
+        // Orthogonalize the remaining columns: j in k+1..N, but the
+        // loop must be countable, so run j over all N and predicate
+        // with j > k (nullified work models the triangular loop).
+        counted_loop(f, N, 1, |f, j, _| {
+            let live = f.bin(Opcode::Tgt, j, k);
+            let t = f.new_block();
+            let cont = f.new_block();
+            f.br(live, t, cont);
+            f.switch_to(t);
+            let dot = f.fresh();
+            f.iconst_into(dot, 0);
+            counted_loop(f, N, unroll_of(v, 4), |f, r, _| {
+                let ri = f.bini(Opcode::Muli, r, N);
+                let qk = f.add(ri, k);
+                let qj = f.add(ri, j);
+                let a = load_w(f, OUT, qk, 0);
+                let b = load_w(f, OUT, qj, 0);
+                let m = f.bin(Opcode::Fmul, a, b);
+                f.bin_into(dot, Opcode::Fadd, dot, m);
+            });
+            counted_loop(f, N, unroll_of(v, 4), |f, r, _| {
+                let ri = f.bini(Opcode::Muli, r, N);
+                let qk = f.add(ri, k);
+                let qj = f.add(ri, j);
+                let a = load_w(f, OUT, qk, 0);
+                let b = load_w(f, OUT, qj, 0);
+                let m = f.bin(Opcode::Fmul, dot, a);
+                let s = f.bin(Opcode::Fsub, b, m);
+                store_w(f, OUT, qj, 0, s);
+            });
+            f.jmp(cont);
+            f.switch_to(cont);
+        });
+    });
+    f.halt();
+    f.finish();
+    (p.finish(), (0..(N * N) as u64).map(|i| OUT + 8 * i).collect())
+}
+
+/// `svd`: one sweep of one-sided Jacobi on an 8×8 matrix — FP-heavy
+/// with data-dependent rotation decisions (predication-friendly
+/// diamonds around divides and square roots).
+pub fn svd(v: Variant) -> (Program, Vec<u64>) {
+    const N: i64 = 8;
+    let mut p = ProgramBuilder::new();
+    p.global_words(A, &floats(59, (N * N) as usize, 2.0));
+    let mut f = p.func("svd", 0);
+    counted_loop(&mut f, N * N, unroll_of(v, 8), |f, i, _| {
+        let x = load_w(f, A, i, 0);
+        store_w(f, OUT, i, 0, x);
+    });
+    let one = f.fconst(1.0);
+    let eps = f.fconst(1e-9);
+    counted_loop(&mut f, N - 1, 1, |f, pcol, _| {
+        counted_loop(f, N, 1, |f, qcol, _| {
+            let live = f.bin(Opcode::Tgt, qcol, pcol);
+            let t = f.new_block();
+            let cont = f.new_block();
+            f.br(live, t, cont);
+            f.switch_to(t);
+            let (al, be, ga) = (f.fresh(), f.fresh(), f.fresh());
+            f.iconst_into(al, 0);
+            f.iconst_into(be, 0);
+            f.iconst_into(ga, 0);
+            counted_loop(f, N, unroll_of(v, 4), |f, r, _| {
+                let ri = f.bini(Opcode::Muli, r, N);
+                let pi = f.add(ri, pcol);
+                let qi = f.add(ri, qcol);
+                let a = load_w(f, OUT, pi, 0);
+                let b = load_w(f, OUT, qi, 0);
+                let aa = f.bin(Opcode::Fmul, a, a);
+                let bb = f.bin(Opcode::Fmul, b, b);
+                let ab = f.bin(Opcode::Fmul, a, b);
+                f.bin_into(al, Opcode::Fadd, al, aa);
+                f.bin_into(be, Opcode::Fadd, be, bb);
+                f.bin_into(ga, Opcode::Fadd, ga, ab);
+            });
+            // Rotate only when |gamma| is significant.
+            let zero = f.fconst(0.0);
+            let neg = f.bin(Opcode::Flt, ga, zero);
+            let tban = f.new_block();
+            let tbon = f.new_block();
+            let join_abs = f.new_block();
+            let absg = f.fresh();
+            f.br(neg, tban, tbon);
+            f.switch_to(tban);
+            let gneg = f.bin(Opcode::Fsub, zero, ga);
+            f.mov_into(absg, gneg);
+            f.jmp(join_abs);
+            f.switch_to(tbon);
+            f.mov_into(absg, ga);
+            f.jmp(join_abs);
+            f.switch_to(join_abs);
+            let rotate = f.bin(Opcode::Fle, eps, absg);
+            let rot = f.new_block();
+            let done_pair = f.new_block();
+            f.br(rotate, rot, done_pair);
+            f.switch_to(rot);
+            let bma = f.bin(Opcode::Fsub, be, al);
+            let g2 = f.bin(Opcode::Fadd, ga, ga);
+            let zeta = f.bin(Opcode::Fdiv, bma, g2);
+            // t = sign(zeta) / (|zeta| + sqrt(1 + zeta^2))
+            let z2 = f.bin(Opcode::Fmul, zeta, zeta);
+            let z21 = f.bin(Opcode::Fadd, z2, one);
+            let rt = f.un(Opcode::Fsqrt, z21);
+            let zneg = f.bin(Opcode::Flt, zeta, zero);
+            let za = f.new_block();
+            let zb = f.new_block();
+            let zj = f.new_block();
+            let tval = f.fresh();
+            f.br(zneg, za, zb);
+            f.switch_to(za);
+            let nz = f.bin(Opcode::Fsub, zero, zeta);
+            let d1 = f.bin(Opcode::Fadd, nz, rt);
+            let mone = f.fconst(-1.0);
+            let t1 = f.bin(Opcode::Fdiv, mone, d1);
+            f.mov_into(tval, t1);
+            f.jmp(zj);
+            f.switch_to(zb);
+            let d2 = f.bin(Opcode::Fadd, zeta, rt);
+            let t2 = f.bin(Opcode::Fdiv, one, d2);
+            f.mov_into(tval, t2);
+            f.jmp(zj);
+            f.switch_to(zj);
+            let t2v = f.bin(Opcode::Fmul, tval, tval);
+            let c2 = f.bin(Opcode::Fadd, one, t2v);
+            let crt = f.un(Opcode::Fsqrt, c2);
+            let c = f.bin(Opcode::Fdiv, one, crt);
+            let s = f.bin(Opcode::Fmul, c, tval);
+            counted_loop(f, N, unroll_of(v, 2), |f, r, _| {
+                let ri = f.bini(Opcode::Muli, r, N);
+                let pi = f.add(ri, pcol);
+                let qi = f.add(ri, qcol);
+                let a = load_w(f, OUT, pi, 0);
+                let b = load_w(f, OUT, qi, 0);
+                let ca = f.bin(Opcode::Fmul, c, a);
+                let sb = f.bin(Opcode::Fmul, s, b);
+                let na = f.bin(Opcode::Fsub, ca, sb);
+                let sa = f.bin(Opcode::Fmul, s, a);
+                let cb = f.bin(Opcode::Fmul, c, b);
+                let nb = f.bin(Opcode::Fadd, sa, cb);
+                store_w(f, OUT, pi, 0, na);
+                store_w(f, OUT, qi, 0, nb);
+            });
+            f.jmp(done_pair);
+            f.switch_to(done_pair);
+            f.jmp(cont);
+            f.switch_to(cont);
+        });
+    });
+    f.halt();
+    f.finish();
+    (p.finish(), (0..(N * N) as u64).map(|i| OUT + 8 * i).collect())
+}

@@ -1,0 +1,127 @@
+//! # trips-workloads — the evaluation suite of Table 3
+//!
+//! The paper evaluates on four microbenchmarks (`dct8x8`, `sha`,
+//! `matrix`, `vadd`), seven signal-processing kernels (`cfar`, `conv`,
+//! `ct`, `genalg`, `pm`, `qr`, `svd`), five EEMBC programs
+//! (`a2time01`, `bezier02`, `basefp01`, `rspeed01`, `tblook01`), and
+//! five SPEC CPU2000 programs (`mcf`, `parser`, `bzip2`, `twolf`,
+//! `mgrid`) — §5.4. The EEMBC/SPEC binaries and inputs are not
+//! redistributable, so each benchmark is re-implemented here on the
+//! shared IR with the same algorithmic skeleton and concurrency
+//! profile (serial SHA, bandwidth-bound `vadd`/`conv`, pointer-chasing
+//! `mcf`, branchy `parser`/`twolf`, regular FP `mgrid`, …), sized for
+//! cycle-level simulation.
+//!
+//! Every workload builds from one IR at two levels of source quality:
+//! [`Variant::Compiled`] (no unrolling — the immature compiler's small
+//! blocks) and [`Variant::Hand`] (unrolled inner loops — the paper's
+//! hand-optimized kernels). The TRIPS backend then applies the
+//! matching [`Quality`]; the baseline always compiles the hand
+//! variant, mirroring the paper's mature Alpha compiler.
+//!
+//! ```
+//! use trips_workloads::suite;
+//! use trips_tasm::Quality;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let wl = suite::all().into_iter().find(|w| w.name == "vadd").unwrap();
+//! let compiled = wl.build_trips(Quality::Hand)?;
+//! assert!(compiled.stats.blocks > 0);
+//! let risc = wl.build_risc()?;
+//! assert!(!risc.insts.is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+mod data;
+mod eembc;
+mod kernels;
+mod micro;
+mod spec;
+pub mod suite;
+
+use trips_alpha::{compile_risc, RiscProgram};
+use trips_tasm::{compile, CompiledProgram, Program, Quality, TasmError};
+
+/// Benchmark class, as grouped in Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Class {
+    /// Microbenchmarks.
+    Micro,
+    /// Signal-processing library kernels.
+    Kernel,
+    /// EEMBC subset.
+    Eembc,
+    /// SPEC CPU2000 stand-ins.
+    Spec,
+}
+
+/// Source-quality variant: how aggressively the *source* is tuned
+/// (unrolling, block-merging opportunities).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// Straightforward source, as an immature compiler would see it.
+    Compiled,
+    /// Hand-tuned source: unrolled inner loops.
+    Hand,
+}
+
+impl Variant {
+    /// The matching backend quality.
+    pub fn quality(self) -> Quality {
+        match self {
+            Variant::Compiled => Quality::Compiled,
+            Variant::Hand => Quality::Hand,
+        }
+    }
+}
+
+/// One benchmark: a generator producing the IR and the memory cells
+/// that verify its result.
+pub struct Workload {
+    /// Table 3 name.
+    pub name: &'static str,
+    /// Suite grouping.
+    pub class: Class,
+    /// Builds the IR for a variant, returning the program and the
+    /// output cells to check against the reference interpreter.
+    pub gen: fn(Variant) -> (Program, Vec<u64>),
+}
+
+impl Workload {
+    /// The IR and check cells for `variant`.
+    pub fn ir(&self, variant: Variant) -> (Program, Vec<u64>) {
+        (self.gen)(variant)
+    }
+
+    /// Compiles the TRIPS image at the given quality (the source
+    /// variant follows the quality).
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend failures.
+    pub fn build_trips(&self, quality: Quality) -> Result<CompiledProgram, TasmError> {
+        let variant =
+            if quality == Quality::Hand { Variant::Hand } else { Variant::Compiled };
+        let (prog, _) = self.ir(variant);
+        compile(&prog, quality)
+    }
+
+    /// Compiles the baseline program (always from the hand variant:
+    /// the paper's Alpha compiler generates "extraordinarily
+    /// high-quality code").
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend failures.
+    pub fn build_risc(&self) -> Result<RiscProgram, Box<dyn std::error::Error>> {
+        let (prog, _) = self.ir(Variant::Hand);
+        Ok(compile_risc(&prog)?)
+    }
+}
+
+impl std::fmt::Debug for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Workload").field("name", &self.name).field("class", &self.class).finish()
+    }
+}

@@ -1,0 +1,286 @@
+//! The four microbenchmarks: `dct8x8`, `matrix`, `sha`, `vadd`.
+
+use trips_tasm::{Opcode, Program, ProgramBuilder};
+
+use crate::data::{counted_loop, floats, load_w, ptr_loop, store_w, unroll_of, words, A, B, COEF, OUT, SCRATCH};
+use crate::Variant;
+
+/// `vadd`: element-wise vector add of two 256-element `f64` arrays —
+/// pure L1 bandwidth (two loads + one store per element); the paper
+/// notes its TRIPS speedup caps near 2× because TRIPS has twice the
+/// Alpha's L1 ports.
+pub fn vadd(v: Variant) -> (Program, Vec<u64>) {
+    const N: i64 = 256;
+    let mut p = ProgramBuilder::new();
+    p.global_words(A, &floats(11, N as usize, 100.0));
+    p.global_words(B, &floats(12, N as usize, 100.0));
+    let mut f = p.func("vadd", 0);
+    let ap = f.iconst(A as i64);
+    let bp = f.iconst(B as i64);
+    let op = f.iconst(OUT as i64);
+    let u = unroll_of(v, 8);
+    ptr_loop(&mut f, N, u, &[(ap, 8), (bp, 8), (op, 8)], |f, k| {
+        let a = f.load(Opcode::Ld, ap, 8 * k as i32);
+        let b = f.load(Opcode::Ld, bp, 8 * k as i32);
+        let s = f.bin(Opcode::Fadd, a, b);
+        f.store(Opcode::Sd, op, 8 * k as i32, s);
+    });
+    f.halt();
+    f.finish();
+    (p.finish(), (0..N as u64).map(|i| OUT + 8 * i).collect())
+}
+
+/// `matrix`: 16×16 integer matrix multiply — compute-dense with
+/// reused operands.
+pub fn matrix(v: Variant) -> (Program, Vec<u64>) {
+    const N: i64 = 16;
+    let mut p = ProgramBuilder::new();
+    p.global_words(A, &words(21, (N * N) as usize, 64));
+    p.global_words(B, &words(22, (N * N) as usize, 64));
+    let mut f = p.func("matrix", 0);
+    let abase = f.iconst(A as i64);
+    let bbase = f.iconst(B as i64);
+    let obase = f.iconst(OUT as i64);
+    counted_loop(&mut f, N, 1, |f, i, _| {
+        let row8 = f.bini(Opcode::Muli, i, 8 * N);
+        counted_loop(f, N, 1, |f, j, _| {
+            let acc = f.fresh();
+            f.iconst_into(acc, 0);
+            // Walk A's row and B's column with pointers.
+            let arp = f.add(abase, row8);
+            let j8 = f.bini(Opcode::Slli, j, 3);
+            let bcp = f.add(bbase, j8);
+            ptr_loop(f, N, unroll_of(v, 8), &[(arp, 8), (bcp, 8 * N)], |f, k| {
+                let a = f.load(Opcode::Ld, arp, 8 * k as i32);
+                let boff = (8 * N) as i32 * k as i32;
+                let b = if boff <= 255 {
+                    f.load(Opcode::Ld, bcp, boff)
+                } else {
+                    let bp = f.addi(bcp, boff as i64);
+                    f.load(Opcode::Ld, bp, 0)
+                };
+                let m = f.mul(a, b);
+                f.bin_into(acc, Opcode::Add, acc, m);
+            });
+            let orow = f.add(obase, row8);
+            let oa = f.add(orow, j8);
+            f.store(Opcode::Sd, oa, 0, acc);
+        });
+    });
+    f.halt();
+    f.finish();
+    (p.finish(), (0..(N * N) as u64).map(|i| OUT + 8 * i).collect())
+}
+
+/// `sha`: SHA-1 compression rounds over four 512-bit message blocks —
+/// an almost entirely serial dependence chain through the five state
+/// words; the paper reports a TRIPS *slowdown* here because the Alpha
+/// already mines out the little concurrency there is.
+pub fn sha(_v: Variant) -> (Program, Vec<u64>) {
+    const BLOCKS: i64 = 4;
+    let mut p = ProgramBuilder::new();
+    p.global_words(A, &words(31, (16 * BLOCKS) as usize, 1 << 32));
+    let mut f = p.func("sha", 0);
+    let mask = f.iconst(0xffff_ffff);
+    // State registers.
+    let h: Vec<_> = [0x67452301u64, 0xefcdab89, 0x98badcfe, 0x10325476, 0xc3d2e1f0]
+        .iter()
+        .map(|&x| {
+            let r = f.fresh();
+            f.iconst_into(r, x as i64);
+            r
+        })
+        .collect();
+
+    let rotl = |f: &mut trips_tasm::FuncBuilder<'_>, x: trips_tasm::VReg, n: i64, mask| {
+        let hi = f.bini(Opcode::Slli, x, n);
+        let lo = f.bini(Opcode::Srli, x, 32 - n);
+        let or = f.bin(Opcode::Or, hi, lo);
+        f.bin(Opcode::And, or, mask)
+    };
+
+    counted_loop(&mut f, BLOCKS, 1, |f, blk, _| {
+        // Load the 16 message words into the schedule scratch.
+        let b16 = f.bini(Opcode::Slli, blk, 4);
+        counted_loop(f, 16, 1, |f, t, _| {
+            let mi = f.add(b16, t);
+            let w = load_w(f, A, mi, 0);
+            store_w(f, SCRATCH, t, 0, w);
+        });
+        let (a0, b0, c0, d0, e0) =
+            (f.mov(h[0]), f.mov(h[1]), f.mov(h[2]), f.mov(h[3]), f.mov(h[4]));
+        let (a, b, c, d, e) = (f.fresh(), f.fresh(), f.fresh(), f.fresh(), f.fresh());
+        f.mov_into(a, a0);
+        f.mov_into(b, b0);
+        f.mov_into(c, c0);
+        f.mov_into(d, d0);
+        f.mov_into(e, e0);
+        // Four phases of 20 rounds with the SHA-1 round functions.
+        for phase in 0..4u32 {
+            let k = [0x5a827999u64, 0x6ed9eba1, 0x8f1bbcdc, 0xca62c1d6][phase as usize];
+            counted_loop(f, 20, 1, |f, t, _| {
+                let t80 = f.bini(Opcode::Addi, t, (phase * 20) as i64);
+                // Schedule: W[t] for t>=16 from the circular window.
+                let t15 = f.bini(Opcode::Andi, t80, 15);
+                let w_t = {
+                    // w = rotl1(W[t-3] ^ W[t-8] ^ W[t-14] ^ W[t-16]);
+                    // for t < 16 the stored word is used directly, so
+                    // compute both and select by predicate.
+                    let is_lo = f.bini(Opcode::Tlti, t80, 16);
+                    let lo_w = load_w(f, SCRATCH, t15, 0);
+                    let i3 = f.bini(Opcode::Addi, t80, -3);
+                    let i8 = f.bini(Opcode::Addi, t80, -8);
+                    let i14 = f.bini(Opcode::Addi, t80, -14);
+                    let m3 = f.bini(Opcode::Andi, i3, 15);
+                    let m8 = f.bini(Opcode::Andi, i8, 15);
+                    let m14 = f.bini(Opcode::Andi, i14, 15);
+                    let w3 = load_w(f, SCRATCH, m3, 0);
+                    let w8 = load_w(f, SCRATCH, m8, 0);
+                    let w14 = load_w(f, SCRATCH, m14, 0);
+                    let x1 = f.bin(Opcode::Xor, w3, w8);
+                    let x2 = f.bin(Opcode::Xor, x1, w14);
+                    let x3 = f.bin(Opcode::Xor, x2, lo_w);
+                    let hi_w = rotl(f, x3, 1, mask);
+                    // select: is_lo ? lo_w : hi_w  (branch-free)
+                    let ones = f.fresh();
+                    f.iconst_into(ones, -1);
+                    let sel = f.bin(Opcode::Mul, is_lo, ones); // 0 or -1
+                    let not_sel = f.un(Opcode::Not, sel);
+                    let l = f.bin(Opcode::And, lo_w, sel);
+                    let r = f.bin(Opcode::And, hi_w, not_sel);
+                    f.bin(Opcode::Or, l, r)
+                };
+                store_w(f, SCRATCH, t15, 0, w_t);
+                // Round function by phase.
+                let func = match phase {
+                    0 => {
+                        // f = (b & c) | (!b & d)
+                        let bc = f.bin(Opcode::And, b, c);
+                        let nb = f.un(Opcode::Not, b);
+                        let nbd = f.bin(Opcode::And, nb, d);
+                        f.bin(Opcode::Or, bc, nbd)
+                    }
+                    1 | 3 => {
+                        let x = f.bin(Opcode::Xor, b, c);
+                        f.bin(Opcode::Xor, x, d)
+                    }
+                    _ => {
+                        let bc = f.bin(Opcode::And, b, c);
+                        let bd = f.bin(Opcode::And, b, d);
+                        let cd = f.bin(Opcode::And, c, d);
+                        let o = f.bin(Opcode::Or, bc, bd);
+                        f.bin(Opcode::Or, o, cd)
+                    }
+                };
+                let a5 = rotl(f, a, 5, mask);
+                let kreg = f.iconst(k as i64);
+                let s1 = f.add(a5, func);
+                let s2 = f.add(s1, e);
+                let s3 = f.add(s2, w_t);
+                let s4 = f.add(s3, kreg);
+                let tmp = f.bin(Opcode::And, s4, mask);
+                f.mov_into(e, d);
+                f.mov_into(d, c);
+                let b30 = rotl(f, b, 30, mask);
+                f.mov_into(c, b30);
+                f.mov_into(b, a);
+                f.mov_into(a, tmp);
+            });
+        }
+        for (hr, s) in h.iter().zip([a, b, c, d, e]) {
+            let sum = f.add(*hr, s);
+            let m = f.bin(Opcode::And, sum, mask);
+            f.mov_into(*hr, m);
+        }
+    });
+    for (i, hr) in h.iter().enumerate() {
+        let idx = f.iconst(i as i64);
+        store_w(&mut f, OUT, idx, 0, *hr);
+    }
+    f.halt();
+    f.finish();
+    (p.finish(), (0..5).map(|i| OUT + 8 * i).collect())
+}
+
+/// `dct8x8`: two-dimensional 8×8 discrete cosine transform of four
+/// input tiles, as two passes of coefficient-matrix multiplication —
+/// FP-dense with ample block-level concurrency.
+pub fn dct8x8(v: Variant) -> (Program, Vec<u64>) {
+    const TILES: i64 = 4;
+    let mut p = ProgramBuilder::new();
+    p.global_words(A, &floats(41, (TILES * 64) as usize, 255.0));
+    // DCT-II coefficient matrix C[u][x].
+    let mut coef = Vec::with_capacity(64);
+    for u in 0..8 {
+        for x in 0..8 {
+            let s = if u == 0 { (1.0f64 / 8.0).sqrt() } else { (2.0f64 / 8.0).sqrt() };
+            let val = s * ((std::f64::consts::PI * (2.0 * x as f64 + 1.0) * u as f64) / 16.0).cos();
+            coef.push(val.to_bits());
+        }
+    }
+    p.global_words(COEF, &coef);
+    let mut f = p.func("dct8x8", 0);
+    let unroll = unroll_of(v, 8);
+    // Pass 1: T = C × tile (rows), into SCRATCH. Pass 2: OUT = T × Cᵀ.
+    counted_loop(&mut f, TILES, 1, |f, tile, _| {
+        let tbase = f.bini(Opcode::Slli, tile, 6);
+        counted_loop(f, 8, 1, |f, u, _| {
+            counted_loop(f, 8, 1, |f, x, _| {
+                let acc = f.fresh();
+                f.iconst_into(acc, 0);
+                let urow8 = f.bini(Opcode::Muli, u, 64);
+                let cbase = f.iconst(COEF as i64);
+                let crp = f.add(cbase, urow8);
+                let abase = f.iconst(A as i64);
+                let t8 = f.bini(Opcode::Slli, tbase, 3);
+                let x8 = f.bini(Opcode::Slli, x, 3);
+                let a0 = f.add(abase, t8);
+                let acp = f.add(a0, x8);
+                ptr_loop(f, 8, unroll, &[(crp, 8), (acp, 64)], |f, k| {
+                    let c = f.load(Opcode::Ld, crp, 8 * k as i32);
+                    let aoff = 64 * k as i32;
+                    let a = if aoff <= 255 {
+                        f.load(Opcode::Ld, acp, aoff)
+                    } else {
+                        let ap = f.addi(acp, aoff as i64);
+                        f.load(Opcode::Ld, ap, 0)
+                    };
+                    let m = f.bin(Opcode::Fmul, c, a);
+                    f.bin_into(acc, Opcode::Fadd, acc, m);
+                });
+                let urow = f.bini(Opcode::Slli, u, 3);
+                let oi0 = f.add(urow, x);
+                let oi = f.add(tbase, oi0);
+                store_w(f, SCRATCH, oi, 0, acc);
+            });
+        });
+        counted_loop(f, 8, 1, |f, u, _| {
+            counted_loop(f, 8, 1, |f, vcol, _| {
+                let acc = f.fresh();
+                f.iconst_into(acc, 0);
+                let urow = f.bini(Opcode::Slli, u, 3);
+                let vrow = f.bini(Opcode::Slli, vcol, 3);
+                let urow8 = f.bini(Opcode::Slli, urow, 3);
+                let vrow8 = f.bini(Opcode::Slli, vrow, 3);
+                let sbase = f.iconst(SCRATCH as i64);
+                let t8 = f.bini(Opcode::Slli, tbase, 3);
+                let s0 = f.add(sbase, t8);
+                let trp = f.add(s0, urow8);
+                let cbase = f.iconst(COEF as i64);
+                let crp = f.add(cbase, vrow8);
+                ptr_loop(f, 8, unroll, &[(trp, 8), (crp, 8)], |f, k| {
+                    let t = f.load(Opcode::Ld, trp, 8 * k as i32);
+                    let c = f.load(Opcode::Ld, crp, 8 * k as i32);
+                    let m = f.bin(Opcode::Fmul, t, c);
+                    f.bin_into(acc, Opcode::Fadd, acc, m);
+                });
+                let oi0 = f.add(urow, vcol);
+                let oi = f.add(tbase, oi0);
+                store_w(f, OUT, oi, 0, acc);
+            });
+        });
+    });
+    f.halt();
+    f.finish();
+    (p.finish(), (0..(TILES * 64) as u64).map(|i| OUT + 8 * i).collect())
+}

@@ -1,0 +1,328 @@
+//! SPEC CPU2000 stand-ins: `mcf`, `parser`, `bzip2`, `twolf`, `mgrid`.
+//!
+//! The SPEC sources and reference inputs are licensed, so each program
+//! here is a synthetic kernel with the same performance-relevant
+//! character: `mcf` chases pointers, `parser` hashes and walks chains,
+//! `bzip2` runs a serial move-to-front transform, `twolf` evaluates
+//! branchy placement swaps, and `mgrid` relaxes a regular 3-D stencil.
+
+use trips_tasm::{Opcode, Program, ProgramBuilder};
+
+use crate::data::{counted_loop, floats, load_w, ptr_loop, store_w, unroll_of, words, Rng, A, B, COEF, OUT};
+use crate::Variant;
+
+/// `mcf`: network-simplex stand-in — three passes of pointer chasing
+/// over a 1024-node randomized linked list, relaxing a cost field.
+/// Memory-latency-bound with almost no ILP.
+pub fn mcf(_v: Variant) -> (Program, Vec<u64>) {
+    const NODES: u64 = 1024;
+    const PASSES: i64 = 3;
+    let mut p = ProgramBuilder::new();
+    // Node layout: 16 bytes each — [next_addr, cost]. A random
+    // permutation cycle defeats any prefetch-friendly order.
+    let mut order: Vec<u64> = (1..NODES).collect();
+    let mut r = Rng::new(71);
+    for i in (1..order.len()).rev() {
+        let j = (r.below(i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+    let mut chain = vec![0u64; NODES as usize];
+    let mut cur = 0usize;
+    for &n in &order {
+        chain[cur] = n;
+        cur = n as usize;
+    }
+    chain[cur] = 0; // close the cycle
+    let mut cells = Vec::with_capacity(2 * NODES as usize);
+    for (i, &nxt) in chain.iter().enumerate() {
+        cells.push(A + nxt * 16);
+        cells.push(r.below(1000) + i as u64);
+    }
+    p.global_words(A, &cells);
+
+    let mut f = p.func("mcf", 0);
+    let total = f.fresh();
+    f.iconst_into(total, 0);
+    counted_loop(&mut f, PASSES, 1, |f, pass, _| {
+        let node = f.fresh();
+        f.iconst_into(node, A as i64);
+        counted_loop(f, NODES as i64, 1, |f, _i, _| {
+            let cost = f.load(Opcode::Ld, node, 8);
+            let adj = f.add(cost, pass);
+            let red = f.bini(Opcode::Andi, adj, 0xffff);
+            f.store(Opcode::Sd, node, 8, red);
+            f.bin_into(total, Opcode::Add, total, red);
+            let nxt = f.load(Opcode::Ld, node, 0);
+            f.mov_into(node, nxt);
+        });
+    });
+    let z = f.iconst(0);
+    store_w(&mut f, OUT, z, 0, total);
+    f.halt();
+    f.finish();
+    (p.finish(), vec![OUT])
+}
+
+/// `parser`: dictionary lookup — hash 256 words and walk bucket
+/// chains comparing keys; control-flow-heavy with unpredictable
+/// branches, like link-grammar parsing's dictionary phase.
+pub fn parser(_v: Variant) -> (Program, Vec<u64>) {
+    const QUERIES: i64 = 192;
+    const BUCKETS: u64 = 32;
+    const WORDS: u64 = 128;
+    let mut p = ProgramBuilder::new();
+    let mut r = Rng::new(72);
+    // Dictionary: WORDS entries of [key, next_index+1] chained into
+    // buckets; bucket heads hold index+1 (0 = empty).
+    let keys: Vec<u64> = (0..WORDS).map(|_| r.next_u64() >> 16).collect();
+    let mut heads = vec![0u64; BUCKETS as usize];
+    let mut entries = vec![0u64; 2 * WORDS as usize];
+    for (i, &k) in keys.iter().enumerate() {
+        let b = (k % BUCKETS) as usize;
+        entries[2 * i] = k;
+        entries[2 * i + 1] = heads[b];
+        heads[b] = i as u64 + 1;
+    }
+    p.global_words(COEF, &heads);
+    p.global_words(A, &entries);
+    // Queries: a mix of present and absent keys.
+    let queries: Vec<u64> =
+        (0..QUERIES).map(|i| if i % 3 == 0 { r.next_u64() >> 16 } else { keys[(r.below(WORDS)) as usize] }).collect();
+    p.global_words(B, &queries);
+
+    let mut f = p.func("parser", 0);
+    let hits = f.fresh();
+    f.iconst_into(hits, 0);
+    counted_loop(&mut f, QUERIES, 1, |f, qi, _| {
+        let q = load_w(f, B, qi, 0);
+        let b = f.bini(Opcode::Modi, q, BUCKETS as i64);
+        let cur = f.fresh();
+        let head = load_w(f, COEF, b, 0);
+        f.mov_into(cur, head);
+        let loop_h = f.new_block();
+        let body = f.new_block();
+        let hit = f.new_block();
+        let miss_step = f.new_block();
+        let done = f.new_block();
+        f.jmp(loop_h);
+        f.switch_to(loop_h);
+        let live = f.bini(Opcode::Tnei, cur, 0);
+        f.br(live, body, done);
+        f.switch_to(body);
+        let idx = f.addi(cur, -1);
+        let eb = f.bini(Opcode::Slli, idx, 4);
+        let ab = f.iconst(A as i64);
+        let ea = f.add(ab, eb);
+        let k = f.load(Opcode::Ld, ea, 0);
+        let eq = f.bin(Opcode::Teq, k, q);
+        f.br(eq, hit, miss_step);
+        f.switch_to(hit);
+        f.bini_into(hits, Opcode::Addi, hits, 1);
+        f.jmp(done);
+        f.switch_to(miss_step);
+        let nxt = f.load(Opcode::Ld, ea, 8);
+        f.mov_into(cur, nxt);
+        f.jmp(loop_h);
+        f.switch_to(done);
+    });
+    let z = f.iconst(0);
+    store_w(&mut f, OUT, z, 0, hits);
+    f.halt();
+    f.finish();
+    (p.finish(), vec![OUT])
+}
+
+/// `bzip2`: move-to-front transform over a 2 KB buffer with a
+/// 64-symbol alphabet — the data-dependent search and shift loops are
+/// serial and branchy, like the compressor's entropy stage.
+pub fn bzip2(_v: Variant) -> (Program, Vec<u64>) {
+    const N: i64 = 512;
+    const SYMS: i64 = 64;
+    let mut p = ProgramBuilder::new();
+    p.global_words(A, &words(73, N as usize, SYMS as u64));
+    // MTF list initialized 0..SYMS in scratch.
+    p.global_words(B, &(0..SYMS as u64).collect::<Vec<_>>());
+    let mut f = p.func("bzip2", 0);
+    counted_loop(&mut f, N, 1, |f, i, _| {
+        let sym = load_w(f, A, i, 0);
+        // Find the symbol's rank by linear search.
+        let rank = f.fresh();
+        f.iconst_into(rank, 0);
+        let head = f.new_block();
+        let step = f.new_block();
+        let found = f.new_block();
+        f.jmp(head);
+        f.switch_to(head);
+        let v = load_w(f, B, rank, 0);
+        let eq = f.bin(Opcode::Teq, v, sym);
+        f.br(eq, found, step);
+        f.switch_to(step);
+        f.bini_into(rank, Opcode::Addi, rank, 1);
+        f.jmp(head);
+        f.switch_to(found);
+        store_w(f, OUT, i, 0, rank);
+        // Move to front: shift list[0..rank] up by one.
+        let k = f.fresh();
+        f.mov_into(k, rank);
+        let sh = f.new_block();
+        let sb = f.new_block();
+        let se = f.new_block();
+        f.jmp(sh);
+        f.switch_to(sh);
+        let more = f.bini(Opcode::Tgti, k, 0);
+        f.br(more, sb, se);
+        f.switch_to(sb);
+        let prev = load_w(f, B, k, -8);
+        store_w(f, B, k, 0, prev);
+        f.bini_into(k, Opcode::Addi, k, -1);
+        f.jmp(sh);
+        f.switch_to(se);
+        let z = f.fresh();
+        f.iconst_into(z, 0);
+        store_w(f, B, z, 0, sym);
+    });
+    f.halt();
+    f.finish();
+    (p.finish(), (0..N as u64).map(|i| OUT + 8 * i).collect())
+}
+
+/// `twolf`: standard-cell placement stand-in — evaluate 256 proposed
+/// cell swaps with absolute-value wirelength deltas and accept the
+/// improving ones; short branchy computations over scattered memory.
+pub fn twolf(_v: Variant) -> (Program, Vec<u64>) {
+    const CELLS: u64 = 128;
+    const SWAPS: i64 = 256;
+    let mut p = ProgramBuilder::new();
+    let mut r = Rng::new(74);
+    // Cell positions (x, y) packed per cell, plus a partner net.
+    let mut cells = Vec::new();
+    for _ in 0..CELLS {
+        cells.push(r.below(1 << 12));
+        cells.push(r.below(1 << 12));
+    }
+    p.global_words(A, &cells);
+    let pairs: Vec<u64> = (0..2 * SWAPS as u64).map(|_| r.below(CELLS)).collect();
+    p.global_words(B, &pairs);
+    let mut f = p.func("twolf", 0);
+    let accepted = f.fresh();
+    f.iconst_into(accepted, 0);
+    let abs = |f: &mut trips_tasm::FuncBuilder<'_>, x: trips_tasm::VReg| {
+        let neg = f.bini(Opcode::Tlti, x, 0);
+        let t = f.new_block();
+        let e = f.new_block();
+        let j = f.new_block();
+        let out = f.fresh();
+        f.br(neg, t, e);
+        f.switch_to(t);
+        let zero = f.iconst(0);
+        let n = f.sub(zero, x);
+        f.mov_into(out, n);
+        f.jmp(j);
+        f.switch_to(e);
+        f.mov_into(out, x);
+        f.jmp(j);
+        f.switch_to(j);
+        out
+    };
+    counted_loop(&mut f, SWAPS, 1, |f, s, _| {
+        let s2 = f.bini(Opcode::Slli, s, 1);
+        let ca = load_w(f, B, s2, 0);
+        let cb = load_w(f, B, s2, 8);
+        let ai = f.bini(Opcode::Slli, ca, 1);
+        let bi = f.bini(Opcode::Slli, cb, 1);
+        let ax = load_w(f, A, ai, 0);
+        let ay = load_w(f, A, ai, 8);
+        let bx = load_w(f, A, bi, 0);
+        let by = load_w(f, A, bi, 8);
+        // Wirelength to the origin-anchored net before and after swap.
+        let dx0 = f.sub(ax, ay);
+        let dx1 = f.sub(bx, by);
+        let d0 = abs(f, dx0);
+        let d1 = abs(f, dx1);
+        let before = f.add(d0, d1);
+        let sx = f.sub(ax, by);
+        let sy = f.sub(bx, ay);
+        let e0 = abs(f, sx);
+        let e1 = abs(f, sy);
+        let after = f.add(e0, e1);
+        let improves = f.bin(Opcode::Tlt, after, before);
+        let acc_b = f.new_block();
+        let j = f.new_block();
+        f.br(improves, acc_b, j);
+        f.switch_to(acc_b);
+        // Swap the y coordinates.
+        store_w(f, A, ai, 8, by);
+        store_w(f, A, bi, 8, ay);
+        f.bini_into(accepted, Opcode::Addi, accepted, 1);
+        f.jmp(j);
+        f.switch_to(j);
+        store_w(f, OUT, s, 8, after);
+    });
+    let z = f.iconst(0);
+    store_w(&mut f, OUT, z, 0, accepted);
+    f.halt();
+    f.finish();
+    (p.finish(), (0..SWAPS as u64 + 1).map(|i| OUT + 8 * i).collect())
+}
+
+/// `mgrid`: one Jacobi sweep of a 7-point stencil over a 16³ `f64`
+/// grid — the regular, FP-dense multigrid smoother.
+pub fn mgrid(v: Variant) -> (Program, Vec<u64>) {
+    const N: i64 = 16;
+    let mut p = ProgramBuilder::new();
+    p.global_words(A, &floats(75, (N * N * N) as usize, 1.0));
+    let mut f = p.func("mgrid", 0);
+    let c0 = f.fconst(0.5);
+    let c1 = f.fconst(1.0 / 12.0);
+    counted_loop(&mut f, N - 2, 1, |f, i0, _| {
+        let i = f.addi(i0, 1);
+        let ib = f.bini(Opcode::Muli, i, N * N);
+        counted_loop(f, N - 2, 1, |f, j0, _| {
+            let j = f.addi(j0, 1);
+            let jb = f.bini(Opcode::Muli, j, N);
+            let ij = f.add(ib, jb);
+            // Pointer-walk the pencil: neighbours at constant offsets
+            // except the ±N² planes, which need an explicit add.
+            let ij8 = f.bini(Opcode::Slli, ij, 3);
+            let abase = f.iconst(A as i64);
+            let a0 = f.add(abase, ij8);
+            let ip = f.addi(a0, 8);
+            let obase = f.iconst(OUT as i64);
+            let o0 = f.add(obase, ij8);
+            let op = f.addi(o0, 8);
+            let up = f.addi(ip, 8 * N * N);
+            let dp = f.addi(ip, -8 * N * N);
+            ptr_loop(f, N - 2, unroll_of(v, 2), &[(ip, 8), (op, 8), (up, 8), (dp, 8)], |f, k| {
+                let o = 8 * k as i32;
+                let c = f.load(Opcode::Ld, ip, o);
+                let e = f.load(Opcode::Ld, ip, o + 8);
+                let w = f.load(Opcode::Ld, ip, o - 8);
+                let n = f.load(Opcode::Ld, ip, o + (N * 8) as i32);
+                let s = f.load(Opcode::Ld, ip, o - (N * 8) as i32);
+                let u = f.load(Opcode::Ld, up, o);
+                let d = f.load(Opcode::Ld, dp, o);
+                let s1 = f.bin(Opcode::Fadd, e, w);
+                let s2 = f.bin(Opcode::Fadd, n, s);
+                let s3 = f.bin(Opcode::Fadd, u, d);
+                let s4 = f.bin(Opcode::Fadd, s1, s2);
+                let s5 = f.bin(Opcode::Fadd, s4, s3);
+                let t0 = f.bin(Opcode::Fmul, c, c0);
+                let t1 = f.bin(Opcode::Fmul, s5, c1);
+                let r = f.bin(Opcode::Fadd, t0, t1);
+                f.store(Opcode::Sd, op, o, r);
+            });
+        });
+    });
+    f.halt();
+    f.finish();
+    // Check a sample of interior cells.
+    let mut cells = Vec::new();
+    for i in [1u64, 7, 14] {
+        for j in [1u64, 8, 14] {
+            for k in [1u64, 6, 14] {
+                cells.push(OUT + 8 * (i * 256 + j * 16 + k));
+            }
+        }
+    }
+    (p.finish(), cells)
+}

@@ -1,0 +1,64 @@
+//! The benchmark registry, in Table 3 order.
+
+use crate::{eembc, kernels, micro, spec, Class, Workload};
+
+/// All 21 benchmarks in Table 3 order.
+pub fn all() -> Vec<Workload> {
+    vec![
+        Workload { name: "dct8x8", class: Class::Micro, gen: micro::dct8x8 },
+        Workload { name: "matrix", class: Class::Micro, gen: micro::matrix },
+        Workload { name: "sha", class: Class::Micro, gen: micro::sha },
+        Workload { name: "vadd", class: Class::Micro, gen: micro::vadd },
+        Workload { name: "cfar", class: Class::Kernel, gen: kernels::cfar },
+        Workload { name: "conv", class: Class::Kernel, gen: kernels::conv },
+        Workload { name: "ct", class: Class::Kernel, gen: kernels::ct },
+        Workload { name: "genalg", class: Class::Kernel, gen: kernels::genalg },
+        Workload { name: "pm", class: Class::Kernel, gen: kernels::pm },
+        Workload { name: "qr", class: Class::Kernel, gen: kernels::qr },
+        Workload { name: "svd", class: Class::Kernel, gen: kernels::svd },
+        Workload { name: "a2time01", class: Class::Eembc, gen: eembc::a2time01 },
+        Workload { name: "bezier02", class: Class::Eembc, gen: eembc::bezier02 },
+        Workload { name: "basefp01", class: Class::Eembc, gen: eembc::basefp01 },
+        Workload { name: "rspeed01", class: Class::Eembc, gen: eembc::rspeed01 },
+        Workload { name: "tblook01", class: Class::Eembc, gen: eembc::tblook01 },
+        Workload { name: "181.mcf", class: Class::Spec, gen: spec::mcf },
+        Workload { name: "197.parser", class: Class::Spec, gen: spec::parser },
+        Workload { name: "256.bzip2", class: Class::Spec, gen: spec::bzip2 },
+        Workload { name: "300.twolf", class: Class::Spec, gen: spec::twolf },
+        Workload { name: "172.mgrid", class: Class::Spec, gen: spec::mgrid },
+    ]
+}
+
+/// Look up a benchmark by name.
+pub fn by_name(name: &str) -> Option<Workload> {
+    all().into_iter().find(|w| w.name == name)
+}
+
+/// Convenience constructor used in crate examples: `vadd` with a
+/// custom element count is the quickstart workload.
+pub fn vadd(_n: usize) -> Workload {
+    by_name("vadd").expect("vadd is registered")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_one_benchmarks_in_table3_order() {
+        let s = all();
+        assert_eq!(s.len(), 21);
+        assert_eq!(s[0].name, "dct8x8");
+        assert_eq!(s[20].name, "172.mgrid");
+        assert_eq!(s.iter().filter(|w| w.class == Class::Micro).count(), 4);
+        assert_eq!(s.iter().filter(|w| w.class == Class::Kernel).count(), 7);
+        assert_eq!(s.iter().filter(|w| w.class == Class::Eembc).count(), 5);
+        assert_eq!(s.iter().filter(|w| w.class == Class::Spec).count(), 5);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("sha").is_some());
+        assert!(by_name("nonexistent").is_none());
+    }
+}

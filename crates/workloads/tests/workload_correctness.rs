@@ -1,0 +1,107 @@
+//! Every benchmark must produce identical results on all four
+//! execution paths: the IR interpreter, the EDGE block interpreter
+//! (both variants), the cycle-level TRIPS core, and the baseline
+//! Alpha-like core.
+
+use trips_alpha::{AlphaConfig, AlphaCore};
+use trips_core::{CoreConfig, Processor};
+use trips_tasm::{blockinterp, compile, interp};
+use trips_workloads::{suite, Variant, Workload};
+
+const INTERP_BUDGET: u64 = 20_000_000;
+const CORE_BUDGET: u64 = 20_000_000;
+
+fn reference_cells(wl: &Workload, variant: Variant) -> (Vec<u64>, Vec<u64>) {
+    let (prog, cells) = wl.ir(variant);
+    let r = interp::run(&prog, INTERP_BUDGET)
+        .unwrap_or_else(|e| panic!("{}: IR interp failed: {e}", wl.name));
+    let vals = cells.iter().map(|&c| r.mem.read_u64(c)).collect();
+    (cells, vals)
+}
+
+fn check_trips(wl: &Workload, variant: Variant) {
+    let (cells, expect) = reference_cells(wl, variant);
+    let q = variant.quality();
+    let compiled = {
+        let (prog, _) = wl.ir(variant);
+        compile(&prog, q).unwrap_or_else(|e| panic!("{}({q}): compile failed: {e}", wl.name))
+    };
+    // Architectural block interpreter.
+    let bi = blockinterp::run_image(&compiled.image, INTERP_BUDGET)
+        .unwrap_or_else(|e| panic!("{}({q}): blockinterp failed: {e}", wl.name));
+    for (c, e) in cells.iter().zip(&expect) {
+        assert_eq!(bi.mem.read_u64(*c), *e, "{}({q}): blockinterp cell {c:#x}", wl.name);
+    }
+    // Cycle-level core.
+    let mut cpu = Processor::new(CoreConfig::prototype());
+    let stats = cpu
+        .run(&compiled.image, CORE_BUDGET)
+        .unwrap_or_else(|e| panic!("{}({q}): core failed: {e}", wl.name));
+    for (c, e) in cells.iter().zip(&expect) {
+        assert_eq!(cpu.memory().read_u64(*c), *e, "{}({q}): core cell {c:#x}", wl.name);
+    }
+    assert_eq!(stats.blocks_committed, bi.blocks, "{}({q}): block counts differ", wl.name);
+}
+
+fn check_alpha(wl: &Workload) {
+    let (cells, expect) = reference_cells(wl, Variant::Hand);
+    let prog = wl.build_risc().unwrap_or_else(|e| panic!("{}: risc failed: {e}", wl.name));
+    let mut cpu = AlphaCore::new(AlphaConfig::alpha21264(), &prog).expect("valid program");
+    cpu.run(CORE_BUDGET).unwrap_or_else(|e| panic!("{}: alpha failed: {e}", wl.name));
+    for (c, e) in cells.iter().zip(&expect) {
+        assert_eq!(cpu.memory().read_u64(*c), *e, "{}: alpha cell {c:#x}", wl.name);
+    }
+}
+
+macro_rules! workload_tests {
+    ($($test:ident => $name:expr;)+) => {
+        $(
+            mod $test {
+                use super::*;
+
+                fn wl() -> Workload {
+                    suite::by_name($name).expect("registered")
+                }
+
+                #[test]
+                fn trips_hand() {
+                    check_trips(&wl(), Variant::Hand);
+                }
+
+                #[test]
+                fn trips_compiled() {
+                    check_trips(&wl(), Variant::Compiled);
+                }
+
+                #[test]
+                fn alpha() {
+                    check_alpha(&wl());
+                }
+            }
+        )+
+    };
+}
+
+workload_tests! {
+    dct8x8 => "dct8x8";
+    matrix => "matrix";
+    sha => "sha";
+    vadd => "vadd";
+    cfar => "cfar";
+    conv => "conv";
+    ct => "ct";
+    genalg => "genalg";
+    pm => "pm";
+    qr => "qr";
+    svd => "svd";
+    a2time01 => "a2time01";
+    bezier02 => "bezier02";
+    basefp01 => "basefp01";
+    rspeed01 => "rspeed01";
+    tblook01 => "tblook01";
+    mcf => "181.mcf";
+    parser => "197.parser";
+    bzip2 => "256.bzip2";
+    twolf => "300.twolf";
+    mgrid => "172.mgrid";
+}

@@ -1,0 +1,40 @@
+//! Quickstart: compile a benchmark for the TRIPS core, run it, and
+//! inspect the result.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use trips::core::{CoreConfig, Processor};
+use trips::tasm::Quality;
+use trips::workloads::suite;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Pick a benchmark from the paper's suite and compile it at both
+    // code-quality levels.
+    let wl = suite::by_name("vadd").expect("vadd is registered");
+    for quality in [Quality::Compiled, Quality::Hand] {
+        let compiled = wl.build_trips(quality)?;
+        println!(
+            "vadd ({quality}): {} blocks, {:.1} useful instructions per block",
+            compiled.stats.blocks, compiled.stats.avg_block_size
+        );
+
+        let mut cpu = Processor::new(CoreConfig::prototype());
+        let stats = cpu.run(&compiled.image, 10_000_000)?;
+        println!(
+            "  {} cycles, {} blocks committed, IPC {:.2}, \
+             {} flushes, OPN avg hops {:.2}",
+            stats.cycles,
+            stats.blocks_committed,
+            stats.ipc(),
+            stats.branch_flushes + stats.violation_flushes,
+            stats.opn.avg_hops(),
+        );
+
+        // The result is real data: c[i] = a[i] + b[i] in f64.
+        let c0 = f64::from_bits(cpu.memory().read_u64(0x10_0000));
+        println!("  c[0] = {c0:.4}");
+    }
+    Ok(())
+}

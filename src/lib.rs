@@ -1,0 +1,54 @@
+//! # trips — a reproduction of the TRIPS prototype processor
+//!
+//! This umbrella crate re-exports the component crates of the TRIPS
+//! reproduction, a cycle-level model of the distributed, tiled,
+//! EDGE-ISA processor described in *Distributed Microarchitectural
+//! Protocols in the TRIPS Prototype Processor* (MICRO-39, 2006).
+//!
+//! ## Components
+//!
+//! * [`isa`] — the EDGE instruction set: instruction formats, block
+//!   containers, binary encoding, and the disassembler.
+//! * [`micronet`] — the micronetwork substrate: the deterministic
+//!   simulation kernel, the operand network (OPN) wormhole router, the
+//!   six control networks, and the on-chip network (OCN).
+//! * [`tasm`] — the block toolchain: a small typed IR, hyperblock
+//!   formation, the spatial scheduler, and the TRIPS/RISC backends.
+//! * [`core`] — the processor core: the five tile types and the
+//!   distributed fetch / execution / flush / commit protocols, plus the
+//!   critical-path analyzer.
+//! * [`mem`] — the secondary memory system: NUCA L2 memory tiles on the
+//!   OCN, network interface tiles, and the DRAM controller model.
+//! * [`alpha`] — the baseline comparator: an Alpha-21264-like
+//!   out-of-order core running a conventional RISC ISA.
+//! * [`workloads`] — the benchmark suite of the paper's evaluation,
+//!   re-implemented for both ISAs.
+//! * [`area`] — the area and floorplan model regenerating the paper's
+//!   physical-design tables.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use trips::core::{CoreConfig, Processor};
+//! use trips::tasm::Quality;
+//! use trips::workloads::suite;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let wl = suite::by_name("vadd").expect("registered benchmark");
+//! let image = wl.build_trips(Quality::Hand)?.image;
+//! let mut cpu = Processor::new(CoreConfig::prototype());
+//! let stats = cpu.run(&image, 2_000_000)?;
+//! assert!(stats.blocks_committed > 0);
+//! println!("vadd: {} cycles, IPC {:.2}", stats.cycles, stats.ipc());
+//! # Ok(())
+//! # }
+//! ```
+
+pub use trips_alpha as alpha;
+pub use trips_area as area;
+pub use trips_core as core;
+pub use trips_isa as isa;
+pub use trips_mem as mem;
+pub use trips_micronet as micronet;
+pub use trips_tasm as tasm;
+pub use trips_workloads as workloads;

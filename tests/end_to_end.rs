@@ -1,0 +1,136 @@
+//! Cross-crate integration tests: the toolchain, the cycle-level
+//! core, the baseline, and the protocols' timing claims.
+
+use trips::alpha::{AlphaConfig, AlphaCore};
+use trips::core::{CoreConfig, Processor};
+use trips::tasm::{blockinterp, compile, interp, Quality};
+use trips::workloads::{suite, Variant};
+
+/// A full four-way agreement run on a representative benchmark.
+#[test]
+fn four_way_agreement_on_cfar() {
+    let wl = suite::by_name("cfar").expect("registered");
+    let (prog, cells) = wl.ir(Variant::Hand);
+    let reference = interp::run(&prog, 10_000_000).expect("ir interp");
+
+    let compiled = compile(&prog, Quality::Hand).expect("compiles");
+    let bi = blockinterp::run_image(&compiled.image, 1_000_000).expect("block interp");
+    let mut cpu = Processor::new(CoreConfig::prototype());
+    cpu.run(&compiled.image, 50_000_000).expect("core");
+
+    let risc = wl.build_risc().expect("risc");
+    let mut alpha = AlphaCore::new(AlphaConfig::alpha21264(), &risc).expect("valid");
+    alpha.run(50_000_000).expect("alpha");
+
+    for &c in &cells {
+        let want = reference.mem.read_u64(c);
+        assert_eq!(bi.mem.read_u64(c), want, "block interp at {c:#x}");
+        assert_eq!(cpu.memory().read_u64(c), want, "core at {c:#x}");
+        assert_eq!(alpha.memory().read_u64(c), want, "alpha at {c:#x}");
+    }
+}
+
+/// §4.1: back-to-back block fetches sustain one dispatch every eight
+/// cycles, and a block's first instructions reach their tiles about
+/// ten cycles after the fetch begins.
+#[test]
+fn fetch_protocol_cadence() {
+    let wl = suite::by_name("vadd").expect("registered");
+    let image = wl.build_trips(Quality::Compiled).expect("compiles").image;
+    let mut cpu = Processor::new(CoreConfig::prototype());
+    let stats = cpu.run(&image, 10_000_000).expect("runs");
+
+    let tl = &stats.timeline;
+    assert!(tl.len() >= 8, "need a stream of blocks, got {}", tl.len());
+    // Dispatch commands never come closer than eight cycles apart.
+    let mut deltas = Vec::new();
+    for w in tl.windows(2) {
+        let d = w[1].dispatch.saturating_sub(w[0].dispatch);
+        assert!(d >= 8, "dispatch cadence violated: {d} cycles between blocks");
+        deltas.push(d);
+    }
+    // In steady state the cadence reaches exactly eight.
+    assert!(
+        deltas.iter().filter(|&&d| d == 8).count() >= deltas.len() / 2,
+        "steady-state cadence should be 8 cycles: {deltas:?}"
+    );
+    // The fetch pipeline in front of dispatch is five cycles
+    // (2 tag + 3 predict) once caches are warm.
+    let warm = &tl[4..];
+    assert!(
+        warm.iter().any(|t| t.dispatch - t.fetch <= 8),
+        "warm fetch-to-dispatch should be a few cycles"
+    );
+}
+
+/// §4.4: commits pipeline — a successor's fetch overlaps its
+/// predecessor's commit round trip.
+#[test]
+fn commit_pipeline_overlaps() {
+    let wl = suite::by_name("matrix").expect("registered");
+    let image = wl.build_trips(Quality::Compiled).expect("compiles").image;
+    let mut cpu = Processor::new(CoreConfig::prototype());
+    let stats = cpu.run(&image, 50_000_000).expect("runs");
+    let tl = &stats.timeline;
+    let overlapping = tl.windows(2).filter(|w| w[1].fetch < w[0].ack).count();
+    assert!(
+        overlapping * 2 > tl.len(),
+        "most block pairs should overlap fetch with predecessor commit"
+    );
+    for t in tl {
+        assert!(t.fetch <= t.dispatch);
+        assert!(t.dispatch < t.complete);
+        assert!(t.complete <= t.commit);
+        assert!(t.commit < t.ack);
+    }
+}
+
+/// The §5.2 observation that the replicated LSQs are heavily
+/// over-provisioned: peak occupancy stays a small fraction of the
+/// 4 × 256 entries.
+#[test]
+fn lsq_occupancy_stays_low() {
+    let wl = suite::by_name("vadd").expect("registered");
+    let image = wl.build_trips(Quality::Hand).expect("compiles").image;
+    let mut cpu = Processor::new(CoreConfig::prototype());
+    let stats = cpu.run(&image, 10_000_000).expect("runs");
+    assert!(stats.lsq_peak_occupancy > 0);
+    assert!(
+        stats.lsq_peak_occupancy <= 256 / 4 * 4,
+        "peak LSQ occupancy {} should stay well under the 256-entry copies",
+        stats.lsq_peak_occupancy
+    );
+}
+
+/// Doubling operand-network bandwidth never hurts and usually helps
+/// communication-bound kernels (the §7 extension).
+#[test]
+fn second_opn_does_not_hurt() {
+    let wl = suite::by_name("conv").expect("registered");
+    let image = wl.build_trips(Quality::Hand).expect("compiles").image;
+    let mut base = Processor::new(CoreConfig::prototype());
+    let b = base.run(&image, 50_000_000).expect("runs");
+    let mut wide =
+        Processor::new(CoreConfig { opn_networks: 2, ..CoreConfig::prototype() });
+    let w = wide.run(&image, 50_000_000).expect("runs");
+    assert!(w.cycles <= b.cycles + b.cycles / 20, "2x OPN regressed: {} vs {}", w.cycles, b.cycles);
+}
+
+/// The compiled/hand quality axis behaves as the paper describes:
+/// hand code has larger blocks and runs faster.
+#[test]
+fn hand_quality_beats_compiled() {
+    for name in ["vadd", "cfar", "conv", "matrix"] {
+        let wl = suite::by_name(name).expect("registered");
+        let hand = wl.build_trips(Quality::Hand).expect("hand");
+        let tcc = wl.build_trips(Quality::Compiled).expect("tcc");
+        assert!(
+            hand.stats.avg_block_size > tcc.stats.avg_block_size,
+            "{name}: hand blocks should be larger"
+        );
+        let mut cpu = Processor::new(CoreConfig::prototype());
+        let h = cpu.run(&hand.image, 100_000_000).expect("hand run");
+        let t = cpu.run(&tcc.image, 100_000_000).expect("tcc run");
+        assert!(h.cycles < t.cycles, "{name}: hand {} vs tcc {}", h.cycles, t.cycles);
+    }
+}
