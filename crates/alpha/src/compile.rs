@@ -136,7 +136,9 @@ pub fn compile_risc(prog: &Program) -> Result<RiscProgram, CompileError> {
             Fix::Call(f) => func_start[&f],
         };
         match &mut out.insts[idx] {
-            RInst::Bnz { target: t, .. } | RInst::Jump { target: t } | RInst::Call { target: t } => {
+            RInst::Bnz { target: t, .. }
+            | RInst::Jump { target: t }
+            | RInst::Call { target: t } => {
                 *t = target;
             }
             other => unreachable!("fixup against {other:?}"),
@@ -153,9 +155,7 @@ fn lower_inst(inst: &Inst, mut reg: impl FnMut(trips_tasm::VReg) -> Reg) -> RIns
     match *inst {
         Inst::Bin { op, dst, a, b } => RInst::Bin { op, rd: reg(dst), rs1: reg(a), rs2: reg(b) },
         Inst::Un { op, dst, a } => RInst::Un { op, rd: reg(dst), rs1: reg(a) },
-        Inst::BinImm { op, dst, a, imm } => {
-            RInst::BinImm { op, rd: reg(dst), rs1: reg(a), imm }
-        }
+        Inst::BinImm { op, dst, a, imm } => RInst::BinImm { op, rd: reg(dst), rs1: reg(a), imm },
         Inst::Const { dst, val } => RInst::Const { rd: reg(dst), val },
         Inst::Load { op, dst, addr, off } => RInst::Load { op, rd: reg(dst), rs1: reg(addr), off },
         Inst::Store { op, addr, off, val } => {

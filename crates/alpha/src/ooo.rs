@@ -113,7 +113,11 @@ pub struct AlphaStats {
 impl AlphaStats {
     /// Committed instructions per cycle.
     pub fn ipc(&self) -> f64 {
-        if self.cycles == 0 { 0.0 } else { self.insts_committed as f64 / self.cycles as f64 }
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.insts_committed as f64 / self.cycles as f64
+        }
     }
 }
 
@@ -181,12 +185,7 @@ struct Tournament {
 
 impl Tournament {
     fn new() -> Tournament {
-        Tournament {
-            local: vec![1; 1024],
-            gshare: vec![1; 4096],
-            chooser: vec![1; 4096],
-            ghist: 0,
-        }
+        Tournament { local: vec![1; 1024], gshare: vec![1; 4096], chooser: vec![1; 4096], ghist: 0 }
     }
 
     fn idx(&self, pc: usize) -> (usize, usize, usize) {
@@ -197,7 +196,11 @@ impl Tournament {
 
     fn predict(&self, pc: usize) -> bool {
         let (l, g, c) = self.idx(pc);
-        if self.chooser[c] >= 2 { self.gshare[g] >= 2 } else { self.local[l] >= 2 }
+        if self.chooser[c] >= 2 {
+            self.gshare[g] >= 2
+        } else {
+            self.local[l] >= 2
+        }
     }
 
     fn train(&mut self, pc: usize, ghist_at_pred: u32, taken: bool) {
@@ -342,15 +345,15 @@ impl AlphaCore {
     fn is_hit(&self, ea: u64) -> bool {
         let line = ea >> 6;
         let set = (line as usize) % self.cfg.l1_sets;
-        let tag = line as u64;
-        self.tags[set].iter().any(|t| *t == Some(tag))
+        let tag = line;
+        self.tags[set].contains(&Some(tag))
     }
 
     fn install(&mut self, ea: u64) {
         let line = ea >> 6;
         let set = (line as usize) % self.cfg.l1_sets;
-        let tag = line as u64;
-        if self.tags[set].iter().any(|t| *t == Some(tag)) {
+        let tag = line;
+        if self.tags[set].contains(&Some(tag)) {
             return;
         }
         let way = self.lru[set] as usize % self.cfg.l1_ways;
@@ -485,8 +488,7 @@ impl AlphaCore {
 
             // Everything else computes immediately.
             let seq = self.rob[i].seq;
-            let vals: Vec<u64> =
-                self.rob[i].srcs.iter().map(|s| self.src_value(s, seq)).collect();
+            let vals: Vec<u64> = self.rob[i].srcs.iter().map(|s| self.src_value(s, seq)).collect();
             let lat = self.latency(&inst);
             match inst {
                 RInst::Bin { op, .. } => {
@@ -580,7 +582,9 @@ impl AlphaCore {
     fn commit(&mut self) {
         let now = self.cycle;
         for _ in 0..self.cfg.commit_width {
-            let Some(front) = self.rob.front() else { return };
+            let Some(front) = self.rob.front() else {
+                return;
+            };
             if front.state != EState::Done || front.done_at > now {
                 return;
             }
@@ -649,7 +653,11 @@ impl AlphaCore {
                     bsnap = Some((self.bpred.ghist, self.ras.clone()));
                     let taken = self.bpred.predict(pc);
                     self.bpred.ghist = (self.bpred.ghist << 1) | u32::from(taken);
-                    if taken { target } else { pc + 1 }
+                    if taken {
+                        target
+                    } else {
+                        pc + 1
+                    }
                 }
                 RInst::Jump { target } => target,
                 RInst::Call { target } => {

@@ -177,9 +177,9 @@ impl RiscProgram {
     pub fn check(&self) -> Result<(), usize> {
         for (i, inst) in self.insts.iter().enumerate() {
             let t = match inst {
-                RInst::Bnz { target, .. }
-                | RInst::Jump { target }
-                | RInst::Call { target } => Some(*target),
+                RInst::Bnz { target, .. } | RInst::Jump { target } | RInst::Call { target } => {
+                    Some(*target)
+                }
                 _ => None,
             };
             if let Some(t) = t {
@@ -212,11 +212,7 @@ mod tests {
 
     #[test]
     fn check_catches_bad_targets() {
-        let p = RiscProgram {
-            insts: vec![RInst::Jump { target: 9 }],
-            entry: 0,
-            globals: vec![],
-        };
+        let p = RiscProgram { insts: vec![RInst::Jump { target: 9 }], entry: 0, globals: vec![] };
         assert_eq!(p.check(), Err(0));
     }
 }

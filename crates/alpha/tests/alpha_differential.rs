@@ -68,7 +68,10 @@ fn loop_with_memory() {
 #[test]
 fn branchy_diamonds() {
     let mut p = ProgramBuilder::new();
-    p.global_words(0x20_0000, &(0..32u64).map(|i| i.wrapping_mul(2654435761) >> 3).collect::<Vec<_>>());
+    p.global_words(
+        0x20_0000,
+        &(0..32u64).map(|i| i.wrapping_mul(2654435761) >> 3).collect::<Vec<_>>(),
+    );
     let mut f = p.func("main", 0);
     let i = f.fresh();
     f.iconst_into(i, 0);

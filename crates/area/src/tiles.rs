@@ -180,7 +180,9 @@ pub fn array_bits(kind: TileKind, cfg: &ChipConfig) -> u64 {
             let exit = (p.local_entries * 9 + p.gshare_entries * 4 + p.chooser_entries * 3) as u64;
             // Target predictor: BTB/CTB tagged targets, RAS addresses,
             // type table.
-            let target = (p.btb_entries * 40 + p.ctb_entries * 48 + p.ras_entries * 57
+            let target = (p.btb_entries * 40
+                + p.ctb_entries * 48
+                + p.ras_entries * 57
                 + p.btype_entries * 3) as u64;
             // I-TLB, eight block PCs, I-cache tag array, control regs.
             let tags = 128 * 20;
@@ -216,8 +218,7 @@ pub fn array_bits(kind: TileKind, cfg: &ChipConfig) -> u64 {
         TileKind::Et => {
             // 64 reservation stations: two 64-bit operands, a
             // predicate bit, and the 32-bit instruction plus status.
-            (trips_core::NUM_FRAMES * RS_PER_FRAME * (2 * 64 + 1 + 32 + 4)) as u64
-                + 1500
+            (trips_core::NUM_FRAMES * RS_PER_FRAME * (2 * 64 + 1 + 32 + 4)) as u64 + 1500
         }
         TileKind::Mt => {
             let data = (cfg.mt_bank_kb * 1024 * 8) as u64;

@@ -6,15 +6,18 @@
 //! 1024-entry bit vector cleared every 10,000 blocks) sits between
 //! never-stall and always-stall.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use trips_bench::run_trips;
 use trips_core::CoreConfig;
+use trips_harness::{criterion_group, criterion_main, Criterion};
 use trips_tasm::Quality;
 use trips_workloads::suite;
 
 fn deppred(c: &mut Criterion) {
     println!("\nAblation: dependence predictor (simulated cycles / violation flushes)");
-    println!("{:<12} {:>12} {:>8} {:>12} {:>8}", "bench", "on:cycles", "flush", "off:cycles", "flush");
+    println!(
+        "{:<12} {:>12} {:>8} {:>12} {:>8}",
+        "bench", "on:cycles", "flush", "off:cycles", "flush"
+    );
     for name in ["256.bzip2", "181.mcf", "sha", "300.twolf"] {
         let wl = suite::by_name(name).expect("registered");
         let on = run_trips(&wl, Quality::Hand, CoreConfig::prototype());

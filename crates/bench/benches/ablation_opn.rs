@@ -7,9 +7,9 @@
 //! printing the simulated-cycle series, and times one representative
 //! configuration under Criterion.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use trips_bench::run_trips;
 use trips_core::CoreConfig;
+use trips_harness::{criterion_group, criterion_main, Criterion};
 use trips_tasm::Quality;
 use trips_workloads::suite;
 

@@ -5,18 +5,15 @@
 //! on the control-heavy part of the suite, where every block boundary
 //! is a prediction.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use trips_bench::run_trips;
 use trips_core::{CoreConfig, PredictorConfig};
+use trips_harness::{criterion_group, criterion_main, Criterion};
 use trips_tasm::Quality;
 use trips_workloads::suite;
 
 fn predictor(c: &mut Criterion) {
     println!("\nAblation: next-block predictor (hand quality)");
-    println!(
-        "{:<12} {:>12} {:>9} {:>12} {:>9}",
-        "bench", "full:cyc", "acc", "seq:cyc", "acc"
-    );
+    println!("{:<12} {:>12} {:>9} {:>12} {:>9}", "bench", "full:cyc", "acc", "seq:cyc", "acc");
     for name in ["tblook01", "197.parser", "rspeed01", "a2time01", "matrix"] {
         let wl = suite::by_name(name).expect("registered");
         let full = run_trips(&wl, Quality::Hand, CoreConfig::prototype());

@@ -2,11 +2,11 @@
 //! router mesh, the next-block predictor, block encode/decode, the
 //! block-level interpreter, and the secondary memory system.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use trips_core::{NextBlockPredictor, PredictorConfig};
+use trips_harness::{criterion_group, criterion_main, Criterion};
 use trips_isa::{decode, encode, BranchKind, Instruction, Opcode, Target, TripsBlock};
-use trips_micronet::{Coord, Mesh, MeshMsg};
 use trips_mem::{MemConfig, MemReq, SecondarySystem};
+use trips_micronet::{Coord, Mesh, MeshMsg};
 
 fn opn_router(c: &mut Criterion) {
     c.bench_function("micronet/opn_saturated_1k_cycles", |b| {

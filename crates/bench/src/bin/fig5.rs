@@ -101,11 +101,7 @@ fn fig5b() {
     }
     // Show the overlap property the figure illustrates: block n+1's
     // fetch begins before block n's commit completes.
-    let overlapped = stats
-        .timeline
-        .windows(2)
-        .filter(|w| w[1].fetch < w[0].ack)
-        .count();
+    let overlapped = stats.timeline.windows(2).filter(|w| w[1].fetch < w[0].ack).count();
     println!();
     println!(
         "{} of {} consecutive block pairs overlap fetch with the predecessor's \

@@ -17,5 +17,8 @@ fn main() {
     println!("  Processor cores (GT+RT+IT+DT+ET): {:>5.1}%", pct(&["GT", "RT", "IT", "DT", "ET"]));
     println!("  Secondary memory (MT+NT):         {:>5.1}%", pct(&["MT", "NT"]));
     println!("  Controllers (SDC+DMA+EBC+C2C):    {:>5.1}%", pct(&["SDC", "DMA", "EBC", "C2C"]));
-    println!("  Placed tile area: {:.0} mm² of the {:.0} mm² die", summary.tile_area_mm2, summary.die_area_mm2);
+    println!(
+        "  Placed tile area: {:.0} mm² of the {:.0} mm² die",
+        summary.tile_area_mm2, summary.die_area_mm2
+    );
 }

@@ -35,8 +35,20 @@ fn main() {
     let s = chip_summary();
     println!();
     println!("Section 5.2 overhead attribution:");
-    println!("  OPN routers/links : {:>5.1}% of processor core area (paper: ~12%)", s.opn_pct_of_core);
-    println!("  OCN routers/links : {:>5.1}% of chip area           (paper: ~14%)", s.ocn_pct_of_chip);
-    println!("  Replicated LSQs   : {:>5.1}% of processor core area (paper: ~13%)", s.lsq_pct_of_core);
-    println!("  LSQ share of DT   : {:>5.1}% of each data tile      (paper: ~40%)", s.lsq_pct_of_dt);
+    println!(
+        "  OPN routers/links : {:>5.1}% of processor core area (paper: ~12%)",
+        s.opn_pct_of_core
+    );
+    println!(
+        "  OCN routers/links : {:>5.1}% of chip area           (paper: ~14%)",
+        s.ocn_pct_of_chip
+    );
+    println!(
+        "  Replicated LSQs   : {:>5.1}% of processor core area (paper: ~13%)",
+        s.lsq_pct_of_core
+    );
+    println!(
+        "  LSQ share of DT   : {:>5.1}% of each data tile      (paper: ~40%)",
+        s.lsq_pct_of_dt
+    );
 }

@@ -44,9 +44,7 @@ pub fn run_trips(wl: &Workload, quality: Quality, cfg: CoreConfig) -> CoreStats 
 ///
 /// Panics on compile or simulation failure.
 pub fn run_alpha(wl: &Workload) -> AlphaStats {
-    let prog = wl
-        .build_risc()
-        .unwrap_or_else(|e| panic!("{}: risc compile failed: {e}", wl.name));
+    let prog = wl.build_risc().unwrap_or_else(|e| panic!("{}: risc compile failed: {e}", wl.name));
     let mut cpu = AlphaCore::new(AlphaConfig::alpha21264(), &prog)
         .unwrap_or_else(|e| panic!("{}: invalid program: {e}", wl.name));
     cpu.run(MAX_CYCLES).unwrap_or_else(|e| panic!("{}: alpha failed: {e}", wl.name))

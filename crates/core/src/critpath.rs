@@ -188,7 +188,11 @@ impl CritPath {
                 break;
             }
             let e = self.events[cur as usize];
-            let _ = writeln!(out, "ev{cur}: t={} {:?} lat={} parent={}", e.time, e.cat, e.lat, e.parent as i64);
+            let _ = writeln!(
+                out,
+                "ev{cur}: t={} {:?} lat={} parent={}",
+                e.time, e.cat, e.lat, e.parent as i64
+            );
             cur = e.parent;
         }
         out

@@ -1,0 +1,117 @@
+//! The hang diagnoser: when a run times out, snapshot which frames,
+//! tiles, and micronets still hold work and render a readable
+//! deadlock report.
+//!
+//! A distributed machine hangs distributedly: the GT may be waiting on
+//! a `WritesDone` that an RT never sent because an operand is parked
+//! in an OPN eject queue nobody drains. A bare "timeout after N
+//! cycles" forces a debugging session; a [`HangReport`] names the
+//! stuck frame, what it is waiting for, and where the oldest
+//! undelivered message sits.
+
+use std::fmt;
+
+/// One in-flight frame and what it is still waiting for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameDiag {
+    /// Frame slot (0..8).
+    pub frame: u8,
+    /// GT lifecycle state name (`Fetching`, `Executing`, ...).
+    pub state: String,
+    /// Block header address.
+    pub pc: u64,
+    /// Human-readable list of missing completion conditions, empty
+    /// when nothing is outstanding at the GT.
+    pub waiting_on: String,
+}
+
+/// One tile still holding queued work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TileDiag {
+    /// Tile name (`GT`, `IT2`, `RT0`, `ET(1,3)`, `DT0`).
+    pub tile: String,
+    /// What it holds (station counts, queue depths, outbox length).
+    pub detail: String,
+}
+
+/// One micronet with undelivered messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetDiag {
+    /// Network name (`OPN0`, `GDN row 2`, `GSN/DT`, ...).
+    pub net: String,
+    /// Messages still in the network (or in an undrained eject queue).
+    pub pending: usize,
+    /// Description of the oldest undelivered message, when known.
+    pub oldest: Option<String>,
+}
+
+/// A snapshot of everything still holding work at timeout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HangReport {
+    /// Cycle of the snapshot.
+    pub cycle: u64,
+    /// Frames in flight at the GT.
+    pub frames_in_flight: usize,
+    /// Per-frame status.
+    pub frames: Vec<FrameDiag>,
+    /// Tiles with queued work.
+    pub tiles: Vec<TileDiag>,
+    /// Networks with undelivered messages.
+    pub nets: Vec<NetDiag>,
+}
+
+impl HangReport {
+    /// One-line summary: the most stuck-looking frame and the net
+    /// holding the oldest undelivered message.
+    pub fn summary(&self) -> String {
+        let frame = self
+            .frames
+            .first()
+            .map(|f| {
+                format!("frame {} {} pc={:#x} awaits [{}]", f.frame, f.state, f.pc, f.waiting_on)
+            })
+            .unwrap_or_else(|| "no frames in flight".to_string());
+        let net = self
+            .nets
+            .iter()
+            .find(|n| n.oldest.is_some())
+            .map(|n| {
+                format!("; oldest undelivered: {} on {}", n.oldest.as_deref().unwrap_or(""), n.net)
+            })
+            .unwrap_or_default();
+        format!("{frame}{net}")
+    }
+}
+
+impl fmt::Display for HangReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "hang snapshot at cycle {} ({} frames in flight)",
+            self.cycle, self.frames_in_flight
+        )?;
+        if self.frames.is_empty() {
+            writeln!(f, "  frames: none in flight")?;
+        }
+        for fr in &self.frames {
+            writeln!(
+                f,
+                "  frame {}: {} pc={:#x} waiting on [{}]",
+                fr.frame, fr.state, fr.pc, fr.waiting_on
+            )?;
+        }
+        for t in &self.tiles {
+            writeln!(f, "  tile {}: {}", t.tile, t.detail)?;
+        }
+        for n in &self.nets {
+            match &n.oldest {
+                Some(o) => writeln!(f, "  net {}: {} pending, oldest {}", n.net, n.pending, o)?,
+                None => writeln!(f, "  net {}: {} pending", n.net, n.pending)?,
+            }
+        }
+        if self.tiles.is_empty() && self.nets.is_empty() {
+            writeln!(f, "  all tiles and networks drained (GT-side stall)")?;
+        }
+        Ok(())
+    }
+}

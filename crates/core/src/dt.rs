@@ -17,9 +17,10 @@ use trips_isa::{Opcode, Target};
 
 use crate::config::{CoreConfig, NUM_FRAMES};
 use crate::critpath::{Cat, CritPath};
-use crate::msg::{DsnMsg, EvId, FrameId, Gen, GcnMsg, GsnMsg, OpnPayload, RowMsg, TileId};
+use crate::msg::{DsnMsg, EvId, FrameId, GcnMsg, Gen, GsnMsg, OpnPayload, RowMsg, TileId};
 use crate::nets::{dt_chain_pos, gcn_pos, opn_recv, Nets, OpnOutbox};
 use crate::stats::CoreStats;
+use crate::trace::{TraceKind, Tracer};
 
 #[derive(Debug, Clone, Copy)]
 #[allow(dead_code)] // `ev` kept for trace output
@@ -128,6 +129,34 @@ impl DataTile {
         self.mshrs.is_empty() && self.respond_q.is_empty() && self.outbox.is_empty()
     }
 
+    /// Queued work for the hang diagnoser (`None` when nothing is
+    /// held, including deferred loads and parked requests).
+    pub fn diag(&self) -> Option<String> {
+        let deferred: usize =
+            self.frames.iter().filter(|f| f.active).map(|f| f.deferred.len()).sum();
+        let parked: usize = self.frames.iter().filter(|f| f.active).map(|f| f.pending.len()).sum();
+        if self.idle() && deferred == 0 && parked == 0 {
+            return None;
+        }
+        let mut parts = Vec::new();
+        if deferred > 0 {
+            parts.push(format!("{deferred} load(s) deferred by the dependence predictor"));
+        }
+        if parked > 0 {
+            parts.push(format!("{parked} request(s) parked awaiting dispatch"));
+        }
+        if !self.mshrs.is_empty() {
+            parts.push(format!("{} MSHR fill(s) outstanding", self.mshrs.len()));
+        }
+        if !self.respond_q.is_empty() {
+            parts.push(format!("{} load response(s) queued", self.respond_q.len()));
+        }
+        if !self.outbox.is_empty() {
+            parts.push(format!("outbox {}", self.outbox.len()));
+        }
+        Some(parts.join(", "))
+    }
+
     fn tile_id(&self) -> TileId {
         TileId::Dt(self.index)
     }
@@ -138,12 +167,7 @@ impl DataTile {
             return false;
         }
         if !(f.active && f.gen == gen) {
-            *f = DtFrame {
-                active: true,
-                gen,
-                south_ack: self.index == 3,
-                ..DtFrame::default()
-            };
+            *f = DtFrame { active: true, gen, south_ack: self.index == 3, ..DtFrame::default() };
         }
         if from_dispatch {
             let f = &mut self.frames[frame.0 as usize];
@@ -170,12 +194,12 @@ impl DataTile {
 
     fn is_hit(&self, ea: u64, cfg: &CoreConfig) -> bool {
         let (set, tag) = self.set_index(ea, cfg);
-        self.tags[set].iter().any(|t| *t == Some(tag))
+        self.tags[set].contains(&Some(tag))
     }
 
     fn install(&mut self, ea: u64, cfg: &CoreConfig) {
         let (set, tag) = self.set_index(ea, cfg);
-        if self.tags[set].iter().any(|t| *t == Some(tag)) {
+        if self.tags[set].contains(&Some(tag)) {
             return;
         }
         let way = self.lru[set] as usize % cfg.l1d_ways;
@@ -188,6 +212,7 @@ impl DataTile {
     }
 
     /// One cycle.
+    #[allow(clippy::too_many_arguments)]
     pub fn tick(
         &mut self,
         now: u64,
@@ -196,26 +221,30 @@ impl DataTile {
         crit: &mut CritPath,
         stats: &mut CoreStats,
         mem: &mut SparseMem,
+        tracer: &mut Tracer,
     ) {
+        let tile = self.tile_id();
         // GCN commit/flush.
         while let Some(msg) = nets.gcn.recv(now, gcn_pos(self.tile_id())) {
             match msg {
                 GcnMsg::Commit { frame, gen } => {
                     if self.frame_ok(frame, gen) {
+                        tracer.record(now, || TraceKind::CommitWave { tile, frame });
                         self.frames[frame.0 as usize].committing = true;
                     }
                 }
                 GcnMsg::Flush { mask, gens } => {
-                    for fi in 0..NUM_FRAMES {
+                    tracer.record(now, || TraceKind::FlushWave { tile, mask });
+                    for (fi, &new_gen) in gens.iter().enumerate() {
                         if mask & (1 << fi) == 0 {
                             continue;
                         }
                         let f = &mut self.frames[fi];
-                        if f.gen < gens[fi] {
+                        if f.gen < new_gen {
                             self.occupancy = self
                                 .occupancy
                                 .saturating_sub(f.own_stores.len() + f.performed_loads.len());
-                            *f = DtFrame { active: false, gen: gens[fi], ..DtFrame::default() };
+                            *f = DtFrame { active: false, gen: new_gen, ..DtFrame::default() };
                             self.order.retain(|&x| x.0 as usize != fi);
                         }
                     }
@@ -234,7 +263,7 @@ impl DataTile {
                     f.done_ev = crit.later(f.done_ev, ev);
                     let pending = std::mem::take(&mut f.pending);
                     for p in pending {
-                        self.process_req(now, cfg, nets, crit, stats, mem, p);
+                        self.process_req(now, cfg, nets, crit, stats, mem, p, tracer);
                     }
                 }
             }
@@ -250,7 +279,7 @@ impl DataTile {
         }
 
         // Memory requests from the ETs.
-        while let Some(m) = opn_recv(nets, self.tile_id()) {
+        while let Some(m) = opn_recv(nets, now, self.tile_id(), tracer) {
             let (hops, queued) = (m.hops, m.queued);
             let (frame, gen, ev0) = match &m.payload {
                 OpnPayload::LoadReq { frame, gen, ev, .. }
@@ -265,7 +294,7 @@ impl DataTile {
             let payload = retag(m.payload, e_arr);
             let f = &self.frames[frame.0 as usize];
             if f.in_order && f.mask_known {
-                self.process_req(now, cfg, nets, crit, stats, mem, payload);
+                self.process_req(now, cfg, nets, crit, stats, mem, payload, tracer);
             } else {
                 self.frames[frame.0 as usize].pending.push(payload);
             }
@@ -309,13 +338,13 @@ impl DataTile {
         }
 
         // Wake deferred loads whose prior stores have all arrived.
-        self.wake_deferred(now, cfg, stats, mem);
+        self.wake_deferred(now, cfg, stats, mem, tracer);
 
         // Completion detection and commit draining.
-        self.advance_frames(now, cfg, nets, crit, stats, mem);
+        self.advance_frames(now, cfg, nets, crit, stats, mem, tracer);
 
         stats.lsq_peak_occupancy = stats.lsq_peak_occupancy.max(self.occupancy);
-        self.outbox.flush(nets, now, self.tile_id());
+        self.outbox.flush(nets, now, self.tile_id(), tracer);
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -328,6 +357,7 @@ impl DataTile {
         stats: &mut CoreStats,
         mem: &SparseMem,
         payload: OpnPayload,
+        tracer: &mut Tracer,
     ) {
         match payload {
             OpnPayload::LoadReq { frame, gen, lsid, opcode, ea, target, ev } => {
@@ -343,11 +373,13 @@ impl DataTile {
                     });
                     return;
                 }
-                self.execute_load(now, cfg, stats, mem, frame, gen, lsid, opcode, ea, target, ev);
+                self.execute_load(
+                    now, cfg, stats, mem, frame, gen, lsid, opcode, ea, target, ev, tracer,
+                );
             }
             OpnPayload::StoreReq { frame, gen, lsid, ea, val, bytes, nullified, ev } => {
                 self.store_arrived(
-                    now, nets, crit, stats, frame, gen, lsid, ea, val, bytes, nullified, ev,
+                    now, nets, crit, stats, frame, gen, lsid, ea, val, bytes, nullified, ev, tracer,
                 );
             }
             _ => unreachable!("only memory requests are queued"),
@@ -368,7 +400,10 @@ impl DataTile {
         ea: u64,
         target: Target,
         ev: EvId,
+        tracer: &mut Tracer,
     ) {
+        let dt = self.index;
+        tracer.record(now, || TraceKind::LsqInsert { dt, frame, lsid, store: false });
         let bytes = opcode.access_bytes();
         let (raw, forwarded) = self.load_value(mem, frame, lsid, ea, bytes);
         if forwarded {
@@ -393,11 +428,8 @@ impl DataTile {
             } else {
                 // MSHR full: model a structural stall by serializing
                 // behind the earliest fill.
-                let earliest = self
-                    .mshrs
-                    .iter_mut()
-                    .min_by_key(|m| m.fill_at)
-                    .expect("mshr_lines > 0");
+                let earliest =
+                    self.mshrs.iter_mut().min_by_key(|m| m.fill_at).expect("mshr_lines > 0");
                 earliest.waiting.push(ld);
             }
         }
@@ -480,7 +512,10 @@ impl DataTile {
         bytes: u32,
         nullified: bool,
         ev: EvId,
+        tracer: &mut Tracer,
     ) {
+        let dt = self.index;
+        tracer.record(now, || TraceKind::LsqInsert { dt, frame, lsid, store: true });
         {
             let f = &mut self.frames[frame.0 as usize];
             f.arrived |= 1 << lsid;
@@ -502,12 +537,12 @@ impl DataTile {
         // block; the dependence predictor trains on the load address
         // hash (here equal to the conflicting store address range).
         if !nullified {
-            if let Some((victim, victim_gen, load_ea)) =
-                self.find_violation(frame, lsid, ea, bytes)
+            if let Some((victim, victim_gen, load_ea)) = self.find_violation(frame, lsid, ea, bytes)
             {
                 let di = self.deppred_index(load_ea);
                 self.deppred[di] = true;
                 stats.violation_flushes += 1;
+                tracer.record(now, || TraceKind::Violation { dt, frame: victim });
                 nets.gsn_dt.send(
                     now,
                     dt_chain_pos(self.index as usize),
@@ -540,7 +575,7 @@ impl DataTile {
                     continue;
                 }
                 let (l0, l1) = (l.ea, l.ea + u64::from(l.bytes));
-                if l0 < s1 && s0 < l1 && best.map_or(true, |b| l.lsid < b.lsid) {
+                if l0 < s1 && s0 < l1 && best.is_none_or(|b| l.lsid < b.lsid) {
                     best = Some(l);
                 }
             }
@@ -557,7 +592,9 @@ impl DataTile {
         cfg: &CoreConfig,
         stats: &mut CoreStats,
         mem: &SparseMem,
+        tracer: &mut Tracer,
     ) {
+        let dt = self.index;
         for fi in 0..NUM_FRAMES {
             if !self.frames[fi].active || self.frames[fi].deferred.is_empty() {
                 continue;
@@ -567,8 +604,11 @@ impl DataTile {
             let deferred = std::mem::take(&mut self.frames[fi].deferred);
             for d in deferred {
                 if self.prior_stores_arrived(frame, d.lsid) {
+                    let lsid = d.lsid;
+                    tracer.record(now, || TraceKind::LsqWakeup { dt, frame, lsid });
                     self.execute_load(
                         now, cfg, stats, mem, frame, gen, d.lsid, d.opcode, d.ea, d.target, d.ev,
+                        tracer,
                     );
                 } else {
                     self.frames[fi].deferred.push(d);
@@ -596,6 +636,7 @@ impl DataTile {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn advance_frames(
         &mut self,
         now: u64,
@@ -604,7 +645,9 @@ impl DataTile {
         crit: &mut CritPath,
         stats: &mut CoreStats,
         mem: &mut SparseMem,
+        tracer: &mut Tracer,
     ) {
+        let index = self.index;
         let my_pos = dt_chain_pos(self.index as usize);
         let north = my_pos - 1;
         for fi in 0..NUM_FRAMES {
@@ -621,12 +664,9 @@ impl DataTile {
                 {
                     f.done_sent = true;
                     let ev = crit.event(now, f.done_ev, Cat::BlockComplete, 1);
-                    nets.gsn_dt.send(
-                        now,
-                        my_pos,
-                        0,
-                        GsnMsg::StoresDone { frame, gen: f.gen, ev },
-                    );
+                    let gen = f.gen;
+                    tracer.record(now, || TraceKind::StoresDone { frame });
+                    nets.gsn_dt.send(now, my_pos, 0, GsnMsg::StoresDone { frame, gen, ev });
                 }
             }
             // Commit drain: one store per cycle to the cache/memory.
@@ -654,10 +694,10 @@ impl DataTile {
             let f = &mut self.frames[fi];
             if f.active && f.commit_done && f.south_ack && !f.ack_sent {
                 f.ack_sent = true;
+                tracer.record(now, || TraceKind::CommitAck { tile: TileId::Dt(index), frame });
                 nets.gsn_dt.send(now, my_pos, north, GsnMsg::StoresCommitted { frame, gen: f.gen });
-                self.occupancy = self
-                    .occupancy
-                    .saturating_sub(f.own_stores.len() + f.performed_loads.len());
+                self.occupancy =
+                    self.occupancy.saturating_sub(f.own_stores.len() + f.performed_loads.len());
                 f.active = false;
                 f.gen += 1;
                 f.own_stores.clear();

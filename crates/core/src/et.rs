@@ -14,9 +14,10 @@ use trips_isa::{Instruction, Opcode, OperandNeeds, OperandSlot, Pred, Target};
 
 use crate::config::{CoreConfig, NUM_FRAMES, RS_PER_FRAME};
 use crate::critpath::{Cat, CritPath};
-use crate::msg::{EvId, FrameId, Gen, GcnMsg, OpnPayload, RowMsg, TileId};
+use crate::msg::{EvId, FrameId, GcnMsg, Gen, OpnPayload, RowMsg, TileId};
 use crate::nets::{gcn_pos, opn_recv, row_pos_of_col, Nets, OpnOutbox};
 use crate::stats::CoreStats;
+use crate::trace::{TraceKind, Tracer};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum SState {
@@ -94,6 +95,35 @@ impl ExecTile {
         self.inflight.is_empty() && self.local_q.is_empty() && self.outbox.is_empty()
     }
 
+    /// Queued work for the hang diagnoser (`None` when idle and no
+    /// station waits on a missing operand).
+    pub fn diag(&self) -> Option<String> {
+        let waiting: usize = self
+            .frames
+            .iter()
+            .filter(|f| f.active)
+            .flat_map(|f| f.stations.iter().flatten())
+            .filter(|s| s.state == SState::Waiting)
+            .count();
+        if self.idle() && waiting == 0 {
+            return None;
+        }
+        let mut parts = Vec::new();
+        if waiting > 0 {
+            parts.push(format!("{waiting} station(s) awaiting operands"));
+        }
+        if !self.inflight.is_empty() {
+            parts.push(format!("{} execution(s) in flight", self.inflight.len()));
+        }
+        if !self.local_q.is_empty() {
+            parts.push(format!("{} bypass value(s) queued", self.local_q.len()));
+        }
+        if !self.outbox.is_empty() {
+            parts.push(format!("outbox {}", self.outbox.len()));
+        }
+        Some(parts.join(", "))
+    }
+
     fn tile_id(&self) -> TileId {
         TileId::Et(self.row, self.col)
     }
@@ -135,12 +165,15 @@ impl ExecTile {
         nets: &mut Nets,
         crit: &mut CritPath,
         stats: &mut CoreStats,
+        tracer: &mut Tracer,
     ) {
+        let tile = self.tile_id();
         // GCN commit/flush.
         while let Some(msg) = nets.gcn.recv(now, gcn_pos(self.tile_id())) {
             match msg {
                 GcnMsg::Commit { frame, gen } => {
                     if self.frame_ok(frame, gen) {
+                        tracer.record(now, || TraceKind::CommitWave { tile, frame });
                         let f = &mut self.frames[frame.0 as usize];
                         stats.insts_committed += f.fired;
                         // The commit command flushes remaining
@@ -156,13 +189,14 @@ impl ExecTile {
                     }
                 }
                 GcnMsg::Flush { mask, gens } => {
-                    for fi in 0..NUM_FRAMES {
+                    tracer.record(now, || TraceKind::FlushWave { tile, mask });
+                    for (fi, &new_gen) in gens.iter().enumerate() {
                         if mask & (1 << fi) == 0 {
                             continue;
                         }
                         let f = &mut self.frames[fi];
-                        if f.gen < gens[fi] {
-                            *f = EtFrame { active: false, gen: gens[fi], ..EtFrame::default() };
+                        if f.gen < new_gen {
+                            *f = EtFrame { active: false, gen: new_gen, ..EtFrame::default() };
                             self.order.retain(|&x| x.0 as usize != fi);
                         }
                     }
@@ -182,7 +216,8 @@ impl ExecTile {
                 let slot = trips_isa::InstSlot::from_index(idx).slot as usize;
                 let f = &mut self.frames[frame.0 as usize];
                 debug_assert!(f.stations[slot].is_none(), "reservation station collision");
-                let mut st = Station { inst, idx, ops: [None; 3], state: SState::Waiting, disp_ev: dev };
+                let mut st =
+                    Station { inst, idx, ops: [None; 3], state: SState::Waiting, disp_ev: dev };
                 // Apply any operands that arrived early.
                 let early = std::mem::take(&mut f.early);
                 for (eidx, eslot, tok, eev) in early {
@@ -199,7 +234,7 @@ impl ExecTile {
 
         // OPN operand arrivals. Operands may beat this ET's dispatch
         // beats, so arrival activates the frame and buffers early.
-        while let Some(m) = opn_recv(nets, self.tile_id()) {
+        while let Some(m) = opn_recv(nets, now, self.tile_id(), tracer) {
             let (hops, queued) = (m.hops, m.queued);
             if let OpnPayload::Operand { frame, gen, idx, slot, tok, ev } = m.payload {
                 if !self.ensure_frame(frame, gen) {
@@ -244,7 +279,7 @@ impl ExecTile {
         // Select and issue one ready instruction (oldest frame first).
         self.select_and_issue(now, cfg, crit, stats);
 
-        self.outbox.flush(nets, now, self.tile_id());
+        self.outbox.flush(nets, now, self.tile_id(), tracer);
     }
 
     fn deliver_operand(&mut self, frame: FrameId, idx: u8, slot: OperandSlot, tok: Tok, ev: EvId) {
@@ -280,7 +315,9 @@ impl ExecTile {
                 continue;
             }
             for slot in 0..RS_PER_FRAME {
-                let Some(st) = &self.frames[fi].stations[slot] else { continue };
+                let Some(st) = &self.frames[fi].stations[slot] else {
+                    continue;
+                };
                 if st.state != SState::Waiting || !is_ready(st) {
                     continue;
                 }
@@ -296,12 +333,8 @@ impl ExecTile {
                 for op in st.ops.iter().flatten() {
                     parent = crit.later(parent, op.1);
                 }
-                let iev = crit.event(
-                    now,
-                    parent,
-                    Cat::Other,
-                    now.saturating_sub(crit.time_of(parent)),
-                );
+                let iev =
+                    crit.event(now, parent, Cat::Other, now.saturating_sub(crit.time_of(parent)));
                 st.disp_ev = iev; // reuse the field to carry the issue event
                 if !pipelined {
                     self.fu_busy_until = now + lat;
@@ -325,7 +358,9 @@ impl ExecTile {
         let gen = fin.gen;
         let st = {
             let f = &mut self.frames[fi];
-            let Some(st) = f.stations[fin.slot].as_mut() else { return };
+            let Some(st) = f.stations[fin.slot].as_mut() else {
+                return;
+            };
             st.state = SState::Done;
             st.clone()
         };
@@ -435,8 +470,7 @@ impl ExecTile {
                     // consumer can issue back-to-back next cycle.
                     self.local_q.push((now, frame, gen, idx, slot, tok, ev));
                 } else {
-                    self.outbox
-                        .push(dest, OpnPayload::Operand { frame, gen, idx, slot, tok, ev });
+                    self.outbox.push(dest, OpnPayload::Operand { frame, gen, idx, slot, tok, ev });
                 }
             }
             Target::Write { slot } => {
@@ -475,4 +509,3 @@ fn check_dead(st: &mut Station) {
         }
     }
 }
-

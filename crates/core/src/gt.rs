@@ -7,15 +7,17 @@
 //! the GCN, and the three-phase commit protocol (§4.4). It holds the
 //! state of all eight in-flight frames.
 
-use trips_isa::{decode_header, BlockFlags, BranchKind, CHUNK_BYTES};
 use trips_isa::mem::SparseMem;
+use trips_isa::{decode_header, BlockFlags, BranchKind, CHUNK_BYTES};
 
 use crate::config::CoreConfig;
 use crate::critpath::{Cat, CritPath, NO_EVENT};
-use crate::msg::{EvId, FrameId, Gen, GcnMsg, GdnFetch, GrnRefill, GsnMsg, OpnPayload, TileId};
+use crate::diag::FrameDiag;
+use crate::msg::{EvId, FrameId, GcnMsg, GdnFetch, Gen, GrnRefill, GsnMsg, OpnPayload, TileId};
 use crate::nets::{it_col_pos, opn_recv, Nets};
 use crate::predictor::{NextBlockPredictor, PredictorCheckpoint};
 use crate::stats::CoreStats;
+use crate::trace::{TraceKind, Tracer};
 use std::collections::VecDeque;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -164,6 +166,48 @@ impl GlobalTile {
         self.order.len()
     }
 
+    /// Per-frame status for the hang diagnoser, in age order.
+    pub fn frame_diags(&self) -> Vec<FrameDiag> {
+        self.order
+            .iter()
+            .map(|&frame| {
+                let f = &self.frames[frame.0 as usize];
+                let mut waiting = Vec::new();
+                if f.state == FState::Fetching {
+                    waiting.push("dispatch");
+                }
+                if f.state == FState::Executing {
+                    if !f.writes_done {
+                        waiting.push("register writes (GSN WritesDone)");
+                    }
+                    if !f.stores_done {
+                        waiting.push("stores (GSN StoresDone)");
+                    }
+                    if f.branch.is_none() {
+                        waiting.push("branch (OPN)");
+                    }
+                }
+                if f.state == FState::Complete && !f.commit_sent {
+                    waiting.push("older blocks' commit commands");
+                }
+                if f.state == FState::Committing {
+                    if !f.rt_ack {
+                        waiting.push("RT commit ack");
+                    }
+                    if !f.dt_ack {
+                        waiting.push("DT commit ack");
+                    }
+                }
+                FrameDiag {
+                    frame: frame.0,
+                    state: format!("{:?}", f.state),
+                    pc: f.pc,
+                    waiting_on: waiting.join(", "),
+                }
+            })
+            .collect()
+    }
+
     /// A human-readable snapshot of GT state, for diagnosing hangs.
     pub fn dump(&self) -> String {
         use std::fmt::Write as _;
@@ -198,13 +242,13 @@ impl GlobalTile {
     fn itag_lookup(&self, addr: u64) -> bool {
         let set = ((addr >> 7) as usize) % ITAG_SETS;
         let tag = addr >> 13;
-        self.itag[set].iter().any(|t| *t == Some(tag))
+        self.itag[set].contains(&Some(tag))
     }
 
     fn itag_insert(&mut self, addr: u64) {
         let set = ((addr >> 7) as usize) % ITAG_SETS;
         let tag = addr >> 13;
-        if self.itag[set].iter().any(|t| *t == Some(tag)) {
+        if self.itag[set].contains(&Some(tag)) {
             return;
         }
         let way = self.itag_lru[set] as usize % ITAG_WAYS;
@@ -213,6 +257,7 @@ impl GlobalTile {
     }
 
     /// One cycle.
+    #[allow(clippy::too_many_arguments)]
     pub fn tick(
         &mut self,
         now: u64,
@@ -221,13 +266,14 @@ impl GlobalTile {
         crit: &mut CritPath,
         stats: &mut CoreStats,
         mem: &SparseMem,
+        tracer: &mut Tracer,
     ) {
         self.drain_status(now, nets, crit);
-        self.drain_branches(now, nets, crit, stats);
-        self.check_completion(now, crit);
-        self.issue_commit(now, nets, crit);
-        self.dealloc(now, crit, stats);
-        self.fetch_fsm(now, cfg, nets, crit, stats, mem);
+        self.drain_branches(now, nets, crit, stats, tracer);
+        self.check_completion(now, crit, tracer);
+        self.issue_commit(now, nets, crit, tracer);
+        self.dealloc(now, crit, stats, tracer);
+        self.fetch_fsm(now, cfg, nets, crit, stats, mem, tracer);
     }
 
     fn frame_ok(&self, frame: FrameId, gen: Gen) -> bool {
@@ -239,34 +285,26 @@ impl GlobalTile {
         let mut violations: Vec<(FrameId, Gen)> = Vec::new();
         while let Some(msg) = nets.gsn_rt.recv(now, 0) {
             match msg {
-                GsnMsg::WritesDone { frame, gen, ev } => {
-                    if self.frame_ok(frame, gen) {
-                        let f = &mut self.frames[frame.0 as usize];
-                        f.writes_done = true;
-                        f.writes_ev = ev;
-                    }
+                GsnMsg::WritesDone { frame, gen, ev } if self.frame_ok(frame, gen) => {
+                    let f = &mut self.frames[frame.0 as usize];
+                    f.writes_done = true;
+                    f.writes_ev = ev;
                 }
-                GsnMsg::WritesCommitted { frame, gen } => {
-                    if self.frame_ok(frame, gen) {
-                        self.frames[frame.0 as usize].rt_ack = true;
-                    }
+                GsnMsg::WritesCommitted { frame, gen } if self.frame_ok(frame, gen) => {
+                    self.frames[frame.0 as usize].rt_ack = true;
                 }
                 _ => {}
             }
         }
         while let Some(msg) = nets.gsn_dt.recv(now, 0) {
             match msg {
-                GsnMsg::StoresDone { frame, gen, ev } => {
-                    if self.frame_ok(frame, gen) {
-                        let f = &mut self.frames[frame.0 as usize];
-                        f.stores_done = true;
-                        f.stores_ev = ev;
-                    }
+                GsnMsg::StoresDone { frame, gen, ev } if self.frame_ok(frame, gen) => {
+                    let f = &mut self.frames[frame.0 as usize];
+                    f.stores_done = true;
+                    f.stores_ev = ev;
                 }
-                GsnMsg::StoresCommitted { frame, gen } => {
-                    if self.frame_ok(frame, gen) {
-                        self.frames[frame.0 as usize].dt_ack = true;
-                    }
+                GsnMsg::StoresCommitted { frame, gen } if self.frame_ok(frame, gen) => {
+                    self.frames[frame.0 as usize].dt_ack = true;
                 }
                 GsnMsg::Violation { frame, gen } => violations.push((frame, gen)),
                 _ => {}
@@ -295,8 +333,9 @@ impl GlobalTile {
         nets: &mut Nets,
         crit: &mut CritPath,
         stats: &mut CoreStats,
+        tracer: &mut Tracer,
     ) {
-        while let Some(m) = opn_recv(nets, TileId::Gt) {
+        while let Some(m) = opn_recv(nets, now, TileId::Gt, tracer) {
             let (hops, queued) = (m.hops, m.queued);
             let OpnPayload::Branch { frame, gen, kind, exit, offset, reg_target, ev } = m.payload
             else {
@@ -313,13 +352,9 @@ impl GlobalTile {
             let e_arr = crit.event(now, e_hop, Cat::OpnContention, u64::from(queued));
             let target = match kind {
                 BranchKind::Halt => None,
-                _ => Some(
-                    reg_target.unwrap_or_else(|| {
-                        self.frames[fi]
-                            .pc
-                            .wrapping_add((i64::from(offset) * CHUNK_BYTES as i64) as u64)
-                    }),
-                ),
+                _ => Some(reg_target.unwrap_or_else(|| {
+                    self.frames[fi].pc.wrapping_add((i64::from(offset) * CHUNK_BYTES as i64) as u64)
+                })),
             };
             self.frames[fi].branch = Some(ResolvedBranch { kind, exit, target });
             self.frames[fi].branch_ev = e_arr;
@@ -362,12 +397,14 @@ impl GlobalTile {
         nets: &mut Nets,
         crit: &mut CritPath,
     ) {
-        let Some(pos) = self.order.iter().position(|&x| x == frame) else { return };
+        let Some(pos) = self.order.iter().position(|&x| x == frame) else {
+            return;
+        };
         let first_victim = if inclusive { pos } else { pos + 1 };
         let mut mask = 0u8;
         let mut gens = [0u32; 8];
-        for fi in 0..8 {
-            gens[fi] = self.frames[fi].gen;
+        for (g, f) in gens.iter_mut().zip(&self.frames) {
+            *g = f.gen;
         }
         while self.order.len() > first_victim {
             let v = self.order.pop_back().expect("length checked");
@@ -400,13 +437,14 @@ impl GlobalTile {
         }
     }
 
-    fn check_completion(&mut self, now: u64, crit: &mut CritPath) {
+    fn check_completion(&mut self, now: u64, crit: &mut CritPath, tracer: &mut Tracer) {
         for fi in 0..8 {
             let f = &mut self.frames[fi];
             if f.state == FState::Executing && f.writes_done && f.stores_done && f.branch.is_some()
             {
                 f.state = FState::Complete;
                 f.t_complete = now;
+                tracer.record(now, || TraceKind::BlockComplete { frame: FrameId(fi as u8) });
                 let parent = crit.later(crit.later(f.writes_ev, f.stores_ev), f.branch_ev);
                 f.complete_ev = crit.event(
                     now,
@@ -418,7 +456,13 @@ impl GlobalTile {
         }
     }
 
-    fn issue_commit(&mut self, now: u64, nets: &mut Nets, crit: &mut CritPath) {
+    fn issue_commit(
+        &mut self,
+        now: u64,
+        nets: &mut Nets,
+        crit: &mut CritPath,
+        tracer: &mut Tracer,
+    ) {
         // Pipelined commit: a command may go out for a block when all
         // older blocks have had theirs sent (§4.4).
         for &frame in &self.order {
@@ -434,13 +478,10 @@ impl GlobalTile {
             f.state = FState::Committing;
             f.t_commit = now;
             let parent = crit.later(f.complete_ev, self.last_commit_ev);
-            f.commit_ev = crit.event(
-                now,
-                parent,
-                Cat::BlockCommit,
-                now.saturating_sub(crit.time_of(parent)),
-            );
+            f.commit_ev =
+                crit.event(now, parent, Cat::BlockCommit, now.saturating_sub(crit.time_of(parent)));
             self.last_commit_ev = f.commit_ev;
+            tracer.record(now, || TraceKind::CommitCmd { frame });
             nets.gcn_broadcast(now, GcnMsg::Commit { frame, gen: f.gen });
 
             // Train the predictor in commit order.
@@ -452,7 +493,13 @@ impl GlobalTile {
         }
     }
 
-    fn dealloc(&mut self, now: u64, crit: &mut CritPath, stats: &mut CoreStats) {
+    fn dealloc(
+        &mut self,
+        now: u64,
+        crit: &mut CritPath,
+        stats: &mut CoreStats,
+        tracer: &mut Tracer,
+    ) {
         while let Some(&frame) = self.order.front() {
             let fi = frame.0 as usize;
             let f = &self.frames[fi];
@@ -471,6 +518,8 @@ impl GlobalTile {
                 });
             }
             let commit_ev = f.commit_ev;
+            let pc = f.pc;
+            tracer.record(now, || TraceKind::BlockAck { frame, pc });
             let gen = f.gen + 1;
             self.frames[fi] = Frame { gen, ..Frame::default() };
             self.order.pop_front();
@@ -492,6 +541,7 @@ impl GlobalTile {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn fetch_fsm(
         &mut self,
         now: u64,
@@ -500,6 +550,7 @@ impl GlobalTile {
         crit: &mut CritPath,
         stats: &mut CoreStats,
         mem: &SparseMem,
+        tracer: &mut Tracer,
     ) {
         // Refill completions.
         while let Some(msg) = nets.gsn_it.recv(now, 0) {
@@ -573,8 +624,7 @@ impl GlobalTile {
                 }
                 Stage::AwaitDispatch => {
                     let fi = op.frame.0 as usize;
-                    let inhibit =
-                        self.frames[fi].flags.contains(BlockFlags::INHIBIT_SPECULATION);
+                    let inhibit = self.frames[fi].flags.contains(BlockFlags::INHIBIT_SPECULATION);
                     let oldest = self.order.front() == Some(&op.frame);
                     if now >= self.dispatch_free_at && (!inhibit || oldest) {
                         self.dispatch_free_at = now + 8;
@@ -599,6 +649,10 @@ impl GlobalTile {
                             nets.gdn_col.send(now, 0, it_col_pos(it), cmd);
                         }
                         stats.blocks_fetched += 1;
+                        let f = &self.frames[fi];
+                        stats.protocol.fetch_to_dispatch.record(now - f.t_fetch);
+                        tracer
+                            .record(now, || TraceKind::DispatchCmd { frame: op.frame, pc: op.pc });
                         self.fetch = None;
                     }
                 }
@@ -622,8 +676,12 @@ impl GlobalTile {
             } else {
                 Cat::IFetch
             };
-            let fetch_ev =
-                crit.event(now, parent, cat, now.saturating_sub(crit.time_of(parent)));
+            let fetch_ev = crit.event(now, parent, cat, now.saturating_sub(crit.time_of(parent)));
+            stats.protocol.fetches_started += 1;
+            if self.frames.iter().any(|f| f.state == FState::Committing) {
+                stats.protocol.overlapped_fetches += 1;
+            }
+            tracer.record(now, || TraceKind::FetchIssued { frame, pc });
             let f = &mut self.frames[slot];
             f.state = FState::Fetching;
             f.pc = pc;

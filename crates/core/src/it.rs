@@ -19,6 +19,7 @@ use trips_isa::{decode_body_chunk, decode_header, CHUNK_BYTES};
 use crate::config::CoreConfig;
 use crate::msg::{GdnFetch, GsnMsg, RowMsg};
 use crate::nets::{it_col_pos, row_pos_of_col, Nets};
+use crate::trace::{TraceKind, Tracer};
 
 const BEATS: u8 = 8;
 
@@ -58,8 +59,30 @@ impl InstTile {
         self.jobs.is_empty() && self.refill.is_none()
     }
 
+    /// Queued work for the hang diagnoser (`None` when idle).
+    pub fn diag(&self) -> Option<String> {
+        if self.idle() {
+            return None;
+        }
+        let mut parts = Vec::new();
+        if !self.jobs.is_empty() {
+            parts.push(format!("{} dispatch job(s) queued", self.jobs.len()));
+        }
+        if let Some(r) = &self.refill {
+            parts.push(format!("refill of {:#x} in progress", r.addr));
+        }
+        Some(parts.join(", "))
+    }
+
     /// One cycle.
-    pub fn tick(&mut self, now: u64, cfg: &CoreConfig, nets: &mut Nets, mem: &SparseMem) {
+    pub fn tick(
+        &mut self,
+        now: u64,
+        cfg: &CoreConfig,
+        nets: &mut Nets,
+        mem: &SparseMem,
+        tracer: &mut Tracer,
+    ) {
         let pos = it_col_pos(self.index);
 
         // Forwarded fetch commands arrive down the column.
@@ -70,6 +93,10 @@ impl InstTile {
         // Refill commands.
         while let Some(r) = nets.grn.recv(now, pos) {
             let participates = self.index == 0 || self.index <= r.chunks as usize;
+            if participates {
+                tracer
+                    .record(now, || TraceKind::RefillStart { it: self.index as u8, addr: r.addr });
+            }
             self.refill = Some(Refill {
                 addr: r.addr,
                 done_at: now + if participates { cfg.l2_latency } else { 0 },
@@ -99,7 +126,9 @@ impl InstTile {
             if r.own_done && r.south_done && !r.signalled {
                 r.signalled = true;
                 let north = if self.index == 0 { 0 } else { pos - 1 };
-                nets.gsn_it.send(now, pos, north, GsnMsg::RefillDone { addr: r.addr });
+                let addr = r.addr;
+                tracer.record(now, || TraceKind::RefillDone { it: self.index as u8, addr });
+                nets.gsn_it.send(now, pos, north, GsnMsg::RefillDone { addr });
             }
             if r.signalled {
                 self.refill = None;
@@ -117,6 +146,11 @@ impl InstTile {
                 self.jobs.pop_front();
             }
             self.beats_issued += 1;
+            tracer.record(now, || TraceKind::DispatchBeat {
+                it: self.index as u8,
+                frame: cmd.frame,
+                beat,
+            });
             self.issue_beat(now, nets, mem, cmd, beat);
         }
     }
@@ -128,7 +162,9 @@ impl InstTile {
             // slots per beat.
             let mut bytes = [0u8; CHUNK_BYTES];
             mem.read_bytes(cmd.addr, &mut bytes);
-            let Ok((header, _)) = decode_header(&bytes) else { return };
+            let Ok((header, _)) = decode_header(&bytes) else {
+                return;
+            };
             for s in (beat * 4)..(beat * 4 + 4) {
                 let rt_col = (s / 8) as usize;
                 if let Some(read) = header.reads[s as usize] {
@@ -188,9 +224,10 @@ impl InstTile {
             let base = cmd.addr + CHUNK_BYTES as u64 * (1 + chunk as u64);
             let mut bytes = [0u8; CHUNK_BYTES];
             mem.read_bytes(base, &mut bytes);
-            let Ok(insts) = decode_body_chunk(&bytes) else { return };
-            for s in (beat as usize * 4)..(beat as usize * 4 + 4) {
-                let inst = insts[s];
+            let Ok(insts) = decode_body_chunk(&bytes) else {
+                return;
+            };
+            for (s, &inst) in insts.iter().enumerate().skip(beat as usize * 4).take(4) {
                 if inst.is_nop() {
                     continue;
                 }

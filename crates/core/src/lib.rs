@@ -49,6 +49,7 @@
 
 mod config;
 pub mod critpath;
+pub mod diag;
 mod dt;
 mod et;
 mod gt;
@@ -59,12 +60,15 @@ mod predictor;
 mod proc;
 mod rt;
 mod stats;
+pub mod trace;
 
 pub use config::{
     CoreConfig, PredictorConfig, ET_COLS, ET_ROWS, NUM_DTS, NUM_FRAMES, NUM_ITS, NUM_RTS,
     RS_PER_FRAME,
 };
 pub use critpath::{Cat, CritBreakdown, CritPath, CATS, NUM_CATS};
+pub use diag::{FrameDiag, HangReport, NetDiag, TileDiag};
 pub use predictor::{NextBlockPredictor, Prediction, PredictorCheckpoint};
 pub use proc::{Processor, SimError};
-pub use stats::{BlockTiming, CoreStats};
+pub use stats::{BlockTiming, CoreStats, Histogram, ProtocolStats};
+pub use trace::{OpnClass, TraceEvent, TraceKind, Tracer};

@@ -42,6 +42,22 @@ impl TileId {
         }
     }
 
+    /// The tile at an OPN coordinate — the inverse of
+    /// [`TileId::opn`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is outside the 5×5 array.
+    pub fn from_opn(c: Coord) -> TileId {
+        match (c.row, c.col) {
+            (0, 0) => TileId::Gt,
+            (0, col) if col <= 4 => TileId::Rt(col - 1),
+            (row, 0) if row <= 4 => TileId::Dt(row - 1),
+            (row, col) if row <= 4 && col <= 4 => TileId::Et(row - 1, col - 1),
+            _ => panic!("coordinate {c} outside the 5x5 OPN"),
+        }
+    }
+
     /// The tile that hosts block-body instruction `idx`.
     pub fn of_inst(idx: u8) -> TileId {
         let s = trips_isa::InstSlot::from_index(idx);
@@ -57,6 +73,17 @@ impl TileId {
     /// the four DTs at 64-byte granularity, §3.5).
     pub fn of_addr(ea: u64) -> TileId {
         TileId::Dt(((ea >> 6) & 3) as u8)
+    }
+}
+
+impl std::fmt::Display for TileId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TileId::Gt => write!(f, "GT"),
+            TileId::Rt(b) => write!(f, "RT{b}"),
+            TileId::Dt(d) => write!(f, "DT{d}"),
+            TileId::Et(r, c) => write!(f, "ET({r},{c})"),
+        }
     }
 }
 
@@ -333,6 +360,17 @@ mod tests {
         assert_eq!(TileId::Dt(0).opn(), Coord { row: 1, col: 0 });
         assert_eq!(TileId::Et(0, 0).opn(), Coord { row: 1, col: 1 });
         assert_eq!(TileId::Et(3, 3).opn(), Coord { row: 4, col: 4 });
+    }
+
+    #[test]
+    fn from_opn_inverts_the_coordinate_map() {
+        for tile in std::iter::once(TileId::Gt)
+            .chain((0..4).map(TileId::Rt))
+            .chain((0..4).map(TileId::Dt))
+            .chain((0..4).flat_map(|r| (0..4).map(move |c| TileId::Et(r, c))))
+        {
+            assert_eq!(TileId::from_opn(tile.opn()), tile);
+        }
     }
 
     #[test]

@@ -5,7 +5,9 @@ use std::collections::VecDeque;
 use trips_micronet::{Chain, Mesh, MeshMsg};
 
 use crate::config::CoreConfig;
+use crate::diag::NetDiag;
 use crate::msg::{DsnMsg, GcnMsg, GdnFetch, GrnRefill, GsnMsg, OpnPayload, RowMsg, TileId};
+use crate::trace::{OpnClass, TraceKind, Tracer};
 
 /// Chain positions of the GDN/GRN instruction-tile column: the GT at
 /// 0, IT0..IT4 at 1..=5.
@@ -43,9 +45,14 @@ pub fn gcn_pos(tile: TileId) -> usize {
 /// All micronetworks of one core.
 pub struct Nets {
     /// Operand network(s): one in the prototype, two for the
-    /// bandwidth ablation. Traffic round-robins across them.
+    /// bandwidth ablation. Traffic steers by destination so that
+    /// same-destination operands stay ordered.
     pub opn: Vec<Mesh<OpnPayload>>,
-    opn_next: usize,
+    /// Cycles an outbox head-of-line message waited on a full local
+    /// inject FIFO (one count per network per cycle).
+    pub opn_inject_stalls: u64,
+    /// Per-network high-water marks of in-flight messages.
+    pub opn_highwater: Vec<usize>,
     /// GDN, GT → IT column (fetch commands).
     pub gdn_col: Chain<GdnFetch>,
     /// GDN rows, IT → row tiles (dispatch), one chain per row 0..=4.
@@ -68,10 +75,9 @@ impl Nets {
     /// Networks for the given configuration.
     pub fn new(cfg: &CoreConfig) -> Nets {
         Nets {
-            opn: (0..cfg.opn_networks.max(1))
-                .map(|_| Mesh::new(5, 5, cfg.opn_fifo))
-                .collect(),
-            opn_next: 0,
+            opn: (0..cfg.opn_networks.max(1)).map(|_| Mesh::new(5, 5, cfg.opn_fifo)).collect(),
+            opn_inject_stalls: 0,
+            opn_highwater: vec![0; cfg.opn_networks.max(1)],
             gdn_col: Chain::new(6),
             gdn_rows: (0..5).map(|_| Chain::new(6)).collect(),
             gsn_rt: Chain::new(5),
@@ -106,9 +112,59 @@ impl Nets {
 
     /// Ticks the contention-modelled networks.
     pub fn tick(&mut self, now: u64) {
-        for m in &mut self.opn {
+        for (n, m) in self.opn.iter_mut().enumerate() {
+            self.opn_highwater[n] = self.opn_highwater[n].max(m.in_flight());
             m.tick(now);
         }
+    }
+
+    /// The parallel OPN carrying traffic for `dst`. Destination
+    /// steering (rather than round-robin) keeps every (src, dst) flow
+    /// on one network, so same-destination operands cannot be
+    /// reordered across networks; Y-X routing and FIFO buffers keep
+    /// them in order within one.
+    pub fn opn_for(&self, dst: TileId) -> usize {
+        let c = dst.opn();
+        (c.row as usize + c.col as usize) % self.opn.len()
+    }
+
+    /// Occupancy of every network, for the hang diagnoser.
+    pub fn diags(&self, now: u64) -> Vec<NetDiag> {
+        let mut out = Vec::new();
+        for (n, m) in self.opn.iter().enumerate() {
+            let pending = m.in_flight() + m.undrained();
+            if pending == 0 {
+                continue;
+            }
+            let oldest = m.oldest_in_flight().map(|(at, src, dst, delivered)| {
+                let from = TileId::from_opn(src);
+                let to = TileId::from_opn(dst);
+                let state = if delivered { "awaiting eject at" } else { "en route to" };
+                format!("{from}->{to} injected at cycle {at} ({} old), {state} {to}", now - at)
+            });
+            out.push(NetDiag { net: format!("OPN{n}"), pending, oldest });
+        }
+        let mut chain = |name: &str, c_pending: usize, c_oldest: Option<(u64, usize)>| {
+            if c_pending > 0 {
+                out.push(NetDiag {
+                    net: name.to_string(),
+                    pending: c_pending,
+                    oldest: c_oldest
+                        .map(|(at, pos)| format!("arrives at cycle {at}, chain position {pos}")),
+                });
+            }
+        };
+        chain("GDN column", self.gdn_col.pending(), self.gdn_col.oldest_pending());
+        for (r, row) in self.gdn_rows.iter().enumerate() {
+            chain(&format!("GDN row {r}"), row.pending(), row.oldest_pending());
+        }
+        chain("GSN/RT", self.gsn_rt.pending(), self.gsn_rt.oldest_pending());
+        chain("GSN/DT", self.gsn_dt.pending(), self.gsn_dt.oldest_pending());
+        chain("GSN/IT", self.gsn_it.pending(), self.gsn_it.oldest_pending());
+        chain("GCN", self.gcn.pending(), self.gcn.oldest_pending());
+        chain("GRN", self.grn.pending(), self.grn.oldest_pending());
+        chain("DSN", self.dsn.pending(), self.dsn.oldest_pending());
+        out
     }
 
     /// True once every network has drained.
@@ -128,6 +184,12 @@ impl Nets {
 /// An operand-network outbox: tiles enqueue sends here and the helper
 /// injects up to one message per network per cycle, preserving order
 /// and modelling the single local-inject port of an OPN router.
+///
+/// Each destination maps to a fixed network ([`Nets::opn_for`]), so
+/// back-to-back operands for the same consumer always share a network
+/// and arrive in order. A message whose network's inject port is full
+/// (or already granted this cycle) blocks every younger message bound
+/// for the same network — but not messages steered elsewhere.
 #[derive(Debug, Default)]
 pub struct OpnOutbox {
     queue: VecDeque<(TileId, OpnPayload)>,
@@ -144,30 +206,68 @@ impl OpnOutbox {
         self.queue.is_empty()
     }
 
+    /// Messages awaiting injection.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
     /// Injects up to one queued message per OPN network this cycle.
-    pub fn flush(&mut self, nets: &mut Nets, now: u64, src: TileId) {
-        for _ in 0..nets.opn.len() {
-            let Some(&(_dst, _)) = self.queue.front() else { return };
-            let n = nets.opn_next % nets.opn.len();
-            nets.opn_next = nets.opn_next.wrapping_add(1);
-            let mesh = &mut nets.opn[n];
-            if !mesh.can_inject(src.opn()) {
+    pub fn flush(&mut self, nets: &mut Nets, now: u64, src: TileId, tracer: &mut Tracer) {
+        if self.queue.is_empty() {
+            return;
+        }
+        // Per-network grant and stall bits; both block younger
+        // same-network messages from overtaking.
+        let mut granted = 0u32;
+        let mut stalled = 0u32;
+        let mut i = 0;
+        while i < self.queue.len() {
+            let n = nets.opn_for(self.queue[i].0);
+            let bit = 1u32 << n;
+            if granted & bit != 0 || stalled & bit != 0 {
+                i += 1;
                 continue;
             }
-            let (dst, payload) = self.queue.pop_front().expect("checked front");
-            let ok = mesh.inject(now, MeshMsg::new(src.opn(), dst.opn(), payload));
+            if !nets.opn[n].can_inject(src.opn()) {
+                stalled |= bit;
+                nets.opn_inject_stalls += 1;
+                i += 1;
+                continue;
+            }
+            let (dst, payload) = self.queue.remove(i).expect("index in bounds");
+            tracer.record(now, || TraceKind::OpnInject {
+                net: n as u8,
+                class: OpnClass::of(&payload),
+                src,
+                dst,
+            });
+            let ok = nets.opn[n].inject(now, MeshMsg::new(src.opn(), dst.opn(), payload));
             debug_assert!(ok, "can_inject said yes");
+            granted |= bit;
+            // `i` now indexes the next message after the removal.
         }
     }
 }
 
 /// Drains one delivered OPN message for `tile`, scanning the parallel
-/// networks round-robin. Returns the message with its hop/queue
-/// counts.
-pub fn opn_recv(nets: &mut Nets, tile: TileId) -> Option<MeshMsg<OpnPayload>> {
+/// networks in order. Returns the message with its hop/queue counts.
+pub fn opn_recv(
+    nets: &mut Nets,
+    now: u64,
+    tile: TileId,
+    tracer: &mut Tracer,
+) -> Option<MeshMsg<OpnPayload>> {
     let node = tile.opn();
-    for m in &mut nets.opn {
+    for (n, m) in nets.opn.iter_mut().enumerate() {
         if let Some(msg) = m.eject(node) {
+            tracer.record(now, || TraceKind::OpnEject {
+                net: n as u8,
+                class: OpnClass::of(&msg.payload),
+                src: TileId::from_opn(msg.src),
+                dst: tile,
+                hops: msg.hops,
+                queued: msg.queued,
+            });
             return Some(msg);
         }
     }
@@ -182,12 +282,16 @@ mod tests {
     use trips_isa::OperandSlot;
 
     fn operand() -> OpnPayload {
+        operand_val(7)
+    }
+
+    fn operand_val(v: i64) -> OpnPayload {
         OpnPayload::Operand {
             frame: FrameId(0),
             gen: 0,
             idx: 5,
             slot: OperandSlot::Left,
-            tok: Tok::Val(7),
+            tok: Tok::Val(v as u64),
             ev: 0,
         }
     }
@@ -196,24 +300,79 @@ mod tests {
     fn outbox_single_port_per_network() {
         let cfg = CoreConfig::prototype();
         let mut nets = Nets::new(&cfg);
+        let mut tr = Tracer::disabled();
         let mut ob = OpnOutbox::default();
         ob.push(TileId::Et(0, 1), operand());
         ob.push(TileId::Et(0, 1), operand());
-        ob.flush(&mut nets, 0, TileId::Et(0, 0));
+        ob.flush(&mut nets, 0, TileId::Et(0, 0), &mut tr);
         assert!(!ob.is_empty(), "one network, one inject per cycle");
-        ob.flush(&mut nets, 1, TileId::Et(0, 0));
+        ob.flush(&mut nets, 1, TileId::Et(0, 0), &mut tr);
         assert!(ob.is_empty());
     }
 
     #[test]
-    fn two_networks_double_injection() {
+    fn two_networks_double_injection_for_distinct_destinations() {
         let cfg = CoreConfig { opn_networks: 2, ..CoreConfig::prototype() };
         let mut nets = Nets::new(&cfg);
+        let mut tr = Tracer::disabled();
         let mut ob = OpnOutbox::default();
-        ob.push(TileId::Et(0, 1), operand());
-        ob.push(TileId::Et(0, 1), operand());
-        ob.flush(&mut nets, 0, TileId::Et(0, 0));
+        // Destinations steered to different networks.
+        let (a, b) = (TileId::Et(0, 1), TileId::Et(0, 2));
+        assert_ne!(nets.opn_for(a), nets.opn_for(b));
+        ob.push(a, operand());
+        ob.push(b, operand());
+        ob.flush(&mut nets, 0, TileId::Et(0, 0), &mut tr);
         assert!(ob.is_empty(), "two networks accept two per cycle");
+    }
+
+    #[test]
+    fn same_destination_shares_a_network_and_stays_ordered() {
+        let cfg = CoreConfig { opn_networks: 2, ..CoreConfig::prototype() };
+        let mut nets = Nets::new(&cfg);
+        let mut tr = Tracer::disabled();
+        let mut ob = OpnOutbox::default();
+        let src = TileId::Et(3, 3);
+        let dst = TileId::Et(0, 0);
+        for v in 0..8 {
+            ob.push(dst, operand_val(v));
+        }
+        let mut got = Vec::new();
+        for t in 0..64u64 {
+            ob.flush(&mut nets, t, src, &mut tr);
+            nets.tick(t);
+            while let Some(m) = opn_recv(&mut nets, t, dst, &mut tr) {
+                let OpnPayload::Operand { tok: Tok::Val(v), .. } = m.payload else {
+                    panic!("unexpected payload")
+                };
+                got.push(v);
+            }
+        }
+        assert_eq!(got, (0..8).collect::<Vec<u64>>(), "same-destination FIFO order");
+    }
+
+    #[test]
+    fn blocked_network_does_not_block_the_other() {
+        let cfg = CoreConfig { opn_networks: 2, ..CoreConfig::prototype() };
+        let mut nets = Nets::new(&cfg);
+        let mut tr = Tracer::disabled();
+        let src = TileId::Et(0, 0);
+        let blocked_dst = TileId::Et(0, 1); // odd coordinate sum
+        let open_dst = TileId::Et(0, 2); // even coordinate sum
+        let nb = nets.opn_for(blocked_dst);
+        let no = nets.opn_for(open_dst);
+        assert_ne!(nb, no);
+        // Fill the blocked network's local inject FIFO at src.
+        while nets.opn[nb].can_inject(src.opn()) {
+            nets.opn[nb].inject(0, MeshMsg::new(src.opn(), blocked_dst.opn(), operand()));
+        }
+        let mut ob = OpnOutbox::default();
+        ob.push(blocked_dst, operand_val(1)); // head of line, stalled
+        ob.push(open_dst, operand_val(2)); // different network, must proceed
+        let before = nets.opn[no].stats.injected;
+        ob.flush(&mut nets, 0, src, &mut tr);
+        assert_eq!(nets.opn[no].stats.injected, before + 1, "open network injected");
+        assert_eq!(ob.len(), 1, "stalled head stays queued");
+        assert!(nets.opn_inject_stalls >= 1, "stall was counted");
     }
 
     #[test]
@@ -233,18 +392,26 @@ mod tests {
     fn opn_roundtrip_through_fabric() {
         let cfg = CoreConfig::prototype();
         let mut nets = Nets::new(&cfg);
+        let mut tr = Tracer::enabled(16);
         let mut ob = OpnOutbox::default();
         ob.push(TileId::Gt, operand());
-        ob.flush(&mut nets, 0, TileId::Et(3, 3));
+        ob.flush(&mut nets, 0, TileId::Et(3, 3), &mut tr);
         let mut got = None;
         for t in 0..30 {
             nets.tick(t);
-            if let Some(m) = opn_recv(&mut nets, TileId::Gt) {
+            if let Some(m) = opn_recv(&mut nets, t, TileId::Gt, &mut tr) {
                 got = Some((t, m));
                 break;
             }
         }
         let (_, m) = got.expect("delivered");
         assert_eq!(m.hops, 8);
+        // The tracer saw the matching inject/eject pair.
+        assert_eq!(tr.opn_injected, 1);
+        assert_eq!(tr.opn_ejected, 1);
+        assert!(tr.events().any(|e| matches!(
+            e.kind,
+            TraceKind::OpnEject { hops: 8, src: TileId::Et(3, 3), dst: TileId::Gt, .. }
+        )));
     }
 }

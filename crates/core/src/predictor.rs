@@ -167,8 +167,7 @@ impl NextBlockPredictor {
         let exit = if self.chooser[ci] >= 2 { self.gshare[gi].1 } else { self.local[li].1 };
 
         // Kind prediction.
-        let ti = ((addr >> 7) as usize ^ (usize::from(exit) << 5))
-            % self.cfg.btype_entries.max(1);
+        let ti = ((addr >> 7) as usize ^ (usize::from(exit) << 5)) % self.cfg.btype_entries.max(1);
         let kind = code_kind(self.btype[ti] >> 1);
 
         // Target prediction by kind.
@@ -177,8 +176,8 @@ impl NextBlockPredictor {
         let target = match kind {
             BranchKind::Sequential | BranchKind::Halt => seq,
             BranchKind::Branch => {
-                let bi = ((addr >> 7) as usize ^ (usize::from(exit) << 4))
-                    % self.cfg.btb_entries.max(1);
+                let bi =
+                    ((addr >> 7) as usize ^ (usize::from(exit) << 4)) % self.cfg.btb_entries.max(1);
                 match self.btb[bi] {
                     Some(e) if e.tag == tag => e.target,
                     _ => seq,
@@ -251,15 +250,14 @@ impl NextBlockPredictor {
         train_exit(&mut self.local[li], exit);
         train_exit(&mut self.gshare[gi], exit);
 
-        let ti =
-            ((addr >> 7) as usize ^ (usize::from(exit) << 5)) % self.cfg.btype_entries.max(1);
+        let ti = ((addr >> 7) as usize ^ (usize::from(exit) << 5)) % self.cfg.btype_entries.max(1);
         train_kind(&mut self.btype[ti], kind_code(kind));
 
         let tag = (addr >> 7) as u32 ^ (u32::from(exit) << 27);
         match kind {
             BranchKind::Branch => {
-                let bi = ((addr >> 7) as usize ^ (usize::from(exit) << 4))
-                    % self.cfg.btb_entries.max(1);
+                let bi =
+                    ((addr >> 7) as usize ^ (usize::from(exit) << 4)) % self.cfg.btb_entries.max(1);
                 self.btb[bi] = Some(BtbEntry { tag, target });
             }
             BranchKind::Call => {

@@ -9,6 +9,7 @@ use trips_micronet::MeshStats;
 
 use crate::config::{CoreConfig, ET_COLS, ET_ROWS, NUM_DTS, NUM_ITS, NUM_RTS};
 use crate::critpath::CritPath;
+use crate::diag::{HangReport, TileDiag};
 use crate::dt::DataTile;
 use crate::et::ExecTile;
 use crate::gt::GlobalTile;
@@ -16,6 +17,7 @@ use crate::it::InstTile;
 use crate::nets::Nets;
 use crate::rt::RegTile;
 use crate::stats::CoreStats;
+use crate::trace::Tracer;
 
 /// Errors from running the processor.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -26,19 +28,26 @@ pub enum SimError {
         cycles: u64,
         /// Blocks committed before the timeout.
         blocks_committed: u64,
-        /// Frames still in flight (for diagnosing deadlocks).
-        in_flight: usize,
+        /// Where the work got stuck: every in-flight frame, every tile
+        /// holding queued work, and every micronetwork with an
+        /// undelivered message (boxed — it is much larger than the
+        /// happy path needs).
+        diagnosis: Box<HangReport>,
     },
 }
 
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::Timeout { cycles, blocks_committed, in_flight } => write!(
-                f,
-                "timeout after {cycles} cycles ({blocks_committed} blocks committed, \
-                 {in_flight} frames in flight)"
-            ),
+            SimError::Timeout { cycles, blocks_committed, diagnosis } => {
+                writeln!(
+                    f,
+                    "timeout after {cycles} cycles ({blocks_committed} blocks committed); \
+                     {}",
+                    diagnosis.summary()
+                )?;
+                write!(f, "{diagnosis}")
+            }
         }
     }
 }
@@ -57,6 +66,7 @@ pub struct Processor {
     mem: SparseMem,
     crit: CritPath,
     stats: CoreStats,
+    tracer: Tracer,
     cycle: u64,
 }
 
@@ -74,6 +84,7 @@ impl Processor {
             mem: SparseMem::new(),
             crit: CritPath::new(cfg.critpath),
             stats: CoreStats::default(),
+            tracer: Tracer::disabled(),
             cycle: 0,
             cfg,
         };
@@ -92,7 +103,25 @@ impl Processor {
         self.nets = Nets::new(&self.cfg);
         self.crit = CritPath::new(self.cfg.critpath);
         self.stats = CoreStats::default();
+        self.tracer.clear();
         self.cycle = 0;
+    }
+
+    /// Turns on the flight recorder with a ring buffer of `capacity`
+    /// events (the recorder survives [`Processor::run`]'s reset, but
+    /// each run starts from an empty buffer).
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.tracer = Tracer::enabled(capacity);
+    }
+
+    /// Turns the flight recorder off and discards its buffer.
+    pub fn disable_tracing(&mut self) {
+        self.tracer = Tracer::disabled();
+    }
+
+    /// The flight recorder (empty unless tracing is enabled).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// The simulated memory (for inspecting results after a run).
@@ -124,7 +153,7 @@ impl Processor {
                 return Err(SimError::Timeout {
                     cycles: self.cycle,
                     blocks_committed: self.stats.blocks_committed,
-                    in_flight: self.gt.in_flight(),
+                    diagnosis: Box::new(self.diagnose()),
                 });
             }
             self.tick();
@@ -139,10 +168,50 @@ impl Processor {
             acc.total_latency += m.stats.total_latency;
             acc
         });
+        self.stats.protocol.opn_inject_stalls =
+            self.nets.opn_inject_stalls + self.stats.opn.inject_fails;
+        self.stats.protocol.opn_inflight_highwater = self.nets.opn_highwater.clone();
         if self.crit.enabled() {
             self.stats.critpath = Some(self.crit.walk(self.gt.final_ev));
         }
         Ok(self.stats.clone())
+    }
+
+    /// Snapshots which frames, tiles, and micronetworks still hold
+    /// work — the hang diagnoser behind [`SimError::Timeout`], also
+    /// callable directly when stepping the clock by hand.
+    pub fn diagnose(&self) -> HangReport {
+        let mut tiles = Vec::new();
+        for (i, it) in self.its.iter().enumerate() {
+            if let Some(detail) = it.diag() {
+                tiles.push(TileDiag { tile: format!("IT{i}"), detail });
+            }
+        }
+        for (b, rt) in self.rts.iter().enumerate() {
+            if let Some(detail) = rt.diag() {
+                tiles.push(TileDiag { tile: format!("RT{b}"), detail });
+            }
+        }
+        for (i, et) in self.ets.iter().enumerate() {
+            if let Some(detail) = et.diag() {
+                tiles.push(TileDiag {
+                    tile: format!("ET({},{})", i / ET_COLS, i % ET_COLS),
+                    detail,
+                });
+            }
+        }
+        for (d, dt) in self.dts.iter().enumerate() {
+            if let Some(detail) = dt.diag() {
+                tiles.push(TileDiag { tile: format!("DT{d}"), detail });
+            }
+        }
+        HangReport {
+            cycle: self.cycle,
+            frames_in_flight: self.gt.in_flight(),
+            frames: self.gt.frame_diags(),
+            tiles,
+            nets: self.nets.diags(self.cycle),
+        }
     }
 
     /// True when every tile and network has drained (no queued work
@@ -169,18 +238,48 @@ impl Processor {
     /// Advances one cycle.
     pub fn tick(&mut self) {
         let now = self.cycle;
-        self.gt.tick(now, &self.cfg, &mut self.nets, &mut self.crit, &mut self.stats, &self.mem);
+        self.gt.tick(
+            now,
+            &self.cfg,
+            &mut self.nets,
+            &mut self.crit,
+            &mut self.stats,
+            &self.mem,
+            &mut self.tracer,
+        );
         for it in &mut self.its {
-            it.tick(now, &self.cfg, &mut self.nets, &self.mem);
+            it.tick(now, &self.cfg, &mut self.nets, &self.mem, &mut self.tracer);
         }
         for rt in &mut self.rts {
-            rt.tick(now, &self.cfg, &mut self.nets, &mut self.crit, &mut self.stats);
+            rt.tick(
+                now,
+                &self.cfg,
+                &mut self.nets,
+                &mut self.crit,
+                &mut self.stats,
+                &mut self.tracer,
+            );
         }
         for et in &mut self.ets {
-            et.tick(now, &self.cfg, &mut self.nets, &mut self.crit, &mut self.stats);
+            et.tick(
+                now,
+                &self.cfg,
+                &mut self.nets,
+                &mut self.crit,
+                &mut self.stats,
+                &mut self.tracer,
+            );
         }
         for dt in &mut self.dts {
-            dt.tick(now, &self.cfg, &mut self.nets, &mut self.crit, &mut self.stats, &mut self.mem);
+            dt.tick(
+                now,
+                &self.cfg,
+                &mut self.nets,
+                &mut self.crit,
+                &mut self.stats,
+                &mut self.mem,
+                &mut self.tracer,
+            );
         }
         self.nets.tick(now);
         self.cycle += 1;

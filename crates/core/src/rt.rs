@@ -14,9 +14,10 @@ use trips_isa::{ArchReg, ReadInst, Target};
 
 use crate::config::{CoreConfig, NUM_FRAMES};
 use crate::critpath::{Cat, CritPath, NO_EVENT};
-use crate::msg::{EvId, FrameId, Gen, GcnMsg, GsnMsg, OpnPayload, RowMsg, TileId};
+use crate::msg::{EvId, FrameId, GcnMsg, Gen, GsnMsg, OpnPayload, RowMsg, TileId};
 use crate::nets::{gcn_pos, opn_recv, row_pos_of_col, rt_chain_pos, Nets, OpnOutbox};
 use crate::stats::CoreStats;
+use crate::trace::{TraceKind, Tracer};
 
 #[derive(Debug, Default, Clone)]
 struct WriteEntry {
@@ -85,6 +86,27 @@ impl RegTile {
         self.order.is_empty() && self.outbox.is_empty()
     }
 
+    /// Queued work for the hang diagnoser (`None` when idle).
+    pub fn diag(&self) -> Option<String> {
+        if self.idle() {
+            return None;
+        }
+        let mut parts = Vec::new();
+        for &frame in &self.order {
+            let f = &self.frames[frame.0 as usize];
+            let missing = f.writes.iter().filter(|w| w.declared && w.value.is_none()).count();
+            let waiters: usize = f.writes.iter().map(|w| w.waiters.len()).sum();
+            parts.push(format!(
+                "frame {}: {missing} write(s) missing, {waiters} read(s) deferred",
+                frame.0
+            ));
+        }
+        if !self.outbox.is_empty() {
+            parts.push(format!("outbox {}", self.outbox.len()));
+        }
+        Some(parts.join("; "))
+    }
+
     /// Activates (or validates) a frame. Only GDN dispatch messages
     /// may establish the age order — OPN traffic can overtake the
     /// dispatch chains, and the write-queue search depends on correct
@@ -123,6 +145,7 @@ impl RegTile {
         nets: &mut Nets,
         crit: &mut CritPath,
         stats: &mut CoreStats,
+        tracer: &mut Tracer,
     ) {
         let pos = row_pos_of_col(self.bank as usize);
 
@@ -162,7 +185,7 @@ impl RegTile {
         }
 
         // Write values from the OPN.
-        while let Some(m) = opn_recv(nets, TileId::Rt(self.bank)) {
+        while let Some(m) = opn_recv(nets, now, TileId::Rt(self.bank), tracer) {
             let (hops, queued) = (m.hops, m.queued);
             if let OpnPayload::WriteVal { frame, gen, wslot, tok, ev } = m.payload {
                 if !self.ensure_frame(frame, gen, false) {
@@ -180,36 +203,40 @@ impl RegTile {
             match msg {
                 GcnMsg::Commit { frame, gen } => {
                     if self.frame_ok(frame, gen) {
+                        tracer.record(now, || TraceKind::CommitWave {
+                            tile: TileId::Rt(self.bank),
+                            frame,
+                        });
                         self.frames[frame.0 as usize].committing = true;
                     }
                 }
-                GcnMsg::Flush { mask, gens } => self.flush(now, mask, gens, crit),
+                GcnMsg::Flush { mask, gens } => {
+                    tracer
+                        .record(now, || TraceKind::FlushWave { tile: TileId::Rt(self.bank), mask });
+                    self.flush(now, mask, gens, crit);
+                }
             }
         }
 
         // East neighbour's status chain messages.
         while let Some(msg) = nets.gsn_rt.recv(now, rt_chain_pos(self.bank as usize)) {
             match msg {
-                GsnMsg::WritesDone { frame, gen, ev } => {
-                    if self.frame_ok(frame, gen) {
-                        let f = &mut self.frames[frame.0 as usize];
-                        f.east_done = true;
-                        f.done_ev = crit.later(f.done_ev, ev);
-                    }
+                GsnMsg::WritesDone { frame, gen, ev } if self.frame_ok(frame, gen) => {
+                    let f = &mut self.frames[frame.0 as usize];
+                    f.east_done = true;
+                    f.done_ev = crit.later(f.done_ev, ev);
                 }
-                GsnMsg::WritesCommitted { frame, gen } => {
-                    if self.frame_ok(frame, gen) {
-                        self.frames[frame.0 as usize].east_ack = true;
-                    }
+                GsnMsg::WritesCommitted { frame, gen } if self.frame_ok(frame, gen) => {
+                    self.frames[frame.0 as usize].east_ack = true;
                 }
                 _ => {}
             }
         }
 
         // Advance completion signalling, commit draining, and acks.
-        self.advance_frames(now, cfg, nets, crit);
+        self.advance_frames(now, cfg, nets, crit, tracer);
 
-        self.outbox.flush(nets, now, TileId::Rt(self.bank));
+        self.outbox.flush(nets, now, TileId::Rt(self.bank), tracer);
         let _ = stats;
     }
 
@@ -219,7 +246,9 @@ impl RegTile {
         cfg: &CoreConfig,
         nets: &mut Nets,
         crit: &mut CritPath,
+        tracer: &mut Tracer,
     ) {
+        let bank = self.bank;
         let my_pos = rt_chain_pos(self.bank as usize);
         let west = my_pos - 1;
         let mut cleared: Vec<FrameId> = Vec::new();
@@ -235,6 +264,7 @@ impl RegTile {
                 let all = f.writes.iter().all(|w| !w.declared || w.value.is_some());
                 if all {
                     f.done_sent = true;
+                    tracer.record(now, || TraceKind::WritesDone { rt: bank, frame });
                     let ev = crit.event(now, f.done_ev, Cat::BlockComplete, 1);
                     nets.gsn_rt.send(
                         now,
@@ -251,8 +281,7 @@ impl RegTile {
                         break;
                     }
                     let e = &f.writes[f.commit_cursor];
-                    if let (true, Some(reg), Some((Tok::Val(v), _))) =
-                        (e.declared, e.reg, e.value)
+                    if let (true, Some(reg), Some((Tok::Val(v), _))) = (e.declared, e.reg, e.value)
                     {
                         self.regs[reg.index_in_bank() as usize] = v;
                     }
@@ -264,12 +293,8 @@ impl RegTile {
             }
             if f.commit_done && f.east_ack && !f.ack_sent {
                 f.ack_sent = true;
-                nets.gsn_rt.send(
-                    now,
-                    my_pos,
-                    west,
-                    GsnMsg::WritesCommitted { frame, gen: f.gen },
-                );
+                tracer.record(now, || TraceKind::CommitAck { tile: TileId::Rt(bank), frame });
+                nets.gsn_rt.send(now, my_pos, west, GsnMsg::WritesCommitted { frame, gen: f.gen });
                 // Deactivate; the generation bump matches the GT's
                 // deallocation bump so stragglers read as stale.
                 f.active = false;
@@ -284,19 +309,19 @@ impl RegTile {
 
     fn flush(&mut self, now: u64, mask: u8, gens: [Gen; 8], crit: &mut CritPath) {
         let mut orphaned: Vec<Waiter> = Vec::new();
-        for fi in 0..NUM_FRAMES {
+        for (fi, &new_gen) in gens.iter().enumerate() {
             if mask & (1 << fi) == 0 {
                 continue;
             }
             let f = &mut self.frames[fi];
-            if f.active && f.gen < gens[fi] {
+            if f.active && f.gen < new_gen {
                 for w in &mut f.writes {
                     orphaned.append(&mut w.waiters);
                 }
-                *f = RtFrame { active: false, gen: gens[fi], ..RtFrame::default() };
+                *f = RtFrame { active: false, gen: new_gen, ..RtFrame::default() };
                 self.order.retain(|&x| x.0 as usize != fi);
-            } else if !f.active && f.gen < gens[fi] {
-                f.gen = gens[fi];
+            } else if !f.active && f.gen < new_gen {
+                f.gen = new_gen;
             }
         }
         // Waiters from surviving frames must retry their search (they
@@ -313,6 +338,7 @@ impl RegTile {
     /// Resolves a read: search older frames' write queues from the
     /// youngest older frame (or from below `resume_below`), forwarding
     /// or deferring; fall through to the architectural file.
+    #[allow(clippy::too_many_arguments)]
     fn resolve_read(
         &mut self,
         now: u64,
@@ -323,36 +349,28 @@ impl RegTile {
         resume_below: Option<FrameId>,
         crit: &mut CritPath,
     ) {
-        let start = match resume_below {
-            Some(below) => self.order.iter().position(|&x| x == below).unwrap_or(
-                self.order.iter().position(|&x| x == frame).unwrap_or(self.order.len()),
-            ),
-            None => self
-                .order
-                .iter()
-                .position(|&x| x == frame)
-                .expect("reader frame must be in dispatch order"),
-        };
+        let start =
+            match resume_below {
+                Some(below) => self.order.iter().position(|&x| x == below).unwrap_or(
+                    self.order.iter().position(|&x| x == frame).unwrap_or(self.order.len()),
+                ),
+                None => self
+                    .order
+                    .iter()
+                    .position(|&x| x == frame)
+                    .expect("reader frame must be in dispatch order"),
+            };
         for oi in (0..start).rev() {
             let older = self.order[oi];
             let of = &mut self.frames[older.0 as usize];
             if !of.active {
                 continue;
             }
-            let hit = of
-                .writes
-                .iter_mut()
-                .find(|w| w.declared && w.reg == Some(read.reg));
+            let hit = of.writes.iter_mut().find(|w| w.declared && w.reg == Some(read.reg));
             if let Some(entry) = hit {
                 match entry.value {
                     None => {
-                        entry.waiters.push(Waiter {
-                            frame,
-                            gen,
-                            read,
-                            ev,
-                            resume_below: older,
-                        });
+                        entry.waiters.push(Waiter { frame, gen, read, ev, resume_below: older });
                         return;
                     }
                     Some((Tok::Val(v), vev)) => {

@@ -21,6 +21,89 @@ pub struct BlockTiming {
     pub ack: u64,
 }
 
+/// A fixed-bucket latency histogram: buckets 0..31 hold exact cycle
+/// counts, the last bucket holds everything at 31 cycles and above.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; 32],
+    count: u64,
+    sum: u64,
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        let b = (v as usize).min(self.buckets.len() - 1);
+        self.buckets[b] += 1;
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the recorded samples.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Occupancy of bucket `b` (bucket 31 aggregates `>= 31`).
+    pub fn bucket(&self, b: usize) -> u64 {
+        self.buckets[b]
+    }
+
+    /// The smallest value `p` such that at least `fraction` of the
+    /// samples are `<= p` (bucket-granular; saturates at 31).
+    pub fn percentile(&self, fraction: f64) -> u64 {
+        let need = (self.count as f64 * fraction).ceil() as u64;
+        let mut seen = 0;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= need {
+                return b as u64;
+            }
+        }
+        (self.buckets.len() - 1) as u64
+    }
+}
+
+/// Counters for the distributed protocols themselves — the timing
+/// behaviour the paper's §4 and §5 argue about, as opposed to the
+/// workload-facing counters in [`CoreStats`].
+#[derive(Debug, Clone, Default)]
+pub struct ProtocolStats {
+    /// Cycles from fetch start to the GDN dispatch command, per block.
+    pub fetch_to_dispatch: Histogram,
+    /// Fetches started (the overlap-ratio denominator).
+    pub fetches_started: u64,
+    /// Fetches started while some older block was committing — the
+    /// Figure 5b claim that fetch of block N+7 overlaps commit of
+    /// block N.
+    pub overlapped_fetches: u64,
+    /// Cycles an operand outbox's head-of-line message waited on a
+    /// full OPN inject port (contention the critical path feels).
+    pub opn_inject_stalls: u64,
+    /// Per-network high-water marks of in-flight OPN messages.
+    pub opn_inflight_highwater: Vec<usize>,
+}
+
+impl ProtocolStats {
+    /// Fraction of fetches that overlapped an in-progress commit.
+    pub fn commit_fetch_overlap(&self) -> f64 {
+        if self.fetches_started == 0 {
+            0.0
+        } else {
+            self.overlapped_fetches as f64 / self.fetches_started as f64
+        }
+    }
+}
+
 /// Statistics accumulated over one run of the core.
 #[derive(Debug, Clone, Default)]
 pub struct CoreStats {
@@ -65,6 +148,9 @@ pub struct CoreStats {
     pub fanout_movs: u64,
     /// Operand-network statistics (summed across parallel networks).
     pub opn: MeshStats,
+    /// Protocol-level timing counters (fetch cadence, commit overlap,
+    /// OPN contention).
+    pub protocol: ProtocolStats,
     /// Critical-path breakdown (present when recording was enabled).
     pub critpath: Option<CritBreakdown>,
     /// Lifecycle timestamps of the first committed blocks (up to 64),
@@ -95,6 +181,27 @@ impl CoreStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn histogram_buckets_and_moments() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 1, 5, 40] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.bucket(1), 2);
+        assert_eq!(h.bucket(31), 1, "overflow clamps to the last bucket");
+        assert!((h.mean() - 47.0 / 5.0).abs() < 1e-12);
+        assert_eq!(h.percentile(0.5), 1);
+        assert_eq!(h.percentile(1.0), 31);
+    }
+
+    #[test]
+    fn overlap_ratio() {
+        let p = ProtocolStats { fetches_started: 8, overlapped_fetches: 6, ..Default::default() };
+        assert!((p.commit_fetch_overlap() - 0.75).abs() < 1e-12);
+        assert_eq!(ProtocolStats::default().commit_fetch_overlap(), 0.0);
+    }
 
     #[test]
     fn derived_rates() {

@@ -14,9 +14,8 @@ fn run_both(p: trips_tasm::Program, cells: &[u64]) -> trips_core::CoreStats {
         let reference = blockinterp::run_image(&c.image, 500_000)
             .unwrap_or_else(|e| panic!("blockinterp({q}) failed: {e}"));
         let mut cpu = Processor::new(CoreConfig::prototype());
-        let stats = cpu
-            .run(&c.image, 3_000_000)
-            .unwrap_or_else(|e| panic!("core({q}) failed: {e}"));
+        let stats =
+            cpu.run(&c.image, 3_000_000).unwrap_or_else(|e| panic!("core({q}) failed: {e}"));
         for (i, &cell) in cells.iter().enumerate() {
             assert_eq!(
                 cpu.memory().read_u64(cell),

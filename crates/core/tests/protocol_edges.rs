@@ -3,8 +3,7 @@
 
 use trips_core::{CoreConfig, Processor};
 use trips_isa::{
-    ArchReg, BlockFlags, Instruction, Opcode, ProgramImage, ReadInst, Target, TripsBlock,
-    WriteInst,
+    ArchReg, BlockFlags, Instruction, Opcode, ProgramImage, ReadInst, Target, TripsBlock, WriteInst,
 };
 use trips_tasm::{compile, Opcode as TOp, ProgramBuilder, Quality};
 

@@ -1,0 +1,240 @@
+//! # trips-harness — self-contained test and bench support
+//!
+//! The build environment for this repository has no access to
+//! crates.io, so the usual `rand`/`proptest`/`criterion` stack is
+//! unavailable. This crate supplies the two pieces the workspace
+//! actually needs, with zero dependencies:
+//!
+//! * [`Rng`] — a small, fast, seeded PRNG (SplitMix64) for
+//!   deterministic randomized tests;
+//! * [`Criterion`] — a minimal wall-clock micro-benchmark harness with
+//!   a Criterion-compatible surface (`bench_function`, `iter`,
+//!   `sample_size`, and the [`criterion_group!`]/[`criterion_main!`]
+//!   macros) so the `harness = false` bench targets keep their shape.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// A seeded SplitMix64 PRNG.
+///
+/// SplitMix64 passes BigCrush, needs two lines of state transition,
+/// and is more than random enough for test-input generation. The same
+/// seed always yields the same stream on every platform.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> Rng {
+        Rng { state: seed }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// The next 32 random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniform `u64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    /// A uniform `usize` in `[lo, hi)`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// A uniform `u8` in `[lo, hi)`.
+    pub fn range_u8(&mut self, lo: u8, hi: u8) -> u8 {
+        self.range_u64(u64::from(lo), u64::from(hi)) as u8
+    }
+
+    /// A uniform `i64` in `[lo, hi)`.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "empty range");
+        lo.wrapping_add((self.next_u64() % lo.abs_diff(hi)) as i64)
+    }
+
+    /// A uniform `i32` in `[lo, hi)`.
+    pub fn range_i32(&mut self, lo: i32, hi: i32) -> i32 {
+        self.range_i64(i64::from(lo), i64::from(hi)) as i32
+    }
+
+    /// A coin flip with probability `num/den` of `true`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.range_u64(0, den) < num
+    }
+}
+
+/// Timing results of one benchmark: wall-clock per iteration.
+struct Sample {
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+}
+
+/// A minimal stand-in for `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark (compatibility shim).
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs `f` as a named benchmark: one warm-up sample, then
+    /// `sample_size` timed samples, printing mean/min/max per
+    /// iteration.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { iters: 1, elapsed_ns: 0.0 };
+        // Warm-up and iteration-count calibration: grow the iteration
+        // count until one sample takes ≥ ~5 ms.
+        loop {
+            b.elapsed_ns = 0.0;
+            f(&mut b);
+            if b.elapsed_ns >= 5_000_000.0 || b.iters >= 1 << 20 {
+                break;
+            }
+            b.iters *= 4;
+        }
+        let mut means = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            b.elapsed_ns = 0.0;
+            f(&mut b);
+            means.push(b.elapsed_ns / b.iters as f64);
+        }
+        let s = Sample {
+            mean_ns: means.iter().sum::<f64>() / means.len() as f64,
+            min_ns: means.iter().cloned().fold(f64::INFINITY, f64::min),
+            max_ns: means.iter().cloned().fold(0.0, f64::max),
+        };
+        println!(
+            "{name:<40} {:>12} {:>12} {:>12}   ({} samples x {} iters)",
+            fmt_ns(s.mean_ns),
+            fmt_ns(s.min_ns),
+            fmt_ns(s.max_ns),
+            self.sample_size,
+            b.iters,
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// The per-benchmark timing driver handed to the closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, running it the calibrated number of times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed_ns += start.elapsed().as_nanos() as f64;
+    }
+}
+
+/// Criterion-compatible group definition. Both the simple
+/// `criterion_group!(name, target, ...)` and the configured
+/// `criterion_group! { name = ..; config = ..; targets = .. }` forms
+/// are accepted.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Criterion-compatible main: runs every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_and_in_range() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut r = Rng::new(7);
+        for _ in 0..10_000 {
+            let v = r.range_u64(10, 20);
+            assert!((10..20).contains(&v));
+            let i = r.range_i64(-5, 5);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn rng_covers_small_ranges() {
+        let mut r = Rng::new(1);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[r.range_usize(0, 8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

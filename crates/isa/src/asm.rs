@@ -83,7 +83,9 @@ fn parse_target(tok: &str, line: usize) -> Result<Target, AsmError> {
 }
 
 fn parse_slot(prefix: &str, head: &str, line: usize) -> Result<Option<u8>, AsmError> {
-    let Some(rest) = head.strip_prefix(prefix) else { return Ok(None) };
+    let Some(rest) = head.strip_prefix(prefix) else {
+        return Ok(None);
+    };
     let Some(inner) = rest.strip_suffix(']') else {
         return err(line, format!("expected {prefix}...] in '{head}'"));
     };
@@ -120,9 +122,8 @@ pub fn assemble_block(text: &str) -> Result<TripsBlock, AsmError> {
                 Some("read") => {}
                 other => return err(line, format!("expected 'read', got {other:?}")),
             }
-            let reg_tok = toks
-                .next()
-                .ok_or_else(|| AsmError { line, msg: "missing register".into() })?;
+            let reg_tok =
+                toks.next().ok_or_else(|| AsmError { line, msg: "missing register".into() })?;
             let reg = parse_reg(reg_tok, line)?;
             let mut targets = [Target::None; 2];
             for (k, t) in toks.enumerate() {
@@ -141,9 +142,8 @@ pub fn assemble_block(text: &str) -> Result<TripsBlock, AsmError> {
                 Some("write") => {}
                 other => return err(line, format!("expected 'write', got {other:?}")),
             }
-            let reg_tok = toks
-                .next()
-                .ok_or_else(|| AsmError { line, msg: "missing register".into() })?;
+            let reg_tok =
+                toks.next().ok_or_else(|| AsmError { line, msg: "missing register".into() })?;
             let reg = parse_reg(reg_tok, line)?;
             block
                 .set_write(slot, WriteInst::new(reg))
@@ -168,9 +168,7 @@ pub fn assemble_block(text: &str) -> Result<TripsBlock, AsmError> {
                 toks.next();
             }
         }
-        let mnem = toks
-            .next()
-            .ok_or_else(|| AsmError { line, msg: "missing mnemonic".into() })?;
+        let mnem = toks.next().ok_or_else(|| AsmError { line, msg: "missing mnemonic".into() })?;
         let &opcode = mnems
             .get(mnem)
             .ok_or_else(|| AsmError { line, msg: format!("unknown mnemonic '{mnem}'") })?;
@@ -185,17 +183,11 @@ pub fn assemble_block(text: &str) -> Result<TripsBlock, AsmError> {
                     .parse()
                     .map_err(|_| AsmError { line, msg: format!("bad immediate '{t}'") })?;
             } else if let Some(v) = t.strip_prefix("[lsid=").and_then(|r| r.strip_suffix(']')) {
-                lsid = v
-                    .parse()
-                    .map_err(|_| AsmError { line, msg: format!("bad lsid '{t}'") })?;
+                lsid = v.parse().map_err(|_| AsmError { line, msg: format!("bad lsid '{t}'") })?;
             } else if let Some(v) = t.strip_prefix("exit=") {
-                exit = v
-                    .parse()
-                    .map_err(|_| AsmError { line, msg: format!("bad exit '{t}'") })?;
+                exit = v.parse().map_err(|_| AsmError { line, msg: format!("bad exit '{t}'") })?;
             } else if let Some(v) = t.strip_prefix("offset=") {
-                imm = v
-                    .parse()
-                    .map_err(|_| AsmError { line, msg: format!("bad offset '{t}'") })?;
+                imm = v.parse().map_err(|_| AsmError { line, msg: format!("bad offset '{t}'") })?;
             } else {
                 targets.push(parse_target(t, line)?);
             }
@@ -216,10 +208,7 @@ pub fn assemble_block(text: &str) -> Result<TripsBlock, AsmError> {
     body.sort_by_key(|(idx, _)| *idx);
     for (idx, inst) in body {
         while block.insts.len() < idx as usize {
-            block.push(Instruction::nop()).map_err(|e| AsmError {
-                line: 0,
-                msg: e.to_string(),
-            })?;
+            block.push(Instruction::nop()).map_err(|e| AsmError { line: 0, msg: e.to_string() })?;
         }
         if block.insts.len() != idx as usize {
             return err(0, format!("duplicate instruction index {idx}"));

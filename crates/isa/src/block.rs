@@ -368,41 +368,42 @@ impl TripsBlock {
 
         // Target sanity, and producer coverage for every needed operand.
         let mut produced = vec![[false; 3]; self.insts.len()];
-        let check_target = |from: u16, t: Target| -> Result<Option<(u8, OperandSlot)>, BlockError> {
-            match t {
-                Target::None => Ok(None),
-                Target::Write { slot } => {
-                    if self.header.writes[slot as usize].is_none() {
-                        Err(BlockError::TargetInvalidWrite { slot })
-                    } else {
-                        Ok(None)
+        let check_target =
+            |from: u16, t: Target| -> Result<Option<(u8, OperandSlot)>, BlockError> {
+                match t {
+                    Target::None => Ok(None),
+                    Target::Write { slot } => {
+                        if self.header.writes[slot as usize].is_none() {
+                            Err(BlockError::TargetInvalidWrite { slot })
+                        } else {
+                            Ok(None)
+                        }
+                    }
+                    Target::Inst { idx, slot } => {
+                        let Some(consumer) = self.insts.get(idx as usize) else {
+                            return Err(BlockError::DanglingTarget { from, target: t });
+                        };
+                        if consumer.is_nop() {
+                            return Err(BlockError::DanglingTarget { from, target: t });
+                        }
+                        match slot {
+                            OperandSlot::Predicate if consumer.pred == Pred::None => {
+                                return Err(BlockError::PredicateOfUnpredicated { target: t });
+                            }
+                            OperandSlot::Left if consumer.opcode.needs() == OperandNeeds::None => {
+                                return Err(BlockError::UselessOperand { target: t });
+                            }
+                            OperandSlot::Right
+                                if consumer.opcode.needs() != OperandNeeds::LeftRight =>
+                            {
+                                return Err(BlockError::UselessOperand { target: t });
+                            }
+                            _ => {}
+                        }
+                        Ok(Some((idx, slot)))
                     }
                 }
-                Target::Inst { idx, slot } => {
-                    let Some(consumer) = self.insts.get(idx as usize) else {
-                        return Err(BlockError::DanglingTarget { from, target: t });
-                    };
-                    if consumer.is_nop() {
-                        return Err(BlockError::DanglingTarget { from, target: t });
-                    }
-                    match slot {
-                        OperandSlot::Predicate if consumer.pred == Pred::None => {
-                            return Err(BlockError::PredicateOfUnpredicated { target: t });
-                        }
-                        OperandSlot::Left if consumer.opcode.needs() == OperandNeeds::None => {
-                            return Err(BlockError::UselessOperand { target: t });
-                        }
-                        OperandSlot::Right
-                            if consumer.opcode.needs() != OperandNeeds::LeftRight =>
-                        {
-                            return Err(BlockError::UselessOperand { target: t });
-                        }
-                        _ => {}
-                    }
-                    Ok(Some((idx, slot)))
-                }
-            }
-        };
+            };
 
         for (n, i) in self.insts.iter().enumerate() {
             if i.is_nop() {

@@ -102,8 +102,7 @@ pub fn decode_header(bytes: &[u8]) -> Result<(BlockHeader, usize), DecodeError> 
                 .ok_or(DecodeError::BadTarget(((w >> 9) & 0x1ff) as u16))?;
             let gr = ((w >> 18) & 0x1f) as u8;
             let bank = crate::coords::read_slot_bank(i as u8);
-            h.reads[i] =
-                Some(ReadInst::new(ArchReg::from_bank_index(bank, gr), [t0, t1]));
+            h.reads[i] = Some(ReadInst::new(ArchReg::from_bank_index(bank, gr), [t0, t1]));
         }
         if w & (1 << 29) != 0 {
             let gr = ((w >> 24) & 0x1f) as u8;
@@ -285,17 +284,17 @@ mod tests {
 
     fn sample_block() -> TripsBlock {
         let mut b = TripsBlock::new();
-        b.set_read(0, ReadInst::new(ArchReg::new(4), [Target::left(1), Target::left(2)]))
-            .unwrap();
-        b.set_read(9, ReadInst::new(ArchReg::new(33), [Target::right(1), Target::none()]))
-            .unwrap();
+        b.set_read(0, ReadInst::new(ArchReg::new(4), [Target::left(1), Target::left(2)])).unwrap();
+        b.set_read(9, ReadInst::new(ArchReg::new(33), [Target::right(1), Target::none()])).unwrap();
         b.set_write(5, WriteInst::new(ArchReg::new(7))).unwrap();
         b.set_write(17, WriteInst::new(ArchReg::new(64))).unwrap();
         b.header.store_mask = 0b10;
         b.header.flags = BlockFlags::INHIBIT_SPECULATION;
         b.push(Instruction::movi(-3, [Target::right(2), Target::none()])).unwrap(); // N[0]
-        b.push(Instruction::op(Opcode::Add, [Target::write(5), Target::pred(3)]).with_pred(Pred::None))
-            .unwrap(); // N[1] — pred target checked by validate, not encode
+        b.push(
+            Instruction::op(Opcode::Add, [Target::write(5), Target::pred(3)]).with_pred(Pred::None),
+        )
+        .unwrap(); // N[1] — pred target checked by validate, not encode
         b.push(Instruction::op(Opcode::Mul, [Target::left(4), Target::write(17)])).unwrap(); // N[2]
         b.push(Instruction::branch(Opcode::Bro, 3, -17).with_pred(Pred::OnTrue)).unwrap(); // N[3]
         b.push(Instruction::load(Opcode::Ld, 0, -8, Target::left(5))).unwrap(); // N[4]
@@ -365,8 +364,7 @@ mod tests {
         // Zero out the chunk-count meta bits (meta bits 40..43 live in
         // words 20 and 21, top two bits each).
         for w in [20usize, 21] {
-            let mut word =
-                u32::from_le_bytes(bytes[4 * w..4 * w + 4].try_into().unwrap());
+            let mut word = u32::from_le_bytes(bytes[4 * w..4 * w + 4].try_into().unwrap());
             word &= 0x3fff_ffff;
             bytes[4 * w..4 * w + 4].copy_from_slice(&word.to_le_bytes());
         }

@@ -387,14 +387,7 @@ impl Instruction {
         assert!(opcode.is_store(), "{opcode} is not a store");
         assert!(lsid < 32, "lsid out of range: {lsid}");
         assert!((-(1 << 8)..(1 << 8)).contains(&imm), "imm9 out of range: {imm}");
-        Instruction {
-            opcode,
-            pred: Pred::None,
-            targets: [Target::None; 2],
-            imm,
-            lsid,
-            exit: 0,
-        }
+        Instruction { opcode, pred: Pred::None, targets: [Target::None; 2], imm, lsid, exit: 0 }
     }
 
     /// A B-format branch with an exit number and a signed block offset
@@ -431,14 +424,7 @@ impl Instruction {
             "{opcode} is not a register branch"
         );
         assert!(exit < 8, "exit out of range: {exit}");
-        Instruction {
-            opcode,
-            pred: Pred::None,
-            targets: [Target::None; 2],
-            imm: 0,
-            lsid: 0,
-            exit,
-        }
+        Instruction { opcode, pred: Pred::None, targets: [Target::None; 2], imm: 0, lsid: 0, exit }
     }
 
     /// The same instruction guarded by `pred`.

@@ -75,7 +75,9 @@ mod opcode;
 pub mod semantics;
 
 pub use block::{BlockError, BlockFlags, BlockHeader, ReadInst, TripsBlock, WriteInst};
-pub use coords::{EtCoord, InstSlot, read_slot_bank, write_slot_bank, ARCH_REGS, REG_BANKS, REGS_PER_BANK};
+pub use coords::{
+    read_slot_bank, write_slot_bank, EtCoord, InstSlot, ARCH_REGS, REGS_PER_BANK, REG_BANKS,
+};
 pub use disasm::disassemble;
 pub use encode::{
     decode, decode_body_chunk, decode_header, encode, DecodeError, CHUNK_BYTES, MAX_BLOCK_BYTES,

@@ -318,7 +318,9 @@ mod tests {
     #[test]
     fn format_classes_are_consistent() {
         for bits in 0u8..128 {
-            let Some(op) = Opcode::from_bits(bits) else { continue };
+            let Some(op) = Opcode::from_bits(bits) else {
+                continue;
+            };
             assert_eq!(op.is_load(), op.format() == Format::L);
             assert_eq!(op.is_store(), op.format() == Format::S);
             if op.format() == Format::B {
@@ -355,7 +357,9 @@ mod tests {
     fn mnemonics_are_lowercase_and_unique() {
         let mut seen = std::collections::HashSet::new();
         for bits in 0u8..128 {
-            let Some(op) = Opcode::from_bits(bits) else { continue };
+            let Some(op) = Opcode::from_bits(bits) else {
+                continue;
+            };
             let m = op.mnemonic();
             assert_eq!(m, m.to_lowercase());
             assert!(seen.insert(m), "duplicate mnemonic {m}");

@@ -65,13 +65,19 @@ pub fn eval(op: Opcode, left: u64, right: u64, imm: i32) -> u64 {
         Sub => l.wrapping_sub(r),
         Mul => l.wrapping_mul(r),
         Div => {
-            if ri == 0 { 0 } else { li.wrapping_div(ri) as u64 }
+            if ri == 0 {
+                0
+            } else {
+                li.wrapping_div(ri) as u64
+            }
         }
-        Divu => {
-            if r == 0 { 0 } else { l / r }
-        }
+        Divu => l.checked_div(r).unwrap_or(0),
         Mod => {
-            if ri == 0 { 0 } else { li.wrapping_rem(ri) as u64 }
+            if ri == 0 {
+                0
+            } else {
+                li.wrapping_rem(ri) as u64
+            }
         }
         And => l & r,
         Or => l | r,
@@ -106,10 +112,18 @@ pub fn eval(op: Opcode, left: u64, right: u64, imm: i32) -> u64 {
         Subi => l.wrapping_sub(im as u64),
         Muli => l.wrapping_mul(im as u64),
         Divi => {
-            if im == 0 { 0 } else { li.wrapping_div(im) as u64 }
+            if im == 0 {
+                0
+            } else {
+                li.wrapping_div(im) as u64
+            }
         }
         Modi => {
-            if im == 0 { 0 } else { li.wrapping_rem(im) as u64 }
+            if im == 0 {
+                0
+            } else {
+                li.wrapping_rem(im) as u64
+            }
         }
         Andi => l & (im as u64),
         Ori => l | (im as u64),

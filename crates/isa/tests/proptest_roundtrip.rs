@@ -1,107 +1,126 @@
-//! Property tests: every well-formed block survives the binary
-//! encode/decode round trip and the validator accepts what the
-//! builders produce.
+//! Randomized property tests: every well-formed block survives the
+//! binary encode/decode round trip and the validator accepts what the
+//! builders produce. (Seeded generation via `trips_harness::Rng`; the
+//! environment has no crates.io access so `proptest` is unavailable.)
 
-use proptest::prelude::*;
+use trips_harness::Rng;
 use trips_isa::*;
 
-fn target_strategy(nbody: u8) -> impl Strategy<Value = Target> {
-    prop_oneof![
-        Just(Target::None),
-        (0..nbody).prop_map(Target::left),
-        (0..nbody).prop_map(Target::right),
-        (0..32u8).prop_map(Target::write),
-    ]
+fn target(rng: &mut Rng, nbody: u8) -> Target {
+    match rng.range_u8(0, 4) {
+        0 => Target::None,
+        1 => Target::left(rng.range_u8(0, nbody)),
+        2 => Target::right(rng.range_u8(0, nbody)),
+        _ => Target::write(rng.range_u8(0, 32)),
+    }
 }
 
-fn g_format() -> impl Strategy<Value = Opcode> {
-    prop_oneof![
-        Just(Opcode::Add),
-        Just(Opcode::Sub),
-        Just(Opcode::Mul),
-        Just(Opcode::And),
-        Just(Opcode::Or),
-        Just(Opcode::Xor),
-        Just(Opcode::Teq),
-        Just(Opcode::Tlt),
-        Just(Opcode::Fadd),
-        Just(Opcode::Fmul),
-    ]
+fn g_format(rng: &mut Rng) -> Opcode {
+    [
+        Opcode::Add,
+        Opcode::Sub,
+        Opcode::Mul,
+        Opcode::And,
+        Opcode::Or,
+        Opcode::Xor,
+        Opcode::Teq,
+        Opcode::Tlt,
+        Opcode::Fadd,
+        Opcode::Fmul,
+    ][rng.range_usize(0, 10)]
 }
 
-fn inst_strategy(nbody: u8) -> impl Strategy<Value = Instruction> {
-    prop_oneof![
-        (g_format(), target_strategy(nbody), target_strategy(nbody))
-            .prop_map(|(op, t0, t1)| Instruction::op(op, [t0, t1])),
-        (-8192i32..8192, target_strategy(nbody))
-            .prop_map(|(imm, t)| Instruction::movi(imm, [t, Target::none()])),
-        (0u8..32, -256i32..256, target_strategy(nbody))
-            .prop_map(|(lsid, imm, t)| Instruction::load(Opcode::Ld, lsid, imm, t)),
-        (0u8..32, -256i32..256)
-            .prop_map(|(lsid, imm)| Instruction::store(Opcode::Sd, lsid, imm)),
-        (0u8..8, -1000i32..1000)
-            .prop_map(|(exit, off)| Instruction::branch(Opcode::Bro, exit, off)),
-        (0u16..u16::MAX, target_strategy(nbody))
-            .prop_map(|(c, t)| Instruction::constant(Opcode::Genu, c, t)),
-    ]
+fn inst(rng: &mut Rng, nbody: u8) -> Instruction {
+    match rng.range_u8(0, 6) {
+        0 => {
+            let op = g_format(rng);
+            let t0 = target(rng, nbody);
+            let t1 = target(rng, nbody);
+            Instruction::op(op, [t0, t1])
+        }
+        1 => {
+            let imm = rng.range_i32(-8192, 8192);
+            let t = target(rng, nbody);
+            Instruction::movi(imm, [t, Target::none()])
+        }
+        2 => {
+            let lsid = rng.range_u8(0, 32);
+            let imm = rng.range_i32(-256, 256);
+            let t = target(rng, nbody);
+            Instruction::load(Opcode::Ld, lsid, imm, t)
+        }
+        3 => {
+            let lsid = rng.range_u8(0, 32);
+            let imm = rng.range_i32(-256, 256);
+            Instruction::store(Opcode::Sd, lsid, imm)
+        }
+        4 => {
+            let exit = rng.range_u8(0, 8);
+            let off = rng.range_i32(-1000, 1000);
+            Instruction::branch(Opcode::Bro, exit, off)
+        }
+        _ => {
+            let c = rng.next_u32() as u16;
+            let t = target(rng, nbody);
+            Instruction::constant(Opcode::Genu, c, t)
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Encode/decode is the identity on arbitrary instruction mixes
-    /// (structural round trip; the blocks need not be executable).
-    #[test]
-    fn block_roundtrips(
-        insts in prop::collection::vec(inst_strategy(96), 1..96),
-        store_mask in any::<u32>(),
-        flags in any::<u8>(),
-    ) {
+/// Encode/decode is the identity on arbitrary instruction mixes
+/// (structural round trip; the blocks need not be executable).
+#[test]
+fn block_roundtrips() {
+    let mut rng = Rng::new(0x5eed_0001);
+    for _ in 0..256 {
+        let n = rng.range_usize(1, 96);
         let mut b = TripsBlock::new();
-        for i in &insts {
-            b.push(*i).expect("under the limit");
+        for _ in 0..n {
+            b.push(inst(&mut rng, 96)).expect("under the limit");
         }
         // A block must end with something non-nop for exact
         // round-tripping (trailing nops are trimmed by decode).
         b.push(Instruction::branch(Opcode::Halt, 0, 0)).unwrap();
-        b.header.store_mask = store_mask;
-        b.header.flags = BlockFlags::from_bits(flags);
+        b.header.store_mask = rng.next_u32();
+        b.header.flags = BlockFlags::from_bits(rng.next_u32() as u8);
         let bytes = encode(&b);
-        prop_assert_eq!(bytes.len() % CHUNK_BYTES, 0);
-        prop_assert!(bytes.len() <= MAX_BLOCK_BYTES);
+        assert_eq!(bytes.len() % CHUNK_BYTES, 0);
+        assert!(bytes.len() <= MAX_BLOCK_BYTES);
         let back = decode(&bytes).expect("decodes");
-        prop_assert_eq!(b, back);
+        assert_eq!(b, back);
     }
+}
 
-    /// Header read/write slots round-trip with their banked registers.
-    #[test]
-    fn header_roundtrips(
-        slots in prop::collection::vec((0u8..32, 0u8..32, 0u8..32), 1..16),
-    ) {
+/// Header read/write slots round-trip with their banked registers.
+#[test]
+fn header_roundtrips() {
+    let mut rng = Rng::new(0x5eed_0002);
+    for _ in 0..256 {
         let mut b = TripsBlock::new();
         b.push(Instruction::branch(Opcode::Halt, 0, 0)).unwrap();
-        for (slot, gr_r, gr_w) in &slots {
-            let bank = read_slot_bank(*slot);
-            let reg = ArchReg::from_bank_index(bank, *gr_r);
-            b.set_read(*slot, ReadInst::new(reg, [Target::none(); 2])).unwrap();
-            let wreg = ArchReg::from_bank_index(bank, *gr_w);
-            b.set_write(*slot, WriteInst::new(wreg)).unwrap();
+        for _ in 0..rng.range_usize(1, 16) {
+            let slot = rng.range_u8(0, 32);
+            let bank = read_slot_bank(slot);
+            let reg = ArchReg::from_bank_index(bank, rng.range_u8(0, 32));
+            b.set_read(slot, ReadInst::new(reg, [Target::none(); 2])).unwrap();
+            let wreg = ArchReg::from_bank_index(bank, rng.range_u8(0, 32));
+            b.set_write(slot, WriteInst::new(wreg)).unwrap();
         }
         let back = decode(&encode(&b)).expect("decodes");
-        prop_assert_eq!(b.header, back.header);
+        assert_eq!(b.header, back.header);
     }
+}
 
-    /// The validator never panics, whatever the block shape.
-    #[test]
-    fn validate_never_panics(
-        insts in prop::collection::vec(inst_strategy(127), 0..64),
-        store_mask in any::<u32>(),
-    ) {
+/// The validator never panics, whatever the block shape.
+#[test]
+fn validate_never_panics() {
+    let mut rng = Rng::new(0x5eed_0003);
+    for _ in 0..256 {
         let mut b = TripsBlock::new();
-        for i in &insts {
-            let _ = b.push(*i);
+        for _ in 0..rng.range_usize(0, 64) {
+            let _ = b.push(inst(&mut rng, 127));
         }
-        b.header.store_mask = store_mask;
+        b.header.store_mask = rng.next_u32();
         let _ = b.validate(); // any Result is fine; no panic allowed
     }
 }

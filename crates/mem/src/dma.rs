@@ -40,14 +40,7 @@ pub struct DmaEngine {
 impl DmaEngine {
     /// An engine on `port`.
     pub fn new(port: usize) -> DmaEngine {
-        DmaEngine {
-            port,
-            job: None,
-            done_lines: 0,
-            state: State::Idle,
-            next_id: 1,
-            lines_moved: 0,
-        }
+        DmaEngine { port, job: None, done_lines: 0, state: State::Idle, next_id: 1, lines_moved: 0 }
     }
 
     /// Programs a transfer; returns false if the engine is busy.
@@ -86,8 +79,7 @@ impl DmaEngine {
                 let line = self.done_lines;
                 let id = self.next_id;
                 self.next_id += 1;
-                if l2.request(now, self.port, MemReq::read_line(id, job.src + line * LINE as u64))
-                {
+                if l2.request(now, self.port, MemReq::read_line(id, job.src + line * LINE as u64)) {
                     self.state = State::Reading { line };
                 }
             }

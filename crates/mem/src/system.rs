@@ -98,7 +98,10 @@ pub struct MemResp {
 
 #[derive(Debug, Clone)]
 enum Packet {
-    Req { port: usize, req: MemReq },
+    Req {
+        port: usize,
+        req: MemReq,
+    },
     Resp {
         #[allow(dead_code)] // symmetric with Req; used in trace output
         port: usize,
@@ -204,7 +207,8 @@ impl SecondarySystem {
             ReqKind::ReadLine => (1, 0),
             ReqKind::WriteLine => (5, 1),
         };
-        let ok = self.ocn.inject(now, PacketMsg::new(src, dst, Packet::Req { port, req }, flits, vc));
+        let ok =
+            self.ocn.inject(now, PacketMsg::new(src, dst, Packet::Req { port, req }, flits, vc));
         if ok {
             self.requests += 1;
         }
@@ -269,8 +273,7 @@ impl SecondarySystem {
                         self.backing.write_bytes(req.addr, &req.data);
                         self.banks[bi].install(req.addr / LINE as u64);
                         // Writes are acknowledged with a header flit.
-                        let resp =
-                            MemResp { id: req.id, addr: req.addr, data: [0; LINE] };
+                        let resp = MemResp { id: req.id, addr: req.addr, data: [0; LINE] };
                         self.ocn.inject(
                             now,
                             PacketMsg::new(
@@ -299,11 +302,7 @@ impl SecondarySystem {
                         );
                         if !accepted {
                             // Retry next cycle.
-                            self.in_bank.push((
-                                now + 1,
-                                bi,
-                                Packet::Req { port, req },
-                            ));
+                            self.in_bank.push((now + 1, bi, Packet::Req { port, req }));
                         }
                     }
                 }
@@ -335,7 +334,12 @@ impl SecondarySystem {
 mod tests {
     use super::*;
 
-    fn run_until_resp(l2: &mut SecondarySystem, port: usize, start: u64, limit: u64) -> (MemResp, u64) {
+    fn run_until_resp(
+        l2: &mut SecondarySystem,
+        port: usize,
+        start: u64,
+        limit: u64,
+    ) -> (MemResp, u64) {
         let mut t = start;
         loop {
             l2.tick(t);

@@ -56,7 +56,7 @@ impl MemTile {
             return true;
         }
         let s = self.set_of(line);
-        self.tags[s].iter().any(|t| *t == Some(line))
+        self.tags[s].contains(&Some(line))
     }
 
     /// Installs `line`, evicting LRU.
@@ -80,7 +80,7 @@ impl MemTile {
 
     /// Allocates the MSHR for `line`, filling at `ready`.
     pub fn mshr_alloc(&mut self, line: u64, ready: u64) {
-        debug_assert!(self.mshr.map_or(true, |(_, r)| r <= ready));
+        debug_assert!(self.mshr.is_none_or(|(_, r)| r <= ready));
         self.mshr = Some((line, ready));
     }
 

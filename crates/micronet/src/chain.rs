@@ -95,6 +95,23 @@ impl<T> Chain<T> {
     pub fn idle(&self) -> bool {
         self.inboxes.iter().all(VecDeque::is_empty)
     }
+
+    /// Messages pending across all positions.
+    pub fn pending(&self) -> usize {
+        self.inboxes.iter().map(VecDeque::len).sum()
+    }
+
+    /// The oldest undelivered message: `(arrival_cycle, position)`.
+    /// Inboxes are sorted by (time, seq), so the head of each is its
+    /// oldest. Used by the hang diagnoser.
+    pub fn oldest_pending(&self) -> Option<(u64, usize)> {
+        self.inboxes
+            .iter()
+            .enumerate()
+            .filter_map(|(pos, inbox)| inbox.front().map(|&(at, seq, _)| (at, seq, pos)))
+            .min()
+            .map(|(at, _, pos)| (at, pos))
+    }
 }
 
 impl<T: Clone> Chain<T> {

@@ -80,12 +80,20 @@ pub struct MeshStats {
 impl MeshStats {
     /// Mean hops per delivered message.
     pub fn avg_hops(&self) -> f64 {
-        if self.ejected == 0 { 0.0 } else { self.total_hops as f64 / self.ejected as f64 }
+        if self.ejected == 0 {
+            0.0
+        } else {
+            self.total_hops as f64 / self.ejected as f64
+        }
     }
 
     /// Mean contention cycles per delivered message.
     pub fn avg_queued(&self) -> f64 {
-        if self.ejected == 0 { 0.0 } else { self.total_queued as f64 / self.ejected as f64 }
+        if self.ejected == 0 {
+            0.0
+        } else {
+            self.total_queued as f64 / self.ejected as f64
+        }
     }
 }
 
@@ -114,11 +122,7 @@ struct Router<P> {
 
 impl<P> Router<P> {
     fn new() -> Router<P> {
-        Router {
-            inputs: Default::default(),
-            eject: VecDeque::new(),
-            rr: [0; PORTS],
-        }
+        Router { inputs: Default::default(), eject: VecDeque::new(), rr: [0; PORTS] }
     }
 }
 
@@ -182,6 +186,37 @@ impl<P> Mesh<P> {
     /// True if the caller can inject at `src` this cycle.
     pub fn can_inject(&self, src: Coord) -> bool {
         self.routers[self.idx(src)].inputs[LOCAL].len() < self.fifo_cap
+    }
+
+    /// The oldest message still inside the network (router buffers or
+    /// an eject queue no tile has drained): `(injected_at, src, dst,
+    /// delivered)`. `delivered` is true when the message sits in an
+    /// eject queue — i.e. the network did its job and the destination
+    /// tile never consumed it. Used by the hang diagnoser.
+    pub fn oldest_in_flight(&self) -> Option<(u64, Coord, Coord, bool)> {
+        let mut best: Option<(u64, Coord, Coord, bool)> = None;
+        let mut consider = |m: &MeshMsg<P>, delivered: bool| {
+            if best.is_none_or(|(t, ..)| m.injected_at < t) {
+                best = Some((m.injected_at, m.src, m.dst, delivered));
+            }
+        };
+        for router in &self.routers {
+            for input in &router.inputs {
+                for m in input {
+                    consider(m, false);
+                }
+            }
+            for m in &router.eject {
+                consider(m, true);
+            }
+        }
+        best
+    }
+
+    /// Messages sitting in eject queues awaiting consumption by their
+    /// destination tiles.
+    pub fn undrained(&self) -> usize {
+        self.routers.iter().map(|r| r.eject.len()).sum()
     }
 
     /// Injects a message at its source node. Returns `false` (and
@@ -248,8 +283,8 @@ impl<P> Mesh<P> {
         // Snapshot input occupancies for flow control.
         let mut start_len = vec![[0usize; PORTS]; n];
         for (r, router) in self.routers.iter().enumerate() {
-            for p in 0..PORTS {
-                start_len[r][p] = router.inputs[p].len();
+            for (len, input) in start_len[r].iter_mut().zip(&router.inputs) {
+                *len = input.len();
             }
         }
         // (from_router, from_port, Out)
@@ -257,14 +292,11 @@ impl<P> Mesh<P> {
         let mut incoming = vec![[false; PORTS]; n];
 
         for r in 0..n {
-            let at = Coord {
-                row: (r / self.cols as usize) as u8,
-                col: (r % self.cols as usize) as u8,
-            };
+            let at =
+                Coord { row: (r / self.cols as usize) as u8, col: (r % self.cols as usize) as u8 };
             let mut input_used = [false; PORTS];
-            for (oi, out) in [Out::Eject, Out::North, Out::East, Out::South, Out::West]
-                .into_iter()
-                .enumerate()
+            for (oi, out) in
+                [Out::Eject, Out::North, Out::East, Out::South, Out::West].into_iter().enumerate()
             {
                 // Capacity at the downstream buffer, checked against
                 // the start-of-cycle snapshot.
@@ -295,7 +327,9 @@ impl<P> Mesh<P> {
                     if input_used[p] {
                         continue;
                     }
-                    let Some(head) = self.routers[r].inputs[p].front() else { continue };
+                    let Some(head) = self.routers[r].inputs[p].front() else {
+                        continue;
+                    };
                     if self.route(at, head.dst) != out {
                         continue;
                     }
@@ -442,13 +476,12 @@ mod tests {
 
     #[test]
     fn many_random_messages_all_delivered() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut rng = trips_harness::Rng::new(42);
         let mut m: Mesh<usize> = Mesh::new(5, 5, 4);
         let mut pending: Vec<MeshMsg<usize>> = (0..500)
             .map(|i| {
-                let src = Coord { row: rng.gen_range(0..5), col: rng.gen_range(0..5) };
-                let dst = Coord { row: rng.gen_range(0..5), col: rng.gen_range(0..5) };
+                let src = Coord { row: rng.range_u8(0, 5), col: rng.range_u8(0, 5) };
+                let dst = Coord { row: rng.range_u8(0, 5), col: rng.range_u8(0, 5) };
                 MeshMsg::new(src, dst, i)
             })
             .collect();

@@ -202,9 +202,9 @@ impl<P> PacketMesh<P> {
         let n = self.routers.len();
         let mut start_len = vec![[[0usize; VIRTUAL_CHANNELS]; PORTS]; n];
         for (r, router) in self.routers.iter().enumerate() {
-            for p in 0..PORTS {
-                for v in 0..VIRTUAL_CHANNELS {
-                    start_len[r][p][v] = router.inputs[p][v].len();
+            for (lens, inputs) in start_len[r].iter_mut().zip(&router.inputs) {
+                for (len, q) in lens.iter_mut().zip(inputs) {
+                    *len = q.len();
                 }
             }
         }
@@ -212,14 +212,11 @@ impl<P> PacketMesh<P> {
         let mut incoming = vec![[[false; VIRTUAL_CHANNELS]; PORTS]; n];
 
         for r in 0..n {
-            let at = Coord {
-                row: (r / self.cols as usize) as u8,
-                col: (r % self.cols as usize) as u8,
-            };
+            let at =
+                Coord { row: (r / self.cols as usize) as u8, col: (r % self.cols as usize) as u8 };
             let mut input_used = [[false; VIRTUAL_CHANNELS]; PORTS];
-            for (oi, out) in [Out::Eject, Out::North, Out::East, Out::South, Out::West]
-                .into_iter()
-                .enumerate()
+            for (oi, out) in
+                [Out::Eject, Out::North, Out::East, Out::South, Out::West].into_iter().enumerate()
             {
                 if out != Out::Eject && self.routers[r].busy_until[oi] > now {
                     continue;
@@ -244,7 +241,9 @@ impl<P> PacketMesh<P> {
                     if input_used[p][v] {
                         continue;
                     }
-                    let Some(head) = self.routers[r].inputs[p][v].front() else { continue };
+                    let Some(head) = self.routers[r].inputs[p][v].front() else {
+                        continue;
+                    };
                     if Self::route(at, head.dst) != out {
                         continue;
                     }
@@ -366,10 +365,7 @@ mod tests {
             }
         }
         assert_eq!(got.len(), 2);
-        assert!(
-            got[1].0 >= got[0].0 + 5,
-            "second packet delayed by first packet's flits: {got:?}"
-        );
+        assert!(got[1].0 >= got[0].0 + 5, "second packet delayed by first packet's flits: {got:?}");
     }
 
     #[test]

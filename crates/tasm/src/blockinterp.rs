@@ -10,8 +10,8 @@
 use std::fmt;
 
 use trips_isa::mem::SparseMem;
-use trips_isa::semantics::{eval, extend_load};
 pub use trips_isa::semantics::Tok;
+use trips_isa::semantics::{eval, extend_load};
 use trips_isa::{
     decode, decode_header, BranchKind, Opcode, OperandNeeds, OperandSlot, Pred, ProgramImage,
     Target, TripsBlock, CHUNK_BYTES,
@@ -91,7 +91,10 @@ pub struct BlockRunResult {
 /// # Errors
 ///
 /// See [`BlockInterpError`].
-pub fn run_image(image: &ProgramImage, max_blocks: u64) -> Result<BlockRunResult, BlockInterpError> {
+pub fn run_image(
+    image: &ProgramImage,
+    max_blocks: u64,
+) -> Result<BlockRunResult, BlockInterpError> {
     let mut mem = SparseMem::from_image(image);
     let mut regs = [0u64; 128];
     let mut pc = image.entry;
@@ -155,7 +158,9 @@ fn execute_block(
     let mut ops: Vec<[Option<Tok>; 3]> = vec![[None; 3]; n];
     let mut fired = vec![false; n];
     let mut write_buf: [Option<Tok>; 32] = [None; 32];
-    let mut store_buf: Vec<(u8, Option<(u64, u64, u32)>)> = Vec::new(); // (lsid, (addr, val, bytes))
+    // (lsid, (addr, val, bytes)); None = nullified store.
+    type StoreBufEntry = (u8, Option<(u64, u64, u32)>);
+    let mut store_buf: Vec<StoreBufEntry> = Vec::new();
     let mut branch: Option<(Opcode, i32, Option<u64>)> = None;
     let mut fired_count = 0u64;
 
@@ -255,8 +260,8 @@ fn execute_block(
             Some(false) => continue, // mismatched predicate: dead, no output
             allows => {
                 let nullified = allows.is_none()
-                    || ops[i][0].map_or(false, |t| t == Tok::Null)
-                    || ops[i][1].map_or(false, |t| t == Tok::Null);
+                    || (ops[i][0] == Some(Tok::Null))
+                    || (ops[i][1] == Some(Tok::Null));
                 fired_count += 1;
                 if inst.opcode.is_store() {
                     let rec = if nullified {
@@ -298,8 +303,7 @@ fn execute_block(
                         for (lsid, rec) in &store_buf {
                             if *lsid < inst.lsid {
                                 if let Some((sa, sv, sb)) = rec {
-                                    if *sa == ea && *sb >= bytes && best.map_or(true, |b| *lsid > b)
-                                    {
+                                    if *sa == ea && *sb >= bytes && best.is_none_or(|b| *lsid > b) {
                                         raw = *sv & mask(bytes);
                                         best = Some(*lsid);
                                     }
@@ -313,9 +317,7 @@ fn execute_block(
                     }
                 } else {
                     // Compute instruction.
-                    let tok = if inst.opcode == Opcode::Null {
-                        Tok::Null
-                    } else if nullified {
+                    let tok = if inst.opcode == Opcode::Null || nullified {
                         Tok::Null
                     } else {
                         let l = ops[i][0].and_then(Tok::value).unwrap_or(0);
@@ -333,8 +335,7 @@ fn execute_block(
     // Completion check.
     let mut missing = String::new();
     for lsid in 0..32u8 {
-        if block.header.store_mask & (1 << lsid) != 0
-            && !store_buf.iter().any(|(l, _)| *l == lsid)
+        if block.header.store_mask & (1 << lsid) != 0 && !store_buf.iter().any(|(l, _)| *l == lsid)
         {
             missing.push_str(&format!("store lsid {lsid}; "));
         }
@@ -369,9 +370,7 @@ fn execute_block(
     let next = match op.branch_kind().expect("branch opcode") {
         BranchKind::Halt => NextPc::Halt,
         _ => match op.format() {
-            trips_isa::Format::B => {
-                NextPc::At(addr.wrapping_add((i64::from(imm) * 128) as u64))
-            }
+            trips_isa::Format::B => NextPc::At(addr.wrapping_add((i64::from(imm) * 128) as u64)),
             _ => NextPc::At(target.expect("register branch with null target")),
         },
     };
@@ -379,16 +378,16 @@ fn execute_block(
 }
 
 fn mask(bytes: u32) -> u64 {
-    if bytes >= 8 { u64::MAX } else { (1u64 << (8 * bytes)) - 1 }
+    if bytes >= 8 {
+        u64::MAX
+    } else {
+        (1u64 << (8 * bytes)) - 1
+    }
 }
 
 /// Conservative "could this instruction still fire" analysis used to
 /// release loads past stores that can never execute.
-fn compute_fireability(
-    block: &TripsBlock,
-    ops: &[[Option<Tok>; 3]],
-    fired: &[bool],
-) -> Vec<bool> {
+fn compute_fireability(block: &TripsBlock, ops: &[[Option<Tok>; 3]], fired: &[bool]) -> Vec<bool> {
     let n = block.insts.len();
     // producers[i][slot]: instructions (or header reads, implicit)
     // that could still deliver to (i, slot).

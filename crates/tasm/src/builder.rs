@@ -168,11 +168,7 @@ impl<'p> FuncBuilder<'p> {
     }
 
     fn terminate(&mut self, term: Term) {
-        assert!(
-            !self.terminated[self.cur.0 as usize],
-            "double terminator in block {}",
-            self.cur
-        );
+        assert!(!self.terminated[self.cur.0 as usize], "double terminator in block {}", self.cur);
         self.blocks[self.cur.0 as usize].term = term;
         self.terminated[self.cur.0 as usize] = true;
     }

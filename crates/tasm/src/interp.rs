@@ -122,10 +122,11 @@ pub fn run(prog: &Program, max_steps: u64) -> Result<InterpResult, InterpError> 
         blocks += 1;
 
         let read = |regs: &[Option<u64>], v: VReg, func: FuncId, bb: BbId| {
-            regs.get(v.0 as usize)
-                .copied()
-                .flatten()
-                .ok_or(InterpError::UndefinedRead { func, bb, vreg: v })
+            regs.get(v.0 as usize).copied().flatten().ok_or(InterpError::UndefinedRead {
+                func,
+                bb,
+                vreg: v,
+            })
         };
 
         for inst in &bb.insts {
@@ -322,10 +323,7 @@ mod tests {
         f.switch_to(done);
         f.halt();
         f.finish();
-        assert_eq!(
-            run(&p.finish(), 100).unwrap_err(),
-            InterpError::NonBooleanCond { value: 2 }
-        );
+        assert_eq!(run(&p.finish(), 100).unwrap_err(), InterpError::NonBooleanCond { value: 2 });
     }
 
     #[test]

@@ -134,21 +134,21 @@ impl Inst {
     pub fn check(&self) -> Result<(), IrError> {
         let ok = match *self {
             Inst::Bin { op, .. } => {
-                op.format() == Format::G
-                    && op.needs() == OperandNeeds::LeftRight
-                    && !op.is_branch()
+                op.format() == Format::G && op.needs() == OperandNeeds::LeftRight && !op.is_branch()
             }
             Inst::Un { op, .. } => {
                 op.format() == Format::G && op.needs() == OperandNeeds::Left && !op.is_branch()
             }
-            Inst::BinImm { op, .. } => {
-                op.format() == Format::I && op.needs() == OperandNeeds::Left
-            }
+            Inst::BinImm { op, .. } => op.format() == Format::I && op.needs() == OperandNeeds::Left,
             Inst::Const { .. } => true,
             Inst::Load { op, .. } => op.is_load(),
             Inst::Store { op, .. } => op.is_store(),
         };
-        if ok { Ok(()) } else { Err(IrError::BadOpcode(*self)) }
+        if ok {
+            Ok(())
+        } else {
+            Err(IrError::BadOpcode(*self))
+        }
     }
 }
 
@@ -347,7 +347,11 @@ impl Program {
                 }
             }
         }
-        if seen == n { Ok(()) } else { Err(IrError::RecursiveCalls) }
+        if seen == n {
+            Ok(())
+        } else {
+            Err(IrError::RecursiveCalls)
+        }
     }
 
     /// Topological order of functions with callees before callers (for
@@ -369,12 +373,7 @@ impl Program {
         }
         let mut order = Vec::with_capacity(n);
         let mut state = vec![0u8; n]; // 0 new, 1 visiting, 2 done
-        fn visit(
-            i: usize,
-            callees: &[Vec<usize>],
-            state: &mut [u8],
-            order: &mut Vec<FuncId>,
-        ) {
+        fn visit(i: usize, callees: &[Vec<usize>], state: &mut [u8], order: &mut Vec<FuncId>) {
             assert_ne!(state[i], 1, "recursive call graph");
             if state[i] == 2 {
                 return;
@@ -448,8 +447,7 @@ mod tests {
     #[test]
     fn check_catches_recursion() {
         let mut f = leaf("f");
-        f.blocks[0].term =
-            Term::Call { func: FuncId(0), args: vec![], dst: None, next: BbId(0) };
+        f.blocks[0].term = Term::Call { func: FuncId(0), args: vec![], dst: None, next: BbId(0) };
         let p = Program { funcs: vec![f], entry: FuncId(0), globals: vec![] };
         assert_eq!(p.check(), Err(IrError::RecursiveCalls));
     }

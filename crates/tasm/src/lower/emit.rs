@@ -130,11 +130,7 @@ impl<'a> Emitter<'a> {
         if let Some(&s) = self.reads.get(&reg) {
             return s;
         }
-        self.syms.push(Sym {
-            kind: SymKind::Read { reg },
-            outs: Vec::new(),
-            guard: Guard::Always,
-        });
+        self.syms.push(Sym { kind: SymKind::Read { reg }, outs: Vec::new(), guard: Guard::Always });
         let s = self.syms.len() - 1;
         self.reads.insert(reg, s);
         s
@@ -209,20 +205,18 @@ impl<'a> Emitter<'a> {
         let chain_end = if (-(1 << 15)..(1 << 15)).contains(&val) {
             self.body(Opcode::Gens, Pred::None, (val as u16) as i32, Guard::Always)
         } else if (i64::from(i32::MIN)..=i64::from(i32::MAX)).contains(&val) {
-            let hi = self.body(Opcode::Gens, Pred::None, ((val >> 16) as u16) as i32, Guard::Always);
+            let hi =
+                self.body(Opcode::Gens, Pred::None, ((val >> 16) as u16) as i32, Guard::Always);
             let lo = self.body(Opcode::App, Pred::None, (val as u16) as i32, Guard::Always);
             self.connect(hi, lo, OperandSlot::Left);
             lo
         } else {
             let u = val as u64;
-            let mut cur = self.body(Opcode::Genu, Pred::None, ((u >> 48) as u16) as i32, Guard::Always);
+            let mut cur =
+                self.body(Opcode::Genu, Pred::None, ((u >> 48) as u16) as i32, Guard::Always);
             for shift in [32u32, 16, 0] {
-                let nxt = self.body(
-                    Opcode::App,
-                    Pred::None,
-                    ((u >> shift) as u16) as i32,
-                    Guard::Always,
-                );
+                let nxt =
+                    self.body(Opcode::App, Pred::None, ((u >> shift) as u16) as i32, Guard::Always);
                 self.connect(cur, nxt, OperandSlot::Left);
                 cur = nxt;
             }
@@ -491,10 +485,15 @@ pub fn emit_region(
                     em.lower_inst(inst, guard)?;
                 }
                 let cur_t = std::mem::replace(&mut em.cur, snapshot.clone());
-                let cur_f = if let Some(&(fbb, fg @ Guard::Cond { cond: fc, polarity: false })) =
-                    region.parts.get(i + 1).filter(|(_, g)| {
-                        matches!(g, Guard::Cond { cond: fc, polarity: false } if *fc == cond)
-                    }) {
+                let cur_f = if let Some(&(
+                    fbb,
+                    fg @ Guard::Cond {
+                        cond: fc,
+                        polarity: false,
+                    },
+                )) = region.parts.get(i + 1).filter(
+                    |(_, g)| matches!(g, Guard::Cond { cond: fc, polarity: false } if *fc == cond),
+                ) {
                     debug_assert_eq!(fc, cond);
                     for inst in &func.block(fbb).insts {
                         em.lower_inst(inst, fg)?;
@@ -533,7 +532,9 @@ pub fn emit_region(
         if !live_out.contains(&v) {
             continue;
         }
-        let Some(&reg) = falloc.map.get(&v) else { continue };
+        let Some(&reg) = falloc.map.get(&v) else {
+            continue;
+        };
         let refs = em.cur[&v].clone();
         for p in refs {
             em.connect_write(p, reg);
@@ -637,9 +638,9 @@ fn merge_paths(
                 // it must be gated with a mov predicated on this
                 // diamond's condition.
                 let side = |em: &mut Emitter<'_>,
-                                src: &PSet,
-                                changed: bool,
-                                polarity: bool|
+                            src: &PSet,
+                            changed: bool,
+                            polarity: bool|
                  -> Result<Vec<usize>, TasmError> {
                     if changed {
                         Ok(src.clone())
@@ -780,7 +781,14 @@ fn fan_mov(em: &mut Emitter<'_>, guard: Guard) -> usize {
     // Fanout movs are unpredicated: they fire only when their operand
     // arrives, which already encodes the path condition.
     em.syms.push(Sym {
-        kind: SymKind::Body { op: Opcode::Mov, pred: Pred::None, imm: 0, lsid: 0, exit: 0, fix: None },
+        kind: SymKind::Body {
+            op: Opcode::Mov,
+            pred: Pred::None,
+            imm: 0,
+            lsid: 0,
+            exit: 0,
+            fix: None,
+        },
         outs: Vec::new(),
         guard,
     });
@@ -1035,7 +1043,7 @@ fn place_greedy(
             // Light tiebreak toward low indices for determinism and
             // dispatch-order friendliness.
             cost = cost * 256 + i64::from(idx);
-            if best.map_or(true, |(c, _)| cost < c) {
+            if best.is_none_or(|(c, _)| cost < c) {
                 best = Some((cost, idx));
             }
         }

@@ -124,10 +124,7 @@ pub fn compile(prog: &Program, quality: Quality) -> Result<CompiledProgram, Tasm
                 FixupKind::Branch(_) => {
                     let delta = (target as i64 - pb.addr as i64) / BLOCK_ALIGN as i64;
                     if !(-(1 << 19)..(1 << 19)).contains(&delta) {
-                        return Err(TasmError::BranchOutOfRange {
-                            from: pb.addr,
-                            to: target,
-                        });
+                        return Err(TasmError::BranchOutOfRange { from: pb.addr, to: target });
                     }
                     inst.imm = delta as i32;
                 }

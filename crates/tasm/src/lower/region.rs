@@ -178,7 +178,9 @@ fn grow_region(
     let mut consumed: HashSet<BbId> = [head].into();
     loop {
         let candidate = extend_once(func, preds, &region, &consumed);
-        let Some((new_parts, new_term, new_exit)) = candidate else { break };
+        let Some((new_parts, new_term, new_exit)) = candidate else {
+            break;
+        };
         let mut trial = region.clone();
         trial.parts.extend(new_parts.iter().cloned());
         trial.term = new_term;
@@ -220,15 +222,11 @@ fn extend_once(
                 return None;
             }
             // Arms must not redefine the condition register.
-            let redefines = |bb: BbId| {
-                func.block(bb).insts.iter().any(|i| i.dst() == Some(cond))
-            };
+            let redefines = |bb: BbId| func.block(bb).insts.iter().any(|i| i.dst() == Some(cond));
             let sole_pred = |bb: BbId| preds[bb.0 as usize] == [tail];
             // Diamond: head → {t, f} → j.
             if sole_pred(t) && sole_pred(f) && !redefines(t) && !redefines(f) {
-                if let (Term::Jmp(jt), Term::Jmp(jf)) =
-                    (&func.block(t).term, &func.block(f).term)
-                {
+                if let (Term::Jmp(jt), Term::Jmp(jf)) = (&func.block(t).term, &func.block(f).term) {
                     if jt == jf && !consumed.contains(jt) {
                         let j = *jt;
                         let jp: HashSet<BbId> = preds[j.0 as usize].iter().copied().collect();
@@ -290,8 +288,6 @@ pub fn emit_all(
 ) -> Result<Vec<EmittedBlock>, TasmError> {
     fr.regions
         .iter()
-        .map(|r| {
-            emit_region(prog, fid, r, alloc, &region_live_out(&fr.liveness, r), quality)
-        })
+        .map(|r| emit_region(prog, fid, r, alloc, &region_live_out(&fr.liveness, r), quality))
         .collect()
 }

@@ -4,7 +4,9 @@
 
 use trips_tasm::{Opcode, Program, ProgramBuilder};
 
-use crate::data::{counted_loop, floats, load_w, ptr_loop, store_w, unroll_of, words, A, COEF, OUT};
+use crate::data::{
+    counted_loop, floats, load_w, ptr_loop, store_w, unroll_of, words, A, COEF, OUT,
+};
 use crate::Variant;
 
 /// `a2time01`: angle-to-time conversion — tooth-wheel angle samples

@@ -3,7 +3,9 @@
 
 use trips_tasm::{FuncBuilder, Opcode, Program, ProgramBuilder};
 
-use crate::data::{counted_loop, floats, load_w, ptr_loop, store_w, unroll_of, words, A, B, COEF, OUT};
+use crate::data::{
+    counted_loop, floats, load_w, ptr_loop, store_w, unroll_of, words, A, B, COEF, OUT,
+};
 use crate::Variant;
 
 /// `cfar`: constant-false-alarm-rate detection — for each range cell,

@@ -101,8 +101,7 @@ impl Workload {
     ///
     /// Propagates backend failures.
     pub fn build_trips(&self, quality: Quality) -> Result<CompiledProgram, TasmError> {
-        let variant =
-            if quality == Quality::Hand { Variant::Hand } else { Variant::Compiled };
+        let variant = if quality == Quality::Hand { Variant::Hand } else { Variant::Compiled };
         let (prog, _) = self.ir(variant);
         compile(&prog, quality)
     }

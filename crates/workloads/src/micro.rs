@@ -2,7 +2,9 @@
 
 use trips_tasm::{Opcode, Program, ProgramBuilder};
 
-use crate::data::{counted_loop, floats, load_w, ptr_loop, store_w, unroll_of, words, A, B, COEF, OUT, SCRATCH};
+use crate::data::{
+    counted_loop, floats, load_w, ptr_loop, store_w, unroll_of, words, A, B, COEF, OUT, SCRATCH,
+};
 use crate::Variant;
 
 /// `vadd`: element-wise vector add of two 256-element `f64` arrays —

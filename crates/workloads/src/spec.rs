@@ -8,7 +8,9 @@
 
 use trips_tasm::{Opcode, Program, ProgramBuilder};
 
-use crate::data::{counted_loop, floats, load_w, ptr_loop, store_w, unroll_of, words, Rng, A, B, COEF, OUT};
+use crate::data::{
+    counted_loop, floats, load_w, ptr_loop, store_w, unroll_of, words, Rng, A, B, COEF, OUT,
+};
 use crate::Variant;
 
 /// `mcf`: network-simplex stand-in — three passes of pointer chasing
@@ -86,8 +88,9 @@ pub fn parser(_v: Variant) -> (Program, Vec<u64>) {
     p.global_words(COEF, &heads);
     p.global_words(A, &entries);
     // Queries: a mix of present and absent keys.
-    let queries: Vec<u64> =
-        (0..QUERIES).map(|i| if i % 3 == 0 { r.next_u64() >> 16 } else { keys[(r.below(WORDS)) as usize] }).collect();
+    let queries: Vec<u64> = (0..QUERIES)
+        .map(|i| if i % 3 == 0 { r.next_u64() >> 16 } else { keys[(r.below(WORDS)) as usize] })
+        .collect();
     p.global_words(B, &queries);
 
     let mut f = p.func("parser", 0);

@@ -33,10 +33,8 @@ fn main() {
     println!("  far bank,  warm: {:>4}", fetch_line(&mut l2, 30_000, 0, far));
 
     // 2. Scratchpad mode: no tags, no misses.
-    let mut sp = SecondarySystem::new(MemConfig {
-        mode: MemMode::Scratchpad,
-        ..MemConfig::prototype()
-    });
+    let mut sp =
+        SecondarySystem::new(MemConfig { mode: MemMode::Scratchpad, ..MemConfig::prototype() });
     println!("scratchpad, first touch: {:>4}", fetch_line(&mut sp, 0, 0, 0x7_0000));
     assert_eq!(sp.dram_accesses, 0);
 

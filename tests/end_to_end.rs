@@ -16,7 +16,7 @@ fn four_way_agreement_on_cfar() {
     let compiled = compile(&prog, Quality::Hand).expect("compiles");
     let bi = blockinterp::run_image(&compiled.image, 1_000_000).expect("block interp");
     let mut cpu = Processor::new(CoreConfig::prototype());
-    cpu.run(&compiled.image, 50_000_000).expect("core");
+    cpu.run(&compiled.image, 50_000_000).unwrap_or_else(|e| panic!("core: {e}"));
 
     let risc = wl.build_risc().expect("risc");
     let mut alpha = AlphaCore::new(AlphaConfig::alpha21264(), &risc).expect("valid");
@@ -38,7 +38,7 @@ fn fetch_protocol_cadence() {
     let wl = suite::by_name("vadd").expect("registered");
     let image = wl.build_trips(Quality::Compiled).expect("compiles").image;
     let mut cpu = Processor::new(CoreConfig::prototype());
-    let stats = cpu.run(&image, 10_000_000).expect("runs");
+    let stats = cpu.run(&image, 10_000_000).unwrap_or_else(|e| panic!("{e}"));
 
     let tl = &stats.timeline;
     assert!(tl.len() >= 8, "need a stream of blocks, got {}", tl.len());
@@ -70,7 +70,7 @@ fn commit_pipeline_overlaps() {
     let wl = suite::by_name("matrix").expect("registered");
     let image = wl.build_trips(Quality::Compiled).expect("compiles").image;
     let mut cpu = Processor::new(CoreConfig::prototype());
-    let stats = cpu.run(&image, 50_000_000).expect("runs");
+    let stats = cpu.run(&image, 50_000_000).unwrap_or_else(|e| panic!("{e}"));
     let tl = &stats.timeline;
     let overlapping = tl.windows(2).filter(|w| w[1].fetch < w[0].ack).count();
     assert!(
@@ -93,7 +93,7 @@ fn lsq_occupancy_stays_low() {
     let wl = suite::by_name("vadd").expect("registered");
     let image = wl.build_trips(Quality::Hand).expect("compiles").image;
     let mut cpu = Processor::new(CoreConfig::prototype());
-    let stats = cpu.run(&image, 10_000_000).expect("runs");
+    let stats = cpu.run(&image, 10_000_000).unwrap_or_else(|e| panic!("{e}"));
     assert!(stats.lsq_peak_occupancy > 0);
     assert!(
         stats.lsq_peak_occupancy <= 256 / 4 * 4,
@@ -109,11 +109,67 @@ fn second_opn_does_not_hurt() {
     let wl = suite::by_name("conv").expect("registered");
     let image = wl.build_trips(Quality::Hand).expect("compiles").image;
     let mut base = Processor::new(CoreConfig::prototype());
-    let b = base.run(&image, 50_000_000).expect("runs");
-    let mut wide =
-        Processor::new(CoreConfig { opn_networks: 2, ..CoreConfig::prototype() });
-    let w = wide.run(&image, 50_000_000).expect("runs");
+    let b = base.run(&image, 50_000_000).unwrap_or_else(|e| panic!("{e}"));
+    let mut wide = Processor::new(CoreConfig { opn_networks: 2, ..CoreConfig::prototype() });
+    let w = wide.run(&image, 50_000_000).unwrap_or_else(|e| panic!("{e}"));
     assert!(w.cycles <= b.cycles + b.cycles / 20, "2x OPN regressed: {} vs {}", w.cycles, b.cycles);
+}
+
+/// `Processor::run` fully resets per-run state: running the same
+/// image twice on one processor gives identical results and stats.
+#[test]
+fn back_to_back_runs_reset_state() {
+    let wl = suite::by_name("vadd").expect("registered");
+    let (_, cells) = wl.ir(Variant::Hand);
+    let image = wl.build_trips(Quality::Hand).expect("compiles").image;
+    let mut cpu = Processor::new(CoreConfig::prototype());
+    let first = cpu.run(&image, 10_000_000).unwrap_or_else(|e| panic!("first: {e}"));
+    let mem_first: Vec<u64> = cells.iter().map(|&c| cpu.memory().read_u64(c)).collect();
+    let second = cpu.run(&image, 10_000_000).unwrap_or_else(|e| panic!("second: {e}"));
+    let mem_second: Vec<u64> = cells.iter().map(|&c| cpu.memory().read_u64(c)).collect();
+    assert_eq!(first.cycles, second.cycles, "stale state changed timing");
+    assert_eq!(first.blocks_committed, second.blocks_committed);
+    assert_eq!(mem_first, mem_second, "stale state changed results");
+}
+
+/// When the core quiesces, the flight recorder agrees: every operand
+/// injected into the OPN was also ejected.
+#[test]
+fn quiesced_core_has_balanced_opn_traffic() {
+    let wl = suite::by_name("vadd").expect("registered");
+    let image = wl.build_trips(Quality::Hand).expect("compiles").image;
+    let mut cpu = Processor::new(CoreConfig::prototype());
+    cpu.enable_tracing(1 << 14);
+    cpu.run(&image, 10_000_000).unwrap_or_else(|e| panic!("{e}"));
+    assert!(cpu.quiesced(), "halted core should have drained:\n{}", cpu.diagnose());
+    let t = cpu.tracer();
+    assert!(t.opn_injected > 0, "vadd must use the operand network");
+    assert_eq!(
+        t.opn_injected, t.opn_ejected,
+        "quiesced core must have ejected every injected operand"
+    );
+    assert!(!t.is_empty(), "tracing was enabled, events expected");
+}
+
+/// A timeout carries the hang diagnosis: the report names the stuck
+/// frames and where their work is held.
+#[test]
+fn timeout_reports_where_the_hang_is() {
+    let wl = suite::by_name("matrix").expect("registered");
+    let image = wl.build_trips(Quality::Hand).expect("compiles").image;
+    let mut cpu = Processor::new(CoreConfig::prototype());
+    // Far too few cycles: the first blocks are still mid-flight.
+    let err = cpu.run(&image, 30).expect_err("30 cycles cannot finish matrix");
+    let text = format!("{err}");
+    assert!(text.contains("timeout after 30 cycles"), "{text}");
+    assert!(text.contains("frame "), "report should name a stuck frame:\n{text}");
+    assert!(text.contains("waiting on"), "report should say what each frame waits on:\n{text}");
+    // Something — a tile or a micronetwork — must be named as holding
+    // undelivered work this early in the run.
+    let names_holder = ["IT", "RT", "ET", "DT", "GDN", "OPN", "GSN", "GCN", "GRN", "DSN"]
+        .iter()
+        .any(|k| text.contains(k));
+    assert!(names_holder, "report should name the tile/net holding work:\n{text}");
 }
 
 /// The compiled/hand quality axis behaves as the paper describes:
@@ -129,8 +185,8 @@ fn hand_quality_beats_compiled() {
             "{name}: hand blocks should be larger"
         );
         let mut cpu = Processor::new(CoreConfig::prototype());
-        let h = cpu.run(&hand.image, 100_000_000).expect("hand run");
-        let t = cpu.run(&tcc.image, 100_000_000).expect("tcc run");
+        let h = cpu.run(&hand.image, 100_000_000).unwrap_or_else(|e| panic!("hand run: {e}"));
+        let t = cpu.run(&tcc.image, 100_000_000).unwrap_or_else(|e| panic!("tcc run: {e}"));
         assert!(h.cycles < t.cycles, "{name}: hand {} vs tcc {}", h.cycles, t.cycles);
     }
 }

@@ -1,17 +1,17 @@
-//! Property-based differential testing: randomly generated programs
-//! must produce identical memory on the IR interpreter, the
-//! architectural block interpreter, and the cycle-level core, at both
-//! code-quality levels.
-
-use proptest::prelude::*;
+//! Randomized differential testing: randomly generated programs must
+//! produce identical memory on the IR interpreter, the architectural
+//! block interpreter, and the cycle-level core, at both code-quality
+//! levels. (Seeded generation via `trips_harness::Rng`; the
+//! environment has no crates.io access so `proptest` is unavailable.)
 
 use trips::core::{CoreConfig, Processor};
 use trips::isa::Opcode;
 use trips::tasm::{blockinterp, compile, interp, ProgramBuilder, Quality, VReg};
+use trips_harness::Rng;
 
 const OUT: u64 = 0x10_0000;
 
-/// A tiny random-program AST the strategy generates.
+/// A tiny random-program AST the generator draws from.
 #[derive(Debug, Clone)]
 enum Step {
     Bin(u8, usize, usize),
@@ -47,15 +47,18 @@ fn imm_op(code: u8) -> Opcode {
     ][code as usize % 8]
 }
 
-fn step_strategy() -> impl Strategy<Value = Step> {
-    prop_oneof![
-        (any::<u8>(), 0usize..8, 0usize..8).prop_map(|(o, a, b)| Step::Bin(o, a, b)),
-        (any::<u8>(), 0usize..8, -4000i64..4000).prop_map(|(o, a, i)| Step::BinImm(o, a, i)),
-        (-100_000i64..100_000).prop_map(Step::Const),
-        (0u8..6).prop_map(|slot| Step::LoadStore { slot }),
-        (0usize..8, 1i64..5, -5i64..5)
-            .prop_map(|(c, m, a)| Step::Diamond { cond_src: c, then_mul: m, else_add: a }),
-    ]
+fn random_step(rng: &mut Rng) -> Step {
+    match rng.range_u8(0, 5) {
+        0 => Step::Bin(rng.next_u32() as u8, rng.range_usize(0, 8), rng.range_usize(0, 8)),
+        1 => Step::BinImm(rng.next_u32() as u8, rng.range_usize(0, 8), rng.range_i64(-4000, 4000)),
+        2 => Step::Const(rng.range_i64(-100_000, 100_000)),
+        3 => Step::LoadStore { slot: rng.range_u8(0, 6) },
+        _ => Step::Diamond {
+            cond_src: rng.range_usize(0, 8),
+            then_mul: rng.range_i64(1, 5),
+            else_add: rng.range_i64(-5, 5),
+        },
+    }
 }
 
 /// Builds an IR program from the random steps. A pool of eight live
@@ -74,7 +77,6 @@ fn build_program(steps: &[Step]) -> (trips::tasm::Program, Vec<u64>) {
         .collect();
     let out = f.iconst(OUT as i64);
     let mut cells = Vec::new();
-    let mut cell = 0i32;
 
     for (n, s) in steps.iter().enumerate() {
         let val = match s {
@@ -108,38 +110,41 @@ fn build_program(steps: &[Step]) -> (trips::tasm::Program, Vec<u64>) {
         };
         let pi = n % pool.len();
         pool[pi] = val;
-        f.store(Opcode::Sd, out, cell * 8, val);
-        cells.push(OUT + (cell as u64) * 8);
-        cell += 1;
+        f.store(Opcode::Sd, out, n as i32 * 8, val);
+        cells.push(OUT + (n as u64) * 8);
     }
     f.halt();
     f.finish();
     (p.finish(), cells)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn random_programs_agree_everywhere(
-        steps in prop::collection::vec(step_strategy(), 1..24)
-    ) {
+#[test]
+fn random_programs_agree_everywhere() {
+    let mut rng = Rng::new(0xd1ff_5eed);
+    for case in 0..24 {
+        let steps: Vec<Step> = (0..rng.range_usize(1, 24)).map(|_| random_step(&mut rng)).collect();
         let (prog, cells) = build_program(&steps);
         prog.check().expect("generated IR is structurally valid");
         let reference = interp::run(&prog, 1_000_000).expect("ir interp");
 
         for q in [Quality::Compiled, Quality::Hand] {
             let compiled = compile(&prog, q).expect("compiles");
-            let bi = blockinterp::run_image(&compiled.image, 100_000)
-                .expect("block interp");
+            let bi = blockinterp::run_image(&compiled.image, 100_000).expect("block interp");
             let mut cpu = Processor::new(CoreConfig::prototype());
-            cpu.run(&compiled.image, 5_000_000).expect("core run");
+            cpu.run(&compiled.image, 5_000_000)
+                .unwrap_or_else(|e| panic!("core run (case {case}, {q}): {e}"));
             for &c in &cells {
                 let want = reference.mem.read_u64(c);
-                prop_assert_eq!(bi.mem.read_u64(c), want,
-                    "block interp diverged at {:#x} ({})", c, q);
-                prop_assert_eq!(cpu.memory().read_u64(c), want,
-                    "core diverged at {:#x} ({})", c, q);
+                assert_eq!(
+                    bi.mem.read_u64(c),
+                    want,
+                    "block interp diverged at {c:#x} (case {case}, {q}, steps {steps:?})"
+                );
+                assert_eq!(
+                    cpu.memory().read_u64(c),
+                    want,
+                    "core diverged at {c:#x} (case {case}, {q}, steps {steps:?})"
+                );
             }
         }
     }
