@@ -8,7 +8,7 @@
 
 use trips_bench::run_trips;
 use trips_core::CoreConfig;
-use trips_harness::{criterion_group, criterion_main, Criterion};
+use trips_harness::{criterion_group, criterion_main, num_threads, parallel_map, Criterion};
 use trips_tasm::Quality;
 use trips_workloads::suite;
 
@@ -18,7 +18,8 @@ fn deppred(c: &mut Criterion) {
         "{:<12} {:>12} {:>8} {:>12} {:>8}",
         "bench", "on:cycles", "flush", "off:cycles", "flush"
     );
-    for name in ["256.bzip2", "181.mcf", "sha", "300.twolf"] {
+    let names = vec!["256.bzip2", "181.mcf", "sha", "300.twolf"];
+    let rows = parallel_map(names, num_threads(), |name| {
         let wl = suite::by_name(name).expect("registered");
         let on = run_trips(&wl, Quality::Hand, CoreConfig::prototype());
         let off = run_trips(
@@ -26,10 +27,13 @@ fn deppred(c: &mut Criterion) {
             Quality::Hand,
             CoreConfig { deppred_disabled: true, ..CoreConfig::prototype() },
         );
-        println!(
+        format!(
             "{:<12} {:>12} {:>8} {:>12} {:>8}",
             name, on.cycles, on.violation_flushes, off.cycles, off.violation_flushes
-        );
+        )
+    });
+    for row in rows {
+        println!("{row}");
     }
     println!("(violations with the predictor on are first-touch training misses)");
 

@@ -9,14 +9,15 @@
 
 use trips_bench::run_trips;
 use trips_core::CoreConfig;
-use trips_harness::{criterion_group, criterion_main, Criterion};
+use trips_harness::{criterion_group, criterion_main, num_threads, parallel_map, Criterion};
 use trips_tasm::Quality;
 use trips_workloads::suite;
 
 fn opn_bandwidth(c: &mut Criterion) {
     println!("\nAblation: OPN bandwidth (simulated cycles, hand quality)");
     println!("{:<10} {:>10} {:>10} {:>8}", "bench", "1xOPN", "2xOPN", "gain");
-    for name in ["vadd", "conv", "dct8x8", "pm", "matrix"] {
+    let names = vec!["vadd", "conv", "dct8x8", "pm", "matrix"];
+    let rows = parallel_map(names, num_threads(), |name| {
         let wl = suite::by_name(name).expect("registered");
         let base = run_trips(&wl, Quality::Hand, CoreConfig::prototype());
         let wide = run_trips(
@@ -24,13 +25,16 @@ fn opn_bandwidth(c: &mut Criterion) {
             Quality::Hand,
             CoreConfig { opn_networks: 2, ..CoreConfig::prototype() },
         );
-        println!(
+        format!(
             "{:<10} {:>10} {:>10} {:>7.1}%",
             name,
             base.cycles,
             wide.cycles,
             100.0 * (base.cycles as f64 - wide.cycles as f64) / base.cycles as f64
-        );
+        )
+    });
+    for row in rows {
+        println!("{row}");
     }
 
     let wl = suite::by_name("conv").expect("registered");

@@ -7,14 +7,15 @@
 
 use trips_bench::run_trips;
 use trips_core::{CoreConfig, PredictorConfig};
-use trips_harness::{criterion_group, criterion_main, Criterion};
+use trips_harness::{criterion_group, criterion_main, num_threads, parallel_map, Criterion};
 use trips_tasm::Quality;
 use trips_workloads::suite;
 
 fn predictor(c: &mut Criterion) {
     println!("\nAblation: next-block predictor (hand quality)");
     println!("{:<12} {:>12} {:>9} {:>12} {:>9}", "bench", "full:cyc", "acc", "seq:cyc", "acc");
-    for name in ["tblook01", "197.parser", "rspeed01", "a2time01", "matrix"] {
+    let names = vec!["tblook01", "197.parser", "rspeed01", "a2time01", "matrix"];
+    let rows = parallel_map(names, num_threads(), |name| {
         let wl = suite::by_name(name).expect("registered");
         let full = run_trips(&wl, Quality::Hand, CoreConfig::prototype());
         let seq = run_trips(
@@ -22,14 +23,17 @@ fn predictor(c: &mut Criterion) {
             Quality::Hand,
             CoreConfig { predictor: PredictorConfig::sequential_only(), ..CoreConfig::prototype() },
         );
-        println!(
+        format!(
             "{:<12} {:>12} {:>8.1}% {:>12} {:>8.1}%",
             name,
             full.cycles,
             100.0 * full.prediction_accuracy(),
             seq.cycles,
             100.0 * seq.prediction_accuracy(),
-        );
+        )
+    });
+    for row in rows {
+        println!("{row}");
     }
 
     let wl = suite::by_name("tblook01").expect("registered");

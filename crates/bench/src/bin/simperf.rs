@@ -1,0 +1,179 @@
+//! Host-throughput benchmark for the simulator itself.
+//!
+//! Where `table3` reports what the *modelled machine* does, `simperf`
+//! reports how fast the *host* simulates it: simulated cycles per
+//! host-second per workload, the single-run win from the clock-gated
+//! tick scheduler (gated vs ungated, which must agree bit-for-bit),
+//! and the wall-clock win from sharding the whole sweep across host
+//! cores with the dependency-free worker pool.
+//!
+//! Flags:
+//!   --smoke   micro + kernel suites only, Hand quality only (CI)
+//!
+//! Writes `BENCH_simperf.json` in the current directory.
+
+use std::time::Instant;
+
+use trips_bench::run_trips;
+use trips_core::{CoreConfig, CoreStats, Processor};
+use trips_harness::{num_threads, parallel_map};
+use trips_tasm::Quality;
+use trips_workloads::{suite, Class, Workload};
+
+const MAX_CYCLES: u64 = trips_bench::MAX_CYCLES;
+
+struct WorkloadPerf {
+    name: &'static str,
+    sim_cycles: u64,
+    gated_secs: f64,
+    ungated_secs: f64,
+    gated_fraction: f64,
+}
+
+impl WorkloadPerf {
+    fn cycles_per_host_sec(&self) -> f64 {
+        self.sim_cycles as f64 / self.gated_secs.max(1e-12)
+    }
+
+    fn gating_speedup(&self) -> f64 {
+        self.ungated_secs / self.gated_secs.max(1e-12)
+    }
+}
+
+/// One measured run; returns (stats, host seconds, gated fraction).
+fn timed_run(wl: &Workload, quality: Quality, gate: bool) -> (CoreStats, f64, f64) {
+    let image = wl
+        .build_trips(quality)
+        .unwrap_or_else(|e| panic!("{} ({quality}): compile failed: {e}", wl.name))
+        .image;
+    let cfg = CoreConfig { gate_ticks: gate, ..CoreConfig::prototype() };
+    let mut cpu = Processor::new(cfg);
+    let start = Instant::now();
+    let stats = cpu
+        .run(&image, MAX_CYCLES)
+        .unwrap_or_else(|e| panic!("{} ({quality}): simulation failed: {e}", wl.name));
+    let secs = start.elapsed().as_secs_f64();
+    (stats, secs, cpu.gating_stats().gated_fraction())
+}
+
+fn json_escape_free(name: &str) -> &str {
+    debug_assert!(name.chars().all(|c| c.is_ascii_alphanumeric() || ".-_".contains(c)));
+    name
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let threads = num_threads();
+
+    let workloads: Vec<Workload> = suite::all()
+        .into_iter()
+        .filter(|wl| !smoke || matches!(wl.class, Class::Micro | Class::Kernel))
+        .collect();
+    let qualities: &[Quality] =
+        if smoke { &[Quality::Hand] } else { &[Quality::Hand, Quality::Compiled] };
+
+    println!(
+        "simperf: simulator host throughput ({} workloads, {threads} thread(s))",
+        workloads.len()
+    );
+    println!();
+
+    // Per-workload single-run measurements: gated (the default
+    // scheduler) vs ungated, which must produce identical results.
+    println!(
+        "{:<12} {:>12} {:>12} {:>10} {:>8} {:>8}",
+        "workload", "sim cycles", "Mcyc/hostsec", "gated sec", "gating", "gatedfr"
+    );
+    let mut rows: Vec<WorkloadPerf> = Vec::with_capacity(workloads.len());
+    for wl in &workloads {
+        let (gated, gated_secs, gated_fraction) = timed_run(wl, Quality::Hand, true);
+        let (ungated, ungated_secs, _) = timed_run(wl, Quality::Hand, false);
+        assert_eq!(gated, ungated, "{}: gated and ungated runs must be bit-identical", wl.name);
+        let perf = WorkloadPerf {
+            name: wl.name,
+            sim_cycles: gated.cycles,
+            gated_secs,
+            ungated_secs,
+            gated_fraction,
+        };
+        println!(
+            "{:<12} {:>12} {:>12.2} {:>10.4} {:>7.2}x {:>7.1}%",
+            perf.name,
+            perf.sim_cycles,
+            perf.cycles_per_host_sec() / 1e6,
+            perf.gated_secs,
+            perf.gating_speedup(),
+            100.0 * perf.gated_fraction,
+        );
+        rows.push(perf);
+    }
+
+    let total_gated: f64 = rows.iter().map(|r| r.gated_secs).sum();
+    let total_ungated: f64 = rows.iter().map(|r| r.ungated_secs).sum();
+    println!(
+        "\nsingle-run gating speedup (suite total): {:.2}x ({:.2}s ungated -> {:.2}s gated)",
+        total_ungated / total_gated.max(1e-12),
+        total_ungated,
+        total_gated,
+    );
+
+    // Sweep: the same (workload x quality) runs, serial vs sharded
+    // across the worker pool. Items are independent simulations.
+    let sweep: Vec<(Workload, Quality)> =
+        workloads.iter().flat_map(|&wl| qualities.iter().map(move |&q| (wl, q))).collect();
+    let n_runs = sweep.len();
+
+    let start = Instant::now();
+    for (wl, q) in &sweep {
+        std::hint::black_box(run_trips(wl, *q, CoreConfig::prototype()).cycles);
+    }
+    let serial_secs = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let cycles =
+        parallel_map(sweep, threads, |(wl, q)| run_trips(&wl, q, CoreConfig::prototype()).cycles);
+    let parallel_secs = start.elapsed().as_secs_f64();
+    std::hint::black_box(&cycles);
+
+    let sweep_speedup = serial_secs / parallel_secs.max(1e-12);
+    println!(
+        "sweep of {n_runs} runs: serial {serial_secs:.2}s, parallel ({threads} threads) \
+         {parallel_secs:.2}s -> {sweep_speedup:.2}x",
+    );
+    if threads == 1 {
+        println!("(single host core: parallel speedup is not expected to exceed 1x here)");
+    }
+
+    // Hand-built JSON: the container has no serde.
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str("  \"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"sim_cycles\": {}, \"gated_secs\": {:.6}, \
+             \"ungated_secs\": {:.6}, \"sim_cycles_per_host_sec\": {:.1}, \
+             \"gating_speedup\": {:.4}, \"gated_fraction\": {:.4}}}{}\n",
+            json_escape_free(r.name),
+            r.sim_cycles,
+            r.gated_secs,
+            r.ungated_secs,
+            r.cycles_per_host_sec(),
+            r.gating_speedup(),
+            r.gated_fraction,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"gating_speedup_total\": {:.4},\n",
+        total_ungated / total_gated.max(1e-12)
+    ));
+    json.push_str(&format!(
+        "  \"sweep\": {{\"runs\": {n_runs}, \"serial_secs\": {serial_secs:.6}, \
+         \"parallel_secs\": {parallel_secs:.6}, \"parallel_speedup\": {sweep_speedup:.4}}}\n"
+    ));
+    json.push_str("}\n");
+    std::fs::write("BENCH_simperf.json", &json).expect("write BENCH_simperf.json");
+    println!("\nwrote BENCH_simperf.json");
+}

@@ -10,6 +10,7 @@
 
 use trips_bench::{run_alpha, run_trips, speedup};
 use trips_core::{CoreConfig, CATS};
+use trips_harness::{num_threads, parallel_map};
 use trips_tasm::Quality;
 use trips_workloads::{suite, Class};
 
@@ -40,10 +41,13 @@ fn main() {
     }
     println!("{header}");
 
-    for wl in suite::all() {
-        if quick && !matches!(wl.class, Class::Micro | Class::Kernel) {
-            continue;
-        }
+    // Rows are independent (workload, config) simulations; shard them
+    // across host cores and print in suite order.
+    let rows: Vec<_> = suite::all()
+        .into_iter()
+        .filter(|wl| !quick || matches!(wl.class, Class::Micro | Class::Kernel))
+        .collect();
+    let rows = parallel_map(rows, num_threads(), |wl| {
         let mut row = format!("{:<12}", wl.name);
         let hand = run_trips(&wl, Quality::Hand, CoreConfig::prototype_critpath());
         if overheads {
@@ -64,6 +68,9 @@ fn main() {
                 hand.ipc(),
             ));
         }
+        row
+    });
+    for row in rows {
         println!("{row}");
     }
 

@@ -120,6 +120,13 @@ pub struct CoreConfig {
     pub critpath: bool,
     /// Maximum in-flight frames to use (≤ 8); 1 disables speculation.
     pub max_frames: usize,
+    /// Clock-gate the tick scheduler: tiles and micronets whose
+    /// [`active`](crate::Processor) predicate is false are skipped
+    /// entirely. Gating is an host-side optimization only — gated and
+    /// ungated runs are bit-identical in statistics and architectural
+    /// state (enforced by the `gating_equivalence` test suite); the
+    /// switch exists so that equivalence can be tested.
+    pub gate_ticks: bool,
 }
 
 impl CoreConfig {
@@ -148,6 +155,7 @@ impl CoreConfig {
             predictor: PredictorConfig::prototype(),
             critpath: false,
             max_frames: NUM_FRAMES,
+            gate_ticks: true,
         }
     }
 

@@ -117,9 +117,9 @@ impl DataTile {
             lru: vec![0; cfg.l1d_sets],
             deppred: vec![false; cfg.deppred_entries],
             blocks_since_clear: 0,
-            mshrs: Vec::new(),
-            respond_q: Vec::new(),
-            outbox: OpnOutbox::default(),
+            mshrs: Vec::with_capacity(cfg.mshr_lines),
+            respond_q: Vec::with_capacity(8),
+            outbox: OpnOutbox::with_capacity(16),
             occupancy: 0,
         }
     }
@@ -127,6 +127,32 @@ impl DataTile {
     /// True when nothing is pending.
     pub fn idle(&self) -> bool {
         self.mshrs.is_empty() && self.respond_q.is_empty() && self.outbox.is_empty()
+    }
+
+    /// True while a tick can make progress without a new message: an
+    /// MSHR fill, load response, or outbox flush is timed; a commit
+    /// drain is underway; or a deferred load is parked. Deferred loads
+    /// must keep the tile awake because their eligibility can change
+    /// through this DT's *own* frame deallocation in
+    /// [`advance_frames`], with no message involved.
+    fn busy(&self) -> bool {
+        if !self.idle() {
+            return true;
+        }
+        self.frames
+            .iter()
+            .any(|f| f.active && ((f.committing && !f.commit_done) || !f.deferred.is_empty()))
+    }
+
+    /// Clock-gating predicate: internal work pending, or a message
+    /// bound for this tile on any of its five inbound networks.
+    pub fn active(&self, nets: &Nets) -> bool {
+        self.busy()
+            || nets.gcn.has_pending_at(gcn_pos(TileId::Dt(self.index)))
+            || nets.gdn_rows[self.index as usize + 1].has_pending_at(1)
+            || nets.dsn.has_pending_at(self.index as usize)
+            || nets.gsn_dt.has_pending_at(dt_chain_pos(self.index as usize))
+            || nets.opn_delivered_at(TileId::Dt(self.index))
     }
 
     /// Queued work for the hang diagnoser (`None` when nothing is
@@ -309,20 +335,18 @@ impl DataTile {
             }
         }
 
-        // MSHR fills.
-        let mut filled = Vec::new();
+        // MSHR fills. Filling inline while scanning is safe: install
+        // and the response queue never touch `mshrs`.
         let mut k = 0;
         while k < self.mshrs.len() {
             if self.mshrs[k].fill_at <= now {
-                filled.push(self.mshrs.swap_remove(k));
+                let m = self.mshrs.swap_remove(k);
+                self.install(m.line << 6, cfg);
+                for ld in m.waiting {
+                    self.respond_q.push((now + cfg.l1d_hit_lat, ld));
+                }
             } else {
                 k += 1;
-            }
-        }
-        for m in filled {
-            self.install(m.line << 6, cfg);
-            for ld in m.waiting {
-                self.respond_q.push((now + cfg.l1d_hit_lat, ld));
             }
         }
 

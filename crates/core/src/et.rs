@@ -65,6 +65,13 @@ pub struct ExecTile {
     local_q: Vec<(u64, FrameId, Gen, u8, OperandSlot, Tok, EvId)>,
     fu_busy_until: u64,
     outbox: OpnOutbox,
+    /// Sticky issue-wakeup flag: set whenever a station or operand
+    /// arrival may have created an issueable instruction; cleared only
+    /// when a full select scan proves nothing can issue (and nothing
+    /// was held back by a busy unpipelined unit). While false, the
+    /// select stage is provably a no-op, so the clock-gating predicate
+    /// can let the tile sleep.
+    maybe_ready: bool,
 }
 
 fn slot_ix(slot: OperandSlot) -> usize {
@@ -82,17 +89,35 @@ impl ExecTile {
             row,
             col,
             frames: Default::default(),
-            order: Vec::new(),
-            inflight: Vec::new(),
-            local_q: Vec::new(),
+            order: Vec::with_capacity(NUM_FRAMES),
+            inflight: Vec::with_capacity(RS_PER_FRAME),
+            local_q: Vec::with_capacity(RS_PER_FRAME),
             fu_busy_until: 0,
-            outbox: OpnOutbox::default(),
+            outbox: OpnOutbox::with_capacity(16),
+            maybe_ready: false,
         }
     }
 
     /// True when nothing is pending.
     pub fn idle(&self) -> bool {
         self.inflight.is_empty() && self.local_q.is_empty() && self.outbox.is_empty()
+    }
+
+    /// True while a tick can make progress without a new message:
+    /// an instruction may be selectable, an execution is in flight, a
+    /// bypass value or outbox message is queued.
+    fn busy(&self) -> bool {
+        self.maybe_ready || !self.idle()
+    }
+
+    /// Clock-gating predicate: internal work pending, or a message
+    /// bound for this tile on the GCN, its GDN row, or the OPN.
+    pub fn active(&self, nets: &Nets) -> bool {
+        self.busy()
+            || nets.gcn.has_pending_at(gcn_pos(TileId::Et(self.row, self.col)))
+            || nets.gdn_rows[self.row as usize + 1]
+                .has_pending_at(row_pos_of_col(self.col as usize))
+            || nets.opn_delivered_at(TileId::Et(self.row, self.col))
     }
 
     /// Queued work for the hang diagnoser (`None` when idle and no
@@ -229,6 +254,7 @@ impl ExecTile {
                 }
                 check_dead(&mut st);
                 f.stations[slot] = Some(st);
+                self.maybe_ready = true;
             }
         }
 
@@ -249,18 +275,16 @@ impl ExecTile {
 
         // Completion of in-flight executions (before local bypass
         // delivery so a result can reach a same-ET consumer in time
-        // for back-to-back issue, §4.2).
-        let mut done_list = Vec::new();
+        // for back-to-back issue, §4.2). finish() never touches
+        // `inflight`, so finishing inline while scanning is safe.
         let mut j = 0;
         while j < self.inflight.len() {
             if self.inflight[j].done <= now {
-                done_list.push(self.inflight.swap_remove(j));
+                let fin = self.inflight.swap_remove(j);
+                self.finish(now, fin, crit, stats);
             } else {
                 j += 1;
             }
-        }
-        for fin in done_list {
-            self.finish(now, fin, crit, stats);
         }
 
         // Local bypass deliveries.
@@ -283,6 +307,7 @@ impl ExecTile {
     }
 
     fn deliver_operand(&mut self, frame: FrameId, idx: u8, slot: OperandSlot, tok: Tok, ev: EvId) {
+        self.maybe_ready = true;
         let f = &mut self.frames[frame.0 as usize];
         let sslot = trips_isa::InstSlot::from_index(idx).slot as usize;
         match &mut f.stations[sslot] {
@@ -308,8 +333,17 @@ impl ExecTile {
         crit: &mut CritPath,
         stats: &mut CoreStats,
     ) {
-        let order = self.order.clone();
-        for frame in order {
+        if !self.maybe_ready {
+            // No station became selectable since the last empty scan;
+            // the walk below would find nothing.
+            return;
+        }
+        // A ready station skipped only because the unpipelined unit is
+        // busy must keep the wakeup flag set: it becomes selectable
+        // again by the passage of time alone, with no new message.
+        let mut deferred = false;
+        for oi in 0..self.order.len() {
+            let frame = self.order[oi];
             let fi = frame.0 as usize;
             if !self.frames[fi].active {
                 continue;
@@ -323,6 +357,7 @@ impl ExecTile {
                 }
                 let (lat, pipelined) = self.exec_latency(cfg, st.inst.opcode);
                 if !pipelined && self.fu_busy_until > now {
+                    deferred = true;
                     continue;
                 }
                 // Issue.
@@ -348,6 +383,9 @@ impl ExecTile {
                 return;
             }
         }
+        // Full scan, nothing issued: the flag stays set only if a
+        // ready station was held back by a busy unpipelined unit.
+        self.maybe_ready = deferred;
     }
 
     fn finish(&mut self, now: u64, fin: InFlight, crit: &mut CritPath, stats: &mut CoreStats) {

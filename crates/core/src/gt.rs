@@ -166,6 +166,24 @@ impl GlobalTile {
         self.order.len()
     }
 
+    /// True while a tick can make progress without a new message: a
+    /// fetch is staged, a next PC awaits a free frame, or any block is
+    /// in flight (in-flight blocks pipeline commit commands and
+    /// deallocate across cycles with no further input).
+    fn busy(&self) -> bool {
+        self.fetch.is_some() || self.next_pc.is_some() || !self.order.is_empty()
+    }
+
+    /// Clock-gating predicate: internal work pending, or a message
+    /// bound for the GT on a GSN chain head or the OPN.
+    pub fn active(&self, nets: &Nets) -> bool {
+        self.busy()
+            || nets.gsn_rt.has_pending_at(0)
+            || nets.gsn_dt.has_pending_at(0)
+            || nets.gsn_it.has_pending_at(0)
+            || nets.opn_delivered_at(TileId::Gt)
+    }
+
     /// Per-frame status for the hang diagnoser, in age order.
     pub fn frame_diags(&self) -> Vec<FrameDiag> {
         self.order

@@ -69,6 +69,6 @@ pub use config::{
 pub use critpath::{Cat, CritBreakdown, CritPath, CATS, NUM_CATS};
 pub use diag::{FrameDiag, HangReport, NetDiag, TileDiag};
 pub use predictor::{NextBlockPredictor, Prediction, PredictorCheckpoint};
-pub use proc::{Processor, SimError};
+pub use proc::{GatingStats, Processor, SimError};
 pub use stats::{BlockTiming, CoreStats, Histogram, ProtocolStats};
 pub use trace::{OpnClass, TraceEvent, TraceKind, Tracer};

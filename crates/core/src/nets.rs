@@ -110,12 +110,36 @@ impl Nets {
         }
     }
 
-    /// Ticks the contention-modelled networks.
+    /// Ticks the contention-modelled networks. Meshes with nothing in
+    /// flight are clock-gated ([`Mesh::active`] is their predicate);
+    /// the chains are event-driven (send/recv) and never need a tick.
     pub fn tick(&mut self, now: u64) {
         for (n, m) in self.opn.iter_mut().enumerate() {
+            if !m.active() {
+                continue;
+            }
             self.opn_highwater[n] = self.opn_highwater[n].max(m.in_flight());
             m.tick(now);
         }
+    }
+
+    /// Head-of-line inject stalls observed by the tile outboxes.
+    ///
+    /// This is the *only* term of the protocol-level stall count:
+    /// [`OpnOutbox::flush`] checks `can_inject` before injecting, so a
+    /// stalled cycle increments this counter and never reaches
+    /// [`Mesh::inject`] — the mesh's own `inject_fails` counts raw
+    /// rejected injections (a different event, nonzero only for
+    /// clients that bypass the outbox) and must not be added on top.
+    pub fn inject_stalls(&self) -> u64 {
+        self.opn_inject_stalls
+    }
+
+    /// True if any OPN has a delivered message waiting at `tile` —
+    /// part of the tile's clock-gating wakeup predicate.
+    pub fn opn_delivered_at(&self, tile: TileId) -> bool {
+        let node = tile.opn();
+        self.opn.iter().any(|m| m.has_delivered(node))
     }
 
     /// The parallel OPN carrying traffic for `dst`. Destination
@@ -196,6 +220,12 @@ pub struct OpnOutbox {
 }
 
 impl OpnOutbox {
+    /// An outbox with its queue storage pre-allocated, so the first
+    /// sends of a run never touch the allocator mid-tick.
+    pub fn with_capacity(cap: usize) -> OpnOutbox {
+        OpnOutbox { queue: VecDeque::with_capacity(cap) }
+    }
+
     /// Queues a message for `dst`.
     pub fn push(&mut self, dst: TileId, payload: OpnPayload) {
         self.queue.push_back((dst, payload));
@@ -373,6 +403,40 @@ mod tests {
         assert_eq!(nets.opn[no].stats.injected, before + 1, "open network injected");
         assert_eq!(ob.len(), 1, "stalled head stays queued");
         assert!(nets.opn_inject_stalls >= 1, "stall was counted");
+    }
+
+    #[test]
+    fn inject_stalls_count_outbox_stalls_once() {
+        // Regression for a double count: the protocol-level stall
+        // statistic must equal the outbox head-of-line stall counter
+        // alone. The mesh's `inject_fails` tracks raw rejected
+        // injections — the outbox never produces those (it checks
+        // `can_inject` first), so adding the two terms would count a
+        // single full-FIFO episode twice for any client that also
+        // drives `inject` directly.
+        let cfg = CoreConfig::prototype();
+        let mut nets = Nets::new(&cfg);
+        let mut tr = Tracer::disabled();
+        let src = TileId::Et(0, 0);
+        let dst = TileId::Et(0, 1);
+        // Fill the inject FIFO at src by direct injection, then one
+        // raw failed injection (the non-outbox path).
+        while nets.opn[0].can_inject(src.opn()) {
+            nets.opn[0].inject(0, MeshMsg::new(src.opn(), dst.opn(), operand()));
+        }
+        assert!(!nets.opn[0].inject(0, MeshMsg::new(src.opn(), dst.opn(), operand())));
+        assert_eq!(nets.opn[0].stats.inject_fails, 1);
+        // Outbox head-of-line stall against the same full FIFO.
+        let mut ob = OpnOutbox::default();
+        ob.push(dst, operand());
+        ob.flush(&mut nets, 0, src, &mut tr);
+        assert_eq!(ob.len(), 1, "head stays queued");
+        assert_eq!(nets.inject_stalls(), 1, "one stalled cycle, counted once");
+        // The audited statistic is the outbox counter alone; the old
+        // `stalls + inject_fails` formula would have reported 2 here.
+        assert_ne!(nets.inject_stalls() + nets.opn[0].stats.inject_fails, nets.inject_stalls());
+        // A failed direct injection did not bump the outbox counter.
+        assert_eq!(nets.opn_inject_stalls, 1);
     }
 
     #[test]

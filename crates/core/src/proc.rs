@@ -54,6 +54,32 @@ impl fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
+/// Host-side clock-gating counters.
+///
+/// Deliberately kept *outside* [`CoreStats`]: gating is a host
+/// optimization, and the gated/ungated equivalence suite compares
+/// whole `CoreStats` values bit-for-bit — these counters necessarily
+/// differ between the two modes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GatingStats {
+    /// Tile ticks executed (the tile's `active()` held, or gating off).
+    pub ticks_run: u64,
+    /// Tile ticks skipped because the tile was provably inactive.
+    pub ticks_gated: u64,
+}
+
+impl GatingStats {
+    /// Fraction of tile ticks skipped, in `[0, 1]`.
+    pub fn gated_fraction(&self) -> f64 {
+        let total = self.ticks_run + self.ticks_gated;
+        if total == 0 {
+            0.0
+        } else {
+            self.ticks_gated as f64 / total as f64
+        }
+    }
+}
+
 /// A TRIPS processor core.
 pub struct Processor {
     cfg: CoreConfig,
@@ -67,6 +93,7 @@ pub struct Processor {
     crit: CritPath,
     stats: CoreStats,
     tracer: Tracer,
+    gating: GatingStats,
     cycle: u64,
 }
 
@@ -85,6 +112,7 @@ impl Processor {
             crit: CritPath::new(cfg.critpath),
             stats: CoreStats::default(),
             tracer: Tracer::disabled(),
+            gating: GatingStats::default(),
             cycle: 0,
             cfg,
         };
@@ -104,6 +132,7 @@ impl Processor {
         self.crit = CritPath::new(self.cfg.critpath);
         self.stats = CoreStats::default();
         self.tracer.clear();
+        self.gating = GatingStats::default();
         self.cycle = 0;
     }
 
@@ -139,6 +168,11 @@ impl Processor {
         &self.cfg
     }
 
+    /// Clock-gating counters for the current/most recent run.
+    pub fn gating_stats(&self) -> GatingStats {
+        self.gating
+    }
+
     /// Runs `image` from its entry block until a `halt` branch commits
     /// or `max_cycles` elapse.
     ///
@@ -160,16 +194,14 @@ impl Processor {
         }
         self.stats.cycles = self.cycle;
         self.stats.opn = self.nets.opn.iter().fold(MeshStats::default(), |mut acc, m| {
-            acc.injected += m.stats.injected;
-            acc.ejected += m.stats.ejected;
-            acc.inject_fails += m.stats.inject_fails;
-            acc.total_hops += m.stats.total_hops;
-            acc.total_queued += m.stats.total_queued;
-            acc.total_latency += m.stats.total_latency;
+            acc.merge(&m.stats);
             acc
         });
-        self.stats.protocol.opn_inject_stalls =
-            self.nets.opn_inject_stalls + self.stats.opn.inject_fails;
+        // Inject stalls are counted once, at the outbox (the outbox
+        // only calls `inject` after `can_inject`, so the meshes' own
+        // `inject_fails` would double-count any raw-inject user if it
+        // were added here — see `Nets::inject_stalls`).
+        self.stats.protocol.opn_inject_stalls = self.nets.inject_stalls();
         self.stats.protocol.opn_inflight_highwater = self.nets.opn_highwater.clone();
         if self.crit.enabled() {
             self.stats.critpath = Some(self.crit.walk(self.gt.final_ev));
@@ -217,12 +249,18 @@ impl Processor {
     /// True when every tile and network has drained (no queued work
     /// besides architectural state) — useful for tests that stop the
     /// clock manually.
+    ///
+    /// Defined as the complement of the clock-gating `active()`
+    /// predicates, so "quiesced" and "every tile gated off" can never
+    /// disagree: a core is quiesced exactly when a gated scheduler
+    /// would skip every tile and network.
     pub fn quiesced(&self) -> bool {
         self.nets.idle()
-            && self.its.iter().all(|t| t.idle())
-            && self.rts.iter().all(|t| t.idle())
-            && self.ets.iter().all(|t| t.idle())
-            && self.dts.iter().all(|t| t.idle())
+            && !self.gt.active(&self.nets)
+            && self.its.iter().all(|t| !t.active(&self.nets))
+            && self.rts.iter().all(|t| !t.active(&self.nets))
+            && self.ets.iter().all(|t| !t.active(&self.nets))
+            && self.dts.iter().all(|t| !t.active(&self.nets))
     }
 
     /// A diagnostic snapshot for debugging hangs.
@@ -236,50 +274,88 @@ impl Processor {
     }
 
     /// Advances one cycle.
+    ///
+    /// With [`CoreConfig::gate_ticks`] set (the default) each tile is
+    /// skipped when its `active()` predicate is false. The predicates
+    /// are conservative — a tile may tick unnecessarily, but a tile
+    /// with pending work or an inbound message always ticks — and a
+    /// tick of an inactive tile is a provable no-op, so gated and
+    /// ungated runs are bit-identical (enforced by the
+    /// `gating_equivalence` test suite). Evaluating a predicate just
+    /// before the tile's tick (rather than at cycle start) can only
+    /// wake a tile *earlier*: every micronet has at least one cycle of
+    /// latency, so a message sent this cycle matures next cycle at the
+    /// soonest, and an early wake-up is one of those no-op ticks.
     pub fn tick(&mut self) {
         let now = self.cycle;
-        self.gt.tick(
-            now,
-            &self.cfg,
-            &mut self.nets,
-            &mut self.crit,
-            &mut self.stats,
-            &self.mem,
-            &mut self.tracer,
-        );
-        for it in &mut self.its {
-            it.tick(now, &self.cfg, &mut self.nets, &self.mem, &mut self.tracer);
-        }
-        for rt in &mut self.rts {
-            rt.tick(
+        let gate = self.cfg.gate_ticks;
+        if !gate || self.gt.active(&self.nets) {
+            self.gt.tick(
                 now,
                 &self.cfg,
                 &mut self.nets,
                 &mut self.crit,
                 &mut self.stats,
+                &self.mem,
                 &mut self.tracer,
             );
+            self.gating.ticks_run += 1;
+        } else {
+            self.gating.ticks_gated += 1;
         }
-        for et in &mut self.ets {
-            et.tick(
-                now,
-                &self.cfg,
-                &mut self.nets,
-                &mut self.crit,
-                &mut self.stats,
-                &mut self.tracer,
-            );
+        for i in 0..self.its.len() {
+            if !gate || self.its[i].active(&self.nets) {
+                self.its[i].tick(now, &self.cfg, &mut self.nets, &self.mem, &mut self.tracer);
+                self.gating.ticks_run += 1;
+            } else {
+                self.gating.ticks_gated += 1;
+            }
         }
-        for dt in &mut self.dts {
-            dt.tick(
-                now,
-                &self.cfg,
-                &mut self.nets,
-                &mut self.crit,
-                &mut self.stats,
-                &mut self.mem,
-                &mut self.tracer,
-            );
+        for i in 0..self.rts.len() {
+            if !gate || self.rts[i].active(&self.nets) {
+                self.rts[i].tick(
+                    now,
+                    &self.cfg,
+                    &mut self.nets,
+                    &mut self.crit,
+                    &mut self.stats,
+                    &mut self.tracer,
+                );
+                self.gating.ticks_run += 1;
+            } else {
+                self.gating.ticks_gated += 1;
+            }
+        }
+        for i in 0..self.ets.len() {
+            if !gate || self.ets[i].active(&self.nets) {
+                self.ets[i].tick(
+                    now,
+                    &self.cfg,
+                    &mut self.nets,
+                    &mut self.crit,
+                    &mut self.stats,
+                    &mut self.tracer,
+                );
+                self.gating.ticks_run += 1;
+            } else {
+                self.gating.ticks_gated += 1;
+            }
+        }
+        for i in 0..self.dts.len() {
+            if !gate || self.dts[i].active(&self.nets) {
+                self.dts[i].tick(
+                    now,
+                    &self.cfg,
+                    &mut self.nets,
+                    &mut self.crit,
+                    &mut self.stats,
+                    &mut self.mem,
+                    &mut self.tracer,
+                );
+                self.gating.ticks_run += 1;
+            } else {
+                self.gating.ticks_gated += 1;
+            }
         }
         self.nets.tick(now);
         self.cycle += 1;

@@ -71,8 +71,8 @@ impl RegTile {
             bank,
             regs: [0; 32],
             frames: Default::default(),
-            order: Vec::new(),
-            outbox: OpnOutbox::default(),
+            order: Vec::with_capacity(NUM_FRAMES),
+            outbox: OpnOutbox::with_capacity(16),
         }
     }
 
@@ -84,6 +84,27 @@ impl RegTile {
     /// True when no frame state or traffic is pending.
     pub fn idle(&self) -> bool {
         self.order.is_empty() && self.outbox.is_empty()
+    }
+
+    /// True while a tick can make progress without a new message:
+    /// operands queued for injection, or a commit drain in flight
+    /// (the write queue empties at `commit_bw` registers per cycle).
+    /// Every other state change in this tile is message-triggered and
+    /// completed in the tick that consumes the message.
+    fn busy(&self) -> bool {
+        !self.outbox.is_empty()
+            || self.frames.iter().any(|f| f.active && f.committing && !f.commit_done)
+    }
+
+    /// Clock-gating predicate: internal work pending, or any message
+    /// bound for this tile on the GDN header row, GCN, RT status
+    /// chain, or OPN.
+    pub fn active(&self, nets: &Nets) -> bool {
+        self.busy()
+            || nets.gdn_rows[0].has_pending_at(row_pos_of_col(self.bank as usize))
+            || nets.gcn.has_pending_at(gcn_pos(TileId::Rt(self.bank)))
+            || nets.gsn_rt.has_pending_at(rt_chain_pos(self.bank as usize))
+            || nets.opn_delivered_at(TileId::Rt(self.bank))
     }
 
     /// Queued work for the hang diagnoser (`None` when idle).
@@ -251,7 +272,7 @@ impl RegTile {
         let bank = self.bank;
         let my_pos = rt_chain_pos(self.bank as usize);
         let west = my_pos - 1;
-        let mut cleared: Vec<FrameId> = Vec::new();
+        let mut cleared = 0u8; // frame bitmask; no per-tick allocation
         for fi in 0..NUM_FRAMES {
             let frame = FrameId(fi as u8);
             let f = &mut self.frames[fi];
@@ -299,11 +320,11 @@ impl RegTile {
                 // deallocation bump so stragglers read as stale.
                 f.active = false;
                 f.gen += 1;
-                cleared.push(frame);
+                cleared |= 1 << fi;
             }
         }
-        for frame in cleared {
-            self.order.retain(|&x| x != frame);
+        if cleared != 0 {
+            self.order.retain(|&x| cleared & (1 << x.0) == 0);
         }
     }
 

@@ -76,7 +76,7 @@ impl Histogram {
 /// Counters for the distributed protocols themselves — the timing
 /// behaviour the paper's §4 and §5 argue about, as opposed to the
 /// workload-facing counters in [`CoreStats`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ProtocolStats {
     /// Cycles from fetch start to the GDN dispatch command, per block.
     pub fetch_to_dispatch: Histogram,
@@ -105,7 +105,11 @@ impl ProtocolStats {
 }
 
 /// Statistics accumulated over one run of the core.
-#[derive(Debug, Clone, Default)]
+///
+/// Derives `PartialEq` so the gating-equivalence and determinism
+/// suites can require *whole-struct* bit-identical results between
+/// configurations that must not disagree.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CoreStats {
     /// Cycles simulated.
     pub cycles: u64,

@@ -10,8 +10,13 @@
 //! * [`Criterion`] — a minimal wall-clock micro-benchmark harness with
 //!   a Criterion-compatible surface (`bench_function`, `iter`,
 //!   `sample_size`, and the [`criterion_group!`]/[`criterion_main!`]
-//!   macros) so the `harness = false` bench targets keep their shape.
+//!   macros) so the `harness = false` bench targets keep their shape;
+//! * [`parallel_map`] — a scoped-thread worker pool (in place of
+//!   `rayon`) that shards independent simulator runs across host
+//!   cores while preserving input order in the results.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 pub use std::hint::black_box;
@@ -178,6 +183,66 @@ impl Bencher {
     }
 }
 
+/// Worker threads to use for [`parallel_map`]: the `TRIPS_THREADS`
+/// environment variable when set to a positive integer, otherwise the
+/// host's available parallelism (1 if that cannot be determined).
+pub fn num_threads() -> usize {
+    if let Ok(v) = std::env::var("TRIPS_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(std::num::NonZero::get).unwrap_or(1)
+}
+
+/// Applies `f` to every item on a pool of `threads` scoped workers and
+/// returns the results **in input order**.
+///
+/// This is the dependency-free stand-in for `rayon`'s `par_iter().map()`:
+/// a shared atomic cursor hands out work items so long-running items
+/// do not serialize behind a static partition. `threads == 1` (or a
+/// single item) degrades to a plain serial map with no thread or lock
+/// overhead, so callers can use one code path for both modes.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker closure.
+pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads == 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Hand items out through Options so workers can take ownership
+    // without consuming the Vec across threads.
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let cursor = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(slots.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= slots.len() {
+                    return;
+                }
+                let item = slots[i].lock().expect("slot poisoned").take().expect("item taken once");
+                let r = f(item);
+                results.lock().expect("results poisoned").push((i, r));
+            });
+        }
+    });
+    let mut out = results.into_inner().expect("results poisoned");
+    out.sort_by_key(|&(i, _)| i);
+    debug_assert_eq!(out.len(), slots.len());
+    out.into_iter().map(|(_, r)| r).collect()
+}
+
 /// Criterion-compatible group definition. Both the simple
 /// `criterion_group!(name, target, ...)` and the configured
 /// `criterion_group! { name = ..; config = ..; targets = .. }` forms
@@ -226,6 +291,33 @@ mod tests {
             let i = r.range_i64(-5, 5);
             assert!((-5..5).contains(&i));
         }
+    }
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        for threads in [1, 2, 4, 7] {
+            // Uneven per-item work so completion order differs from
+            // input order when threads > 1.
+            let out = parallel_map(items.clone(), threads, |v| {
+                if v % 3 == 0 {
+                    std::thread::yield_now();
+                }
+                v * 2
+            });
+            assert_eq!(out, items.iter().map(|v| v * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_single() {
+        assert_eq!(parallel_map(Vec::<u64>::new(), 8, |v| v), Vec::<u64>::new());
+        assert_eq!(parallel_map(vec![9u64], 8, |v| v + 1), vec![10]);
+    }
+
+    #[test]
+    fn num_threads_is_positive() {
+        assert!(num_threads() >= 1);
     }
 
     #[test]

@@ -12,7 +12,7 @@ const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
 ///
 /// Uninitialized bytes read as zero, which matches the behaviour a
 /// workload sees from a zero-filled simulation DRAM.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SparseMem {
     pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
 }

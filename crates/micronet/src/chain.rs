@@ -96,6 +96,15 @@ impl<T> Chain<T> {
         self.inboxes.iter().all(VecDeque::is_empty)
     }
 
+    /// True if any message (mature or still in flight) is bound for
+    /// `pos`. This is the clock-gating wakeup test for the tile at
+    /// that position: conservative — the tile is clocked from the
+    /// moment a message is addressed to it, not only once the message
+    /// arrives — so a gated tile can never sleep through a delivery.
+    pub fn has_pending_at(&self, pos: usize) -> bool {
+        !self.inboxes[pos].is_empty()
+    }
+
     /// Messages pending across all positions.
     pub fn pending(&self) -> usize {
         self.inboxes.iter().map(VecDeque::len).sum()

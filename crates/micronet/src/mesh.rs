@@ -78,6 +78,18 @@ pub struct MeshStats {
 }
 
 impl MeshStats {
+    /// Accumulates `other` into `self` — the one place mesh statistics
+    /// are folded, whether across parallel operand networks or across
+    /// independent runs.
+    pub fn merge(&mut self, other: &MeshStats) {
+        self.injected += other.injected;
+        self.ejected += other.ejected;
+        self.inject_fails += other.inject_fails;
+        self.total_hops += other.total_hops;
+        self.total_queued += other.total_queued;
+        self.total_latency += other.total_latency;
+    }
+
     /// Mean hops per delivered message.
     pub fn avg_hops(&self) -> f64 {
         if self.ejected == 0 {
@@ -142,6 +154,12 @@ pub struct Mesh<P> {
     /// Aggregate statistics.
     pub stats: MeshStats,
     in_flight: usize,
+    // Per-tick scratch, retained across ticks so the hot path never
+    // touches the allocator: start-of-cycle occupancy snapshot,
+    // granted-input markers, and the move list.
+    scratch_len: Vec<[usize; PORTS]>,
+    scratch_incoming: Vec<[bool; PORTS]>,
+    scratch_moves: Vec<(usize, usize, Out)>,
 }
 
 impl<P> Mesh<P> {
@@ -160,6 +178,9 @@ impl<P> Mesh<P> {
             routers: (0..n).map(|_| Router::new()).collect(),
             stats: MeshStats::default(),
             in_flight: 0,
+            scratch_len: vec![[0; PORTS]; n],
+            scratch_incoming: vec![[false; PORTS]; n],
+            scratch_moves: Vec::with_capacity(n),
         }
     }
 
@@ -181,6 +202,19 @@ impl<P> Mesh<P> {
     /// Messages currently inside routers (excluding eject queues).
     pub fn in_flight(&self) -> usize {
         self.in_flight
+    }
+
+    /// True when a tick would move anything — the clock-gating
+    /// predicate. A mesh with no message inside any router is
+    /// architecturally inert until the next injection.
+    pub fn active(&self) -> bool {
+        self.in_flight > 0
+    }
+
+    /// True if a delivered message awaits consumption at `node` —
+    /// a destination tile must be clocked while this holds.
+    pub fn has_delivered(&self, node: Coord) -> bool {
+        !self.routers[self.idx(node)].eject.is_empty()
     }
 
     /// True if the caller can inject at `src` this cycle.
@@ -280,16 +314,20 @@ impl<P> Mesh<P> {
             return;
         }
         let n = self.routers.len();
+        // Reuse the retained scratch buffers (no per-tick allocation);
+        // they are moved out for the duration of the arbitration loop
+        // to keep the borrow checker happy, then put back.
+        let mut start_len = std::mem::take(&mut self.scratch_len);
+        let mut incoming = std::mem::take(&mut self.scratch_incoming);
+        let mut moves = std::mem::take(&mut self.scratch_moves);
+        moves.clear();
         // Snapshot input occupancies for flow control.
-        let mut start_len = vec![[0usize; PORTS]; n];
         for (r, router) in self.routers.iter().enumerate() {
+            incoming[r] = [false; PORTS];
             for (len, input) in start_len[r].iter_mut().zip(&router.inputs) {
                 *len = input.len();
             }
         }
-        // (from_router, from_port, Out)
-        let mut moves: Vec<(usize, usize, Out)> = Vec::new();
-        let mut incoming = vec![[false; PORTS]; n];
 
         for r in 0..n {
             let at =
@@ -344,7 +382,7 @@ impl<P> Mesh<P> {
             }
         }
 
-        for (r, p, out) in moves {
+        for &(r, p, out) in &moves {
             let mut msg = self.routers[r].inputs[p].pop_front().unwrap();
             match out {
                 Out::Eject => {
@@ -368,6 +406,9 @@ impl<P> Mesh<P> {
                 }
             }
         }
+        self.scratch_len = start_len;
+        self.scratch_incoming = incoming;
+        self.scratch_moves = moves;
     }
 }
 

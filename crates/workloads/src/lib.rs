@@ -78,6 +78,7 @@ impl Variant {
 
 /// One benchmark: a generator producing the IR and the memory cells
 /// that verify its result.
+#[derive(Clone, Copy)]
 pub struct Workload {
     /// Table 3 name.
     pub name: &'static str,

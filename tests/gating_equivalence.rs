@@ -1,0 +1,91 @@
+//! Clock gating must be invisible: a gated run and an ungated run of
+//! the same image must produce bit-identical statistics and
+//! architectural state. The tick scheduler's `active()` predicates
+//! are conservative by construction (a tile may tick unnecessarily,
+//! never the reverse), and this suite enforces that across the whole
+//! workload suite at both code qualities.
+
+use trips_core::{CoreConfig, CoreStats, Processor};
+use trips_harness::{num_threads, parallel_map};
+use trips_isa::mem::SparseMem;
+use trips_isa::ArchReg;
+use trips_tasm::Quality;
+use trips_workloads::{suite, Workload};
+
+const MAX_CYCLES: u64 = 200_000_000;
+
+/// Runs `wl` at `quality` with gating on or off, returning the full
+/// observable outcome: stats, all 128 architectural registers, and
+/// memory.
+fn outcome(wl: &Workload, quality: Quality, gate: bool) -> (CoreStats, Vec<u64>, SparseMem) {
+    let image = wl
+        .build_trips(quality)
+        .unwrap_or_else(|e| panic!("{} ({quality:?}): compile failed: {e}", wl.name))
+        .image;
+    let mut cpu = Processor::new(CoreConfig { gate_ticks: gate, ..CoreConfig::prototype() });
+    let stats = cpu
+        .run(&image, MAX_CYCLES)
+        .unwrap_or_else(|e| panic!("{} ({quality:?}): simulation failed: {e}", wl.name));
+    let regs = (0..128).map(|r| cpu.arch_reg(ArchReg::new(r))).collect();
+    (stats, regs, cpu.memory().clone())
+}
+
+#[test]
+fn gated_and_ungated_runs_are_bit_identical_across_the_suite() {
+    let items: Vec<(Workload, Quality)> = suite::all()
+        .into_iter()
+        .flat_map(|wl| [(wl, Quality::Hand), (wl, Quality::Compiled)])
+        .collect();
+    let failures: Vec<String> = parallel_map(items, num_threads(), |(wl, quality)| {
+        let (g_stats, g_regs, g_mem) = outcome(&wl, quality, true);
+        let (u_stats, u_regs, u_mem) = outcome(&wl, quality, false);
+        let mut errs = Vec::new();
+        if g_stats != u_stats {
+            errs.push(format!(
+                "{} ({quality:?}): CoreStats diverge\n  gated:   {g_stats:?}\n  ungated: {u_stats:?}",
+                wl.name
+            ));
+        }
+        if g_regs != u_regs {
+            let diffs: Vec<String> = g_regs
+                .iter()
+                .zip(&u_regs)
+                .enumerate()
+                .filter(|(_, (a, b))| a != b)
+                .map(|(r, (a, b))| format!("G{r}: gated={a:#x} ungated={b:#x}"))
+                .collect();
+            errs.push(format!("{} ({quality:?}): registers diverge: {}", wl.name, diffs.join(", ")));
+        }
+        if g_mem != u_mem {
+            errs.push(format!("{} ({quality:?}): memory diverges", wl.name));
+        }
+        errs
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    assert!(failures.is_empty(), "gating changed observable behaviour:\n{}", failures.join("\n"));
+}
+
+#[test]
+fn gating_actually_skips_ticks() {
+    // Sanity that the equivalence above is not vacuous: on a real
+    // workload the gated scheduler must skip a meaningful share of
+    // tile ticks (drained tiles exist in any block-structured run).
+    let wl = suite::by_name("matrix").expect("registered");
+    let image = wl.build_trips(Quality::Hand).expect("compiles").image;
+    let mut cpu = Processor::new(CoreConfig::prototype());
+    cpu.run(&image, MAX_CYCLES).expect("halts");
+    let g = cpu.gating_stats();
+    assert!(g.ticks_gated > 0, "no ticks were gated: {g:?}");
+    assert!(
+        g.gated_fraction() > 0.05,
+        "suspiciously little gating ({:.1}%): predicates may have regressed to always-active",
+        100.0 * g.gated_fraction()
+    );
+
+    let mut ungated = Processor::new(CoreConfig { gate_ticks: false, ..CoreConfig::prototype() });
+    ungated.run(&image, MAX_CYCLES).expect("halts");
+    let u = ungated.gating_stats();
+    assert_eq!(u.ticks_gated, 0, "ungated mode must never skip a tile");
+}
