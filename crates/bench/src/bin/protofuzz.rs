@@ -1,0 +1,221 @@
+//! Protocol fault-injection fuzzer.
+//!
+//! Sweeps seeded timing-only fault plans ([`FaultPlan::random`]) over
+//! a set of workloads, running each on the cycle-level core with every
+//! protocol invariant checked per tick and comparing the final
+//! architectural state against the `blockinterp` oracle. On a failure
+//! it re-runs the case with the flight recorder on, writes a JSON
+//! artifact (plan, hang report, Chrome trace), shrinks the plan to a
+//! minimal reproducer, and prints a `#[test]` snippet that pastes into
+//! `tests/fault_injection.rs`.
+//!
+//! ```text
+//! protofuzz [--smoke] [--seeds N] [--start S] [--workloads a,b,c]
+//!           [--quality hand|compiled] [--gate on|off]
+//!           [--demo-bug] [--artifact FILE] [--threads N]
+//! ```
+//!
+//! `--smoke` is the CI configuration: 210 seeds across four
+//! microbenchmarks. `--demo-bug` flips on a synthetic failure
+//! predicate (any forced flush storm counts as a failure) to
+//! demonstrate the full shrink-and-report pipeline on a healthy core.
+
+use std::process::ExitCode;
+
+use trips_bench::fuzz::{self, FuzzFailure, Oracle};
+use trips_core::FaultPlan;
+use trips_harness::{num_threads, parallel_map};
+use trips_tasm::Quality;
+use trips_workloads::suite;
+
+struct Args {
+    seeds: u64,
+    start: u64,
+    workloads: Vec<String>,
+    quality: Quality,
+    gate: bool,
+    demo_bug: bool,
+    artifact: String,
+    threads: usize,
+    max_cycles: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seeds: 1000,
+        start: 0,
+        workloads: vec!["dct8x8".into(), "matrix".into(), "sha".into(), "vadd".into()],
+        quality: Quality::Hand,
+        gate: true,
+        demo_bug: false,
+        artifact: "protofuzz-failure.json".into(),
+        threads: num_threads(),
+        max_cycles: fuzz::FUZZ_MAX_CYCLES,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--smoke" => args.seeds = 210,
+            "--seeds" => {
+                args.seeds = value("--seeds")?.parse().map_err(|e| format!("--seeds: {e}"))?
+            }
+            "--start" => {
+                args.start = value("--start")?.parse().map_err(|e| format!("--start: {e}"))?
+            }
+            "--workloads" => {
+                args.workloads = value("--workloads")?.split(',').map(str::to_string).collect();
+            }
+            "--quality" => {
+                args.quality = match value("--quality")?.as_str() {
+                    "hand" => Quality::Hand,
+                    "compiled" => Quality::Compiled,
+                    q => return Err(format!("unknown quality {q:?} (hand|compiled)")),
+                }
+            }
+            "--gate" => {
+                args.gate = match value("--gate")?.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    g => return Err(format!("unknown gate mode {g:?} (on|off)")),
+                }
+            }
+            "--demo-bug" => args.demo_bug = true,
+            "--artifact" => args.artifact = value("--artifact")?,
+            "--threads" => {
+                args.threads = value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?
+            }
+            "--max-cycles" => {
+                args.max_cycles =
+                    value("--max-cycles")?.parse().map_err(|e| format!("--max-cycles: {e}"))?
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if args.workloads.is_empty() {
+        return Err("--workloads needs at least one name".into());
+    }
+    Ok(args)
+}
+
+/// Whether `plan` fails on `oracle` — the one predicate both the sweep
+/// and the shrinker use, so a shrunk plan fails for the same reason as
+/// the original. In `--demo-bug` mode a run that merely *experienced*
+/// a forced flush storm also counts as failing, to exercise the
+/// shrink-and-report pipeline without a real bug.
+fn case_failure(
+    oracle: &Oracle,
+    plan: &FaultPlan,
+    gate: bool,
+    demo: bool,
+    max_cycles: u64,
+) -> Option<String> {
+    match fuzz::run_against_oracle(oracle, Some(plan), gate, max_cycles) {
+        Err(e) => Some(e),
+        Ok(stats) if demo && stats.protocol.forced_flushes > 0 => Some(format!(
+            "demo bug: {} forced flush storm(s) observed (synthetic failure predicate)",
+            stats.protocol.forced_flushes
+        )),
+        Ok(_) => None,
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("protofuzz: {e}");
+            eprintln!(
+                "usage: protofuzz [--smoke] [--seeds N] [--start S] [--workloads a,b,c] \
+                 [--quality hand|compiled] [--gate on|off] [--demo-bug] [--artifact FILE] \
+                 [--threads N] [--max-cycles N]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut oracles = Vec::new();
+    for name in &args.workloads {
+        let Some(wl) = suite::by_name(name) else {
+            eprintln!("protofuzz: unknown workload {name:?}; known:");
+            for w in suite::all() {
+                eprintln!("  {}", w.name);
+            }
+            return ExitCode::FAILURE;
+        };
+        oracles.push(Oracle::build(&wl, args.quality));
+    }
+
+    let cases: Vec<(u64, usize)> = (args.start..args.start + args.seeds)
+        .map(|seed| (seed, (seed % oracles.len() as u64) as usize))
+        .collect();
+    eprintln!(
+        "protofuzz: sweeping {} seeded plans over {} workload(s) ({:?}, gating {}) on {} thread(s)",
+        cases.len(),
+        oracles.len(),
+        args.quality,
+        if args.gate { "on" } else { "off" },
+        args.threads,
+    );
+
+    let failures: Vec<FuzzFailure> = parallel_map(cases, args.threads, |(seed, oi)| {
+        let oracle = &oracles[oi];
+        let plan = FaultPlan::random(seed);
+        case_failure(oracle, &plan, args.gate, args.demo_bug, args.max_cycles).map(|why| {
+            FuzzFailure { seed, workload: oracle.name.clone(), quality: oracle.quality, plan, why }
+        })
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+
+    if failures.is_empty() {
+        eprintln!("protofuzz: all {} plans passed (invariants + oracle)", args.seeds);
+        if args.demo_bug {
+            eprintln!("protofuzz: --demo-bug found no storming plan; widen --seeds");
+            return ExitCode::FAILURE;
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    eprintln!("protofuzz: {} failing plan(s); minimizing the first", failures.len());
+    for f in failures.iter().take(10) {
+        eprintln!(
+            "  seed {:#x} on {} ({:?}): {}",
+            f.seed,
+            f.workload,
+            f.quality,
+            first_line(&f.why)
+        );
+    }
+
+    let fail = &failures[0];
+    let oracle = &oracles[args.workloads.iter().position(|w| *w == fail.workload).unwrap_or(0)];
+    let (shrunk, shrunk_why) = fuzz::shrink(fail.plan.clone(), fail.why.clone(), |p| {
+        case_failure(oracle, p, args.gate, args.demo_bug, args.max_cycles)
+    });
+    eprintln!("protofuzz: shrunk plan:\n{}", shrunk.to_rust_literal());
+    eprintln!("protofuzz: still fails with: {}", first_line(&shrunk_why));
+
+    let artifact =
+        fuzz::failure_artifact(oracle, fail, &shrunk, &shrunk_why, args.gate, args.max_cycles);
+    match std::fs::write(&args.artifact, &artifact) {
+        Ok(()) => eprintln!("protofuzz: wrote failure artifact to {}", args.artifact),
+        Err(e) => eprintln!("protofuzz: writing {}: {e}", args.artifact),
+    }
+
+    println!("// ---- paste into tests/fault_injection.rs ----");
+    println!("{}", fuzz::repro_snippet(&fail.workload, fail.quality, &shrunk, &shrunk_why));
+
+    if args.demo_bug {
+        // The demo's whole point is to produce the reproducer above;
+        // reaching it is success.
+        eprintln!("protofuzz: --demo-bug pipeline complete");
+        return ExitCode::SUCCESS;
+    }
+    ExitCode::FAILURE
+}
+
+fn first_line(s: &str) -> &str {
+    s.lines().next().unwrap_or_default()
+}

@@ -1,0 +1,337 @@
+//! The fault-injection fuzzing engine behind the `protofuzz` binary.
+//!
+//! The loop: seed → [`FaultPlan::random`] → run the cycle-level core
+//! under that plan with every protocol invariant checked each tick →
+//! compare the final architectural state (all 128 registers, all of
+//! memory, committed block count) against the `blockinterp` oracle.
+//! Because fault plans perturb *timing only* — never values, never
+//! per-link FIFO order — any divergence, invariant violation, hang, or
+//! leaked post-halt state is a protocol bug by construction.
+//!
+//! Failures are minimized by a greedy pass over
+//! [`FaultPlan::shrink_candidates`] and rendered as a `#[test]`
+//! snippet (see [`repro_snippet`]) that pastes directly into
+//! `tests/fault_injection.rs`.
+
+use std::fmt::Write as _;
+
+use trips_core::{CoreConfig, CoreStats, FaultPlan, Processor};
+use trips_isa::mem::SparseMem;
+use trips_isa::{ArchReg, ProgramImage};
+use trips_tasm::{blockinterp, Quality};
+use trips_workloads::Workload;
+
+/// Cycle budget for one fuzzed run. Random plans slow a run down
+/// (stall bursts, chain delays, flush storms) but never wedge it —
+/// anything that exhausts this budget is a real hang, and the timeout
+/// path attaches a [`trips_core::HangReport`].
+pub const FUZZ_MAX_CYCLES: u64 = 50_000_000;
+
+/// Block budget for the architectural oracle.
+pub const ORACLE_MAX_BLOCKS: u64 = 10_000_000;
+
+/// Architectural reference for one (workload, quality) pair: the
+/// compiled image plus the block interpreter's final state.
+pub struct Oracle {
+    /// Workload name (for reports).
+    pub name: String,
+    /// Code quality the image was compiled at.
+    pub quality: Quality,
+    /// The compiled image every fuzzed run executes.
+    pub image: ProgramImage,
+    /// Final architectural registers per the block interpreter.
+    pub regs: [u64; 128],
+    /// Final memory per the block interpreter.
+    pub mem: SparseMem,
+    /// Blocks the interpreter committed.
+    pub blocks: u64,
+}
+
+impl Oracle {
+    /// Compiles `wl` at `quality` and runs the block interpreter to
+    /// produce the reference state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload fails to compile or the interpreter
+    /// fails — both mean the harness itself is broken, not the
+    /// protocols under test.
+    pub fn build(wl: &Workload, quality: Quality) -> Oracle {
+        let image = wl
+            .build_trips(quality)
+            .unwrap_or_else(|e| panic!("{} ({quality:?}): compile failed: {e}", wl.name))
+            .image;
+        let r = blockinterp::run_image(&image, ORACLE_MAX_BLOCKS)
+            .unwrap_or_else(|e| panic!("{} ({quality:?}): block interp failed: {e}", wl.name));
+        Oracle {
+            name: wl.name.to_string(),
+            quality,
+            image,
+            regs: r.regs,
+            mem: r.mem,
+            blocks: r.blocks,
+        }
+    }
+}
+
+/// Runs the oracle's image under `plan` with invariants checked every
+/// tick and post-halt drainage enforced, then compares the final
+/// architectural state against the oracle.
+///
+/// # Errors
+///
+/// A description of the first failure: simulation error (timeout with
+/// hang report, invariant violation) or architectural divergence.
+pub fn run_against_oracle(
+    oracle: &Oracle,
+    plan: Option<&FaultPlan>,
+    gate: bool,
+    max_cycles: u64,
+) -> Result<CoreStats, String> {
+    let cfg = CoreConfig {
+        gate_ticks: gate,
+        faults: plan.cloned(),
+        check_invariants: true,
+        ..CoreConfig::prototype()
+    };
+    let mut cpu = Processor::new(cfg);
+    let stats = cpu.run(&oracle.image, max_cycles).map_err(|e| e.to_string())?;
+    compare_arch_state(&cpu, &stats, oracle)?;
+    Ok(stats)
+}
+
+/// Compares a finished core against the oracle: every architectural
+/// register, all of memory, and the committed block count.
+///
+/// # Errors
+///
+/// A description of every mismatching register plus any memory or
+/// block-count divergence.
+pub fn compare_arch_state(
+    cpu: &Processor,
+    stats: &CoreStats,
+    oracle: &Oracle,
+) -> Result<(), String> {
+    if stats.blocks_committed != oracle.blocks {
+        return Err(format!(
+            "committed {} blocks, oracle committed {}",
+            stats.blocks_committed, oracle.blocks
+        ));
+    }
+    let mut diffs = Vec::new();
+    for r in 0..128u8 {
+        let got = cpu.arch_reg(ArchReg::new(r));
+        let want = oracle.regs[r as usize];
+        if got != want {
+            diffs.push(format!("G{r}: core={got:#x} oracle={want:#x}"));
+        }
+    }
+    if !diffs.is_empty() {
+        return Err(format!("register divergence vs blockinterp oracle: {}", diffs.join(", ")));
+    }
+    let mem_diffs = cpu.memory().diff(&oracle.mem, 256);
+    if !mem_diffs.is_empty() {
+        let mut bases: Vec<u64> = mem_diffs.iter().map(|&a| a & !7).collect();
+        bases.dedup();
+        let cells: Vec<String> = bases
+            .iter()
+            .take(16)
+            .map(|&base| {
+                format!(
+                    "{base:#x}: core={:#x} oracle={:#x}",
+                    cpu.memory().read_u64(base),
+                    oracle.mem.read_u64(base)
+                )
+            })
+            .collect();
+        return Err(format!(
+            "memory divergence vs blockinterp oracle ({} cell(s)): {}",
+            bases.len(),
+            cells.join(", ")
+        ));
+    }
+    Ok(())
+}
+
+/// Greedily minimizes a failing plan: repeatedly scans
+/// [`FaultPlan::shrink_candidates`] and commits the first candidate
+/// that still fails, until no candidate does. Returns the minimal
+/// plan and the failure it still produces. Terminates because every
+/// candidate strictly reduces a finite measure of the plan.
+pub fn shrink<F>(mut plan: FaultPlan, mut why: String, fails: F) -> (FaultPlan, String)
+where
+    F: Fn(&FaultPlan) -> Option<String>,
+{
+    loop {
+        let step = plan.shrink_candidates().into_iter().find_map(|cand| {
+            let w = fails(&cand)?;
+            Some((cand, w))
+        });
+        match step {
+            Some((cand, w)) => {
+                plan = cand;
+                why = w;
+            }
+            None => return (plan, why),
+        }
+    }
+}
+
+/// Renders a minimized failure as a `#[test]` function that pastes
+/// directly into `tests/fault_injection.rs` (which provides the
+/// `assert_plan_matches_oracle` helper).
+pub fn repro_snippet(workload: &str, quality: Quality, plan: &FaultPlan, why: &str) -> String {
+    let mut s = String::new();
+    let ident: String =
+        workload.chars().map(|c| if c.is_alphanumeric() { c } else { '_' }).collect();
+    let _ = writeln!(s, "/// Minimized protofuzz reproducer (seed {:#x}).", plan.seed);
+    for line in why.lines().take(4) {
+        let _ = writeln!(s, "/// Failure: {line}");
+    }
+    let _ = writeln!(s, "#[test]");
+    let _ = writeln!(s, "fn protofuzz_repro_{ident}_{:x}() {{", plan.seed);
+    let _ = writeln!(s, "    let plan = {};", indent_continuation(&plan.to_rust_literal(), 4));
+    let _ =
+        writeln!(s, "    assert_plan_matches_oracle(\"{workload}\", Quality::{quality:?}, &plan);");
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// Indents every line after the first by `n` spaces (for embedding a
+/// multi-line literal in generated code).
+fn indent_continuation(text: &str, n: usize) -> String {
+    let pad = " ".repeat(n);
+    let mut lines = text.lines();
+    let mut out = lines.next().unwrap_or_default().to_string();
+    for l in lines {
+        out.push('\n');
+        out.push_str(&pad);
+        out.push_str(l);
+    }
+    out
+}
+
+/// A failing fuzz case, as collected by the sweep.
+#[derive(Debug, Clone)]
+pub struct FuzzFailure {
+    /// The plan's master seed.
+    pub seed: u64,
+    /// Workload the failure occurred on.
+    pub workload: String,
+    /// Code quality of the failing image.
+    pub quality: Quality,
+    /// The full (unshrunk) failing plan.
+    pub plan: FaultPlan,
+    /// Failure description from [`run_against_oracle`].
+    pub why: String,
+}
+
+/// Builds the machine-readable failure artifact the CI job uploads:
+/// the original and shrunk plans, the failure descriptions, the hang
+/// report from a traced re-run of the shrunk plan, and the flight
+/// recorder's Chrome trace (embedded raw — it is already JSON).
+pub fn failure_artifact(
+    oracle: &Oracle,
+    fail: &FuzzFailure,
+    shrunk: &FaultPlan,
+    shrunk_why: &str,
+    gate: bool,
+    max_cycles: u64,
+) -> String {
+    // Traced re-run of the minimal reproducer: the flight recorder is
+    // most useful on exactly the failing run.
+    let cfg = CoreConfig {
+        gate_ticks: gate,
+        faults: Some(shrunk.clone()),
+        check_invariants: true,
+        ..CoreConfig::prototype()
+    };
+    let mut cpu = Processor::new(cfg);
+    cpu.enable_tracing(1 << 15);
+    let rerun = cpu.run(&oracle.image, max_cycles);
+    let hang = cpu.diagnose();
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"workload\": \"{}\",", json_escape(&fail.workload));
+    let _ = writeln!(s, "  \"quality\": \"{:?}\",", fail.quality);
+    let _ = writeln!(s, "  \"seed\": {},", fail.seed);
+    let _ = writeln!(s, "  \"failure\": \"{}\",", json_escape(&fail.why));
+    let _ = writeln!(s, "  \"plan\": \"{}\",", json_escape(&fail.plan.to_rust_literal()));
+    let _ = writeln!(s, "  \"shrunk_plan\": \"{}\",", json_escape(&shrunk.to_rust_literal()));
+    let _ = writeln!(s, "  \"shrunk_failure\": \"{}\",", json_escape(shrunk_why));
+    let _ = writeln!(
+        s,
+        "  \"rerun\": \"{}\",",
+        json_escape(&match &rerun {
+            Ok(st) => format!("ran to halt: {} cycles, {} blocks", st.cycles, st.blocks_committed),
+            Err(e) => e.to_string(),
+        })
+    );
+    let _ = writeln!(s, "  \"hang_report\": \"{}\",", json_escape(&hang.summary()));
+    let _ = writeln!(s, "  \"chrome_trace\": {}", cpu.tracer().chrome_trace().trim_end());
+    s.push('}');
+    s.push('\n');
+    s
+}
+
+/// Escapes a string for embedding in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trips_workloads::suite;
+
+    #[test]
+    fn clean_run_matches_oracle() {
+        let wl = suite::by_name("vadd").expect("registered");
+        let oracle = Oracle::build(&wl, Quality::Hand);
+        let stats = run_against_oracle(&oracle, None, true, FUZZ_MAX_CYCLES)
+            .expect("clean run matches oracle");
+        assert_eq!(stats.blocks_committed, oracle.blocks);
+    }
+
+    #[test]
+    fn shrinker_reaches_a_fixed_point() {
+        // Synthetic predicate: "fails" whenever the plan storms. The
+        // minimum is a storm-only plan.
+        let plan = FaultPlan::random(0x5eed_0007);
+        let mut plan = plan;
+        plan.flush_storm = Some(trips_core::Ratio { num: 1, den: 16 });
+        let fails = |p: &FaultPlan| p.flush_storm.map(|_| "storm still present".to_string());
+        let (min, why) = shrink(plan, "seed failure".into(), fails);
+        assert!(min.flush_storm.is_some(), "shrinker must preserve the failure");
+        assert!(min.links.is_empty() && min.chain_delay.is_none() && !min.rotate_arbitration);
+        assert_eq!(why, "storm still present");
+    }
+
+    #[test]
+    fn snippet_is_pasteable_shape() {
+        let plan = FaultPlan::random(42);
+        let snip = repro_snippet("vadd", Quality::Hand, &plan, "something diverged");
+        assert!(snip.contains("#[test]"));
+        assert!(snip.contains("fn protofuzz_repro_vadd_2a()"));
+        assert!(snip.contains("assert_plan_matches_oracle(\"vadd\", Quality::Hand, &plan);"));
+    }
+
+    #[test]
+    fn json_escape_handles_controls() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

@@ -12,7 +12,11 @@
 //!
 //! plus Criterion ablation benches (`cargo bench -p trips-bench`) for
 //! the design choices DESIGN.md calls out: operand-network bandwidth,
-//! the dependence predictor, and the next-block predictor.
+//! the dependence predictor, and the next-block predictor, and the
+//! `protofuzz` fault-injection fuzzer (`cargo run --release -p
+//! trips-bench --bin protofuzz -- --smoke`) behind [`fuzz`].
+
+pub mod fuzz;
 
 use trips_alpha::{AlphaConfig, AlphaCore, AlphaStats};
 use trips_core::{CoreConfig, CoreStats, Processor};

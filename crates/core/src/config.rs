@@ -1,5 +1,7 @@
 //! Configuration of the processor core model.
 
+use crate::fault::FaultPlan;
+
 /// Number of ET rows/columns (fixed by the 128-instruction block
 /// format: four chunks of 32 instructions map to four rows).
 pub const ET_ROWS: usize = 4;
@@ -127,6 +129,16 @@ pub struct CoreConfig {
     /// state (enforced by the `gating_equivalence` test suite); the
     /// switch exists so that equivalence can be tested.
     pub gate_ticks: bool,
+    /// Timing-only fault plan for protocol fuzzing. `None` (the
+    /// default) leaves every fault hook uninstalled; the run is then
+    /// bit-identical to a build without the hooks (enforced by the
+    /// `fault_injection` zero-overhead suite).
+    pub faults: Option<FaultPlan>,
+    /// Check the protocol invariants every cycle and after the run
+    /// drains ([`crate::invariants`]). Off by default: the checks walk
+    /// all tile state each tick and exist for the fuzzing harness, not
+    /// the measurement paths.
+    pub check_invariants: bool,
 }
 
 impl CoreConfig {
@@ -156,6 +168,8 @@ impl CoreConfig {
             critpath: false,
             max_frames: NUM_FRAMES,
             gate_ticks: true,
+            faults: None,
+            check_invariants: false,
         }
     }
 

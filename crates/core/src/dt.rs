@@ -183,6 +183,81 @@ impl DataTile {
         Some(parts.join(", "))
     }
 
+    /// DT-side protocol invariants: LSQ-ID sanity, occupancy
+    /// accounting, and the cross-tile generation bound (see
+    /// [`crate::invariants`]).
+    pub(crate) fn audit(&self, gt_gens: &[Gen; 8], gt_free: &[bool; 8]) -> Result<(), String> {
+        let mut seen = 0u8;
+        for &f in &self.order {
+            let bit = 1u8 << f.0;
+            if seen & bit != 0 {
+                return Err(format!("DT{}: frame {} twice in dispatch order", self.index, f.0));
+            }
+            seen |= bit;
+            let fr = &self.frames[f.0 as usize];
+            if !(fr.active && fr.in_order) {
+                return Err(format!(
+                    "DT{}: frame {} in dispatch order but active={} in_order={}",
+                    self.index, f.0, fr.active, fr.in_order
+                ));
+            }
+        }
+        let mut live = 0usize;
+        for (fi, f) in self.frames.iter().enumerate() {
+            if !f.active {
+                continue;
+            }
+            live += f.own_stores.len() + f.performed_loads.len();
+            if f.gen > gt_gens[fi] {
+                return Err(format!(
+                    "DT{}: frame {fi} active at gen {} but the GT is at gen {}",
+                    self.index, f.gen, gt_gens[fi]
+                ));
+            }
+            if f.gen == gt_gens[fi] && gt_free[fi] {
+                return Err(format!(
+                    "DT{}: frame {fi} active at the GT's current gen {} but the GT slot is free",
+                    self.index, f.gen
+                ));
+            }
+            for s in &f.own_stores {
+                if s.lsid >= 32 {
+                    return Err(format!(
+                        "DT{}: frame {fi} store LSQ id {} out of range",
+                        self.index, s.lsid
+                    ));
+                }
+                if f.mask_known && f.store_mask & (1 << s.lsid) == 0 {
+                    return Err(format!(
+                        "DT{}: frame {fi} holds store lsid {} absent from its store mask {:#x}",
+                        self.index, s.lsid, f.store_mask
+                    ));
+                }
+            }
+            for l in &f.performed_loads {
+                if l.lsid >= 32 {
+                    return Err(format!(
+                        "DT{}: frame {fi} load LSQ id {} out of range",
+                        self.index, l.lsid
+                    ));
+                }
+            }
+            if f.mask_known && f.arrived & !f.store_mask != 0 {
+                return Err(format!(
+                    "DT{}: frame {fi} arrival bits {:#x} outside the store mask {:#x}",
+                    self.index, f.arrived, f.store_mask
+                ));
+            }
+        }
+        if live != self.occupancy {
+            return Err(format!(
+                "DT{}: LSQ occupancy counter {} disagrees with live records {}",
+                self.index, self.occupancy, live
+            ));
+        }
+        Ok(())
+    }
+
     fn tile_id(&self) -> TileId {
         TileId::Dt(self.index)
     }
@@ -674,6 +749,46 @@ impl DataTile {
         let index = self.index;
         let my_pos = dt_chain_pos(self.index as usize);
         let north = my_pos - 1;
+
+        // Commit drain: one store per cycle to the cache/memory. The
+        // port is shared across frames and must retire blocks in age
+        // order — two in-flight commits can both store to the same
+        // address, and a younger block's drain overtaking an older's
+        // would leave the stale older value as the final memory
+        // state. Commit waves arrive in age order on the GCN, so the
+        // committing frames form an oldest-first prefix of the
+        // dispatch order; drain the oldest unfinished one.
+        'drain: for oi in 0..self.order.len() {
+            let fi = self.order[oi].0 as usize;
+            let f = &mut self.frames[fi];
+            if !f.active || !f.committing {
+                break;
+            }
+            if f.commit_done {
+                continue;
+            }
+            if f.commit_cursor == 0 {
+                f.own_stores.sort_by_key(|s| s.lsid);
+            }
+            loop {
+                let f = &mut self.frames[fi];
+                let Some(s) = f.own_stores.get(f.commit_cursor).copied() else {
+                    f.commit_done = true;
+                    break; // next (younger) frame may use the port
+                };
+                f.commit_cursor += 1;
+                if f.commit_cursor >= f.own_stores.len() {
+                    f.commit_done = true;
+                }
+                if !s.nullified {
+                    mem.write_uint(s.ea, s.val, s.bytes);
+                    stats.stores += 1;
+                    self.install(s.ea, cfg);
+                    break 'drain; // the store port is spent this cycle
+                }
+            }
+        }
+
         for fi in 0..NUM_FRAMES {
             let frame = FrameId(fi as u8);
             // Store-completion detection: the nearest DT notifies the
@@ -691,28 +806,6 @@ impl DataTile {
                     let gen = f.gen;
                     tracer.record(now, || TraceKind::StoresDone { frame });
                     nets.gsn_dt.send(now, my_pos, 0, GsnMsg::StoresDone { frame, gen, ev });
-                }
-            }
-            // Commit drain: one store per cycle to the cache/memory.
-            let f = &mut self.frames[fi];
-            if f.active && f.committing && !f.commit_done {
-                if f.commit_cursor == 0 {
-                    f.own_stores.sort_by_key(|s| s.lsid);
-                }
-                if let Some(s) = f.own_stores.get(f.commit_cursor).copied() {
-                    if !s.nullified {
-                        mem.write_uint(s.ea, s.val, s.bytes);
-                        stats.stores += 1;
-                        self.install(s.ea, cfg);
-                    }
-                    let f = &mut self.frames[fi];
-                    f.commit_cursor += 1;
-                } else {
-                    f.commit_done = true;
-                }
-                let f = &mut self.frames[fi];
-                if f.commit_cursor >= f.own_stores.len() {
-                    f.commit_done = true;
                 }
             }
             let f = &mut self.frames[fi];

@@ -149,6 +149,45 @@ impl ExecTile {
         Some(parts.join(", "))
     }
 
+    /// ET-side protocol invariants (see [`crate::invariants`]).
+    pub(crate) fn audit(&self, gt_gens: &[Gen; 8], gt_free: &[bool; 8]) -> Result<(), String> {
+        let at = format!("ET({},{})", self.row, self.col);
+        let mut seen = 0u8;
+        for &f in &self.order {
+            let bit = 1u8 << f.0;
+            if seen & bit != 0 {
+                return Err(format!("{at}: frame {} twice in activation order", f.0));
+            }
+            seen |= bit;
+        }
+        for (fi, f) in self.frames.iter().enumerate() {
+            let in_order = seen & (1 << fi) != 0;
+            if f.active != in_order {
+                return Err(format!(
+                    "{at}: frame {fi} active={} but {} the activation order",
+                    f.active,
+                    if in_order { "in" } else { "not in" }
+                ));
+            }
+            if !f.active {
+                continue;
+            }
+            if f.gen > gt_gens[fi] {
+                return Err(format!(
+                    "{at}: frame {fi} active at gen {} but the GT is at gen {}",
+                    f.gen, gt_gens[fi]
+                ));
+            }
+            if f.gen == gt_gens[fi] && gt_free[fi] {
+                return Err(format!(
+                    "{at}: frame {fi} active at the GT's current gen {} but the GT slot is free",
+                    f.gen
+                ));
+            }
+        }
+        Ok(())
+    }
+
     fn tile_id(&self) -> TileId {
         TileId::Et(self.row, self.col)
     }

@@ -1,0 +1,409 @@
+//! Seeded fault plans: core-level timing-fault configuration.
+//!
+//! A [`FaultPlan`] hangs off [`CoreConfig`](crate::CoreConfig) and
+//! describes a *timing-only* perturbation of the whole core: stall
+//! bursts on OPN router ports, randomized OPN arbitration, extra delay
+//! on every control chain, and forced extra flush storms from the GT.
+//! Values are never touched and per-link FIFO order is never broken —
+//! the perturbations stay inside the envelope the paper's §4 protocols
+//! claim to tolerate, so a run under any plan must still match the
+//! `blockinterp` architectural oracle. `protofuzz` sweeps seeds
+//! through [`FaultPlan::random`] and shrinks failures through
+//! [`FaultPlan::shrink_candidates`].
+//!
+//! Everything derives from one `seed`; each network gets a private
+//! PRNG via [`FaultPlan::subseed`] so dropping one fault from a plan
+//! does not shift the random streams of the others (crucial for
+//! shrinking to stay meaningful).
+
+use trips_harness::Rng;
+use trips_micronet::{ChainFaultConfig, Coord, FaultPort, MeshFaultConfig, PortStall};
+
+/// Sub-seed tag: the OPN mesh for network `n` uses `TAG_MESH + n`.
+pub(crate) const TAG_MESH: u64 = 0x10;
+/// Sub-seed tag: GDN column chain.
+pub(crate) const TAG_GDN_COL: u64 = 0x20;
+/// Sub-seed tag: GDN row `r` uses `TAG_GDN_ROW + r`.
+pub(crate) const TAG_GDN_ROW: u64 = 0x21;
+/// Sub-seed tag: GSN along the RT row.
+pub(crate) const TAG_GSN_RT: u64 = 0x30;
+/// Sub-seed tag: GSN along the DT column.
+pub(crate) const TAG_GSN_DT: u64 = 0x31;
+/// Sub-seed tag: GSN along the IT column.
+pub(crate) const TAG_GSN_IT: u64 = 0x32;
+/// Sub-seed tag: GCN commit/flush wave.
+pub(crate) const TAG_GCN: u64 = 0x40;
+/// Sub-seed tag: GRN refill chain.
+pub(crate) const TAG_GRN: u64 = 0x41;
+/// Sub-seed tag: DSN store-arrival broadcast chain.
+pub(crate) const TAG_DSN: u64 = 0x42;
+/// Sub-seed tag: the GT's flush-storm PRNG.
+pub(crate) const TAG_STORM: u64 = 0x50;
+
+/// A probability `num / den` (`den` must be nonzero; `num == 0` means
+/// never, `num >= den` means always).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ratio {
+    /// Numerator.
+    pub num: u64,
+    /// Denominator (nonzero).
+    pub den: u64,
+}
+
+/// A stall fault on one OPN router output port (see
+/// [`PortStall`] for burst semantics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkFault {
+    /// Which parallel operand network (0 in the prototype).
+    pub net: usize,
+    /// Router row in the 5×5 OPN.
+    pub row: u8,
+    /// Router column.
+    pub col: u8,
+    /// The output port to stall.
+    pub port: FaultPort,
+    /// Per-cycle burst-start probability (`num >= den` = permanently
+    /// dead, for deliberate-deadlock tests).
+    pub chance: Ratio,
+    /// Maximum burst length in cycles.
+    pub max_burst: u64,
+}
+
+/// Extra-delay fault applied to every control chain (GDN, GSN, GCN,
+/// GRN, DSN). Per-inbox send order is preserved — see
+/// [`ChainFaultConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChainDelay {
+    /// Per-message extra-delay probability (`num == 0` installs the
+    /// hook but keeps it inert).
+    pub chance: Ratio,
+    /// Maximum extra delay in cycles.
+    pub max_extra: u64,
+}
+
+/// A complete, seeded, timing-only fault plan for one core.
+///
+/// `Default` is the empty plan: hooks installed nowhere, behaviour
+/// bit-identical to `CoreConfig { faults: None, .. }`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// Master seed; every per-network PRNG derives from it.
+    pub seed: u64,
+    /// Re-randomize OPN round-robin arbitration pointers every cycle.
+    pub rotate_arbitration: bool,
+    /// Stall bursts on OPN router output ports.
+    pub links: Vec<LinkFault>,
+    /// Extra delay on every control chain.
+    pub chain_delay: Option<ChainDelay>,
+    /// Per-resolved-branch probability of forcing a flush storm: the
+    /// GT treats a *correctly* predicted branch as if it had
+    /// mispredicted, flushing all younger speculative frames and
+    /// refetching from the (correct) target. Architecturally invisible
+    /// — only speculative work is destroyed and refetched.
+    pub flush_storm: Option<Ratio>,
+}
+
+impl FaultPlan {
+    /// A random plan for `seed`, drawn from the distribution the
+    /// `protofuzz` sweep uses: up to four stalled OPN ports, even odds
+    /// of arbitration rotation and of chain delays, one-in-three odds
+    /// of a flush storm. Never includes a permanent stall, so a random
+    /// plan can slow a run down but not wedge it.
+    pub fn random(seed: u64) -> FaultPlan {
+        let mut rng = Rng::new(seed);
+        let links = (0..rng.range_usize(0, 5))
+            .map(|_| LinkFault {
+                net: 0,
+                row: rng.range_u8(0, 5),
+                col: rng.range_u8(0, 5),
+                port: FaultPort::ALL[rng.range_usize(0, 5)],
+                chance: Ratio { num: 1, den: [2, 4, 8, 16][rng.range_usize(0, 4)] },
+                max_burst: 1 + rng.range_u64(0, 8),
+            })
+            .collect();
+        let rotate_arbitration = rng.chance(1, 2);
+        let chain_delay = rng.chance(1, 2).then(|| ChainDelay {
+            chance: Ratio { num: 1, den: [2, 4, 8][rng.range_usize(0, 3)] },
+            max_extra: 1 + rng.range_u64(0, 6),
+        });
+        let flush_storm =
+            rng.chance(1, 3).then(|| Ratio { num: 1, den: [16, 32, 64][rng.range_usize(0, 3)] });
+        FaultPlan { seed, rotate_arbitration, links, chain_delay, flush_storm }
+    }
+
+    /// A plan that installs a fault state on *every* hook but with all
+    /// probabilities zero: the code paths run, the behaviour must be
+    /// bit-identical to no plan at all. The zero-overhead regression
+    /// suite runs this.
+    pub fn inert_probe(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            rotate_arbitration: false,
+            links: vec![LinkFault {
+                net: 0,
+                row: 0,
+                col: 0,
+                port: FaultPort::Eject,
+                chance: Ratio { num: 0, den: 1 },
+                max_burst: 1,
+            }],
+            chain_delay: Some(ChainDelay { chance: Ratio { num: 0, den: 1 }, max_extra: 1 }),
+            flush_storm: Some(Ratio { num: 0, den: 1 }),
+        }
+    }
+
+    /// True when the plan perturbs nothing (no hooks would fire; note
+    /// an [`FaultPlan::inert_probe`] is *not* `is_empty` — it installs
+    /// hooks that then never fire).
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+            && !self.rotate_arbitration
+            && self.chain_delay.is_none()
+            && self.flush_storm.is_none()
+    }
+
+    /// The derived seed for sub-PRNG `tag`. Mixing the tag through a
+    /// SplitMix64 round keeps each network's stream independent of
+    /// which other faults the plan carries.
+    pub(crate) fn subseed(&self, tag: u64) -> u64 {
+        Rng::new(self.seed ^ tag.wrapping_mul(0x9e37_79b9_7f4a_7c15)).next_u64()
+    }
+
+    /// The mesh fault configuration for OPN network `net`, if any.
+    pub(crate) fn mesh_fault(&self, net: usize) -> Option<MeshFaultConfig> {
+        let stalls: Vec<PortStall> = self
+            .links
+            .iter()
+            .filter(|l| l.net == net)
+            .map(|l| PortStall {
+                router: Coord { row: l.row, col: l.col },
+                port: l.port,
+                num: l.chance.num,
+                den: l.chance.den,
+                max_burst: l.max_burst,
+            })
+            .collect();
+        if stalls.is_empty() && !self.rotate_arbitration {
+            return None;
+        }
+        Some(MeshFaultConfig {
+            seed: self.subseed(TAG_MESH + net as u64),
+            rotate_arbitration: self.rotate_arbitration,
+            stalls,
+        })
+    }
+
+    /// The chain fault configuration for sub-seed `tag`, if the plan
+    /// delays chains.
+    pub(crate) fn chain_fault(&self, tag: u64) -> Option<ChainFaultConfig> {
+        let d = self.chain_delay?;
+        Some(ChainFaultConfig {
+            seed: self.subseed(tag),
+            num: d.chance.num,
+            den: d.chance.den,
+            max_extra: d.max_extra,
+        })
+    }
+
+    /// The GT's flush-storm state, if the plan storms.
+    pub(crate) fn storm_state(&self) -> Option<StormState> {
+        let r = self.flush_storm?;
+        Some(StormState { rng: Rng::new(self.subseed(TAG_STORM)), num: r.num, den: r.den })
+    }
+
+    /// One-step-simpler variants of this plan, for the shrinker: drop
+    /// each faulted link, weaken each link (halved burst, halved
+    /// probability), disable rotation, drop or halve the chain delay,
+    /// drop the flush storm. A greedy loop over these candidates
+    /// converges because every candidate strictly reduces a finite
+    /// measure (fault count + Σ log den + Σ burst/extra).
+    pub fn shrink_candidates(&self) -> Vec<FaultPlan> {
+        let mut out = Vec::new();
+        for i in 0..self.links.len() {
+            let mut p = self.clone();
+            p.links.remove(i);
+            out.push(p);
+        }
+        for i in 0..self.links.len() {
+            let l = self.links[i];
+            if l.max_burst > 1 {
+                let mut p = self.clone();
+                p.links[i].max_burst = l.max_burst / 2;
+                out.push(p);
+            }
+            if l.chance.num < l.chance.den && l.chance.den <= 512 {
+                let mut p = self.clone();
+                p.links[i].chance.den = l.chance.den * 2;
+                out.push(p);
+            }
+        }
+        if self.rotate_arbitration {
+            let mut p = self.clone();
+            p.rotate_arbitration = false;
+            out.push(p);
+        }
+        if let Some(d) = self.chain_delay {
+            let mut p = self.clone();
+            p.chain_delay = None;
+            out.push(p);
+            if d.max_extra > 1 {
+                let mut p = self.clone();
+                p.chain_delay = Some(ChainDelay { max_extra: d.max_extra / 2, ..d });
+                out.push(p);
+            }
+            if d.chance.den <= 512 {
+                let mut p = self.clone();
+                p.chain_delay = Some(ChainDelay {
+                    chance: Ratio { num: d.chance.num, den: d.chance.den * 2 },
+                    ..d
+                });
+                out.push(p);
+            }
+        }
+        if self.flush_storm.is_some() {
+            let mut p = self.clone();
+            p.flush_storm = None;
+            out.push(p);
+        }
+        out
+    }
+
+    /// Renders the plan as a Rust expression that reconstructs it —
+    /// the `protofuzz` reproducer snippet pastes this into a `#[test]`.
+    pub fn to_rust_literal(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "FaultPlan {{");
+        let _ = writeln!(s, "    seed: {:#x},", self.seed);
+        let _ = writeln!(s, "    rotate_arbitration: {},", self.rotate_arbitration);
+        if self.links.is_empty() {
+            let _ = writeln!(s, "    links: vec![],");
+        } else {
+            let _ = writeln!(s, "    links: vec![");
+            for l in &self.links {
+                let _ = writeln!(
+                    s,
+                    "        LinkFault {{ net: {}, row: {}, col: {}, port: FaultPort::{:?}, \
+                     chance: Ratio {{ num: {}, den: {} }}, max_burst: {} }},",
+                    l.net, l.row, l.col, l.port, l.chance.num, l.chance.den, l.max_burst
+                );
+            }
+            let _ = writeln!(s, "    ],");
+        }
+        match self.chain_delay {
+            None => {
+                let _ = writeln!(s, "    chain_delay: None,");
+            }
+            Some(d) => {
+                let _ = writeln!(
+                    s,
+                    "    chain_delay: Some(ChainDelay {{ chance: Ratio {{ num: {}, den: {} }}, \
+                     max_extra: {} }}),",
+                    d.chance.num, d.chance.den, d.max_extra
+                );
+            }
+        }
+        match self.flush_storm {
+            None => {
+                let _ = writeln!(s, "    flush_storm: None,");
+            }
+            Some(r) => {
+                let _ = writeln!(
+                    s,
+                    "    flush_storm: Some(Ratio {{ num: {}, den: {} }}),",
+                    r.num, r.den
+                );
+            }
+        }
+        let _ = write!(s, "}}");
+        s
+    }
+}
+
+/// The GT's flush-storm coin: per resolved (correctly predicted,
+/// non-halt) branch, flush anyway with probability `num/den`.
+#[derive(Debug, Clone)]
+pub(crate) struct StormState {
+    rng: Rng,
+    num: u64,
+    den: u64,
+}
+
+impl StormState {
+    /// Rolls the storm coin.
+    pub(crate) fn roll(&mut self) -> bool {
+        self.num > 0 && self.rng.chance(self.num, self.den)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_plans_are_deterministic_and_varied() {
+        let a = FaultPlan::random(1234);
+        let b = FaultPlan::random(1234);
+        assert_eq!(a, b, "same seed, same plan");
+        let distinct = (0..64).map(FaultPlan::random).filter(|p| !p.is_empty()).count();
+        assert!(distinct > 32, "most random plans perturb something");
+    }
+
+    #[test]
+    fn subseeds_are_independent_of_other_faults() {
+        let full = FaultPlan::random(7);
+        let mut stripped = full.clone();
+        stripped.links.clear();
+        stripped.rotate_arbitration = false;
+        assert_eq!(
+            full.chain_fault(TAG_GCN),
+            stripped.chain_fault(TAG_GCN),
+            "dropping mesh faults must not shift the chain PRNG streams"
+        );
+    }
+
+    #[test]
+    fn shrinking_strictly_reduces_and_terminates() {
+        let mut plan = FaultPlan::random(99);
+        // Greedily take the first candidate every time; must terminate.
+        let mut steps = 0;
+        while let Some(next) = plan.shrink_candidates().into_iter().next() {
+            assert_ne!(next, plan);
+            plan = next;
+            steps += 1;
+            assert!(steps < 10_000, "shrinker failed to converge");
+        }
+        assert!(plan.is_empty() || plan.shrink_candidates().is_empty());
+    }
+
+    #[test]
+    fn literal_roundtrip_mentions_every_fault() {
+        let plan = FaultPlan {
+            seed: 0xabc,
+            rotate_arbitration: true,
+            links: vec![LinkFault {
+                net: 0,
+                row: 2,
+                col: 3,
+                port: FaultPort::North,
+                chance: Ratio { num: 1, den: 8 },
+                max_burst: 4,
+            }],
+            chain_delay: Some(ChainDelay { chance: Ratio { num: 1, den: 4 }, max_extra: 3 }),
+            flush_storm: Some(Ratio { num: 1, den: 32 }),
+        };
+        let lit = plan.to_rust_literal();
+        for needle in ["0xabc", "FaultPort::North", "max_burst: 4", "max_extra: 3", "den: 32"] {
+            assert!(lit.contains(needle), "literal missing {needle}:\n{lit}");
+        }
+    }
+
+    #[test]
+    fn inert_probe_installs_hooks_everywhere() {
+        let p = FaultPlan::inert_probe(5);
+        assert!(p.mesh_fault(0).is_some());
+        assert!(p.chain_fault(TAG_GCN).is_some());
+        assert!(p.storm_state().is_some());
+        assert!(!p.storm_state().expect("present").roll(), "num == 0 never fires");
+    }
+}

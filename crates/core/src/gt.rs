@@ -13,6 +13,7 @@ use trips_isa::{decode_header, BlockFlags, BranchKind, CHUNK_BYTES};
 use crate::config::CoreConfig;
 use crate::critpath::{Cat, CritPath, NO_EVENT};
 use crate::diag::FrameDiag;
+use crate::fault::StormState;
 use crate::msg::{EvId, FrameId, GcnMsg, GdnFetch, Gen, GrnRefill, GsnMsg, OpnPayload, TileId};
 use crate::nets::{it_col_pos, opn_recv, Nets};
 use crate::predictor::{NextBlockPredictor, PredictorCheckpoint};
@@ -135,6 +136,8 @@ pub struct GlobalTile {
     /// Event of the final deallocation, the root for the critical-path
     /// walk.
     pub final_ev: EvId,
+    /// Fault-plan flush storm (`None` on the production path).
+    storm: Option<StormState>,
 }
 
 const ITAG_SETS: usize = 64;
@@ -158,12 +161,92 @@ impl GlobalTile {
             slot_free_ev: [NO_EVENT; 8],
             last_commit_ev: NO_EVENT,
             final_ev: NO_EVENT,
+            storm: cfg.faults.as_ref().and_then(crate::fault::FaultPlan::storm_state),
         }
     }
 
     /// In-flight frame count.
     pub fn in_flight(&self) -> usize {
         self.order.len()
+    }
+
+    /// Current generation of every frame slot (for the invariant
+    /// checker's cross-tile generation comparison).
+    pub(crate) fn slot_gens(&self) -> [Gen; 8] {
+        let mut g = [0; 8];
+        for (o, f) in g.iter_mut().zip(&self.frames) {
+            *o = f.gen;
+        }
+        g
+    }
+
+    /// Which frame slots are free (for the invariant checker).
+    pub(crate) fn slot_free(&self) -> [bool; 8] {
+        let mut fr = [false; 8];
+        for (o, f) in fr.iter_mut().zip(&self.frames) {
+            *o = f.state == FState::Free;
+        }
+        fr
+    }
+
+    /// GT-internal protocol invariants, checked every tick under
+    /// fuzzing (see [`crate::invariants`] for the full catalogue).
+    pub(crate) fn audit(&self) -> Result<(), String> {
+        // Age order holds each in-flight frame exactly once.
+        let mut seen = 0u8;
+        for &f in &self.order {
+            let bit = 1u8 << f.0;
+            if seen & bit != 0 {
+                return Err(format!("frame {} appears twice in the GT age order", f.0));
+            }
+            seen |= bit;
+        }
+        for fi in 0..8 {
+            let f = &self.frames[fi];
+            let in_order = seen & (1 << fi) != 0;
+            if in_order == (f.state == FState::Free) {
+                return Err(format!(
+                    "frame {fi} is {:?} but {} the GT age order",
+                    f.state,
+                    if in_order { "in" } else { "not in" }
+                ));
+            }
+            // Completion strictly requires every §4.4 completion input.
+            if matches!(f.state, FState::Complete | FState::Committing)
+                && !(f.writes_done && f.stores_done && f.branch.is_some())
+            {
+                return Err(format!(
+                    "frame {fi} reached {:?} with wd={} sd={} branch={}",
+                    f.state,
+                    f.writes_done,
+                    f.stores_done,
+                    f.branch.is_some()
+                ));
+            }
+            // Commit acks may only arrive for a sent commit command.
+            if (f.rt_ack || f.dt_ack) && !f.commit_sent {
+                return Err(format!(
+                    "frame {fi} holds a commit ack (rt={} dt={}) before its commit command",
+                    f.rt_ack, f.dt_ack
+                ));
+            }
+            if f.commit_sent && f.state != FState::Committing {
+                return Err(format!("frame {fi} sent commit but is {:?}", f.state));
+            }
+        }
+        // Commit commands go out in age order: the committing frames
+        // form a prefix of the age order (§4.4 pipelined commit).
+        let mut prefix_over = false;
+        for &f in &self.order {
+            let sent = self.frames[f.0 as usize].commit_sent;
+            if prefix_over && sent {
+                return Err(format!("frame {} committed out of age order", f.0));
+            }
+            if !sent {
+                prefix_over = true;
+            }
+        }
+        Ok(())
     }
 
     /// True while a tick can make progress without a new message: a
@@ -397,6 +480,27 @@ impl GlobalTile {
                     self.halt_pending = true;
                 }
                 self.flush_from(now, frame, false, target, e_arr, nets, crit);
+            } else if kind != BranchKind::Halt && target.is_some() {
+                // Fault-plan flush storm: treat a *correctly* predicted
+                // branch as a misprediction — destroy all younger
+                // speculative work and refetch from the (correct)
+                // target. Exercises the §4.3 flush protocol far more
+                // often than real mispredictions would; architectural
+                // state is unchanged because only speculative frames
+                // die and the restart PC is the true successor.
+                let storm = self.storm.as_mut().is_some_and(StormState::roll);
+                if storm {
+                    stats.protocol.forced_flushes += 1;
+                    let f = &self.frames[fi];
+                    let (pc, size) = (f.pc, f.size);
+                    if let Some(cp) = f.pred_cp {
+                        // Same predictor repair as a real mispredict:
+                        // rewind, then replay the actual outcome.
+                        self.predictor.restore(cp);
+                        self.predictor.apply_outcome(exit, kind, pc + size);
+                    }
+                    self.flush_from(now, frame, false, target, e_arr, nets, crit);
+                }
             }
         }
     }

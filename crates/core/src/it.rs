@@ -44,6 +44,14 @@ pub struct InstTile {
     pub index: usize,
     jobs: VecDeque<DispatchJob>,
     refill: Option<Refill>,
+    /// Completion hops that arrived before this tile's own GRN refill
+    /// command. The GRN and GSN are separate networks, so the south
+    /// neighbour's `RefillDone` can legally outrun a (delayed) refill
+    /// command; the hop must be latched, not dropped — the neighbour
+    /// never resends, so a drop would wedge the completion chain.
+    /// Empty whenever command delivery precedes completion (always, on
+    /// the unfaulted machine).
+    pending_south: VecDeque<u64>,
     /// Dispatch beats issued (for utilization stats).
     pub beats_issued: u64,
 }
@@ -51,7 +59,13 @@ pub struct InstTile {
 impl InstTile {
     /// A fresh IT.
     pub fn new(index: usize) -> InstTile {
-        InstTile { index, jobs: VecDeque::new(), refill: None, beats_issued: 0 }
+        InstTile {
+            index,
+            jobs: VecDeque::new(),
+            refill: None,
+            pending_south: VecDeque::new(),
+            beats_issued: 0,
+        }
     }
 
     /// True if the tile has no queued work (drain check).
@@ -111,11 +125,15 @@ impl InstTile {
                 tracer
                     .record(now, || TraceKind::RefillStart { it: self.index as u8, addr: r.addr });
             }
+            let early = self.pending_south.iter().position(|&a| a == r.addr);
+            if let Some(k) = early {
+                self.pending_south.remove(k);
+            }
             self.refill = Some(Refill {
                 addr: r.addr,
                 done_at: now + if participates { cfg.l2_latency } else { 0 },
                 own_done: !participates,
-                south_done: self.index == 4,
+                south_done: self.index == 4 || early.is_some(),
                 signalled: false,
             });
         }
@@ -124,9 +142,18 @@ impl InstTile {
         // furthest from the GT; completion daisies northward, §4.1).
         while let Some(msg) = nets.gsn_it.recv(now, pos) {
             if let GsnMsg::RefillDone { addr } = msg {
-                if let Some(r) = &mut self.refill {
-                    if r.addr == addr {
-                        r.south_done = true;
+                match &mut self.refill {
+                    Some(r) if r.addr == addr => r.south_done = true,
+                    _ => {
+                        // Outran this tile's own refill command (or the
+                        // command was superseded); latch for the
+                        // command's arrival. Bounded: the GT keeps one
+                        // refill in flight, so stale entries only
+                        // accumulate across abandoned refills.
+                        if self.pending_south.len() >= 8 {
+                            self.pending_south.pop_front();
+                        }
+                        self.pending_south.push_back(addr);
                     }
                 }
             }

@@ -52,7 +52,9 @@ pub mod critpath;
 pub mod diag;
 mod dt;
 mod et;
+mod fault;
 mod gt;
+pub mod invariants;
 mod it;
 pub mod msg;
 mod nets;
@@ -68,7 +70,10 @@ pub use config::{
 };
 pub use critpath::{Cat, CritBreakdown, CritPath, CATS, NUM_CATS};
 pub use diag::{FrameDiag, HangReport, NetDiag, TileDiag};
+pub use fault::{ChainDelay, FaultPlan, LinkFault, Ratio};
+pub use invariants::InvariantViolation;
 pub use predictor::{NextBlockPredictor, Prediction, PredictorCheckpoint};
 pub use proc::{GatingStats, Processor, SimError};
 pub use stats::{BlockTiming, CoreStats, Histogram, ProtocolStats};
 pub use trace::{OpnClass, TraceEvent, TraceKind, Tracer};
+pub use trips_micronet::FaultPort;

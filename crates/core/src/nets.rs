@@ -6,6 +6,7 @@ use trips_micronet::{Chain, Mesh, MeshMsg};
 
 use crate::config::CoreConfig;
 use crate::diag::NetDiag;
+use crate::fault;
 use crate::msg::{DsnMsg, GcnMsg, GdnFetch, GrnRefill, GsnMsg, OpnPayload, RowMsg, TileId};
 use crate::trace::{OpnClass, TraceKind, Tracer};
 
@@ -72,9 +73,12 @@ pub struct Nets {
 }
 
 impl Nets {
-    /// Networks for the given configuration.
+    /// Networks for the given configuration. When the configuration
+    /// carries a [`FaultPlan`](crate::FaultPlan), each network gets its
+    /// compiled fault state here, seeded per network so runs replay
+    /// exactly.
     pub fn new(cfg: &CoreConfig) -> Nets {
-        Nets {
+        let mut nets = Nets {
             opn: (0..cfg.opn_networks.max(1)).map(|_| Mesh::new(5, 5, cfg.opn_fifo)).collect(),
             opn_inject_stalls: 0,
             opn_highwater: vec![0; cfg.opn_networks.max(1)],
@@ -86,7 +90,23 @@ impl Nets {
             gcn: Chain::new(25),
             grn: Chain::new(6),
             dsn: Chain::new(4),
+        };
+        if let Some(plan) = &cfg.faults {
+            for (n, m) in nets.opn.iter_mut().enumerate() {
+                m.set_fault(plan.mesh_fault(n).as_ref());
+            }
+            nets.gdn_col.set_fault(plan.chain_fault(fault::TAG_GDN_COL).as_ref());
+            for (r, row) in nets.gdn_rows.iter_mut().enumerate() {
+                row.set_fault(plan.chain_fault(fault::TAG_GDN_ROW + r as u64).as_ref());
+            }
+            nets.gsn_rt.set_fault(plan.chain_fault(fault::TAG_GSN_RT).as_ref());
+            nets.gsn_dt.set_fault(plan.chain_fault(fault::TAG_GSN_DT).as_ref());
+            nets.gsn_it.set_fault(plan.chain_fault(fault::TAG_GSN_IT).as_ref());
+            nets.gcn.set_fault(plan.chain_fault(fault::TAG_GCN).as_ref());
+            nets.grn.set_fault(plan.chain_fault(fault::TAG_GRN).as_ref());
+            nets.dsn.set_fault(plan.chain_fault(fault::TAG_DSN).as_ref());
         }
+        nets
     }
 
     /// Broadcasts a GCN message from the GT; the wave reaches each

@@ -13,6 +13,7 @@ use crate::diag::{HangReport, TileDiag};
 use crate::dt::DataTile;
 use crate::et::ExecTile;
 use crate::gt::GlobalTile;
+use crate::invariants::{self, InvariantViolation};
 use crate::it::InstTile;
 use crate::nets::Nets;
 use crate::rt::RegTile;
@@ -34,6 +35,15 @@ pub enum SimError {
         /// happy path needs).
         diagnosis: Box<HangReport>,
     },
+    /// A protocol invariant failed (only possible when
+    /// [`CoreConfig::check_invariants`] is on — see
+    /// [`crate::invariants`] for the catalogue).
+    Invariant {
+        /// Cycle at which the check failed.
+        cycle: u64,
+        /// The violated property.
+        violation: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -47,6 +57,9 @@ impl fmt::Display for SimError {
                     diagnosis.summary()
                 )?;
                 write!(f, "{diagnosis}")
+            }
+            SimError::Invariant { cycle, violation } => {
+                write!(f, "protocol invariant violated at cycle {cycle}: {violation}")
             }
         }
     }
@@ -82,19 +95,19 @@ impl GatingStats {
 
 /// A TRIPS processor core.
 pub struct Processor {
-    cfg: CoreConfig,
-    gt: GlobalTile,
-    its: Vec<InstTile>,
-    rts: Vec<RegTile>,
-    ets: Vec<ExecTile>,
-    dts: Vec<DataTile>,
-    nets: Nets,
-    mem: SparseMem,
-    crit: CritPath,
-    stats: CoreStats,
-    tracer: Tracer,
-    gating: GatingStats,
-    cycle: u64,
+    pub(crate) cfg: CoreConfig,
+    pub(crate) gt: GlobalTile,
+    pub(crate) its: Vec<InstTile>,
+    pub(crate) rts: Vec<RegTile>,
+    pub(crate) ets: Vec<ExecTile>,
+    pub(crate) dts: Vec<DataTile>,
+    pub(crate) nets: Nets,
+    pub(crate) mem: SparseMem,
+    pub(crate) crit: CritPath,
+    pub(crate) stats: CoreStats,
+    pub(crate) tracer: Tracer,
+    pub(crate) gating: GatingStats,
+    pub(crate) cycle: u64,
 }
 
 impl Processor {
@@ -191,6 +204,10 @@ impl Processor {
                 });
             }
             self.tick();
+            if self.cfg.check_invariants {
+                self.check_invariants()
+                    .map_err(|v| SimError::Invariant { cycle: v.cycle, violation: v.detail })?;
+            }
         }
         self.stats.cycles = self.cycle;
         self.stats.opn = self.nets.opn.iter().fold(MeshStats::default(), |mut acc, m| {
@@ -206,7 +223,52 @@ impl Processor {
         if self.crit.enabled() {
             self.stats.critpath = Some(self.crit.walk(self.gt.final_ev));
         }
-        Ok(self.stats.clone())
+        // Snapshot the stats *before* any drain ticks so the reported
+        // counters describe the program run, not the post-halt drain.
+        let out = self.stats.clone();
+        if self.cfg.check_invariants {
+            // Leak check: after halt, every in-flight operand, wave,
+            // and queue must drain. An operand created but never
+            // consumed, or a flush that left residue behind, keeps a
+            // tile or net active forever and fails here.
+            if !self.drain(10_000) {
+                return Err(SimError::Invariant {
+                    cycle: self.cycle,
+                    violation: format!(
+                        "core failed to quiesce within 10000 cycles after halt \
+                         (leaked operand or undrained queue): {}",
+                        self.diagnose().summary()
+                    ),
+                });
+            }
+            self.check_invariants()
+                .map_err(|v| SimError::Invariant { cycle: v.cycle, violation: v.detail })?;
+        }
+        Ok(out)
+    }
+
+    /// Ticks the core until it [quiesces](Self::quiesced) or `budget`
+    /// cycles elapse; returns whether it quiesced. Used by the
+    /// invariant harness to prove post-halt drainage, and available to
+    /// tests that stop the clock by hand.
+    pub fn drain(&mut self, budget: u64) -> bool {
+        for _ in 0..budget {
+            if self.quiesced() {
+                return true;
+            }
+            self.tick();
+        }
+        self.quiesced()
+    }
+
+    /// Runs the per-tick protocol invariant suite against the current
+    /// state (see [`crate::invariants`]).
+    ///
+    /// # Errors
+    ///
+    /// The first violated invariant, with the current cycle.
+    pub fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        invariants::check(self)
     }
 
     /// Snapshots which frames, tiles, and micronetworks still hold

@@ -128,6 +128,45 @@ impl RegTile {
         Some(parts.join("; "))
     }
 
+    /// RT-side protocol invariants (see [`crate::invariants`]).
+    pub(crate) fn audit(&self, gt_gens: &[Gen; 8], gt_free: &[bool; 8]) -> Result<(), String> {
+        let mut seen = 0u8;
+        for &f in &self.order {
+            let bit = 1u8 << f.0;
+            if seen & bit != 0 {
+                return Err(format!("RT{}: frame {} twice in dispatch order", self.bank, f.0));
+            }
+            seen |= bit;
+            if !self.frames[f.0 as usize].active {
+                return Err(format!("RT{}: inactive frame {} in dispatch order", self.bank, f.0));
+            }
+        }
+        for (fi, f) in self.frames.iter().enumerate() {
+            if !f.active {
+                continue;
+            }
+            if f.gen > gt_gens[fi] {
+                return Err(format!(
+                    "RT{}: frame {fi} active at gen {} but the GT is at gen {}",
+                    self.bank, f.gen, gt_gens[fi]
+                ));
+            }
+            if f.gen == gt_gens[fi] && gt_free[fi] {
+                return Err(format!(
+                    "RT{}: frame {fi} active at the GT's current gen {} but the GT slot is free",
+                    self.bank, f.gen
+                ));
+            }
+            if f.commit_cursor > 8 {
+                return Err(format!(
+                    "RT{}: frame {fi} commit cursor ran past the write queue",
+                    self.bank
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Activates (or validates) a frame. Only GDN dispatch messages
     /// may establish the age order — OPN traffic can overtake the
     /// dispatch chains, and the write-queue search depends on correct
@@ -242,7 +281,17 @@ impl RegTile {
         // East neighbour's status chain messages.
         while let Some(msg) = nets.gsn_rt.recv(now, rt_chain_pos(self.bank as usize)) {
             match msg {
-                GsnMsg::WritesDone { frame, gen, ev } if self.frame_ok(frame, gen) => {
+                // `ensure_frame`, not `frame_ok`: completion hops
+                // overlap the flush window, so a neighbour that saw
+                // the flush wave (GCN) and the redispatch (GDN) early
+                // can legally complete the *next* generation before
+                // this bank's flush wave lands. Dropping that
+                // future-generation hop would lose it forever (the
+                // neighbour's `done_sent` latch never resends) and
+                // wedge the daisy chain; fast-forwarding the frame —
+                // the same implicit-flush idiom OPN write arrivals
+                // use — keeps the hop. Stale generations still drop.
+                GsnMsg::WritesDone { frame, gen, ev } if self.ensure_frame(frame, gen, false) => {
                     let f = &mut self.frames[frame.0 as usize];
                     f.east_done = true;
                     f.done_ev = crit.later(f.done_ev, ev);
@@ -272,6 +321,45 @@ impl RegTile {
         let bank = self.bank;
         let my_pos = rt_chain_pos(self.bank as usize);
         let west = my_pos - 1;
+
+        // Commit: drain writes to the architectural file. The file's
+        // write ports are shared across frames and must apply blocks
+        // in age order — two in-flight commits can both write the
+        // same register, and a younger block's drain overtaking an
+        // older's would leave the stale older value as the final
+        // architectural state. Commit waves arrive in age order on
+        // the GCN, so the committing frames form an oldest-first
+        // prefix of the dispatch order; walk it with a shared
+        // per-tick budget and stall younger drains behind older ones.
+        let mut budget = cfg.commit_bw;
+        for oi in 0..self.order.len() {
+            if budget == 0 {
+                break;
+            }
+            let fi = self.order[oi].0 as usize;
+            let f = &mut self.frames[fi];
+            if !f.active || !f.committing {
+                break;
+            }
+            if f.commit_done {
+                continue;
+            }
+            while f.commit_cursor < 8 {
+                let e = &f.writes[f.commit_cursor];
+                if let (true, Some(reg), Some((Tok::Val(v), _))) = (e.declared, e.reg, e.value) {
+                    if budget == 0 {
+                        break;
+                    }
+                    self.regs[reg.index_in_bank() as usize] = v;
+                    budget -= 1;
+                }
+                f.commit_cursor += 1;
+            }
+            if f.commit_cursor >= 8 {
+                f.commit_done = true;
+            }
+        }
+
         let mut cleared = 0u8; // frame bitmask; no per-tick allocation
         for fi in 0..NUM_FRAMES {
             let frame = FrameId(fi as u8);
@@ -293,23 +381,6 @@ impl RegTile {
                         west,
                         GsnMsg::WritesDone { frame, gen: f.gen, ev },
                     );
-                }
-            }
-            // Commit: drain writes to the architectural file.
-            if f.committing && !f.commit_done {
-                for _ in 0..cfg.commit_bw {
-                    if f.commit_cursor >= 8 {
-                        break;
-                    }
-                    let e = &f.writes[f.commit_cursor];
-                    if let (true, Some(reg), Some((Tok::Val(v), _))) = (e.declared, e.reg, e.value)
-                    {
-                        self.regs[reg.index_in_bank() as usize] = v;
-                    }
-                    f.commit_cursor += 1;
-                }
-                if f.commit_cursor >= 8 {
-                    f.commit_done = true;
                 }
             }
             if f.commit_done && f.east_ack && !f.ack_sent {

@@ -91,6 +91,10 @@ pub struct ProtocolStats {
     pub opn_inject_stalls: u64,
     /// Per-network high-water marks of in-flight OPN messages.
     pub opn_inflight_highwater: Vec<usize>,
+    /// Flushes forced by a fault plan's flush storm (always 0 without
+    /// one, which keeps fuzz-disabled `CoreStats` values bit-identical
+    /// to builds without the fault hooks).
+    pub forced_flushes: u64,
 }
 
 impl ProtocolStats {

@@ -105,6 +105,37 @@ impl SparseMem {
     pub fn resident_pages(&self) -> usize {
         self.pages.len()
     }
+
+    /// Byte addresses whose contents differ between the two memories,
+    /// in address order, up to `max` entries.
+    ///
+    /// This is a *semantic* comparison: uninitialized bytes read as
+    /// zero, so a page resident in only one memory counts only its
+    /// nonzero bytes — unlike derived `==`, which would flag a page
+    /// that was written with zeros against one never touched.
+    pub fn diff(&self, other: &SparseMem, max: usize) -> Vec<u64> {
+        const ZERO: [u8; PAGE_SIZE] = [0; PAGE_SIZE];
+        let mut keys: Vec<u64> = self.pages.keys().chain(other.pages.keys()).copied().collect();
+        keys.sort_unstable();
+        keys.dedup();
+        let mut out = Vec::new();
+        for k in keys {
+            let a = self.pages.get(&k).map_or(&ZERO, |p| &**p);
+            let b = other.pages.get(&k).map_or(&ZERO, |p| &**p);
+            if a == b {
+                continue;
+            }
+            for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+                if x != y {
+                    out.push((k << PAGE_SHIFT) | i as u64);
+                    if out.len() >= max {
+                        return out;
+                    }
+                }
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]

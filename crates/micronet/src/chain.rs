@@ -12,6 +12,8 @@
 
 use std::collections::VecDeque;
 
+use crate::fault::{ChainFaultConfig, ChainFaultState};
+
 /// A linear chain of `n` tile positions with one-cycle hops.
 #[derive(Debug, Clone)]
 pub struct Chain<T> {
@@ -19,6 +21,8 @@ pub struct Chain<T> {
     seq: u64,
     /// Total messages sent, for utilization statistics.
     pub total_sent: u64,
+    /// Installed timing fault (`None` on the production path).
+    fault: Option<ChainFaultState>,
 }
 
 impl<T> Chain<T> {
@@ -29,7 +33,29 @@ impl<T> Chain<T> {
     /// Panics if `n == 0`.
     pub fn new(n: usize) -> Chain<T> {
         assert!(n > 0, "empty chain");
-        Chain { inboxes: (0..n).map(|_| VecDeque::new()).collect(), seq: 0, total_sent: 0 }
+        Chain {
+            inboxes: (0..n).map(|_| VecDeque::new()).collect(),
+            seq: 0,
+            total_sent: 0,
+            fault: None,
+        }
+    }
+
+    /// Installs (or clears) a timing fault: probabilistic extra delay
+    /// with per-inbox send-order clamping (see [`ChainFaultConfig`]).
+    /// With `None` — or `num == 0` — sends are bit-identical to a
+    /// chain that never had the hook.
+    pub fn set_fault(&mut self, cfg: Option<&ChainFaultConfig>) {
+        let n = self.inboxes.len();
+        self.fault = cfg.map(|c| ChainFaultState::new(c, n));
+    }
+
+    /// Applies the installed fault (if any) to a scheduled arrival.
+    fn perturb(&mut self, to: usize, at: u64) -> u64 {
+        match &mut self.fault {
+            Some(f) => f.perturb(to, at),
+            None => at,
+        }
     }
 
     /// Number of positions.
@@ -51,7 +77,7 @@ impl<T> Chain<T> {
     pub fn send(&mut self, now: u64, from: usize, to: usize, msg: T) {
         assert!(from < self.len() && to < self.len(), "chain position out of range");
         let dist = from.abs_diff(to).max(1) as u64;
-        let at = now + dist;
+        let at = self.perturb(to, now + dist);
         let seq = self.seq;
         self.seq += 1;
         self.total_sent += 1;
@@ -73,7 +99,7 @@ impl<T> Chain<T> {
     pub fn send_delayed(&mut self, now: u64, to: usize, delay: u64, msg: T) {
         assert!(to < self.len(), "chain position out of range");
         assert!(delay > 0, "zero-delay sends would break cycle accounting");
-        let at = now + delay;
+        let at = self.perturb(to, now + delay);
         let seq = self.seq;
         self.seq += 1;
         self.total_sent += 1;
@@ -166,6 +192,44 @@ mod tests {
         assert_eq!(c.recv(10, 0), Some(1));
         assert_eq!(c.recv(10, 0), Some(3));
         assert!(c.idle());
+    }
+
+    #[test]
+    fn faulted_chain_delays_but_keeps_send_order_per_inbox() {
+        let mut c: Chain<u32> = Chain::new(5);
+        c.set_fault(Some(&ChainFaultConfig { seed: 5, num: 1, den: 2, max_extra: 7 }));
+        for v in 0..50u32 {
+            // Alternate senders so natural arrivals would interleave.
+            let from = if v % 2 == 0 { 0 } else { 4 };
+            c.send(u64::from(v), from, 2, v);
+        }
+        let mut got = Vec::new();
+        for t in 0..500u64 {
+            while let Some(v) = c.recv(t, 2) {
+                got.push(v);
+            }
+        }
+        assert_eq!(got, (0..50).collect::<Vec<u32>>(), "delivery must follow send order");
+    }
+
+    #[test]
+    fn inert_fault_changes_nothing() {
+        let send_all = |c: &mut Chain<u32>| {
+            c.send(0, 3, 0, 1);
+            c.send(1, 1, 0, 2);
+            c.send(3, 0, 0, 3);
+            let mut got = Vec::new();
+            for t in 0..20 {
+                while let Some(v) = c.recv(t, 0) {
+                    got.push(v);
+                }
+            }
+            got
+        };
+        let mut plain: Chain<u32> = Chain::new(4);
+        let mut hooked: Chain<u32> = Chain::new(4);
+        hooked.set_fault(Some(&ChainFaultConfig { seed: 9, num: 0, den: 1, max_extra: 9 }));
+        assert_eq!(send_all(&mut plain), send_all(&mut hooked));
     }
 
     #[test]

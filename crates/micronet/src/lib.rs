@@ -47,12 +47,14 @@
 //! ```
 
 mod chain;
+mod fault;
 mod link;
 mod mesh;
 mod packet;
 pub mod widths;
 
 pub use chain::Chain;
+pub use fault::{ChainFaultConfig, FaultPort, LinkFaultConfig, MeshFaultConfig, PortStall};
 pub use link::Link;
 pub use mesh::{Coord, Mesh, MeshMsg, MeshStats};
 pub use packet::{PacketMesh, PacketMsg, PacketStats, VIRTUAL_CHANNELS};

@@ -2,6 +2,8 @@
 
 use std::collections::VecDeque;
 
+use crate::fault::{LinkFaultConfig, LinkFaultState};
+
 /// A one-cycle, flow-controlled, nearest-neighbour link.
 ///
 /// `Link` models one hop of a TRIPS control micronet: a registered
@@ -27,6 +29,8 @@ pub struct Link<T> {
     pub total_sent: u64,
     /// Total cycles a send was refused, for contention statistics.
     pub total_stalls: u64,
+    /// Installed timing fault (`None` on the production path).
+    fault: Option<LinkFaultState>,
 }
 
 impl<T> Link<T> {
@@ -48,7 +52,17 @@ impl<T> Link<T> {
             recv_this_cycle: 0,
             total_sent: 0,
             total_stalls: 0,
+            fault: None,
         }
+    }
+
+    /// Installs (or clears) a timing fault: probabilistic extra delay
+    /// per accepted message. The queue is drained strictly front-first,
+    /// so extra delay holds everything behind it — FIFO order is
+    /// preserved by construction. With `None` — or `num == 0` — sends
+    /// are bit-identical to a link that never had the hook.
+    pub fn set_fault(&mut self, cfg: Option<&LinkFaultConfig>) {
+        self.fault = cfg.map(LinkFaultState::new);
     }
 
     /// A single-message-per-cycle link with a two-entry buffer — the
@@ -80,7 +94,8 @@ impl<T> Link<T> {
         }
         self.sent_this_cycle += 1;
         self.total_sent += 1;
-        self.queue.push_back((now + 1, msg));
+        let extra = self.fault.as_mut().map_or(0, LinkFaultState::extra);
+        self.queue.push_back((now + 1 + extra, msg));
         Ok(())
     }
 

@@ -13,6 +13,8 @@
 
 use std::collections::VecDeque;
 
+use crate::fault::{MeshFaultConfig, MeshFaultState};
+
 /// Position of a router in the mesh.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Coord {
@@ -154,6 +156,8 @@ pub struct Mesh<P> {
     /// Aggregate statistics.
     pub stats: MeshStats,
     in_flight: usize,
+    /// Installed timing faults (`None` on the production path).
+    fault: Option<MeshFaultState>,
     // Per-tick scratch, retained across ticks so the hot path never
     // touches the allocator: start-of-cycle occupancy snapshot,
     // granted-input markers, and the move list.
@@ -178,6 +182,7 @@ impl<P> Mesh<P> {
             routers: (0..n).map(|_| Router::new()).collect(),
             stats: MeshStats::default(),
             in_flight: 0,
+            fault: None,
             scratch_len: vec![[0; PORTS]; n],
             scratch_incoming: vec![[false; PORTS]; n],
             scratch_moves: Vec::with_capacity(n),
@@ -220,6 +225,41 @@ impl<P> Mesh<P> {
     /// True if the caller can inject at `src` this cycle.
     pub fn can_inject(&self, src: Coord) -> bool {
         self.routers[self.idx(src)].inputs[LOCAL].len() < self.fifo_cap
+    }
+
+    /// Installs (or clears) a timing-fault configuration. Faults stall
+    /// output ports and perturb arbitration; they never drop, corrupt,
+    /// or reorder a same-queue flow. With `None` the tick path is
+    /// bit-identical to a mesh that never had the hook.
+    pub fn set_fault(&mut self, cfg: Option<&MeshFaultConfig>) {
+        self.fault = cfg.map(|c| MeshFaultState::new(c, self.rows, self.cols));
+    }
+
+    /// Audits the conservation invariant: counter-tracked in-flight
+    /// messages must equal the recounted router-buffer occupancy, and
+    /// every injected message must be accounted for as ejected or
+    /// in flight (`injected = ejected + in_flight`, where `ejected`
+    /// includes eject-queue entries the destination has not drained).
+    ///
+    /// # Errors
+    ///
+    /// A description of the first violated equation.
+    pub fn audit(&self) -> Result<(), String> {
+        let recount: usize =
+            self.routers.iter().map(|r| r.inputs.iter().map(VecDeque::len).sum::<usize>()).sum();
+        if recount != self.in_flight {
+            return Err(format!(
+                "in-flight counter {} != recounted router occupancy {recount}",
+                self.in_flight
+            ));
+        }
+        if self.stats.injected != self.stats.ejected + self.in_flight as u64 {
+            return Err(format!(
+                "conservation broken: injected {} != ejected {} + in-flight {}",
+                self.stats.injected, self.stats.ejected, self.in_flight
+            ));
+        }
+        Ok(())
     }
 
     /// The oldest message still inside the network (router buffers or
@@ -321,6 +361,19 @@ impl<P> Mesh<P> {
         let mut incoming = std::mem::take(&mut self.scratch_incoming);
         let mut moves = std::mem::take(&mut self.scratch_moves);
         moves.clear();
+        // Fault hook: the state is moved out for the arbitration loop
+        // (it borrows mutably alongside the routers) and restored at
+        // the end of the tick.
+        let mut fault = self.fault.take();
+        if let Some(f) = fault.as_mut() {
+            if f.rotate() {
+                for router in &mut self.routers {
+                    for rr in &mut router.rr {
+                        *rr = f.draw(PORTS);
+                    }
+                }
+            }
+        }
         // Snapshot input occupancies for flow control.
         for (r, router) in self.routers.iter().enumerate() {
             incoming[r] = [false; PORTS];
@@ -336,6 +389,13 @@ impl<P> Mesh<P> {
             for (oi, out) in
                 [Out::Eject, Out::North, Out::East, Out::South, Out::West].into_iter().enumerate()
             {
+                // An injected stall burst holds the whole output port:
+                // nothing is granted, waiting messages stay queued.
+                if let Some(f) = fault.as_mut() {
+                    if f.stalled(r, oi, now) {
+                        continue;
+                    }
+                }
                 // Capacity at the downstream buffer, checked against
                 // the start-of-cycle snapshot.
                 let dest = if out == Out::Eject {
@@ -409,6 +469,7 @@ impl<P> Mesh<P> {
         self.scratch_len = start_len;
         self.scratch_incoming = incoming;
         self.scratch_moves = moves;
+        self.fault = fault;
     }
 }
 
@@ -549,6 +610,131 @@ mod tests {
         }
         assert_eq!(delivered, 500);
         assert_eq!(m.in_flight(), 0);
+    }
+
+    #[test]
+    fn permanent_eject_stall_blocks_delivery() {
+        use crate::fault::{FaultPort, MeshFaultConfig, PortStall};
+        let mut m: Mesh<u32> = Mesh::new(5, 5, 4);
+        let dst = Coord { row: 2, col: 2 };
+        m.set_fault(Some(&MeshFaultConfig {
+            seed: 3,
+            rotate_arbitration: false,
+            stalls: vec![PortStall {
+                router: dst,
+                port: FaultPort::Eject,
+                num: 1,
+                den: 1,
+                max_burst: 8,
+            }],
+        }));
+        m.inject(0, MeshMsg::new(Coord { row: 0, col: 0 }, dst, 9));
+        for t in 0..500 {
+            m.tick(t);
+        }
+        assert!(m.eject(dst).is_none(), "permanently stalled eject port must never deliver");
+        assert_eq!(m.in_flight(), 1, "the message waits upstream, undropped");
+        m.audit().expect("conservation holds while stalled");
+    }
+
+    #[test]
+    fn faulted_mesh_still_delivers_everything() {
+        use crate::fault::{FaultPort, MeshFaultConfig, PortStall};
+        let run = |fault: bool| {
+            let mut rng = trips_harness::Rng::new(11);
+            let mut m: Mesh<usize> = Mesh::new(5, 5, 4);
+            if fault {
+                m.set_fault(Some(&MeshFaultConfig {
+                    seed: 99,
+                    rotate_arbitration: true,
+                    stalls: vec![
+                        PortStall {
+                            router: Coord { row: 2, col: 2 },
+                            port: FaultPort::South,
+                            num: 1,
+                            den: 3,
+                            max_burst: 6,
+                        },
+                        PortStall {
+                            router: Coord { row: 0, col: 0 },
+                            port: FaultPort::Eject,
+                            num: 1,
+                            den: 4,
+                            max_burst: 4,
+                        },
+                    ],
+                }));
+            }
+            let mut delivered = 0;
+            let mut latency = 0u64;
+            for i in 0..300usize {
+                let src = Coord { row: rng.range_u8(0, 5), col: rng.range_u8(0, 5) };
+                let dst = Coord { row: rng.range_u8(0, 5), col: rng.range_u8(0, 5) };
+                let t = i as u64 * 2;
+                if m.can_inject(src) {
+                    m.inject(t, MeshMsg::new(src, dst, i));
+                }
+                m.tick(t);
+                m.tick(t + 1);
+                for r in 0..5 {
+                    for c in 0..5 {
+                        while let Some(msg) = m.eject(Coord { row: r, col: c }) {
+                            delivered += 1;
+                            latency += u64::from(msg.hops) + u64::from(msg.queued);
+                        }
+                    }
+                }
+            }
+            for t in 600..5000u64 {
+                m.tick(t);
+                for r in 0..5 {
+                    for c in 0..5 {
+                        while m.eject(Coord { row: r, col: c }).is_some() {
+                            delivered += 1;
+                        }
+                    }
+                }
+            }
+            m.audit().expect("conservation holds under faults");
+            assert_eq!(m.in_flight(), 0, "bounded bursts must drain");
+            (delivered, latency)
+        };
+        let (clean_n, clean_lat) = run(false);
+        let (fault_n, fault_lat) = run(true);
+        assert_eq!(clean_n, fault_n, "faults delay, never drop");
+        assert!(fault_lat > clean_lat, "stall bursts must cost visible latency");
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic() {
+        use crate::fault::{FaultPort, MeshFaultConfig, PortStall};
+        let run = || {
+            let mut m: Mesh<u32> = Mesh::new(4, 4, 2);
+            m.set_fault(Some(&MeshFaultConfig {
+                seed: 1234,
+                rotate_arbitration: true,
+                stalls: vec![PortStall {
+                    router: Coord { row: 1, col: 1 },
+                    port: FaultPort::East,
+                    num: 1,
+                    den: 2,
+                    max_burst: 5,
+                }],
+            }));
+            for t in 0..100u64 {
+                let src = Coord { row: (t % 4) as u8, col: ((t / 4) % 4) as u8 };
+                let dst = Coord { row: ((t / 2) % 4) as u8, col: (t % 4) as u8 };
+                m.inject(t, MeshMsg::new(src, dst, t as u32));
+                m.tick(t);
+                for r in 0..4 {
+                    for c in 0..4 {
+                        while m.eject(Coord { row: r, col: c }).is_some() {}
+                    }
+                }
+            }
+            m.stats
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -1,0 +1,202 @@
+//! Fault-injection regression suite.
+//!
+//! Every `protofuzz_repro_*` test below is a minimized reproducer that
+//! the `protofuzz` fuzzer found and shrank: a seeded, timing-only
+//! [`FaultPlan`] under which the core once hung or diverged from the
+//! `blockinterp` architectural oracle. Fault plans perturb *when*
+//! messages move, never their values and never per-link FIFO order, so
+//! the §4 distributed protocols must tolerate every plan; each test
+//! pins the protocol fix that made its plan survivable.
+//!
+//! New reproducers come from the fuzzer itself: a failing `protofuzz`
+//! run prints a `#[test]` snippet that pastes directly into this file
+//! (the helper it calls is [`assert_plan_matches_oracle`]).
+
+use trips::core::{
+    ChainDelay, CoreConfig, FaultPlan, FaultPort, LinkFault, Processor, Ratio, SimError,
+};
+use trips::tasm::Quality;
+use trips::workloads::suite;
+use trips_bench::fuzz::{self, Oracle};
+
+/// Cycle budget for one reproducer. Far above any passing run of the
+/// micro workloads (a few hundred thousand cycles even under heavy
+/// chain delay); a reproducer that exhausts it has re-wedged.
+const REPRO_MAX_CYCLES: u64 = 10_000_000;
+
+/// Runs `workload` under `plan` with every protocol invariant checked
+/// each tick, then asserts bit-exact architectural agreement with the
+/// block-interpreter oracle. This is the entry point `protofuzz`
+/// reproducer snippets call.
+fn assert_plan_matches_oracle(workload: &str, quality: Quality, plan: &FaultPlan) {
+    let wl = suite::by_name(workload).expect("workload registered in the suite");
+    let oracle = Oracle::build(&wl, quality);
+    if let Err(why) = fuzz::run_against_oracle(&oracle, Some(plan), true, REPRO_MAX_CYCLES) {
+        panic!("{workload} ({quality:?}) under plan seed {:#x}: {why}", plan.seed);
+    }
+}
+
+/// Minimized protofuzz reproducer (seed 0x1).
+///
+/// Chain delays let a neighbour RT flush and redispatch early, so its
+/// `WritesDone` completion hop can carry the *next* generation into a
+/// bank whose own (delayed) flush wave has not landed yet. The RT used
+/// to drop the hop under an exact-generation check; since completion
+/// hops are sent exactly once, the daisy chain wedged and the run
+/// timed out awaiting `WritesDone`. Fixed by fast-forwarding the frame
+/// (`ensure_frame`), the same idiom the OPN write path uses.
+#[test]
+fn protofuzz_repro_matrix_1() {
+    let plan = FaultPlan {
+        seed: 0x1,
+        rotate_arbitration: false,
+        links: vec![],
+        chain_delay: Some(ChainDelay { chance: Ratio { num: 1, den: 8 }, max_extra: 4 }),
+        flush_storm: None,
+    };
+    assert_plan_matches_oracle("matrix", Quality::Hand, &plan);
+}
+
+/// Minimized protofuzz reproducer (seed 0x4).
+///
+/// The GRN (refill commands) and GSN (refill completions) are separate
+/// chains, so a delayed refill command can arrive at an IT *after* the
+/// south neighbour's `RefillDone` hop for that same refill. The IT
+/// used to drop the early hop because no refill was in flight yet;
+/// the neighbour never resends, so the south-to-north completion chain
+/// wedged and fetch stalled forever. Fixed by latching early hops
+/// until the command arrives.
+#[test]
+fn protofuzz_repro_matrix_4() {
+    let plan = FaultPlan {
+        seed: 0x4,
+        rotate_arbitration: false,
+        links: vec![],
+        chain_delay: Some(ChainDelay { chance: Ratio { num: 1, den: 8 }, max_extra: 5 }),
+        flush_storm: None,
+    };
+    assert_plan_matches_oracle("matrix", Quality::Hand, &plan);
+}
+
+/// Minimized protofuzz reproducer (seed 0xd).
+///
+/// Chain delay bunched two commit waves so they reached an RT on the
+/// same cycle, and the RT drained both write queues by *frame index*
+/// rather than block age. Both blocks wrote the loop counter; the
+/// younger block's write (the loop re-init) drained first and the
+/// older block's stale final count landed last in the architectural
+/// file, so the next loop test read 16, exited after one iteration,
+/// and the run halted cleanly with most result cells zero. Fixed by
+/// draining committing frames oldest-first through a shared per-tick
+/// write-port budget: a younger commit cannot overtake an older one.
+#[test]
+fn protofuzz_repro_matrix_d() {
+    let plan = FaultPlan {
+        seed: 0xd,
+        rotate_arbitration: false,
+        links: vec![],
+        chain_delay: Some(ChainDelay { chance: Ratio { num: 1, den: 4 }, max_extra: 4 }),
+        flush_storm: None,
+    };
+    assert_plan_matches_oracle("matrix", Quality::Hand, &plan);
+}
+
+/// Minimized protofuzz reproducer (seed 0x48).
+///
+/// The data-tile twin of `protofuzz_repro_matrix_d`: each DT drained
+/// every committing frame's stores concurrently, one store per cycle
+/// *per frame*, walking frames by index. Flush storms refetch blocks
+/// and chain delay bunches their commit waves, so two blocks storing
+/// to the same address could drain youngest-first and leave the stale
+/// older value in memory; a later load then steered a loop test wrong
+/// and the run halted early (fewer blocks than the oracle). Fixed by
+/// draining committing frames oldest-first through one shared store
+/// port per DT.
+#[test]
+fn protofuzz_repro_dct8x8_48() {
+    let plan = FaultPlan {
+        seed: 0x48,
+        rotate_arbitration: true,
+        links: vec![],
+        chain_delay: Some(ChainDelay { chance: Ratio { num: 1, den: 2 }, max_extra: 5 }),
+        flush_storm: Some(Ratio { num: 1, den: 16 }),
+    };
+    assert_plan_matches_oracle("dct8x8", Quality::Hand, &plan);
+}
+
+/// A deliberately lethal plan: the GT's OPN eject port is permanently
+/// stalled (`num >= den`), so resolved branches can never reach the
+/// global tile and the machine must wedge. The point of the test is
+/// the *diagnosis*: the timeout's hang report must name the stuck
+/// network and tile so a fuzz failure is actionable.
+#[test]
+fn deliberate_deadlock_is_diagnosed() {
+    let plan = FaultPlan {
+        seed: 0,
+        rotate_arbitration: false,
+        links: vec![LinkFault {
+            net: 0,
+            row: 0, // GT sits at OPN coordinate (0, 0)
+            col: 0,
+            port: FaultPort::Eject,
+            chance: Ratio { num: 1, den: 1 },
+            max_burst: u64::MAX,
+        }],
+        chain_delay: None,
+        flush_storm: None,
+    };
+    let wl = suite::by_name("vadd").expect("registered");
+    let image = wl.build_trips(Quality::Hand).expect("compiles").image;
+    let cfg = CoreConfig { faults: Some(plan), ..CoreConfig::prototype() };
+    let mut cpu = Processor::new(cfg);
+    match cpu.run(&image, 200_000) {
+        Err(SimError::Timeout { diagnosis, .. }) => {
+            let text = diagnosis.to_string();
+            assert!(text.contains("OPN0"), "hang report must name the stuck network:\n{text}");
+            assert!(text.contains("GT"), "hang report must name the starved tile:\n{text}");
+        }
+        Ok(stats) => panic!(
+            "a dead GT eject port cannot halt cleanly ({} blocks committed)",
+            stats.blocks_committed
+        ),
+        Err(e) => panic!("expected a diagnosed timeout, got: {e}"),
+    }
+}
+
+/// Zero-overhead regression: with the fault hooks compiled in and a
+/// plan installed on *every* hook but with all probabilities zero, the
+/// run must be bit-identical — same cycle count, same stats, same
+/// registers, same memory — to a run with no plan at all.
+#[test]
+fn inert_fault_plan_is_bit_identical() {
+    let wl = suite::by_name("dct8x8").expect("registered");
+    let image = wl.build_trips(Quality::Hand).expect("compiles").image;
+    let outcome = |faults: Option<FaultPlan>| {
+        let cfg = CoreConfig { faults, ..CoreConfig::prototype() };
+        let mut cpu = Processor::new(cfg);
+        let stats = cpu.run(&image, REPRO_MAX_CYCLES).expect("halts");
+        let regs: Vec<u64> =
+            (0..128u8).map(|r| cpu.arch_reg(trips::isa::ArchReg::new(r))).collect();
+        (stats, regs, cpu.memory().clone())
+    };
+    let clean = outcome(None);
+    let probed = outcome(Some(FaultPlan::inert_probe(0xdead_beef)));
+    assert_eq!(clean.0, probed.0, "stats must be bit-identical under an inert probe");
+    assert_eq!(clean.1, probed.1, "registers must be bit-identical under an inert probe");
+    assert!(
+        clean.2.diff(&probed.2, 1).is_empty(),
+        "memory must be bit-identical under an inert probe"
+    );
+}
+
+/// The invariant checker itself must pass on clean (unfaulted) runs of
+/// the micro suite — per-tick checks plus post-halt quiescence.
+#[test]
+fn invariants_hold_on_clean_runs() {
+    for name in ["vadd", "sha"] {
+        let wl = suite::by_name(name).expect("registered");
+        let oracle = Oracle::build(&wl, Quality::Hand);
+        fuzz::run_against_oracle(&oracle, None, true, REPRO_MAX_CYCLES)
+            .unwrap_or_else(|why| panic!("{name}: {why}"));
+    }
+}

@@ -1,8 +1,9 @@
 //! Randomized differential testing: randomly generated programs must
 //! produce identical memory on the IR interpreter, the architectural
 //! block interpreter, and the cycle-level core, at both code-quality
-//! levels. (Seeded generation via `trips_harness::Rng`; the
-//! environment has no crates.io access so `proptest` is unavailable.)
+//! levels and with the clock-gated tick scheduler both on and off.
+//! (Seeded generation via `trips_harness::Rng`; the environment has no
+//! crates.io access so `proptest` is unavailable.)
 
 use trips::core::{CoreConfig, Processor};
 use trips::isa::Opcode;
@@ -130,21 +131,24 @@ fn random_programs_agree_everywhere() {
         for q in [Quality::Compiled, Quality::Hand] {
             let compiled = compile(&prog, q).expect("compiles");
             let bi = blockinterp::run_image(&compiled.image, 100_000).expect("block interp");
-            let mut cpu = Processor::new(CoreConfig::prototype());
-            cpu.run(&compiled.image, 5_000_000)
-                .unwrap_or_else(|e| panic!("core run (case {case}, {q}): {e}"));
-            for &c in &cells {
-                let want = reference.mem.read_u64(c);
-                assert_eq!(
-                    bi.mem.read_u64(c),
-                    want,
-                    "block interp diverged at {c:#x} (case {case}, {q}, steps {steps:?})"
-                );
-                assert_eq!(
-                    cpu.memory().read_u64(c),
-                    want,
-                    "core diverged at {c:#x} (case {case}, {q}, steps {steps:?})"
-                );
+            for gate in [true, false] {
+                let cfg = CoreConfig { gate_ticks: gate, ..CoreConfig::prototype() };
+                let mut cpu = Processor::new(cfg);
+                cpu.run(&compiled.image, 5_000_000)
+                    .unwrap_or_else(|e| panic!("core run (case {case}, {q}, gate {gate}): {e}"));
+                for &c in &cells {
+                    let want = reference.mem.read_u64(c);
+                    assert_eq!(
+                        bi.mem.read_u64(c),
+                        want,
+                        "block interp diverged at {c:#x} (case {case}, {q}, steps {steps:?})"
+                    );
+                    assert_eq!(
+                        cpu.memory().read_u64(c),
+                        want,
+                        "core diverged at {c:#x} (case {case}, {q}, gate {gate}, steps {steps:?})"
+                    );
+                }
             }
         }
     }
