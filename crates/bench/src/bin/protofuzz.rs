@@ -19,11 +19,18 @@
 //! microbenchmarks. `--demo-bug` flips on a synthetic failure
 //! predicate (any forced flush storm counts as a failure) to
 //! demonstrate the full shrink-and-report pipeline on a healthy core.
+//!
+//! Every fourth seed (`seed % 4 == 3`) runs under the NUCA secondary
+//! backend instead of the perfect L2, so the OCN fill/ack plumbing and
+//! the store-acknowledgement commit gating fuzz alongside the §4 core
+//! protocols. The choice is a pure function of the seed, so a seed
+//! reproduces identically in the sweep, the shrinker, and a repro
+//! test.
 
 use std::process::ExitCode;
 
 use trips_bench::fuzz::{self, FuzzFailure, Oracle};
-use trips_core::FaultPlan;
+use trips_core::{FaultPlan, MemBackend};
 use trips_harness::{num_threads, parallel_map};
 use trips_tasm::Quality;
 use trips_workloads::suite;
@@ -106,11 +113,13 @@ fn parse_args() -> Result<Args, String> {
 fn case_failure(
     oracle: &Oracle,
     plan: &FaultPlan,
+    nuca: bool,
     gate: bool,
     demo: bool,
     max_cycles: u64,
 ) -> Option<String> {
-    match fuzz::run_against_oracle(oracle, Some(plan), gate, max_cycles) {
+    let backend = if nuca { MemBackend::nuca_prototype() } else { MemBackend::prototype() };
+    match fuzz::run_against_oracle_with(oracle, backend, Some(plan), gate, max_cycles) {
         Err(e) => Some(e),
         Ok(stats) if demo && stats.protocol.forced_flushes > 0 => Some(format!(
             "demo bug: {} forced flush storm(s) observed (synthetic failure predicate)",
@@ -161,8 +170,16 @@ fn main() -> ExitCode {
     let failures: Vec<FuzzFailure> = parallel_map(cases, args.threads, |(seed, oi)| {
         let oracle = &oracles[oi];
         let plan = FaultPlan::random(seed);
-        case_failure(oracle, &plan, args.gate, args.demo_bug, args.max_cycles).map(|why| {
-            FuzzFailure { seed, workload: oracle.name.clone(), quality: oracle.quality, plan, why }
+        let nuca = seed % 4 == 3;
+        case_failure(oracle, &plan, nuca, args.gate, args.demo_bug, args.max_cycles).map(|why| {
+            FuzzFailure {
+                seed,
+                workload: oracle.name.clone(),
+                quality: oracle.quality,
+                nuca,
+                plan,
+                why,
+            }
         })
     })
     .into_iter()
@@ -181,10 +198,11 @@ fn main() -> ExitCode {
     eprintln!("protofuzz: {} failing plan(s); minimizing the first", failures.len());
     for f in failures.iter().take(10) {
         eprintln!(
-            "  seed {:#x} on {} ({:?}): {}",
+            "  seed {:#x} on {} ({:?}{}): {}",
             f.seed,
             f.workload,
             f.quality,
+            if f.nuca { ", nuca" } else { "" },
             first_line(&f.why)
         );
     }
@@ -192,7 +210,7 @@ fn main() -> ExitCode {
     let fail = &failures[0];
     let oracle = &oracles[args.workloads.iter().position(|w| *w == fail.workload).unwrap_or(0)];
     let (shrunk, shrunk_why) = fuzz::shrink(fail.plan.clone(), fail.why.clone(), |p| {
-        case_failure(oracle, p, args.gate, args.demo_bug, args.max_cycles)
+        case_failure(oracle, p, fail.nuca, args.gate, args.demo_bug, args.max_cycles)
     });
     eprintln!("protofuzz: shrunk plan:\n{}", shrunk.to_rust_literal());
     eprintln!("protofuzz: still fails with: {}", first_line(&shrunk_why));
@@ -205,7 +223,10 @@ fn main() -> ExitCode {
     }
 
     println!("// ---- paste into tests/fault_injection.rs ----");
-    println!("{}", fuzz::repro_snippet(&fail.workload, fail.quality, &shrunk, &shrunk_why));
+    println!(
+        "{}",
+        fuzz::repro_snippet(&fail.workload, fail.quality, fail.nuca, &shrunk, &shrunk_why)
+    );
 
     if args.demo_bug {
         // The demo's whole point is to produce the reproducer above;

@@ -15,7 +15,7 @@
 
 use std::fmt::Write as _;
 
-use trips_core::{CoreConfig, CoreStats, FaultPlan, Processor};
+use trips_core::{CoreConfig, CoreStats, FaultPlan, MemBackend, Processor};
 use trips_isa::mem::SparseMem;
 use trips_isa::{ArchReg, ProgramImage};
 use trips_tasm::{blockinterp, Quality};
@@ -88,8 +88,27 @@ pub fn run_against_oracle(
     gate: bool,
     max_cycles: u64,
 ) -> Result<CoreStats, String> {
+    run_against_oracle_with(oracle, MemBackend::prototype(), plan, gate, max_cycles)
+}
+
+/// [`run_against_oracle`] with an explicit secondary-memory backend.
+/// The oracle is architectural, so it is valid for every backend; a
+/// divergence under [`MemBackend::Nuca`] that vanishes under the
+/// perfect L2 is a bug in the fill/ack plumbing, not in the workload.
+///
+/// # Errors
+///
+/// As [`run_against_oracle`].
+pub fn run_against_oracle_with(
+    oracle: &Oracle,
+    backend: MemBackend,
+    plan: Option<&FaultPlan>,
+    gate: bool,
+    max_cycles: u64,
+) -> Result<CoreStats, String> {
     let cfg = CoreConfig {
         gate_ticks: gate,
+        mem_backend: backend,
         faults: plan.cloned(),
         check_invariants: true,
         ..CoreConfig::prototype()
@@ -180,7 +199,13 @@ where
 /// Renders a minimized failure as a `#[test]` function that pastes
 /// directly into `tests/fault_injection.rs` (which provides the
 /// `assert_plan_matches_oracle` helper).
-pub fn repro_snippet(workload: &str, quality: Quality, plan: &FaultPlan, why: &str) -> String {
+pub fn repro_snippet(
+    workload: &str,
+    quality: Quality,
+    nuca: bool,
+    plan: &FaultPlan,
+    why: &str,
+) -> String {
     let mut s = String::new();
     let ident: String =
         workload.chars().map(|c| if c.is_alphanumeric() { c } else { '_' }).collect();
@@ -188,11 +213,12 @@ pub fn repro_snippet(workload: &str, quality: Quality, plan: &FaultPlan, why: &s
     for line in why.lines().take(4) {
         let _ = writeln!(s, "/// Failure: {line}");
     }
+    let helper =
+        if nuca { "assert_plan_matches_oracle_nuca" } else { "assert_plan_matches_oracle" };
     let _ = writeln!(s, "#[test]");
     let _ = writeln!(s, "fn protofuzz_repro_{ident}_{:x}() {{", plan.seed);
     let _ = writeln!(s, "    let plan = {};", indent_continuation(&plan.to_rust_literal(), 4));
-    let _ =
-        writeln!(s, "    assert_plan_matches_oracle(\"{workload}\", Quality::{quality:?}, &plan);");
+    let _ = writeln!(s, "    {helper}(\"{workload}\", Quality::{quality:?}, &plan);");
     let _ = writeln!(s, "}}");
     s
 }
@@ -220,6 +246,8 @@ pub struct FuzzFailure {
     pub workload: String,
     /// Code quality of the failing image.
     pub quality: Quality,
+    /// Whether the run used the NUCA secondary backend.
+    pub nuca: bool,
     /// The full (unshrunk) failing plan.
     pub plan: FaultPlan,
     /// Failure description from [`run_against_oracle`].
@@ -240,8 +268,10 @@ pub fn failure_artifact(
 ) -> String {
     // Traced re-run of the minimal reproducer: the flight recorder is
     // most useful on exactly the failing run.
+    let backend = if fail.nuca { MemBackend::nuca_prototype() } else { MemBackend::prototype() };
     let cfg = CoreConfig {
         gate_ticks: gate,
+        mem_backend: backend,
         faults: Some(shrunk.clone()),
         check_invariants: true,
         ..CoreConfig::prototype()
@@ -253,6 +283,7 @@ pub fn failure_artifact(
     let mut s = String::from("{\n");
     let _ = writeln!(s, "  \"workload\": \"{}\",", json_escape(&fail.workload));
     let _ = writeln!(s, "  \"quality\": \"{:?}\",", fail.quality);
+    let _ = writeln!(s, "  \"backend\": \"{}\",", if fail.nuca { "nuca" } else { "perfect-l2" });
     let _ = writeln!(s, "  \"seed\": {},", fail.seed);
     let _ = writeln!(s, "  \"failure\": \"{}\",", json_escape(&fail.why));
     let _ = writeln!(s, "  \"plan\": \"{}\",", json_escape(&fail.plan.to_rust_literal()));
@@ -307,6 +338,22 @@ mod tests {
     }
 
     #[test]
+    fn clean_nuca_run_matches_oracle() {
+        let wl = suite::by_name("vadd").expect("registered");
+        let oracle = Oracle::build(&wl, Quality::Hand);
+        let stats = run_against_oracle_with(
+            &oracle,
+            MemBackend::nuca_prototype(),
+            None,
+            true,
+            FUZZ_MAX_CYCLES,
+        )
+        .expect("clean NUCA run matches oracle");
+        assert_eq!(stats.blocks_committed, oracle.blocks);
+        assert!(stats.mem.is_some(), "NUCA runs export secondary-system stats");
+    }
+
+    #[test]
     fn shrinker_reaches_a_fixed_point() {
         // Synthetic predicate: "fails" whenever the plan storms. The
         // minimum is a storm-only plan.
@@ -323,10 +370,12 @@ mod tests {
     #[test]
     fn snippet_is_pasteable_shape() {
         let plan = FaultPlan::random(42);
-        let snip = repro_snippet("vadd", Quality::Hand, &plan, "something diverged");
+        let snip = repro_snippet("vadd", Quality::Hand, false, &plan, "something diverged");
         assert!(snip.contains("#[test]"));
         assert!(snip.contains("fn protofuzz_repro_vadd_2a()"));
         assert!(snip.contains("assert_plan_matches_oracle(\"vadd\", Quality::Hand, &plan);"));
+        let nuca = repro_snippet("vadd", Quality::Hand, true, &plan, "diverged");
+        assert!(nuca.contains("assert_plan_matches_oracle_nuca(\"vadd\", Quality::Hand, &plan);"));
     }
 
     #[test]

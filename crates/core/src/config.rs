@@ -1,5 +1,7 @@
 //! Configuration of the processor core model.
 
+use trips_mem::MemConfig;
+
 use crate::fault::FaultPlan;
 
 /// Number of ET rows/columns (fixed by the 128-instruction block
@@ -71,6 +73,45 @@ impl PredictorConfig {
     }
 }
 
+/// The secondary memory system behind the L1 banks.
+///
+/// Both variants serve the same two request streams — DT MSHR fills
+/// and IT I-cache refills — and only ever change *when* a fill
+/// completes, never what a load returns (load values come from the
+/// core's memory image at execute time, see DESIGN.md §5d), so the
+/// backend choice cannot affect architectural results.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MemBackend {
+    /// A perfect L2: every miss fills after a flat `latency`, as the
+    /// paper's Table 3 runs do to isolate core effects. The default;
+    /// bit-identical to the pre-backend model (pinned by the
+    /// `mem_backend` equivalence suite).
+    PerfectL2 {
+        /// Fill latency in cycles for I-side refills and D-side misses.
+        latency: u64,
+    },
+    /// The §3.6 NUCA secondary system: requests travel the 4×10
+    /// wormhole OCN to sixteen cache banks
+    /// ([`trips_mem::SecondarySystem`]), ticked in lockstep with the
+    /// core. Store commits additionally issue line writebacks whose
+    /// acknowledgements gate commit completion (the ESN's role in the
+    /// hardware).
+    Nuca(MemConfig),
+}
+
+impl MemBackend {
+    /// The prototype default: a perfect L2 with the 12-cycle fill the
+    /// paper's Table 3 runs use.
+    pub fn prototype() -> MemBackend {
+        MemBackend::PerfectL2 { latency: 12 }
+    }
+
+    /// The NUCA backend in its prototype configuration.
+    pub fn nuca_prototype() -> MemBackend {
+        MemBackend::Nuca(MemConfig::prototype())
+    }
+}
+
 /// Full configuration of the core.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CoreConfig {
@@ -85,10 +126,10 @@ pub struct CoreConfig {
     pub l1d_ways: usize,
     /// L1D hit latency in cycles.
     pub l1d_hit_lat: u64,
-    /// Latency of the (perfect) secondary memory system for both
-    /// I-side refills and D-side misses. The paper's Table 3 runs use
-    /// a perfect L2 to isolate core effects.
-    pub l2_latency: u64,
+    /// The secondary memory system serving I-side refills and D-side
+    /// misses (a perfect flat-latency L2 by default, or the §3.6 NUCA
+    /// system).
+    pub mem_backend: MemBackend,
     /// Integer ALU latency.
     pub int_lat: u64,
     /// Integer multiply latency (pipelined).
@@ -150,7 +191,7 @@ impl CoreConfig {
             l1d_sets: 64,
             l1d_ways: 2,
             l1d_hit_lat: 2,
-            l2_latency: 12,
+            mem_backend: MemBackend::prototype(),
             int_lat: 1,
             mul_lat: 3,
             div_lat: 24,
@@ -199,5 +240,18 @@ mod tests {
         assert_eq!(c.lsq_entries, 256);
         assert_eq!(c.max_frames, 8);
         assert_eq!(c.predict_lat + c.tag_lat, 5, "front of the 13-cycle fetch pipe");
+    }
+
+    #[test]
+    fn default_backend_is_the_perfect_l2() {
+        assert_eq!(
+            CoreConfig::prototype().mem_backend,
+            MemBackend::PerfectL2 { latency: 12 },
+            "Table 3 isolates core effects behind a 12-cycle perfect L2"
+        );
+        let MemBackend::Nuca(mc) = MemBackend::nuca_prototype() else {
+            panic!("nuca_prototype must select the NUCA system");
+        };
+        assert_eq!(mc.banks * mc.bank_kb, 1024, "1 MB secondary system");
     }
 }

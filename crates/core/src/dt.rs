@@ -17,6 +17,7 @@ use trips_isa::{Opcode, Target};
 
 use crate::config::{CoreConfig, NUM_FRAMES};
 use crate::critpath::{Cat, CritPath};
+use crate::memsys::{FillPath, MemClient, MemEvent, MemSys};
 use crate::msg::{DsnMsg, EvId, FrameId, GcnMsg, Gen, GsnMsg, OpnPayload, RowMsg, TileId};
 use crate::nets::{dt_chain_pos, gcn_pos, opn_recv, Nets, OpnOutbox};
 use crate::stats::CoreStats;
@@ -65,6 +66,12 @@ struct DtFrame {
     done_ev: EvId,
     committing: bool,
     commit_cursor: usize,
+    /// All own stores drained through the commit port.
+    stores_drained: bool,
+    /// Store writebacks awaiting a secondary-system acknowledgement
+    /// (always 0 under the perfect backend).
+    acks_pending: u32,
+    /// Drained *and* acknowledged: this DT's commit work is done.
     commit_done: bool,
     south_ack: bool,
     ack_sent: bool,
@@ -81,6 +88,10 @@ struct ExecLoad {
     target: Target,
     ev: EvId,
 }
+
+/// `fill_at` sentinel for an MSHR waiting on a NUCA fill event (the
+/// perfect backend always knows the fill cycle up front).
+const PENDING_FILL: u64 = u64::MAX;
 
 #[derive(Debug)]
 struct Mshr {
@@ -322,6 +333,7 @@ impl DataTile {
         crit: &mut CritPath,
         stats: &mut CoreStats,
         mem: &mut SparseMem,
+        memsys: &mut MemSys,
         tracer: &mut Tracer,
     ) {
         let tile = self.tile_id();
@@ -364,7 +376,7 @@ impl DataTile {
                     f.done_ev = crit.later(f.done_ev, ev);
                     let pending = std::mem::take(&mut f.pending);
                     for p in pending {
-                        self.process_req(now, cfg, nets, crit, stats, mem, p, tracer);
+                        self.process_req(now, cfg, nets, crit, stats, mem, memsys, p, tracer);
                     }
                 }
             }
@@ -395,7 +407,7 @@ impl DataTile {
             let payload = retag(m.payload, e_arr);
             let f = &self.frames[frame.0 as usize];
             if f.in_order && f.mask_known {
-                self.process_req(now, cfg, nets, crit, stats, mem, payload, tracer);
+                self.process_req(now, cfg, nets, crit, stats, mem, memsys, payload, tracer);
             } else {
                 self.frames[frame.0 as usize].pending.push(payload);
             }
@@ -406,6 +418,26 @@ impl DataTile {
             if let GsnMsg::StoresCommitted { frame, gen } = msg {
                 if self.frame_ok(frame, gen) {
                     self.frames[frame.0 as usize].south_ack = true;
+                }
+            }
+        }
+
+        // Secondary-system completions (only the NUCA backend queues
+        // events; the perfect backend resolves fills by timestamp).
+        while let Some(ev) = memsys.pop_event(MemClient::Dt(self.index)) {
+            match ev {
+                MemEvent::Fill { line } => {
+                    // Mark the MSHR ready; the fill scan below picks it
+                    // up this same cycle.
+                    if let Some(m) =
+                        self.mshrs.iter_mut().find(|m| m.line == line && m.fill_at == PENDING_FILL)
+                    {
+                        m.fill_at = now;
+                    }
+                }
+                MemEvent::StoreAck { frame } => {
+                    let f = &mut self.frames[frame as usize];
+                    f.acks_pending = f.acks_pending.saturating_sub(1);
                 }
             }
         }
@@ -437,10 +469,10 @@ impl DataTile {
         }
 
         // Wake deferred loads whose prior stores have all arrived.
-        self.wake_deferred(now, cfg, stats, mem, tracer);
+        self.wake_deferred(now, cfg, stats, mem, memsys, tracer);
 
         // Completion detection and commit draining.
-        self.advance_frames(now, cfg, nets, crit, stats, mem, tracer);
+        self.advance_frames(now, cfg, nets, crit, stats, mem, memsys, tracer);
 
         stats.lsq_peak_occupancy = stats.lsq_peak_occupancy.max(self.occupancy);
         self.outbox.flush(nets, now, self.tile_id(), tracer);
@@ -455,6 +487,7 @@ impl DataTile {
         crit: &mut CritPath,
         stats: &mut CoreStats,
         mem: &SparseMem,
+        memsys: &mut MemSys,
         payload: OpnPayload,
         tracer: &mut Tracer,
     ) {
@@ -473,7 +506,7 @@ impl DataTile {
                     return;
                 }
                 self.execute_load(
-                    now, cfg, stats, mem, frame, gen, lsid, opcode, ea, target, ev, tracer,
+                    now, cfg, stats, mem, memsys, frame, gen, lsid, opcode, ea, target, ev, tracer,
                 );
             }
             OpnPayload::StoreReq { frame, gen, lsid, ea, val, bytes, nullified, ev } => {
@@ -492,6 +525,7 @@ impl DataTile {
         cfg: &CoreConfig,
         stats: &mut CoreStats,
         mem: &SparseMem,
+        memsys: &mut MemSys,
         frame: FrameId,
         gen: Gen,
         lsid: u8,
@@ -523,7 +557,11 @@ impl DataTile {
             if let Some(m) = self.mshrs.iter_mut().find(|m| m.line == line) {
                 m.waiting.push(ld);
             } else if self.mshrs.len() < cfg.mshr_lines {
-                self.mshrs.push(Mshr { line, fill_at: now + cfg.l2_latency, waiting: vec![ld] });
+                let fill_at = match memsys.dside_fill(now, self.index, line) {
+                    FillPath::At(t) => t,
+                    FillPath::Queued => PENDING_FILL,
+                };
+                self.mshrs.push(Mshr { line, fill_at, waiting: vec![ld] });
             } else {
                 // MSHR full: model a structural stall by serializing
                 // behind the earliest fill.
@@ -691,6 +729,7 @@ impl DataTile {
         cfg: &CoreConfig,
         stats: &mut CoreStats,
         mem: &SparseMem,
+        memsys: &mut MemSys,
         tracer: &mut Tracer,
     ) {
         let dt = self.index;
@@ -706,8 +745,8 @@ impl DataTile {
                     let lsid = d.lsid;
                     tracer.record(now, || TraceKind::LsqWakeup { dt, frame, lsid });
                     self.execute_load(
-                        now, cfg, stats, mem, frame, gen, d.lsid, d.opcode, d.ea, d.target, d.ev,
-                        tracer,
+                        now, cfg, stats, mem, memsys, frame, gen, d.lsid, d.opcode, d.ea, d.target,
+                        d.ev, tracer,
                     );
                 } else {
                     self.frames[fi].deferred.push(d);
@@ -744,6 +783,7 @@ impl DataTile {
         crit: &mut CritPath,
         stats: &mut CoreStats,
         mem: &mut SparseMem,
+        memsys: &mut MemSys,
         tracer: &mut Tracer,
     ) {
         let index = self.index;
@@ -764,7 +804,7 @@ impl DataTile {
             if !f.active || !f.committing {
                 break;
             }
-            if f.commit_done {
+            if f.stores_drained {
                 continue;
             }
             if f.commit_cursor == 0 {
@@ -773,19 +813,36 @@ impl DataTile {
             loop {
                 let f = &mut self.frames[fi];
                 let Some(s) = f.own_stores.get(f.commit_cursor).copied() else {
-                    f.commit_done = true;
+                    f.stores_drained = true;
                     break; // next (younger) frame may use the port
                 };
                 f.commit_cursor += 1;
                 if f.commit_cursor >= f.own_stores.len() {
-                    f.commit_done = true;
+                    f.stores_drained = true;
                 }
                 if !s.nullified {
                     mem.write_uint(s.ea, s.val, s.bytes);
                     stats.stores += 1;
                     self.install(s.ea, cfg);
+                    // ESN-style store completion: under the NUCA
+                    // backend the line is written back and commit
+                    // completion waits for the acknowledgement.
+                    if memsys.store_write(self.index, fi as u8, s.ea) {
+                        self.frames[fi].acks_pending += 1;
+                    }
                     break 'drain; // the store port is spent this cycle
                 }
+            }
+        }
+
+        // A frame's commit work is done once its stores are drained
+        // *and* every writeback is acknowledged. The perfect backend
+        // never issues writebacks, so this degenerates to
+        // `commit_done = stores_drained` in the same cycle — exactly
+        // the pre-backend behaviour.
+        for f in self.frames.iter_mut() {
+            if f.active && f.committing && f.stores_drained && f.acks_pending == 0 {
+                f.commit_done = true;
             }
         }
 

@@ -39,6 +39,8 @@ pub(crate) const TAG_GRN: u64 = 0x41;
 pub(crate) const TAG_DSN: u64 = 0x42;
 /// Sub-seed tag: the GT's flush-storm PRNG.
 pub(crate) const TAG_STORM: u64 = 0x50;
+/// Sub-seed tag: the secondary system's OCN (NUCA backend only).
+pub(crate) const TAG_OCN: u64 = 0x60;
 
 /// A probability `num / den` (`den` must be nonzero; `num == 0` means
 /// never, `num >= den` means always).
@@ -69,6 +71,23 @@ pub struct LinkFault {
     pub max_burst: u64,
 }
 
+/// A stall fault on one OCN router output port (the secondary
+/// system's 10×4 packet mesh; only installed under the NUCA backend —
+/// the perfect L2 has no network to stall).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OcnFault {
+    /// Router row in the 10×4 OCN.
+    pub row: u8,
+    /// Router column.
+    pub col: u8,
+    /// The output port to stall.
+    pub port: FaultPort,
+    /// Per-cycle burst-start probability.
+    pub chance: Ratio,
+    /// Maximum burst length in cycles.
+    pub max_burst: u64,
+}
+
 /// Extra-delay fault applied to every control chain (GDN, GSN, GCN,
 /// GRN, DSN). Per-inbox send order is preserved — see
 /// [`ChainFaultConfig`].
@@ -93,6 +112,9 @@ pub struct FaultPlan {
     pub rotate_arbitration: bool,
     /// Stall bursts on OPN router output ports.
     pub links: Vec<LinkFault>,
+    /// Stall bursts on the secondary system's OCN router output ports
+    /// (ignored — no hook exists — under the perfect-L2 backend).
+    pub ocn_links: Vec<OcnFault>,
     /// Extra delay on every control chain.
     pub chain_delay: Option<ChainDelay>,
     /// Per-resolved-branch probability of forcing a flush storm: the
@@ -128,7 +150,18 @@ impl FaultPlan {
         });
         let flush_storm =
             rng.chance(1, 3).then(|| Ratio { num: 1, den: [16, 32, 64][rng.range_usize(0, 3)] });
-        FaultPlan { seed, rotate_arbitration, links, chain_delay, flush_storm }
+        // Drawn last so adding the OCN dimension left every earlier
+        // seed's OPN/chain/storm draws unchanged.
+        let ocn_links = (0..rng.range_usize(0, 3))
+            .map(|_| OcnFault {
+                row: rng.range_u8(0, 10),
+                col: rng.range_u8(0, 4),
+                port: FaultPort::ALL[rng.range_usize(0, 5)],
+                chance: Ratio { num: 1, den: [2, 4, 8, 16][rng.range_usize(0, 4)] },
+                max_burst: 1 + rng.range_u64(0, 8),
+            })
+            .collect();
+        FaultPlan { seed, rotate_arbitration, links, ocn_links, chain_delay, flush_storm }
     }
 
     /// A plan that installs a fault state on *every* hook but with all
@@ -147,6 +180,13 @@ impl FaultPlan {
                 chance: Ratio { num: 0, den: 1 },
                 max_burst: 1,
             }],
+            ocn_links: vec![OcnFault {
+                row: 0,
+                col: 0,
+                port: FaultPort::Eject,
+                chance: Ratio { num: 0, den: 1 },
+                max_burst: 1,
+            }],
             chain_delay: Some(ChainDelay { chance: Ratio { num: 0, den: 1 }, max_extra: 1 }),
             flush_storm: Some(Ratio { num: 0, den: 1 }),
         }
@@ -157,6 +197,7 @@ impl FaultPlan {
     /// hooks that then never fire).
     pub fn is_empty(&self) -> bool {
         self.links.is_empty()
+            && self.ocn_links.is_empty()
             && !self.rotate_arbitration
             && self.chain_delay.is_none()
             && self.flush_storm.is_none()
@@ -188,6 +229,31 @@ impl FaultPlan {
         }
         Some(MeshFaultConfig {
             seed: self.subseed(TAG_MESH + net as u64),
+            rotate_arbitration: self.rotate_arbitration,
+            stalls,
+        })
+    }
+
+    /// The mesh fault configuration for the secondary system's OCN, if
+    /// any (installed by the NUCA backend only; arbitration rotation
+    /// extends to the OCN's round-robin pointers too).
+    pub(crate) fn ocn_fault(&self) -> Option<MeshFaultConfig> {
+        let stalls: Vec<PortStall> = self
+            .ocn_links
+            .iter()
+            .map(|l| PortStall {
+                router: Coord { row: l.row, col: l.col },
+                port: l.port,
+                num: l.chance.num,
+                den: l.chance.den,
+                max_burst: l.max_burst,
+            })
+            .collect();
+        if stalls.is_empty() && !self.rotate_arbitration {
+            return None;
+        }
+        Some(MeshFaultConfig {
+            seed: self.subseed(TAG_OCN),
             rotate_arbitration: self.rotate_arbitration,
             stalls,
         })
@@ -234,6 +300,24 @@ impl FaultPlan {
             if l.chance.num < l.chance.den && l.chance.den <= 512 {
                 let mut p = self.clone();
                 p.links[i].chance.den = l.chance.den * 2;
+                out.push(p);
+            }
+        }
+        for i in 0..self.ocn_links.len() {
+            let mut p = self.clone();
+            p.ocn_links.remove(i);
+            out.push(p);
+        }
+        for i in 0..self.ocn_links.len() {
+            let l = self.ocn_links[i];
+            if l.max_burst > 1 {
+                let mut p = self.clone();
+                p.ocn_links[i].max_burst = l.max_burst / 2;
+                out.push(p);
+            }
+            if l.chance.num < l.chance.den && l.chance.den <= 512 {
+                let mut p = self.clone();
+                p.ocn_links[i].chance.den = l.chance.den * 2;
                 out.push(p);
             }
         }
@@ -286,6 +370,20 @@ impl FaultPlan {
                     "        LinkFault {{ net: {}, row: {}, col: {}, port: FaultPort::{:?}, \
                      chance: Ratio {{ num: {}, den: {} }}, max_burst: {} }},",
                     l.net, l.row, l.col, l.port, l.chance.num, l.chance.den, l.max_burst
+                );
+            }
+            let _ = writeln!(s, "    ],");
+        }
+        if self.ocn_links.is_empty() {
+            let _ = writeln!(s, "    ocn_links: vec![],");
+        } else {
+            let _ = writeln!(s, "    ocn_links: vec![");
+            for l in &self.ocn_links {
+                let _ = writeln!(
+                    s,
+                    "        OcnFault {{ row: {}, col: {}, port: FaultPort::{:?}, \
+                     chance: Ratio {{ num: {}, den: {} }}, max_burst: {} }},",
+                    l.row, l.col, l.port, l.chance.num, l.chance.den, l.max_burst
                 );
             }
             let _ = writeln!(s, "    ],");
@@ -389,11 +487,26 @@ mod tests {
                 chance: Ratio { num: 1, den: 8 },
                 max_burst: 4,
             }],
+            ocn_links: vec![OcnFault {
+                row: 9,
+                col: 1,
+                port: FaultPort::South,
+                chance: Ratio { num: 1, den: 16 },
+                max_burst: 7,
+            }],
             chain_delay: Some(ChainDelay { chance: Ratio { num: 1, den: 4 }, max_extra: 3 }),
             flush_storm: Some(Ratio { num: 1, den: 32 }),
         };
         let lit = plan.to_rust_literal();
-        for needle in ["0xabc", "FaultPort::North", "max_burst: 4", "max_extra: 3", "den: 32"] {
+        for needle in [
+            "0xabc",
+            "FaultPort::North",
+            "max_burst: 4",
+            "max_extra: 3",
+            "den: 32",
+            "OcnFault { row: 9",
+            "FaultPort::South",
+        ] {
             assert!(lit.contains(needle), "literal missing {needle}:\n{lit}");
         }
     }
@@ -402,6 +515,7 @@ mod tests {
     fn inert_probe_installs_hooks_everywhere() {
         let p = FaultPlan::inert_probe(5);
         assert!(p.mesh_fault(0).is_some());
+        assert!(p.ocn_fault().is_some());
         assert!(p.chain_fault(TAG_GCN).is_some());
         assert!(p.storm_state().is_some());
         assert!(!p.storm_state().expect("present").roll(), "num == 0 never fires");

@@ -31,6 +31,12 @@
 //! * **OPN conservation** — per mesh, `injected = ejected +
 //!   in-flight`, and the routers' queue occupancy equals the in-flight
 //!   count: the fabric neither drops nor duplicates operands.
+//! * **Secondary-system conservation** — under the NUCA backend every
+//!   request a tile handed to the adapter is exactly one of: awaiting
+//!   injection, inside the OCN/banks, or a completion awaiting its
+//!   tile; and the OCN's own packet accounting balances. The network
+//!   may delay a fill or a store acknowledgement arbitrarily but can
+//!   never drop or duplicate one.
 //!
 //! The remaining tentpole properties are checked at run boundaries
 //! rather than per tick: *flush fully drains a frame's in-flight
@@ -85,5 +91,6 @@ fn check_detail(p: &Processor) -> Result<(), String> {
     for (n, m) in p.nets.opn.iter().enumerate() {
         m.audit().map_err(|e| format!("OPN{n}: {e}"))?;
     }
+    p.memsys.audit()?;
     Ok(())
 }

@@ -17,6 +17,7 @@ use trips_isa::mem::SparseMem;
 use trips_isa::{decode_body_chunk, decode_header, CHUNK_BYTES};
 
 use crate::config::CoreConfig;
+use crate::memsys::{FillPath, MemClient, MemEvent, MemSys};
 use crate::msg::{GdnFetch, GsnMsg, RowMsg};
 use crate::nets::{it_col_pos, row_pos_of_col, Nets};
 use crate::trace::{TraceKind, Tracer};
@@ -32,10 +33,15 @@ struct DispatchJob {
 #[derive(Debug)]
 struct Refill {
     addr: u64,
+    /// Cycle the bank's chunk arrives (perfect backend; `u64::MAX`
+    /// when the NUCA backend resolves it by fill events instead).
     done_at: u64,
     own_done: bool,
     south_done: bool,
     signalled: bool,
+    /// NUCA line fills still outstanding for this tile's chunk (two
+    /// 64-byte lines per 128-byte chunk; 0 on the perfect backend).
+    lines_pending: u8,
 }
 
 /// One instruction tile.
@@ -106,9 +112,10 @@ impl InstTile {
     pub fn tick(
         &mut self,
         now: u64,
-        cfg: &CoreConfig,
+        _cfg: &CoreConfig,
         nets: &mut Nets,
         mem: &SparseMem,
+        memsys: &mut MemSys,
         tracer: &mut Tracer,
     ) {
         let pos = it_col_pos(self.index);
@@ -129,13 +136,48 @@ impl InstTile {
             if let Some(k) = early {
                 self.pending_south.remove(k);
             }
+            // A participating tile fetches its 128-byte chunk: the
+            // perfect backend delivers it whole after the flat
+            // latency; the NUCA backend carries its two 64-byte lines
+            // as separate fill requests.
+            let (done_at, lines_pending) = if !participates {
+                (now, 0)
+            } else {
+                let base = r.addr + CHUNK_BYTES as u64 * self.index as u64;
+                match memsys.iside_fill(now, self.index as u8, base) {
+                    FillPath::At(t) => (t, 0),
+                    FillPath::Queued => {
+                        memsys.iside_fill(now, self.index as u8, base + 64);
+                        (u64::MAX, 2)
+                    }
+                }
+            };
             self.refill = Some(Refill {
                 addr: r.addr,
-                done_at: now + if participates { cfg.l2_latency } else { 0 },
+                done_at,
                 own_done: !participates,
                 south_done: self.index == 4 || early.is_some(),
                 signalled: false,
+                lines_pending,
             });
+        }
+
+        // NUCA fill completions. Fills for a superseded refill no
+        // longer match the live chunk range and are discarded — the
+        // replacing command re-requested its own lines.
+        while let Some(ev) = memsys.pop_event(MemClient::It(self.index as u8)) {
+            let MemEvent::Fill { line } = ev else {
+                continue;
+            };
+            if let Some(r) = &mut self.refill {
+                let base = (r.addr + CHUNK_BYTES as u64 * self.index as u64) >> 6;
+                if r.lines_pending > 0 && (line == base || line == base + 1) {
+                    r.lines_pending -= 1;
+                    if r.lines_pending == 0 {
+                        r.own_done = true;
+                    }
+                }
+            }
         }
 
         // South neighbour's refill completion (chain positions put IT4

@@ -16,11 +16,13 @@
 //! * four **DT**s: L1 D-cache banks with replicated load/store queues
 //!   and memory-side dependence predictors;
 //!
-//! connected by seven micronetworks (OPN, GDN, GCN, GSN, GRN, DSN and
-//! the modelled-away ESN). All traditionally-centralized functions —
-//! fetch, execution, flush, commit — run as the paper's distributed
-//! protocols over those networks; there is no global state shared
-//! between tiles other than the clock.
+//! connected by seven micronetworks (OPN, GDN, GCN, GSN, GRN, DSN —
+//! and the ESN, whose store-completion role appears when the NUCA
+//! secondary backend is selected: see [`MemBackend`]). All
+//! traditionally-centralized functions — fetch, execution, flush,
+//! commit — run as the paper's distributed protocols over those
+//! networks; there is no global state shared between tiles other than
+//! the clock.
 //!
 //! ## Example
 //!
@@ -56,6 +58,7 @@ mod fault;
 mod gt;
 pub mod invariants;
 mod it;
+mod memsys;
 pub mod msg;
 mod nets;
 mod predictor;
@@ -65,15 +68,15 @@ mod stats;
 pub mod trace;
 
 pub use config::{
-    CoreConfig, PredictorConfig, ET_COLS, ET_ROWS, NUM_DTS, NUM_FRAMES, NUM_ITS, NUM_RTS,
-    RS_PER_FRAME,
+    CoreConfig, MemBackend, PredictorConfig, ET_COLS, ET_ROWS, NUM_DTS, NUM_FRAMES, NUM_ITS,
+    NUM_RTS, RS_PER_FRAME,
 };
 pub use critpath::{Cat, CritBreakdown, CritPath, CATS, NUM_CATS};
 pub use diag::{FrameDiag, HangReport, NetDiag, TileDiag};
-pub use fault::{ChainDelay, FaultPlan, LinkFault, Ratio};
+pub use fault::{ChainDelay, FaultPlan, LinkFault, OcnFault, Ratio};
 pub use invariants::InvariantViolation;
 pub use predictor::{NextBlockPredictor, Prediction, PredictorCheckpoint};
 pub use proc::{GatingStats, Processor, SimError};
-pub use stats::{BlockTiming, CoreStats, Histogram, ProtocolStats};
+pub use stats::{BlockTiming, CoreStats, Histogram, MemSysStats, ProtocolStats};
 pub use trace::{OpnClass, TraceEvent, TraceKind, Tracer};
 pub use trips_micronet::FaultPort;

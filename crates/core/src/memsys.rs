@@ -1,0 +1,367 @@
+//! The pluggable secondary memory system behind the L1 banks.
+//!
+//! [`MemSys`] is the core-side adapter for
+//! [`CoreConfig::mem_backend`](crate::CoreConfig): the perfect-L2
+//! variant answers every fill after a flat latency and holds no state
+//! at all, while the NUCA variant owns a
+//! [`trips_mem::SecondarySystem`] and carries DT MSHR fills, IT
+//! I-cache refills, and commit-time store writebacks as [`MemReq`]
+//! packets over the 4×10 OCN.
+//!
+//! The backend is **timing-only**: load values are read from the
+//! core's memory image at execute time (with LSQ forwarding overlaid),
+//! and committed stores write that image directly, so the secondary
+//! system only decides *when* a fill completes or a store-commit
+//! acknowledgement returns — never what a load observes. That is the
+//! same timing/data split the NUCA model itself uses (banks hold tags
+//! only), and it is why the two backends are architecturally
+//! interchangeable (see DESIGN.md §5d for the determinism argument).
+//!
+//! Per client (each DT and each IT owns one OCN port) the adapter
+//! keeps a FIFO of requests the network has not yet accepted and a
+//! FIFO of completions the tile has not yet consumed, supporting any
+//! number of outstanding requests per client. Arbitration is
+//! deterministic: pending queues are drained in fixed client order
+//! every tick, and the OCN itself resolves contention with its own
+//! deterministic round-robin.
+
+use std::collections::VecDeque;
+
+use trips_mem::{MemReq, SecondarySystem};
+
+use crate::config::{CoreConfig, MemBackend, NUM_DTS, NUM_ITS};
+use crate::stats::MemSysStats;
+use crate::trace::{TraceKind, Tracer};
+
+/// Clients of the secondary system, in deterministic arbitration
+/// order: the four DTs, then the five ITs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum MemClient {
+    /// Data tile `0..4`.
+    Dt(u8),
+    /// Instruction tile `0..5`.
+    It(u8),
+}
+
+const NUM_CLIENTS: usize = NUM_DTS + NUM_ITS;
+
+impl MemClient {
+    fn index(self) -> usize {
+        match self {
+            MemClient::Dt(d) => d as usize,
+            MemClient::It(i) => NUM_DTS + i as usize,
+        }
+    }
+
+    fn of_index(i: usize) -> MemClient {
+        if i < NUM_DTS {
+            MemClient::Dt(i as u8)
+        } else {
+            MemClient::It((i - NUM_DTS) as u8)
+        }
+    }
+
+    /// The client's OCN port: DTs use ports 0..4 on the west edge, ITs
+    /// ports 10..15 on the east edge (the prototype gives each L1 bank
+    /// a private OCN link, §3.6).
+    fn port(self) -> usize {
+        match self {
+            MemClient::Dt(d) => d as usize,
+            MemClient::It(i) => 10 + i as usize,
+        }
+    }
+}
+
+/// Request-id bit marking a line fill; store writebacks carry the
+/// committing frame index instead, so a response is self-describing.
+const ID_FILL: u64 = 1 << 63;
+
+/// A completion delivered back to a client tile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum MemEvent {
+    /// A requested line arrived (fill the MSHR / refill chunk).
+    Fill {
+        /// The 64-byte line index (`addr >> 6`).
+        line: u64,
+    },
+    /// A commit-time store writeback was acknowledged (the ESN's role
+    /// in the hardware: L2-side store completion feeding commit).
+    StoreAck {
+        /// The committing frame the writeback belonged to.
+        frame: u8,
+    },
+}
+
+/// How a fill request will complete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FillPath {
+    /// Perfect backend: the fill completes at this cycle.
+    At(u64),
+    /// NUCA backend: the fill completes via a later
+    /// [`MemEvent::Fill`].
+    Queued,
+}
+
+/// State of the NUCA backend.
+struct Nuca {
+    sys: SecondarySystem,
+    /// Per-client requests the network has not accepted yet.
+    pending: Vec<VecDeque<MemReq>>,
+    /// Per-client completions the tile has not consumed yet.
+    ready: Vec<VecDeque<MemEvent>>,
+    /// Per-client accepted-but-undelivered request count (the
+    /// conservation ledger: pending + in-system + ready).
+    outstanding: Vec<u64>,
+    /// Fill-request issue times, for the miss-latency histogram:
+    /// `(client, line, requested_at)`.
+    sent_at: Vec<(usize, u64, u64)>,
+    /// Requests accepted into the OCN.
+    issued: u64,
+    /// Responses popped out of the OCN.
+    delivered: u64,
+    stats: MemSysStats,
+}
+
+/// The secondary memory system in either backend configuration.
+pub(crate) struct MemSys {
+    imp: Imp,
+}
+
+enum Imp {
+    Perfect { latency: u64 },
+    Nuca(Box<Nuca>),
+}
+
+impl MemSys {
+    /// Builds the backend selected by `cfg.mem_backend`, installing
+    /// the fault plan's OCN stalls when one is configured.
+    pub(crate) fn new(cfg: &CoreConfig) -> MemSys {
+        let imp = match &cfg.mem_backend {
+            MemBackend::PerfectL2 { latency } => Imp::Perfect { latency: *latency },
+            MemBackend::Nuca(mc) => {
+                let mut sys = SecondarySystem::new(mc.clone());
+                if let Some(plan) = &cfg.faults {
+                    sys.set_ocn_fault(plan.ocn_fault().as_ref());
+                }
+                Imp::Nuca(Box::new(Nuca {
+                    sys,
+                    pending: vec![VecDeque::new(); NUM_CLIENTS],
+                    ready: vec![VecDeque::new(); NUM_CLIENTS],
+                    outstanding: vec![0; NUM_CLIENTS],
+                    sent_at: Vec::new(),
+                    issued: 0,
+                    delivered: 0,
+                    stats: MemSysStats::default(),
+                }))
+            }
+        };
+        MemSys { imp }
+    }
+
+    /// A D-side line fill for DT `dt` (line = `ea >> 6`).
+    pub(crate) fn dside_fill(&mut self, now: u64, dt: u8, line: u64) -> FillPath {
+        self.fill(now, MemClient::Dt(dt), line)
+    }
+
+    /// An I-side line fill for IT `it` (`addr` is line-aligned).
+    pub(crate) fn iside_fill(&mut self, now: u64, it: u8, addr: u64) -> FillPath {
+        self.fill(now, MemClient::It(it), addr >> 6)
+    }
+
+    fn fill(&mut self, now: u64, client: MemClient, line: u64) -> FillPath {
+        match &mut self.imp {
+            Imp::Perfect { latency } => FillPath::At(now + *latency),
+            Imp::Nuca(n) => {
+                let c = client.index();
+                n.pending[c].push_back(MemReq::read_line(ID_FILL | line, line << 6));
+                n.outstanding[c] += 1;
+                match client {
+                    MemClient::Dt(_) => n.stats.dside_fills += 1,
+                    MemClient::It(_) => n.stats.iside_fills += 1,
+                }
+                FillPath::Queued
+            }
+        }
+    }
+
+    /// A commit-time store writeback from DT `dt` for frame `frame`
+    /// (ESN-style). Returns true when an acknowledgement will follow
+    /// as a [`MemEvent::StoreAck`]; the perfect backend acknowledges
+    /// implicitly and returns false. The line payload is zeros — the
+    /// core's memory image is the data authority (timing-only model).
+    pub(crate) fn store_write(&mut self, dt: u8, frame: u8, ea: u64) -> bool {
+        match &mut self.imp {
+            Imp::Perfect { .. } => false,
+            Imp::Nuca(n) => {
+                let c = MemClient::Dt(dt).index();
+                n.pending[c].push_back(MemReq::write_line(u64::from(frame), ea, [0; 64]));
+                n.outstanding[c] += 1;
+                n.stats.store_writebacks += 1;
+                true
+            }
+        }
+    }
+
+    /// Pops the next completion for `client`, if one is ready.
+    pub(crate) fn pop_event(&mut self, client: MemClient) -> Option<MemEvent> {
+        match &mut self.imp {
+            Imp::Perfect { .. } => None,
+            Imp::Nuca(n) => {
+                let c = client.index();
+                let ev = n.ready[c].pop_front();
+                if ev.is_some() {
+                    n.outstanding[c] -= 1;
+                }
+                ev
+            }
+        }
+    }
+
+    /// True when `client` has an unconsumed completion (keeps the tile
+    /// ticking under clock gating — the event is invisible to the
+    /// tile's own `active()` predicate).
+    pub(crate) fn has_events(&self, client: MemClient) -> bool {
+        match &self.imp {
+            Imp::Perfect { .. } => false,
+            Imp::Nuca(n) => !n.ready[client.index()].is_empty(),
+        }
+    }
+
+    /// One cycle, run after the tiles and nets: inject pending
+    /// requests in client order, advance the OCN and banks, and steer
+    /// arrived responses back to their client queues (consumed by the
+    /// tiles next cycle).
+    pub(crate) fn tick(&mut self, now: u64, tracer: &mut Tracer) {
+        let Imp::Nuca(n) = &mut self.imp else {
+            return;
+        };
+        if n.outstanding.iter().all(|&o| o == 0) {
+            return;
+        }
+        for c in 0..NUM_CLIENTS {
+            let port = MemClient::of_index(c).port();
+            while let Some(req) = n.pending[c].front() {
+                let is_fill = req.id & ID_FILL != 0;
+                let addr = req.addr;
+                if n.sys.request(now, port, req.clone()) {
+                    n.pending[c].pop_front();
+                    n.issued += 1;
+                    if is_fill {
+                        n.sent_at.push((c, addr >> 6, now));
+                    }
+                    tracer.record(now, || TraceKind::OcnInject {
+                        port: port as u8,
+                        addr,
+                        write: !is_fill,
+                    });
+                } else {
+                    n.stats.inject_stalls += 1;
+                    break;
+                }
+            }
+        }
+        n.sys.tick(now);
+        for c in 0..NUM_CLIENTS {
+            let port = MemClient::of_index(c).port();
+            while let Some(resp) = n.sys.pop_response(now, port) {
+                n.delivered += 1;
+                let is_fill = resp.id & ID_FILL != 0;
+                tracer.record(now, || TraceKind::OcnEject {
+                    port: port as u8,
+                    addr: resp.addr,
+                    write: !is_fill,
+                });
+                if is_fill {
+                    let line = resp.addr >> 6;
+                    if let Some(k) = n.sent_at.iter().position(|&(sc, sl, _)| sc == c && sl == line)
+                    {
+                        let (_, _, at) = n.sent_at.swap_remove(k);
+                        // 8-cycle buckets: a NUCA round trip is tens of
+                        // cycles, far past the histogram's 0..31 range.
+                        n.stats.fill_latency.record((now - at) / 8);
+                    }
+                    n.ready[c].push_back(MemEvent::Fill { line });
+                } else {
+                    n.ready[c].push_back(MemEvent::StoreAck { frame: resp.id as u8 });
+                }
+            }
+        }
+        let total: u64 = n.outstanding.iter().sum();
+        n.stats.peak_outstanding = n.stats.peak_outstanding.max(total);
+    }
+
+    /// True when nothing is pending anywhere: no unaccepted request,
+    /// nothing inside the OCN or banks, no unconsumed completion. The
+    /// complement of the work [`MemSys::tick`] could still do, so
+    /// "quiesced" and "nothing to tick" can never disagree.
+    pub(crate) fn quiet(&self) -> bool {
+        match &self.imp {
+            Imp::Perfect { .. } => true,
+            Imp::Nuca(n) => n.outstanding.iter().all(|&o| o == 0),
+        }
+    }
+
+    /// A run-end statistics snapshot (`None` for the perfect backend,
+    /// keeping `CoreStats` bit-identical to the pre-backend model).
+    pub(crate) fn stats_snapshot(&self) -> Option<MemSysStats> {
+        match &self.imp {
+            Imp::Perfect { .. } => None,
+            Imp::Nuca(n) => {
+                let mut s = n.stats.clone();
+                s.ocn = n.sys.ocn_stats();
+                s.dram_accesses = n.sys.dram_accesses;
+                let (hits, misses): (Vec<u64>, Vec<u64>) = n.sys.bank_stats().into_iter().unzip();
+                s.bank_hits = hits;
+                s.bank_misses = misses;
+                s.bank_peak_occupancy = n.sys.bank_peaks().to_vec();
+                Some(s)
+            }
+        }
+    }
+
+    /// Request/response conservation: every request a client handed
+    /// over is exactly one of pending, inside the system, or ready —
+    /// and the OCN's own packet accounting balances.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first violated accounting equation.
+    pub(crate) fn audit(&self) -> Result<(), String> {
+        let Imp::Nuca(n) = &self.imp else {
+            return Ok(());
+        };
+        n.sys.audit().map_err(|e| format!("OCN: {e}"))?;
+        let in_system = n.sys.in_system() as u64;
+        if n.issued - n.delivered != in_system {
+            return Err(format!(
+                "memsys conservation broken: issued {} - delivered {} != in-system {}",
+                n.issued, n.delivered, in_system
+            ));
+        }
+        let ledger: u64 = n.outstanding.iter().sum();
+        let held: u64 = n.pending.iter().map(|q| q.len() as u64).sum::<u64>()
+            + in_system
+            + n.ready.iter().map(|q| q.len() as u64).sum::<u64>();
+        if ledger != held {
+            return Err(format!("memsys ledger {ledger} != pending + in-system + ready {held}"));
+        }
+        Ok(())
+    }
+
+    /// Queued work for the hang diagnoser (`None` when quiet).
+    pub(crate) fn diag(&self) -> Option<String> {
+        let Imp::Nuca(n) = &self.imp else {
+            return None;
+        };
+        if self.quiet() {
+            return None;
+        }
+        let pending: usize = n.pending.iter().map(VecDeque::len).sum();
+        let ready: usize = n.ready.iter().map(VecDeque::len).sum();
+        Some(format!(
+            "{pending} request(s) awaiting injection, {} in the OCN/banks, \
+             {ready} completion(s) unconsumed",
+            n.sys.in_system()
+        ))
+    }
+}

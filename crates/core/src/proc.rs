@@ -15,6 +15,7 @@ use crate::et::ExecTile;
 use crate::gt::GlobalTile;
 use crate::invariants::{self, InvariantViolation};
 use crate::it::InstTile;
+use crate::memsys::{MemClient, MemSys};
 use crate::nets::Nets;
 use crate::rt::RegTile;
 use crate::stats::CoreStats;
@@ -102,6 +103,7 @@ pub struct Processor {
     pub(crate) ets: Vec<ExecTile>,
     pub(crate) dts: Vec<DataTile>,
     pub(crate) nets: Nets,
+    pub(crate) memsys: MemSys,
     pub(crate) mem: SparseMem,
     pub(crate) crit: CritPath,
     pub(crate) stats: CoreStats,
@@ -121,6 +123,7 @@ impl Processor {
             ets: Vec::new(),
             dts: Vec::new(),
             nets: Nets::new(&cfg),
+            memsys: MemSys::new(&cfg),
             mem: SparseMem::new(),
             crit: CritPath::new(cfg.critpath),
             stats: CoreStats::default(),
@@ -142,6 +145,7 @@ impl Processor {
             .collect();
         self.dts = (0..NUM_DTS).map(|d| DataTile::new(d as u8, &self.cfg)).collect();
         self.nets = Nets::new(&self.cfg);
+        self.memsys = MemSys::new(&self.cfg);
         self.crit = CritPath::new(self.cfg.critpath);
         self.stats = CoreStats::default();
         self.tracer.clear();
@@ -220,6 +224,7 @@ impl Processor {
         // were added here — see `Nets::inject_stalls`).
         self.stats.protocol.opn_inject_stalls = self.nets.inject_stalls();
         self.stats.protocol.opn_inflight_highwater = self.nets.opn_highwater.clone();
+        self.stats.mem = self.memsys.stats_snapshot();
         if self.crit.enabled() {
             self.stats.critpath = Some(self.crit.walk(self.gt.final_ev));
         }
@@ -299,6 +304,9 @@ impl Processor {
                 tiles.push(TileDiag { tile: format!("DT{d}"), detail });
             }
         }
+        if let Some(detail) = self.memsys.diag() {
+            tiles.push(TileDiag { tile: "MemSys".into(), detail });
+        }
         HangReport {
             cycle: self.cycle,
             frames_in_flight: self.gt.in_flight(),
@@ -323,6 +331,7 @@ impl Processor {
             && self.rts.iter().all(|t| !t.active(&self.nets))
             && self.ets.iter().all(|t| !t.active(&self.nets))
             && self.dts.iter().all(|t| !t.active(&self.nets))
+            && self.memsys.quiet()
     }
 
     /// A diagnostic snapshot for debugging hangs.
@@ -366,8 +375,20 @@ impl Processor {
             self.gating.ticks_gated += 1;
         }
         for i in 0..self.its.len() {
-            if !gate || self.its[i].active(&self.nets) {
-                self.its[i].tick(now, &self.cfg, &mut self.nets, &self.mem, &mut self.tracer);
+            // A pending memory-system event must wake the tile even
+            // though its own `active()` cannot see the adapter.
+            if !gate
+                || self.its[i].active(&self.nets)
+                || self.memsys.has_events(MemClient::It(i as u8))
+            {
+                self.its[i].tick(
+                    now,
+                    &self.cfg,
+                    &mut self.nets,
+                    &self.mem,
+                    &mut self.memsys,
+                    &mut self.tracer,
+                );
                 self.gating.ticks_run += 1;
             } else {
                 self.gating.ticks_gated += 1;
@@ -404,7 +425,10 @@ impl Processor {
             }
         }
         for i in 0..self.dts.len() {
-            if !gate || self.dts[i].active(&self.nets) {
+            if !gate
+                || self.dts[i].active(&self.nets)
+                || self.memsys.has_events(MemClient::Dt(i as u8))
+            {
                 self.dts[i].tick(
                     now,
                     &self.cfg,
@@ -412,6 +436,7 @@ impl Processor {
                     &mut self.crit,
                     &mut self.stats,
                     &mut self.mem,
+                    &mut self.memsys,
                     &mut self.tracer,
                 );
                 self.gating.ticks_run += 1;
@@ -420,6 +445,10 @@ impl Processor {
             }
         }
         self.nets.tick(now);
+        // The secondary system runs after the tiles and nets: requests
+        // issued this cycle inject now, and responses it delivers are
+        // consumed by the tiles next cycle (see DESIGN.md §5d).
+        self.memsys.tick(now, &mut self.tracer);
         self.cycle += 1;
     }
 }

@@ -1,7 +1,7 @@
 //! Run statistics.
 
 use crate::critpath::CritBreakdown;
-use trips_micronet::MeshStats;
+use trips_micronet::{MeshStats, PacketStats};
 
 /// Lifecycle timestamps of one committed block, for the Figure 5b
 /// commit-pipeline timeline.
@@ -108,6 +108,53 @@ impl ProtocolStats {
     }
 }
 
+/// Counters for the NUCA secondary memory system, populated only when
+/// the run used [`MemBackend::Nuca`](crate::MemBackend) — the perfect
+/// L2 holds no state worth counting, and leaving the field `None`
+/// keeps [`CoreStats`] bit-identical to the pre-backend model.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MemSysStats {
+    /// D-side line fills requested (DT MSHR misses).
+    pub dside_fills: u64,
+    /// I-side line fills requested (I-cache refill chunks).
+    pub iside_fills: u64,
+    /// Commit-time store-line writebacks issued (ESN-style acks gate
+    /// commit completion).
+    pub store_writebacks: u64,
+    /// Cycles a client's head-of-queue request was refused by its OCN
+    /// inject port.
+    pub inject_stalls: u64,
+    /// Fill round-trip latency in **8-cycle buckets** (request handed
+    /// to the adapter until the fill event is queued): bucket `b`
+    /// covers `8b..8b+8` cycles, bucket 31 everything ≥ 248.
+    pub fill_latency: Histogram,
+    /// OCN aggregate statistics (hops, queueing, inject stalls).
+    pub ocn: PacketStats,
+    /// DRAM accesses behind the banks.
+    pub dram_accesses: u64,
+    /// Per-bank hit counts.
+    pub bank_hits: Vec<u64>,
+    /// Per-bank miss counts.
+    pub bank_misses: Vec<u64>,
+    /// Per-bank high-water marks of concurrently-serviced requests.
+    pub bank_peak_occupancy: Vec<u64>,
+    /// High-water mark of outstanding requests across all clients.
+    pub peak_outstanding: u64,
+}
+
+impl MemSysStats {
+    /// Aggregate bank hit rate (1.0 when no bank was touched).
+    pub fn hit_rate(&self) -> f64 {
+        let hits: u64 = self.bank_hits.iter().sum();
+        let misses: u64 = self.bank_misses.iter().sum();
+        if hits + misses == 0 {
+            1.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        }
+    }
+}
+
 /// Statistics accumulated over one run of the core.
 ///
 /// Derives `PartialEq` so the gating-equivalence and determinism
@@ -159,6 +206,9 @@ pub struct CoreStats {
     /// Protocol-level timing counters (fetch cadence, commit overlap,
     /// OPN contention).
     pub protocol: ProtocolStats,
+    /// Secondary-memory-system counters (present only under the NUCA
+    /// backend; `None` under the default perfect L2).
+    pub mem: Option<MemSysStats>,
     /// Critical-path breakdown (present when recording was enabled).
     pub critpath: Option<CritBreakdown>,
     /// Lifecycle timestamps of the first committed blocks (up to 64),

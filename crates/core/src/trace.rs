@@ -204,6 +204,24 @@ pub enum TraceKind {
         /// Block address.
         addr: u64,
     },
+    /// A secondary-memory request entered the OCN (NUCA backend).
+    OcnInject {
+        /// Client port (0..4 = DT0..3, 10..15 = IT0..4).
+        port: u8,
+        /// Line-aligned byte address.
+        addr: u64,
+        /// True for a store writeback, false for a line fill.
+        write: bool,
+    },
+    /// A secondary-memory response left the OCN at its client.
+    OcnEject {
+        /// Client port (0..4 = DT0..3, 10..15 = IT0..4).
+        port: u8,
+        /// Line-aligned byte address.
+        addr: u64,
+        /// True for a writeback acknowledgement, false for a fill.
+        write: bool,
+    },
 }
 
 /// One recorded event with its cycle stamp.
@@ -373,6 +391,7 @@ impl Tracer {
         for net in 0..4u8 {
             lanes.push((lane_opn(net), format!("OPN{net}")));
         }
+        lanes.push((LANE_OCN, "OCN".into()));
         for (tid, name) in lanes {
             if !first {
                 out.push_str(",\n");
@@ -421,6 +440,9 @@ fn lane_tile(t: TileId) -> u32 {
 fn lane_opn(net: u8) -> u32 {
     30 + u32::from(net)
 }
+
+/// The secondary system's OCN gets one lane after the OPNs.
+const LANE_OCN: u32 = 34;
 
 /// (lane, event name, json args body) for one event kind.
 fn describe(kind: &TraceKind) -> (u32, String, String) {
@@ -504,6 +526,16 @@ fn describe(kind: &TraceKind) -> (u32, String, String) {
         TraceKind::RefillDone { it, addr } => {
             (lane_it(it), "refill done".to_string(), format!("\"addr\":\"{addr:#x}\""))
         }
+        TraceKind::OcnInject { port, addr, write } => (
+            LANE_OCN,
+            format!("inject {}", if write { "writeback" } else { "fill" }),
+            format!("\"port\":{port},\"addr\":\"{addr:#x}\",\"write\":{write}"),
+        ),
+        TraceKind::OcnEject { port, addr, write } => (
+            LANE_OCN,
+            format!("eject {}", if write { "ack" } else { "fill" }),
+            format!("\"port\":{port},\"addr\":\"{addr:#x}\",\"write\":{write}"),
+        ),
     }
 }
 

@@ -10,9 +10,14 @@
 //! the banks sit two SDRAM controllers; two DMA engines move bulk data
 //! across the physical address space.
 //!
-//! The processor cores of `trips-core` run their evaluation against a
-//! perfect L2, exactly as the paper's Table 3 does; this crate models
-//! the real secondary system for the memory-system experiments and for
+//! By default the processor cores of `trips-core` run their
+//! evaluation against a perfect L2, exactly as the paper's Table 3
+//! does — but the core's `MemBackend::Nuca` configuration plugs this
+//! crate in as the live secondary system: DT miss fills, IT I-cache
+//! refills, and store writebacks then travel the OCN to the banks,
+//! ticked in lockstep with the core (DESIGN.md §5d). The `memsweep`
+//! harness sweeps cache modes and interleavings over that path; the
+//! crate also stands alone for memory-system experiments and
 //! streaming/DMA studies.
 //!
 //! ```

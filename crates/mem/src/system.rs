@@ -1,7 +1,7 @@
 //! The assembled secondary system: NUCA banks on the 4×10 OCN.
 
 use trips_isa::mem::SparseMem;
-use trips_micronet::{Coord, PacketMesh, PacketMsg};
+use trips_micronet::{Coord, MeshFaultConfig, PacketMesh, PacketMsg, PacketStats};
 
 use crate::tiles::{MemTile, NetTile, LINE};
 
@@ -18,7 +18,10 @@ pub enum MemMode {
 }
 
 /// Configuration of the secondary system.
-#[derive(Debug, Clone)]
+///
+/// Derives `PartialEq`/`Eq` so it can sit inside a core configuration
+/// that is itself compared by the equivalence suites.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MemConfig {
     /// Organization.
     pub mode: MemMode,
@@ -34,6 +37,12 @@ pub struct MemConfig {
     pub dram_lat: u64,
     /// Per-virtual-channel router buffering, in packets.
     pub vc_cap: usize,
+    /// Right-shift applied to the line index before bank routing:
+    /// 0 stripes consecutive lines across banks (the prototype), `k`
+    /// gives each bank runs of `2^k` consecutive lines — coarser
+    /// interleavings trade bank-level parallelism for spatial locality
+    /// at one bank (the `memsweep` binary sweeps this).
+    pub interleave_shift: u32,
 }
 
 impl MemConfig {
@@ -47,6 +56,7 @@ impl MemConfig {
             bank_lat: 3,
             dram_lat: 60,
             vc_cap: 2,
+            interleave_shift: 0,
         }
     }
 }
@@ -103,9 +113,13 @@ enum Packet {
         req: MemReq,
     },
     Resp {
-        #[allow(dead_code)] // symmetric with Req; used in trace output
         port: usize,
         resp: MemResp,
+        /// Flit count and virtual channel, kept with the payload so a
+        /// refused injection can be retried without re-deriving them
+        /// (and without re-running the bank access that produced it).
+        flits: u32,
+        vc: u8,
     },
 }
 
@@ -119,6 +133,10 @@ pub struct SecondarySystem {
     backing: SparseMem,
     /// Requests the bank is working on: (ready_at, bank, packet).
     in_bank: Vec<(u64, usize, Packet)>,
+    /// Live requests per bank (accepted, response not yet injected).
+    in_bank_count: Vec<usize>,
+    /// High-water mark of `in_bank_count`, per bank.
+    bank_peak: Vec<u64>,
     /// Total requests accepted.
     pub requests: u64,
     /// Total DRAM accesses.
@@ -175,10 +193,20 @@ impl SecondarySystem {
             nts,
             backing: SparseMem::new(),
             in_bank: Vec::new(),
+            in_bank_count: vec![0; cfg.banks],
+            bank_peak: vec![0; cfg.banks],
             requests: 0,
             dram_accesses: 0,
             cfg,
         }
+    }
+
+    /// Installs (or clears) a timing-fault configuration on the OCN —
+    /// output-port stall bursts and arbitration rotation, as on the
+    /// core's operand network (see
+    /// [`MeshFaultConfig`](trips_micronet::MeshFaultConfig)).
+    pub fn set_ocn_fault(&mut self, cfg: Option<&MeshFaultConfig>) {
+        self.ocn.set_fault(cfg);
     }
 
     /// The configuration.
@@ -200,7 +228,7 @@ impl SecondarySystem {
     /// if the network refused it this cycle.
     pub fn request(&mut self, now: u64, port: usize, req: MemReq) -> bool {
         let src = port_coord(port);
-        let dst = self.nts[port].route(req.addr / LINE as u64);
+        let dst = self.nts[port].route((req.addr / LINE as u64) >> self.cfg.interleave_shift);
         // A line plus header: five 16-byte flits; requests travel VC0,
         // writes VC1 (separating traffic classes).
         let (flits, vc) = match req.kind {
@@ -224,6 +252,37 @@ impl SecondarySystem {
             },
             None => None,
         }
+    }
+
+    /// Requests currently inside the system: OCN router queues,
+    /// undrained eject queues, and bank service slots. Every accepted
+    /// request is exactly one packet somewhere (the request on its way
+    /// in, the bank access, or the response on its way out), so
+    /// `accepted - delivered == in_system` at every tick boundary —
+    /// the request/response conservation invariant the fuzzing harness
+    /// checks.
+    pub fn in_system(&self) -> usize {
+        self.ocn.in_flight() + self.ocn.queued_ejects() + self.in_bank.len()
+    }
+
+    /// OCN aggregate statistics (hops, queueing, inject stalls).
+    pub fn ocn_stats(&self) -> PacketStats {
+        self.ocn.stats
+    }
+
+    /// Per-bank high-water marks of concurrently-serviced requests.
+    pub fn bank_peaks(&self) -> &[u64] {
+        &self.bank_peak
+    }
+
+    /// OCN conservation audit (see
+    /// [`PacketMesh::audit`](trips_micronet::PacketMesh)).
+    ///
+    /// # Errors
+    ///
+    /// A description of the first violated accounting equation.
+    pub fn audit(&self) -> Result<(), String> {
+        self.ocn.audit()
     }
 
     /// One cycle: move the network, run the banks.
@@ -251,60 +310,58 @@ impl SecondarySystem {
                             // the outstanding fill.
                             bank.misses += 1;
                             self.dram_accesses += 1;
-                            let (_, busy_until) = (line, now);
-                            let _ = busy_until;
                             now + 2 * self.cfg.dram_lat + self.cfg.bank_lat
                         };
                         self.in_bank.push((ready, bi, Packet::Req { port, req }));
+                        self.in_bank_count[bi] += 1;
+                        self.bank_peak[bi] = self.bank_peak[bi].max(self.in_bank_count[bi] as u64);
                     }
                     Packet::Resp { .. } => unreachable!("response delivered to a bank"),
                 }
             }
         }
 
-        // Finish bank accesses and send responses.
+        // Finish bank accesses and send responses. The bank access
+        // runs exactly once; a response the network refuses is retried
+        // as a ready-made `Resp` packet, so a congested OCN delays an
+        // acknowledgement but can never drop it or repeat the access.
         let mut k = 0;
         while k < self.in_bank.len() {
             if self.in_bank[k].0 <= now {
                 let (_, bi, pkt) = self.in_bank.swap_remove(k);
-                let Packet::Req { port, req } = pkt else { unreachable!() };
-                match req.kind {
-                    ReqKind::WriteLine => {
-                        self.backing.write_bytes(req.addr, &req.data);
-                        self.banks[bi].install(req.addr / LINE as u64);
-                        // Writes are acknowledged with a header flit.
-                        let resp = MemResp { id: req.id, addr: req.addr, data: [0; LINE] };
-                        self.ocn.inject(
-                            now,
-                            PacketMsg::new(
-                                self.banks[bi].coord,
-                                port_coord(port),
-                                Packet::Resp { port, resp },
-                                1,
-                                2,
-                            ),
-                        );
-                    }
-                    ReqKind::ReadLine => {
-                        let mut data = [0u8; LINE];
-                        self.backing.read_bytes(req.addr, &mut data);
-                        let resp = MemResp { id: req.id, addr: req.addr, data };
-                        // A full line back: five flits on VC2/3.
-                        let accepted = self.ocn.inject(
-                            now,
-                            PacketMsg::new(
-                                self.banks[bi].coord,
-                                port_coord(port),
-                                Packet::Resp { port, resp },
-                                5,
-                                3,
-                            ),
-                        );
-                        if !accepted {
-                            // Retry next cycle.
-                            self.in_bank.push((now + 1, bi, Packet::Req { port, req }));
+                let (port, resp, flits, vc) = match pkt {
+                    Packet::Req { port, req } => match req.kind {
+                        ReqKind::WriteLine => {
+                            self.backing.write_bytes(req.addr, &req.data);
+                            self.banks[bi].install(req.addr / LINE as u64);
+                            // Writes are acknowledged with a header flit.
+                            let resp = MemResp { id: req.id, addr: req.addr, data: [0; LINE] };
+                            (port, resp, 1, 2)
                         }
-                    }
+                        ReqKind::ReadLine => {
+                            let mut data = [0u8; LINE];
+                            self.backing.read_bytes(req.addr, &mut data);
+                            // A full line back: five flits on VC2/3.
+                            (port, MemResp { id: req.id, addr: req.addr, data }, 5, 3)
+                        }
+                    },
+                    Packet::Resp { port, resp, flits, vc } => (port, resp, flits, vc),
+                };
+                let accepted = self.ocn.inject(
+                    now,
+                    PacketMsg::new(
+                        self.banks[bi].coord,
+                        port_coord(port),
+                        Packet::Resp { port, resp: resp.clone(), flits, vc },
+                        flits,
+                        vc,
+                    ),
+                );
+                if accepted {
+                    self.in_bank_count[bi] = self.in_bank_count[bi].saturating_sub(1);
+                } else {
+                    // Retry next cycle without repeating the access.
+                    self.in_bank.push((now + 1, bi, Packet::Resp { port, resp, flits, vc }));
                 }
             } else {
                 k += 1;

@@ -9,6 +9,7 @@
 
 use std::collections::VecDeque;
 
+use crate::fault::{MeshFaultConfig, MeshFaultState};
 use crate::mesh::Coord;
 
 /// Number of virtual channels per physical link.
@@ -117,6 +118,8 @@ pub struct PacketMesh<P> {
     /// Aggregate statistics.
     pub stats: PacketStats,
     in_flight: usize,
+    /// Installed timing faults (`None` on the production path).
+    fault: Option<MeshFaultState>,
 }
 
 impl<P> PacketMesh<P> {
@@ -136,7 +139,15 @@ impl<P> PacketMesh<P> {
             routers: (0..n).map(|_| PacketRouter::new()).collect(),
             stats: PacketStats::default(),
             in_flight: 0,
+            fault: None,
         }
+    }
+
+    /// Installs (or clears) a timing-fault configuration. Faults stall
+    /// output ports and randomize arbitration; they never drop, corrupt
+    /// or reorder a same-queue flow (see [`MeshFaultConfig`]).
+    pub fn set_fault(&mut self, cfg: Option<&MeshFaultConfig>) {
+        self.fault = cfg.map(|c| MeshFaultState::new(c, self.rows, self.cols));
     }
 
     fn idx(&self, c: Coord) -> usize {
@@ -147,6 +158,42 @@ impl<P> PacketMesh<P> {
     /// Packets currently inside routers.
     pub fn in_flight(&self) -> usize {
         self.in_flight
+    }
+
+    /// Packets delivered to an eject queue but not yet popped by the
+    /// destination (these count as `ejected` in [`PacketStats`] and are
+    /// *not* in [`PacketMesh::in_flight`]).
+    pub fn queued_ejects(&self) -> usize {
+        self.routers.iter().map(|r| r.eject.len()).sum()
+    }
+
+    /// Conservation audit, mirroring [`Mesh::audit`](crate::Mesh):
+    /// the in-flight counter must equal the recounted router queue
+    /// occupancy, and `injected = ejected + in_flight` (where `ejected`
+    /// includes eject-queue entries the destination has not drained).
+    ///
+    /// # Errors
+    ///
+    /// A description of the first violated equation.
+    pub fn audit(&self) -> Result<(), String> {
+        let recount: usize = self
+            .routers
+            .iter()
+            .map(|r| r.inputs.iter().flatten().map(VecDeque::len).sum::<usize>())
+            .sum();
+        if recount != self.in_flight {
+            return Err(format!(
+                "in-flight counter {} != recounted router occupancy {recount}",
+                self.in_flight
+            ));
+        }
+        if self.stats.injected != self.stats.ejected + self.in_flight as u64 {
+            return Err(format!(
+                "conservation broken: injected {} != ejected {} + in-flight {}",
+                self.stats.injected, self.stats.ejected, self.in_flight
+            ));
+        }
+        Ok(())
     }
 
     /// True if an injection at `src` on `vc` would be accepted.
@@ -211,6 +258,19 @@ impl<P> PacketMesh<P> {
         let mut moves: Vec<(usize, usize, usize, Out)> = Vec::new();
         let mut incoming = vec![[[false; VIRTUAL_CHANNELS]; PORTS]; n];
 
+        // Fault hook: moved out for the arbitration loop (it borrows
+        // mutably alongside the routers) and restored at the end.
+        let mut fault = self.fault.take();
+        if let Some(f) = fault.as_mut() {
+            if f.rotate() {
+                for router in &mut self.routers {
+                    for rr in &mut router.rr {
+                        *rr = f.draw(PORTS * VIRTUAL_CHANNELS);
+                    }
+                }
+            }
+        }
+
         for r in 0..n {
             let at =
                 Coord { row: (r / self.cols as usize) as u8, col: (r % self.cols as usize) as u8 };
@@ -220,6 +280,13 @@ impl<P> PacketMesh<P> {
             {
                 if out != Out::Eject && self.routers[r].busy_until[oi] > now {
                     continue;
+                }
+                // An injected stall burst holds the whole output port:
+                // nothing is granted, waiting packets stay queued.
+                if let Some(f) = fault.as_mut() {
+                    if f.stalled(r, oi, now) {
+                        continue;
+                    }
                 }
                 let dest = match out {
                     Out::Eject => None,
@@ -312,6 +379,7 @@ impl<P> PacketMesh<P> {
                 }
             }
         }
+        self.fault = fault;
     }
 }
 

@@ -36,6 +36,7 @@
 mod data;
 mod eembc;
 mod kernels;
+mod membound;
 mod micro;
 mod spec;
 pub mod suite;

@@ -1,0 +1,88 @@
+//! Memory-bound workloads for exercising the secondary memory system:
+//! `saxpy` and `listwalk`.
+//!
+//! Table 3's programs were sized for L1-resident cycle simulation;
+//! their working sets fit in the distributed 32KB D-cache and barely
+//! touch the L2. These two deliberately overflow a single NUCA bank
+//! (64KB) so that `memsweep` can expose the latency difference between
+//! [`MemMode`](trips_mem::MemMode) policies and bank interleavings:
+//! `saxpy` streams 128KB of input with no reuse, and `listwalk`
+//! serialises a dependent pointer chase through a 64KB node pool.
+//! They are registered in [`suite::memory_bound`](crate::suite::memory_bound),
+//! not in the pinned Table 3 registry.
+
+use trips_tasm::{Opcode, Program, ProgramBuilder};
+
+use crate::data::{counted_loop, floats, ptr_loop, unroll_of, words, Rng, A, B, OUT};
+use crate::Variant;
+
+/// `saxpy`: `out[i] = alpha * a[i] + b[i]` over 8192-element `f64`
+/// arrays — 128KB of streamed input (two full NUCA banks' worth), no
+/// temporal reuse, so every line is a compulsory miss that rides the
+/// OCN to a MemTile and usually onward to DRAM.
+pub fn saxpy(v: Variant) -> (Program, Vec<u64>) {
+    const N: i64 = 8192;
+    let mut p = ProgramBuilder::new();
+    p.global_words(A, &floats(61, N as usize, 2.0));
+    p.global_words(B, &floats(62, N as usize, 2.0));
+    let mut f = p.func("saxpy", 0);
+    let ap = f.iconst(A as i64);
+    let bp = f.iconst(B as i64);
+    let op = f.iconst(OUT as i64);
+    let alpha = f.fconst(1.5);
+    ptr_loop(&mut f, N, unroll_of(v, 8), &[(ap, 8), (bp, 8), (op, 8)], |f, k| {
+        let x = f.load(Opcode::Ld, ap, 8 * k as i32);
+        let y = f.load(Opcode::Ld, bp, 8 * k as i32);
+        let m = f.bin(Opcode::Fmul, alpha, x);
+        let s = f.bin(Opcode::Fadd, m, y);
+        f.store(Opcode::Sd, op, 8 * k as i32, s);
+    });
+    f.halt();
+    f.finish();
+    (p.finish(), (0..N as u64).map(|i| OUT + 8 * i).collect())
+}
+
+/// `listwalk`: a dependent pointer chase through 4096 16-byte nodes
+/// (64KB) linked into a single Sattolo cycle — every step's address
+/// comes from the previous step's load, so fill latency is fully
+/// exposed on the critical path and no amount of MSHR parallelism
+/// hides it.
+pub fn listwalk(v: Variant) -> (Program, Vec<u64>) {
+    const NODES: usize = 4096;
+    const STEPS: i64 = 4096;
+    // Sattolo's algorithm: a uniformly random permutation that is one
+    // single cycle, so the walk visits every node exactly once.
+    let mut perm: Vec<usize> = (0..NODES).collect();
+    let mut rng = Rng::new(63);
+    let mut i = NODES - 1;
+    while i > 0 {
+        let j = rng.below(i as u64) as usize;
+        perm.swap(i, j);
+        i -= 1;
+    }
+    let vals = words(64, NODES, 1 << 32);
+    let mut nodes = vec![0u64; 2 * NODES];
+    for n in 0..NODES {
+        nodes[2 * n] = A + 16 * perm[n] as u64;
+        nodes[2 * n + 1] = vals[n];
+    }
+    let mut p = ProgramBuilder::new();
+    p.global_words(A, &nodes);
+    let mut f = p.func("listwalk", 0);
+    let ptr = f.fresh();
+    f.iconst_into(ptr, A as i64);
+    let acc = f.fresh();
+    f.iconst_into(acc, 0);
+    counted_loop(&mut f, STEPS, unroll_of(v, 8), |f, _i, _k| {
+        let nxt = f.load(Opcode::Ld, ptr, 0);
+        let val = f.load(Opcode::Ld, ptr, 8);
+        f.bin_into(acc, Opcode::Add, acc, val);
+        f.mov_into(ptr, nxt);
+    });
+    let op = f.iconst(OUT as i64);
+    f.store(Opcode::Sd, op, 0, acc);
+    f.store(Opcode::Sd, op, 8, ptr);
+    f.halt();
+    f.finish();
+    (p.finish(), vec![OUT, OUT + 8])
+}

@@ -1,6 +1,7 @@
-//! The benchmark registry, in Table 3 order.
+//! The benchmark registry, in Table 3 order, plus the memory-bound
+//! extras that exercise the NUCA secondary system.
 
-use crate::{eembc, kernels, micro, spec, Class, Workload};
+use crate::{eembc, kernels, membound, micro, spec, Class, Workload};
 
 /// All 21 benchmarks in Table 3 order.
 pub fn all() -> Vec<Workload> {
@@ -29,9 +30,26 @@ pub fn all() -> Vec<Workload> {
     ]
 }
 
-/// Look up a benchmark by name.
+/// The memory-bound extras (working sets larger than one NUCA bank),
+/// used by `memsweep` and the backend differential tests. Not part of
+/// Table 3, so not in [`all`].
+pub fn memory_bound() -> Vec<Workload> {
+    vec![
+        Workload { name: "saxpy", class: Class::Micro, gen: membound::saxpy },
+        Workload { name: "listwalk", class: Class::Micro, gen: membound::listwalk },
+    ]
+}
+
+/// Table 3 plus the memory-bound extras.
+pub fn extended() -> Vec<Workload> {
+    let mut v = all();
+    v.extend(memory_bound());
+    v
+}
+
+/// Look up a benchmark by name (searches [`extended`]).
 pub fn by_name(name: &str) -> Option<Workload> {
-    all().into_iter().find(|w| w.name == name)
+    extended().into_iter().find(|w| w.name == name)
 }
 
 /// Convenience constructor used in crate examples: `vadd` with a
@@ -60,5 +78,14 @@ mod tests {
     fn lookup_by_name() {
         assert!(by_name("sha").is_some());
         assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn memory_bound_extras_registered() {
+        let m = memory_bound();
+        assert_eq!(m.iter().map(|w| w.name).collect::<Vec<_>>(), ["saxpy", "listwalk"]);
+        assert_eq!(extended().len(), all().len() + 2);
+        assert!(by_name("saxpy").is_some());
+        assert!(by_name("listwalk").is_some());
     }
 }

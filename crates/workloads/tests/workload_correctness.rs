@@ -104,4 +104,6 @@ workload_tests! {
     bzip2 => "256.bzip2";
     twolf => "300.twolf";
     mgrid => "172.mgrid";
+    saxpy => "saxpy";
+    listwalk => "listwalk";
 }

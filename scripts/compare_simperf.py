@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over simperf output.
+
+Compares a fresh ``simperf --smoke`` run against the checked-in
+baseline (``BENCH_simperf.json``) and fails when:
+
+* any workload's simulated cycle count differs from the baseline and
+  the PR did not update the baseline file itself (``sim_cycles`` is a
+  pure function of the model, so an unacknowledged change means the
+  default perfect-L2 configuration silently changed behaviour); or
+* the suite's aggregate host throughput (total simulated cycles per
+  total gated host-second) regressed by more than the tolerance
+  (default 15%), baseline update or not.
+
+Usage:
+    compare_simperf.py BASELINE CURRENT [--baseline-updated]
+                       [--tolerance 0.15]
+
+``--baseline-updated`` tells the gate that the change under test also
+updates ``BENCH_simperf.json``; simulated-cycle differences are then
+accepted (they are exactly what the update records), while the
+throughput check still applies.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    rows = {w["name"]: w for w in doc["workloads"]}
+    if not rows:
+        sys.exit(f"{path}: no workloads recorded")
+    return rows
+
+
+def aggregate_throughput(rows):
+    cycles = sum(w["sim_cycles"] for w in rows.values())
+    secs = sum(w["gated_secs"] for w in rows.values())
+    if secs <= 0:
+        sys.exit("non-positive total host time in simperf output")
+    return cycles / secs
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--baseline-updated", action="store_true")
+    ap.add_argument("--tolerance", type=float, default=0.15)
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+    errors = []
+
+    missing = sorted(set(base) - set(cur))
+    added = sorted(set(cur) - set(base))
+    if (missing or added) and not args.baseline_updated:
+        errors.append(
+            f"workload set changed without a baseline update "
+            f"(missing: {missing or 'none'}, added: {added or 'none'})"
+        )
+
+    for name in sorted(set(base) & set(cur)):
+        b, c = base[name]["sim_cycles"], cur[name]["sim_cycles"]
+        if b != c:
+            msg = f"{name}: sim_cycles {b} -> {c}"
+            if args.baseline_updated:
+                print(f"note: {msg} (accepted: baseline updated in this change)")
+            else:
+                errors.append(
+                    f"{msg} — simulated behaviour changed; if intentional, "
+                    f"regenerate and commit BENCH_simperf.json in the same change"
+                )
+
+    base_tp = aggregate_throughput(base)
+    cur_tp = aggregate_throughput(cur)
+    ratio = cur_tp / base_tp
+    print(
+        f"host throughput: baseline {base_tp:,.0f} cyc/s, "
+        f"current {cur_tp:,.0f} cyc/s ({ratio:.2%} of baseline)"
+    )
+    if ratio < 1.0 - args.tolerance:
+        errors.append(
+            f"host throughput regressed to {ratio:.2%} of baseline "
+            f"(gate: {1.0 - args.tolerance:.0%})"
+        )
+
+    if errors:
+        print("\nperf gate FAILED:", file=sys.stderr)
+        for e in errors:
+            print(f"  - {e}", file=sys.stderr)
+        sys.exit(1)
+    print("perf gate passed")
+
+
+if __name__ == "__main__":
+    main()

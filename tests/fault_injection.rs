@@ -13,7 +13,8 @@
 //! (the helper it calls is [`assert_plan_matches_oracle`]).
 
 use trips::core::{
-    ChainDelay, CoreConfig, FaultPlan, FaultPort, LinkFault, Processor, Ratio, SimError,
+    ChainDelay, CoreConfig, FaultPlan, FaultPort, LinkFault, MemBackend, OcnFault, Processor,
+    Ratio, SimError,
 };
 use trips::tasm::Quality;
 use trips::workloads::suite;
@@ -36,6 +37,24 @@ fn assert_plan_matches_oracle(workload: &str, quality: Quality, plan: &FaultPlan
     }
 }
 
+/// [`assert_plan_matches_oracle`] under the NUCA secondary backend —
+/// the entry point for reproducers `protofuzz` found on its NUCA
+/// seeds (`seed % 4 == 3`), where OCN link stalls also perturb fill
+/// and store-acknowledgement timing.
+fn assert_plan_matches_oracle_nuca(workload: &str, quality: Quality, plan: &FaultPlan) {
+    let wl = suite::by_name(workload).expect("workload registered in the suite");
+    let oracle = Oracle::build(&wl, quality);
+    if let Err(why) = fuzz::run_against_oracle_with(
+        &oracle,
+        MemBackend::nuca_prototype(),
+        Some(plan),
+        true,
+        REPRO_MAX_CYCLES,
+    ) {
+        panic!("{workload} ({quality:?}, nuca) under plan seed {:#x}: {why}", plan.seed);
+    }
+}
+
 /// Minimized protofuzz reproducer (seed 0x1).
 ///
 /// Chain delays let a neighbour RT flush and redispatch early, so its
@@ -51,6 +70,7 @@ fn protofuzz_repro_matrix_1() {
         seed: 0x1,
         rotate_arbitration: false,
         links: vec![],
+        ocn_links: vec![],
         chain_delay: Some(ChainDelay { chance: Ratio { num: 1, den: 8 }, max_extra: 4 }),
         flush_storm: None,
     };
@@ -72,6 +92,7 @@ fn protofuzz_repro_matrix_4() {
         seed: 0x4,
         rotate_arbitration: false,
         links: vec![],
+        ocn_links: vec![],
         chain_delay: Some(ChainDelay { chance: Ratio { num: 1, den: 8 }, max_extra: 5 }),
         flush_storm: None,
     };
@@ -95,6 +116,7 @@ fn protofuzz_repro_matrix_d() {
         seed: 0xd,
         rotate_arbitration: false,
         links: vec![],
+        ocn_links: vec![],
         chain_delay: Some(ChainDelay { chance: Ratio { num: 1, den: 4 }, max_extra: 4 }),
         flush_storm: None,
     };
@@ -118,6 +140,7 @@ fn protofuzz_repro_dct8x8_48() {
         seed: 0x48,
         rotate_arbitration: true,
         links: vec![],
+        ocn_links: vec![],
         chain_delay: Some(ChainDelay { chance: Ratio { num: 1, den: 2 }, max_extra: 5 }),
         flush_storm: Some(Ratio { num: 1, den: 16 }),
     };
@@ -142,6 +165,7 @@ fn deliberate_deadlock_is_diagnosed() {
             chance: Ratio { num: 1, den: 1 },
             max_burst: u64::MAX,
         }],
+        ocn_links: vec![],
         chain_delay: None,
         flush_storm: None,
     };
@@ -187,6 +211,39 @@ fn inert_fault_plan_is_bit_identical() {
         clean.2.diff(&probed.2, 1).is_empty(),
         "memory must be bit-identical under an inert probe"
     );
+}
+
+/// An OCN-only plan under the NUCA backend: stalled secondary-system
+/// links delay MSHR fills, I-cache refills, and store-completion
+/// acknowledgements, but the commit protocol must absorb every delay —
+/// architectural state stays bit-exact against the oracle and the
+/// conservation invariants hold every tick.
+#[test]
+fn ocn_stalls_under_nuca_match_oracle() {
+    let plan = FaultPlan {
+        seed: 0x0c9,
+        rotate_arbitration: false,
+        links: vec![],
+        ocn_links: vec![
+            OcnFault {
+                row: 1,
+                col: 0,
+                port: FaultPort::Eject,
+                chance: Ratio { num: 1, den: 2 },
+                max_burst: 6,
+            },
+            OcnFault {
+                row: 5,
+                col: 3,
+                port: FaultPort::West,
+                chance: Ratio { num: 1, den: 4 },
+                max_burst: 3,
+            },
+        ],
+        chain_delay: None,
+        flush_storm: None,
+    };
+    assert_plan_matches_oracle_nuca("matrix", Quality::Hand, &plan);
 }
 
 /// The invariant checker itself must pass on clean (unfaulted) runs of
