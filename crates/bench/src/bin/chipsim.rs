@@ -1,0 +1,177 @@
+//! Dual-core chip contention benchmark.
+//!
+//! Runs every pairing in the workload pair table twice over: each
+//! workload solo (a single `Processor` on its own prototype NUCA —
+//! bit-identical to a one-core chip, as `tests/chip_equivalence.rs`
+//! pins) and the pair together on a two-core [`Chip`] sharing one
+//! NUCA. Reports each core's slowdown under contention, the bank
+//! arbiter's cross-core conflict stalls, and the per-core OCN
+//! occupancy high-water marks.
+//!
+//! Flags:
+//!   --smoke   one contended pairing + one compute control (CI)
+//!
+//! Writes `BENCH_chipsim.json` in the current directory (same
+//! `workloads[].{name, sim_cycles, gated_secs}` shape the perf gate
+//! diffs). Exits nonzero if the memory-bound pairing shows no
+//! cross-core bank conflicts — a chip that cannot contend is not
+//! modelling shared memory.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use trips_core::{Chip, ChipConfig, CoreConfig, MemBackend, Processor};
+use trips_harness::{num_threads, parallel_map};
+use trips_mem::MemConfig;
+use trips_tasm::Quality;
+use trips_workloads::{suite, Workload};
+
+const MAX_CYCLES: u64 = trips_bench::MAX_CYCLES;
+
+struct PairPerf {
+    name: String,
+    chip_cycles: u64,
+    host_secs: f64,
+    core_cycles: [u64; 2],
+    slowdown: [f64; 2],
+    conflict_stalls: u64,
+    ocn_highwater: [usize; 2],
+}
+
+fn solo_cycles(wl: &Workload) -> u64 {
+    let image = wl.build_trips(Quality::Hand).expect("compiles").image;
+    let mut cpu = Processor::new(CoreConfig {
+        mem_backend: MemBackend::nuca_prototype(),
+        ..CoreConfig::prototype()
+    });
+    cpu.run(&image, MAX_CYCLES).unwrap_or_else(|e| panic!("{} solo: {e}", wl.name)).cycles
+}
+
+fn run_pair(a: &Workload, b: &Workload, solo: &HashMap<&'static str, u64>) -> PairPerf {
+    let images = [
+        a.build_trips(Quality::Hand).expect("compiles").image,
+        b.build_trips(Quality::Hand).expect("compiles").image,
+    ];
+    let mut chip =
+        Chip::new(ChipConfig::with_cores(2, CoreConfig::prototype(), MemConfig::prototype()));
+    let start = Instant::now();
+    let stats =
+        chip.run(&images, MAX_CYCLES).unwrap_or_else(|e| panic!("{}+{}: {e}", a.name, b.name));
+    let host_secs = start.elapsed().as_secs_f64();
+    let core_cycles = [stats.cores[0].cycles, stats.cores[1].cycles];
+    let slowdown =
+        [core_cycles[0] as f64 / solo[a.name] as f64, core_cycles[1] as f64 / solo[b.name] as f64];
+    PairPerf {
+        name: format!("{}+{}", a.name, b.name),
+        chip_cycles: stats.cycles,
+        host_secs,
+        core_cycles,
+        slowdown,
+        conflict_stalls: stats.total_conflict_stalls(),
+        ocn_highwater: [stats.ocn_tag_highwater[0], stats.ocn_tag_highwater[1]],
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let threads = num_threads();
+
+    let mut pairs = suite::pairs();
+    if smoke {
+        // One contended memory-bound pairing plus the compute control.
+        pairs.retain(|(a, b)| {
+            (a.name, b.name) == ("listwalk", "saxpy") || (a.name, b.name) == ("dct8x8", "sha")
+        });
+    }
+
+    let mut names: Vec<Workload> = Vec::new();
+    for (a, b) in &pairs {
+        for wl in [a, b] {
+            if !names.iter().any(|w| w.name == wl.name) {
+                names.push(*wl);
+            }
+        }
+    }
+
+    println!(
+        "chipsim: dual-core shared-NUCA contention ({} pairs, {threads} thread(s))",
+        pairs.len()
+    );
+    println!();
+
+    let solo: HashMap<&'static str, u64> = names
+        .iter()
+        .map(|w| w.name)
+        .zip(parallel_map(names.clone(), threads, |wl| solo_cycles(&wl)))
+        .collect();
+
+    let rows = parallel_map(pairs.clone(), threads, |(a, b)| run_pair(&a, &b, &solo));
+
+    println!(
+        "{:<20} {:>12} {:>10} {:>10} {:>9} {:>9} {:>10} {:>9}",
+        "pair",
+        "chip cycles",
+        "c0 cycles",
+        "c1 cycles",
+        "c0 slow",
+        "c1 slow",
+        "bank conf",
+        "ocn hw"
+    );
+    for r in &rows {
+        println!(
+            "{:<20} {:>12} {:>10} {:>10} {:>8.3}x {:>8.3}x {:>10} {:>4}/{:<4}",
+            r.name,
+            r.chip_cycles,
+            r.core_cycles[0],
+            r.core_cycles[1],
+            r.slowdown[0],
+            r.slowdown[1],
+            r.conflict_stalls,
+            r.ocn_highwater[0],
+            r.ocn_highwater[1],
+        );
+    }
+
+    // Hand-built JSON: the container has no serde. Same row shape the
+    // perf gate diffs (`name`, `sim_cycles`, `gated_secs`).
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str("  \"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"sim_cycles\": {}, \"gated_secs\": {:.6}, \
+             \"core_cycles\": [{}, {}], \"slowdown\": [{:.4}, {:.4}], \
+             \"bank_conflict_stalls\": {}, \"ocn_tag_highwater\": [{}, {}]}}{}\n",
+            r.name,
+            r.chip_cycles,
+            r.host_secs,
+            r.core_cycles[0],
+            r.core_cycles[1],
+            r.slowdown[0],
+            r.slowdown[1],
+            r.conflict_stalls,
+            r.ocn_highwater[0],
+            r.ocn_highwater[1],
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_chipsim.json", &json).expect("write BENCH_chipsim.json");
+    println!("\nwrote BENCH_chipsim.json");
+
+    // A chip that never contends is not modelling a shared NUCA.
+    let contended = rows
+        .iter()
+        .find(|r| r.name == "listwalk+saxpy")
+        .expect("the listwalk+saxpy pairing is always in the run");
+    if contended.conflict_stalls == 0 {
+        eprintln!("chipsim: FAIL — listwalk+saxpy produced no cross-core bank conflicts");
+        std::process::exit(1);
+    }
+    if !contended.slowdown.iter().any(|&s| s > 1.0) {
+        eprintln!("chipsim: FAIL — listwalk+saxpy shows no per-core slowdown under contention");
+        std::process::exit(1);
+    }
+}

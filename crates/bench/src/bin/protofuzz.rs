@@ -23,9 +23,13 @@
 //! Every fourth seed (`seed % 4 == 3`) runs under the NUCA secondary
 //! backend instead of the perfect L2, so the OCN fill/ack plumbing and
 //! the store-acknowledgement commit gating fuzz alongside the §4 core
-//! protocols. The choice is a pure function of the seed, so a seed
-//! reproduces identically in the sweep, the shrinker, and a repro
-//! test.
+//! protocols. Every eighth seed (`seed % 8 == 5`) instead runs on a
+//! **dual-core chip** sharing one NUCA — OCN faults with both cores
+//! live, a deterministically-chosen co-runner on core 1, and each core
+//! compared against its own oracle (contention is timing-only, so a
+//! divergence still indicts the protocols). Both choices are pure
+//! functions of the seed, so a seed reproduces identically in the
+//! sweep, the shrinker, and a repro test.
 
 use std::process::ExitCode;
 
@@ -112,12 +116,22 @@ fn parse_args() -> Result<Args, String> {
 /// shrink-and-report pipeline without a real bug.
 fn case_failure(
     oracle: &Oracle,
+    chip_with: Option<&Oracle>,
     plan: &FaultPlan,
     nuca: bool,
     gate: bool,
     demo: bool,
     max_cycles: u64,
 ) -> Option<String> {
+    if let Some(co) = chip_with {
+        return match fuzz::run_chip_against_oracles(&[oracle, co], Some(plan), gate, max_cycles) {
+            Err(e) => Some(e),
+            Ok(stats) if demo && stats.cores.iter().any(|c| c.protocol.forced_flushes > 0) => {
+                Some("demo bug: forced flush storm(s) observed on a chip core".into())
+            }
+            Ok(_) => None,
+        };
+    }
     let backend = if nuca { MemBackend::nuca_prototype() } else { MemBackend::prototype() };
     match fuzz::run_against_oracle_with(oracle, backend, Some(plan), gate, max_cycles) {
         Err(e) => Some(e),
@@ -127,6 +141,12 @@ fn case_failure(
         )),
         Ok(_) => None,
     }
+}
+
+/// The dual-core co-runner for a chip seed: a second oracle chosen as
+/// a pure function of the seed (may equal the primary).
+fn chip_co_index(seed: u64, n: usize) -> usize {
+    ((seed / 8) % n as u64) as usize
 }
 
 fn main() -> ExitCode {
@@ -170,17 +190,20 @@ fn main() -> ExitCode {
     let failures: Vec<FuzzFailure> = parallel_map(cases, args.threads, |(seed, oi)| {
         let oracle = &oracles[oi];
         let plan = FaultPlan::random(seed);
+        let chip = seed % 8 == 5;
         let nuca = seed % 4 == 3;
-        case_failure(oracle, &plan, nuca, args.gate, args.demo_bug, args.max_cycles).map(|why| {
-            FuzzFailure {
+        let co = chip.then(|| &oracles[chip_co_index(seed, oracles.len())]);
+        case_failure(oracle, co, &plan, nuca, args.gate, args.demo_bug, args.max_cycles).map(
+            |why| FuzzFailure {
                 seed,
                 workload: oracle.name.clone(),
                 quality: oracle.quality,
                 nuca,
+                co_runner: co.map(|o| o.name.clone()),
                 plan,
                 why,
-            }
-        })
+            },
+        )
     })
     .into_iter()
     .flatten()
@@ -197,36 +220,61 @@ fn main() -> ExitCode {
 
     eprintln!("protofuzz: {} failing plan(s); minimizing the first", failures.len());
     for f in failures.iter().take(10) {
+        let mode = match &f.co_runner {
+            Some(co) => format!(", chip with {co}"),
+            None if f.nuca => ", nuca".into(),
+            None => String::new(),
+        };
         eprintln!(
-            "  seed {:#x} on {} ({:?}{}): {}",
+            "  seed {:#x} on {} ({:?}{mode}): {}",
             f.seed,
             f.workload,
             f.quality,
-            if f.nuca { ", nuca" } else { "" },
             first_line(&f.why)
         );
     }
 
     let fail = &failures[0];
     let oracle = &oracles[args.workloads.iter().position(|w| *w == fail.workload).unwrap_or(0)];
+    let co_oracle = fail
+        .co_runner
+        .as_ref()
+        .map(|co| &oracles[args.workloads.iter().position(|w| w == co).unwrap_or(0)]);
     let (shrunk, shrunk_why) = fuzz::shrink(fail.plan.clone(), fail.why.clone(), |p| {
-        case_failure(oracle, p, fail.nuca, args.gate, args.demo_bug, args.max_cycles)
+        case_failure(oracle, co_oracle, p, fail.nuca, args.gate, args.demo_bug, args.max_cycles)
     });
     eprintln!("protofuzz: shrunk plan:\n{}", shrunk.to_rust_literal());
     eprintln!("protofuzz: still fails with: {}", first_line(&shrunk_why));
 
-    let artifact =
-        fuzz::failure_artifact(oracle, fail, &shrunk, &shrunk_why, args.gate, args.max_cycles);
+    let artifact = match co_oracle {
+        Some(co) => fuzz::failure_artifact_chip(
+            &[oracle, co],
+            fail,
+            &shrunk,
+            &shrunk_why,
+            args.gate,
+            args.max_cycles,
+        ),
+        None => {
+            fuzz::failure_artifact(oracle, fail, &shrunk, &shrunk_why, args.gate, args.max_cycles)
+        }
+    };
     match std::fs::write(&args.artifact, &artifact) {
         Ok(()) => eprintln!("protofuzz: wrote failure artifact to {}", args.artifact),
         Err(e) => eprintln!("protofuzz: writing {}: {e}", args.artifact),
     }
 
     println!("// ---- paste into tests/fault_injection.rs ----");
-    println!(
-        "{}",
-        fuzz::repro_snippet(&fail.workload, fail.quality, fail.nuca, &shrunk, &shrunk_why)
-    );
+    match &fail.co_runner {
+        Some(co) => println!(
+            "{}",
+            fuzz::repro_snippet_chip(&fail.workload, co, fail.quality, &shrunk, &shrunk_why)
+        ),
+        None => println!(
+            "{}",
+            fuzz::repro_snippet(&fail.workload, fail.quality, fail.nuca, &shrunk, &shrunk_why)
+        ),
+    }
 
     if args.demo_bug {
         // The demo's whole point is to produce the reproducer above;

@@ -15,9 +15,12 @@
 
 use std::fmt::Write as _;
 
-use trips_core::{CoreConfig, CoreStats, FaultPlan, MemBackend, Processor};
+use trips_core::{
+    Chip, ChipConfig, ChipStats, CoreConfig, CoreStats, FaultPlan, MemBackend, Processor,
+};
 use trips_isa::mem::SparseMem;
 use trips_isa::{ArchReg, ProgramImage};
+use trips_mem::MemConfig;
 use trips_tasm::{blockinterp, Quality};
 use trips_workloads::Workload;
 
@@ -116,6 +119,42 @@ pub fn run_against_oracle_with(
     let mut cpu = Processor::new(cfg);
     let stats = cpu.run(&oracle.image, max_cycles).map_err(|e| e.to_string())?;
     compare_arch_state(&cpu, &stats, oracle)?;
+    Ok(stats)
+}
+
+/// Runs one oracle's image per core of a shared-NUCA [`Chip`] under
+/// `plan`, invariants (including the chip-level conservation audit)
+/// checked every cycle, then compares every core against its own
+/// oracle. The same plan is installed in every core — its OCN faults
+/// land on the one shared network (taken from core 0, which is where
+/// the chip reads them), so this is the "OCN faults with both cores
+/// live" configuration the nightly sweep wants. Contention is
+/// timing-only, so any per-core divergence is a protocol bug exactly
+/// as in the solo harness.
+///
+/// # Errors
+///
+/// As [`run_against_oracle`], prefixed with the diverging core.
+pub fn run_chip_against_oracles(
+    oracles: &[&Oracle],
+    plan: Option<&FaultPlan>,
+    gate: bool,
+    max_cycles: u64,
+) -> Result<ChipStats, String> {
+    let core_cfg = CoreConfig {
+        gate_ticks: gate,
+        faults: plan.cloned(),
+        check_invariants: true,
+        ..CoreConfig::prototype()
+    };
+    let mut chip =
+        Chip::new(ChipConfig::with_cores(oracles.len(), core_cfg, MemConfig::prototype()));
+    let images: Vec<ProgramImage> = oracles.iter().map(|o| o.image.clone()).collect();
+    let stats = chip.run(&images, max_cycles).map_err(|e| e.to_string())?;
+    for (k, oracle) in oracles.iter().enumerate() {
+        compare_arch_state(chip.core(k), &stats.cores[k], oracle)
+            .map_err(|e| format!("core {k} ({}): {e}", oracle.name))?;
+    }
     Ok(stats)
 }
 
@@ -248,6 +287,9 @@ pub struct FuzzFailure {
     pub quality: Quality,
     /// Whether the run used the NUCA secondary backend.
     pub nuca: bool,
+    /// For dual-core chip cases: the co-runner workload on core 1
+    /// (the run then used the shared NUCA regardless of `nuca`).
+    pub co_runner: Option<String>,
     /// The full (unshrunk) failing plan.
     pub plan: FaultPlan,
     /// Failure description from [`run_against_oracle`].
@@ -301,6 +343,95 @@ pub fn failure_artifact(
     let _ = writeln!(s, "  \"chrome_trace\": {}", cpu.tracer().chrome_trace().trim_end());
     s.push('}');
     s.push('\n');
+    s
+}
+
+/// [`failure_artifact`] for a dual-core chip case: re-runs the shrunk
+/// plan on the chip with every core's flight recorder on and embeds
+/// the combined per-core Chrome trace plus each core's hang report.
+pub fn failure_artifact_chip(
+    oracles: &[&Oracle],
+    fail: &FuzzFailure,
+    shrunk: &FaultPlan,
+    shrunk_why: &str,
+    gate: bool,
+    max_cycles: u64,
+) -> String {
+    let core_cfg = CoreConfig {
+        gate_ticks: gate,
+        faults: Some(shrunk.clone()),
+        check_invariants: true,
+        ..CoreConfig::prototype()
+    };
+    let mut chip =
+        Chip::new(ChipConfig::with_cores(oracles.len(), core_cfg, MemConfig::prototype()));
+    chip.enable_tracing(1 << 14);
+    let images: Vec<ProgramImage> = oracles.iter().map(|o| o.image.clone()).collect();
+    let rerun = chip.run(&images, max_cycles);
+    let hangs: Vec<String> = (0..oracles.len())
+        .map(|k| format!("core {k}: {}", chip.core(k).diagnose().summary()))
+        .collect();
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"workload\": \"{}\",", json_escape(&fail.workload));
+    let _ = writeln!(
+        s,
+        "  \"co_runner\": \"{}\",",
+        json_escape(fail.co_runner.as_deref().unwrap_or(""))
+    );
+    let _ = writeln!(s, "  \"quality\": \"{:?}\",", fail.quality);
+    let _ = writeln!(s, "  \"backend\": \"chip\",");
+    let _ = writeln!(s, "  \"seed\": {},", fail.seed);
+    let _ = writeln!(s, "  \"failure\": \"{}\",", json_escape(&fail.why));
+    let _ = writeln!(s, "  \"plan\": \"{}\",", json_escape(&fail.plan.to_rust_literal()));
+    let _ = writeln!(s, "  \"shrunk_plan\": \"{}\",", json_escape(&shrunk.to_rust_literal()));
+    let _ = writeln!(s, "  \"shrunk_failure\": \"{}\",", json_escape(shrunk_why));
+    let _ = writeln!(
+        s,
+        "  \"rerun\": \"{}\",",
+        json_escape(&match &rerun {
+            Ok(st) => format!(
+                "ran to halt: {} chip cycles, {:?} blocks",
+                st.cycles,
+                st.cores.iter().map(|c| c.blocks_committed).collect::<Vec<_>>()
+            ),
+            Err(e) => e.to_string(),
+        })
+    );
+    let _ = writeln!(s, "  \"hang_report\": \"{}\",", json_escape(&hangs.join("; ")));
+    let _ = writeln!(s, "  \"chrome_trace\": {}", chip.chrome_trace().trim_end());
+    s.push('}');
+    s.push('\n');
+    s
+}
+
+/// [`repro_snippet`] for a dual-core chip failure: pastes into
+/// `tests/fault_injection.rs`, which provides
+/// `assert_chip_plan_matches_oracles`.
+pub fn repro_snippet_chip(
+    workload: &str,
+    co_runner: &str,
+    quality: Quality,
+    plan: &FaultPlan,
+    why: &str,
+) -> String {
+    let mut s = String::new();
+    let ident: String = format!("{workload}_{co_runner}")
+        .chars()
+        .map(|c| if c.is_alphanumeric() { c } else { '_' })
+        .collect();
+    let _ = writeln!(s, "/// Minimized protofuzz chip reproducer (seed {:#x}).", plan.seed);
+    for line in why.lines().take(4) {
+        let _ = writeln!(s, "/// Failure: {line}");
+    }
+    let _ = writeln!(s, "#[test]");
+    let _ = writeln!(s, "fn protofuzz_repro_chip_{ident}_{:x}() {{", plan.seed);
+    let _ = writeln!(s, "    let plan = {};", indent_continuation(&plan.to_rust_literal(), 4));
+    let _ = writeln!(
+        s,
+        "    assert_chip_plan_matches_oracles(\"{workload}\", \"{co_runner}\", \
+         Quality::{quality:?}, &plan);"
+    );
+    let _ = writeln!(s, "}}");
     s
 }
 

@@ -1,0 +1,345 @@
+//! The TRIPS chip: N cores in lockstep around one shared NUCA.
+//!
+//! The prototype die carries **two** processor cores and a single
+//! 1 MB NUCA secondary memory, reached over the 4×10 OCN whose twenty
+//! client ports are split between the cores' L1 banks (§2, §3.6 of
+//! the paper). [`Chip`] reproduces that arrangement: each core is an
+//! unmodified [`Processor`] whose `memsys` adapter is bound to a
+//! disjoint `PortMap` slice of the shared
+//! [`SecondarySystem`], and the chip drives the
+//! inject → OCN/bank tick → drain phases once per cycle for all cores
+//! around the one system.
+//!
+//! **Arbitration.** Within a core the original fixed client order
+//! stands, so a solo core is never restricted — a one-core chip is
+//! bit-identical to the `Processor` + `Nuca` path (pinned by
+//! `tests/chip_equivalence.rs`). Across cores, a per-cycle
+//! round-robin `BankArb` admits only one core's injections per NUCA
+//! bank per cycle; the losing core's client stalls in place (FIFO
+//! order preserved) and the priority rotates every cycle, so the wait
+//! for a contested bank is bounded by `ncores − 1` cycles.
+//!
+//! **What is (and is not) coherent.** Nothing is: the cores run
+//! disjoint address spaces — each adapter offsets its physical
+//! addresses by a per-core base so lines never alias in the shared
+//! bank tags — and data authority stays with each core's own memory
+//! image (the backend is timing-only, as in DESIGN.md §5d).
+//! Contention is therefore purely a *timing* interaction: per-core
+//! architectural results are independent of the co-runner, which the
+//! equivalence suite asserts across workload pairs.
+
+use trips_isa::ProgramImage;
+use trips_mem::{MemConfig, SecondarySystem};
+use trips_micronet::MAX_TAGS;
+
+use crate::memsys::{BankArb, MemSys};
+use crate::proc::{Processor, SimError};
+use crate::stats::CoreStats;
+use crate::trace::{chrome_trace_chip, Tracer};
+use crate::CoreConfig;
+
+/// Configuration of a [`Chip`]: one [`CoreConfig`] per core plus the
+/// shared secondary system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipConfig {
+    /// Per-core configurations. `mem_backend` is ignored — every core
+    /// of a chip shares [`ChipConfig::mem`]; OCN faults are taken from
+    /// core 0's fault plan (the OCN is chip-level hardware), while
+    /// OPN/chain faults stay per-core.
+    pub cores: Vec<CoreConfig>,
+    /// The shared NUCA secondary system.
+    pub mem: MemConfig,
+}
+
+impl ChipConfig {
+    /// The prototype chip: two cores on the §3.6 NUCA.
+    pub fn prototype() -> ChipConfig {
+        ChipConfig { cores: vec![CoreConfig::prototype(); 2], mem: MemConfig::prototype() }
+    }
+
+    /// A chip of `n` identical cores (1 or 2 — the OCN has twenty
+    /// client ports).
+    pub fn with_cores(n: usize, core: CoreConfig, mem: MemConfig) -> ChipConfig {
+        ChipConfig { cores: vec![core; n], mem }
+    }
+}
+
+/// Chip-level statistics: everything a single [`CoreStats`] cannot
+/// express because it belongs to the shared fabric.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChipStats {
+    /// Per-core run statistics, snapshotted at each core's own halt
+    /// time (the per-core NUCA round-trip histogram is
+    /// `cores[k].mem.fill_latency`).
+    pub cores: Vec<CoreStats>,
+    /// Chip cycles until the last core halted.
+    pub cycles: u64,
+    /// Per-bank cross-core conflict stalls from the round-robin bank
+    /// arbiter (all zero for a single-core chip).
+    pub bank_conflict_stalls: Vec<u64>,
+    /// Per-core high-water marks of in-flight OCN packets (tagged at
+    /// injection; index = core).
+    pub ocn_tag_highwater: Vec<usize>,
+    /// Per-core OCN `(injected, ejected)` packet counts.
+    pub ocn_tag_counts: Vec<(u64, u64)>,
+}
+
+impl ChipStats {
+    /// Total cross-core bank conflict stalls.
+    pub fn total_conflict_stalls(&self) -> u64 {
+        self.bank_conflict_stalls.iter().sum()
+    }
+}
+
+/// N cores ticked in lockstep around one shared [`SecondarySystem`].
+pub struct Chip {
+    cores: Vec<Processor>,
+    sys: SecondarySystem,
+    arb: BankArb,
+    cfg: ChipConfig,
+    /// Round-robin injection priority: core `rr` injects first this
+    /// cycle.
+    rr: usize,
+    cycle: u64,
+    /// Each core's stats, captured the cycle it halted.
+    finished: Vec<Option<CoreStats>>,
+}
+
+impl Chip {
+    /// Builds the chip: one [`Processor`] per entry of `cfg.cores`,
+    /// all bound to one shared secondary system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.cores` is empty or holds more cores than the
+    /// OCN has client-port slices for (two).
+    pub fn new(cfg: ChipConfig) -> Chip {
+        let n = cfg.cores.len();
+        assert!(n >= 1, "a chip has at least one core");
+        const _: () = assert!(2 <= MAX_TAGS, "core tags must fit the OCN tag space");
+        assert!(n <= 2, "the OCN seats at most two cores");
+        let cores: Vec<Processor> = cfg.cores.iter().cloned().map(Processor::new).collect();
+        let sys = Chip::build_sys(&cfg);
+        let banks = cfg.mem.banks;
+        Chip { cores, sys, arb: BankArb::new(banks), cfg, rr: 0, cycle: 0, finished: vec![None; n] }
+    }
+
+    fn build_sys(cfg: &ChipConfig) -> SecondarySystem {
+        let mut sys = SecondarySystem::new(cfg.mem.clone());
+        if let Some(plan) = &cfg.cores[0].faults {
+            sys.set_ocn_fault(plan.ocn_fault().as_ref());
+        }
+        for (k, _) in cfg.cores.iter().enumerate() {
+            for port in MemSys::ports_for_core(k).ports() {
+                sys.set_port_tag(port, k as u8);
+            }
+        }
+        sys
+    }
+
+    /// Number of cores.
+    pub fn ncores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Core `k`, for inspecting architectural state after a run.
+    pub fn core(&self, k: usize) -> &Processor {
+        &self.cores[k]
+    }
+
+    /// The shared secondary system.
+    pub fn secondary(&self) -> &SecondarySystem {
+        &self.sys
+    }
+
+    /// Turns on every core's flight recorder (`capacity` events each).
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        for core in &mut self.cores {
+            core.enable_tracing(capacity);
+        }
+    }
+
+    /// The combined Chrome trace: one process per core, one lane per
+    /// tile (see [`chrome_trace_chip`]).
+    pub fn chrome_trace(&self) -> String {
+        let tracers: Vec<&Tracer> = self.cores.iter().map(Processor::tracer).collect();
+        chrome_trace_chip(&tracers)
+    }
+
+    /// Runs one program image per core until every core halts or
+    /// `max_cycles` chip cycles elapse. Cores that halt early keep
+    /// draining their share of the OCN traffic while the rest run.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Timeout`] (diagnosing the first still-running
+    /// core) or [`SimError::Invariant`] when a per-core invariant or
+    /// the chip-level conservation audit fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `images.len()` equals the core count.
+    pub fn run(&mut self, images: &[ProgramImage], max_cycles: u64) -> Result<ChipStats, SimError> {
+        assert_eq!(images.len(), self.cores.len(), "one program image per core");
+        // Reset chip-level state for back-to-back runs.
+        self.sys = Chip::build_sys(&self.cfg);
+        self.arb = BankArb::new(self.cfg.mem.banks);
+        self.rr = 0;
+        self.cycle = 0;
+        self.finished = vec![None; self.cores.len()];
+        for (k, core) in self.cores.iter_mut().enumerate() {
+            core.start(&images[k]);
+            // `start` rebuilt the core-owned backend from its config;
+            // a chip core instead adapts to the shared system.
+            core.memsys = MemSys::shared(k);
+        }
+        let check = self.cfg.cores.iter().any(|c| c.check_invariants);
+        while !self.cores.iter().all(Processor::halted) {
+            if self.cycle >= max_cycles {
+                let k = self.cores.iter().position(|c| !c.halted()).expect("an unhalted core");
+                return Err(SimError::Timeout {
+                    cycles: self.cycle,
+                    blocks_committed: self.cores[k].stats.blocks_committed,
+                    diagnosis: Box::new(self.cores[k].diagnose()),
+                });
+            }
+            self.tick();
+            if check {
+                self.check_invariants()?;
+            }
+            for k in 0..self.cores.len() {
+                if self.cores[k].halted() && self.finished[k].is_none() {
+                    self.cores[k].memsys.absorb_sys(&self.sys);
+                    self.finished[k] = Some(self.cores[k].finish_stats());
+                }
+            }
+        }
+        let stats = self.collect_stats();
+        if check {
+            // Leak check, as in the solo path: after every core halts,
+            // the whole chip — cores and the shared system — must
+            // drain.
+            if !self.drain(10_000) {
+                return Err(SimError::Invariant {
+                    cycle: self.cycle,
+                    violation: format!(
+                        "chip failed to quiesce within 10000 cycles after halt: {}",
+                        self.cores
+                            .iter()
+                            .map(|c| c.diagnose().summary())
+                            .collect::<Vec<_>>()
+                            .join("; ")
+                    ),
+                });
+            }
+            self.check_invariants()?;
+        }
+        Ok(stats)
+    }
+
+    fn collect_stats(&mut self) -> ChipStats {
+        let tag_hw = self.sys.ocn_tag_highwater();
+        let tag_counts = self.sys.ocn_tag_counts();
+        let n = self.cores.len();
+        ChipStats {
+            cores: self.finished.iter().map(|s| s.clone().expect("core finished")).collect(),
+            cycles: self.cycle,
+            bank_conflict_stalls: self.arb.conflict_stalls.clone(),
+            ocn_tag_highwater: tag_hw[..n].to_vec(),
+            ocn_tag_counts: tag_counts[..n].to_vec(),
+        }
+    }
+
+    /// One chip cycle: every core's tiles and micronets tick (a
+    /// halted core is near-quiesced, so its gated tick is cheap and
+    /// lets it keep consuming late completions), then the shared
+    /// memory phase runs — inject per core in rotating priority
+    /// order, tick the OCN and banks once, drain responses per core.
+    /// The phase is skipped entirely when every adapter is quiet,
+    /// mirroring the solo fast path.
+    fn tick(&mut self) {
+        let now = self.cycle;
+        for core in &mut self.cores {
+            // A halted core ticks too: its clock stays in lockstep
+            // and its tiles consume still-arriving completions (its
+            // stats were snapshotted the cycle it halted).
+            core.tick();
+        }
+        if self.cores.iter().any(|c| !c.memsys.quiet()) {
+            self.arb.begin_cycle();
+            let n = self.cores.len();
+            for i in 0..n {
+                let k = (self.rr + i) % n;
+                let Processor { memsys, tracer, .. } = &mut self.cores[k];
+                memsys.shared_inject(now, &mut self.sys, tracer, &mut self.arb, k as u8);
+            }
+            self.sys.tick(now);
+            for core in &mut self.cores {
+                let Processor { memsys, tracer, .. } = core;
+                memsys.shared_drain(now, &mut self.sys, tracer);
+            }
+        }
+        self.rr = (self.rr + 1) % self.cores.len();
+        self.cycle += 1;
+    }
+
+    /// Ticks until every core quiesces (or `budget` runs out);
+    /// returns whether the chip quiesced.
+    pub fn drain(&mut self, budget: u64) -> bool {
+        for _ in 0..budget {
+            if self.quiesced() {
+                return true;
+            }
+            self.tick();
+        }
+        self.quiesced()
+    }
+
+    /// True when every core has quiesced and nothing is left in the
+    /// shared system.
+    pub fn quiesced(&self) -> bool {
+        self.cores.iter().all(Processor::quiesced) && self.sys.in_system() == 0
+    }
+
+    /// Chip-level conservation plus every core's own invariant suite:
+    /// the shared OCN's packet accounting balances, and the cores'
+    /// accepted-but-undelivered requests sum to exactly what the
+    /// system holds (no response can be lost *or* misdelivered to
+    /// another core's port without this failing).
+    ///
+    /// # Errors
+    ///
+    /// The first violated invariant as a [`SimError::Invariant`].
+    pub fn check_invariants(&self) -> Result<(), SimError> {
+        for (k, core) in self.cores.iter().enumerate() {
+            core.check_invariants().map_err(|v| SimError::Invariant {
+                cycle: v.cycle,
+                violation: format!("core {k}: {}", v.detail),
+            })?;
+        }
+        self.audit().map_err(|e| SimError::Invariant { cycle: self.cycle, violation: e })
+    }
+
+    /// The chip-wide conservation audit (see
+    /// [`Chip::check_invariants`]).
+    ///
+    /// # Errors
+    ///
+    /// A description of the first violated accounting equation.
+    pub fn audit(&self) -> Result<(), String> {
+        self.sys.audit().map_err(|e| format!("OCN: {e}"))?;
+        let (issued, delivered) = self
+            .cores
+            .iter()
+            .map(|c| c.memsys.flow())
+            .fold((0u64, 0u64), |(i, d), (ci, cd)| (i + ci, d + cd));
+        let in_system = self.sys.in_system() as u64;
+        if issued - delivered != in_system {
+            return Err(format!(
+                "chip conservation broken: Σissued {issued} - Σdelivered {delivered} \
+                 != in-system {in_system}"
+            ));
+        }
+        Ok(())
+    }
+}

@@ -49,6 +49,7 @@
 //! # }
 //! ```
 
+pub mod chip;
 mod config;
 pub mod critpath;
 pub mod diag;
@@ -67,6 +68,7 @@ mod rt;
 mod stats;
 pub mod trace;
 
+pub use chip::{Chip, ChipConfig, ChipStats};
 pub use config::{
     CoreConfig, MemBackend, PredictorConfig, ET_COLS, ET_ROWS, NUM_DTS, NUM_FRAMES, NUM_ITS,
     NUM_RTS, RS_PER_FRAME,

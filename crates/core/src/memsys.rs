@@ -24,6 +24,20 @@
 //! deterministic: pending queues are drained in fixed client order
 //! every tick, and the OCN itself resolves contention with its own
 //! deterministic round-robin.
+//!
+//! ## Sharing one NUCA between cores
+//!
+//! The prototype chip has **two** cores on the same secondary system
+//! (§2), so the client-side state lives in an [`Adapter`] that does
+//! not own the [`SecondarySystem`]: a solo [`Processor`] wraps both
+//! together (`Imp::Owned`, behaviourally identical to the original
+//! single-owner design), while a [`Chip`](crate::chip::Chip) gives
+//! each core an `Imp::Shared` adapter bound to a disjoint
+//! [`PortMap`] slice of the 20 OCN client ports and drives the
+//! inject → `SecondarySystem::tick` → drain phases itself, inserting
+//! a round-robin [`BankArb`] between cores that converge on one bank.
+//!
+//! [`Processor`]: crate::Processor
 
 use std::collections::VecDeque;
 
@@ -52,28 +66,58 @@ impl MemClient {
             MemClient::It(i) => NUM_DTS + i as usize,
         }
     }
+}
 
-    fn of_index(i: usize) -> MemClient {
-        if i < NUM_DTS {
-            MemClient::Dt(i as u8)
+/// A core's slice of the secondary system: which OCN client ports its
+/// DTs and ITs drive, and the physical-address offset that keeps its
+/// lines from aliasing another core's in the shared bank tags.
+///
+/// The prototype gives each L1 bank a private OCN link (§3.6): core 0
+/// keeps the original solo mapping (DTs on west ports 0..4, ITs on
+/// east ports 10..15), core 1 takes the remaining ports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct PortMap {
+    /// First OCN port of the DT clients.
+    dt_base: usize,
+    /// First OCN port of the IT clients.
+    it_base: usize,
+    /// Added to every request address: cores run disjoint address
+    /// spaces (no coherence in the model), so their lines must not
+    /// alias in the shared bank tags. Zero for a solo core.
+    phys_base: u64,
+}
+
+impl PortMap {
+    /// The solo mapping the single-`Processor` path has always used.
+    pub(crate) const SOLO: PortMap = PortMap { dt_base: 0, it_base: 10, phys_base: 0 };
+
+    /// The mapping for core `k` of a chip. Core 0 is exactly
+    /// [`PortMap::SOLO`] — the bit-identity anchor for the
+    /// single-core-chip pin test.
+    pub(crate) fn for_core(k: usize) -> PortMap {
+        assert!(k < 2, "the OCN has 20 client ports: at most 2 cores of {NUM_CLIENTS} clients");
+        PortMap { dt_base: 5 * k, it_base: 10 + 5 * k, phys_base: (k as u64) << 40 }
+    }
+
+    fn port_of(&self, c: usize) -> usize {
+        if c < NUM_DTS {
+            self.dt_base + c
         } else {
-            MemClient::It((i - NUM_DTS) as u8)
+            self.it_base + (c - NUM_DTS)
         }
     }
 
-    /// The client's OCN port: DTs use ports 0..4 on the west edge, ITs
-    /// ports 10..15 on the east edge (the prototype gives each L1 bank
-    /// a private OCN link, §3.6).
-    fn port(self) -> usize {
-        match self {
-            MemClient::Dt(d) => d as usize,
-            MemClient::It(i) => 10 + i as usize,
-        }
+    /// All OCN ports this map drives, for tagging.
+    pub(crate) fn ports(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..NUM_CLIENTS).map(|c| self.port_of(c))
     }
 }
 
 /// Request-id bit marking a line fill; store writebacks carry the
 /// committing frame index instead, so a response is self-describing.
+/// Fill ids also carry the **core-local** line index, so completions
+/// are recovered from the id and never from the (possibly
+/// `phys_base`-offset) address.
 const ID_FILL: u64 = 1 << 63;
 
 /// A completion delivered back to a client tile.
@@ -102,9 +146,55 @@ pub(crate) enum FillPath {
     Queued,
 }
 
-/// State of the NUCA backend.
-struct Nuca {
-    sys: SecondarySystem,
+/// Per-cycle round-robin arbitration between cores converging on one
+/// NUCA bank: within a core the fixed client order stands (so a solo
+/// core is never restricted), but across cores each bank admits
+/// injections from only one core per cycle. The winning order rotates
+/// every cycle, bounding any core's wait for a contested bank to
+/// `ncores - 1` cycles — the starvation-freedom the arbitration tests
+/// pin.
+pub(crate) struct BankArb {
+    /// Which core (if any) holds each bank this cycle.
+    granted: Vec<Option<u8>>,
+    /// Cumulative cross-core conflict stalls per bank.
+    pub(crate) conflict_stalls: Vec<u64>,
+}
+
+impl BankArb {
+    pub(crate) fn new(banks: usize) -> BankArb {
+        BankArb { granted: vec![None; banks], conflict_stalls: vec![0; banks] }
+    }
+
+    /// Clears the per-cycle grants (call once per chip cycle).
+    pub(crate) fn begin_cycle(&mut self) {
+        self.granted.fill(None);
+    }
+
+    /// Whether `core` may inject to `bank` this cycle; a grant holds
+    /// the bank for that core for the rest of the cycle. A refusal is
+    /// recorded as a conflict stall against the bank.
+    fn try_grant(&mut self, bank: usize, core: u8) -> bool {
+        match self.granted[bank] {
+            None => {
+                self.granted[bank] = Some(core);
+                true
+            }
+            Some(owner) if owner == core => true,
+            Some(_) => {
+                self.conflict_stalls[bank] += 1;
+                false
+            }
+        }
+    }
+}
+
+/// Client-side state of a NUCA-backed core: the request/completion
+/// FIFOs, the conservation ledger, and the per-core statistics. Owns
+/// no network — the [`SecondarySystem`] is passed into
+/// [`Adapter::inject`]/[`Adapter::drain`] by whoever owns it (the
+/// solo `MemSys` or the chip).
+struct Adapter {
+    ports: PortMap,
     /// Per-client requests the network has not accepted yet.
     pending: Vec<VecDeque<MemReq>>,
     /// Per-client completions the tile has not consumed yet.
@@ -114,7 +204,7 @@ struct Nuca {
     outstanding: Vec<u64>,
     /// Fill-request issue times, for the miss-latency histogram:
     /// `(client, line, requested_at)`.
-    sent_at: Vec<(usize, u64, u64)>,
+    sent_at: Vec<(u64, u64, u64)>,
     /// Requests accepted into the OCN.
     issued: u64,
     /// Responses popped out of the OCN.
@@ -122,14 +212,168 @@ struct Nuca {
     stats: MemSysStats,
 }
 
-/// The secondary memory system in either backend configuration.
+impl Adapter {
+    fn new(ports: PortMap) -> Adapter {
+        Adapter {
+            ports,
+            pending: vec![VecDeque::new(); NUM_CLIENTS],
+            ready: vec![VecDeque::new(); NUM_CLIENTS],
+            outstanding: vec![0; NUM_CLIENTS],
+            sent_at: Vec::new(),
+            issued: 0,
+            delivered: 0,
+            stats: MemSysStats::default(),
+        }
+    }
+
+    fn push_fill(&mut self, client: MemClient, line: u64) {
+        let c = client.index();
+        debug_assert_eq!(line << 6 >> 6, line, "line index collides with phys_base");
+        self.pending[c]
+            .push_back(MemReq::read_line(ID_FILL | line, self.ports.phys_base | (line << 6)));
+        self.outstanding[c] += 1;
+        match client {
+            MemClient::Dt(_) => self.stats.dside_fills += 1,
+            MemClient::It(_) => self.stats.iside_fills += 1,
+        }
+    }
+
+    fn push_store(&mut self, dt: u8, frame: u8, ea: u64) {
+        let c = MemClient::Dt(dt).index();
+        self.pending[c].push_back(MemReq::write_line(
+            u64::from(frame),
+            self.ports.phys_base | ea,
+            [0; 64],
+        ));
+        self.outstanding[c] += 1;
+        self.stats.store_writebacks += 1;
+    }
+
+    fn quiet(&self) -> bool {
+        self.outstanding.iter().all(|&o| o == 0)
+    }
+
+    /// Injects pending requests into `sys` in fixed client order. With
+    /// an arbiter, a client whose head request is homed at a bank
+    /// another core already holds this cycle stalls in place
+    /// (preserving its FIFO order); without one, only the OCN's own
+    /// backpressure can refuse a request — the solo behaviour.
+    fn inject(
+        &mut self,
+        now: u64,
+        sys: &mut SecondarySystem,
+        tracer: &mut Tracer,
+        mut arb: Option<(&mut BankArb, u8)>,
+    ) {
+        for c in 0..NUM_CLIENTS {
+            let port = self.ports.port_of(c);
+            while let Some(req) = self.pending[c].front() {
+                let is_fill = req.id & ID_FILL != 0;
+                let addr = req.addr;
+                if let Some((arb, core)) = arb.as_mut() {
+                    if !arb.try_grant(sys.home_bank(port, addr), *core) {
+                        self.stats.bank_conflict_stalls += 1;
+                        break;
+                    }
+                }
+                if sys.request(now, port, req.clone()) {
+                    let line = req.id & !ID_FILL;
+                    self.pending[c].pop_front();
+                    self.issued += 1;
+                    if is_fill {
+                        self.sent_at.push((c as u64, line, now));
+                    }
+                    tracer.record(now, || TraceKind::OcnInject {
+                        port: port as u8,
+                        addr,
+                        write: !is_fill,
+                    });
+                } else {
+                    self.stats.inject_stalls += 1;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Steers responses that arrived at this core's ports back into
+    /// the per-client completion queues (consumed by the tiles next
+    /// cycle). Fill lines are recovered from the request id, which
+    /// carries the core-local line index regardless of `phys_base`.
+    fn drain(&mut self, now: u64, sys: &mut SecondarySystem, tracer: &mut Tracer) {
+        for c in 0..NUM_CLIENTS {
+            let port = self.ports.port_of(c);
+            while let Some(resp) = sys.pop_response(now, port) {
+                self.delivered += 1;
+                let is_fill = resp.id & ID_FILL != 0;
+                tracer.record(now, || TraceKind::OcnEject {
+                    port: port as u8,
+                    addr: resp.addr,
+                    write: !is_fill,
+                });
+                if is_fill {
+                    let line = resp.id & !ID_FILL;
+                    if let Some(k) =
+                        self.sent_at.iter().position(|&(sc, sl, _)| sc == c as u64 && sl == line)
+                    {
+                        let (_, _, at) = self.sent_at.swap_remove(k);
+                        // 8-cycle buckets: a NUCA round trip is tens of
+                        // cycles, far past the histogram's 0..31 range.
+                        self.stats.fill_latency.record((now - at) / 8);
+                    }
+                    self.ready[c].push_back(MemEvent::Fill { line });
+                } else {
+                    self.ready[c].push_back(MemEvent::StoreAck { frame: resp.id as u8 });
+                }
+            }
+        }
+    }
+
+    /// Updates the outstanding high-water mark (end of each tick the
+    /// adapter participated in).
+    fn note_peak(&mut self) {
+        let total: u64 = self.outstanding.iter().sum();
+        self.stats.peak_outstanding = self.stats.peak_outstanding.max(total);
+    }
+
+    /// The client-side conservation ledger: every request handed over
+    /// is exactly one of pending, inside the system, or ready.
+    fn audit_ledger(&self) -> Result<(), String> {
+        let ledger: u64 = self.outstanding.iter().sum();
+        let held: u64 = self.pending.iter().map(|q| q.len() as u64).sum::<u64>()
+            + (self.issued - self.delivered)
+            + self.ready.iter().map(|q| q.len() as u64).sum::<u64>();
+        if ledger != held {
+            return Err(format!("memsys ledger {ledger} != pending + in-flight + ready {held}"));
+        }
+        Ok(())
+    }
+
+    fn diag(&self, in_system: u64) -> String {
+        let pending: usize = self.pending.iter().map(VecDeque::len).sum();
+        let ready: usize = self.ready.iter().map(VecDeque::len).sum();
+        format!(
+            "{pending} request(s) awaiting injection, {in_system} in the OCN/banks, \
+             {ready} completion(s) unconsumed"
+        )
+    }
+}
+
+/// The secondary memory system in any backend configuration.
 pub(crate) struct MemSys {
     imp: Imp,
 }
 
 enum Imp {
+    /// Flat-latency answer machine; holds no state.
     Perfect { latency: u64 },
-    Nuca(Box<Nuca>),
+    /// A solo core owning its private NUCA — the original
+    /// single-processor path.
+    Owned { sys: Box<SecondarySystem>, ad: Adapter },
+    /// One core of a chip: the [`SecondarySystem`] lives in the
+    /// [`Chip`](crate::chip::Chip), which drives this adapter's
+    /// inject/drain phases. [`MemSys::tick`] is a no-op.
+    Shared { ad: Adapter },
 }
 
 impl MemSys {
@@ -143,19 +387,22 @@ impl MemSys {
                 if let Some(plan) = &cfg.faults {
                     sys.set_ocn_fault(plan.ocn_fault().as_ref());
                 }
-                Imp::Nuca(Box::new(Nuca {
-                    sys,
-                    pending: vec![VecDeque::new(); NUM_CLIENTS],
-                    ready: vec![VecDeque::new(); NUM_CLIENTS],
-                    outstanding: vec![0; NUM_CLIENTS],
-                    sent_at: Vec::new(),
-                    issued: 0,
-                    delivered: 0,
-                    stats: MemSysStats::default(),
-                }))
+                Imp::Owned { sys: Box::new(sys), ad: Adapter::new(PortMap::SOLO) }
             }
         };
         MemSys { imp }
+    }
+
+    /// A shared-NUCA adapter for core `k` of a chip (the chip owns the
+    /// [`SecondarySystem`] and drives the phases).
+    pub(crate) fn shared(k: usize) -> MemSys {
+        MemSys { imp: Imp::Shared { ad: Adapter::new(PortMap::for_core(k)) } }
+    }
+
+    /// The port map of core `k` (for tagging the shared system's
+    /// ports).
+    pub(crate) fn ports_for_core(k: usize) -> PortMap {
+        PortMap::for_core(k)
     }
 
     /// A D-side line fill for DT `dt` (line = `ea >> 6`).
@@ -171,14 +418,8 @@ impl MemSys {
     fn fill(&mut self, now: u64, client: MemClient, line: u64) -> FillPath {
         match &mut self.imp {
             Imp::Perfect { latency } => FillPath::At(now + *latency),
-            Imp::Nuca(n) => {
-                let c = client.index();
-                n.pending[c].push_back(MemReq::read_line(ID_FILL | line, line << 6));
-                n.outstanding[c] += 1;
-                match client {
-                    MemClient::Dt(_) => n.stats.dside_fills += 1,
-                    MemClient::It(_) => n.stats.iside_fills += 1,
-                }
+            Imp::Owned { ad, .. } | Imp::Shared { ad } => {
+                ad.push_fill(client, line);
                 FillPath::Queued
             }
         }
@@ -192,11 +433,8 @@ impl MemSys {
     pub(crate) fn store_write(&mut self, dt: u8, frame: u8, ea: u64) -> bool {
         match &mut self.imp {
             Imp::Perfect { .. } => false,
-            Imp::Nuca(n) => {
-                let c = MemClient::Dt(dt).index();
-                n.pending[c].push_back(MemReq::write_line(u64::from(frame), ea, [0; 64]));
-                n.outstanding[c] += 1;
-                n.stats.store_writebacks += 1;
+            Imp::Owned { ad, .. } | Imp::Shared { ad } => {
+                ad.push_store(dt, frame, ea);
                 true
             }
         }
@@ -206,11 +444,11 @@ impl MemSys {
     pub(crate) fn pop_event(&mut self, client: MemClient) -> Option<MemEvent> {
         match &mut self.imp {
             Imp::Perfect { .. } => None,
-            Imp::Nuca(n) => {
+            Imp::Owned { ad, .. } | Imp::Shared { ad } => {
                 let c = client.index();
-                let ev = n.ready[c].pop_front();
+                let ev = ad.ready[c].pop_front();
                 if ev.is_some() {
-                    n.outstanding[c] -= 1;
+                    ad.outstanding[c] -= 1;
                 }
                 ev
             }
@@ -223,71 +461,82 @@ impl MemSys {
     pub(crate) fn has_events(&self, client: MemClient) -> bool {
         match &self.imp {
             Imp::Perfect { .. } => false,
-            Imp::Nuca(n) => !n.ready[client.index()].is_empty(),
+            Imp::Owned { ad, .. } | Imp::Shared { ad } => !ad.ready[client.index()].is_empty(),
         }
     }
 
     /// One cycle, run after the tiles and nets: inject pending
     /// requests in client order, advance the OCN and banks, and steer
     /// arrived responses back to their client queues (consumed by the
-    /// tiles next cycle).
+    /// tiles next cycle). A no-op for the shared variant — the chip
+    /// drives the same phases around the one shared system.
     pub(crate) fn tick(&mut self, now: u64, tracer: &mut Tracer) {
-        let Imp::Nuca(n) = &mut self.imp else {
+        let Imp::Owned { sys, ad } = &mut self.imp else {
             return;
         };
-        if n.outstanding.iter().all(|&o| o == 0) {
+        if ad.quiet() {
             return;
         }
-        for c in 0..NUM_CLIENTS {
-            let port = MemClient::of_index(c).port();
-            while let Some(req) = n.pending[c].front() {
-                let is_fill = req.id & ID_FILL != 0;
-                let addr = req.addr;
-                if n.sys.request(now, port, req.clone()) {
-                    n.pending[c].pop_front();
-                    n.issued += 1;
-                    if is_fill {
-                        n.sent_at.push((c, addr >> 6, now));
-                    }
-                    tracer.record(now, || TraceKind::OcnInject {
-                        port: port as u8,
-                        addr,
-                        write: !is_fill,
-                    });
-                } else {
-                    n.stats.inject_stalls += 1;
-                    break;
-                }
-            }
+        ad.inject(now, sys, tracer, None);
+        sys.tick(now);
+        ad.drain(now, sys, tracer);
+        ad.note_peak();
+    }
+
+    /// Chip phase 1: inject this core's pending requests through the
+    /// shared `sys`, arbitrated per bank.
+    pub(crate) fn shared_inject(
+        &mut self,
+        now: u64,
+        sys: &mut SecondarySystem,
+        tracer: &mut Tracer,
+        arb: &mut BankArb,
+        core: u8,
+    ) {
+        let Imp::Shared { ad } = &mut self.imp else {
+            unreachable!("shared_inject on a non-shared memsys");
+        };
+        ad.inject(now, sys, tracer, Some((arb, core)));
+    }
+
+    /// Chip phase 2 (after `sys.tick`): collect this core's responses
+    /// and update its outstanding high-water mark.
+    pub(crate) fn shared_drain(
+        &mut self,
+        now: u64,
+        sys: &mut SecondarySystem,
+        tracer: &mut Tracer,
+    ) {
+        let Imp::Shared { ad } = &mut self.imp else {
+            unreachable!("shared_drain on a non-shared memsys");
+        };
+        ad.drain(now, sys, tracer);
+        ad.note_peak();
+    }
+
+    /// `(issued, delivered)` through this adapter, for the chip-level
+    /// conservation audit (`Σ(issued−delivered) == sys.in_system()`).
+    pub(crate) fn flow(&self) -> (u64, u64) {
+        match &self.imp {
+            Imp::Perfect { .. } => (0, 0),
+            Imp::Owned { ad, .. } | Imp::Shared { ad } => (ad.issued, ad.delivered),
         }
-        n.sys.tick(now);
-        for c in 0..NUM_CLIENTS {
-            let port = MemClient::of_index(c).port();
-            while let Some(resp) = n.sys.pop_response(now, port) {
-                n.delivered += 1;
-                let is_fill = resp.id & ID_FILL != 0;
-                tracer.record(now, || TraceKind::OcnEject {
-                    port: port as u8,
-                    addr: resp.addr,
-                    write: !is_fill,
-                });
-                if is_fill {
-                    let line = resp.addr >> 6;
-                    if let Some(k) = n.sent_at.iter().position(|&(sc, sl, _)| sc == c && sl == line)
-                    {
-                        let (_, _, at) = n.sent_at.swap_remove(k);
-                        // 8-cycle buckets: a NUCA round trip is tens of
-                        // cycles, far past the histogram's 0..31 range.
-                        n.stats.fill_latency.record((now - at) / 8);
-                    }
-                    n.ready[c].push_back(MemEvent::Fill { line });
-                } else {
-                    n.ready[c].push_back(MemEvent::StoreAck { frame: resp.id as u8 });
-                }
-            }
-        }
-        let total: u64 = n.outstanding.iter().sum();
-        n.stats.peak_outstanding = n.stats.peak_outstanding.max(total);
+    }
+
+    /// Folds the shared system's chip-wide counters (OCN, DRAM, banks)
+    /// into this core's snapshot-to-be. Called by the chip when the
+    /// core halts, so its [`MemSysStats`] describe the system state at
+    /// its own halt time — exactly what a solo run reports.
+    pub(crate) fn absorb_sys(&mut self, sys: &SecondarySystem) {
+        let Imp::Shared { ad } = &mut self.imp else {
+            unreachable!("absorb_sys on a non-shared memsys");
+        };
+        ad.stats.ocn = sys.ocn_stats();
+        ad.stats.dram_accesses = sys.dram_accesses;
+        let (hits, misses): (Vec<u64>, Vec<u64>) = sys.bank_stats().into_iter().unzip();
+        ad.stats.bank_hits = hits;
+        ad.stats.bank_misses = misses;
+        ad.stats.bank_peak_occupancy = sys.bank_peaks().to_vec();
     }
 
     /// True when nothing is pending anywhere: no unaccepted request,
@@ -297,71 +546,76 @@ impl MemSys {
     pub(crate) fn quiet(&self) -> bool {
         match &self.imp {
             Imp::Perfect { .. } => true,
-            Imp::Nuca(n) => n.outstanding.iter().all(|&o| o == 0),
+            Imp::Owned { ad, .. } | Imp::Shared { ad } => ad.quiet(),
         }
     }
 
     /// A run-end statistics snapshot (`None` for the perfect backend,
     /// keeping `CoreStats` bit-identical to the pre-backend model).
+    /// The owned variant folds in its private system's counters; the
+    /// shared variant reports whatever [`MemSys::absorb_sys`] last
+    /// captured.
     pub(crate) fn stats_snapshot(&self) -> Option<MemSysStats> {
         match &self.imp {
             Imp::Perfect { .. } => None,
-            Imp::Nuca(n) => {
-                let mut s = n.stats.clone();
-                s.ocn = n.sys.ocn_stats();
-                s.dram_accesses = n.sys.dram_accesses;
-                let (hits, misses): (Vec<u64>, Vec<u64>) = n.sys.bank_stats().into_iter().unzip();
+            Imp::Owned { sys, ad } => {
+                let mut s = ad.stats.clone();
+                s.ocn = sys.ocn_stats();
+                s.dram_accesses = sys.dram_accesses;
+                let (hits, misses): (Vec<u64>, Vec<u64>) = sys.bank_stats().into_iter().unzip();
                 s.bank_hits = hits;
                 s.bank_misses = misses;
-                s.bank_peak_occupancy = n.sys.bank_peaks().to_vec();
+                s.bank_peak_occupancy = sys.bank_peaks().to_vec();
                 Some(s)
             }
+            Imp::Shared { ad } => Some(ad.stats.clone()),
         }
     }
 
     /// Request/response conservation: every request a client handed
     /// over is exactly one of pending, inside the system, or ready —
-    /// and the OCN's own packet accounting balances.
+    /// and, for the owned variant, the OCN's own packet accounting
+    /// balances. (A shared adapter checks its ledger only; the
+    /// system-wide equations are the chip's to audit, since no single
+    /// core sees all the traffic.)
     ///
     /// # Errors
     ///
     /// A description of the first violated accounting equation.
     pub(crate) fn audit(&self) -> Result<(), String> {
-        let Imp::Nuca(n) = &self.imp else {
-            return Ok(());
-        };
-        n.sys.audit().map_err(|e| format!("OCN: {e}"))?;
-        let in_system = n.sys.in_system() as u64;
-        if n.issued - n.delivered != in_system {
-            return Err(format!(
-                "memsys conservation broken: issued {} - delivered {} != in-system {}",
-                n.issued, n.delivered, in_system
-            ));
+        match &self.imp {
+            Imp::Perfect { .. } => Ok(()),
+            Imp::Owned { sys, ad } => {
+                sys.audit().map_err(|e| format!("OCN: {e}"))?;
+                let in_system = sys.in_system() as u64;
+                if ad.issued - ad.delivered != in_system {
+                    return Err(format!(
+                        "memsys conservation broken: issued {} - delivered {} != in-system {}",
+                        ad.issued, ad.delivered, in_system
+                    ));
+                }
+                ad.audit_ledger()
+            }
+            Imp::Shared { ad } => ad.audit_ledger(),
         }
-        let ledger: u64 = n.outstanding.iter().sum();
-        let held: u64 = n.pending.iter().map(|q| q.len() as u64).sum::<u64>()
-            + in_system
-            + n.ready.iter().map(|q| q.len() as u64).sum::<u64>();
-        if ledger != held {
-            return Err(format!("memsys ledger {ledger} != pending + in-system + ready {held}"));
-        }
-        Ok(())
     }
 
     /// Queued work for the hang diagnoser (`None` when quiet).
     pub(crate) fn diag(&self) -> Option<String> {
-        let Imp::Nuca(n) = &self.imp else {
-            return None;
-        };
-        if self.quiet() {
-            return None;
+        match &self.imp {
+            Imp::Perfect { .. } => None,
+            Imp::Owned { sys, ad } => {
+                if ad.quiet() {
+                    return None;
+                }
+                Some(ad.diag(sys.in_system() as u64))
+            }
+            Imp::Shared { ad } => {
+                if ad.quiet() {
+                    return None;
+                }
+                Some(ad.diag(ad.issued - ad.delivered))
+            }
         }
-        let pending: usize = n.pending.iter().map(VecDeque::len).sum();
-        let ready: usize = n.ready.iter().map(VecDeque::len).sum();
-        Some(format!(
-            "{pending} request(s) awaiting injection, {} in the OCN/banks, \
-             {ready} completion(s) unconsumed",
-            n.sys.in_system()
-        ))
     }
 }

@@ -197,8 +197,7 @@ impl Processor {
     ///
     /// [`SimError::Timeout`] if the program does not halt in budget.
     pub fn run(&mut self, image: &ProgramImage, max_cycles: u64) -> Result<CoreStats, SimError> {
-        self.reset(image.entry);
-        self.mem = SparseMem::from_image(image);
+        self.start(image);
         while !self.gt.halted {
             if self.cycle >= max_cycles {
                 return Err(SimError::Timeout {
@@ -213,24 +212,9 @@ impl Processor {
                     .map_err(|v| SimError::Invariant { cycle: v.cycle, violation: v.detail })?;
             }
         }
-        self.stats.cycles = self.cycle;
-        self.stats.opn = self.nets.opn.iter().fold(MeshStats::default(), |mut acc, m| {
-            acc.merge(&m.stats);
-            acc
-        });
-        // Inject stalls are counted once, at the outbox (the outbox
-        // only calls `inject` after `can_inject`, so the meshes' own
-        // `inject_fails` would double-count any raw-inject user if it
-        // were added here — see `Nets::inject_stalls`).
-        self.stats.protocol.opn_inject_stalls = self.nets.inject_stalls();
-        self.stats.protocol.opn_inflight_highwater = self.nets.opn_highwater.clone();
-        self.stats.mem = self.memsys.stats_snapshot();
-        if self.crit.enabled() {
-            self.stats.critpath = Some(self.crit.walk(self.gt.final_ev));
-        }
         // Snapshot the stats *before* any drain ticks so the reported
         // counters describe the program run, not the post-halt drain.
-        let out = self.stats.clone();
+        let out = self.finish_stats();
         if self.cfg.check_invariants {
             // Leak check: after halt, every in-flight operand, wave,
             // and queue must drain. An operand created but never
@@ -250,6 +234,42 @@ impl Processor {
                 .map_err(|v| SimError::Invariant { cycle: v.cycle, violation: v.detail })?;
         }
         Ok(out)
+    }
+
+    /// Resets the core and loads `image`: the first half of
+    /// [`Processor::run`], split out so a [`Chip`](crate::chip::Chip)
+    /// can prepare every core and then drive the lockstep tick loop
+    /// itself.
+    pub(crate) fn start(&mut self, image: &ProgramImage) {
+        self.reset(image.entry);
+        self.mem = SparseMem::from_image(image);
+    }
+
+    /// Whether the GT has committed a `halt` branch.
+    pub(crate) fn halted(&self) -> bool {
+        self.gt.halted
+    }
+
+    /// Finalizes and snapshots the run statistics — the second half of
+    /// [`Processor::run`], called at halt time (before any post-halt
+    /// drain ticks, so the counters describe the program run).
+    pub(crate) fn finish_stats(&mut self) -> CoreStats {
+        self.stats.cycles = self.cycle;
+        self.stats.opn = self.nets.opn.iter().fold(MeshStats::default(), |mut acc, m| {
+            acc.merge(&m.stats);
+            acc
+        });
+        // Inject stalls are counted once, at the outbox (the outbox
+        // only calls `inject` after `can_inject`, so the meshes' own
+        // `inject_fails` would double-count any raw-inject user if it
+        // were added here — see `Nets::inject_stalls`).
+        self.stats.protocol.opn_inject_stalls = self.nets.inject_stalls();
+        self.stats.protocol.opn_inflight_highwater = self.nets.opn_highwater.clone();
+        self.stats.mem = self.memsys.stats_snapshot();
+        if self.crit.enabled() {
+            self.stats.critpath = Some(self.crit.walk(self.gt.final_ev));
+        }
+        self.stats.clone()
     }
 
     /// Ticks the core until it [quiesces](Self::quiesced) or `budget`

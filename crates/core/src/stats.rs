@@ -124,6 +124,10 @@ pub struct MemSysStats {
     /// Cycles a client's head-of-queue request was refused by its OCN
     /// inject port.
     pub inject_stalls: u64,
+    /// Cycles a client's head-of-queue request was held back because
+    /// its home bank was granted to another core this cycle (always 0
+    /// for a solo core — only a chip's cross-core arbiter stalls).
+    pub bank_conflict_stalls: u64,
     /// Fill round-trip latency in **8-cycle buckets** (request handed
     /// to the adapter until the fill event is queued): bucket `b`
     /// covers `8b..8b+8` cycles, bucket 31 everything ≥ 248.

@@ -371,8 +371,16 @@ impl Tracer {
     pub fn chrome_trace(&self) -> String {
         let mut out = String::with_capacity(256 + self.buf.len() * 128);
         out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
-        // Lane names.
         let mut first = true;
+        self.chrome_body(&mut out, 0, &mut first);
+        out.push_str("\n]}\n");
+        out
+    }
+
+    /// The lane metadata and events of one core, written as process
+    /// `pid` — the body shared between the solo and chip exporters.
+    fn chrome_body(&self, out: &mut String, pid: u32, first: &mut bool) {
+        // Lane names.
         let mut lanes: Vec<(u32, String)> = vec![(LANE_GT, "GT".into())];
         for it in 0..5u8 {
             lanes.push((lane_it(it), format!("IT{it}")));
@@ -393,33 +401,57 @@ impl Tracer {
         }
         lanes.push((LANE_OCN, "OCN".into()));
         for (tid, name) in lanes {
-            if !first {
+            if !*first {
                 out.push_str(",\n");
             }
-            first = false;
+            *first = false;
             let _ = write!(
                 out,
-                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\
                  \"args\":{{\"name\":\"{name}\"}}}}"
             );
         }
         for ev in self.events() {
             out.push_str(",\n");
-            self.chrome_event(&mut out, ev);
+            self.chrome_event(out, pid, ev);
         }
-        out.push_str("\n]}\n");
-        out
     }
 
-    fn chrome_event(&self, out: &mut String, ev: &TraceEvent) {
+    fn chrome_event(&self, out: &mut String, pid: u32, ev: &TraceEvent) {
         let ts = ev.cycle;
         let (tid, name, args) = describe(&ev.kind);
         let _ = write!(
             out,
-            "{{\"name\":\"{name}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":{tid},\
+            "{{\"name\":\"{name}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{tid},\
              \"ts\":{ts},\"args\":{{{args}}}}}"
         );
     }
+}
+
+/// Renders several cores' flight recorders as one Chrome `trace_event`
+/// JSON document: one *process* per core (named `core K`), with the
+/// usual one-lane-per-tile threads inside each — the chip view of the
+/// per-core recorder. A one-element slice produces the same lanes as
+/// [`Tracer::chrome_trace`] plus the process label.
+pub fn chrome_trace_chip(cores: &[&Tracer]) -> String {
+    let events: usize = cores.iter().map(|t| t.buf.len()).sum();
+    let mut out = String::with_capacity(256 + events * 128);
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
+    let mut first = true;
+    for (pid, tracer) in cores.iter().enumerate() {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\
+             \"args\":{{\"name\":\"core {pid}\"}}}}"
+        );
+        tracer.chrome_body(&mut out, pid as u32, &mut first);
+    }
+    out.push_str("\n]}\n");
+    out
 }
 
 const LANE_GT: u32 = 0;

@@ -57,4 +57,4 @@ pub use chain::Chain;
 pub use fault::{ChainFaultConfig, FaultPort, LinkFaultConfig, MeshFaultConfig, PortStall};
 pub use link::Link;
 pub use mesh::{Coord, Mesh, MeshMsg, MeshStats};
-pub use packet::{PacketMesh, PacketMsg, PacketStats, VIRTUAL_CHANNELS};
+pub use packet::{PacketMesh, PacketMsg, PacketStats, MAX_TAGS, VIRTUAL_CHANNELS};

@@ -30,6 +30,12 @@ pub struct PacketMsg<P> {
     /// Virtual channel (0..4), usually assigned by traffic class to
     /// avoid protocol deadlock (e.g. requests vs replies).
     pub vc: u8,
+    /// Client tag (0..[`MAX_TAGS`]) identifying the traffic source —
+    /// on the OCN, which processor core the request belongs to. Tags
+    /// are attribution only: they never affect routing or arbitration,
+    /// so a single-client mesh with every tag 0 behaves identically to
+    /// one that never tags.
+    pub tag: u8,
     /// Cycle the packet entered the network.
     pub injected_at: u64,
     /// Router-to-router link traversals so far.
@@ -47,9 +53,24 @@ impl<P> PacketMsg<P> {
     pub fn new(src: Coord, dst: Coord, payload: P, flits: u32, vc: u8) -> PacketMsg<P> {
         assert!(flits > 0, "packets have at least a header flit");
         assert!((vc as usize) < VIRTUAL_CHANNELS, "vc out of range: {vc}");
-        PacketMsg { src, dst, payload, flits, vc, injected_at: 0, hops: 0, queued: 0 }
+        PacketMsg { src, dst, payload, flits, vc, tag: 0, injected_at: 0, hops: 0, queued: 0 }
+    }
+
+    /// Sets the client tag (builder-style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tag >= 4`.
+    pub fn with_tag(mut self, tag: u8) -> PacketMsg<P> {
+        assert!((tag as usize) < MAX_TAGS, "tag out of range: {tag}");
+        self.tag = tag;
+        self
     }
 }
+
+/// Distinct client tags a [`PacketMesh`] accounts for (two cores plus
+/// headroom).
+pub const MAX_TAGS: usize = 4;
 
 /// Aggregate statistics for a [`PacketMesh`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -118,6 +139,14 @@ pub struct PacketMesh<P> {
     /// Aggregate statistics.
     pub stats: PacketStats,
     in_flight: usize,
+    /// Per-tag packets inside routers (attribution of `in_flight`).
+    in_flight_by_tag: [usize; MAX_TAGS],
+    /// Per-tag high-water marks of `in_flight_by_tag`.
+    tag_highwater: [usize; MAX_TAGS],
+    /// Per-tag packets accepted.
+    tag_injected: [u64; MAX_TAGS],
+    /// Per-tag packets delivered.
+    tag_ejected: [u64; MAX_TAGS],
     /// Installed timing faults (`None` on the production path).
     fault: Option<MeshFaultState>,
 }
@@ -139,6 +168,10 @@ impl<P> PacketMesh<P> {
             routers: (0..n).map(|_| PacketRouter::new()).collect(),
             stats: PacketStats::default(),
             in_flight: 0,
+            in_flight_by_tag: [0; MAX_TAGS],
+            tag_highwater: [0; MAX_TAGS],
+            tag_injected: [0; MAX_TAGS],
+            tag_ejected: [0; MAX_TAGS],
             fault: None,
         }
     }
@@ -158,6 +191,21 @@ impl<P> PacketMesh<P> {
     /// Packets currently inside routers.
     pub fn in_flight(&self) -> usize {
         self.in_flight
+    }
+
+    /// Per-tag high-water marks of packets inside routers — on the
+    /// OCN, how deep each core's traffic ran concurrently.
+    pub fn tag_highwater(&self) -> [usize; MAX_TAGS] {
+        self.tag_highwater
+    }
+
+    /// Per-tag `(injected, ejected)` packet counts.
+    pub fn tag_counts(&self) -> [(u64, u64); MAX_TAGS] {
+        let mut out = [(0, 0); MAX_TAGS];
+        for (o, (i, e)) in out.iter_mut().zip(self.tag_injected.iter().zip(&self.tag_ejected)) {
+            *o = (*i, *e);
+        }
+        out
     }
 
     /// Packets delivered to an eject queue but not yet popped by the
@@ -212,9 +260,13 @@ impl<P> PacketMesh<P> {
         }
         msg.injected_at = now;
         msg.hops = 0;
+        let tag = msg.tag as usize;
         self.routers[i].inputs[LOCAL][msg.vc as usize].push_back(msg);
         self.stats.injected += 1;
         self.in_flight += 1;
+        self.tag_injected[tag] += 1;
+        self.in_flight_by_tag[tag] += 1;
+        self.tag_highwater[tag] = self.tag_highwater[tag].max(self.in_flight_by_tag[tag]);
         true
     }
 
@@ -344,6 +396,8 @@ impl<P> PacketMesh<P> {
                     self.stats.total_latency += u64::from(latency);
                     self.stats.total_flits += u64::from(msg.flits);
                     self.in_flight -= 1;
+                    self.tag_ejected[msg.tag as usize] += 1;
+                    self.in_flight_by_tag[msg.tag as usize] -= 1;
                     self.routers[r].eject.push_back((avail, msg));
                 }
                 _ => {
@@ -451,5 +505,34 @@ mod tests {
     #[should_panic(expected = "vc out of range")]
     fn vc_bounds_checked() {
         let _ = PacketMsg::new(Coord { row: 0, col: 0 }, Coord { row: 0, col: 0 }, 0, 1, 4);
+    }
+
+    #[test]
+    fn tags_attribute_traffic_without_affecting_it() {
+        let mut m: PacketMesh<u32> = PacketMesh::new(2, 2, 4);
+        let src = Coord { row: 0, col: 0 };
+        let dst = Coord { row: 1, col: 1 };
+        m.inject(0, PacketMsg::new(src, dst, 1, 1, 0).with_tag(0));
+        m.inject(0, PacketMsg::new(src, dst, 2, 1, 1).with_tag(1));
+        let mut got = 0;
+        for t in 0..20u64 {
+            m.tick(t);
+            while m.eject(t + 1, dst).is_some() {
+                got += 1;
+            }
+        }
+        assert_eq!(got, 2);
+        let counts = m.tag_counts();
+        assert_eq!(counts[0], (1, 1));
+        assert_eq!(counts[1], (1, 1));
+        assert_eq!(m.tag_highwater()[0], 1);
+        assert_eq!(m.tag_highwater()[1], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "tag out of range")]
+    fn tag_bounds_checked() {
+        let _ = PacketMsg::new(Coord { row: 0, col: 0 }, Coord { row: 0, col: 0 }, 0, 1, 0)
+            .with_tag(MAX_TAGS as u8);
     }
 }

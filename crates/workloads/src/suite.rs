@@ -47,6 +47,23 @@ pub fn extended() -> Vec<Workload> {
     v
 }
 
+/// Workload pairings for the dual-core chip: what each core runs when
+/// both share the NUCA. Ordered from memory-bound×memory-bound (heavy
+/// bank contention) to compute×compute (a contention control that
+/// should see near-zero slowdown); `chipsim` and the chip equivalence
+/// suite run all of them.
+pub fn pairs() -> Vec<(Workload, Workload)> {
+    let wl = |n: &str| by_name(n).unwrap_or_else(|| panic!("{n} is registered"));
+    vec![
+        (wl("listwalk"), wl("saxpy")),
+        (wl("saxpy"), wl("saxpy")),
+        (wl("listwalk"), wl("listwalk")),
+        (wl("vadd"), wl("listwalk")),
+        (wl("matrix"), wl("saxpy")),
+        (wl("dct8x8"), wl("sha")),
+    ]
+}
+
 /// Look up a benchmark by name (searches [`extended`]).
 pub fn by_name(name: &str) -> Option<Workload> {
     extended().into_iter().find(|w| w.name == name)

@@ -14,7 +14,12 @@ baseline (``BENCH_simperf.json``) and fails when:
 
 Usage:
     compare_simperf.py BASELINE CURRENT [--baseline-updated]
-                       [--tolerance 0.15]
+                       [--tolerance 0.15] [--label NAME]
+
+The same gate also covers ``BENCH_chipsim.json`` (the dual-core chip
+contention benchmark shares the ``workloads[].{name, sim_cycles,
+gated_secs}`` row shape); ``--label`` names the suite in the output so
+interleaved gate runs stay readable.
 
 ``--baseline-updated`` tells the gate that the change under test also
 updates ``BENCH_simperf.json``; simulated-cycle differences are then
@@ -50,6 +55,7 @@ def main():
     ap.add_argument("current")
     ap.add_argument("--baseline-updated", action="store_true")
     ap.add_argument("--tolerance", type=float, default=0.15)
+    ap.add_argument("--label", default="simperf")
     args = ap.parse_args()
 
     base = load(args.baseline)
@@ -80,7 +86,7 @@ def main():
     cur_tp = aggregate_throughput(cur)
     ratio = cur_tp / base_tp
     print(
-        f"host throughput: baseline {base_tp:,.0f} cyc/s, "
+        f"[{args.label}] host throughput: baseline {base_tp:,.0f} cyc/s, "
         f"current {cur_tp:,.0f} cyc/s ({ratio:.2%} of baseline)"
     )
     if ratio < 1.0 - args.tolerance:
@@ -90,11 +96,11 @@ def main():
         )
 
     if errors:
-        print("\nperf gate FAILED:", file=sys.stderr)
+        print(f"\n[{args.label}] perf gate FAILED:", file=sys.stderr)
         for e in errors:
             print(f"  - {e}", file=sys.stderr)
         sys.exit(1)
-    print("perf gate passed")
+    print(f"[{args.label}] perf gate passed")
 
 
 if __name__ == "__main__":

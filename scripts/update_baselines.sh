@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Regenerate every checked-in BENCH_*.json perf baseline, in the same
+# --smoke configuration the CI perf gate reruns, then show what moved.
+#
+# Run this (and commit the diff) in any change that intentionally
+# shifts simulated cycle counts — the gate fails unacknowledged
+# sim_cycles drift unless the baseline is updated in the same change.
+#
+# Usage: scripts/update_baselines.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p trips-bench
+
+echo "== simperf (single-core suite) =="
+./target/release/simperf --smoke
+
+echo
+echo "== chipsim (dual-core shared-NUCA pairings) =="
+./target/release/chipsim --smoke
+
+echo
+echo "== baseline changes =="
+git --no-pager diff --stat -- 'BENCH_*.json'
+if git diff --quiet -- 'BENCH_*.json'; then
+    echo "(no baseline moved — nothing to commit)"
+else
+    echo
+    echo "Review the numbers above, then: git add BENCH_*.json"
+fi

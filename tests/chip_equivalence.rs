@@ -1,0 +1,164 @@
+//! The chip seam (DESIGN.md §5e).
+//!
+//! Four properties pin [`Chip`]:
+//!
+//! 1. **Single-core pinning** — a one-core chip is *bit-identical* to
+//!    the solo `Processor` + `Nuca` path: same `CoreStats` (including
+//!    every secondary-system counter), registers, and memory. The
+//!    chip's phase loop is the solo adapter's tick re-rolled around a
+//!    shared system, and this test is what keeps it that way.
+//! 2. **Co-runner independence** — contention is timing-only: each
+//!    core of a dual-core chip commits the same blocks, registers,
+//!    and memory as a solo run of its workload, for every pairing in
+//!    the suite table.
+//! 3. **Determinism** — two identical chip runs are bit-identical in
+//!    every observable, `ChipStats` included.
+//! 4. **Non-vacuousness** — a memory-bound pairing must actually
+//!    contend: nonzero cross-core bank-conflict stalls, OCN traffic
+//!    attributed to both cores, and a measurable slowdown for at
+//!    least one core.
+
+use trips_core::{Chip, ChipConfig, ChipStats, CoreConfig, CoreStats, MemBackend, Processor};
+use trips_isa::mem::SparseMem;
+use trips_isa::ArchReg;
+use trips_mem::MemConfig;
+use trips_tasm::Quality;
+use trips_workloads::{suite, Workload};
+
+const MAX_CYCLES: u64 = 200_000_000;
+
+fn regs(p: &Processor) -> Vec<u64> {
+    (0..128).map(|r| p.arch_reg(ArchReg::new(r))).collect()
+}
+
+/// Solo `Processor` + prototype NUCA outcome (the chip's anchor).
+fn solo(wl: &Workload) -> (CoreStats, Vec<u64>, SparseMem) {
+    let image = wl.build_trips(Quality::Hand).expect("compiles").image;
+    let mut cpu = Processor::new(CoreConfig {
+        mem_backend: MemBackend::nuca_prototype(),
+        ..CoreConfig::prototype()
+    });
+    let stats = cpu.run(&image, MAX_CYCLES).unwrap_or_else(|e| panic!("{}: {e}", wl.name));
+    let r = regs(&cpu);
+    (stats, r, cpu.memory().clone())
+}
+
+/// Runs one workload per core on a fresh chip, returning the chip
+/// stats and each core's architectural observables.
+fn chip_run(wls: &[&Workload], check_invariants: bool) -> (ChipStats, Vec<(Vec<u64>, SparseMem)>) {
+    let core_cfg = CoreConfig { check_invariants, ..CoreConfig::prototype() };
+    let mut chip = Chip::new(ChipConfig::with_cores(wls.len(), core_cfg, MemConfig::prototype()));
+    let images: Vec<_> =
+        wls.iter().map(|wl| wl.build_trips(Quality::Hand).expect("compiles").image).collect();
+    let names: Vec<&str> = wls.iter().map(|w| w.name).collect();
+    let stats = chip.run(&images, MAX_CYCLES).unwrap_or_else(|e| panic!("{names:?}: {e}"));
+    let arch =
+        (0..wls.len()).map(|k| (regs(chip.core(k)), chip.core(k).memory().clone())).collect();
+    (stats, arch)
+}
+
+#[test]
+fn single_core_chip_is_bit_identical_to_solo_nuca() {
+    for name in ["vadd", "saxpy", "listwalk"] {
+        let wl = suite::by_name(name).expect("registered");
+        let (solo_stats, solo_regs, solo_mem) = solo(&wl);
+        let (chip_stats, arch) = chip_run(&[&wl], false);
+        assert_eq!(
+            chip_stats.cores[0], solo_stats,
+            "{name}: a one-core chip must report bit-identical CoreStats to the solo NUCA path"
+        );
+        assert_eq!(arch[0].0, solo_regs, "{name}: registers diverge");
+        assert_eq!(arch[0].1, solo_mem, "{name}: memory diverges");
+        assert_eq!(
+            chip_stats.total_conflict_stalls(),
+            0,
+            "{name}: a single core can never lose a bank arbitration"
+        );
+    }
+}
+
+#[test]
+fn per_core_state_is_corunner_independent_across_the_pair_table() {
+    let mut failures = Vec::new();
+    for (a, b) in suite::pairs() {
+        let (chip_stats, arch) = chip_run(&[&a, &b], false);
+        for (k, wl) in [&a, &b].into_iter().enumerate() {
+            let (s_stats, s_regs, s_mem) = solo(wl);
+            if chip_stats.cores[k].blocks_committed != s_stats.blocks_committed {
+                failures.push(format!(
+                    "{}+{} core{k} ({}): committed {} blocks paired, {} solo",
+                    a.name,
+                    b.name,
+                    wl.name,
+                    chip_stats.cores[k].blocks_committed,
+                    s_stats.blocks_committed
+                ));
+            }
+            if arch[k].0 != s_regs {
+                failures.push(format!(
+                    "{}+{} core{k} ({}): registers depend on the co-runner",
+                    a.name, b.name, wl.name
+                ));
+            }
+            if arch[k].1 != s_mem {
+                failures.push(format!(
+                    "{}+{} core{k} ({}): memory depends on the co-runner",
+                    a.name, b.name, wl.name
+                ));
+            }
+        }
+    }
+    assert!(failures.is_empty(), "contention leaked into architecture:\n{}", failures.join("\n"));
+}
+
+#[test]
+fn chip_runs_are_deterministic() {
+    let a = suite::by_name("listwalk").expect("registered");
+    let b = suite::by_name("saxpy").expect("registered");
+    let (s1, arch1) = chip_run(&[&a, &b], false);
+    let (s2, arch2) = chip_run(&[&a, &b], false);
+    assert_eq!(s1, s2, "ChipStats must be bit-identical across reruns");
+    assert_eq!(arch1, arch2, "architectural state must be bit-identical across reruns");
+}
+
+#[test]
+fn memory_bound_pairing_actually_contends() {
+    let a = suite::by_name("listwalk").expect("registered");
+    let b = suite::by_name("saxpy").expect("registered");
+    let (chip_stats, _) = chip_run(&[&a, &b], false);
+    assert!(
+        chip_stats.total_conflict_stalls() > 0,
+        "listwalk+saxpy must collide at the banks at least once"
+    );
+    for (k, (inj, _)) in chip_stats.ocn_tag_counts.iter().enumerate() {
+        assert!(*inj > 0, "core {k} injected no OCN packets — tagging is broken");
+    }
+    assert!(
+        chip_stats.ocn_tag_highwater.iter().all(|&h| h > 0),
+        "both cores must have packets in flight at some point"
+    );
+    let slowdowns: Vec<f64> = [&a, &b]
+        .into_iter()
+        .enumerate()
+        .map(|(k, wl)| chip_stats.cores[k].cycles as f64 / solo(wl).0.cycles as f64)
+        .collect();
+    // Contention shifts the OCN's round-robin state, so a single
+    // request can in principle arrive *earlier* than solo — but net
+    // across a memory-bound run, sharing the banks must cost someone
+    // cycles.
+    assert!(
+        slowdowns.iter().any(|&s| s > 1.0),
+        "two memory-bound workloads on one NUCA must slow at least one down: {slowdowns:?}"
+    );
+}
+
+#[test]
+fn chip_invariants_and_conservation_hold_under_contention() {
+    let a = suite::by_name("saxpy").expect("registered");
+    let b = suite::by_name("vadd").expect("registered");
+    // `check_invariants` runs every core's per-tick suite plus the
+    // chip-level conservation audit each cycle, and the post-halt
+    // leak check (the whole chip must drain).
+    let (chip_stats, _) = chip_run(&[&a, &b], true);
+    assert_eq!(chip_stats.cores.len(), 2);
+}

@@ -55,6 +55,55 @@ fn assert_plan_matches_oracle_nuca(workload: &str, quality: Quality, plan: &Faul
     }
 }
 
+/// [`assert_plan_matches_oracle`] on a dual-core chip sharing one
+/// NUCA — the entry point for reproducers `protofuzz` found on its
+/// chip seeds (`seed % 8 == 5`), where OCN faults hit the shared
+/// network with both cores live. Each core is compared against its
+/// own oracle; contention is timing-only, so any divergence indicts
+/// the protocols.
+#[allow(dead_code)]
+fn assert_chip_plan_matches_oracles(
+    workload: &str,
+    co_runner: &str,
+    quality: Quality,
+    plan: &FaultPlan,
+) {
+    let a = suite::by_name(workload).expect("workload registered in the suite");
+    let b = suite::by_name(co_runner).expect("co-runner registered in the suite");
+    let oa = Oracle::build(&a, quality);
+    let ob = Oracle::build(&b, quality);
+    if let Err(why) =
+        fuzz::run_chip_against_oracles(&[&oa, &ob], Some(plan), true, REPRO_MAX_CYCLES)
+    {
+        panic!(
+            "{workload}+{co_runner} ({quality:?}, chip) under plan seed {:#x}: {why}",
+            plan.seed
+        );
+    }
+}
+
+/// A clean (faultless) chip sweep stays wired even while no chip
+/// reproducer exists yet: the pair table's heaviest pairing plus OCN
+/// link faults on the shared network must still match both oracles.
+#[test]
+fn chip_with_ocn_faults_matches_both_oracles() {
+    let plan = FaultPlan {
+        seed: 0x0c1b,
+        rotate_arbitration: false,
+        links: vec![],
+        ocn_links: vec![OcnFault {
+            row: 1,
+            col: 0,
+            port: FaultPort::Eject,
+            chance: Ratio { num: 1, den: 7 },
+            max_burst: 3,
+        }],
+        chain_delay: None,
+        flush_storm: None,
+    };
+    assert_chip_plan_matches_oracles("saxpy", "vadd", Quality::Hand, &plan);
+}
+
 /// Minimized protofuzz reproducer (seed 0x1).
 ///
 /// Chain delays let a neighbour RT flush and redispatch early, so its
