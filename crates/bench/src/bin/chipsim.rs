@@ -12,7 +12,7 @@
 //!   --smoke   one contended pairing + one compute control (CI)
 //!
 //! Writes `BENCH_chipsim.json` in the current directory (same
-//! `workloads[].{name, sim_cycles, gated_secs}` shape the perf gate
+//! `workloads[].{name, sim_cycles, wall_secs}` shape the perf gate
 //! diffs). Exits nonzero if the memory-bound pairing shows no
 //! cross-core bank conflicts — a chip that cannot contend is not
 //! modelling shared memory.
@@ -134,14 +134,16 @@ fn main() {
     }
 
     // Hand-built JSON: the container has no serde. Same row shape the
-    // perf gate diffs (`name`, `sim_cycles`, `gated_secs`).
+    // perf gate diffs (`name`, `sim_cycles`, `wall_secs`). The field
+    // was once called `gated_secs`, which misread: it is the whole
+    // pairing's wall time, not a gated-vs-ungated comparison time.
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"threads\": {threads},\n"));
     json.push_str(&format!("  \"smoke\": {smoke},\n"));
     json.push_str("  \"workloads\": [\n");
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"sim_cycles\": {}, \"gated_secs\": {:.6}, \
+            "    {{\"name\": \"{}\", \"sim_cycles\": {}, \"wall_secs\": {:.6}, \
              \"core_cycles\": [{}, {}], \"slowdown\": [{:.4}, {:.4}], \
              \"bank_conflict_stalls\": {}, \"ocn_tag_highwater\": [{}, {}]}}{}\n",
             r.name,

@@ -30,6 +30,13 @@
 //! divergence still indicts the protocols). Both choices are pure
 //! functions of the seed, so a seed reproduces identically in the
 //! sweep, the shrinker, and a repro test.
+//!
+//! Under the default `--gate on`, the fuzzed cores run with epoch
+//! skipping live (`CoreConfig::prototype()` sets `skip_epochs`), so
+//! every fault plan's perturbed arrival times — delayed chain hops,
+//! stalled OPN/OCN links — also stress the next-wake computation: a
+//! skip past a maturity point the scan failed to fold would surface
+//! as an architectural divergence from the oracle.
 
 use std::process::ExitCode;
 

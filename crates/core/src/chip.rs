@@ -49,18 +49,30 @@ pub struct ChipConfig {
     pub cores: Vec<CoreConfig>,
     /// The shared NUCA secondary system.
     pub mem: MemConfig,
+    /// Tick the cores on separate host threads, synchronizing at the
+    /// shared-system boundary each cycle. `None` (the default) enables
+    /// threading exactly when the host has more than one worker
+    /// ([`trips_harness::num_threads`]); `Some(b)` forces it. The
+    /// core-tick phase touches only per-core state, so threaded and
+    /// serial chips are bit-identical (pinned by
+    /// `tests/chip_equivalence.rs`).
+    pub threaded: Option<bool>,
 }
 
 impl ChipConfig {
     /// The prototype chip: two cores on the §3.6 NUCA.
     pub fn prototype() -> ChipConfig {
-        ChipConfig { cores: vec![CoreConfig::prototype(); 2], mem: MemConfig::prototype() }
+        ChipConfig {
+            cores: vec![CoreConfig::prototype(); 2],
+            mem: MemConfig::prototype(),
+            threaded: None,
+        }
     }
 
     /// A chip of `n` identical cores (1 or 2 — the OCN has twenty
     /// client ports).
     pub fn with_cores(n: usize, core: CoreConfig, mem: MemConfig) -> ChipConfig {
-        ChipConfig { cores: vec![core; n], mem }
+        ChipConfig { cores: vec![core; n], mem, threaded: None }
     }
 }
 
@@ -103,6 +115,12 @@ pub struct Chip {
     cycle: u64,
     /// Each core's stats, captured the cycle it halted.
     finished: Vec<Option<CoreStats>>,
+    /// Host threads for the core-tick phase (1 = serial), resolved
+    /// from [`ChipConfig::threaded`] at construction.
+    threads: usize,
+    /// Scratch for the per-core activity scans (avoids a per-cycle
+    /// allocation).
+    scans: Vec<(u32, Option<u64>)>,
 }
 
 impl Chip {
@@ -121,7 +139,22 @@ impl Chip {
         let cores: Vec<Processor> = cfg.cores.iter().cloned().map(Processor::new).collect();
         let sys = Chip::build_sys(&cfg);
         let banks = cfg.mem.banks;
-        Chip { cores, sys, arb: BankArb::new(banks), cfg, rr: 0, cycle: 0, finished: vec![None; n] }
+        let threads = match cfg.threaded {
+            Some(true) => n,
+            Some(false) => 1,
+            None => trips_harness::num_threads().min(n),
+        };
+        Chip {
+            cores,
+            sys,
+            arb: BankArb::new(banks),
+            cfg,
+            rr: 0,
+            cycle: 0,
+            finished: vec![None; n],
+            threads,
+            scans: vec![(0, None); n],
+        }
     }
 
     fn build_sys(cfg: &ChipConfig) -> SecondarySystem {
@@ -257,17 +290,71 @@ impl Chip {
     /// order, tick the OCN and banks once, drain responses per core.
     /// The phase is skipped entirely when every adapter is quiet,
     /// mirroring the solo fast path.
+    ///
+    /// **Epoch skipping.** Cores of a chip must stay in lockstep, so
+    /// a core never fast-forwards on its own; instead the chip scans
+    /// every core up front and, when *all* of them report no runnable
+    /// tile, jumps the whole chip — every core's clock, the rotating
+    /// injection priority, and the chip cycle — to the earliest wake
+    /// across the cores and the shared system's own bank timers. The
+    /// priority counter advances by the skipped span exactly as it
+    /// would have cycle-by-cycle, so arbitration after a skip is
+    /// bit-identical.
+    ///
+    /// **Threading.** With more than one host worker the per-core tick
+    /// phase runs on `trips_harness` scoped threads (one core per
+    /// worker); cores touch only their own state during that phase —
+    /// a `Shared` memsys tick is a no-op — so the join before the
+    /// shared-system phase is the only synchronization needed, and
+    /// threaded/serial schedules are bit-identical.
     fn tick(&mut self) {
+        let n = self.cores.len();
+        let skip_all = self.cfg.cores.iter().all(|c| c.gate_ticks && c.skip_epochs);
+        loop {
+            let now = self.cycle;
+            for (k, core) in self.cores.iter().enumerate() {
+                self.scans[k] = if self.cfg.cores[k].gate_ticks {
+                    core.scan_activity(now)
+                } else {
+                    (crate::proc::FULL_MASK, None)
+                };
+            }
+            if skip_all && self.scans.iter().all(|&(mask, _)| mask == 0) {
+                let wake =
+                    self.scans.iter().filter_map(|&(_, w)| w).chain(self.sys.next_event(now)).min();
+                if let Some(w) = wake {
+                    if w > now {
+                        for core in &mut self.cores {
+                            core.skip_to(w);
+                        }
+                        let skipped = (w - now) as usize;
+                        self.rr = (self.rr + skipped) % n;
+                        self.cycle = w;
+                        continue;
+                    }
+                }
+            }
+            break;
+        }
         let now = self.cycle;
-        for core in &mut self.cores {
+        if self.threads > 1 {
             // A halted core ticks too: its clock stays in lockstep
             // and its tiles consume still-arriving completions (its
             // stats were snapshotted the cycle it halted).
-            core.tick();
+            let cores = std::mem::take(&mut self.cores);
+            let jobs: Vec<(Processor, u32)> =
+                cores.into_iter().zip(self.scans.iter().map(|&(m, _)| m)).collect();
+            self.cores = trips_harness::parallel_map(jobs, self.threads, |(mut core, mask)| {
+                core.tick_with_mask(mask);
+                core
+            });
+        } else {
+            for (k, core) in self.cores.iter_mut().enumerate() {
+                core.tick_with_mask(self.scans[k].0);
+            }
         }
         if self.cores.iter().any(|c| !c.memsys.quiet()) {
             self.arb.begin_cycle();
-            let n = self.cores.len();
             for i in 0..n {
                 let k = (self.rr + i) % n;
                 let Processor { memsys, tracer, .. } = &mut self.cores[k];
@@ -279,14 +366,17 @@ impl Chip {
                 memsys.shared_drain(now, &mut self.sys, tracer);
             }
         }
-        self.rr = (self.rr + 1) % self.cores.len();
+        self.rr = (self.rr + 1) % n;
         self.cycle += 1;
     }
 
-    /// Ticks until every core quiesces (or `budget` runs out);
-    /// returns whether the chip quiesced.
+    /// Ticks until every core quiesces (or `budget` cycles elapse —
+    /// cycle-denominated, so an epoch-skipping drain covers the same
+    /// simulated span as a cycle-by-cycle one); returns whether the
+    /// chip quiesced.
     pub fn drain(&mut self, budget: u64) -> bool {
-        for _ in 0..budget {
+        let end = self.cycle.saturating_add(budget);
+        while self.cycle < end {
             if self.quiesced() {
                 return true;
             }

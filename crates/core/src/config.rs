@@ -170,6 +170,18 @@ pub struct CoreConfig {
     /// state (enforced by the `gating_equivalence` test suite); the
     /// switch exists so that equivalence can be tested.
     pub gate_ticks: bool,
+    /// Fast-forward over epochs in which no tile, micronet, or memory
+    /// event can occur: when the activity scan finds nothing runnable
+    /// *now* but a future wake exists, the cycle counter jumps
+    /// straight to it. Requires `gate_ticks` (the scan is the gate);
+    /// skipped cycles count as gated in [`GatingStats`], and — like
+    /// gating — skipping is bit-identical in statistics and
+    /// architectural state (enforced by `gating_equivalence`). The
+    /// switch exists so that equivalence can be tested cycle-by-cycle
+    /// against the skipping schedule.
+    ///
+    /// [`GatingStats`]: crate::GatingStats
+    pub skip_epochs: bool,
     /// Timing-only fault plan for protocol fuzzing. `None` (the
     /// default) leaves every fault hook uninstalled; the run is then
     /// bit-identical to a build without the hooks (enforced by the
@@ -209,6 +221,7 @@ impl CoreConfig {
             critpath: false,
             max_frames: NUM_FRAMES,
             gate_ticks: true,
+            skip_epochs: true,
             faults: None,
             check_invariants: false,
         }

@@ -166,6 +166,36 @@ impl DataTile {
             || nets.opn_delivered_at(TileId::Dt(self.index))
     }
 
+    /// The earliest cycle a tick can make progress without a new
+    /// message, for the epoch-skipping scheduler: now while the
+    /// outbox, a commit drain, or a deferred load needs attention
+    /// (deferred loads stay "now" because their eligibility can flip
+    /// through this DT's own frame deallocation, with no message);
+    /// otherwise the earliest timed MSHR fill or queued load response.
+    /// Fills awaiting a NUCA completion event (`PENDING_FILL`) are
+    /// message-driven and folded by the activity scan via
+    /// `MemSys::has_events`.
+    pub(crate) fn next_wake(&self, now: u64) -> Option<u64> {
+        if !self.outbox.is_empty()
+            || self
+                .frames
+                .iter()
+                .any(|f| f.active && ((f.committing && !f.commit_done) || !f.deferred.is_empty()))
+        {
+            return Some(now);
+        }
+        let mut wake: Option<u64> = None;
+        for m in &self.mshrs {
+            if m.fill_at != PENDING_FILL {
+                wake = Some(wake.map_or(m.fill_at, |w: u64| w.min(m.fill_at)));
+            }
+        }
+        for &(t, _) in &self.respond_q {
+            wake = Some(wake.map_or(t, |w: u64| w.min(t)));
+        }
+        wake.map(|w| w.max(now))
+    }
+
     /// Queued work for the hang diagnoser (`None` when nothing is
     /// held, including deferred loads and parked requests).
     pub fn diag(&self) -> Option<String> {

@@ -41,6 +41,11 @@ struct EtFrame {
     active: bool,
     gen: Gen,
     stations: [Option<Station>; RS_PER_FRAME],
+    /// Bit `s` set iff `stations[s]` is waiting with all needed
+    /// operands present — maintained at dispatch and operand delivery
+    /// so the select stage walks a mask instead of rescanning every
+    /// station each cycle.
+    ready: u8,
     early: Vec<(u8, OperandSlot, Tok, EvId)>,
     fired: u64,
 }
@@ -118,6 +123,27 @@ impl ExecTile {
             || nets.gdn_rows[self.row as usize + 1]
                 .has_pending_at(row_pos_of_col(self.col as usize))
             || nets.opn_delivered_at(TileId::Et(self.row, self.col))
+    }
+
+    /// The earliest cycle a tick can make progress without a new
+    /// message, for the epoch-skipping scheduler: now while an
+    /// instruction may be selectable or the outbox holds operands,
+    /// else the earliest in-flight completion or queued bypass
+    /// delivery. A tile with only waiting stations returns `None` —
+    /// the operand that fills them arrives by message, which the
+    /// activity scan folds from the OPN and chains.
+    pub(crate) fn next_wake(&self, now: u64) -> Option<u64> {
+        if self.maybe_ready || !self.outbox.is_empty() {
+            return Some(now);
+        }
+        let mut wake: Option<u64> = None;
+        for f in &self.inflight {
+            wake = Some(wake.map_or(f.done, |w: u64| w.min(f.done)));
+        }
+        for &(t, ..) in &self.local_q {
+            wake = Some(wake.map_or(t, |w: u64| w.min(t)));
+        }
+        wake.map(|w| w.max(now))
     }
 
     /// Queued work for the hang diagnoser (`None` when idle and no
@@ -248,6 +274,7 @@ impl ExecTile {
                         f.active = false;
                         f.gen += 1;
                         f.stations = Default::default();
+                        f.ready = 0;
                         f.early.clear();
                         self.order.retain(|&x| x != frame);
                     }
@@ -292,6 +319,9 @@ impl ExecTile {
                     }
                 }
                 check_dead(&mut st);
+                if st.state == SState::Waiting && is_ready(&st) {
+                    f.ready |= 1 << slot;
+                }
                 f.stations[slot] = Some(st);
                 self.maybe_ready = true;
             }
@@ -360,6 +390,9 @@ impl ExecTile {
                 );
                 *cell = Some((tok, ev));
                 check_dead(st);
+                if st.state == SState::Waiting && is_ready(st) {
+                    f.ready |= 1 << sslot;
+                }
             }
             _ => f.early.push((idx, slot, tok, ev)),
         }
@@ -387,13 +420,16 @@ impl ExecTile {
             if !self.frames[fi].active {
                 continue;
             }
-            for slot in 0..RS_PER_FRAME {
-                let Some(st) = &self.frames[fi].stations[slot] else {
-                    continue;
-                };
-                if st.state != SState::Waiting || !is_ready(st) {
-                    continue;
-                }
+            // The ready mask tracks exactly the stations the old full
+            // scan would have accepted (waiting, operands complete),
+            // in the same slot order.
+            let mut mask = self.frames[fi].ready;
+            while mask != 0 {
+                let slot = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                let st =
+                    self.frames[fi].stations[slot].as_ref().expect("ready bit implies station");
+                debug_assert!(st.state == SState::Waiting && is_ready(st), "stale ready bit");
                 let (lat, pipelined) = self.exec_latency(cfg, st.inst.opcode);
                 if !pipelined && self.fu_busy_until > now {
                     deferred = true;
@@ -401,6 +437,7 @@ impl ExecTile {
                 }
                 // Issue.
                 let gen = self.frames[fi].gen;
+                self.frames[fi].ready &= !(1 << slot);
                 let st = self.frames[fi].stations[slot].as_mut().expect("checked above");
                 st.state = SState::Issued;
                 let mut parent = st.disp_ev;

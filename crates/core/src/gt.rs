@@ -267,6 +267,72 @@ impl GlobalTile {
             || nets.opn_delivered_at(TileId::Gt)
     }
 
+    /// The earliest cycle at which a tick can make progress without a
+    /// new message, for the epoch-skipping scheduler. `Some(now)`
+    /// mirrors each tick phase's own progress condition: a commit
+    /// command ready to issue, a completed-but-unconverted block, a
+    /// fully-acked head block, a fetch stage whose timer has expired,
+    /// or a startable fetch. `Some(t > now)` is a pure timer wait
+    /// (tag/predict latency, dispatch pacing); `None` means every
+    /// in-flight block is waiting on micronet input, which the
+    /// activity scan folds from the chains and OPN directly.
+    pub(crate) fn next_wake(&self, now: u64, max_frames: usize) -> Option<u64> {
+        let mut wake: Option<u64> = None;
+        // Commit pipeline: a command goes out once the first unsent
+        // block (in age order) is Complete; an Executing block with
+        // all three done-conditions converts this tick.
+        for &frame in &self.order {
+            let f = &self.frames[frame.0 as usize];
+            if f.commit_sent {
+                continue;
+            }
+            if f.state == FState::Complete
+                || (f.state == FState::Executing
+                    && f.writes_done
+                    && f.stores_done
+                    && f.branch.is_some())
+            {
+                return Some(now);
+            }
+            break;
+        }
+        // Dealloc: the head block pops once both commit acks are in.
+        if let Some(&frame) = self.order.front() {
+            let f = &self.frames[frame.0 as usize];
+            if f.state == FState::Committing && f.rt_ack && f.dt_ack {
+                return Some(now);
+            }
+        }
+        // Fetch FSM.
+        if let Some(op) = &self.fetch {
+            match op.stage {
+                Stage::Tag { done_at } | Stage::Predict { done_at } => {
+                    wake = Some(done_at.max(now));
+                }
+                // Waits on a GSN-IT RefillDone message.
+                Stage::Refill => {}
+                Stage::AwaitDispatch => {
+                    let fi = op.frame.0 as usize;
+                    let inhibit = self.frames[fi].flags.contains(BlockFlags::INHIBIT_SPECULATION);
+                    let oldest = self.order.front() == Some(&op.frame);
+                    if !inhibit || oldest {
+                        wake = Some(self.dispatch_free_at.max(now));
+                    }
+                    // else: gated until older blocks drain, which the
+                    // commit/dealloc conditions above track.
+                }
+            }
+        } else if !self.halt_pending
+            && !self.halted
+            && self.next_pc.is_some()
+            && self.order.len() < max_frames
+            && self.frames.iter().any(|f| f.state == FState::Free)
+        {
+            return Some(now);
+        }
+        wake
+    }
+
     /// Per-frame status for the hang diagnoser, in age order.
     pub fn frame_diags(&self) -> Vec<FrameDiag> {
         self.order

@@ -14,7 +14,7 @@
 use std::collections::VecDeque;
 
 use trips_isa::mem::SparseMem;
-use trips_isa::{decode_body_chunk, decode_header, CHUNK_BYTES};
+use trips_isa::{decode_body_chunk, decode_header, BlockHeader, Instruction, CHUNK_BYTES};
 
 use crate::config::CoreConfig;
 use crate::memsys::{FillPath, MemClient, MemEvent, MemSys};
@@ -24,10 +24,28 @@ use crate::trace::{TraceKind, Tracer};
 
 const BEATS: u8 = 8;
 
+/// A dispatch job's chunk, fetched and decoded once at its first beat
+/// and reused for the remaining seven — re-reading and re-decoding the
+/// same 128 bytes every beat was the single hottest path in the whole
+/// simulator. The bank's read-port occupancy (one beat per cycle) is
+/// modelled by the beat counter, not by when the host happens to read
+/// the bytes.
+#[derive(Debug)]
+enum Decoded {
+    /// IT0: the block header, or `None` when the bytes don't decode
+    /// (every beat is then a no-op, as the per-beat decode would be).
+    Header(Option<Box<BlockHeader>>),
+    /// IT1..4: this tile's body-chunk instructions, or `None` when the
+    /// chunk lies past the block's end or doesn't decode (beats then
+    /// still deliver the beat-0 store mask, nothing else).
+    Body(Option<Vec<Instruction>>),
+}
+
 #[derive(Debug)]
 struct DispatchJob {
     cmd: GdnFetch,
     beat: u8,
+    decoded: Option<Decoded>,
 }
 
 #[derive(Debug)]
@@ -93,6 +111,26 @@ impl InstTile {
             || nets.gsn_it.has_pending_at(pos)
     }
 
+    /// The earliest cycle a tick can make progress without new input,
+    /// for the epoch-skipping scheduler: now while dispatch beats are
+    /// queued or a completed refill awaits its completion signal, the
+    /// bank timer for a perfect-backend refill in flight, `None` when
+    /// the refill waits on NUCA fills or the south neighbour (both
+    /// folded by the activity scan as message events).
+    pub(crate) fn next_wake(&self, now: u64) -> Option<u64> {
+        if !self.jobs.is_empty() {
+            return Some(now);
+        }
+        let r = self.refill.as_ref()?;
+        if r.own_done && r.south_done && !r.signalled {
+            return Some(now);
+        }
+        if !r.own_done && r.done_at != u64::MAX {
+            return Some(r.done_at.max(now));
+        }
+        None
+    }
+
     /// Queued work for the hang diagnoser (`None` when idle).
     pub fn diag(&self) -> Option<String> {
         if self.idle() {
@@ -122,7 +160,7 @@ impl InstTile {
 
         // Forwarded fetch commands arrive down the column.
         while let Some(cmd) = nets.gdn_col.recv(now, pos) {
-            self.jobs.push_back(DispatchJob { cmd, beat: 0 });
+            self.jobs.push_back(DispatchJob { cmd, beat: 0, decoded: None });
         }
 
         // Refill commands.
@@ -221,31 +259,55 @@ impl InstTile {
         // One dispatch beat per cycle from the I-cache bank's single
         // read port.
         if let Some(job) = self.jobs.front_mut() {
+            let index = self.index;
             let cmd = job.cmd;
             let beat = job.beat;
             job.beat += 1;
             let finished = job.beat >= BEATS;
-            if finished {
-                self.jobs.pop_front();
-            }
             self.beats_issued += 1;
             tracer.record(now, || TraceKind::DispatchBeat {
-                it: self.index as u8,
+                it: index as u8,
                 frame: cmd.frame,
                 beat,
             });
-            self.issue_beat(now, nets, mem, cmd, beat);
+            let decoded = job.decoded.get_or_insert_with(|| Self::decode_job(index, mem, &cmd));
+            Self::issue_beat(index, now, nets, decoded, &cmd, beat);
+            if finished {
+                self.jobs.pop_front();
+            }
         }
     }
 
-    fn issue_beat(&mut self, now: u64, nets: &mut Nets, mem: &SparseMem, cmd: GdnFetch, beat: u8) {
-        let row = &mut nets.gdn_rows[self.index];
-        if self.index == 0 {
+    /// Fetches and decodes this tile's chunk for `cmd` (once per job).
+    fn decode_job(index: usize, mem: &SparseMem, cmd: &GdnFetch) -> Decoded {
+        let mut bytes = [0u8; CHUNK_BYTES];
+        if index == 0 {
+            mem.read_bytes(cmd.addr, &mut bytes);
+            Decoded::Header(decode_header(&bytes).ok().map(|(h, _)| Box::new(h)))
+        } else {
+            let chunk = index - 1;
+            if chunk >= cmd.chunks as usize {
+                return Decoded::Body(None);
+            }
+            let base = cmd.addr + CHUNK_BYTES as u64 * (1 + chunk as u64);
+            mem.read_bytes(base, &mut bytes);
+            Decoded::Body(decode_body_chunk(&bytes).ok())
+        }
+    }
+
+    fn issue_beat(
+        index: usize,
+        now: u64,
+        nets: &mut Nets,
+        decoded: &Decoded,
+        cmd: &GdnFetch,
+        beat: u8,
+    ) {
+        let row = &mut nets.gdn_rows[index];
+        if let Decoded::Header(header) = decoded {
             // Header chunk: reads and writes to the RTs, four header
             // slots per beat.
-            let mut bytes = [0u8; CHUNK_BYTES];
-            mem.read_bytes(cmd.addr, &mut bytes);
-            let Ok((header, _)) = decode_header(&bytes) else {
+            let Some(header) = header else {
                 return;
             };
             for s in (beat * 4)..(beat * 4 + 4) {
@@ -284,7 +346,7 @@ impl InstTile {
                     );
                 }
             }
-        } else {
+        } else if let Decoded::Body(insts) = decoded {
             // Body chunk: four instructions per beat to the row's ETs,
             // plus the store mask to the row's DT on beat zero.
             if beat == 0 {
@@ -300,16 +362,10 @@ impl InstTile {
                     },
                 );
             }
-            let chunk = self.index - 1;
-            if chunk >= cmd.chunks as usize {
-                return;
-            }
-            let base = cmd.addr + CHUNK_BYTES as u64 * (1 + chunk as u64);
-            let mut bytes = [0u8; CHUNK_BYTES];
-            mem.read_bytes(base, &mut bytes);
-            let Ok(insts) = decode_body_chunk(&bytes) else {
+            let Some(insts) = insts else {
                 return;
             };
+            let chunk = index - 1;
             for (s, &inst) in insts.iter().enumerate().skip(beat as usize * 4).take(4) {
                 if inst.is_nop() {
                     continue;

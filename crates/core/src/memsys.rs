@@ -253,6 +253,14 @@ impl Adapter {
         self.outstanding.iter().all(|&o| o == 0)
     }
 
+    /// True when the adapter itself has same-cycle work: a request
+    /// awaiting injection or a completion awaiting its tile. Packets
+    /// inside the OCN/banks are the [`SecondarySystem`]'s events, not
+    /// the adapter's.
+    fn busy_now(&self) -> bool {
+        self.pending.iter().any(|q| !q.is_empty()) || self.ready.iter().any(|q| !q.is_empty())
+    }
+
     /// Injects pending requests into `sys` in fixed client order. With
     /// an arbiter, a client whose head request is homed at a bank
     /// another core already holds this cycle stalls in place
@@ -537,6 +545,35 @@ impl MemSys {
         ad.stats.bank_hits = hits;
         ad.stats.bank_misses = misses;
         ad.stats.bank_peak_occupancy = sys.bank_peaks().to_vec();
+    }
+
+    /// Cycle of the memory system's next state change, for the
+    /// epoch-skipping scheduler. `Some(now)` while the adapter has
+    /// same-cycle work (injections or undelivered completions); the
+    /// owned backend then defers to its private system's timers. The
+    /// perfect backend is stateless — fill timers live inside the
+    /// requesting tile (DT MSHR `fill_at`, IT refill `done_at`) and
+    /// are folded by that tile's own `next_wake`. For the shared
+    /// variant the chip folds the one shared system's
+    /// [`SecondarySystem::next_event`] itself.
+    pub(crate) fn next_event(&self, now: u64) -> Option<u64> {
+        match &self.imp {
+            Imp::Perfect { .. } => None,
+            Imp::Owned { sys, ad } => {
+                if ad.busy_now() {
+                    Some(now)
+                } else {
+                    sys.next_event(now)
+                }
+            }
+            Imp::Shared { ad } => {
+                if ad.busy_now() {
+                    Some(now)
+                } else {
+                    None
+                }
+            }
+        }
     }
 
     /// True when nothing is pending anywhere: no unaccepted request,

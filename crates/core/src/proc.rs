@@ -16,7 +16,8 @@ use crate::gt::GlobalTile;
 use crate::invariants::{self, InvariantViolation};
 use crate::it::InstTile;
 use crate::memsys::{MemClient, MemSys};
-use crate::nets::Nets;
+use crate::msg::TileId;
+use crate::nets::{dt_chain_pos, gcn_pos, it_col_pos, row_pos_of_col, rt_chain_pos, Nets};
 use crate::rt::RegTile;
 use crate::stats::CoreStats;
 use crate::trace::Tracer;
@@ -78,8 +79,15 @@ impl std::error::Error for SimError {}
 pub struct GatingStats {
     /// Tile ticks executed (the tile's `active()` held, or gating off).
     pub ticks_run: u64,
-    /// Tile ticks skipped because the tile was provably inactive.
+    /// Tile ticks skipped because the tile was provably inactive —
+    /// including every tile of every epoch-skipped cycle, so
+    /// [`gated_fraction`](GatingStats::gated_fraction) keeps meaning
+    /// "fraction of tile-cycles the host did not simulate".
     pub ticks_gated: u64,
+    /// Whole cycles fast-forwarded by the epoch-skipping scheduler.
+    pub cycles_skipped: u64,
+    /// Fast-forward jumps taken (each covers ≥ 1 skipped cycle).
+    pub epochs_skipped: u64,
 }
 
 impl GatingStats {
@@ -93,6 +101,20 @@ impl GatingStats {
         }
     }
 }
+
+/// Tile ticks per simulated cycle: 1 GT + 5 ITs + 4 RTs + 16 ETs +
+/// 4 DTs.
+const TILE_TICKS: u64 =
+    1 + NUM_ITS as u64 + NUM_RTS as u64 + (ET_ROWS * ET_COLS) as u64 + NUM_DTS as u64;
+
+/// Activity-mask bit for each tile, in tick order.
+const GT_BIT: u32 = 0;
+const IT_BIT: u32 = 1;
+const RT_BIT: u32 = IT_BIT + NUM_ITS as u32;
+const ET_BIT: u32 = RT_BIT + NUM_RTS as u32;
+const DT_BIT: u32 = ET_BIT + (ET_ROWS * ET_COLS) as u32;
+/// Mask with every tile bit set (the ungated / fully-busy mask).
+pub(crate) const FULL_MASK: u32 = (1 << TILE_TICKS) - 1;
 
 /// A TRIPS processor core.
 pub struct Processor {
@@ -110,6 +132,12 @@ pub struct Processor {
     pub(crate) tracer: Tracer,
     pub(crate) gating: GatingStats,
     pub(crate) cycle: u64,
+    /// Set when the previous scanned cycle found every tile active:
+    /// the next cycle ticks all tiles without scanning. Ticking a tile
+    /// whose predicate is false is a provable no-op (the predicates
+    /// are conservative), so this trades a handful of no-op ticks for
+    /// half the scan overhead on fully-busy stretches.
+    scan_holiday: bool,
 }
 
 impl Processor {
@@ -130,6 +158,7 @@ impl Processor {
             tracer: Tracer::disabled(),
             gating: GatingStats::default(),
             cycle: 0,
+            scan_holiday: false,
             cfg,
         };
         p.reset(0);
@@ -277,7 +306,11 @@ impl Processor {
     /// invariant harness to prove post-halt drainage, and available to
     /// tests that stop the clock by hand.
     pub fn drain(&mut self, budget: u64) -> bool {
-        for _ in 0..budget {
+        // Cycle-denominated (not iteration-denominated) so an
+        // epoch-skipping drain covers the same simulated span as a
+        // cycle-by-cycle one.
+        let end = self.cycle.saturating_add(budget);
+        while self.cycle < end {
             if self.quiesced() {
                 return true;
             }
@@ -364,23 +397,275 @@ impl Processor {
         self.crit.debug_chain(self.gt.final_ev, n)
     }
 
+    /// One fused pass over every wake source, producing the cycle's
+    /// tile activity mask and the earliest *future* cycle anything in
+    /// the core can act (`None`: only a new external event could).
+    ///
+    /// A tile's mask bit is set when it can make progress at `now`:
+    /// its own [`next_wake`] says so, a message bound for it has
+    /// *matured* (`arrival ≤ now`), an OPN delivery awaits it, or a
+    /// memory-system completion is queued for it. Messages still in
+    /// flight fold their arrival times into the returned wake instead
+    /// of waking the tile early — a tick whose only stimulus is an
+    /// immature message is a provable no-op, so this gates *tighter*
+    /// than the `active()` predicates while remaining bit-identical.
+    /// The OPN meshes and the memory system fold in as `now` whenever
+    /// they must tick this cycle (packets in routers, injections or
+    /// completions pending), or as their earliest bank timer.
+    ///
+    /// Evaluating the whole mask at cycle start (rather than each
+    /// predicate just before its tile) can only gate *more*: every
+    /// micronet has at least one cycle of latency, so anything an
+    /// earlier tile sends this cycle matures next cycle at the
+    /// soonest, and the skipped tick would have been one of those
+    /// no-op ticks.
+    ///
+    /// [`next_wake`]: GlobalTile::next_wake
+    pub(crate) fn scan_activity(&self, now: u64) -> (u32, Option<u64>) {
+        let mut mask: u32 = 0;
+        // Earliest future wake seen so far (`u64::MAX` = none). Only
+        // consumed when the final mask is 0 — i.e. when no source
+        // anywhere was mature — so per-tile short-circuiting below
+        // (which stops folding a tile's remaining sources once one is
+        // mature) can never lose a wake the scheduler would use.
+        let mut wake = u64::MAX;
+        // True iff the source is mature (can act at `now`); folds a
+        // future time into the wake accumulator otherwise.
+        let chk = |wake: &mut u64, src: Option<u64>| -> bool {
+            match src {
+                Some(t) if t <= now => true,
+                Some(t) => {
+                    *wake = (*wake).min(t);
+                    false
+                }
+                None => false,
+            }
+        };
+
+        let nets = &self.nets;
+        // GT.
+        if chk(&mut wake, self.gt.next_wake(now, self.cfg.max_frames))
+            || chk(&mut wake, nets.gsn_rt.next_arrival(0))
+            || chk(&mut wake, nets.gsn_dt.next_arrival(0))
+            || chk(&mut wake, nets.gsn_it.next_arrival(0))
+            || nets.opn_delivered_at(TileId::Gt)
+        {
+            mask |= 1 << GT_BIT;
+        }
+        // ITs.
+        for (i, it) in self.its.iter().enumerate() {
+            let pos = it_col_pos(i);
+            if chk(&mut wake, it.next_wake(now))
+                || chk(&mut wake, nets.gdn_col.next_arrival(pos))
+                || chk(&mut wake, nets.grn.next_arrival(pos))
+                || chk(&mut wake, nets.gsn_it.next_arrival(pos))
+                || self.memsys.has_events(MemClient::It(i as u8))
+            {
+                mask |= 1 << (IT_BIT + i as u32);
+            }
+        }
+        // RTs.
+        for (b, rt) in self.rts.iter().enumerate() {
+            if chk(&mut wake, rt.next_wake(now))
+                || chk(&mut wake, nets.gdn_rows[0].next_arrival(row_pos_of_col(b)))
+                || chk(&mut wake, nets.gcn.next_arrival(gcn_pos(TileId::Rt(b as u8))))
+                || chk(&mut wake, nets.gsn_rt.next_arrival(rt_chain_pos(b)))
+                || nets.opn_delivered_at(TileId::Rt(b as u8))
+            {
+                mask |= 1 << (RT_BIT + b as u32);
+            }
+        }
+        // ETs.
+        for (k, et) in self.ets.iter().enumerate() {
+            let (r, c) = (k / ET_COLS, k % ET_COLS);
+            if chk(&mut wake, et.next_wake(now))
+                || chk(&mut wake, nets.gcn.next_arrival(gcn_pos(TileId::Et(r as u8, c as u8))))
+                || chk(&mut wake, nets.gdn_rows[r + 1].next_arrival(row_pos_of_col(c)))
+                || nets.opn_delivered_at(TileId::Et(r as u8, c as u8))
+            {
+                mask |= 1 << (ET_BIT + k as u32);
+            }
+        }
+        // DTs.
+        for (d, dt) in self.dts.iter().enumerate() {
+            if chk(&mut wake, dt.next_wake(now))
+                || chk(&mut wake, nets.gcn.next_arrival(gcn_pos(TileId::Dt(d as u8))))
+                || chk(&mut wake, nets.gdn_rows[d + 1].next_arrival(1))
+                || chk(&mut wake, nets.dsn.next_arrival(d))
+                || chk(&mut wake, nets.gsn_dt.next_arrival(dt_chain_pos(d)))
+                || nets.opn_delivered_at(TileId::Dt(d as u8))
+                || self.memsys.has_events(MemClient::Dt(d as u8))
+            {
+                mask |= 1 << (DT_BIT + d as u32);
+            }
+        }
+        // The OPN meshes tick every cycle they hold packets; the
+        // memory system folds its injection/completion queues and bank
+        // timers. These are bit-less sources: mature ⇒ wake = now.
+        for m in &nets.opn {
+            if let Some(t) = m.next_event(now) {
+                wake = wake.min(t.max(now));
+            }
+        }
+        if let Some(t) = self.memsys.next_event(now) {
+            wake = wake.min(t.max(now));
+        }
+        (mask, if wake == u64::MAX { None } else { Some(wake) })
+    }
+
+    /// The earliest future cycle at which anything in this core can
+    /// act, or `None` when it is fully quiescent (or can act *now*).
+    /// The fold of every tile's `next_wake`, every micronet's next
+    /// arrival, and the memory system's pending-event times.
+    pub fn next_wake(&self) -> Option<u64> {
+        let (mask, wake) = self.scan_activity(self.cycle);
+        if mask != 0 {
+            Some(self.cycle)
+        } else {
+            wake
+        }
+    }
+
+    /// Books the gating accounting for fast-forwarding from the
+    /// current cycle to `w` (exclusive): every tile of every skipped
+    /// cycle counts as gated, keeping `gated_fraction` meaningful.
+    pub(crate) fn skip_to(&mut self, w: u64) {
+        debug_assert!(w > self.cycle);
+        let skipped = w - self.cycle;
+        self.gating.ticks_gated += TILE_TICKS * skipped;
+        self.gating.cycles_skipped += skipped;
+        self.gating.epochs_skipped += 1;
+        self.cycle = w;
+    }
+
     /// Advances one cycle.
     ///
-    /// With [`CoreConfig::gate_ticks`] set (the default) each tile is
-    /// skipped when its `active()` predicate is false. The predicates
-    /// are conservative — a tile may tick unnecessarily, but a tile
-    /// with pending work or an inbound message always ticks — and a
-    /// tick of an inactive tile is a provable no-op, so gated and
-    /// ungated runs are bit-identical (enforced by the
-    /// `gating_equivalence` test suite). Evaluating a predicate just
-    /// before the tile's tick (rather than at cycle start) can only
-    /// wake a tile *earlier*: every micronet has at least one cycle of
-    /// latency, so a message sent this cycle matures next cycle at the
-    /// soonest, and an early wake-up is one of those no-op ticks.
+    /// With [`CoreConfig::gate_ticks`] set (the default) the cycle
+    /// starts with one `scan_activity` pass and
+    /// each tile whose mask bit is clear is skipped; the common
+    /// fully-busy cycle reduces to a single mask comparison. With
+    /// [`CoreConfig::skip_epochs`] also set, a cycle in which *no*
+    /// tile can act and every wake source is in the future
+    /// fast-forwards `cycle` straight to the earliest wake instead of
+    /// grinding the intervening no-op cycles (the skipped cycles are
+    /// provably inert: no tile can progress, the meshes are empty, and
+    /// the memory system's earliest timer is the wake itself). Gated,
+    /// epoch-skipped, and ungated runs are all bit-identical in
+    /// architectural state and `CoreStats` (enforced by the
+    /// `gating_equivalence` test suite).
     pub fn tick(&mut self) {
-        let now = self.cycle;
         let gate = self.cfg.gate_ticks;
-        if !gate || self.gt.active(&self.nets) {
+        let mask = if !gate {
+            FULL_MASK
+        } else if self.scan_holiday {
+            // The previous scan found every tile active; tick them all
+            // again without paying for a scan. Any tile that went idle
+            // in between ticks as a no-op — bit-identical by the same
+            // argument that makes ungated runs identical to gated ones.
+            self.scan_holiday = false;
+            FULL_MASK
+        } else {
+            let mask = loop {
+                let now = self.cycle;
+                let (mask, wake) = self.scan_activity(now);
+                if mask == 0 && self.cfg.skip_epochs {
+                    if let Some(w) = wake {
+                        if w > now {
+                            self.skip_to(w);
+                            // Re-scan at the landing cycle: a timer or
+                            // arrival has just matured there.
+                            continue;
+                        }
+                    }
+                }
+                break mask;
+            };
+            self.scan_holiday = mask == FULL_MASK;
+            mask
+        };
+        self.tick_with_mask(mask);
+    }
+
+    /// Advances one cycle with a precomputed activity mask (the
+    /// masked-tile phase, then the micronets and memory system). The
+    /// [`Chip`](crate::chip::Chip) computes its cores' masks up front
+    /// so it can coordinate epoch skips across the whole chip before
+    /// committing any core to a tick.
+    pub(crate) fn tick_with_mask(&mut self, mask: u32) {
+        let now = self.cycle;
+        if mask == FULL_MASK {
+            self.tick_tiles_all(now);
+        } else {
+            self.tick_tiles_masked(now, mask);
+        }
+        self.nets.tick(now);
+        // The secondary system runs after the tiles and nets: requests
+        // issued this cycle inject now, and responses it delivers are
+        // consumed by the tiles next cycle (see DESIGN.md §5d).
+        self.memsys.tick(now, &mut self.tracer);
+        self.cycle += 1;
+    }
+
+    /// The fully-busy fast path: every tile ticks, no per-tile
+    /// branching.
+    fn tick_tiles_all(&mut self, now: u64) {
+        self.gt.tick(
+            now,
+            &self.cfg,
+            &mut self.nets,
+            &mut self.crit,
+            &mut self.stats,
+            &self.mem,
+            &mut self.tracer,
+        );
+        for i in 0..self.its.len() {
+            self.its[i].tick(
+                now,
+                &self.cfg,
+                &mut self.nets,
+                &self.mem,
+                &mut self.memsys,
+                &mut self.tracer,
+            );
+        }
+        for i in 0..self.rts.len() {
+            self.rts[i].tick(
+                now,
+                &self.cfg,
+                &mut self.nets,
+                &mut self.crit,
+                &mut self.stats,
+                &mut self.tracer,
+            );
+        }
+        for i in 0..self.ets.len() {
+            self.ets[i].tick(
+                now,
+                &self.cfg,
+                &mut self.nets,
+                &mut self.crit,
+                &mut self.stats,
+                &mut self.tracer,
+            );
+        }
+        for i in 0..self.dts.len() {
+            self.dts[i].tick(
+                now,
+                &self.cfg,
+                &mut self.nets,
+                &mut self.crit,
+                &mut self.stats,
+                &mut self.mem,
+                &mut self.memsys,
+                &mut self.tracer,
+            );
+        }
+        self.gating.ticks_run += TILE_TICKS;
+    }
+
+    /// The gated path: tick exactly the tiles whose mask bit is set.
+    fn tick_tiles_masked(&mut self, now: u64, mask: u32) {
+        if mask & (1 << GT_BIT) != 0 {
             self.gt.tick(
                 now,
                 &self.cfg,
@@ -390,17 +675,9 @@ impl Processor {
                 &self.mem,
                 &mut self.tracer,
             );
-            self.gating.ticks_run += 1;
-        } else {
-            self.gating.ticks_gated += 1;
         }
         for i in 0..self.its.len() {
-            // A pending memory-system event must wake the tile even
-            // though its own `active()` cannot see the adapter.
-            if !gate
-                || self.its[i].active(&self.nets)
-                || self.memsys.has_events(MemClient::It(i as u8))
-            {
+            if mask & (1 << (IT_BIT + i as u32)) != 0 {
                 self.its[i].tick(
                     now,
                     &self.cfg,
@@ -409,13 +686,10 @@ impl Processor {
                     &mut self.memsys,
                     &mut self.tracer,
                 );
-                self.gating.ticks_run += 1;
-            } else {
-                self.gating.ticks_gated += 1;
             }
         }
         for i in 0..self.rts.len() {
-            if !gate || self.rts[i].active(&self.nets) {
+            if mask & (1 << (RT_BIT + i as u32)) != 0 {
                 self.rts[i].tick(
                     now,
                     &self.cfg,
@@ -424,13 +698,10 @@ impl Processor {
                     &mut self.stats,
                     &mut self.tracer,
                 );
-                self.gating.ticks_run += 1;
-            } else {
-                self.gating.ticks_gated += 1;
             }
         }
         for i in 0..self.ets.len() {
-            if !gate || self.ets[i].active(&self.nets) {
+            if mask & (1 << (ET_BIT + i as u32)) != 0 {
                 self.ets[i].tick(
                     now,
                     &self.cfg,
@@ -439,16 +710,10 @@ impl Processor {
                     &mut self.stats,
                     &mut self.tracer,
                 );
-                self.gating.ticks_run += 1;
-            } else {
-                self.gating.ticks_gated += 1;
             }
         }
         for i in 0..self.dts.len() {
-            if !gate
-                || self.dts[i].active(&self.nets)
-                || self.memsys.has_events(MemClient::Dt(i as u8))
-            {
+            if mask & (1 << (DT_BIT + i as u32)) != 0 {
                 self.dts[i].tick(
                     now,
                     &self.cfg,
@@ -459,16 +724,10 @@ impl Processor {
                     &mut self.memsys,
                     &mut self.tracer,
                 );
-                self.gating.ticks_run += 1;
-            } else {
-                self.gating.ticks_gated += 1;
             }
         }
-        self.nets.tick(now);
-        // The secondary system runs after the tiles and nets: requests
-        // issued this cycle inject now, and responses it delivers are
-        // consumed by the tiles next cycle (see DESIGN.md §5d).
-        self.memsys.tick(now, &mut self.tracer);
-        self.cycle += 1;
+        let run = u64::from(mask.count_ones());
+        self.gating.ticks_run += run;
+        self.gating.ticks_gated += TILE_TICKS - run;
     }
 }

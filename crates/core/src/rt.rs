@@ -107,6 +107,19 @@ impl RegTile {
             || nets.opn_delivered_at(TileId::Rt(self.bank))
     }
 
+    /// The earliest cycle a tick can make progress without a new
+    /// message, for the epoch-skipping scheduler. The RT holds no
+    /// timers: while busy it progresses every cycle, otherwise only a
+    /// message can wake it (the activity scan folds those from the
+    /// chains and OPN directly).
+    pub(crate) fn next_wake(&self, now: u64) -> Option<u64> {
+        if self.busy() {
+            Some(now)
+        } else {
+            None
+        }
+    }
+
     /// Queued work for the hang diagnoser (`None` when idle).
     pub fn diag(&self) -> Option<String> {
         if self.idle() {

@@ -297,6 +297,31 @@ impl SecondarySystem {
         self.ocn.in_flight() + self.ocn.queued_ejects() + self.in_bank.len()
     }
 
+    /// Cycle of the next state change inside the secondary system, for
+    /// the epoch-skipping scheduler. While any packet is in an OCN
+    /// router or an undrained eject queue the system must tick every
+    /// cycle (`Some(now)`); with the network empty the only future
+    /// work is bank service slots maturing, so the answer is the
+    /// earliest `ready` among them (clamped to `now` for any already
+    /// due). `None` means the system is quiescent and cannot act until
+    /// a new request is injected.
+    ///
+    /// Bank MSHR fill times need no entry of their own: a pending
+    /// fill always coexists with the `in_bank` request that caused it,
+    /// whose `ready` (`dram_lat + bank_lat`) is strictly later than
+    /// the fill's (`dram_lat`), and [`MemTile::mshr_fill`] is lazy —
+    /// it completes any fill due by `now` — so a skip that lands on
+    /// the request's completion cycle fills the MSHR first, exactly as
+    /// the cycle-by-cycle schedule would have by then. Nothing can
+    /// observe the bank's tags in between because observation requires
+    /// a packet ejecting at the bank, and the OCN is empty.
+    pub fn next_event(&self, now: u64) -> Option<u64> {
+        if self.ocn.in_flight() > 0 || self.ocn.queued_ejects() > 0 {
+            return Some(now);
+        }
+        self.in_bank.iter().map(|&(ready, _, _)| ready.max(now)).min()
+    }
+
     /// OCN aggregate statistics (hops, queueing, inject stalls).
     pub fn ocn_stats(&self) -> PacketStats {
         self.ocn.stats

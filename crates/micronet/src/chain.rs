@@ -9,15 +9,42 @@
 //! networks' overheads as insignificant next to the operand network
 //! (§5.2), so — unlike [`Mesh`](crate::Mesh) — chains model latency
 //! but not link contention.
-
-use std::collections::VecDeque;
+//!
+//! Storage is a single arena shared by every position: one slab of
+//! slots threaded into per-position intrusive lists sorted by
+//! `(arrival, seq)`. The common case — sends arrive in increasing
+//! time order — appends at the tail in O(1), and the queries the
+//! scheduler hammers every cycle (`idle`, `pending`,
+//! `has_pending_at`, [`Chain::next_arrival`]) are O(1) counter or
+//! head-pointer reads instead of per-`VecDeque` scans.
 
 use crate::fault::{ChainFaultConfig, ChainFaultState};
+
+/// Sentinel "null" slot index for the intrusive lists.
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct Slot<T> {
+    at: u64,
+    seq: u64,
+    next: u32,
+    /// `None` only while the slot sits on the free list.
+    msg: Option<T>,
+}
 
 /// A linear chain of `n` tile positions with one-cycle hops.
 #[derive(Debug, Clone)]
 pub struct Chain<T> {
-    inboxes: Vec<VecDeque<(u64, u64, T)>>,
+    /// Arena of message slots shared by all positions.
+    slots: Vec<Slot<T>>,
+    /// Head of the free list through `slots` (`NIL` when exhausted).
+    free: u32,
+    /// Per-position list heads, sorted by `(at, seq)`.
+    heads: Vec<u32>,
+    /// Per-position list tails (`NIL` iff the head is).
+    tails: Vec<u32>,
+    /// Undelivered messages across all positions.
+    pending_count: usize,
     seq: u64,
     /// Total messages sent, for utilization statistics.
     pub total_sent: u64,
@@ -34,7 +61,11 @@ impl<T> Chain<T> {
     pub fn new(n: usize) -> Chain<T> {
         assert!(n > 0, "empty chain");
         Chain {
-            inboxes: (0..n).map(|_| VecDeque::new()).collect(),
+            slots: Vec::new(),
+            free: NIL,
+            heads: vec![NIL; n],
+            tails: vec![NIL; n],
+            pending_count: 0,
             seq: 0,
             total_sent: 0,
             fault: None,
@@ -46,7 +77,7 @@ impl<T> Chain<T> {
     /// With `None` — or `num == 0` — sends are bit-identical to a
     /// chain that never had the hook.
     pub fn set_fault(&mut self, cfg: Option<&ChainFaultConfig>) {
-        let n = self.inboxes.len();
+        let n = self.heads.len();
         self.fault = cfg.map(|c| ChainFaultState::new(c, n));
     }
 
@@ -60,12 +91,81 @@ impl<T> Chain<T> {
 
     /// Number of positions.
     pub fn len(&self) -> usize {
-        self.inboxes.len()
+        self.heads.len()
     }
 
     /// True if the chain has no positions (never: constructor forbids).
     pub fn is_empty(&self) -> bool {
-        self.inboxes.is_empty()
+        self.heads.is_empty()
+    }
+
+    /// Takes a slot off the free list (or grows the arena) and fills
+    /// it, returning its index.
+    fn alloc(&mut self, at: u64, seq: u64, msg: T) -> u32 {
+        if self.free != NIL {
+            let idx = self.free;
+            let slot = &mut self.slots[idx as usize];
+            self.free = slot.next;
+            slot.at = at;
+            slot.seq = seq;
+            slot.next = NIL;
+            slot.msg = Some(msg);
+            idx
+        } else {
+            let idx = u32::try_from(self.slots.len()).expect("chain arena overflow");
+            self.slots.push(Slot { at, seq, next: NIL, msg: Some(msg) });
+            idx
+        }
+    }
+
+    /// Links slot `idx` into position `to`'s list, keeping it sorted
+    /// by `(at, seq)`. Sends usually arrive in increasing time order,
+    /// so the tail append is the hot path.
+    fn link(&mut self, to: usize, idx: u32) {
+        let (at, seq) = {
+            let s = &self.slots[idx as usize];
+            (s.at, s.seq)
+        };
+        let tail = self.tails[to];
+        if tail == NIL {
+            self.heads[to] = idx;
+            self.tails[to] = idx;
+        } else {
+            let t = &self.slots[tail as usize];
+            if (t.at, t.seq) <= (at, seq) {
+                self.slots[tail as usize].next = idx;
+                self.tails[to] = idx;
+            } else {
+                // Out-of-order arrival (fault perturbation): walk from
+                // the head to find the insertion point.
+                let head = self.heads[to];
+                let h = &self.slots[head as usize];
+                if (at, seq) < (h.at, h.seq) {
+                    self.slots[idx as usize].next = head;
+                    self.heads[to] = idx;
+                } else {
+                    let mut prev = head;
+                    loop {
+                        let next = self.slots[prev as usize].next;
+                        if next == NIL {
+                            break;
+                        }
+                        let n = &self.slots[next as usize];
+                        if (at, seq) < (n.at, n.seq) {
+                            break;
+                        }
+                        prev = next;
+                    }
+                    let after = self.slots[prev as usize].next;
+                    self.slots[idx as usize].next = after;
+                    self.slots[prev as usize].next = idx;
+                    if after == NIL {
+                        self.tails[to] = idx;
+                    }
+                }
+            }
+        }
+        self.pending_count += 1;
     }
 
     /// Sends `msg` from `from` to `to`; receivable `max(distance, 1)`
@@ -81,11 +181,8 @@ impl<T> Chain<T> {
         let seq = self.seq;
         self.seq += 1;
         self.total_sent += 1;
-        // Keep each inbox sorted by (time, seq); sends are usually in
-        // increasing time order so push_back then bubble is cheap.
-        let inbox = &mut self.inboxes[to];
-        let pos = inbox.partition_point(|&(t, s, _)| (t, s) <= (at, seq));
-        inbox.insert(pos, (at, seq, msg));
+        let idx = self.alloc(at, seq, msg);
+        self.link(to, idx);
     }
 
     /// Sends `msg` to `to` with an explicit `delay` in cycles, for
@@ -103,23 +200,31 @@ impl<T> Chain<T> {
         let seq = self.seq;
         self.seq += 1;
         self.total_sent += 1;
-        let inbox = &mut self.inboxes[to];
-        let pos = inbox.partition_point(|&(t, s, _)| (t, s) <= (at, seq));
-        inbox.insert(pos, (at, seq, msg));
+        let idx = self.alloc(at, seq, msg);
+        self.link(to, idx);
     }
 
     /// Receives the oldest message available at `pos` by cycle `now`.
     pub fn recv(&mut self, now: u64, pos: usize) -> Option<T> {
-        let inbox = &mut self.inboxes[pos];
-        match inbox.front() {
-            Some(&(at, _, _)) if at <= now => inbox.pop_front().map(|(_, _, m)| m),
-            _ => None,
+        let head = self.heads[pos];
+        if head == NIL || self.slots[head as usize].at > now {
+            return None;
         }
+        let slot = &mut self.slots[head as usize];
+        let msg = slot.msg.take();
+        self.heads[pos] = slot.next;
+        slot.next = self.free;
+        self.free = head;
+        if self.heads[pos] == NIL {
+            self.tails[pos] = NIL;
+        }
+        self.pending_count -= 1;
+        msg
     }
 
-    /// True if no messages are pending anywhere.
+    /// True if no messages are pending anywhere. O(1).
     pub fn idle(&self) -> bool {
-        self.inboxes.iter().all(VecDeque::is_empty)
+        self.pending_count == 0
     }
 
     /// True if any message (mature or still in flight) is bound for
@@ -128,22 +233,49 @@ impl<T> Chain<T> {
     /// moment a message is addressed to it, not only once the message
     /// arrives — so a gated tile can never sleep through a delivery.
     pub fn has_pending_at(&self, pos: usize) -> bool {
-        !self.inboxes[pos].is_empty()
+        self.heads[pos] != NIL
     }
 
-    /// Messages pending across all positions.
+    /// Messages pending across all positions. O(1).
     pub fn pending(&self) -> usize {
-        self.inboxes.iter().map(VecDeque::len).sum()
+        self.pending_count
+    }
+
+    /// Arrival cycle of the earliest message bound for `pos`, if any.
+    /// The per-position lists are sorted by `(arrival, seq)`, so this
+    /// is the head's timestamp: the cycle at which the tile at `pos`
+    /// must be awake to receive it.
+    pub fn next_arrival(&self, pos: usize) -> Option<u64> {
+        let head = self.heads[pos];
+        if head == NIL {
+            None
+        } else {
+            Some(self.slots[head as usize].at)
+        }
+    }
+
+    /// Arrival cycle of the earliest undelivered message anywhere on
+    /// the chain — the next cycle at which this net can change any
+    /// tile's input state. `None` when the chain is idle.
+    pub fn next_event(&self) -> Option<u64> {
+        if self.pending_count == 0 {
+            return None;
+        }
+        self.heads.iter().filter(|&&h| h != NIL).map(|&h| self.slots[h as usize].at).min()
     }
 
     /// The oldest undelivered message: `(arrival_cycle, position)`.
-    /// Inboxes are sorted by (time, seq), so the head of each is its
-    /// oldest. Used by the hang diagnoser.
+    /// Position lists are sorted by (time, seq), so the head of each
+    /// is its oldest. Used by the hang diagnoser.
     pub fn oldest_pending(&self) -> Option<(u64, usize)> {
-        self.inboxes
+        self.heads
             .iter()
             .enumerate()
-            .filter_map(|(pos, inbox)| inbox.front().map(|&(at, seq, _)| (at, seq, pos)))
+            .filter(|&(_, &h)| h != NIL)
+            .map(|(pos, &h)| {
+                let s = &self.slots[h as usize];
+                (s.at, s.seq, pos)
+            })
             .min()
             .map(|(at, _, pos)| (at, pos))
     }
@@ -241,5 +373,37 @@ mod tests {
         assert_eq!(c.recv(2, 2), Some("flush"));
         assert_eq!(c.recv(3, 3), Some("flush"));
         assert_eq!(c.recv(5, 0), None, "sender does not hear its own broadcast");
+    }
+
+    #[test]
+    fn next_arrival_tracks_the_head() {
+        let mut c: Chain<u32> = Chain::new(4);
+        assert_eq!(c.next_arrival(0), None);
+        assert_eq!(c.next_event(), None);
+        c.send(0, 3, 0, 1); // arrives at 3
+        c.send(1, 1, 0, 2); // arrives at 2
+        c.send(0, 0, 2, 9); // arrives at 2, other position
+        assert_eq!(c.next_arrival(0), Some(2));
+        assert_eq!(c.next_arrival(2), Some(2));
+        assert_eq!(c.next_arrival(1), None);
+        assert_eq!(c.next_event(), Some(2));
+        assert_eq!(c.recv(2, 0), Some(2));
+        assert_eq!(c.next_arrival(0), Some(3), "head advances past the received message");
+        assert_eq!(c.recv(3, 0), Some(1));
+        assert_eq!(c.recv(2, 2), Some(9));
+        assert_eq!(c.next_event(), None);
+        assert!(c.idle());
+    }
+
+    #[test]
+    fn arena_recycles_slots() {
+        let mut c: Chain<u32> = Chain::new(2);
+        for round in 0..100u64 {
+            c.send(round * 10, 0, 1, round as u32);
+            assert_eq!(c.pending(), 1);
+            assert_eq!(c.recv(round * 10 + 1, 1), Some(round as u32));
+            assert!(c.idle());
+        }
+        assert_eq!(c.total_sent, 100);
     }
 }

@@ -156,6 +156,13 @@ pub struct Mesh<P> {
     /// Aggregate statistics.
     pub stats: MeshStats,
     in_flight: usize,
+    /// Bit `r` set iff any input FIFO of router `r` is non-empty.
+    /// Lets the tick arbitrate only occupied routers: a router whose
+    /// inputs are all empty can neither grant nor move anything, so
+    /// skipping it is invisible. Only meshes of ≤64 routers maintain
+    /// a meaningful mask (the OPN is 25); larger meshes fall back to
+    /// the full sweep.
+    occ: u64,
     /// Installed timing faults (`None` on the production path).
     fault: Option<MeshFaultState>,
     // Per-tick scratch, retained across ticks so the hot path never
@@ -182,6 +189,7 @@ impl<P> Mesh<P> {
             routers: (0..n).map(|_| Router::new()).collect(),
             stats: MeshStats::default(),
             in_flight: 0,
+            occ: 0,
             fault: None,
             scratch_len: vec![[0; PORTS]; n],
             scratch_incoming: vec![[false; PORTS]; n],
@@ -214,6 +222,21 @@ impl<P> Mesh<P> {
     /// architecturally inert until the next injection.
     pub fn active(&self) -> bool {
         self.in_flight > 0
+    }
+
+    /// Cycle of the mesh's next state change, for the epoch-skipping
+    /// scheduler. A mesh moves packets every cycle it has any message
+    /// inside a router, so the answer is either "now" or "never until
+    /// the next injection" — there are no timed-future events inside
+    /// the mesh itself. Delivered-but-unconsumed messages in eject
+    /// queues are *not* events here: they wake the destination tile
+    /// through [`Mesh::has_delivered`], not the mesh.
+    pub fn next_event(&self, now: u64) -> Option<u64> {
+        if self.in_flight > 0 {
+            Some(now)
+        } else {
+            None
+        }
     }
 
     /// True if a delivered message awaits consumption at `node` —
@@ -258,6 +281,16 @@ impl<P> Mesh<P> {
                 "conservation broken: injected {} != ejected {} + in-flight {}",
                 self.stats.injected, self.stats.ejected, self.in_flight
             ));
+        }
+        for (r, router) in self.routers.iter().enumerate().take(64) {
+            let nonempty = router.inputs.iter().any(|q| !q.is_empty());
+            if nonempty != (self.occ & (1 << r) != 0) {
+                return Err(format!(
+                    "occupancy mask bit {r} is {} but router inputs are {}",
+                    self.occ & (1 << r) != 0,
+                    if nonempty { "non-empty" } else { "empty" },
+                ));
+            }
         }
         Ok(())
     }
@@ -305,6 +338,9 @@ impl<P> Mesh<P> {
         msg.injected_at = now;
         msg.hops = 0;
         self.routers[i].inputs[LOCAL].push_back(msg);
+        if i < 64 {
+            self.occ |= 1 << i;
+        }
         self.stats.injected += 1;
         self.in_flight += 1;
         true
@@ -374,76 +410,68 @@ impl<P> Mesh<P> {
                 }
             }
         }
-        // Snapshot input occupancies for flow control.
-        for (r, router) in self.routers.iter().enumerate() {
-            incoming[r] = [false; PORTS];
-            for (len, input) in start_len[r].iter_mut().zip(&router.inputs) {
-                *len = input.len();
+        // A router with all-empty inputs can neither grant nor move
+        // anything, so with no fault installed both the flow-control
+        // snapshot and arbitration visit only occupied routers (and,
+        // for the snapshot, their link neighbours — the only entries
+        // the capacity checks read). Arbitration keeps the same
+        // row-major order — empty routers are no-ops, so the grants
+        // are identical. A fault hook draws from its PRNG on every
+        // `stalled` probe, so faulted meshes keep the full legacy
+        // sweep to preserve the draw sequence.
+        if fault.is_none() && n <= 64 {
+            let cols = self.cols as usize;
+            let mut snapped: u64 = 0;
+            let mut snap = |mesh: &Mesh<P>, r: usize| {
+                if snapped & (1 << r) == 0 {
+                    snapped |= 1 << r;
+                    incoming[r] = [false; PORTS];
+                    for (len, input) in start_len[r].iter_mut().zip(&mesh.routers[r].inputs) {
+                        *len = input.len();
+                    }
+                }
+            };
+            let mut m = self.occ;
+            while m != 0 {
+                let r = m.trailing_zeros() as usize;
+                m &= m - 1;
+                snap(self, r);
+                if r >= cols {
+                    snap(self, r - cols);
+                }
+                if r + cols < n {
+                    snap(self, r + cols);
+                }
+                if !r.is_multiple_of(cols) {
+                    snap(self, r - 1);
+                }
+                if r % cols + 1 < cols {
+                    snap(self, r + 1);
+                }
             }
-        }
-
-        for r in 0..n {
-            let at =
-                Coord { row: (r / self.cols as usize) as u8, col: (r % self.cols as usize) as u8 };
-            let mut input_used = [false; PORTS];
-            for (oi, out) in
-                [Out::Eject, Out::North, Out::East, Out::South, Out::West].into_iter().enumerate()
-            {
-                // An injected stall burst holds the whole output port:
-                // nothing is granted, waiting messages stay queued.
-                if let Some(f) = fault.as_mut() {
-                    if f.stalled(r, oi, now) {
-                        continue;
-                    }
+            let mut m = self.occ;
+            while m != 0 {
+                let r = m.trailing_zeros() as usize;
+                m &= m - 1;
+                self.arbitrate_router(r, now, &mut fault, &start_len, &mut incoming, &mut moves);
+            }
+        } else {
+            for (r, router) in self.routers.iter().enumerate() {
+                incoming[r] = [false; PORTS];
+                for (len, input) in start_len[r].iter_mut().zip(&router.inputs) {
+                    *len = input.len();
                 }
-                // Capacity at the downstream buffer, checked against
-                // the start-of-cycle snapshot.
-                let dest = if out == Out::Eject {
-                    None
-                } else {
-                    let row_ok = match out {
-                        Out::North => at.row > 0,
-                        Out::South => at.row + 1 < self.rows,
-                        Out::East => at.col + 1 < self.cols,
-                        Out::West => at.col > 0,
-                        Out::Eject => true,
-                    };
-                    if !row_ok {
-                        continue;
-                    }
-                    Some(self.neighbor(at, out))
-                };
-                if let Some((nb, port)) = dest {
-                    if incoming[nb][port] || start_len[nb][port] >= self.fifo_cap {
-                        continue;
-                    }
-                }
-                // Round-robin over input FIFOs whose head routes here.
-                let base = self.routers[r].rr[oi];
-                for k in 0..PORTS {
-                    let p = (base + k) % PORTS;
-                    if input_used[p] {
-                        continue;
-                    }
-                    let Some(head) = self.routers[r].inputs[p].front() else {
-                        continue;
-                    };
-                    if self.route(at, head.dst) != out {
-                        continue;
-                    }
-                    input_used[p] = true;
-                    self.routers[r].rr[oi] = (p + 1) % PORTS;
-                    if let Some((nb, port)) = dest {
-                        incoming[nb][port] = true;
-                    }
-                    moves.push((r, p, out));
-                    break;
-                }
+            }
+            for r in 0..n {
+                self.arbitrate_router(r, now, &mut fault, &start_len, &mut incoming, &mut moves);
             }
         }
 
         for &(r, p, out) in &moves {
             let mut msg = self.routers[r].inputs[p].pop_front().unwrap();
+            if r < 64 && self.routers[r].inputs.iter().all(VecDeque::is_empty) {
+                self.occ &= !(1 << r);
+            }
             match out {
                 Out::Eject => {
                     let latency = now.saturating_sub(msg.injected_at) as u32;
@@ -463,6 +491,9 @@ impl<P> Mesh<P> {
                     let (nb, port) = self.neighbor(at, out);
                     msg.hops += 1;
                     self.routers[nb].inputs[port].push_back(msg);
+                    if nb < 64 {
+                        self.occ |= 1 << nb;
+                    }
                 }
             }
         }
@@ -470,6 +501,77 @@ impl<P> Mesh<P> {
         self.scratch_incoming = incoming;
         self.scratch_moves = moves;
         self.fault = fault;
+    }
+
+    /// One router's output arbitration for this cycle: grants at most
+    /// one input per output port and records the winning moves.
+    /// Factored out of [`Mesh::tick`] so the occupancy fast path and
+    /// the full sweep share one body.
+    fn arbitrate_router(
+        &mut self,
+        r: usize,
+        now: u64,
+        fault: &mut Option<MeshFaultState>,
+        start_len: &[[usize; PORTS]],
+        incoming: &mut [[bool; PORTS]],
+        moves: &mut Vec<(usize, usize, Out)>,
+    ) {
+        let at = Coord { row: (r / self.cols as usize) as u8, col: (r % self.cols as usize) as u8 };
+        let mut input_used = [false; PORTS];
+        for (oi, out) in
+            [Out::Eject, Out::North, Out::East, Out::South, Out::West].into_iter().enumerate()
+        {
+            // An injected stall burst holds the whole output port:
+            // nothing is granted, waiting messages stay queued.
+            if let Some(f) = fault.as_mut() {
+                if f.stalled(r, oi, now) {
+                    continue;
+                }
+            }
+            // Capacity at the downstream buffer, checked against
+            // the start-of-cycle snapshot.
+            let dest = if out == Out::Eject {
+                None
+            } else {
+                let row_ok = match out {
+                    Out::North => at.row > 0,
+                    Out::South => at.row + 1 < self.rows,
+                    Out::East => at.col + 1 < self.cols,
+                    Out::West => at.col > 0,
+                    Out::Eject => true,
+                };
+                if !row_ok {
+                    continue;
+                }
+                Some(self.neighbor(at, out))
+            };
+            if let Some((nb, port)) = dest {
+                if incoming[nb][port] || start_len[nb][port] >= self.fifo_cap {
+                    continue;
+                }
+            }
+            // Round-robin over input FIFOs whose head routes here.
+            let base = self.routers[r].rr[oi];
+            for k in 0..PORTS {
+                let p = (base + k) % PORTS;
+                if input_used[p] {
+                    continue;
+                }
+                let Some(head) = self.routers[r].inputs[p].front() else {
+                    continue;
+                };
+                if self.route(at, head.dst) != out {
+                    continue;
+                }
+                input_used[p] = true;
+                self.routers[r].rr[oi] = (p + 1) % PORTS;
+                if let Some((nb, port)) = dest {
+                    incoming[nb][port] = true;
+                }
+                moves.push((r, p, out));
+                break;
+            }
+        }
     }
 }
 

@@ -43,11 +43,11 @@ fn solo(wl: &Workload) -> (CoreStats, Vec<u64>, SparseMem) {
     (stats, r, cpu.memory().clone())
 }
 
-/// Runs one workload per core on a fresh chip, returning the chip
-/// stats and each core's architectural observables.
-fn chip_run(wls: &[&Workload], check_invariants: bool) -> (ChipStats, Vec<(Vec<u64>, SparseMem)>) {
-    let core_cfg = CoreConfig { check_invariants, ..CoreConfig::prototype() };
-    let mut chip = Chip::new(ChipConfig::with_cores(wls.len(), core_cfg, MemConfig::prototype()));
+/// Runs one workload per core on a fresh chip built from `ccfg`,
+/// returning the chip stats and each core's architectural
+/// observables.
+fn chip_run_with(wls: &[&Workload], ccfg: ChipConfig) -> (ChipStats, Vec<(Vec<u64>, SparseMem)>) {
+    let mut chip = Chip::new(ccfg);
     let images: Vec<_> =
         wls.iter().map(|wl| wl.build_trips(Quality::Hand).expect("compiles").image).collect();
     let names: Vec<&str> = wls.iter().map(|w| w.name).collect();
@@ -55,6 +55,12 @@ fn chip_run(wls: &[&Workload], check_invariants: bool) -> (ChipStats, Vec<(Vec<u
     let arch =
         (0..wls.len()).map(|k| (regs(chip.core(k)), chip.core(k).memory().clone())).collect();
     (stats, arch)
+}
+
+/// Runs one workload per core on a fresh default-config chip.
+fn chip_run(wls: &[&Workload], check_invariants: bool) -> (ChipStats, Vec<(Vec<u64>, SparseMem)>) {
+    let core_cfg = CoreConfig { check_invariants, ..CoreConfig::prototype() };
+    chip_run_with(wls, ChipConfig::with_cores(wls.len(), core_cfg, MemConfig::prototype()))
 }
 
 #[test]
@@ -150,6 +156,54 @@ fn memory_bound_pairing_actually_contends() {
         slowdowns.iter().any(|&s| s > 1.0),
         "two memory-bound workloads on one NUCA must slow at least one down: {slowdowns:?}"
     );
+}
+
+#[test]
+fn threaded_chip_is_bit_identical_to_serial() {
+    // The core-tick phase touches only per-core state (a Shared
+    // memsys tick is a no-op), so ticking cores on worker threads and
+    // joining before the shared-NUCA phase must be invisible. Forcing
+    // `threaded` exercises real worker threads even on a one-CPU host
+    // — the pool spawns as many workers as it is told to.
+    let a = suite::by_name("listwalk").expect("registered");
+    let b = suite::by_name("saxpy").expect("registered");
+    let cfg = |threaded| {
+        let mut c = ChipConfig::with_cores(2, CoreConfig::prototype(), MemConfig::prototype());
+        c.threaded = Some(threaded);
+        c
+    };
+    let (s_stats, s_arch) = chip_run_with(&[&a, &b], cfg(false));
+    let (t_stats, t_arch) = chip_run_with(&[&a, &b], cfg(true));
+    assert_eq!(t_stats, s_stats, "threaded chip run must match the serial run bit-for-bit");
+    assert_eq!(t_arch, s_arch, "threaded chip architectural state diverges from serial");
+}
+
+#[test]
+fn chip_epoch_skip_is_bit_identical_and_not_vacuous() {
+    // The chip coordinates skips: only when every core's mask is
+    // empty does the whole lockstep ensemble fast-forward (folding
+    // the shared system's earliest event), so per-core skipping can
+    // never desynchronise the cores from the shared-NUCA phase.
+    let a = suite::by_name("listwalk").expect("registered");
+    let b = suite::by_name("saxpy").expect("registered");
+    let cfg = |skip| {
+        let core = CoreConfig { skip_epochs: skip, ..CoreConfig::prototype() };
+        ChipConfig::with_cores(2, core, MemConfig::prototype())
+    };
+    let (s_stats, s_arch) = chip_run_with(&[&a, &b], cfg(true));
+    let (c_stats, c_arch) = chip_run_with(&[&a, &b], cfg(false));
+    assert_eq!(s_stats, c_stats, "chip epoch skipping must match cycle-by-cycle bit-for-bit");
+    assert_eq!(s_arch, c_arch, "chip epoch skipping changed architectural state");
+
+    // Non-vacuous: a one-core chip running the pointer chase must
+    // actually fast-forward — it mirrors the solo-NUCA case, where
+    // every DRAM miss leaves the core with provably nothing to do.
+    let mut chip =
+        Chip::new(ChipConfig::with_cores(1, CoreConfig::prototype(), MemConfig::prototype()));
+    let image = a.build_trips(Quality::Hand).expect("compiles").image;
+    chip.run(std::slice::from_ref(&image), MAX_CYCLES).expect("halts");
+    let g = chip.core(0).gating_stats();
+    assert!(g.epochs_skipped > 0, "one-core chip skipped no epochs on listwalk: {g:?}");
 }
 
 #[test]

@@ -4,8 +4,15 @@
 //! are conservative by construction (a tile may tick unnecessarily,
 //! never the reverse), and this suite enforces that across the whole
 //! workload suite at both code qualities.
+//!
+//! Epoch skipping (DESIGN.md §5b) layers on top: when every tile is
+//! idle *now* the scheduler fast-forwards the cycle counter to the
+//! earliest future wake instead of grinding through provably empty
+//! cycles. The skipped cycles would each have been an all-gated
+//! no-op, so a skipping run must also be bit-identical — to the
+//! cycle-by-cycle gated run *and* to the ungated run.
 
-use trips_core::{CoreConfig, CoreStats, Processor};
+use trips_core::{CoreConfig, CoreStats, MemBackend, Processor};
 use trips_harness::{num_threads, parallel_map};
 use trips_isa::mem::SparseMem;
 use trips_isa::ArchReg;
@@ -14,20 +21,35 @@ use trips_workloads::{suite, Workload};
 
 const MAX_CYCLES: u64 = 200_000_000;
 
-/// Runs `wl` at `quality` with gating on or off, returning the full
-/// observable outcome: stats, all 128 architectural registers, and
-/// memory.
-fn outcome(wl: &Workload, quality: Quality, gate: bool) -> (CoreStats, Vec<u64>, SparseMem) {
+/// Runs `wl` at `quality` under the given scheduler configuration,
+/// returning the full observable outcome: stats, all 128
+/// architectural registers, and memory.
+fn outcome_cfg(
+    wl: &Workload,
+    quality: Quality,
+    gate: bool,
+    skip: bool,
+) -> (CoreStats, Vec<u64>, SparseMem) {
     let image = wl
         .build_trips(quality)
         .unwrap_or_else(|e| panic!("{} ({quality:?}): compile failed: {e}", wl.name))
         .image;
-    let mut cpu = Processor::new(CoreConfig { gate_ticks: gate, ..CoreConfig::prototype() });
+    let mut cpu = Processor::new(CoreConfig {
+        gate_ticks: gate,
+        skip_epochs: skip,
+        ..CoreConfig::prototype()
+    });
     let stats = cpu
         .run(&image, MAX_CYCLES)
         .unwrap_or_else(|e| panic!("{} ({quality:?}): simulation failed: {e}", wl.name));
     let regs = (0..128).map(|r| cpu.arch_reg(ArchReg::new(r))).collect();
     (stats, regs, cpu.memory().clone())
+}
+
+/// Default-scheduler outcome: gating (and with it epoch skipping)
+/// either fully on or fully off.
+fn outcome(wl: &Workload, quality: Quality, gate: bool) -> (CoreStats, Vec<u64>, SparseMem) {
+    outcome_cfg(wl, quality, gate, gate)
 }
 
 #[test]
@@ -65,6 +87,78 @@ fn gated_and_ungated_runs_are_bit_identical_across_the_suite() {
     .flatten()
     .collect();
     assert!(failures.is_empty(), "gating changed observable behaviour:\n{}", failures.join("\n"));
+}
+
+#[test]
+fn epoch_skipping_matches_cycle_by_cycle_gating() {
+    // Skip-on vs skip-off, both gated: the skipped epochs must be
+    // exactly the cycles the cycle-by-cycle scheduler would have spent
+    // ticking nothing. Any divergence here means a wake time was
+    // computed too late (work silently delayed) or the skip jumped
+    // past a message-maturity point.
+    let items: Vec<(Workload, Quality)> = suite::all()
+        .into_iter()
+        .flat_map(|wl| [(wl, Quality::Hand), (wl, Quality::Compiled)])
+        .collect();
+    let failures: Vec<String> = parallel_map(items, num_threads(), |(wl, quality)| {
+        let (s_stats, s_regs, s_mem) = outcome_cfg(&wl, quality, true, true);
+        let (c_stats, c_regs, c_mem) = outcome_cfg(&wl, quality, true, false);
+        let mut errs = Vec::new();
+        if s_stats != c_stats {
+            errs.push(format!(
+                "{} ({quality:?}): CoreStats diverge\n  skipping: {s_stats:?}\n  \
+                 cycle-by-cycle: {c_stats:?}",
+                wl.name
+            ));
+        }
+        if s_regs != c_regs {
+            errs.push(format!("{} ({quality:?}): registers diverge", wl.name));
+        }
+        if s_mem != c_mem {
+            errs.push(format!("{} ({quality:?}): memory diverges", wl.name));
+        }
+        errs
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    assert!(
+        failures.is_empty(),
+        "epoch skipping changed observable behaviour:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn epoch_skipping_actually_skips_cycles() {
+    // Sanity that the equivalence above is not vacuous. listwalk under
+    // the NUCA backend is the stress case: a pointer chase whose misses
+    // leave the whole core with nothing to do for the DRAM latency, so
+    // the skip path must fast-forward a meaningful share of the run.
+    let wl = suite::by_name("listwalk").expect("registered");
+    let image = wl.build_trips(Quality::Hand).expect("compiles").image;
+    let nuca =
+        || CoreConfig { mem_backend: MemBackend::nuca_prototype(), ..CoreConfig::prototype() };
+    let mut cpu = Processor::new(nuca());
+    let stats = cpu.run(&image, MAX_CYCLES).expect("halts");
+    let g = cpu.gating_stats();
+    assert!(g.epochs_skipped > 0, "no epochs were skipped: {g:?}");
+    let frac = g.cycles_skipped as f64 / stats.cycles as f64;
+    assert!(
+        frac > 0.10,
+        "suspiciously little epoch skipping ({:.1}% of {} cycles): \
+         wake-time folding may have regressed to always-now",
+        100.0 * frac,
+        stats.cycles
+    );
+
+    // With skipping disabled the counters must stay at zero — the
+    // cycle-by-cycle scheduler never fast-forwards.
+    let mut noskip = Processor::new(CoreConfig { skip_epochs: false, ..nuca() });
+    noskip.run(&image, MAX_CYCLES).expect("halts");
+    let n = noskip.gating_stats();
+    assert_eq!(n.cycles_skipped, 0, "skip_epochs=false must never skip: {n:?}");
+    assert_eq!(n.epochs_skipped, 0, "skip_epochs=false must never skip: {n:?}");
 }
 
 #[test]
