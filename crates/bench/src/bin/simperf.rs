@@ -10,35 +10,49 @@
 //! marked `"vacuous": true` — there is nothing to shard.
 //!
 //! Flags:
-//!   --smoke   micro + kernel suites only, Hand quality only (CI)
+//!   --smoke     micro + kernel suites only, Hand quality only (CI)
+//!   --profile   also run each workload once with the per-phase tick
+//!               profiler on and write `BENCH_tickprofile.json` (the
+//!               profiling pass is separate from the timed runs, so
+//!               the profiler's clock reads never pollute the reported
+//!               throughput)
 //!
 //! Writes `BENCH_simperf.json` in the current directory.
 
 use std::time::Instant;
 
 use trips_bench::run_trips;
-use trips_core::{CoreConfig, CoreStats, Processor};
+use trips_core::{CoreConfig, CoreStats, Processor, TickProfile};
 use trips_harness::{num_threads, parallel_map};
 use trips_tasm::Quality;
 use trips_workloads::{suite, Class, Workload};
 
 const MAX_CYCLES: u64 = trips_bench::MAX_CYCLES;
 
+/// A workload whose gated run is more than ~5% slower than ungated is
+/// a scheduler regression worth naming, even when the aggregate still
+/// passes.
+const GATING_FLAG_THRESHOLD: f64 = 0.95;
+
 struct WorkloadPerf {
     name: &'static str,
     sim_cycles: u64,
-    gated_secs: f64,
+    wall_secs: f64,
     ungated_secs: f64,
     gated_fraction: f64,
 }
 
 impl WorkloadPerf {
     fn cycles_per_host_sec(&self) -> f64 {
-        self.sim_cycles as f64 / self.gated_secs.max(1e-12)
+        self.sim_cycles as f64 / self.wall_secs.max(1e-12)
     }
 
     fn gating_speedup(&self) -> f64 {
-        self.ungated_secs / self.gated_secs.max(1e-12)
+        self.ungated_secs / self.wall_secs.max(1e-12)
+    }
+
+    fn flagged(&self) -> bool {
+        self.gating_speedup() < GATING_FLAG_THRESHOLD
     }
 }
 
@@ -63,8 +77,23 @@ fn json_escape_free(name: &str) -> &str {
     name
 }
 
+/// One profiled run: the same gated configuration as the timed run,
+/// with the per-phase profiler on. Returns the accumulated profile.
+fn profiled_run(wl: &Workload, quality: Quality) -> TickProfile {
+    let image = wl
+        .build_trips(quality)
+        .unwrap_or_else(|e| panic!("{} ({quality}): compile failed: {e}", wl.name))
+        .image;
+    let mut cpu = Processor::new(CoreConfig::prototype());
+    cpu.enable_profiling();
+    cpu.run(&image, MAX_CYCLES)
+        .unwrap_or_else(|e| panic!("{} ({quality}): profiled run failed: {e}", wl.name));
+    cpu.profile().clone()
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let profile = std::env::args().any(|a| a == "--profile");
     let threads = num_threads();
 
     let workloads: Vec<Workload> = suite::all()
@@ -88,29 +117,30 @@ fn main() {
     );
     let mut rows: Vec<WorkloadPerf> = Vec::with_capacity(workloads.len());
     for wl in &workloads {
-        let (gated, gated_secs, gated_fraction) = timed_run(wl, Quality::Hand, true);
+        let (gated, wall_secs, gated_fraction) = timed_run(wl, Quality::Hand, true);
         let (ungated, ungated_secs, _) = timed_run(wl, Quality::Hand, false);
         assert_eq!(gated, ungated, "{}: gated and ungated runs must be bit-identical", wl.name);
         let perf = WorkloadPerf {
             name: wl.name,
             sim_cycles: gated.cycles,
-            gated_secs,
+            wall_secs,
             ungated_secs,
             gated_fraction,
         };
         println!(
-            "{:<12} {:>12} {:>12.2} {:>10.4} {:>7.2}x {:>7.1}%",
+            "{:<12} {:>12} {:>12.2} {:>10.4} {:>7.2}x {:>7.1}%{}",
             perf.name,
             perf.sim_cycles,
             perf.cycles_per_host_sec() / 1e6,
-            perf.gated_secs,
+            perf.wall_secs,
             perf.gating_speedup(),
             100.0 * perf.gated_fraction,
+            if perf.flagged() { "  << GATING REGRESSION" } else { "" },
         );
         rows.push(perf);
     }
 
-    let total_gated: f64 = rows.iter().map(|r| r.gated_secs).sum();
+    let total_gated: f64 = rows.iter().map(|r| r.wall_secs).sum();
     let total_ungated: f64 = rows.iter().map(|r| r.ungated_secs).sum();
     println!(
         "\nsingle-run gating speedup (suite total): {:.2}x ({:.2}s ungated -> {:.2}s gated)",
@@ -118,6 +148,12 @@ fn main() {
         total_ungated,
         total_gated,
     );
+    let flagged: Vec<&str> = rows.iter().filter(|r| r.flagged()).map(|r| r.name).collect();
+    if flagged.is_empty() {
+        println!("no workload gates below {GATING_FLAG_THRESHOLD}x");
+    } else {
+        println!("GATING REGRESSIONS (speedup < {GATING_FLAG_THRESHOLD}x): {}", flagged.join(", "));
+    }
 
     // Sweep: the same (workload x quality) runs, serial vs sharded
     // across the worker pool. Items are independent simulations.
@@ -165,12 +201,12 @@ fn main() {
     json.push_str("  \"workloads\": [\n");
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"sim_cycles\": {}, \"gated_secs\": {:.6}, \
+            "    {{\"name\": \"{}\", \"sim_cycles\": {}, \"wall_secs\": {:.6}, \
              \"ungated_secs\": {:.6}, \"sim_cycles_per_host_sec\": {:.1}, \
              \"gating_speedup\": {:.4}, \"gated_fraction\": {:.4}}}{}\n",
             json_escape_free(r.name),
             r.sim_cycles,
-            r.gated_secs,
+            r.wall_secs,
             r.ungated_secs,
             r.cycles_per_host_sec(),
             r.gating_speedup(),
@@ -184,6 +220,14 @@ fn main() {
         total_ungated / total_gated.max(1e-12)
     ));
     json.push_str(&format!(
+        "  \"gating_flagged\": [{}],\n",
+        flagged
+            .iter()
+            .map(|n| format!("\"{}\"", json_escape_free(n)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    json.push_str(&format!(
         "  \"sweep\": {{\"runs\": {n_runs}, \"vacuous\": {sweep_vacuous}, \
          \"serial_secs\": {serial_secs:.6}, \"parallel_secs\": {parallel_secs:.6}, \
          \"parallel_speedup\": {sweep_speedup:.4}}}\n"
@@ -191,4 +235,27 @@ fn main() {
     json.push_str("}\n");
     std::fs::write("BENCH_simperf.json", &json).expect("write BENCH_simperf.json");
     println!("\nwrote BENCH_simperf.json");
+
+    // The profiling pass runs dead last so its Instant reads cannot
+    // perturb any timed measurement above.
+    if profile {
+        let mut total = TickProfile::enabled();
+        let mut per_wl = String::new();
+        for (i, wl) in workloads.iter().enumerate() {
+            let p = profiled_run(wl, Quality::Hand);
+            per_wl.push_str(&format!(
+                "    \"{}\": {}{}\n",
+                json_escape_free(wl.name),
+                p.json(),
+                if i + 1 == workloads.len() { "" } else { "," },
+            ));
+            total.merge(&p);
+        }
+        println!("\nper-phase tick profile (suite total, gated runs):");
+        print!("{}", total.report());
+        let json =
+            format!("{{\n  \"workloads\": {{\n{per_wl}  }},\n  \"total\": {}\n}}\n", total.json());
+        std::fs::write("BENCH_tickprofile.json", &json).expect("write BENCH_tickprofile.json");
+        println!("wrote BENCH_tickprofile.json");
+    }
 }

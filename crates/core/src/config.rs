@@ -182,6 +182,27 @@ pub struct CoreConfig {
     ///
     /// [`GatingStats`]: crate::GatingStats
     pub skip_epochs: bool,
+    /// Maintain dirty-frame work lists in the tile tick hot paths:
+    /// the RTs, DTs, and ETs keep compact bitmasks of frames with
+    /// actionable state (ready stations, pending deliveries,
+    /// committing drains), maintained at the mutation sites, so the
+    /// per-cycle frame loops visit only frames that can progress
+    /// instead of all `NUM_FRAMES`. A skipped frame is provably inert
+    /// (nothing mutated it since its last fruitless visit — see
+    /// DESIGN.md §5b), so work-list and full-scan schedules are
+    /// bit-identical in statistics and architectural state (enforced
+    /// by `gating_equivalence`); the switch exists so that equivalence
+    /// can be tested.
+    pub work_lists: bool,
+    /// Run the GT's fused tick: one pass over the in-flight frames in
+    /// age order (completion check, commit issue, dealloc) plus one
+    /// pass over the chain heads, instead of six sequential
+    /// frame-table walks. The fused order is bit-identical to the
+    /// phased order in statistics and architectural state (derivation
+    /// in DESIGN.md §5b; enforced by `gating_equivalence` and the
+    /// differential fuzz axis); the switch exists so that equivalence
+    /// can be tested.
+    pub fused_gt: bool,
     /// Timing-only fault plan for protocol fuzzing. `None` (the
     /// default) leaves every fault hook uninstalled; the run is then
     /// bit-identical to a build without the hooks (enforced by the
@@ -222,6 +243,8 @@ impl CoreConfig {
             max_frames: NUM_FRAMES,
             gate_ticks: true,
             skip_epochs: true,
+            work_lists: true,
+            fused_gt: true,
             faults: None,
             check_invariants: false,
         }

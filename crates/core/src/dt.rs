@@ -115,6 +115,27 @@ pub struct DataTile {
     outbox: OpnOutbox,
     /// Current LSQ occupancy (own live memory records).
     occupancy: usize,
+    /// Bit `fi` set iff `frames[fi]` is active — the dirty-frame work
+    /// list for [`DataTile::advance_frames`]'s detection/ack walk.
+    /// Maintained at every (de)activation site and audited against
+    /// the frames; `cfg.work_lists` only selects which iteration the
+    /// tick uses.
+    active_mask: u8,
+    /// Bit `fi` set iff `frames[fi]` is active, saw its commit wave,
+    /// and has not finished its commit work (`committing &&
+    /// !commit_done`). Always maintained and always used: with
+    /// `deferred_mask` it is the clock-gating predicate's frame term,
+    /// which must stay exact or the scheduler sleeps through a drain.
+    committing_mask: u8,
+    /// Bit `fi` set iff `frames[fi]` is active with a non-empty
+    /// deferred-load list. Exact for the same reason: a parked load's
+    /// eligibility can flip through this DT's own deallocations, so
+    /// the tile must stay clocked while any bit is set.
+    deferred_mask: u8,
+    /// Frames examined by the advance/wake walks (not in
+    /// [`CoreStats`]; host-side observability for the non-vacuousness
+    /// tests).
+    pub(crate) advance_visits: u64,
 }
 
 impl DataTile {
@@ -132,6 +153,10 @@ impl DataTile {
             respond_q: Vec::with_capacity(8),
             outbox: OpnOutbox::with_capacity(16),
             occupancy: 0,
+            active_mask: 0,
+            committing_mask: 0,
+            deferred_mask: 0,
+            advance_visits: 0,
         }
     }
 
@@ -147,12 +172,12 @@ impl DataTile {
     /// through this DT's *own* frame deallocation in
     /// [`advance_frames`], with no message involved.
     fn busy(&self) -> bool {
-        if !self.idle() {
-            return true;
-        }
-        self.frames
-            .iter()
-            .any(|f| f.active && ((f.committing && !f.commit_done) || !f.deferred.is_empty()))
+        // The two masks hold the old frame scan's predicate
+        // (`active && ((committing && !commit_done) || deferred)`)
+        // bit by bit, so the busy test — asked by the activity scan
+        // every scanned cycle — is a few loads instead of an
+        // eight-frame walk.
+        !self.idle() || self.committing_mask != 0 || self.deferred_mask != 0
     }
 
     /// Clock-gating predicate: internal work pending, or a message
@@ -176,12 +201,7 @@ impl DataTile {
     /// message-driven and folded by the activity scan via
     /// `MemSys::has_events`.
     pub(crate) fn next_wake(&self, now: u64) -> Option<u64> {
-        if !self.outbox.is_empty()
-            || self
-                .frames
-                .iter()
-                .any(|f| f.active && ((f.committing && !f.commit_done) || !f.deferred.is_empty()))
-        {
+        if !self.outbox.is_empty() || self.committing_mask != 0 || self.deferred_mask != 0 {
             return Some(now);
         }
         let mut wake: Option<u64> = None;
@@ -245,6 +265,26 @@ impl DataTile {
         }
         let mut live = 0usize;
         for (fi, f) in self.frames.iter().enumerate() {
+            if f.active != (self.active_mask & (1 << fi) != 0) {
+                return Err(format!(
+                    "DT{}: frame {fi} active={} but the work-list mask says {}",
+                    self.index, f.active, !f.active
+                ));
+            }
+            let draining = f.active && f.committing && !f.commit_done;
+            if draining != (self.committing_mask & (1 << fi) != 0) {
+                return Err(format!(
+                    "DT{}: frame {fi} draining={draining} but the committing mask disagrees",
+                    self.index
+                ));
+            }
+            let parked = f.active && !f.deferred.is_empty();
+            if parked != (self.deferred_mask & (1 << fi) != 0) {
+                return Err(format!(
+                    "DT{}: frame {fi} parked={parked} but the deferred mask disagrees",
+                    self.index
+                ));
+            }
             if !f.active {
                 continue;
             }
@@ -310,6 +350,9 @@ impl DataTile {
         }
         if !(f.active && f.gen == gen) {
             *f = DtFrame { active: true, gen, south_ack: self.index == 3, ..DtFrame::default() };
+            self.active_mask |= 1 << frame.0;
+            self.committing_mask &= !(1 << frame.0);
+            self.deferred_mask &= !(1 << frame.0);
         }
         if from_dispatch {
             let f = &mut self.frames[frame.0 as usize];
@@ -374,6 +417,7 @@ impl DataTile {
                     if self.frame_ok(frame, gen) {
                         tracer.record(now, || TraceKind::CommitWave { tile, frame });
                         self.frames[frame.0 as usize].committing = true;
+                        self.committing_mask |= 1 << frame.0;
                     }
                 }
                 GcnMsg::Flush { mask, gens } => {
@@ -388,6 +432,9 @@ impl DataTile {
                                 .occupancy
                                 .saturating_sub(f.own_stores.len() + f.performed_loads.len());
                             *f = DtFrame { active: false, gen: new_gen, ..DtFrame::default() };
+                            self.active_mask &= !(1 << fi);
+                            self.committing_mask &= !(1 << fi);
+                            self.deferred_mask &= !(1 << fi);
                             self.order.retain(|&x| x.0 as usize != fi);
                         }
                     }
@@ -533,6 +580,7 @@ impl DataTile {
                         target,
                         ev,
                     });
+                    self.deferred_mask |= 1 << frame.0;
                     return;
                 }
                 self.execute_load(
@@ -763,7 +811,15 @@ impl DataTile {
         tracer: &mut Tracer,
     ) {
         let dt = self.index;
-        for fi in 0..NUM_FRAMES {
+        // With work lists on, visit only frames holding a deferred
+        // load (`deferred_mask` is exactly the full scan's
+        // `active && !deferred.is_empty()` predicate); the full scan
+        // stays available for the equivalence suite.
+        let mut pending: u8 = if cfg.work_lists { self.deferred_mask } else { !0 };
+        while pending != 0 {
+            let fi = pending.trailing_zeros() as usize;
+            pending &= pending - 1;
+            self.advance_visits += 1;
             if !self.frames[fi].active || self.frames[fi].deferred.is_empty() {
                 continue;
             }
@@ -781,6 +837,9 @@ impl DataTile {
                 } else {
                     self.frames[fi].deferred.push(d);
                 }
+            }
+            if self.frames[fi].deferred.is_empty() {
+                self.deferred_mask &= !(1 << fi);
             }
         }
     }
@@ -869,14 +928,30 @@ impl DataTile {
         // *and* every writeback is acknowledged. The perfect backend
         // never issues writebacks, so this degenerates to
         // `commit_done = stores_drained` in the same cycle — exactly
-        // the pre-backend behaviour.
-        for f in self.frames.iter_mut() {
+        // the pre-backend behaviour. `committing_mask` holds exactly
+        // the frames the full scan could flip (`active && committing
+        // && !commit_done`; a frame already done is a no-op there), so
+        // the masked walk is the same transition set.
+        let mut drain: u8 = if cfg.work_lists { self.committing_mask } else { !0 };
+        while drain != 0 {
+            let fi = drain.trailing_zeros() as usize;
+            drain &= drain - 1;
+            self.advance_visits += 1;
+            let f = &mut self.frames[fi];
             if f.active && f.committing && f.stores_drained && f.acks_pending == 0 {
                 f.commit_done = true;
+                self.committing_mask &= !(1 << fi);
             }
         }
 
-        for fi in 0..NUM_FRAMES {
+        // Detection and acks only ever act on active frames; with
+        // work lists on, walk the active-frame mask (same ascending
+        // order the full scan visits them in).
+        let mut pending: u8 = if cfg.work_lists { self.active_mask } else { !0 };
+        while pending != 0 {
+            let fi = pending.trailing_zeros() as usize;
+            pending &= pending - 1;
+            self.advance_visits += 1;
             let frame = FrameId(fi as u8);
             // Store-completion detection: the nearest DT notifies the
             // GT (§4.4).
@@ -906,6 +981,9 @@ impl DataTile {
                 f.gen += 1;
                 f.own_stores.clear();
                 f.performed_loads.clear();
+                self.active_mask &= !(1 << fi);
+                self.deferred_mask &= !(1 << fi);
+                debug_assert_eq!(self.committing_mask & (1 << fi), 0, "acked while draining");
                 self.order.retain(|&x| x != frame);
                 self.blocks_since_clear += 1;
                 if self.blocks_since_clear >= cfg.deppred_clear_blocks {

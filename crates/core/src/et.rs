@@ -15,7 +15,7 @@ use trips_isa::{Instruction, Opcode, OperandNeeds, OperandSlot, Pred, Target};
 use crate::config::{CoreConfig, NUM_FRAMES, RS_PER_FRAME};
 use crate::critpath::{Cat, CritPath};
 use crate::msg::{EvId, FrameId, GcnMsg, Gen, OpnPayload, RowMsg, TileId};
-use crate::nets::{gcn_pos, opn_recv, row_pos_of_col, Nets, OpnOutbox};
+use crate::nets::{gcn_pos, opn_recv_batch, row_pos_of_col, Nets, OpnOutbox};
 use crate::stats::CoreStats;
 use crate::trace::{TraceKind, Tracer};
 
@@ -77,6 +77,17 @@ pub struct ExecTile {
     /// select stage is provably a no-op, so the clock-gating predicate
     /// can let the tile sleep.
     maybe_ready: bool,
+    /// Bit `fi` set iff `frames[fi].ready != 0` — the dirty-frame
+    /// work list for the select stage, maintained wherever a `ready`
+    /// bit is set or cleared and audited against the frames. A frame
+    /// with no ready station contributes nothing to select (its mask
+    /// walk is empty and it cannot set the unpipelined-deferral
+    /// flag), so skipping it is invisible; `cfg.work_lists` only
+    /// selects which iteration the tick uses.
+    ready_frames: u8,
+    /// Frames examined by the select walk (not in [`CoreStats`];
+    /// host-side observability for the non-vacuousness tests).
+    pub(crate) select_visits: u64,
 }
 
 fn slot_ix(slot: OperandSlot) -> usize {
@@ -100,6 +111,8 @@ impl ExecTile {
             fu_busy_until: 0,
             outbox: OpnOutbox::with_capacity(16),
             maybe_ready: false,
+            ready_frames: 0,
+            select_visits: 0,
         }
     }
 
@@ -187,6 +200,13 @@ impl ExecTile {
             seen |= bit;
         }
         for (fi, f) in self.frames.iter().enumerate() {
+            let listed = self.ready_frames & (1 << fi) != 0;
+            if (f.ready != 0) != listed {
+                return Err(format!(
+                    "{at}: frame {fi} ready mask {:#04x} but work-list bit {listed}",
+                    f.ready
+                ));
+            }
             let in_order = seen & (1 << fi) != 0;
             if f.active != in_order {
                 return Err(format!(
@@ -238,6 +258,7 @@ impl ExecTile {
             return false;
         }
         *f = EtFrame { active: true, gen, ..EtFrame::default() };
+        self.ready_frames &= !(1 << frame.0);
         self.order.push(frame);
         true
     }
@@ -276,6 +297,7 @@ impl ExecTile {
                         f.stations = Default::default();
                         f.ready = 0;
                         f.early.clear();
+                        self.ready_frames &= !(1 << frame.0);
                         self.order.retain(|&x| x != frame);
                     }
                 }
@@ -288,6 +310,7 @@ impl ExecTile {
                         let f = &mut self.frames[fi];
                         if f.gen < new_gen {
                             *f = EtFrame { active: false, gen: new_gen, ..EtFrame::default() };
+                            self.ready_frames &= !(1 << fi);
                             self.order.retain(|&x| x.0 as usize != fi);
                         }
                     }
@@ -321,26 +344,28 @@ impl ExecTile {
                 check_dead(&mut st);
                 if st.state == SState::Waiting && is_ready(&st) {
                     f.ready |= 1 << slot;
+                    self.ready_frames |= 1 << frame.0;
                 }
                 f.stations[slot] = Some(st);
                 self.maybe_ready = true;
             }
         }
 
-        // OPN operand arrivals. Operands may beat this ET's dispatch
-        // beats, so arrival activates the frame and buffers early.
-        while let Some(m) = opn_recv(nets, now, self.tile_id(), tracer) {
+        // OPN operand arrivals, one batched drain per cycle. Operands
+        // may beat this ET's dispatch beats, so arrival activates the
+        // frame and buffers early.
+        opn_recv_batch(nets, now, self.tile_id(), tracer, |m| {
             let (hops, queued) = (m.hops, m.queued);
             if let OpnPayload::Operand { frame, gen, idx, slot, tok, ev } = m.payload {
                 if !self.ensure_frame(frame, gen) {
-                    continue;
+                    return;
                 }
                 let e_hop =
                     crit.event(now - u64::from(queued), ev, Cat::OpnHop, u64::from(hops) + 1);
                 let e_arr = crit.event(now, e_hop, Cat::OpnContention, u64::from(queued));
                 self.deliver_operand(frame, idx, slot, tok, e_arr);
             }
-        }
+        });
 
         // Completion of in-flight executions (before local bypass
         // delivery so a result can reach a same-ET consumer in time
@@ -392,6 +417,7 @@ impl ExecTile {
                 check_dead(st);
                 if st.state == SState::Waiting && is_ready(st) {
                     f.ready |= 1 << sslot;
+                    self.ready_frames |= 1 << frame.0;
                 }
             }
             _ => f.early.push((idx, slot, tok, ev)),
@@ -417,6 +443,13 @@ impl ExecTile {
         for oi in 0..self.order.len() {
             let frame = self.order[oi];
             let fi = frame.0 as usize;
+            if cfg.work_lists && self.ready_frames & (1 << fi) == 0 {
+                // A frame with an empty ready mask yields an empty
+                // walk below and cannot set `deferred`; skipping it
+                // is invisible.
+                continue;
+            }
+            self.select_visits += 1;
             if !self.frames[fi].active {
                 continue;
             }
@@ -438,6 +471,9 @@ impl ExecTile {
                 // Issue.
                 let gen = self.frames[fi].gen;
                 self.frames[fi].ready &= !(1 << slot);
+                if self.frames[fi].ready == 0 {
+                    self.ready_frames &= !(1 << fi);
+                }
                 let st = self.frames[fi].stations[slot].as_mut().expect("checked above");
                 st.state = SState::Issued;
                 let mut parent = st.disp_ev;

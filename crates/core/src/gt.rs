@@ -17,6 +17,7 @@ use crate::fault::StormState;
 use crate::msg::{EvId, FrameId, GcnMsg, GdnFetch, Gen, GrnRefill, GsnMsg, OpnPayload, TileId};
 use crate::nets::{it_col_pos, opn_recv, Nets};
 use crate::predictor::{NextBlockPredictor, PredictorCheckpoint};
+use crate::profile::{TickPhase, TickProfile};
 use crate::stats::CoreStats;
 use crate::trace::{TraceKind, Tracer};
 use std::collections::VecDeque;
@@ -424,6 +425,14 @@ impl GlobalTile {
     }
 
     /// One cycle.
+    ///
+    /// With [`CoreConfig::fused_gt`] set (the default) the tick is two
+    /// passes — the chain heads, then one walk over the in-flight
+    /// frames in age order doing completion, commit issue, and
+    /// dealloc together — instead of the six sequential phases the
+    /// protocol is specified as. The fused walk is bit-identical to
+    /// the phased one (derivation in DESIGN.md §5b; the phased path is
+    /// kept precisely so the equivalence suite can check that).
     #[allow(clippy::too_many_arguments)]
     pub fn tick(
         &mut self,
@@ -434,13 +443,35 @@ impl GlobalTile {
         stats: &mut CoreStats,
         mem: &SparseMem,
         tracer: &mut Tracer,
+        prof: &mut TickProfile,
     ) {
-        self.drain_status(now, nets, crit);
-        self.drain_branches(now, nets, crit, stats, tracer);
-        self.check_completion(now, crit, tracer);
-        self.issue_commit(now, nets, crit, tracer);
-        self.dealloc(now, crit, stats, tracer);
-        self.fetch_fsm(now, cfg, nets, crit, stats, mem, tracer);
+        if cfg.fused_gt {
+            let t = prof.begin();
+            self.drain_status(now, nets, crit);
+            self.drain_branches(now, nets, crit, stats, tracer);
+            self.recv_refills(now, nets);
+            prof.end(TickPhase::GtChains, t);
+            let t = prof.begin();
+            self.advance_frames_fused(now, nets, crit, stats, tracer);
+            prof.end(TickPhase::GtFrames, t);
+            let t = prof.begin();
+            self.fetch_advance(now, cfg, nets, crit, stats, mem, tracer);
+            prof.end(TickPhase::GtFetch, t);
+        } else {
+            let t = prof.begin();
+            self.drain_status(now, nets, crit);
+            self.drain_branches(now, nets, crit, stats, tracer);
+            prof.end(TickPhase::GtChains, t);
+            let t = prof.begin();
+            self.check_completion(now, crit, tracer);
+            self.issue_commit(now, nets, crit, tracer);
+            self.dealloc(now, crit, stats, tracer);
+            prof.end(TickPhase::GtFrames, t);
+            let t = prof.begin();
+            self.recv_refills(now, nets);
+            self.fetch_advance(now, cfg, nets, crit, stats, mem, tracer);
+            prof.end(TickPhase::GtFetch, t);
+        }
     }
 
     fn frame_ok(&self, frame: FrameId, gen: Gen) -> bool {
@@ -625,23 +656,58 @@ impl GlobalTile {
         }
     }
 
+    /// Converts frame `fi` to `Complete` when all its inputs are in.
+    /// The predicate and the critical-path parents read only the
+    /// frame's own state, so the conversion is order-independent
+    /// across frames of one cycle.
+    fn try_complete(&mut self, fi: usize, now: u64, crit: &mut CritPath, tracer: &mut Tracer) {
+        let f = &mut self.frames[fi];
+        if f.state == FState::Executing && f.writes_done && f.stores_done && f.branch.is_some() {
+            f.state = FState::Complete;
+            f.t_complete = now;
+            tracer.record(now, || TraceKind::BlockComplete { frame: FrameId(fi as u8) });
+            let parent = crit.later(crit.later(f.writes_ev, f.stores_ev), f.branch_ev);
+            f.complete_ev = crit.event(
+                now,
+                parent,
+                Cat::BlockComplete,
+                now.saturating_sub(crit.time_of(parent)),
+            );
+        }
+    }
+
     fn check_completion(&mut self, now: u64, crit: &mut CritPath, tracer: &mut Tracer) {
         for fi in 0..8 {
-            let f = &mut self.frames[fi];
-            if f.state == FState::Executing && f.writes_done && f.stores_done && f.branch.is_some()
-            {
-                f.state = FState::Complete;
-                f.t_complete = now;
-                tracer.record(now, || TraceKind::BlockComplete { frame: FrameId(fi as u8) });
-                let parent = crit.later(crit.later(f.writes_ev, f.stores_ev), f.branch_ev);
-                f.complete_ev = crit.event(
-                    now,
-                    parent,
-                    Cat::BlockComplete,
-                    now.saturating_sub(crit.time_of(parent)),
-                );
-            }
+            self.try_complete(fi, now, crit, tracer);
         }
+    }
+
+    /// Sends the cycle's one commit command for `frame` (§4.4) and
+    /// trains the predictor in commit order.
+    fn send_commit(
+        &mut self,
+        frame: FrameId,
+        now: u64,
+        nets: &mut Nets,
+        crit: &mut CritPath,
+        tracer: &mut Tracer,
+    ) {
+        let fi = frame.0 as usize;
+        let f = &mut self.frames[fi];
+        f.commit_sent = true;
+        f.state = FState::Committing;
+        f.t_commit = now;
+        let parent = crit.later(f.complete_ev, self.last_commit_ev);
+        f.commit_ev =
+            crit.event(now, parent, Cat::BlockCommit, now.saturating_sub(crit.time_of(parent)));
+        self.last_commit_ev = f.commit_ev;
+        tracer.record(now, || TraceKind::CommitCmd { frame });
+        nets.gcn_broadcast(now, GcnMsg::Commit { frame, gen: f.gen });
+
+        let b = f.branch.expect("complete blocks resolved their branch");
+        let (pc, size, hist) = (f.pc, f.size, f.hist_at_predict);
+        let target = b.target.unwrap_or(pc + size);
+        self.predictor.update(pc, b.exit, b.kind, target, hist);
     }
 
     fn issue_commit(
@@ -653,6 +719,7 @@ impl GlobalTile {
     ) {
         // Pipelined commit: a command may go out for a block when all
         // older blocks have had theirs sent (§4.4).
+        let mut target = None;
         for &frame in &self.order {
             let fi = frame.0 as usize;
             if self.frames[fi].commit_sent {
@@ -661,23 +728,11 @@ impl GlobalTile {
             if self.frames[fi].state != FState::Complete {
                 return;
             }
-            let f = &mut self.frames[fi];
-            f.commit_sent = true;
-            f.state = FState::Committing;
-            f.t_commit = now;
-            let parent = crit.later(f.complete_ev, self.last_commit_ev);
-            f.commit_ev =
-                crit.event(now, parent, Cat::BlockCommit, now.saturating_sub(crit.time_of(parent)));
-            self.last_commit_ev = f.commit_ev;
-            tracer.record(now, || TraceKind::CommitCmd { frame });
-            nets.gcn_broadcast(now, GcnMsg::Commit { frame, gen: f.gen });
-
-            // Train the predictor in commit order.
-            let b = f.branch.expect("complete blocks resolved their branch");
-            let (pc, size, hist) = (f.pc, f.size, f.hist_at_predict);
-            let target = b.target.unwrap_or(pc + size);
-            self.predictor.update(pc, b.exit, b.kind, target, hist);
-            return; // one commit command per cycle
+            target = Some(frame);
+            break;
+        }
+        if let Some(frame) = target {
+            self.send_commit(frame, now, nets, crit, tracer); // one command per cycle
         }
     }
 
@@ -689,58 +744,112 @@ impl GlobalTile {
         tracer: &mut Tracer,
     ) {
         while let Some(&frame) = self.order.front() {
-            let fi = frame.0 as usize;
-            let f = &self.frames[fi];
+            let f = &self.frames[frame.0 as usize];
             if !(f.state == FState::Committing && f.rt_ack && f.dt_ack) {
                 return;
             }
-            let was_halt = matches!(f.branch, Some(ResolvedBranch { kind: BranchKind::Halt, .. }));
-            if stats.timeline.len() < 64 {
-                stats.timeline.push(crate::stats::BlockTiming {
-                    pc: f.pc,
-                    fetch: f.t_fetch,
-                    dispatch: f.t_dispatch,
-                    complete: f.t_complete,
-                    commit: f.t_commit,
-                    ack: now,
-                });
-            }
-            let commit_ev = f.commit_ev;
-            let pc = f.pc;
-            tracer.record(now, || TraceKind::BlockAck { frame, pc });
-            let gen = f.gen + 1;
-            self.frames[fi] = Frame { gen, ..Frame::default() };
-            self.order.pop_front();
-            stats.blocks_committed += 1;
-            let ev = crit.event(
-                now,
-                commit_ev,
-                Cat::BlockCommit,
-                now.saturating_sub(crit.time_of(commit_ev)),
-            );
-            self.slot_free_ev[fi] = ev;
-            self.final_ev = ev;
-            if was_halt {
-                // The halt's resolution flushed everything younger and
-                // stopped fetch, so the halt block is always last out.
-                self.halt_pending = true;
-                self.halted = true;
-            }
+            self.dealloc_head(now, crit, stats, tracer);
         }
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn fetch_fsm(
+    /// Retires the head of `order` (which the caller checked is fully
+    /// acknowledged) and frees its slot.
+    fn dealloc_head(
         &mut self,
         now: u64,
-        cfg: &CoreConfig,
+        crit: &mut CritPath,
+        stats: &mut CoreStats,
+        tracer: &mut Tracer,
+    ) {
+        let frame = *self.order.front().expect("dealloc_head needs a head frame");
+        let fi = frame.0 as usize;
+        let f = &self.frames[fi];
+        let was_halt = matches!(f.branch, Some(ResolvedBranch { kind: BranchKind::Halt, .. }));
+        if stats.timeline.len() < 64 {
+            stats.timeline.push(crate::stats::BlockTiming {
+                pc: f.pc,
+                fetch: f.t_fetch,
+                dispatch: f.t_dispatch,
+                complete: f.t_complete,
+                commit: f.t_commit,
+                ack: now,
+            });
+        }
+        let commit_ev = f.commit_ev;
+        let pc = f.pc;
+        tracer.record(now, || TraceKind::BlockAck { frame, pc });
+        let gen = f.gen + 1;
+        self.frames[fi] = Frame { gen, ..Frame::default() };
+        self.order.pop_front();
+        stats.blocks_committed += 1;
+        let ev = crit.event(
+            now,
+            commit_ev,
+            Cat::BlockCommit,
+            now.saturating_sub(crit.time_of(commit_ev)),
+        );
+        self.slot_free_ev[fi] = ev;
+        self.final_ev = ev;
+        if was_halt {
+            // The halt's resolution flushed everything younger and
+            // stopped fetch, so the halt block is always last out.
+            self.halt_pending = true;
+            self.halted = true;
+        }
+    }
+
+    /// The fused in-flight frame walk (see [`GlobalTile::tick`]): one
+    /// age-order pass doing what `check_completion`, `issue_commit`,
+    /// and `dealloc` do in three. Per frame, oldest first: convert an
+    /// executing frame whose inputs are all in; let the cycle's single
+    /// commit command go to the first frame in age order without one
+    /// (nothing younger may get it, §4.4); pop the frame if it is the
+    /// head and fully acknowledged. The interleaving cannot change any
+    /// decision the phased order makes: completion reads only the
+    /// frame's own state, a frame issued its commit this cycle cannot
+    /// also dealloc this cycle (the acks need a GCN→GSN round trip),
+    /// and every dealloc'd head already had `commit_sent`, so the
+    /// commit window walks the same frames (DESIGN.md §5b).
+    fn advance_frames_fused(
+        &mut self,
+        now: u64,
         nets: &mut Nets,
         crit: &mut CritPath,
         stats: &mut CoreStats,
-        mem: &SparseMem,
         tracer: &mut Tracer,
     ) {
-        // Refill completions.
+        let mut commit_open = true;
+        let mut at_head = true;
+        let mut oi = 0;
+        while oi < self.order.len() {
+            let frame = self.order[oi];
+            let fi = frame.0 as usize;
+            self.try_complete(fi, now, crit, tracer);
+            if commit_open && !self.frames[fi].commit_sent {
+                if self.frames[fi].state == FState::Complete {
+                    self.send_commit(frame, now, nets, crit, tracer);
+                }
+                commit_open = false;
+            }
+            if at_head {
+                let f = &self.frames[fi];
+                if f.state == FState::Committing && f.rt_ack && f.dt_ack {
+                    debug_assert_eq!(oi, 0, "only the head of `order` deallocates");
+                    self.dealloc_head(now, crit, stats, tracer);
+                    continue; // the next frame is the new head at oi == 0
+                }
+                at_head = false;
+            }
+            oi += 1;
+        }
+    }
+
+    /// Refill completions from the IT chain. Nothing between this and
+    /// the fetch advance reads the I-tag array or the fetch stage, so
+    /// the fused tick may drain these with the other chain heads while
+    /// the phased tick keeps them adjacent to the fetch FSM — same
+    /// result either way.
+    fn recv_refills(&mut self, now: u64, nets: &mut Nets) {
         while let Some(msg) = nets.gsn_it.recv(now, 0) {
             if let GsnMsg::RefillDone { addr } = msg {
                 self.itag_insert(addr);
@@ -751,7 +860,19 @@ impl GlobalTile {
                 }
             }
         }
+    }
 
+    #[allow(clippy::too_many_arguments)]
+    fn fetch_advance(
+        &mut self,
+        now: u64,
+        cfg: &CoreConfig,
+        nets: &mut Nets,
+        crit: &mut CritPath,
+        stats: &mut CoreStats,
+        mem: &SparseMem,
+        tracer: &mut Tracer,
+    ) {
         // Advance the in-flight fetch.
         if let Some(op) = self.fetch {
             match op.stage {

@@ -64,6 +64,7 @@ pub mod msg;
 mod nets;
 mod predictor;
 mod proc;
+pub mod profile;
 mod rt;
 mod stats;
 pub mod trace;
@@ -79,6 +80,7 @@ pub use fault::{ChainDelay, FaultPlan, LinkFault, OcnFault, Ratio};
 pub use invariants::InvariantViolation;
 pub use predictor::{NextBlockPredictor, Prediction, PredictorCheckpoint};
 pub use proc::{GatingStats, Processor, SimError};
+pub use profile::{PhaseAcc, TickPhase, TickProfile};
 pub use stats::{BlockTiming, CoreStats, Histogram, MemSysStats, ProtocolStats};
 pub use trace::{OpnClass, TraceEvent, TraceKind, Tracer};
 pub use trips_micronet::FaultPort;

@@ -299,8 +299,48 @@ impl OpnOutbox {
     }
 }
 
+/// Drains *every* delivered OPN message for `tile` this cycle in one
+/// call, invoking `deliver` per message — the batched form of
+/// [`opn_recv`], and bit-identical to calling it in a loop until
+/// `None`. The loop form rescans from network 0 on every call, but a
+/// rescan of a just-drained network can never find anything new:
+/// ejections happen only inside `Mesh::tick`, never from a tile's
+/// receive handler, so draining network 0 fully and then network 1
+/// yields the identical sequence. Same-destination operands always
+/// share one network ([`Nets::opn_for`] steers by destination), so the
+/// full-drain order is also non-overtaking per flow. A network with
+/// nothing delivered costs one bit test ([`Mesh::has_delivered`]).
+pub fn opn_recv_batch(
+    nets: &mut Nets,
+    now: u64,
+    tile: TileId,
+    tracer: &mut Tracer,
+    mut deliver: impl FnMut(MeshMsg<OpnPayload>),
+) {
+    let node = tile.opn();
+    for (n, m) in nets.opn.iter_mut().enumerate() {
+        if !m.has_delivered(node) {
+            continue;
+        }
+        while let Some(msg) = m.eject(node) {
+            tracer.record(now, || TraceKind::OpnEject {
+                net: n as u8,
+                class: OpnClass::of(&msg.payload),
+                src: TileId::from_opn(msg.src),
+                dst: tile,
+                hops: msg.hops,
+                queued: msg.queued,
+            });
+            deliver(msg);
+        }
+    }
+}
+
 /// Drains one delivered OPN message for `tile`, scanning the parallel
 /// networks in order. Returns the message with its hop/queue counts.
+/// Used by receive loops whose per-message handling needs `nets` or
+/// `tracer` itself (the GT's branch drain flushes, the DT's request
+/// drain forwards) — pure consumers use [`opn_recv_batch`].
 pub fn opn_recv(
     nets: &mut Nets,
     now: u64,
@@ -309,6 +349,9 @@ pub fn opn_recv(
 ) -> Option<MeshMsg<OpnPayload>> {
     let node = tile.opn();
     for (n, m) in nets.opn.iter_mut().enumerate() {
+        if !m.has_delivered(node) {
+            continue;
+        }
         if let Some(msg) = m.eject(node) {
             tracer.record(now, || TraceKind::OpnEject {
                 net: n as u8,

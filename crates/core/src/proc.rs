@@ -18,6 +18,7 @@ use crate::it::InstTile;
 use crate::memsys::{MemClient, MemSys};
 use crate::msg::TileId;
 use crate::nets::{dt_chain_pos, gcn_pos, it_col_pos, row_pos_of_col, rt_chain_pos, Nets};
+use crate::profile::{TickPhase, TickProfile};
 use crate::rt::RegTile;
 use crate::stats::CoreStats;
 use crate::trace::Tracer;
@@ -131,6 +132,7 @@ pub struct Processor {
     pub(crate) stats: CoreStats,
     pub(crate) tracer: Tracer,
     pub(crate) gating: GatingStats,
+    pub(crate) profile: TickProfile,
     pub(crate) cycle: u64,
     /// Set when the previous scanned cycle found every tile active:
     /// the next cycle ticks all tiles without scanning. Ticking a tile
@@ -157,6 +159,7 @@ impl Processor {
             stats: CoreStats::default(),
             tracer: Tracer::disabled(),
             gating: GatingStats::default(),
+            profile: TickProfile::disabled(),
             cycle: 0,
             scan_holiday: false,
             cfg,
@@ -179,6 +182,7 @@ impl Processor {
         self.stats = CoreStats::default();
         self.tracer.clear();
         self.gating = GatingStats::default();
+        self.profile.clear();
         self.cycle = 0;
     }
 
@@ -197,6 +201,34 @@ impl Processor {
     /// The flight recorder (empty unless tracing is enabled).
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// Turns on the per-phase tick profiler (see [`TickProfile`]).
+    /// Like the tracer, the enabled state survives [`Processor::run`]'s
+    /// reset but each run starts its counts from zero. Profiling only
+    /// reads the host clock — profiled runs are architecturally
+    /// identical to unprofiled ones.
+    pub fn enable_profiling(&mut self) {
+        self.profile = TickProfile::enabled();
+    }
+
+    /// The per-phase tick profile (all zeros unless
+    /// [enabled](Processor::enable_profiling)).
+    pub fn profile(&self) -> &TickProfile {
+        &self.profile
+    }
+
+    /// Total frames examined by the work-list-driven tile walks (RT
+    /// and DT frame advancement, ET select) since construction.
+    /// Host-side observability only — not part of [`CoreStats`], so
+    /// it never participates in bit-identity comparisons. The
+    /// gating-equivalence tests use it to prove the dirty-frame lists
+    /// are non-vacuous: with `work_lists` on, real workloads must
+    /// examine strictly fewer frames than the full scans do.
+    pub fn work_list_visits(&self) -> u64 {
+        self.rts.iter().map(|t| t.advance_visits).sum::<u64>()
+            + self.dts.iter().map(|t| t.advance_visits).sum::<u64>()
+            + self.ets.iter().map(|t| t.select_visits).sum::<u64>()
     }
 
     /// The simulated memory (for inspecting results after a run).
@@ -565,6 +597,7 @@ impl Processor {
             self.scan_holiday = false;
             FULL_MASK
         } else {
+            let tp = self.profile.begin();
             let mask = loop {
                 let now = self.cycle;
                 let (mask, wake) = self.scan_activity(now);
@@ -581,6 +614,7 @@ impl Processor {
                 break mask;
             };
             self.scan_holiday = mask == FULL_MASK;
+            self.profile.end(TickPhase::Scan, tp);
             mask
         };
         self.tick_with_mask(mask);
@@ -598,11 +632,15 @@ impl Processor {
         } else {
             self.tick_tiles_masked(now, mask);
         }
+        let tp = self.profile.begin();
         self.nets.tick(now);
+        self.profile.end(TickPhase::Nets, tp);
         // The secondary system runs after the tiles and nets: requests
         // issued this cycle inject now, and responses it delivers are
         // consumed by the tiles next cycle (see DESIGN.md §5d).
+        let tp = self.profile.begin();
         self.memsys.tick(now, &mut self.tracer);
+        self.profile.end(TickPhase::MemSys, tp);
         self.cycle += 1;
     }
 
@@ -617,7 +655,9 @@ impl Processor {
             &mut self.stats,
             &self.mem,
             &mut self.tracer,
+            &mut self.profile,
         );
+        let tp = self.profile.begin();
         for i in 0..self.its.len() {
             self.its[i].tick(
                 now,
@@ -628,6 +668,8 @@ impl Processor {
                 &mut self.tracer,
             );
         }
+        self.profile.end(TickPhase::It, tp);
+        let tp = self.profile.begin();
         for i in 0..self.rts.len() {
             self.rts[i].tick(
                 now,
@@ -638,6 +680,8 @@ impl Processor {
                 &mut self.tracer,
             );
         }
+        self.profile.end(TickPhase::Rt, tp);
+        let tp = self.profile.begin();
         for i in 0..self.ets.len() {
             self.ets[i].tick(
                 now,
@@ -648,6 +692,8 @@ impl Processor {
                 &mut self.tracer,
             );
         }
+        self.profile.end(TickPhase::Et, tp);
+        let tp = self.profile.begin();
         for i in 0..self.dts.len() {
             self.dts[i].tick(
                 now,
@@ -660,6 +706,7 @@ impl Processor {
                 &mut self.tracer,
             );
         }
+        self.profile.end(TickPhase::Dt, tp);
         self.gating.ticks_run += TILE_TICKS;
     }
 
@@ -674,8 +721,10 @@ impl Processor {
                 &mut self.stats,
                 &self.mem,
                 &mut self.tracer,
+                &mut self.profile,
             );
         }
+        let tp = self.profile.begin();
         for i in 0..self.its.len() {
             if mask & (1 << (IT_BIT + i as u32)) != 0 {
                 self.its[i].tick(
@@ -688,6 +737,8 @@ impl Processor {
                 );
             }
         }
+        self.profile.end(TickPhase::It, tp);
+        let tp = self.profile.begin();
         for i in 0..self.rts.len() {
             if mask & (1 << (RT_BIT + i as u32)) != 0 {
                 self.rts[i].tick(
@@ -700,6 +751,8 @@ impl Processor {
                 );
             }
         }
+        self.profile.end(TickPhase::Rt, tp);
+        let tp = self.profile.begin();
         for i in 0..self.ets.len() {
             if mask & (1 << (ET_BIT + i as u32)) != 0 {
                 self.ets[i].tick(
@@ -712,6 +765,8 @@ impl Processor {
                 );
             }
         }
+        self.profile.end(TickPhase::Et, tp);
+        let tp = self.profile.begin();
         for i in 0..self.dts.len() {
             if mask & (1 << (DT_BIT + i as u32)) != 0 {
                 self.dts[i].tick(
@@ -726,6 +781,7 @@ impl Processor {
                 );
             }
         }
+        self.profile.end(TickPhase::Dt, tp);
         let run = u64::from(mask.count_ones());
         self.gating.ticks_run += run;
         self.gating.ticks_gated += TILE_TICKS - run;

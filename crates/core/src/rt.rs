@@ -15,7 +15,7 @@ use trips_isa::{ArchReg, ReadInst, Target};
 use crate::config::{CoreConfig, NUM_FRAMES};
 use crate::critpath::{Cat, CritPath, NO_EVENT};
 use crate::msg::{EvId, FrameId, GcnMsg, Gen, GsnMsg, OpnPayload, RowMsg, TileId};
-use crate::nets::{gcn_pos, opn_recv, row_pos_of_col, rt_chain_pos, Nets, OpnOutbox};
+use crate::nets::{gcn_pos, opn_recv_batch, row_pos_of_col, rt_chain_pos, Nets, OpnOutbox};
 use crate::stats::CoreStats;
 use crate::trace::{TraceKind, Tracer};
 
@@ -62,6 +62,24 @@ pub struct RegTile {
     frames: [RtFrame; NUM_FRAMES],
     order: Vec<FrameId>,
     outbox: OpnOutbox,
+    /// Bit `fi` set iff `frames[fi]` is active — the dirty-frame work
+    /// list for [`RegTile::advance_frames`]. Maintained at every
+    /// (de)activation site and audited against the frames, so the
+    /// masked walk visits exactly the frames the full scan would act
+    /// on. Maintained unconditionally; `cfg.work_lists` only selects
+    /// which iteration the tick uses.
+    active_mask: u8,
+    /// Bit `fi` set iff `frames[fi]` is active, saw its commit wave,
+    /// and has not finished draining (`committing && !commit_done`) —
+    /// the exact predicate of [`RegTile::busy`]'s old frame scan.
+    /// Always maintained and always used: this mask drives the
+    /// clock-gating predicate, which must stay exact or the scheduler
+    /// sleeps through a commit drain.
+    committing_mask: u8,
+    /// Frames examined by the advance walk (not in [`CoreStats`]; a
+    /// host-side observability counter for the non-vacuousness tests,
+    /// like [`GatingStats`](crate::GatingStats)).
+    pub(crate) advance_visits: u64,
 }
 
 impl RegTile {
@@ -73,6 +91,9 @@ impl RegTile {
             frames: Default::default(),
             order: Vec::with_capacity(NUM_FRAMES),
             outbox: OpnOutbox::with_capacity(16),
+            active_mask: 0,
+            committing_mask: 0,
+            advance_visits: 0,
         }
     }
 
@@ -92,8 +113,11 @@ impl RegTile {
     /// Every other state change in this tile is message-triggered and
     /// completed in the tick that consumes the message.
     fn busy(&self) -> bool {
-        !self.outbox.is_empty()
-            || self.frames.iter().any(|f| f.active && f.committing && !f.commit_done)
+        // `committing_mask` is the old frame scan's predicate
+        // (`active && committing && !commit_done`) held as a bitmask,
+        // so the busy test — asked by the activity scan every scanned
+        // cycle — is two loads instead of an eight-frame walk.
+        !self.outbox.is_empty() || self.committing_mask != 0
     }
 
     /// Clock-gating predicate: internal work pending, or any message
@@ -155,6 +179,19 @@ impl RegTile {
             }
         }
         for (fi, f) in self.frames.iter().enumerate() {
+            if f.active != (self.active_mask & (1 << fi) != 0) {
+                return Err(format!(
+                    "RT{}: frame {fi} active={} but the work-list mask says {}",
+                    self.bank, f.active, !f.active
+                ));
+            }
+            let draining = f.active && f.committing && !f.commit_done;
+            if draining != (self.committing_mask & (1 << fi) != 0) {
+                return Err(format!(
+                    "RT{}: frame {fi} draining={draining} but the committing mask disagrees",
+                    self.bank
+                ));
+            }
             if !f.active {
                 continue;
             }
@@ -198,6 +235,8 @@ impl RegTile {
                 done_ev: NO_EVENT,
                 ..RtFrame::default()
             };
+            self.active_mask |= 1 << frame.0;
+            self.committing_mask &= !(1 << frame.0);
         }
         if from_dispatch && !self.order.contains(&frame) {
             self.order.push(frame);
@@ -257,19 +296,19 @@ impl RegTile {
             }
         }
 
-        // Write values from the OPN.
-        while let Some(m) = opn_recv(nets, now, TileId::Rt(self.bank), tracer) {
+        // Write values from the OPN, one batched drain per cycle.
+        opn_recv_batch(nets, now, TileId::Rt(self.bank), tracer, |m| {
             let (hops, queued) = (m.hops, m.queued);
             if let OpnPayload::WriteVal { frame, gen, wslot, tok, ev } = m.payload {
                 if !self.ensure_frame(frame, gen, false) {
-                    continue;
+                    return;
                 }
                 let e_hop =
                     crit.event(now - u64::from(queued), ev, Cat::OpnHop, u64::from(hops) + 1);
                 let e_arr = crit.event(now, e_hop, Cat::OpnContention, u64::from(queued));
                 self.write_arrived(now, frame, wslot, tok, e_arr, crit);
             }
-        }
+        });
 
         // GCN commit/flush.
         while let Some(msg) = nets.gcn.recv(now, gcn_pos(TileId::Rt(self.bank))) {
@@ -281,6 +320,7 @@ impl RegTile {
                             frame,
                         });
                         self.frames[frame.0 as usize].committing = true;
+                        self.committing_mask |= 1 << frame.0;
                     }
                 }
                 GcnMsg::Flush { mask, gens } => {
@@ -370,11 +410,21 @@ impl RegTile {
             }
             if f.commit_cursor >= 8 {
                 f.commit_done = true;
+                self.committing_mask &= !(1 << fi);
             }
         }
 
         let mut cleared = 0u8; // frame bitmask; no per-tick allocation
-        for fi in 0..NUM_FRAMES {
+                               // The completion/ack walk only acts on active frames; with
+                               // work lists on it iterates the active-frame mask (same
+                               // ascending frame order as the full scan, which skips the
+                               // inactive rest). The toggle exists so the equivalence suite
+                               // can compare the two walks bit for bit.
+        let mut pending: u8 = if cfg.work_lists { self.active_mask } else { !0 };
+        while pending != 0 {
+            let fi = pending.trailing_zeros() as usize;
+            pending &= pending - 1;
+            self.advance_visits += 1;
             let frame = FrameId(fi as u8);
             let f = &mut self.frames[fi];
             if !f.active {
@@ -404,10 +454,12 @@ impl RegTile {
                 // deallocation bump so stragglers read as stale.
                 f.active = false;
                 f.gen += 1;
+                debug_assert_eq!(self.committing_mask & (1 << fi), 0, "acked while draining");
                 cleared |= 1 << fi;
             }
         }
         if cleared != 0 {
+            self.active_mask &= !cleared;
             self.order.retain(|&x| cleared & (1 << x.0) == 0);
         }
     }
@@ -424,6 +476,8 @@ impl RegTile {
                     orphaned.append(&mut w.waiters);
                 }
                 *f = RtFrame { active: false, gen: new_gen, ..RtFrame::default() };
+                self.active_mask &= !(1 << fi);
+                self.committing_mask &= !(1 << fi);
                 self.order.retain(|&x| x.0 as usize != fi);
             } else if !f.active && f.gen < new_gen {
                 f.gen = new_gen;

@@ -163,6 +163,15 @@ pub struct Mesh<P> {
     /// a meaningful mask (the OPN is 25); larger meshes fall back to
     /// the full sweep.
     occ: u64,
+    /// Bit `r` set iff router `r`'s eject queue is non-empty — the
+    /// same trick as `occ` for [`Mesh::has_delivered`], which the
+    /// core's activity scan asks for every destination tile every
+    /// scanned cycle. Maintained at the two mutation sites (the tick's
+    /// eject arm sets it, [`Mesh::eject`] clears it on the last
+    /// message) and audited against the queues like `occ`. Meaningful
+    /// only for meshes of ≤64 routers; larger meshes answer from the
+    /// queue itself.
+    delivered: u64,
     /// Installed timing faults (`None` on the production path).
     fault: Option<MeshFaultState>,
     // Per-tick scratch, retained across ticks so the hot path never
@@ -190,6 +199,7 @@ impl<P> Mesh<P> {
             stats: MeshStats::default(),
             in_flight: 0,
             occ: 0,
+            delivered: 0,
             fault: None,
             scratch_len: vec![[0; PORTS]; n],
             scratch_incoming: vec![[false; PORTS]; n],
@@ -240,9 +250,16 @@ impl<P> Mesh<P> {
     }
 
     /// True if a delivered message awaits consumption at `node` —
-    /// a destination tile must be clocked while this holds.
+    /// a destination tile must be clocked while this holds. One bit
+    /// test on the `delivered` mask (the activity scan asks this for
+    /// every tile every scanned cycle).
     pub fn has_delivered(&self, node: Coord) -> bool {
-        !self.routers[self.idx(node)].eject.is_empty()
+        let i = self.idx(node);
+        if i < 64 {
+            self.delivered & (1 << i) != 0
+        } else {
+            !self.routers[i].eject.is_empty()
+        }
     }
 
     /// True if the caller can inject at `src` this cycle.
@@ -289,6 +306,14 @@ impl<P> Mesh<P> {
                     "occupancy mask bit {r} is {} but router inputs are {}",
                     self.occ & (1 << r) != 0,
                     if nonempty { "non-empty" } else { "empty" },
+                ));
+            }
+            let has_eject = !router.eject.is_empty();
+            if has_eject != (self.delivered & (1 << r) != 0) {
+                return Err(format!(
+                    "delivered mask bit {r} is {} but the eject queue holds {} message(s)",
+                    self.delivered & (1 << r) != 0,
+                    router.eject.len(),
                 ));
             }
         }
@@ -349,7 +374,11 @@ impl<P> Mesh<P> {
     /// Pops the next delivered message at `node`, if any.
     pub fn eject(&mut self, node: Coord) -> Option<MeshMsg<P>> {
         let i = self.idx(node);
-        self.routers[i].eject.pop_front()
+        let msg = self.routers[i].eject.pop_front();
+        if msg.is_some() && i < 64 && self.routers[i].eject.is_empty() {
+            self.delivered &= !(1 << i);
+        }
+        msg
     }
 
     /// Peeks the next delivered message at `node` without consuming it.
@@ -411,49 +440,28 @@ impl<P> Mesh<P> {
             }
         }
         // A router with all-empty inputs can neither grant nor move
-        // anything, so with no fault installed both the flow-control
-        // snapshot and arbitration visit only occupied routers (and,
-        // for the snapshot, their link neighbours — the only entries
-        // the capacity checks read). Arbitration keeps the same
-        // row-major order — empty routers are no-ops, so the grants
-        // are identical. A fault hook draws from its PRNG on every
-        // `stalled` probe, so faulted meshes keep the full legacy
-        // sweep to preserve the draw sequence.
+        // anything, so with no fault installed arbitration visits only
+        // occupied routers, in the same row-major order — empty
+        // routers are no-ops, so the grants are identical. The fast
+        // path also skips the start-of-cycle occupancy snapshot:
+        // moves are deferred until after all arbitration, so the live
+        // FIFO lengths it reads *are* the start-of-cycle lengths. The
+        // `incoming` scratch is all-false here by invariant — every
+        // entry any arbitration sets corresponds to one recorded
+        // forward move, and the move loop below clears it after use.
+        // A fault hook draws from its PRNG on every `stalled` probe,
+        // so faulted meshes keep the full legacy sweep to preserve the
+        // draw sequence.
         if fault.is_none() && n <= 64 {
-            let cols = self.cols as usize;
-            let mut snapped: u64 = 0;
-            let mut snap = |mesh: &Mesh<P>, r: usize| {
-                if snapped & (1 << r) == 0 {
-                    snapped |= 1 << r;
-                    incoming[r] = [false; PORTS];
-                    for (len, input) in start_len[r].iter_mut().zip(&mesh.routers[r].inputs) {
-                        *len = input.len();
-                    }
-                }
-            };
-            let mut m = self.occ;
-            while m != 0 {
-                let r = m.trailing_zeros() as usize;
-                m &= m - 1;
-                snap(self, r);
-                if r >= cols {
-                    snap(self, r - cols);
-                }
-                if r + cols < n {
-                    snap(self, r + cols);
-                }
-                if !r.is_multiple_of(cols) {
-                    snap(self, r - 1);
-                }
-                if r % cols + 1 < cols {
-                    snap(self, r + 1);
-                }
+            #[cfg(debug_assertions)]
+            for entry in incoming.iter() {
+                debug_assert_eq!(entry, &[false; PORTS], "incoming scratch left dirty");
             }
             let mut m = self.occ;
             while m != 0 {
                 let r = m.trailing_zeros() as usize;
                 m &= m - 1;
-                self.arbitrate_router(r, now, &mut fault, &start_len, &mut incoming, &mut moves);
+                self.arbitrate_router_fast(r, &mut incoming, &mut moves);
             }
         } else {
             for (r, router) in self.routers.iter().enumerate() {
@@ -482,6 +490,9 @@ impl<P> Mesh<P> {
                     self.stats.total_latency += u64::from(latency);
                     self.in_flight -= 1;
                     self.routers[r].eject.push_back(msg);
+                    if r < 64 {
+                        self.delivered |= 1 << r;
+                    }
                 }
                 _ => {
                     let at = Coord {
@@ -494,6 +505,12 @@ impl<P> Mesh<P> {
                     if nb < 64 {
                         self.occ |= 1 << nb;
                     }
+                    // Restore the all-false `incoming` invariant the
+                    // snapshot-free fast path relies on. Every set
+                    // entry corresponds to exactly one forward move,
+                    // so this sweep clears them all (harmless on the
+                    // legacy path, which re-zeroes at snapshot time).
+                    incoming[nb][port] = false;
                 }
             }
         }
@@ -564,6 +581,87 @@ impl<P> Mesh<P> {
                     continue;
                 }
                 input_used[p] = true;
+                self.routers[r].rr[oi] = (p + 1) % PORTS;
+                if let Some((nb, port)) = dest {
+                    incoming[nb][port] = true;
+                }
+                moves.push((r, p, out));
+                break;
+            }
+        }
+    }
+
+    /// The fault-free arbitration of [`Mesh::arbitrate_router`],
+    /// restructured so cost follows occupancy instead of port count.
+    /// Three mechanical differences, none visible in the grants:
+    ///
+    /// * each occupied input's head is routed **once** up front (the
+    ///   legacy loop re-routes every head for every output port; a
+    ///   head's route cannot change mid-arbitration, so the 5×5 route
+    ///   matrix collapses to one entry per occupied input);
+    /// * output ports no head requests are skipped entirely — the
+    ///   legacy scan for such a port finds no candidate and changes
+    ///   nothing, and with no fault installed there is no PRNG to
+    ///   keep in step;
+    /// * downstream capacity reads the live FIFO length instead of a
+    ///   snapshot — moves are deferred until all arbitration is done,
+    ///   so the live lengths *are* the start-of-cycle lengths.
+    fn arbitrate_router_fast(
+        &mut self,
+        r: usize,
+        incoming: &mut [[bool; PORTS]],
+        moves: &mut Vec<(usize, usize, Out)>,
+    ) {
+        const UNROUTED: u8 = u8::MAX;
+        let at = Coord { row: (r / self.cols as usize) as u8, col: (r % self.cols as usize) as u8 };
+        let mut want = [UNROUTED; PORTS];
+        let mut requested = 0u8;
+        for (p, input) in self.routers[r].inputs.iter().enumerate() {
+            if let Some(head) = input.front() {
+                let oi = match self.route(at, head.dst) {
+                    Out::Eject => 0,
+                    Out::North => 1,
+                    Out::East => 2,
+                    Out::South => 3,
+                    Out::West => 4,
+                };
+                want[p] = oi as u8;
+                requested |= 1 << oi;
+            }
+        }
+        for (oi, out) in
+            [Out::Eject, Out::North, Out::East, Out::South, Out::West].into_iter().enumerate()
+        {
+            if requested & (1 << oi) == 0 {
+                continue;
+            }
+            let dest = if out == Out::Eject {
+                None
+            } else {
+                let row_ok = match out {
+                    Out::North => at.row > 0,
+                    Out::South => at.row + 1 < self.rows,
+                    Out::East => at.col + 1 < self.cols,
+                    Out::West => at.col > 0,
+                    Out::Eject => true,
+                };
+                if !row_ok {
+                    continue;
+                }
+                Some(self.neighbor(at, out))
+            };
+            if let Some((nb, port)) = dest {
+                if incoming[nb][port] || self.routers[nb].inputs[port].len() >= self.fifo_cap {
+                    continue;
+                }
+            }
+            let base = self.routers[r].rr[oi];
+            for k in 0..PORTS {
+                let p = (base + k) % PORTS;
+                if want[p] != oi as u8 {
+                    continue;
+                }
+                want[p] = UNROUTED; // granted; never a candidate again
                 self.routers[r].rr[oi] = (p + 1) % PORTS;
                 if let Some((nb, port)) = dest {
                     incoming[nb][port] = true;

@@ -29,10 +29,10 @@ The same gate also covers ``BENCH_chipsim.json`` (the dual-core chip
 contention benchmark shares the ``workloads[].{name, sim_cycles}`` row
 shape); ``--label`` names the suite in the output so interleaved gate
 runs stay readable. Host time per row is read from ``wall_secs``
-(chipsim: whole-pairing wall seconds) or ``gated_secs`` (simperf: the
-gated run's host seconds) — the two fields measure different things
-and deliberately keep different names; either denominates that file's
-throughput.
+(chipsim: whole-pairing wall seconds; simperf: the gated run's host
+seconds) with ``gated_secs`` accepted as a fallback so baselines
+recorded before simperf's rename still compare; either denominates
+that file's throughput.
 
 ``--baseline-updated`` tells the gate that the change under test also
 updates the baseline file; simulated-cycle differences and name-set
@@ -55,8 +55,8 @@ def load(path):
 
 
 def host_secs(row):
-    """Host seconds for one row: ``wall_secs`` (chipsim) or
-    ``gated_secs`` (simperf)."""
+    """Host seconds for one row: ``wall_secs``, falling back to
+    ``gated_secs`` (pre-rename simperf baselines)."""
     secs = row.get("wall_secs", row.get("gated_secs"))
     if secs is None:
         sys.exit(f"workload {row.get('name')!r}: no wall_secs/gated_secs field")

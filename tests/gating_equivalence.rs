@@ -161,6 +161,103 @@ fn epoch_skipping_actually_skips_cycles() {
     assert_eq!(n.epochs_skipped, 0, "skip_epochs=false must never skip: {n:?}");
 }
 
+/// Outcome with the tick fast paths (DESIGN.md §5b) individually
+/// toggled: dirty-frame work lists and the fused GT frame pass.
+/// Scheduler defaults (gating + skipping on) everywhere — these flags
+/// must be inert on their own axis.
+fn outcome_fast(
+    wl: &Workload,
+    quality: Quality,
+    work_lists: bool,
+    fused_gt: bool,
+) -> (CoreStats, Vec<u64>, SparseMem) {
+    let image = wl
+        .build_trips(quality)
+        .unwrap_or_else(|e| panic!("{} ({quality:?}): compile failed: {e}", wl.name))
+        .image;
+    let mut cpu = Processor::new(CoreConfig { work_lists, fused_gt, ..CoreConfig::prototype() });
+    let stats = cpu
+        .run(&image, MAX_CYCLES)
+        .unwrap_or_else(|e| panic!("{} ({quality:?}): simulation failed: {e}", wl.name));
+    let regs = (0..128).map(|r| cpu.arch_reg(ArchReg::new(r))).collect();
+    (stats, regs, cpu.memory().clone())
+}
+
+#[test]
+fn work_lists_and_fused_gt_are_bit_identical_across_the_suite() {
+    // The prototype default (both fast paths on) against each flag
+    // individually off and both off. Any divergence means a work-list
+    // mask missed a mutation site (a dirty frame was skipped) or the
+    // fused GT pass reordered an observable protocol action.
+    let items: Vec<(Workload, Quality)> = suite::all()
+        .into_iter()
+        .flat_map(|wl| [(wl, Quality::Hand), (wl, Quality::Compiled)])
+        .collect();
+    let failures: Vec<String> = parallel_map(items, num_threads(), |(wl, quality)| {
+        let fast = outcome_fast(&wl, quality, true, true);
+        let mut errs = Vec::new();
+        for (work_lists, fused_gt) in [(false, true), (true, false), (false, false)] {
+            let slow = outcome_fast(&wl, quality, work_lists, fused_gt);
+            if fast.0 != slow.0 {
+                errs.push(format!(
+                    "{} ({quality:?}, work_lists={work_lists}, fused_gt={fused_gt}): \
+                     CoreStats diverge\n  fast: {:?}\n  slow: {:?}",
+                    wl.name, fast.0, slow.0
+                ));
+            }
+            if fast.1 != slow.1 {
+                errs.push(format!(
+                    "{} ({quality:?}, work_lists={work_lists}, fused_gt={fused_gt}): \
+                     registers diverge",
+                    wl.name
+                ));
+            }
+            if fast.2 != slow.2 {
+                errs.push(format!(
+                    "{} ({quality:?}, work_lists={work_lists}, fused_gt={fused_gt}): \
+                     memory diverges",
+                    wl.name
+                ));
+            }
+        }
+        errs
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    assert!(
+        failures.is_empty(),
+        "tick fast paths changed observable behaviour:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn work_lists_actually_skip_frames() {
+    // Sanity that the work-list equivalence is not vacuous: on real
+    // workloads the dirty-frame walks must examine strictly fewer
+    // frames than the full scans do. `work_list_visits` counts frames
+    // examined by the RT/DT advancement walks and the ET select walk;
+    // it lives outside CoreStats so the bit-identity checks above
+    // never see it.
+    for name in ["matrix", "dct8x8"] {
+        let wl = suite::by_name(name).expect("registered");
+        let image = wl.build_trips(Quality::Hand).expect("compiles").image;
+        let mut visits = [0u64; 2];
+        for (i, work_lists) in [true, false].into_iter().enumerate() {
+            let mut cpu = Processor::new(CoreConfig { work_lists, ..CoreConfig::prototype() });
+            cpu.run(&image, MAX_CYCLES).expect("halts");
+            visits[i] = cpu.work_list_visits();
+        }
+        let [dirty, full] = visits;
+        assert!(
+            dirty < full,
+            "{name}: dirty-frame walks examined {dirty} frames but full scans examined \
+             {full} — the work lists are vacuous"
+        );
+    }
+}
+
 #[test]
 fn gating_actually_skips_ticks() {
     // Sanity that the equivalence above is not vacuous: on a real

@@ -1,7 +1,8 @@
 //! Randomized differential testing: randomly generated programs must
 //! produce identical memory on the IR interpreter, the architectural
 //! block interpreter, and the cycle-level core, at both code-quality
-//! levels and with the clock-gated tick scheduler both on and off.
+//! levels, with the clock-gated tick scheduler both on and off, and
+//! with the fused GT frame pass both on and off.
 //! (Seeded generation via `trips_harness::Rng`; the environment has no
 //! crates.io access so `proptest` is unavailable.)
 
@@ -131,11 +132,15 @@ fn random_programs_agree_everywhere() {
         for q in [Quality::Compiled, Quality::Hand] {
             let compiled = compile(&prog, q).expect("compiles");
             let bi = blockinterp::run_image(&compiled.image, 100_000).expect("block interp");
-            for gate in [true, false] {
-                let cfg = CoreConfig { gate_ticks: gate, ..CoreConfig::prototype() };
+            // Axes: the clock-gated scheduler and the fused GT frame
+            // pass (DESIGN.md §5b), each exercised off against the
+            // other's default to keep the case count linear.
+            for (gate, fused_gt) in [(true, true), (false, true), (true, false)] {
+                let cfg = CoreConfig { gate_ticks: gate, fused_gt, ..CoreConfig::prototype() };
                 let mut cpu = Processor::new(cfg);
-                cpu.run(&compiled.image, 5_000_000)
-                    .unwrap_or_else(|e| panic!("core run (case {case}, {q}, gate {gate}): {e}"));
+                cpu.run(&compiled.image, 5_000_000).unwrap_or_else(|e| {
+                    panic!("core run (case {case}, {q}, gate {gate}, fused {fused_gt}): {e}")
+                });
                 for &c in &cells {
                     let want = reference.mem.read_u64(c);
                     assert_eq!(
@@ -146,7 +151,8 @@ fn random_programs_agree_everywhere() {
                     assert_eq!(
                         cpu.memory().read_u64(c),
                         want,
-                        "core diverged at {c:#x} (case {case}, {q}, gate {gate}, steps {steps:?})"
+                        "core diverged at {c:#x} (case {case}, {q}, gate {gate}, \
+                         fused {fused_gt}, steps {steps:?})"
                     );
                 }
             }
