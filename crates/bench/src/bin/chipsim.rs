@@ -1,21 +1,30 @@
-//! Dual-core chip contention benchmark.
+//! N-core chip contention benchmark.
 //!
-//! Runs every pairing in the workload pair table twice over: each
+//! Two experiments per run. First, the dual-core pair table: each
 //! workload solo (a single `Processor` on its own prototype NUCA —
 //! bit-identical to a one-core chip, as `tests/chip_equivalence.rs`
 //! pins) and the pair together on a two-core [`Chip`] sharing one
 //! NUCA. Reports each core's slowdown under contention, the bank
 //! arbiter's cross-core conflict stalls, and the per-core OCN
-//! occupancy high-water marks.
+//! occupancy high-water marks. Second, the **scaling curve**: the
+//! memory-bound group (`listwalk`/`saxpy` alternating) on 1-, 2-,
+//! 4-, 8- and 16-core dies, reporting aggregate core cycles, the
+//! worst per-core slowdown vs. solo, chip-wide bank-conflict stalls
+//! and the OCN in-flight high-water mark at each width.
 //!
 //! Flags:
-//!   --smoke   one contended pairing + one compute control (CI)
+//!   --smoke      one contended pairing + one compute control, and a
+//!                1→4-core curve (CI)
+//!   --ncores N   run only the N-core curve point (exploration)
 //!
 //! Writes `BENCH_chipsim.json` in the current directory (same
 //! `workloads[].{name, sim_cycles, wall_secs}` shape the perf gate
-//! diffs). Exits nonzero if the memory-bound pairing shows no
-//! cross-core bank conflicts — a chip that cannot contend is not
-//! modelling shared memory.
+//! diffs; curve rows are named `curve_nN` and report **aggregate**
+//! core cycles as `sim_cycles`, so throughput stays comparable as the
+//! die widens). Exits nonzero if the memory-bound pairing shows no
+//! cross-core bank conflicts, or if curve contention fails to grow
+//! with the core count — a chip that cannot contend is not modelling
+//! shared memory.
 
 use std::collections::HashMap;
 use std::time::Instant;
@@ -72,8 +81,51 @@ fn run_pair(a: &Workload, b: &Workload, solo: &HashMap<&'static str, u64>) -> Pa
     }
 }
 
+struct CurvePerf {
+    ncores: usize,
+    chip_cycles: u64,
+    agg_core_cycles: u64,
+    host_secs: f64,
+    max_slowdown: f64,
+    conflict_stalls: u64,
+    ocn_highwater: usize,
+}
+
+fn run_curve_point(n: usize, solo: &HashMap<&'static str, u64>) -> CurvePerf {
+    // Group 0 of the table is the memory-bound one: listwalk/saxpy
+    // alternating, so every core-pair block stays contended.
+    let group = suite::groups(n).remove(0);
+    let images: Vec<_> =
+        group.iter().map(|wl| wl.build_trips(Quality::Hand).expect("compiles").image).collect();
+    let mut chip = Chip::new(ChipConfig::n_cores(n));
+    let start = Instant::now();
+    let stats = chip.run(&images, MAX_CYCLES).unwrap_or_else(|e| panic!("curve n={n}: {e}"));
+    let host_secs = start.elapsed().as_secs_f64();
+    let max_slowdown = group
+        .iter()
+        .zip(&stats.cores)
+        .map(|(wl, c)| c.cycles as f64 / solo[wl.name] as f64)
+        .fold(0.0, f64::max);
+    CurvePerf {
+        ncores: n,
+        chip_cycles: stats.cycles,
+        agg_core_cycles: stats.cores.iter().map(|c| c.cycles).sum(),
+        host_secs,
+        max_slowdown,
+        conflict_stalls: stats.total_conflict_stalls(),
+        ocn_highwater: stats.ocn_tag_highwater.iter().copied().max().unwrap_or(0),
+    }
+}
+
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let ncores_override: Option<usize> = args.iter().position(|a| a == "--ncores").map(|i| {
+        args.get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| (1..=16).contains(&n))
+            .expect("--ncores takes a core count in 1..=16")
+    });
     let threads = num_threads();
 
     let mut pairs = suite::pairs();
@@ -83,6 +135,11 @@ fn main() {
             (a.name, b.name) == ("listwalk", "saxpy") || (a.name, b.name) == ("dct8x8", "sha")
         });
     }
+    let curve_ns: Vec<usize> = match ncores_override {
+        Some(n) => vec![n],
+        None if smoke => vec![1, 2, 4],
+        None => vec![1, 2, 4, 8, 16],
+    };
 
     let mut names: Vec<Workload> = Vec::new();
     for (a, b) in &pairs {
@@ -106,6 +163,7 @@ fn main() {
         .collect();
 
     let rows = parallel_map(pairs.clone(), threads, |(a, b)| run_pair(&a, &b, &solo));
+    let curve = parallel_map(curve_ns.clone(), threads, |n| run_curve_point(n, &solo));
 
     println!(
         "{:<20} {:>12} {:>10} {:>10} {:>9} {:>9} {:>10} {:>9}",
@@ -133,6 +191,23 @@ fn main() {
         );
     }
 
+    println!();
+    println!(
+        "{:<10} {:>12} {:>14} {:>10} {:>10} {:>8}",
+        "curve", "chip cycles", "agg core cyc", "max slow", "bank conf", "ocn hw"
+    );
+    for c in &curve {
+        println!(
+            "{:<10} {:>12} {:>14} {:>9.3}x {:>10} {:>8}",
+            format!("n={}", c.ncores),
+            c.chip_cycles,
+            c.agg_core_cycles,
+            c.max_slowdown,
+            c.conflict_stalls,
+            c.ocn_highwater,
+        );
+    }
+
     // Hand-built JSON: the container has no serde. Same row shape the
     // perf gate diffs (`name`, `sim_cycles`, `wall_secs`). The field
     // was once called `gated_secs`, which misread: it is the whole
@@ -156,7 +231,26 @@ fn main() {
             r.conflict_stalls,
             r.ocn_highwater[0],
             r.ocn_highwater[1],
-            if i + 1 == rows.len() { "" } else { "," },
+            if i + 1 == rows.len() && curve.is_empty() { "" } else { "," },
+        ));
+    }
+    // Curve rows: `sim_cycles` is the aggregate over cores so the
+    // cycles-per-second floor measures simulator throughput, not die
+    // width (a 16-core chip advances 16 core-cycles per chip cycle).
+    for (i, c) in curve.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"curve_n{}\", \"sim_cycles\": {}, \"wall_secs\": {:.6}, \
+             \"ncores\": {}, \"chip_cycles\": {}, \"max_slowdown\": {:.4}, \
+             \"bank_conflict_stalls\": {}, \"ocn_tag_highwater\": {}}}{}\n",
+            c.ncores,
+            c.agg_core_cycles,
+            c.host_secs,
+            c.ncores,
+            c.chip_cycles,
+            c.max_slowdown,
+            c.conflict_stalls,
+            c.ocn_highwater,
+            if i + 1 == curve.len() { "" } else { "," },
         ));
     }
     json.push_str("  ]\n}\n");
@@ -175,5 +269,31 @@ fn main() {
     if !contended.slowdown.iter().any(|&s| s > 1.0) {
         eprintln!("chipsim: FAIL — listwalk+saxpy shows no per-core slowdown under contention");
         std::process::exit(1);
+    }
+
+    // The scaling curve must show contention growing with the die:
+    // zero cross-core conflicts on a one-core chip, some on any wider
+    // memory-bound die, and strictly more at every step up in width.
+    for c in &curve {
+        if c.ncores == 1 && c.conflict_stalls != 0 {
+            eprintln!("chipsim: FAIL — a one-core chip reported cross-core bank conflicts");
+            std::process::exit(1);
+        }
+        if c.ncores >= 2 && c.conflict_stalls == 0 {
+            eprintln!(
+                "chipsim: FAIL — the memory-bound group on {} cores never contended",
+                c.ncores
+            );
+            std::process::exit(1);
+        }
+    }
+    for w in curve.windows(2) {
+        if w[1].conflict_stalls <= w[0].conflict_stalls {
+            eprintln!(
+                "chipsim: FAIL — contention did not grow from {} to {} cores ({} -> {})",
+                w[0].ncores, w[1].ncores, w[0].conflict_stalls, w[1].conflict_stalls
+            );
+            std::process::exit(1);
+        }
     }
 }

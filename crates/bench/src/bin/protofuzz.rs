@@ -24,12 +24,14 @@
 //! backend instead of the perfect L2, so the OCN fill/ack plumbing and
 //! the store-acknowledgement commit gating fuzz alongside the §4 core
 //! protocols. Every eighth seed (`seed % 8 == 5`) instead runs on a
-//! **dual-core chip** sharing one NUCA — OCN faults with both cores
-//! live, a deterministically-chosen co-runner on core 1, and each core
-//! compared against its own oracle (contention is timing-only, so a
-//! divergence still indicts the protocols). Both choices are pure
-//! functions of the seed, so a seed reproduces identically in the
-//! sweep, the shrinker, and a repro test.
+//! **chip** sharing one NUCA — OCN faults with all cores live,
+//! deterministically-chosen co-runners on the other slots, and each
+//! core compared against its own oracle (contention is timing-only,
+//! so a divergence still indicts the protocols). Half of those
+//! (`seed % 16 == 13`) use a **four-core** die, fuzzing the tiled OCN
+//! geometry; the rest keep the dual-core prototype. All choices are
+//! pure functions of the seed, so a seed reproduces identically in
+//! the sweep, the shrinker, and a repro test.
 //!
 //! Under the default `--gate on`, the fuzzed cores run with epoch
 //! skipping live (`CoreConfig::prototype()` sets `skip_epochs`), so
@@ -123,15 +125,18 @@ fn parse_args() -> Result<Args, String> {
 /// shrink-and-report pipeline without a real bug.
 fn case_failure(
     oracle: &Oracle,
-    chip_with: Option<&Oracle>,
+    chip_with: &[&Oracle],
     plan: &FaultPlan,
     nuca: bool,
     gate: bool,
     demo: bool,
     max_cycles: u64,
 ) -> Option<String> {
-    if let Some(co) = chip_with {
-        return match fuzz::run_chip_against_oracles(&[oracle, co], Some(plan), gate, max_cycles) {
+    if !chip_with.is_empty() {
+        let mut all = Vec::with_capacity(1 + chip_with.len());
+        all.push(oracle);
+        all.extend_from_slice(chip_with);
+        return match fuzz::run_chip_against_oracles(&all, Some(plan), gate, max_cycles) {
             Err(e) => Some(e),
             Ok(stats) if demo && stats.cores.iter().any(|c| c.protocol.forced_flushes > 0) => {
                 Some("demo bug: forced flush storm(s) observed on a chip core".into())
@@ -150,10 +155,12 @@ fn case_failure(
     }
 }
 
-/// The dual-core co-runner for a chip seed: a second oracle chosen as
-/// a pure function of the seed (may equal the primary).
-fn chip_co_index(seed: u64, n: usize) -> usize {
-    ((seed / 8) % n as u64) as usize
+/// The co-runner oracles for a chip seed: slot `s + 1` runs oracle
+/// `(seed / 8 + s) % n`, a pure function of the seed (slots may
+/// repeat the primary). One slot on the dual-core prototype keeps the
+/// historical seed → co-runner mapping; a four-core die adds two more.
+fn chip_co_indices(seed: u64, slots: usize, n: usize) -> Vec<usize> {
+    (0..slots).map(|s| ((seed / 8 + s as u64) % n as u64) as usize).collect()
 }
 
 fn main() -> ExitCode {
@@ -199,14 +206,20 @@ fn main() -> ExitCode {
         let plan = FaultPlan::random(seed);
         let chip = seed % 8 == 5;
         let nuca = seed % 4 == 3;
-        let co = chip.then(|| &oracles[chip_co_index(seed, oracles.len())]);
-        case_failure(oracle, co, &plan, nuca, args.gate, args.demo_bug, args.max_cycles).map(
+        let slots = if seed % 16 == 13 { 3 } else { 1 };
+        let co: Vec<&Oracle> = if chip {
+            chip_co_indices(seed, slots, oracles.len()).into_iter().map(|i| &oracles[i]).collect()
+        } else {
+            Vec::new()
+        };
+        case_failure(oracle, &co, &plan, nuca, args.gate, args.demo_bug, args.max_cycles).map(
             |why| FuzzFailure {
                 seed,
                 workload: oracle.name.clone(),
                 quality: oracle.quality,
                 nuca,
-                co_runner: co.map(|o| o.name.clone()),
+                co_runner: (!co.is_empty())
+                    .then(|| co.iter().map(|o| o.name.as_str()).collect::<Vec<_>>().join(",")),
                 plan,
                 why,
             },
@@ -243,28 +256,30 @@ fn main() -> ExitCode {
 
     let fail = &failures[0];
     let oracle = &oracles[args.workloads.iter().position(|w| *w == fail.workload).unwrap_or(0)];
-    let co_oracle = fail
+    // The co-runner field is the comma-joined slot list; map each name
+    // back to its oracle for the shrinker and the artifact.
+    let co_oracles: Vec<&Oracle> = fail
         .co_runner
-        .as_ref()
-        .map(|co| &oracles[args.workloads.iter().position(|w| w == co).unwrap_or(0)]);
+        .as_deref()
+        .map(|cos| {
+            cos.split(',')
+                .map(|co| &oracles[args.workloads.iter().position(|w| w == co).unwrap_or(0)])
+                .collect()
+        })
+        .unwrap_or_default();
     let (shrunk, shrunk_why) = fuzz::shrink(fail.plan.clone(), fail.why.clone(), |p| {
-        case_failure(oracle, co_oracle, p, fail.nuca, args.gate, args.demo_bug, args.max_cycles)
+        case_failure(oracle, &co_oracles, p, fail.nuca, args.gate, args.demo_bug, args.max_cycles)
     });
     eprintln!("protofuzz: shrunk plan:\n{}", shrunk.to_rust_literal());
     eprintln!("protofuzz: still fails with: {}", first_line(&shrunk_why));
 
-    let artifact = match co_oracle {
-        Some(co) => fuzz::failure_artifact_chip(
-            &[oracle, co],
-            fail,
-            &shrunk,
-            &shrunk_why,
-            args.gate,
-            args.max_cycles,
-        ),
-        None => {
-            fuzz::failure_artifact(oracle, fail, &shrunk, &shrunk_why, args.gate, args.max_cycles)
-        }
+    let artifact = if co_oracles.is_empty() {
+        fuzz::failure_artifact(oracle, fail, &shrunk, &shrunk_why, args.gate, args.max_cycles)
+    } else {
+        let mut all = Vec::with_capacity(1 + co_oracles.len());
+        all.push(oracle);
+        all.extend_from_slice(&co_oracles);
+        fuzz::failure_artifact_chip(&all, fail, &shrunk, &shrunk_why, args.gate, args.max_cycles)
     };
     match std::fs::write(&args.artifact, &artifact) {
         Ok(()) => eprintln!("protofuzz: wrote failure artifact to {}", args.artifact),

@@ -346,9 +346,10 @@ pub fn failure_artifact(
     s
 }
 
-/// [`failure_artifact`] for a dual-core chip case: re-runs the shrunk
-/// plan on the chip with every core's flight recorder on and embeds
-/// the combined per-core Chrome trace plus each core's hang report.
+/// [`failure_artifact`] for a chip case (one oracle per core):
+/// re-runs the shrunk plan on the chip with every core's flight
+/// recorder on and embeds the combined per-core Chrome trace plus
+/// each core's hang report.
 pub fn failure_artifact_chip(
     oracles: &[&Oracle],
     fail: &FuzzFailure,
@@ -404,7 +405,8 @@ pub fn failure_artifact_chip(
     s
 }
 
-/// [`repro_snippet`] for a dual-core chip failure: pastes into
+/// [`repro_snippet`] for a chip failure (`co_runner` is the
+/// comma-joined workloads of slots 1..): pastes into
 /// `tests/fault_injection.rs`, which provides
 /// `assert_chip_plan_matches_oracles`.
 pub fn repro_snippet_chip(

@@ -3,12 +3,16 @@
 //! The prototype die carries **two** processor cores and a single
 //! 1 MB NUCA secondary memory, reached over the 4×10 OCN whose twenty
 //! client ports are split between the cores' L1 banks (§2, §3.6 of
-//! the paper). [`Chip`] reproduces that arrangement: each core is an
-//! unmodified [`Processor`] whose `memsys` adapter is bound to a
-//! disjoint `PortMap` slice of the shared
-//! [`SecondarySystem`], and the chip drives the
-//! inject → OCN/bank tick → drain phases once per cycle for all cores
-//! around the one system.
+//! the paper). [`Chip`] reproduces that arrangement and scales it to
+//! 1..=16-core dies by tiling the prototype block vertically (see
+//! [`trips_mem::OcnGeometry`]): each core is an unmodified
+//! [`Processor`] whose `memsys` adapter is bound to a disjoint
+//! computed `PortMap` slice of the shared [`SecondarySystem`], and
+//! the chip drives the inject → OCN/bank tick → drain phases once per
+//! cycle for all cores around the one system. Because each slot's
+//! port/bank picture is a whole-block translation of a prototype
+//! slot, a core of any die is cycle-bit-identical to the same slot of
+//! the prototype die (pinned by `tests/chip_equivalence.rs`).
 //!
 //! **Arbitration.** Within a core the original fixed client order
 //! stands, so a solo core is never restricted — a one-core chip is
@@ -69,10 +73,16 @@ impl ChipConfig {
         }
     }
 
-    /// A chip of `n` identical cores (1 or 2 — the OCN has twenty
-    /// client ports).
+    /// A chip of `n` identical cores (1..=16; the OCN geometry tiles
+    /// a twenty-port prototype block per core pair).
     pub fn with_cores(n: usize, core: CoreConfig, mem: MemConfig) -> ChipConfig {
         ChipConfig { cores: vec![core; n], mem, threaded: None }
+    }
+
+    /// An `n`-core die of prototype cores on the prototype NUCA — the
+    /// `--ncores` constructor.
+    pub fn n_cores(n: usize) -> ChipConfig {
+        ChipConfig::with_cores(n, CoreConfig::prototype(), MemConfig::prototype())
     }
 }
 
@@ -130,15 +140,16 @@ impl Chip {
     /// # Panics
     ///
     /// Panics if `cfg.cores` is empty or holds more cores than the
-    /// OCN has client-port slices for (two).
+    /// largest die the computed OCN geometry (and the OCN tag space)
+    /// supports ([`trips_mem::MAX_CORES`] = 16).
     pub fn new(cfg: ChipConfig) -> Chip {
         let n = cfg.cores.len();
         assert!(n >= 1, "a chip has at least one core");
-        const _: () = assert!(2 <= MAX_TAGS, "core tags must fit the OCN tag space");
-        assert!(n <= 2, "the OCN seats at most two cores");
+        const _: () = assert!(trips_mem::MAX_CORES <= MAX_TAGS, "core tags must fit the tag space");
+        assert!(n <= trips_mem::MAX_CORES, "a die seats at most {} cores", trips_mem::MAX_CORES);
         let cores: Vec<Processor> = cfg.cores.iter().cloned().map(Processor::new).collect();
         let sys = Chip::build_sys(&cfg);
-        let banks = cfg.mem.banks;
+        let banks = sys.geometry().banks();
         let threads = match cfg.threaded {
             Some(true) => n,
             Some(false) => 1,
@@ -158,12 +169,13 @@ impl Chip {
     }
 
     fn build_sys(cfg: &ChipConfig) -> SecondarySystem {
-        let mut sys = SecondarySystem::new(cfg.mem.clone());
+        let n = cfg.cores.len();
+        let mut sys = SecondarySystem::for_cores(cfg.mem.clone(), n);
         if let Some(plan) = &cfg.cores[0].faults {
             sys.set_ocn_fault(plan.ocn_fault().as_ref());
         }
         for (k, _) in cfg.cores.iter().enumerate() {
-            for port in MemSys::ports_for_core(k).ports() {
+            for port in MemSys::ports_for_core(k, n).ports() {
                 sys.set_port_tag(port, k as u8);
             }
         }
@@ -214,17 +226,61 @@ impl Chip {
     /// Panics unless `images.len()` equals the core count.
     pub fn run(&mut self, images: &[ProgramImage], max_cycles: u64) -> Result<ChipStats, SimError> {
         assert_eq!(images.len(), self.cores.len(), "one program image per core");
+        let selected: Vec<Option<&ProgramImage>> = images.iter().map(Some).collect();
+        self.run_select(&selected, max_cycles)
+    }
+
+    /// [`Chip::run`] with optional per-slot images: a `None` slot
+    /// stays **idle** — its core is reset and parked pre-halted, so
+    /// it ticks in lockstep (cheaply, fully gated) but never fetches,
+    /// injects no OCN traffic, and reports default stats. The
+    /// equivalence suite uses this to pin that one live core in any
+    /// slot of any die behaves exactly like the matching slot of the
+    /// prototype die (and, for even slots, exactly like the solo
+    /// `Processor` + NUCA path).
+    ///
+    /// # Errors
+    ///
+    /// As [`Chip::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `images.len()` equals the core count and at
+    /// least one slot is live.
+    pub fn run_select(
+        &mut self,
+        images: &[Option<&ProgramImage>],
+        max_cycles: u64,
+    ) -> Result<ChipStats, SimError> {
+        assert_eq!(images.len(), self.cores.len(), "one image slot per core");
+        assert!(images.iter().any(Option::is_some), "at least one slot must be live");
+        let n = self.cores.len();
         // Reset chip-level state for back-to-back runs.
         self.sys = Chip::build_sys(&self.cfg);
-        self.arb = BankArb::new(self.cfg.mem.banks);
+        self.arb = BankArb::new(self.sys.geometry().banks());
         self.rr = 0;
         self.cycle = 0;
-        self.finished = vec![None; self.cores.len()];
+        self.finished = vec![None; n];
         for (k, core) in self.cores.iter_mut().enumerate() {
-            core.start(&images[k]);
+            match images[k] {
+                Some(image) => core.start(image),
+                None => {
+                    // An idle slot: a freshly reset core, parked
+                    // pre-halted. The run loop already lets halted
+                    // cores tick along in lockstep; one that starts
+                    // halted simply never does anything.
+                    *core = Processor::new(self.cfg.cores[k].clone());
+                    core.gt.halted = true;
+                }
+            }
             // `start` rebuilt the core-owned backend from its config;
             // a chip core instead adapts to the shared system.
-            core.memsys = MemSys::shared(k);
+            core.memsys = MemSys::shared(k, n);
+        }
+        for (k, image) in images.iter().enumerate() {
+            if image.is_none() {
+                self.finished[k] = Some(CoreStats::default());
+            }
         }
         let check = self.cfg.cores.iter().any(|c| c.check_invariants);
         while !self.cores.iter().all(Processor::halted) {

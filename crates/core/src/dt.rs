@@ -970,26 +970,42 @@ impl DataTile {
                     nets.gsn_dt.send(now, my_pos, 0, GsnMsg::StoresDone { frame, gen, ev });
                 }
             }
+        }
+
+        // Ack + deallocate strictly oldest-first: a frame may leave
+        // `order` only from the head (the same age-order discipline
+        // as the store drain above, and as the RT's ack walk). Acking
+        // by readiness alone let a *younger* frame deallocate while
+        // an older one still awaited its (delayed) south ack — and
+        // once the younger frame's drained stores left the LSQ, load
+        // forwarding fell through to the older frame's still-queued
+        // stale store, resurrecting a superseded value past memory.
+        // Under clean timing acks become ready oldest-first anyway,
+        // so this only delays (never drops) an ack under fault-plan
+        // chain delays.
+        while let Some(&frame) = self.order.first() {
+            let fi = frame.0 as usize;
             let f = &mut self.frames[fi];
-            if f.active && f.commit_done && f.south_ack && !f.ack_sent {
-                f.ack_sent = true;
-                tracer.record(now, || TraceKind::CommitAck { tile: TileId::Dt(index), frame });
-                nets.gsn_dt.send(now, my_pos, north, GsnMsg::StoresCommitted { frame, gen: f.gen });
-                self.occupancy =
-                    self.occupancy.saturating_sub(f.own_stores.len() + f.performed_loads.len());
-                f.active = false;
-                f.gen += 1;
-                f.own_stores.clear();
-                f.performed_loads.clear();
-                self.active_mask &= !(1 << fi);
-                self.deferred_mask &= !(1 << fi);
-                debug_assert_eq!(self.committing_mask & (1 << fi), 0, "acked while draining");
-                self.order.retain(|&x| x != frame);
-                self.blocks_since_clear += 1;
-                if self.blocks_since_clear >= cfg.deppred_clear_blocks {
-                    self.blocks_since_clear = 0;
-                    self.deppred.iter_mut().for_each(|b| *b = false);
-                }
+            if !(f.active && f.commit_done && f.south_ack && !f.ack_sent) {
+                break;
+            }
+            f.ack_sent = true;
+            tracer.record(now, || TraceKind::CommitAck { tile: TileId::Dt(index), frame });
+            nets.gsn_dt.send(now, my_pos, north, GsnMsg::StoresCommitted { frame, gen: f.gen });
+            self.occupancy =
+                self.occupancy.saturating_sub(f.own_stores.len() + f.performed_loads.len());
+            f.active = false;
+            f.gen += 1;
+            f.own_stores.clear();
+            f.performed_loads.clear();
+            self.active_mask &= !(1 << fi);
+            self.deferred_mask &= !(1 << fi);
+            debug_assert_eq!(self.committing_mask & (1 << fi), 0, "acked while draining");
+            self.order.remove(0);
+            self.blocks_since_clear += 1;
+            if self.blocks_since_clear >= cfg.deppred_clear_blocks {
+                self.blocks_since_clear = 0;
+                self.deppred.iter_mut().for_each(|b| *b = false);
             }
         }
     }

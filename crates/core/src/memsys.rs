@@ -33,7 +33,8 @@
 //! together (`Imp::Owned`, behaviourally identical to the original
 //! single-owner design), while a [`Chip`](crate::chip::Chip) gives
 //! each core an `Imp::Shared` adapter bound to a disjoint
-//! [`PortMap`] slice of the 20 OCN client ports and drives the
+//! [`PortMap`] slice of the die's OCN client ports — computed from
+//! [`OcnGeometry`] for any 1..=16-core die — and drives the
 //! inject → `SecondarySystem::tick` → drain phases itself, inserting
 //! a round-robin [`BankArb`] between cores that converge on one bank.
 //!
@@ -41,7 +42,7 @@
 
 use std::collections::VecDeque;
 
-use trips_mem::{MemReq, SecondarySystem};
+use trips_mem::{MemReq, OcnGeometry, SecondarySystem};
 
 use crate::config::{CoreConfig, MemBackend, NUM_DTS, NUM_ITS};
 use crate::stats::MemSysStats;
@@ -74,7 +75,10 @@ impl MemClient {
 ///
 /// The prototype gives each L1 bank a private OCN link (§3.6): core 0
 /// keeps the original solo mapping (DTs on west ports 0..4, ITs on
-/// east ports 10..15), core 1 takes the remaining ports.
+/// east ports 10..15), core 1 takes the remaining ports of the block.
+/// Dies beyond two cores tile that block per [`OcnGeometry`], so
+/// every slot's map is a whole-block translation of one of the two
+/// prototype slots.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct PortMap {
     /// First OCN port of the DT clients.
@@ -83,20 +87,36 @@ pub(crate) struct PortMap {
     it_base: usize,
     /// Added to every request address: cores run disjoint address
     /// spaces (no coherence in the model), so their lines must not
-    /// alias in the shared bank tags. Zero for a solo core.
+    /// alias in the shared bank tags. Zero for a solo core. The
+    /// offset is a multiple of 2^40, invisible to bank striping and
+    /// set indexing (both divide 2^34 line indices by small powers of
+    /// two), so it shifts *which* tags a core occupies, never *where*
+    /// its lines are homed.
     phys_base: u64,
+    /// The die block this core lives in — its bank-stat slice of the
+    /// shared system (block-local, so a core of any die reports the
+    /// same 16-bank vectors a solo run does).
+    block: usize,
 }
 
 impl PortMap {
     /// The solo mapping the single-`Processor` path has always used.
-    pub(crate) const SOLO: PortMap = PortMap { dt_base: 0, it_base: 10, phys_base: 0 };
+    pub(crate) const SOLO: PortMap = PortMap { dt_base: 0, it_base: 10, phys_base: 0, block: 0 };
 
-    /// The mapping for core `k` of a chip. Core 0 is exactly
-    /// [`PortMap::SOLO`] — the bit-identity anchor for the
-    /// single-core-chip pin test.
-    pub(crate) fn for_core(k: usize) -> PortMap {
-        assert!(k < 2, "the OCN has 20 client ports: at most 2 cores of {NUM_CLIENTS} clients");
-        PortMap { dt_base: 5 * k, it_base: 10 + 5 * k, phys_base: (k as u64) << 40 }
+    /// The mapping for core `k` of an `ncores`-core die, computed
+    /// from [`OcnGeometry`]. Core 0 is exactly [`PortMap::SOLO`] —
+    /// the bit-identity anchor for the single-core-chip pin test —
+    /// and `for_core(1, 2)` is the dual-core prototype's hand map
+    /// this computation replaced (pinned by a test below).
+    pub(crate) fn for_core(k: usize, ncores: usize) -> PortMap {
+        assert!(k < ncores, "core {k} of an {ncores}-core die");
+        let geo = OcnGeometry::for_cores(ncores);
+        PortMap {
+            dt_base: geo.core_dt_base(k),
+            it_base: geo.core_it_base(k),
+            phys_base: (k as u64) << 40,
+            block: geo.core_block(k),
+        }
     }
 
     fn port_of(&self, c: usize) -> usize {
@@ -401,16 +421,16 @@ impl MemSys {
         MemSys { imp }
     }
 
-    /// A shared-NUCA adapter for core `k` of a chip (the chip owns the
-    /// [`SecondarySystem`] and drives the phases).
-    pub(crate) fn shared(k: usize) -> MemSys {
-        MemSys { imp: Imp::Shared { ad: Adapter::new(PortMap::for_core(k)) } }
+    /// A shared-NUCA adapter for core `k` of an `ncores`-core chip
+    /// (the chip owns the [`SecondarySystem`] and drives the phases).
+    pub(crate) fn shared(k: usize, ncores: usize) -> MemSys {
+        MemSys { imp: Imp::Shared { ad: Adapter::new(PortMap::for_core(k, ncores)) } }
     }
 
-    /// The port map of core `k` (for tagging the shared system's
-    /// ports).
-    pub(crate) fn ports_for_core(k: usize) -> PortMap {
-        PortMap::for_core(k)
+    /// The port map of core `k` of an `ncores`-core die (for tagging
+    /// the shared system's ports).
+    pub(crate) fn ports_for_core(k: usize, ncores: usize) -> PortMap {
+        PortMap::for_core(k, ncores)
     }
 
     /// A D-side line fill for DT `dt` (line = `ea >> 6`).
@@ -531,20 +551,27 @@ impl MemSys {
         }
     }
 
-    /// Folds the shared system's chip-wide counters (OCN, DRAM, banks)
-    /// into this core's snapshot-to-be. Called by the chip when the
-    /// core halts, so its [`MemSysStats`] describe the system state at
-    /// its own halt time — exactly what a solo run reports.
+    /// Folds the shared system's counters (OCN, DRAM, banks) into
+    /// this core's snapshot-to-be. Called by the chip when the core
+    /// halts, so its [`MemSysStats`] describe the system state at its
+    /// own halt time — exactly what a solo run reports. The per-bank
+    /// vectors are sliced to the core's **own block**, so every core
+    /// of every die reports the same 16-entry bank vectors a solo run
+    /// does (on a one-block die the slice is the whole system —
+    /// unchanged from the dual-core prototype). OCN and DRAM counters
+    /// stay die-wide, as they always have.
     pub(crate) fn absorb_sys(&mut self, sys: &SecondarySystem) {
         let Imp::Shared { ad } = &mut self.imp else {
             unreachable!("absorb_sys on a non-shared memsys");
         };
         ad.stats.ocn = sys.ocn_stats();
         ad.stats.dram_accesses = sys.dram_accesses;
-        let (hits, misses): (Vec<u64>, Vec<u64>) = sys.bank_stats().into_iter().unzip();
+        let block = sys.geometry().block_banks(ad.ports.block);
+        let (hits, misses): (Vec<u64>, Vec<u64>) =
+            sys.bank_stats()[block.clone()].iter().copied().unzip();
         ad.stats.bank_hits = hits;
         ad.stats.bank_misses = misses;
-        ad.stats.bank_peak_occupancy = sys.bank_peaks().to_vec();
+        ad.stats.bank_peak_occupancy = sys.bank_peaks()[block].to_vec();
     }
 
     /// Cycle of the memory system's next state change, for the
@@ -653,6 +680,87 @@ impl MemSys {
                 }
                 Some(ad.diag(ad.issued - ad.delivered))
             }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trips_harness::Rng;
+
+    // The chip visits cores in `(rr + i) % n` order with `rr`
+    // advancing every cycle; these properties hold for that order no
+    // matter what the other cores demand, which is what makes the
+    // bound a starvation-freedom guarantee rather than a benchmark
+    // observation.
+
+    #[test]
+    fn contested_bank_wait_is_bounded_by_ncores_minus_one() {
+        for n in [4usize, 8, 16] {
+            let mut rng = Rng::new(0xbab5 ^ n as u64);
+            let mut arb = BankArb::new(1);
+            let mut want = vec![false; n];
+            let mut waited = vec![0u64; n];
+            for t in 0..20_000u64 {
+                // Random flips keep a mix of persistent and bursty
+                // demand; the wait counter runs only while a core
+                // continuously wants the bank.
+                for w in want.iter_mut() {
+                    if rng.chance(1, 7) {
+                        *w = !*w;
+                    }
+                }
+                arb.begin_cycle();
+                let rr = t as usize % n;
+                for i in 0..n {
+                    let k = (rr + i) % n;
+                    if want[k] && !arb.try_grant(0, k as u8) {
+                        waited[k] += 1;
+                        assert!(
+                            waited[k] < n as u64,
+                            "core {k} of {n} waited {} cycles on a contested bank",
+                            waited[k]
+                        );
+                    } else {
+                        waited[k] = 0;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn saturated_bank_grants_rotate_fairly() {
+        for n in [4usize, 8, 16] {
+            let mut arb = BankArb::new(1);
+            let mut grants = vec![0u64; n];
+            let window = 25 * n as u64;
+            for t in 0..window {
+                arb.begin_cycle();
+                let rr = t as usize % n;
+                let mut winners = 0;
+                for i in 0..n {
+                    let k = (rr + i) % n;
+                    if arb.try_grant(0, k as u8) {
+                        grants[k] += 1;
+                        winners += 1;
+                    }
+                }
+                assert_eq!(winners, 1, "one bank admits exactly one core per cycle");
+            }
+            let min = *grants.iter().min().unwrap();
+            let max = *grants.iter().max().unwrap();
+            assert!(
+                max - min <= 1,
+                "grant counts drifted beyond rotation fairness over {window} cycles: {grants:?}"
+            );
+            assert_eq!(
+                arb.conflict_stalls[0],
+                window * (n as u64 - 1),
+                "every cycle the {} losers must each record one conflict stall",
+                n - 1
+            );
         }
     }
 }

@@ -414,12 +414,11 @@ impl RegTile {
             }
         }
 
-        let mut cleared = 0u8; // frame bitmask; no per-tick allocation
-                               // The completion/ack walk only acts on active frames; with
-                               // work lists on it iterates the active-frame mask (same
-                               // ascending frame order as the full scan, which skips the
-                               // inactive rest). The toggle exists so the equivalence suite
-                               // can compare the two walks bit for bit.
+        // The completion walk only acts on active frames; with work
+        // lists on it iterates the active-frame mask (same ascending
+        // frame order as the full scan, which skips the inactive
+        // rest). The toggle exists so the equivalence suite can
+        // compare the two walks bit for bit.
         let mut pending: u8 = if cfg.work_lists { self.active_mask } else { !0 };
         while pending != 0 {
             let fi = pending.trailing_zeros() as usize;
@@ -446,21 +445,35 @@ impl RegTile {
                     );
                 }
             }
-            if f.commit_done && f.east_ack && !f.ack_sent {
-                f.ack_sent = true;
-                tracer.record(now, || TraceKind::CommitAck { tile: TileId::Rt(bank), frame });
-                nets.gsn_rt.send(now, my_pos, west, GsnMsg::WritesCommitted { frame, gen: f.gen });
-                // Deactivate; the generation bump matches the GT's
-                // deallocation bump so stragglers read as stale.
-                f.active = false;
-                f.gen += 1;
-                debug_assert_eq!(self.committing_mask & (1 << fi), 0, "acked while draining");
-                cleared |= 1 << fi;
-            }
         }
-        if cleared != 0 {
-            self.active_mask &= !cleared;
-            self.order.retain(|&x| cleared & (1 << x.0) == 0);
+
+        // Ack + deallocate strictly oldest-first: a frame may leave
+        // `order` only from the head. Acking by readiness alone (the
+        // old frame-index walk) let a *younger* frame deallocate
+        // while an older one still awaited its (delayed) east ack —
+        // and once the younger frame's drained value left the write
+        // queues, read forwarding fell through to the older frame's
+        // still-queued stale entry, resurrecting a superseded value
+        // past the architectural file. Same age-order discipline as
+        // the commit drain above; under clean timing acks become
+        // ready oldest-first anyway, so this only bites (and only
+        // delays, never drops, an ack) under fault-plan chain delays.
+        while let Some(&frame) = self.order.first() {
+            let fi = frame.0 as usize;
+            let f = &mut self.frames[fi];
+            if !(f.active && f.commit_done && f.east_ack && !f.ack_sent) {
+                break;
+            }
+            f.ack_sent = true;
+            tracer.record(now, || TraceKind::CommitAck { tile: TileId::Rt(bank), frame });
+            nets.gsn_rt.send(now, my_pos, west, GsnMsg::WritesCommitted { frame, gen: f.gen });
+            // Deactivate; the generation bump matches the GT's
+            // deallocation bump so stragglers read as stale.
+            f.active = false;
+            f.gen += 1;
+            debug_assert_eq!(self.committing_mask & (1 << fi), 0, "acked while draining");
+            self.active_mask &= !(1 << fi);
+            self.order.remove(0);
         }
     }
 

@@ -41,9 +41,11 @@
 //! ```
 
 mod dma;
+mod geometry;
 mod system;
 mod tiles;
 
 pub use dma::{DmaEngine, DmaJob};
+pub use geometry::{OcnGeometry, BLOCK_ROWS, BLOCK_SIDE_PORTS, CORES_PER_BLOCK, MAX_CORES};
 pub use system::{MemConfig, MemMode, MemReq, MemResp, ReqKind, SecondarySystem};
 pub use tiles::{MemTile, NetTile};

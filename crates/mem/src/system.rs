@@ -1,17 +1,24 @@
-//! The assembled secondary system: NUCA banks on the 4×10 OCN.
+//! The assembled secondary system: NUCA banks on the OCN mesh.
+//!
+//! The prototype instance is sixteen banks on the 4×10 OCN; an N-core
+//! die tiles that block vertically per [`OcnGeometry`].
 
 use trips_isa::mem::SparseMem;
-use trips_micronet::{Coord, MeshFaultConfig, PacketMesh, PacketMsg, PacketStats, MAX_TAGS};
+use trips_micronet::{MeshFaultConfig, PacketMesh, PacketMsg, PacketStats, MAX_TAGS};
 
+use crate::geometry::OcnGeometry;
 use crate::tiles::{MemTile, NetTile, LINE};
 
 /// Memory-system organization (§3.6 lists these configurations).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MemMode {
-    /// One 1 MB shared L2 striped over all sixteen banks.
+    /// One 1 MB shared L2 striped over all sixteen banks of each
+    /// block.
     L2Shared,
-    /// Two independent 512 KB L2s, one per processor (ports 0–9 use
-    /// the top half, ports 10–19 the bottom).
+    /// Two independent 512 KB L2s per block, one per processor
+    /// (west-side ports use the lower half of their block's banks,
+    /// east-side ports the upper half; on the prototype block that is
+    /// ports 0–9 vs. 10–19).
     L2Split,
     /// 1 MB of on-chip physical memory: no tags, no misses.
     Scratchpad,
@@ -25,7 +32,8 @@ pub enum MemMode {
 pub struct MemConfig {
     /// Organization.
     pub mode: MemMode,
-    /// NUCA banks (16 in the prototype, two columns of eight).
+    /// NUCA banks **per block** (16 in the prototype, two columns of
+    /// eight); an N-core die carries `banks × ⌈N/2⌉` banks in total.
     pub banks: usize,
     /// Kilobytes per bank.
     pub bank_kb: usize,
@@ -127,6 +135,9 @@ enum Packet {
 /// backing store.
 pub struct SecondarySystem {
     cfg: MemConfig,
+    /// The floorplan: prototype blocks tiled per the die's core count
+    /// (4×10 mesh, 16 banks, 20 ports per block — Figure 6).
+    geo: OcnGeometry,
     ocn: PacketMesh<Packet>,
     banks: Vec<MemTile>,
     nts: Vec<NetTile>,
@@ -139,70 +150,80 @@ pub struct SecondarySystem {
     bank_peak: Vec<u64>,
     /// Client tag carried by each port's packets (core attribution in
     /// a multi-core chip; all zero for a single client).
-    port_tag: [u8; 20],
+    port_tag: Vec<u8>,
     /// Total requests accepted.
     pub requests: u64,
     /// Total DRAM accesses.
     pub dram_accesses: u64,
 }
 
-/// The OCN is 4 columns × 10 rows; the two middle columns hold the
-/// sixteen MTs, the edge columns the NTs/clients (Figure 6).
-const OCN_ROWS: u8 = 10;
-const OCN_COLS: u8 = 4;
-
-fn bank_coord(i: usize) -> Coord {
-    // Two columns of eight banks in rows 1..=8.
-    Coord { row: 1 + (i % 8) as u8, col: 1 + (i / 8) as u8 }
-}
-
-fn port_coord(port: usize) -> Coord {
-    // Client ports sit on the edge columns (IT/DT private ports).
-    let side = if port < 10 { 0 } else { 3 };
-    Coord { row: (port % 10) as u8, col: side }
-}
-
 impl SecondarySystem {
-    /// Builds the system.
+    /// Builds the prototype-die system: one block, the geometry the
+    /// solo `Processor` path and the dual-core chip have always used.
     pub fn new(cfg: MemConfig) -> SecondarySystem {
-        let banks: Vec<MemTile> = (0..cfg.banks)
+        SecondarySystem::for_cores(cfg, 2)
+    }
+
+    /// Builds the system for an `ncores`-core die: `⌈ncores/2⌉`
+    /// prototype blocks tiled vertically, each with its own
+    /// `cfg.banks` banks and twenty client ports (see
+    /// [`OcnGeometry`]). Every port's routing table stripes over its
+    /// **own block's** banks in prototype order, so each block is the
+    /// prototype system translated — N=1/2 build exactly the die
+    /// [`SecondarySystem::new`] always built.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= ncores <= 16` (see
+    /// [`OcnGeometry::for_cores`]).
+    pub fn for_cores(cfg: MemConfig, ncores: usize) -> SecondarySystem {
+        let geo = OcnGeometry::with_banks(ncores, cfg.banks);
+        let banks: Vec<MemTile> = (0..geo.banks())
             .map(|i| {
-                let mut mt = MemTile::new(bank_coord(i), cfg.bank_kb, cfg.ways);
+                let mut mt = MemTile::new(geo.bank_coord(i), cfg.bank_kb, cfg.ways);
                 mt.scratchpad = cfg.mode == MemMode::Scratchpad;
                 mt
             })
             .collect();
-        let nts = (0..20)
+        let nts = (0..geo.ports())
             .map(|p| {
-                let table: Vec<Coord> = match cfg.mode {
-                    MemMode::L2Shared | MemMode::Scratchpad => {
-                        (0..cfg.banks).map(bank_coord).collect()
-                    }
+                let block = geo.block_banks(geo.port_block(p));
+                let table: Vec<usize> = match cfg.mode {
+                    MemMode::L2Shared | MemMode::Scratchpad => block.collect(),
                     MemMode::L2Split => {
                         let half = cfg.banks / 2;
-                        if p < 10 {
-                            (0..half).map(bank_coord).collect()
+                        if geo.is_west_port(p) {
+                            block.take(half).collect()
                         } else {
-                            (half..cfg.banks).map(bank_coord).collect()
+                            block.skip(half).collect()
                         }
                     }
                 };
-                NetTile::new(port_coord(p), table)
+                NetTile::new(
+                    geo.port_coord(p),
+                    table.into_iter().map(|i| geo.bank_coord(i)).collect(),
+                )
             })
             .collect();
         SecondarySystem {
-            ocn: PacketMesh::new(OCN_ROWS, OCN_COLS, cfg.vc_cap),
+            ocn: PacketMesh::new(geo.rows(), geo.cols(), cfg.vc_cap),
             banks,
             nts,
             backing: SparseMem::new(),
             in_bank: Vec::new(),
-            in_bank_count: vec![0; cfg.banks],
-            bank_peak: vec![0; cfg.banks],
-            port_tag: [0; 20],
+            in_bank_count: vec![0; geo.banks()],
+            bank_peak: vec![0; geo.banks()],
+            port_tag: vec![0; geo.ports()],
             requests: 0,
             dram_accesses: 0,
             cfg,
+            geo,
         }
+    }
+
+    /// The die floorplan this system was built for.
+    pub fn geometry(&self) -> &OcnGeometry {
+        &self.geo
     }
 
     /// Installs (or clears) a timing-fault configuration on the OCN —
@@ -225,7 +246,8 @@ impl SecondarySystem {
     ///
     /// # Panics
     ///
-    /// Panics if `port >= 20` or `tag >= 4`.
+    /// Panics if `port` is beyond the die's ports or
+    /// `tag >= MAX_TAGS`.
     pub fn set_port_tag(&mut self, port: usize, tag: u8) {
         assert!((tag as usize) < MAX_TAGS, "tag out of range: {tag}");
         self.port_tag[port] = tag;
@@ -237,9 +259,8 @@ impl SecondarySystem {
     /// one bank before either injects.
     pub fn home_bank(&self, port: usize, addr: u64) -> usize {
         let dst = self.nts[port].route((addr / LINE as u64) >> self.cfg.interleave_shift);
-        // Invert `bank_coord`: two columns of eight in rows 1..=8.
-        let bank = (dst.row as usize - 1) + (dst.col as usize - 1) * 8;
-        debug_assert_eq!(bank_coord(bank), dst);
+        let bank = self.geo.bank_index(dst);
+        debug_assert_eq!(self.geo.bank_coord(bank), dst);
         bank
     }
 
@@ -256,7 +277,7 @@ impl SecondarySystem {
     /// Injects a request at client port `port` (0..20). Returns false
     /// if the network refused it this cycle.
     pub fn request(&mut self, now: u64, port: usize, req: MemReq) -> bool {
-        let src = port_coord(port);
+        let src = self.geo.port_coord(port);
         let dst = self.nts[port].route((req.addr / LINE as u64) >> self.cfg.interleave_shift);
         // A line plus header: five 16-byte flits; requests travel VC0,
         // writes VC1 (separating traffic classes).
@@ -277,7 +298,7 @@ impl SecondarySystem {
 
     /// Pops a response for `port`, if one has arrived by `now`.
     pub fn pop_response(&mut self, now: u64, port: usize) -> Option<MemResp> {
-        match self.ocn.eject(now, port_coord(port)) {
+        match self.ocn.eject(now, self.geo.port_coord(port)) {
             Some(m) => match m.payload {
                 Packet::Resp { resp, .. } => Some(resp),
                 Packet::Req { .. } => unreachable!("request delivered to a client port"),
@@ -420,7 +441,7 @@ impl SecondarySystem {
                     now,
                     PacketMsg::new(
                         self.banks[bi].coord,
-                        port_coord(port),
+                        self.geo.port_coord(port),
                         Packet::Resp { port, resp: resp.clone(), flits, vc },
                         flits,
                         vc,
@@ -660,6 +681,66 @@ mod tests {
         assert!(accepted > 1000, "the sweep must actually exercise concurrency: {accepted}");
         assert_eq!(accepted, delivered, "every accepted request must drain by the end");
         assert_eq!(l2.in_system(), 0);
+    }
+
+    #[test]
+    fn many_ports_hammering_one_bank_on_a_sixteen_core_die_see_bounded_waits() {
+        // The widest die (8 stacked blocks, 160 ports): N clients
+        // spread over block 0's west and east edges keep one
+        // outstanding read each to the same line, so every access
+        // serializes at one bank. Round-robin OCN arbitration must
+        // keep all of them progressing with waits that grow no worse
+        // than linearly in the client count — and the traffic must
+        // stay confined to the block that owns the bank.
+        for n in [4usize, 8, 16] {
+            let mut l2 = SecondarySystem::for_cores(MemConfig::prototype(), 16);
+            let west = l2.geometry().west_ports();
+            l2.write_backing(0x3000, &[1; 64]);
+            let ports: Vec<usize> = (0..n / 2).flat_map(|i| [i, west + i]).collect();
+            let home = l2.home_bank(ports[0], 0x3000);
+            for &p in &ports {
+                assert_eq!(l2.home_bank(p, 0x3000), home, "port {p} homed elsewhere");
+            }
+            const ROUNDS: usize = 20;
+            let max_wait: u64 = 1000 + 300 * n as u64;
+            let mut issued_at = vec![0u64; n];
+            let mut pending = vec![false; n];
+            let mut done = vec![0usize; n];
+            let mut id = 0u64;
+            let mut t = 0u64;
+            while done.iter().any(|&d| d < ROUNDS) {
+                for (c, &port) in ports.iter().enumerate() {
+                    if !pending[c] && done[c] < ROUNDS {
+                        id += 1;
+                        if l2.request(t, port, MemReq::read_line(id, 0x3000)) {
+                            pending[c] = true;
+                            issued_at[c] = t;
+                        }
+                    }
+                }
+                l2.tick(t);
+                t += 1;
+                for (c, &port) in ports.iter().enumerate() {
+                    if pending[c] && l2.pop_response(t, port).is_some() {
+                        pending[c] = false;
+                        done[c] += 1;
+                    }
+                    if pending[c] {
+                        assert!(
+                            t - issued_at[c] < max_wait,
+                            "port {port} starved among {n} clients: outstanding {} cycles",
+                            t - issued_at[c]
+                        );
+                    }
+                }
+            }
+            let banks_per_block = l2.geometry().banks() / l2.geometry().blocks();
+            for (b, (h, m)) in l2.bank_stats().iter().enumerate() {
+                if b >= banks_per_block {
+                    assert_eq!((*h, *m), (0, 0), "bank {b} outside block 0 saw traffic");
+                }
+            }
+        }
     }
 
     #[test]

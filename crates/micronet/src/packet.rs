@@ -60,7 +60,7 @@ impl<P> PacketMsg<P> {
     ///
     /// # Panics
     ///
-    /// Panics if `tag >= 4`.
+    /// Panics if `tag >= `[`MAX_TAGS`].
     pub fn with_tag(mut self, tag: u8) -> PacketMsg<P> {
         assert!((tag as usize) < MAX_TAGS, "tag out of range: {tag}");
         self.tag = tag;
@@ -68,9 +68,9 @@ impl<P> PacketMsg<P> {
     }
 }
 
-/// Distinct client tags a [`PacketMesh`] accounts for (two cores plus
-/// headroom).
-pub const MAX_TAGS: usize = 4;
+/// Distinct client tags a [`PacketMesh`] accounts for — one per core
+/// of the largest die the chip-level geometry supports (16 cores).
+pub const MAX_TAGS: usize = 16;
 
 /// Aggregate statistics for a [`PacketMesh`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]

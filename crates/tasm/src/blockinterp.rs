@@ -95,6 +95,24 @@ pub fn run_image(
     image: &ProgramImage,
     max_blocks: u64,
 ) -> Result<BlockRunResult, BlockInterpError> {
+    run_image_trace(image, max_blocks, |_| {})
+}
+
+/// [`run_image`] with a per-block hook: `visit(pc)` fires before each
+/// block executes, in architectural order. This is the debugging seam
+/// for divergence triage — record the oracle's block-address sequence
+/// and diff it against a core's committed-block trace (the flight
+/// recorder's `BlockAck` events) to localize where a run left the
+/// architectural path.
+///
+/// # Errors
+///
+/// See [`BlockInterpError`].
+pub fn run_image_trace<F: FnMut(u64)>(
+    image: &ProgramImage,
+    max_blocks: u64,
+    mut visit: F,
+) -> Result<BlockRunResult, BlockInterpError> {
     let mut mem = SparseMem::from_image(image);
     let mut regs = [0u64; 128];
     let mut pc = image.entry;
@@ -104,6 +122,7 @@ pub fn run_image(
         if blocks >= max_blocks {
             return Err(BlockInterpError::BlockLimit);
         }
+        visit(pc);
         let block = fetch_block(&mem, pc)?;
         let out = execute_block(&block, &mut regs, &mut mem, pc)?;
         blocks += 1;

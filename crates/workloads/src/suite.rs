@@ -64,6 +64,24 @@ pub fn pairs() -> Vec<(Workload, Workload)> {
     ]
 }
 
+/// Workload groups for an `n`-core chip: each [`pairs`] entry
+/// stretched to `n` slots by alternating its two members (slot `k`
+/// runs member `k % 2`), so `groups(2)` **is** the pair table and
+/// wider dies keep each pairing's contention character — the
+/// memory-bound groups stay memory-bound on every core. `chipsim`'s
+/// scaling curve and the chip equivalence suite run these.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn groups(n: usize) -> Vec<Vec<Workload>> {
+    assert!(n >= 1, "a group needs at least one slot");
+    pairs()
+        .into_iter()
+        .map(|(a, b)| (0..n).map(|k| if k % 2 == 0 { a } else { b }).collect())
+        .collect()
+}
+
 /// Look up a benchmark by name (searches [`extended`]).
 pub fn by_name(name: &str) -> Option<Workload> {
     extended().into_iter().find(|w| w.name == name)
@@ -95,6 +113,24 @@ mod tests {
     fn lookup_by_name() {
         assert!(by_name("sha").is_some());
         assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn groups_stretch_pairs_by_alternation() {
+        let p = pairs();
+        let g2 = groups(2);
+        assert_eq!(g2.len(), p.len());
+        for (g, (a, b)) in g2.iter().zip(&p) {
+            assert_eq!(g.iter().map(|w| w.name).collect::<Vec<_>>(), [a.name, b.name]);
+        }
+        for n in [1, 4, 16] {
+            for (g, (a, b)) in groups(n).iter().zip(&p) {
+                assert_eq!(g.len(), n);
+                for (k, w) in g.iter().enumerate() {
+                    assert_eq!(w.name, if k % 2 == 0 { a.name } else { b.name });
+                }
+            }
+        }
     }
 
     #[test]

@@ -17,10 +17,18 @@
 //!    contend: nonzero cross-core bank-conflict stalls, OCN traffic
 //!    attributed to both cores, and a measurable slowdown for at
 //!    least one core.
+//! 5. **Slot translation** — on any die width, slot `k` is a
+//!    whole-block translation of prototype slot `k % 2`
+//!    ([`trips_mem::OcnGeometry`] tiles one twenty-port block per
+//!    core pair), so a lone live core in any slot is *bit-identical*
+//!    to the same experiment on the prototype die — and even slots
+//!    are bit-identical to the solo `Processor` + `Nuca` path itself.
+
+use std::collections::HashMap;
 
 use trips_core::{Chip, ChipConfig, ChipStats, CoreConfig, CoreStats, MemBackend, Processor};
 use trips_isa::mem::SparseMem;
-use trips_isa::ArchReg;
+use trips_isa::{ArchReg, ProgramImage};
 use trips_mem::MemConfig;
 use trips_tasm::Quality;
 use trips_workloads::{suite, Workload};
@@ -61,6 +69,29 @@ fn chip_run_with(wls: &[&Workload], ccfg: ChipConfig) -> (ChipStats, Vec<(Vec<u6
 fn chip_run(wls: &[&Workload], check_invariants: bool) -> (ChipStats, Vec<(Vec<u64>, SparseMem)>) {
     let core_cfg = CoreConfig { check_invariants, ..CoreConfig::prototype() };
     chip_run_with(wls, ChipConfig::with_cores(wls.len(), core_cfg, MemConfig::prototype()))
+}
+
+/// Runs `wl` alone in slot `slot` of an `n`-core chip (every other
+/// slot idle), returning the live core's stats and architecture.
+fn run_slot(wl: &Workload, slot: usize, n: usize) -> (CoreStats, Vec<u64>, SparseMem) {
+    let mut chip = Chip::new(ChipConfig::n_cores(n));
+    let image = wl.build_trips(Quality::Hand).expect("compiles").image;
+    let mut images: Vec<Option<&ProgramImage>> = vec![None; n];
+    images[slot] = Some(&image);
+    let stats = chip
+        .run_select(&images, MAX_CYCLES)
+        .unwrap_or_else(|e| panic!("{} alone in slot {slot} of {n}: {e}", wl.name));
+    assert_eq!(
+        stats.total_conflict_stalls(),
+        0,
+        "a lone live core can never lose a bank arbitration"
+    );
+    for (j, c) in stats.cores.iter().enumerate() {
+        if j != slot {
+            assert_eq!(c, &CoreStats::default(), "idle slot {j} of an {n}-core die was not idle");
+        }
+    }
+    (stats.cores[slot].clone(), regs(chip.core(slot)), chip.core(slot).memory().clone())
 }
 
 #[test]
@@ -204,6 +235,106 @@ fn chip_epoch_skip_is_bit_identical_and_not_vacuous() {
     chip.run(std::slice::from_ref(&image), MAX_CYCLES).expect("halts");
     let g = chip.core(0).gating_stats();
     assert!(g.epochs_skipped > 0, "one-core chip skipped no epochs on listwalk: {g:?}");
+}
+
+#[test]
+fn a_lone_core_in_any_slot_of_any_die_matches_its_prototype_slot() {
+    let wl = suite::by_name("saxpy").expect("registered");
+    let (solo_stats, solo_regs, solo_mem) = solo(&wl);
+
+    // Slot 0 of the prototype die IS the solo path (PortMap::SOLO is
+    // `for_core(0, 2)`), idle co-slot and all.
+    let (s0, r0, m0) = run_slot(&wl, 0, 2);
+    assert_eq!(s0, solo_stats, "slot 0 of the prototype die diverged from solo CoreStats");
+    assert_eq!(r0, solo_regs, "slot 0 of the prototype die diverged from solo registers");
+    assert_eq!(m0, solo_mem, "slot 0 of the prototype die diverged from solo memory");
+
+    // Slot 1 of the prototype die anchors all odd slots: its ports
+    // sit five rows below slot 0's, so its OCN distances — and hence
+    // its cycle counts — legitimately differ from solo, but its
+    // architecture must not.
+    let (odd_stats, odd_regs, odd_mem) = run_slot(&wl, 1, 2);
+    assert_eq!(odd_regs, solo_regs, "slot choice leaked into registers");
+    assert_eq!(odd_mem, solo_mem, "slot choice leaked into memory");
+    assert_eq!(
+        odd_stats.blocks_committed, solo_stats.blocks_committed,
+        "slot choice changed the committed block count"
+    );
+
+    // Wider dies tile whole prototype blocks vertically, and a +10·b
+    // row translation preserves routing, per-router round-robin and
+    // bank timing exactly — so slot k of any die must reproduce
+    // prototype slot k % 2 bit-for-bit. The sweep uses the short
+    // `vadd` (its loads and stores still cross the OCN) against its
+    // own prototype-die anchors, keeping the debug-mode test cheap;
+    // 16 cores is the widest die, and its interior slots add nothing
+    // over 8's, so spot-check its corners.
+    let wl = suite::by_name("vadd").expect("registered");
+    let anchors = [run_slot(&wl, 0, 2), run_slot(&wl, 1, 2)];
+    let slots: &[(usize, &[usize])] =
+        &[(4, &[0, 1, 2, 3]), (8, &[0, 1, 2, 3, 4, 5, 6, 7]), (16, &[0, 1, 14, 15])];
+    for &(n, ks) in slots {
+        for &k in ks {
+            let (stats, regs_k, mem_k) = run_slot(&wl, k, n);
+            let (want_stats, want_regs, want_mem) = &anchors[k % 2];
+            assert_eq!(
+                &stats,
+                want_stats,
+                "slot {k} of an {n}-core die is not a translation of prototype slot {}",
+                k % 2
+            );
+            assert_eq!(&regs_k, want_regs, "slot {k} of an {n}-core die: registers diverge");
+            assert_eq!(&mem_k, want_mem, "slot {k} of an {n}-core die: memory diverges");
+        }
+    }
+}
+
+#[test]
+fn per_core_state_is_corunner_independent_on_a_quad_die() {
+    let mut solos: HashMap<&'static str, (CoreStats, Vec<u64>, SparseMem)> = HashMap::new();
+    let mut failures = Vec::new();
+    for group in suite::groups(4) {
+        let wls: Vec<&Workload> = group.iter().collect();
+        let (chip_stats, arch) = chip_run(&wls, false);
+        let gname: Vec<&str> = group.iter().map(|w| w.name).collect();
+        for (k, wl) in group.iter().enumerate() {
+            let (s_stats, s_regs, s_mem) = solos.entry(wl.name).or_insert_with(|| solo(wl));
+            if chip_stats.cores[k].blocks_committed != s_stats.blocks_committed {
+                failures.push(format!(
+                    "{gname:?} core{k} ({}): committed {} blocks grouped, {} solo",
+                    wl.name, chip_stats.cores[k].blocks_committed, s_stats.blocks_committed
+                ));
+            }
+            if &arch[k].0 != s_regs {
+                failures.push(format!(
+                    "{gname:?} core{k} ({}): registers depend on the co-runners",
+                    wl.name
+                ));
+            }
+            if &arch[k].1 != s_mem {
+                failures.push(format!(
+                    "{gname:?} core{k} ({}): memory depends on the co-runners",
+                    wl.name
+                ));
+            }
+        }
+    }
+    assert!(failures.is_empty(), "contention leaked into architecture:\n{}", failures.join("\n"));
+}
+
+#[test]
+fn sixteen_core_chip_conserves_packets_under_audit() {
+    // `check_invariants` runs the chip-wide OCN conservation audit
+    // every cycle across all sixteen tags; after the halt-and-drain
+    // loop every injected packet must have been delivered.
+    let wl = suite::by_name("vadd").expect("registered");
+    let wls: Vec<&Workload> = vec![&wl; 16];
+    let (stats, _) = chip_run(&wls, true);
+    assert_eq!(stats.cores.len(), 16);
+    for (k, (inj, del)) in stats.ocn_tag_counts.iter().enumerate() {
+        assert!(*inj > 0, "core {k} of 16 injected no OCN packets — tagging is broken");
+        assert_eq!(inj, del, "core {k} of 16 leaked packets: {inj} injected, {del} delivered");
+    }
 }
 
 #[test]

@@ -55,28 +55,31 @@ fn assert_plan_matches_oracle_nuca(workload: &str, quality: Quality, plan: &Faul
     }
 }
 
-/// [`assert_plan_matches_oracle`] on a dual-core chip sharing one
-/// NUCA — the entry point for reproducers `protofuzz` found on its
-/// chip seeds (`seed % 8 == 5`), where OCN faults hit the shared
-/// network with both cores live. Each core is compared against its
-/// own oracle; contention is timing-only, so any divergence indicts
-/// the protocols.
+/// [`assert_plan_matches_oracle`] on a chip sharing one NUCA — the
+/// entry point for reproducers `protofuzz` found on its chip seeds
+/// (`seed % 8 == 5`), where OCN faults hit the shared network with
+/// all cores live. `co_runners` is the comma-joined workloads of
+/// slots 1.. (so a dual-core repro passes one name, a quad-core repro
+/// three). Each core is compared against its own oracle; contention
+/// is timing-only, so any divergence indicts the protocols.
 #[allow(dead_code)]
 fn assert_chip_plan_matches_oracles(
     workload: &str,
-    co_runner: &str,
+    co_runners: &str,
     quality: Quality,
     plan: &FaultPlan,
 ) {
-    let a = suite::by_name(workload).expect("workload registered in the suite");
-    let b = suite::by_name(co_runner).expect("co-runner registered in the suite");
-    let oa = Oracle::build(&a, quality);
-    let ob = Oracle::build(&b, quality);
-    if let Err(why) =
-        fuzz::run_chip_against_oracles(&[&oa, &ob], Some(plan), true, REPRO_MAX_CYCLES)
-    {
+    let oracles: Vec<Oracle> = std::iter::once(workload)
+        .chain(co_runners.split(','))
+        .map(|name| {
+            let wl = suite::by_name(name).expect("workload registered in the suite");
+            Oracle::build(&wl, quality)
+        })
+        .collect();
+    let refs: Vec<&Oracle> = oracles.iter().collect();
+    if let Err(why) = fuzz::run_chip_against_oracles(&refs, Some(plan), true, REPRO_MAX_CYCLES) {
         panic!(
-            "{workload}+{co_runner} ({quality:?}, chip) under plan seed {:#x}: {why}",
+            "{workload}+{co_runners} ({quality:?}, chip) under plan seed {:#x}: {why}",
             plan.seed
         );
     }
@@ -194,6 +197,89 @@ fn protofuzz_repro_dct8x8_48() {
         flush_storm: Some(Ratio { num: 1, den: 16 }),
     };
     assert_plan_matches_oracle("dct8x8", Quality::Hand, &plan);
+}
+
+/// Minimized protofuzz reproducer (seed 0x288).
+///
+/// The *deallocation* sibling of `protofuzz_repro_matrix_d` and
+/// `protofuzz_repro_dct8x8_48`: commit drains were already made
+/// oldest-first, but the RT's ack-and-deallocate step still walked
+/// frames by index. Chain delay bunched two commit waves so a younger
+/// frame acked and left the age order while an older frame (its east
+/// ack delayed) stayed active — and the older frame's already-drained
+/// write-queue entry then shadowed the architectural file for every
+/// new read of that register, resurrecting the superseded value. Here
+/// that register was dct8x8's inner loop counter, so a loop-bottom
+/// test read a stale bound and the run exited 21 blocks early. Fixed
+/// by acking/deallocating strictly oldest-first — a frame may leave
+/// the dispatch order only from its head — in both the RT and the DT
+/// (which had the same index-order walk for its store ack).
+#[test]
+fn protofuzz_repro_dct8x8_288() {
+    let plan = FaultPlan {
+        seed: 0x288,
+        rotate_arbitration: false,
+        links: vec![
+            LinkFault {
+                net: 0,
+                row: 2,
+                col: 3,
+                port: FaultPort::West,
+                chance: Ratio { num: 1, den: 2 },
+                max_burst: 5,
+            },
+            LinkFault {
+                net: 0,
+                row: 0,
+                col: 1,
+                port: FaultPort::North,
+                chance: Ratio { num: 1, den: 16 },
+                max_burst: 4,
+            },
+            LinkFault {
+                net: 0,
+                row: 3,
+                col: 3,
+                port: FaultPort::East,
+                chance: Ratio { num: 1, den: 2 },
+                max_burst: 2,
+            },
+        ],
+        ocn_links: vec![],
+        chain_delay: Some(ChainDelay { chance: Ratio { num: 1, den: 2 }, max_extra: 3 }),
+        flush_storm: Some(Ratio { num: 1, den: 64 }),
+    };
+    assert_plan_matches_oracle("dct8x8", Quality::Hand, &plan);
+}
+
+/// Minimized protofuzz chip reproducer (seed 0xdd).
+///
+/// The first bug caught by the quad-core chip seeds (`seed % 16 ==
+/// 13`): the same write-queue resurrection as
+/// `protofuzz_repro_dct8x8_288`, reached through shared-NUCA traffic
+/// instead of operand-link stalls. An OCN eject stall plus chain
+/// delay bunched core 0's commit waves until an index-order ack let a
+/// younger frame deallocate past a still-active older one, and a
+/// stale forwarded register corrupted one cell of matrix's result.
+/// Pinned as a chip repro so the ack-order fix stays exercised with
+/// all four cores contending on the shared network.
+#[test]
+fn protofuzz_repro_chip_matrix_vadd_dct8x8_matrix_dd() {
+    let plan = FaultPlan {
+        seed: 0xdd,
+        rotate_arbitration: true,
+        links: vec![],
+        ocn_links: vec![OcnFault {
+            row: 3,
+            col: 0,
+            port: FaultPort::Eject,
+            chance: Ratio { num: 1, den: 16 },
+            max_burst: 3,
+        }],
+        chain_delay: Some(ChainDelay { chance: Ratio { num: 1, den: 8 }, max_extra: 3 }),
+        flush_storm: None,
+    };
+    assert_chip_plan_matches_oracles("matrix", "vadd,dct8x8,matrix", Quality::Hand, &plan);
 }
 
 /// A deliberately lethal plan: the GT's OPN eject port is permanently

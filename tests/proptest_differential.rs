@@ -1,12 +1,13 @@
 //! Randomized differential testing: randomly generated programs must
 //! produce identical memory on the IR interpreter, the architectural
 //! block interpreter, and the cycle-level core, at both code-quality
-//! levels, with the clock-gated tick scheduler both on and off, and
-//! with the fused GT frame pass both on and off.
+//! levels, with the clock-gated tick scheduler both on and off, with
+//! the fused GT frame pass both on and off, and on every core of 1-,
+//! 2- and 4-core chips sharing one NUCA.
 //! (Seeded generation via `trips_harness::Rng`; the environment has no
 //! crates.io access so `proptest` is unavailable.)
 
-use trips::core::{CoreConfig, Processor};
+use trips::core::{Chip, ChipConfig, CoreConfig, Processor};
 use trips::isa::Opcode;
 use trips::tasm::{blockinterp, compile, interp, ProgramBuilder, Quality, VReg};
 use trips_harness::Rng;
@@ -153,6 +154,39 @@ fn random_programs_agree_everywhere() {
                         want,
                         "core diverged at {c:#x} (case {case}, {q}, gate {gate}, \
                          fused {fused_gt}, steps {steps:?})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn random_programs_agree_on_multicore_chips() {
+    // The chip axis: the same random image on every core of an
+    // n-core die must leave every core's memory identical to the IR
+    // interpreter — bank contention between the twins is timing-only.
+    // Fewer cases than the solo sweep: each adds up to seven NUCA
+    // chip runs.
+    let mut rng = Rng::new(0xc41b_5eed);
+    for case in 0..8 {
+        let steps: Vec<Step> = (0..rng.range_usize(1, 24)).map(|_| random_step(&mut rng)).collect();
+        let (prog, cells) = build_program(&steps);
+        prog.check().expect("generated IR is structurally valid");
+        let reference = interp::run(&prog, 1_000_000).expect("ir interp");
+        let compiled = compile(&prog, Quality::Hand).expect("compiles");
+
+        for n in [1usize, 2, 4] {
+            let mut chip = Chip::new(ChipConfig::n_cores(n));
+            let images = vec![compiled.image.clone(); n];
+            chip.run(&images, 5_000_000)
+                .unwrap_or_else(|e| panic!("chip run (case {case}, {n} cores): {e}"));
+            for k in 0..n {
+                for &c in &cells {
+                    assert_eq!(
+                        chip.core(k).memory().read_u64(c),
+                        reference.mem.read_u64(c),
+                        "core {k} of {n} diverged at {c:#x} (case {case}, steps {steps:?})"
                     );
                 }
             }
