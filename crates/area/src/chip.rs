@@ -51,6 +51,23 @@ fn spec(specs: &[TileSpec], kind: TileKind) -> &TileSpec {
     specs.iter().find(|s| s.kind == kind).expect("all kinds present")
 }
 
+/// The placed area of one processor core: the GT plus every RT, IT,
+/// DT, and ET of its geometry (prototype: 1 + 4 + 5 + 4 + 16 tiles).
+fn core_area_of(specs: &[TileSpec], g: trips_core::CoreGeometry) -> f64 {
+    spec(specs, TileKind::Gt).size_mm2
+        + g.num_rts() as f64 * spec(specs, TileKind::Rt).size_mm2
+        + g.num_its() as f64 * spec(specs, TileKind::It).size_mm2
+        + g.num_dts() as f64 * spec(specs, TileKind::Dt).size_mm2
+        + g.num_ets() as f64 * spec(specs, TileKind::Et).size_mm2
+}
+
+/// The placed area of one processor core for a configuration — the
+/// paretosweep's area axis, derived from the same `CoreGeometry` the
+/// simulator runs.
+pub fn core_area_mm2(cfg: &ChipConfig) -> f64 {
+    core_area_of(&tile_specs(cfg), cfg.core.geometry)
+}
+
 /// Regenerates Table 1 for a configuration.
 pub fn table1(cfg: &ChipConfig) -> (Vec<Table1Row>, ChipSummary) {
     let specs = tile_specs(cfg);
@@ -68,27 +85,26 @@ pub fn table1(cfg: &ChipConfig) -> (Vec<Table1Row>, ChipSummary) {
         })
         .collect();
 
-    // A processor core: GT + 4 RT + 5 IT + 4 DT + 16 ET.
-    let core_area = spec(&specs, TileKind::Gt).size_mm2
-        + 4.0 * spec(&specs, TileKind::Rt).size_mm2
-        + 5.0 * spec(&specs, TileKind::It).size_mm2
-        + 4.0 * spec(&specs, TileKind::Dt).size_mm2
-        + 16.0 * spec(&specs, TileKind::Et).size_mm2;
+    // A processor core (prototype: GT + 4 RT + 5 IT + 4 DT + 16 ET).
+    let g = cfg.core.geometry;
+    let core_area = core_area_of(&specs, g);
 
-    // OPN: routers and buffering at 25 of the 30 processor tiles plus
-    // eight 141-bit links each (§5.2 puts it near 12% of core area).
+    // OPN: routers and buffering at every node of the operand mesh
+    // (prototype: 25 of the 30 processor tiles) plus eight 141-bit
+    // links each (§5.2 puts it near 12% of core area).
     let opn_router_mm2 = 0.45;
-    let opn_area = 25.0 * opn_router_mm2;
+    let opn_area = (g.mesh_rows() * g.mesh_cols()) as f64 * opn_router_mm2;
 
     // OCN: 4-ported routers with four virtual channels at the MTs and
     // NTs (§5.2: ~14% of the chip).
     let ocn_router_mm2 = 1.17;
     let ocn_area = (cfg.mt_banks + cfg.nts) as f64 * ocn_router_mm2;
 
-    // LSQ: the 256-entry replicated queues built from discrete latches
-    // occupy ~40% of each DT (§7).
+    // LSQ: the replicated queues built from discrete latches occupy
+    // ~40% of each DT (§7; 256 entries on the prototype).
     let lsq_pct_of_dt = 40.0;
-    let lsq_area = 4.0 * spec(&specs, TileKind::Dt).size_mm2 * (lsq_pct_of_dt / 100.0);
+    let lsq_area =
+        g.num_dts() as f64 * spec(&specs, TileKind::Dt).size_mm2 * (lsq_pct_of_dt / 100.0);
 
     let summary = ChipSummary {
         total_cells: specs.iter().map(|s| s.cell_count * s.count as u64).sum(),
@@ -115,6 +131,45 @@ pub fn networks_table() -> Vec<NetworkRow> {
     NETWORKS.iter().map(|&spec| NetworkRow { spec }).collect()
 }
 
+/// Renders Table 1 for a configuration exactly as the `table1` binary
+/// prints it — header, one line per tile, and the chip totals line.
+pub fn render_table1(cfg: &ChipConfig) -> String {
+    use std::fmt::Write;
+    let (rows, summary) = table1(cfg);
+    let mut s = String::new();
+    writeln!(
+        s,
+        "{:<6} {:>11} {:>11} {:>10} {:>11} {:>12}",
+        "Tile", "Cell Count", "Array Bits", "Size(mm2)", "Tile Count", "% Chip Area"
+    )
+    .unwrap();
+    for r in &rows {
+        writeln!(
+            s,
+            "{:<6} {:>10}K {:>10}K {:>10.1} {:>11} {:>12.1}",
+            r.tile,
+            r.cell_count / 1000,
+            r.array_bits / 1000,
+            r.size_mm2,
+            r.tile_count,
+            r.pct_chip_area
+        )
+        .unwrap();
+    }
+    writeln!(
+        s,
+        "{:<6} {:>10.1}M {:>9.1}M {:>10.0} {:>11} {:>12.1}",
+        "Chip",
+        summary.total_cells as f64 / 1e6,
+        summary.total_bits as f64 / 1e6,
+        summary.tile_area_mm2,
+        rows.iter().map(|r| r.tile_count).sum::<usize>(),
+        100.0
+    )
+    .unwrap();
+    s
+}
+
 /// The chip summary for the prototype configuration.
 pub fn chip_summary() -> ChipSummary {
     table1(&ChipConfig::prototype()).1
@@ -123,6 +178,7 @@ pub fn chip_summary() -> ChipSummary {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::tiles::array_bits;
 
     #[test]
     fn percentages_track_table1() {
@@ -173,5 +229,36 @@ mod tests {
     #[test]
     fn table2_has_eight_networks() {
         assert_eq!(networks_table().len(), 8);
+    }
+
+    /// The published Table 1 regenerates byte-for-byte from the
+    /// prototype `CoreGeometry`. Every array-bit census is now a
+    /// geometry formula; this gate catches any formula that drifts at
+    /// the 4x4/8-frame point, where it must reduce to the paper.
+    #[test]
+    fn prototype_table1_is_byte_identical_to_the_published_table() {
+        let expect = "\
+Tile    Cell Count  Array Bits  Size(mm2)  Tile Count  % Chip Area
+GT             52K         88K        3.3           2          2.0
+RT             26K         14K        1.2           8          3.0
+IT              5K        135K        1.1          10          3.1
+DT            119K         89K        8.8           8         20.9
+ET             84K         12K        2.9          32         27.6
+MT             60K        547K        6.5          16         31.2
+NT             23K          0K        1.0          24          7.0
+SDC            64K          6K        5.8           2          3.5
+DMA            30K          4K        1.3           2          0.8
+EBC            29K          0K        1.0           1          0.3
+C2C            48K          0K        2.2           1          0.6
+Chip          5.8M      11.5M        335         106        100.0
+";
+        assert_eq!(render_table1(&ChipConfig::prototype()), expect);
+        // And the exact computable array-bit censuses behind the
+        // rounded display: each is the geometry formula evaluated at
+        // the prototype point.
+        let cfg = ChipConfig::prototype();
+        assert_eq!(array_bits(TileKind::Rt, &cfg), 14336); // 4*32*64 + 8*8*72 + 8*8*24
+        assert_eq!(array_bits(TileKind::It, &cfg), 135_168); // 16K*8 + 128*32
+        assert_eq!(array_bits(TileKind::Et, &cfg), 12_060); // 64*165 + 1500
     }
 }

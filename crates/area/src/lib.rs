@@ -21,6 +21,9 @@ mod chip;
 mod floorplan;
 mod tiles;
 
-pub use chip::{chip_summary, networks_table, table1, ChipSummary, NetworkRow, Table1Row};
+pub use chip::{
+    chip_summary, core_area_mm2, networks_table, render_table1, table1, ChipSummary, NetworkRow,
+    Table1Row,
+};
 pub use floorplan::floorplan;
 pub use tiles::{tile_specs, ChipConfig, TileKind, TileSpec};

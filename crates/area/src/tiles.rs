@@ -7,7 +7,7 @@
 //! constants (an area model always needs a technology calibration; the
 //! published tile data of Table 1 is ours).
 
-use trips_core::{CoreConfig, ET_COLS, ET_ROWS, NUM_DTS, NUM_ITS, NUM_RTS, RS_PER_FRAME};
+use trips_core::CoreConfig;
 
 /// The eleven tile types of the chip (§5.1: "the entire TRIPS design
 /// is composed of only 11 different types of tiles").
@@ -93,10 +93,12 @@ pub struct ChipConfig {
 
 impl ChipConfig {
     /// The prototype: 2 cores, 16 × 64 KB NUCA banks, 24 NTs, 4-way
-    /// SMT register files.
+    /// SMT register files. Pinned to the prototype die — the published
+    /// Table 1 must regenerate byte-identically regardless of
+    /// `TRIPS_GEOMETRY`.
     pub fn prototype() -> ChipConfig {
         ChipConfig {
-            core: CoreConfig::prototype(),
+            core: CoreConfig::prototype_pinned(),
             cores: 2,
             mt_banks: 16,
             mt_bank_kb: 64,
@@ -190,11 +192,13 @@ pub fn array_bits(kind: TileKind, cfg: &ChipConfig) -> u64 {
             exit + target + tags as u64 + misc as u64
         }
         TileKind::Rt => {
-            // Four per-thread 32×64b banks plus read/write queues for
-            // eight frames.
-            let regs = (cfg.threads * 32 * 64) as u64;
-            let wq = (8 * 8 * (64 + 6 + 2)) as u64;
-            let rq = (8 * 8 * (22 + 2)) as u64;
+            // Per-thread register banks plus per-frame read/write
+            // queues, all sized by the tile-array geometry (prototype:
+            // 32x64b banks, 8 frames x 8 header slots per RT).
+            let g = c.geometry;
+            let regs = (cfg.threads * g.regs_per_bank() * 64) as u64;
+            let wq = (g.frames * g.slots_per_rt() * (64 + 6 + 2)) as u64;
+            let rq = (g.frames * g.slots_per_rt() * (22 + 2)) as u64;
             regs + wq + rq
         }
         TileKind::It => {
@@ -216,9 +220,10 @@ pub fn array_bits(kind: TileKind, cfg: &ChipConfig) -> u64 {
             data + tags + deppred + tlb + mshr + wb as u64 + lsq_data
         }
         TileKind::Et => {
-            // 64 reservation stations: two 64-bit operands, a
-            // predicate bit, and the 32-bit instruction plus status.
-            (trips_core::NUM_FRAMES * RS_PER_FRAME * (2 * 64 + 1 + 32 + 4)) as u64 + 1500
+            // frames x rs_per_frame reservation stations (64 on the
+            // prototype): two 64-bit operands, a predicate bit, and
+            // the 32-bit instruction plus status.
+            (c.geometry.frames * c.geometry.rs_per_frame * (2 * 64 + 1 + 32 + 4)) as u64 + 1500
         }
         TileKind::Mt => {
             let data = (cfg.mt_bank_kb * 1024 * 8) as u64;
@@ -236,12 +241,13 @@ pub fn array_bits(kind: TileKind, cfg: &ChipConfig) -> u64 {
 
 /// Chip-wide copy counts.
 fn tile_count(kind: TileKind, cfg: &ChipConfig) -> usize {
+    let g = cfg.core.geometry;
     match kind {
         TileKind::Gt => cfg.cores,
-        TileKind::Rt => cfg.cores * NUM_RTS,
-        TileKind::It => cfg.cores * NUM_ITS,
-        TileKind::Dt => cfg.cores * NUM_DTS,
-        TileKind::Et => cfg.cores * ET_ROWS * ET_COLS,
+        TileKind::Rt => cfg.cores * g.num_rts(),
+        TileKind::It => cfg.cores * g.num_its(),
+        TileKind::Dt => cfg.cores * g.num_dts(),
+        TileKind::Et => cfg.cores * g.num_ets(),
         TileKind::Mt => cfg.mt_banks,
         TileKind::Nt => cfg.nts,
         TileKind::Sdc => 2,

@@ -29,9 +29,15 @@
 //! core compared against its own oracle (contention is timing-only,
 //! so a divergence still indicts the protocols). Half of those
 //! (`seed % 16 == 13`) use a **four-core** die, fuzzing the tiled OCN
-//! geometry; the rest keep the dual-core prototype. All choices are
-//! pure functions of the seed, so a seed reproduces identically in
-//! the sweep, the shrinker, and a repro test.
+//! geometry; the rest keep the dual-core prototype. Every eighth seed
+//! (`seed % 8 == 2`, a residue disjoint from the NUCA and chip axes)
+//! runs on the [`CoreGeometry::mini`] die — same plan draw stream,
+//! OPN coordinates folded into the smaller mesh
+//! ([`FaultPlan::random_for`]) — so the protocols fuzz on a
+//! non-prototype geometry too. All choices are pure functions of the
+//! seed, so a seed reproduces identically in the sweep, the shrinker,
+//! and a repro test, and every historical seed's plan and
+//! configuration are unchanged by the geometry axis.
 //!
 //! Under the default `--gate on`, the fuzzed cores run with epoch
 //! skipping live (`CoreConfig::prototype()` sets `skip_epochs`), so
@@ -43,7 +49,7 @@
 use std::process::ExitCode;
 
 use trips_bench::fuzz::{self, FuzzFailure, Oracle};
-use trips_core::{FaultPlan, MemBackend};
+use trips_core::{CoreGeometry, FaultPlan, MemBackend};
 use trips_harness::{num_threads, parallel_map};
 use trips_tasm::Quality;
 use trips_workloads::suite;
@@ -123,10 +129,12 @@ fn parse_args() -> Result<Args, String> {
 /// the original. In `--demo-bug` mode a run that merely *experienced*
 /// a forced flush storm also counts as failing, to exercise the
 /// shrink-and-report pipeline without a real bug.
+#[allow(clippy::too_many_arguments)]
 fn case_failure(
     oracle: &Oracle,
     chip_with: &[&Oracle],
     plan: &FaultPlan,
+    geom: CoreGeometry,
     nuca: bool,
     gate: bool,
     demo: bool,
@@ -145,7 +153,7 @@ fn case_failure(
         };
     }
     let backend = if nuca { MemBackend::nuca_prototype() } else { MemBackend::prototype() };
-    match fuzz::run_against_oracle_with(oracle, backend, Some(plan), gate, max_cycles) {
+    match fuzz::run_against_oracle_geom(oracle, backend, geom, Some(plan), gate, max_cycles) {
         Err(e) => Some(e),
         Ok(stats) if demo && stats.protocol.forced_flushes > 0 => Some(format!(
             "demo bug: {} forced flush storm(s) observed (synthetic failure predicate)",
@@ -203,16 +211,19 @@ fn main() -> ExitCode {
 
     let failures: Vec<FuzzFailure> = parallel_map(cases, args.threads, |(seed, oi)| {
         let oracle = &oracles[oi];
-        let plan = FaultPlan::random(seed);
         let chip = seed % 8 == 5;
         let nuca = seed % 4 == 3;
+        // The geometry axis: a residue class disjoint from the NUCA
+        // and chip axes, so no historical seed's configuration moves.
+        let geom = if seed % 8 == 2 { CoreGeometry::mini() } else { CoreGeometry::prototype() };
+        let plan = FaultPlan::random_for(seed, geom);
         let slots = if seed % 16 == 13 { 3 } else { 1 };
         let co: Vec<&Oracle> = if chip {
             chip_co_indices(seed, slots, oracles.len()).into_iter().map(|i| &oracles[i]).collect()
         } else {
             Vec::new()
         };
-        case_failure(oracle, &co, &plan, nuca, args.gate, args.demo_bug, args.max_cycles).map(
+        case_failure(oracle, &co, &plan, geom, nuca, args.gate, args.demo_bug, args.max_cycles).map(
             |why| FuzzFailure {
                 seed,
                 workload: oracle.name.clone(),
@@ -220,6 +231,7 @@ fn main() -> ExitCode {
                 nuca,
                 co_runner: (!co.is_empty())
                     .then(|| co.iter().map(|o| o.name.as_str()).collect::<Vec<_>>().join(",")),
+                geom,
                 plan,
                 why,
             },
@@ -245,6 +257,7 @@ fn main() -> ExitCode {
             None if f.nuca => ", nuca".into(),
             None => String::new(),
         };
+        let mode = format!("{mode}, {}", f.geom.name());
         eprintln!(
             "  seed {:#x} on {} ({:?}{mode}): {}",
             f.seed,
@@ -268,7 +281,16 @@ fn main() -> ExitCode {
         })
         .unwrap_or_default();
     let (shrunk, shrunk_why) = fuzz::shrink(fail.plan.clone(), fail.why.clone(), |p| {
-        case_failure(oracle, &co_oracles, p, fail.nuca, args.gate, args.demo_bug, args.max_cycles)
+        case_failure(
+            oracle,
+            &co_oracles,
+            p,
+            fail.geom,
+            fail.nuca,
+            args.gate,
+            args.demo_bug,
+            args.max_cycles,
+        )
     });
     eprintln!("protofuzz: shrunk plan:\n{}", shrunk.to_rust_literal());
     eprintln!("protofuzz: still fails with: {}", first_line(&shrunk_why));
@@ -294,7 +316,14 @@ fn main() -> ExitCode {
         ),
         None => println!(
             "{}",
-            fuzz::repro_snippet(&fail.workload, fail.quality, fail.nuca, &shrunk, &shrunk_why)
+            fuzz::repro_snippet_geom(
+                &fail.workload,
+                fail.quality,
+                fail.nuca,
+                fail.geom,
+                &shrunk,
+                &shrunk_why
+            )
         ),
     }
 

@@ -1,36 +1,11 @@
 //! Regenerates Table 1: TRIPS tile specifications.
 
-use trips_area::{chip_summary, table1, ChipConfig};
+use trips_area::{chip_summary, render_table1, ChipConfig};
 
 fn main() {
     let cfg = ChipConfig::prototype();
-    let (rows, summary) = table1(&cfg);
-
     println!("Table 1. TRIPS Tile Specifications (model-regenerated).");
-    println!(
-        "{:<6} {:>11} {:>11} {:>10} {:>11} {:>12}",
-        "Tile", "Cell Count", "Array Bits", "Size(mm2)", "Tile Count", "% Chip Area"
-    );
-    for r in &rows {
-        println!(
-            "{:<6} {:>10}K {:>10}K {:>10.1} {:>11} {:>12.1}",
-            r.tile,
-            r.cell_count / 1000,
-            r.array_bits / 1000,
-            r.size_mm2,
-            r.tile_count,
-            r.pct_chip_area
-        );
-    }
-    println!(
-        "{:<6} {:>10.1}M {:>9.1}M {:>10.0} {:>11} {:>12.1}",
-        "Chip",
-        summary.total_cells as f64 / 1e6,
-        summary.total_bits as f64 / 1e6,
-        summary.tile_area_mm2,
-        rows.iter().map(|r| r.tile_count).sum::<usize>(),
-        100.0
-    );
+    print!("{}", render_table1(&cfg));
 
     let s = chip_summary();
     println!();

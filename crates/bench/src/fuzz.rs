@@ -16,7 +16,8 @@
 use std::fmt::Write as _;
 
 use trips_core::{
-    Chip, ChipConfig, ChipStats, CoreConfig, CoreStats, FaultPlan, MemBackend, Processor,
+    Chip, ChipConfig, ChipStats, CoreConfig, CoreGeometry, CoreStats, FaultPlan, MemBackend,
+    Processor,
 };
 use trips_isa::mem::SparseMem;
 use trips_isa::{ArchReg, ProgramImage};
@@ -99,6 +100,11 @@ pub fn run_against_oracle(
 /// divergence under [`MemBackend::Nuca`] that vanishes under the
 /// perfect L2 is a bug in the fill/ack plumbing, not in the workload.
 ///
+/// Always runs the prototype die: historical reproducer plans carry
+/// prototype OPN coordinates, so this entry point must not follow
+/// `TRIPS_GEOMETRY`. Geometry-axis fuzzing goes through
+/// [`run_against_oracle_geom`].
+///
 /// # Errors
 ///
 /// As [`run_against_oracle`].
@@ -109,12 +115,31 @@ pub fn run_against_oracle_with(
     gate: bool,
     max_cycles: u64,
 ) -> Result<CoreStats, String> {
+    run_against_oracle_geom(oracle, backend, CoreGeometry::prototype(), plan, gate, max_cycles)
+}
+
+/// [`run_against_oracle_with`] on an explicit tile-array geometry —
+/// the protocols must match the architectural oracle on every die,
+/// not just the prototype. The plan's OPN coordinates must fit the
+/// geometry's mesh (use [`FaultPlan::random_for`]).
+///
+/// # Errors
+///
+/// As [`run_against_oracle`].
+pub fn run_against_oracle_geom(
+    oracle: &Oracle,
+    backend: MemBackend,
+    geom: CoreGeometry,
+    plan: Option<&FaultPlan>,
+    gate: bool,
+    max_cycles: u64,
+) -> Result<CoreStats, String> {
     let cfg = CoreConfig {
         gate_ticks: gate,
         mem_backend: backend,
         faults: plan.cloned(),
         check_invariants: true,
-        ..CoreConfig::prototype()
+        ..CoreConfig::with_geometry(geom)
     };
     let mut cpu = Processor::new(cfg);
     let stats = cpu.run(&oracle.image, max_cycles).map_err(|e| e.to_string())?;
@@ -145,7 +170,7 @@ pub fn run_chip_against_oracles(
         gate_ticks: gate,
         faults: plan.cloned(),
         check_invariants: true,
-        ..CoreConfig::prototype()
+        ..CoreConfig::prototype_pinned()
     };
     let mut chip =
         Chip::new(ChipConfig::with_cores(oracles.len(), core_cfg, MemConfig::prototype()));
@@ -245,19 +270,50 @@ pub fn repro_snippet(
     plan: &FaultPlan,
     why: &str,
 ) -> String {
+    repro_snippet_geom(workload, quality, nuca, CoreGeometry::prototype(), plan, why)
+}
+
+/// [`repro_snippet`] carrying the tile-array geometry of the failing
+/// run. Prototype failures keep the historical helper calls; any
+/// other geometry pastes a call to `assert_plan_matches_oracle_geom`,
+/// which re-runs the plan on that die by name.
+pub fn repro_snippet_geom(
+    workload: &str,
+    quality: Quality,
+    nuca: bool,
+    geom: CoreGeometry,
+    plan: &FaultPlan,
+    why: &str,
+) -> String {
     let mut s = String::new();
+    let proto = geom == CoreGeometry::prototype();
+    let gname = geom.name();
     let ident: String =
-        workload.chars().map(|c| if c.is_alphanumeric() { c } else { '_' }).collect();
+        format!("{workload}{}", if proto { String::new() } else { format!("_{gname}") })
+            .chars()
+            .map(|c| if c.is_alphanumeric() { c } else { '_' })
+            .collect();
     let _ = writeln!(s, "/// Minimized protofuzz reproducer (seed {:#x}).", plan.seed);
+    if !proto {
+        let _ = writeln!(s, "/// Found on the `{gname}` die.");
+    }
     for line in why.lines().take(4) {
         let _ = writeln!(s, "/// Failure: {line}");
     }
-    let helper =
-        if nuca { "assert_plan_matches_oracle_nuca" } else { "assert_plan_matches_oracle" };
     let _ = writeln!(s, "#[test]");
     let _ = writeln!(s, "fn protofuzz_repro_{ident}_{:x}() {{", plan.seed);
     let _ = writeln!(s, "    let plan = {};", indent_continuation(&plan.to_rust_literal(), 4));
-    let _ = writeln!(s, "    {helper}(\"{workload}\", Quality::{quality:?}, &plan);");
+    if proto {
+        let helper =
+            if nuca { "assert_plan_matches_oracle_nuca" } else { "assert_plan_matches_oracle" };
+        let _ = writeln!(s, "    {helper}(\"{workload}\", Quality::{quality:?}, &plan);");
+    } else {
+        let _ = writeln!(
+            s,
+            "    assert_plan_matches_oracle_geom(\"{workload}\", Quality::{quality:?}, \
+             \"{gname}\", &plan);"
+        );
+    }
     let _ = writeln!(s, "}}");
     s
 }
@@ -290,6 +346,9 @@ pub struct FuzzFailure {
     /// For dual-core chip cases: the co-runner workload on core 1
     /// (the run then used the shared NUCA regardless of `nuca`).
     pub co_runner: Option<String>,
+    /// Tile-array geometry the failing run used (chip cases are
+    /// always the prototype die).
+    pub geom: CoreGeometry,
     /// The full (unshrunk) failing plan.
     pub plan: FaultPlan,
     /// Failure description from [`run_against_oracle`].
@@ -316,7 +375,7 @@ pub fn failure_artifact(
         mem_backend: backend,
         faults: Some(shrunk.clone()),
         check_invariants: true,
-        ..CoreConfig::prototype()
+        ..CoreConfig::with_geometry(fail.geom)
     };
     let mut cpu = Processor::new(cfg);
     cpu.enable_tracing(1 << 15);
@@ -325,6 +384,7 @@ pub fn failure_artifact(
     let mut s = String::from("{\n");
     let _ = writeln!(s, "  \"workload\": \"{}\",", json_escape(&fail.workload));
     let _ = writeln!(s, "  \"quality\": \"{:?}\",", fail.quality);
+    let _ = writeln!(s, "  \"geometry\": \"{}\",", fail.geom.name());
     let _ = writeln!(s, "  \"backend\": \"{}\",", if fail.nuca { "nuca" } else { "perfect-l2" });
     let _ = writeln!(s, "  \"seed\": {},", fail.seed);
     let _ = writeln!(s, "  \"failure\": \"{}\",", json_escape(&fail.why));
@@ -362,7 +422,7 @@ pub fn failure_artifact_chip(
         gate_ticks: gate,
         faults: Some(shrunk.clone()),
         check_invariants: true,
-        ..CoreConfig::prototype()
+        ..CoreConfig::prototype_pinned()
     };
     let mut chip =
         Chip::new(ChipConfig::with_cores(oracles.len(), core_cfg, MemConfig::prototype()));
@@ -380,6 +440,7 @@ pub fn failure_artifact_chip(
         json_escape(fail.co_runner.as_deref().unwrap_or(""))
     );
     let _ = writeln!(s, "  \"quality\": \"{:?}\",", fail.quality);
+    let _ = writeln!(s, "  \"geometry\": \"{}\",", fail.geom.name());
     let _ = writeln!(s, "  \"backend\": \"chip\",");
     let _ = writeln!(s, "  \"seed\": {},", fail.seed);
     let _ = writeln!(s, "  \"failure\": \"{}\",", json_escape(&fail.why));

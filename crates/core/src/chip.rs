@@ -36,6 +36,7 @@ use trips_isa::ProgramImage;
 use trips_mem::{MemConfig, SecondarySystem};
 use trips_micronet::MAX_TAGS;
 
+use crate::config::TileMask;
 use crate::memsys::{BankArb, MemSys};
 use crate::proc::{Processor, SimError};
 use crate::stats::CoreStats;
@@ -130,7 +131,7 @@ pub struct Chip {
     threads: usize,
     /// Scratch for the per-core activity scans (avoids a per-cycle
     /// allocation).
-    scans: Vec<(u32, Option<u64>)>,
+    scans: Vec<(TileMask, Option<u64>)>,
 }
 
 impl Chip {
@@ -174,8 +175,8 @@ impl Chip {
         if let Some(plan) = &cfg.cores[0].faults {
             sys.set_ocn_fault(plan.ocn_fault().as_ref());
         }
-        for (k, _) in cfg.cores.iter().enumerate() {
-            for port in MemSys::ports_for_core(k, n).ports() {
+        for (k, core_cfg) in cfg.cores.iter().enumerate() {
+            for port in MemSys::ports_for_core(k, n).ports(core_cfg.geometry) {
                 sys.set_port_tag(port, k as u8);
             }
         }
@@ -275,7 +276,7 @@ impl Chip {
             }
             // `start` rebuilt the core-owned backend from its config;
             // a chip core instead adapts to the shared system.
-            core.memsys = MemSys::shared(k, n);
+            core.memsys = MemSys::shared(k, n, self.cfg.cores[k].geometry);
         }
         for (k, image) in images.iter().enumerate() {
             if image.is_none() {
@@ -372,7 +373,7 @@ impl Chip {
                 self.scans[k] = if self.cfg.cores[k].gate_ticks {
                     core.scan_activity(now)
                 } else {
-                    (crate::proc::FULL_MASK, None)
+                    (self.cfg.cores[k].geometry.full_mask(), None)
                 };
             }
             if skip_all && self.scans.iter().all(|&(mask, _)| mask == 0) {
@@ -398,7 +399,7 @@ impl Chip {
             // and its tiles consume still-arriving completions (its
             // stats were snapshotted the cycle it halted).
             let cores = std::mem::take(&mut self.cores);
-            let jobs: Vec<(Processor, u32)> =
+            let jobs: Vec<(Processor, TileMask)> =
                 cores.into_iter().zip(self.scans.iter().map(|&(m, _)| m)).collect();
             self.cores = trips_harness::parallel_map(jobs, self.threads, |(mut core, mask)| {
                 core.tick_with_mask(mask);

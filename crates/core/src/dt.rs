@@ -15,11 +15,11 @@ use trips_isa::mem::SparseMem;
 use trips_isa::semantics::{extend_load, Tok};
 use trips_isa::{Opcode, Target};
 
-use crate::config::{CoreConfig, NUM_FRAMES};
+use crate::config::{CoreConfig, CoreGeometry, FrameMask};
 use crate::critpath::{Cat, CritPath};
 use crate::memsys::{FillPath, MemClient, MemEvent, MemSys};
 use crate::msg::{DsnMsg, EvId, FrameId, GcnMsg, Gen, GsnMsg, OpnPayload, RowMsg, TileId};
-use crate::nets::{dt_chain_pos, gcn_pos, opn_recv, Nets, OpnOutbox};
+use crate::nets::{dt_chain_pos, opn_recv, Nets, OpnOutbox};
 use crate::stats::CoreStats;
 use crate::trace::{TraceKind, Tracer};
 
@@ -77,6 +77,33 @@ struct DtFrame {
     ack_sent: bool,
 }
 
+impl DtFrame {
+    /// Reinitializes in place, keeping the record-list allocations
+    /// (frame churn is hot; `*f = default()` would free and re-grow
+    /// every list on every block).
+    fn reset(&mut self, active: bool, gen: Gen, southmost: bool) {
+        self.active = active;
+        self.in_order = false;
+        self.gen = gen;
+        self.mask_known = false;
+        self.store_mask = 0;
+        self.arrived = 0;
+        self.own_stores.clear();
+        self.performed_loads.clear();
+        self.deferred.clear();
+        self.pending.clear();
+        self.done_sent = false;
+        self.done_ev = 0;
+        self.committing = false;
+        self.commit_cursor = 0;
+        self.stores_drained = false;
+        self.acks_pending = 0;
+        self.commit_done = false;
+        self.south_ack = southmost;
+        self.ack_sent = false;
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 #[allow(dead_code)] // `ea` kept for trace output
 struct ExecLoad {
@@ -102,9 +129,10 @@ struct Mshr {
 
 /// One data tile.
 pub struct DataTile {
-    /// Tile index 0..4 (0 is nearest the GT).
+    /// Tile index (0 is nearest the GT).
     pub index: u8,
-    frames: [DtFrame; NUM_FRAMES],
+    geom: CoreGeometry,
+    frames: Vec<DtFrame>,
     order: Vec<FrameId>,
     tags: Vec<Vec<Option<u64>>>,
     lru: Vec<u8>,
@@ -120,18 +148,18 @@ pub struct DataTile {
     /// Maintained at every (de)activation site and audited against
     /// the frames; `cfg.work_lists` only selects which iteration the
     /// tick uses.
-    active_mask: u8,
+    active_mask: FrameMask,
     /// Bit `fi` set iff `frames[fi]` is active, saw its commit wave,
     /// and has not finished its commit work (`committing &&
     /// !commit_done`). Always maintained and always used: with
     /// `deferred_mask` it is the clock-gating predicate's frame term,
     /// which must stay exact or the scheduler sleeps through a drain.
-    committing_mask: u8,
+    committing_mask: FrameMask,
     /// Bit `fi` set iff `frames[fi]` is active with a non-empty
     /// deferred-load list. Exact for the same reason: a parked load's
     /// eligibility can flip through this DT's own deallocations, so
     /// the tile must stay clocked while any bit is set.
-    deferred_mask: u8,
+    deferred_mask: FrameMask,
     /// Frames examined by the advance/wake walks (not in
     /// [`CoreStats`]; host-side observability for the non-vacuousness
     /// tests).
@@ -143,7 +171,8 @@ impl DataTile {
     pub fn new(index: u8, cfg: &CoreConfig) -> DataTile {
         DataTile {
             index,
-            frames: Default::default(),
+            geom: cfg.geometry,
+            frames: (0..cfg.geometry.frames).map(|_| DtFrame::default()).collect(),
             order: Vec::new(),
             tags: vec![vec![None; cfg.l1d_ways]; cfg.l1d_sets],
             lru: vec![0; cfg.l1d_sets],
@@ -184,7 +213,7 @@ impl DataTile {
     /// bound for this tile on any of its five inbound networks.
     pub fn active(&self, nets: &Nets) -> bool {
         self.busy()
-            || nets.gcn.has_pending_at(gcn_pos(TileId::Dt(self.index)))
+            || nets.gcn.has_pending_at(self.geom.gcn_pos(TileId::Dt(self.index)))
             || nets.gdn_rows[self.index as usize + 1].has_pending_at(1)
             || nets.dsn.has_pending_at(self.index as usize)
             || nets.gsn_dt.has_pending_at(dt_chain_pos(self.index as usize))
@@ -247,10 +276,10 @@ impl DataTile {
     /// DT-side protocol invariants: LSQ-ID sanity, occupancy
     /// accounting, and the cross-tile generation bound (see
     /// [`crate::invariants`]).
-    pub(crate) fn audit(&self, gt_gens: &[Gen; 8], gt_free: &[bool; 8]) -> Result<(), String> {
-        let mut seen = 0u8;
+    pub(crate) fn audit(&self, gt_gens: &[Gen], gt_free: &[bool]) -> Result<(), String> {
+        let mut seen: FrameMask = 0;
         for &f in &self.order {
-            let bit = 1u8 << f.0;
+            let bit = (1 as FrameMask) << f.0;
             if seen & bit != 0 {
                 return Err(format!("DT{}: frame {} twice in dispatch order", self.index, f.0));
             }
@@ -349,7 +378,8 @@ impl DataTile {
             return false;
         }
         if !(f.active && f.gen == gen) {
-            *f = DtFrame { active: true, gen, south_ack: self.index == 3, ..DtFrame::default() };
+            let southmost = self.index as usize == self.geom.num_dts() - 1;
+            f.reset(true, gen, southmost);
             self.active_mask |= 1 << frame.0;
             self.committing_mask &= !(1 << frame.0);
             self.deferred_mask &= !(1 << frame.0);
@@ -371,9 +401,10 @@ impl DataTile {
 
     fn set_index(&self, ea: u64, cfg: &CoreConfig) -> (usize, u64) {
         let line = ea >> 6;
-        debug_assert_eq!((line & 3) as u8, self.index, "address routed to wrong DT");
-        let set = ((line >> 2) as usize) % cfg.l1d_sets;
-        let tag = line >> 2;
+        let nd = self.geom.num_dts() as u64;
+        debug_assert_eq!((line % nd) as u8, self.index, "address routed to wrong DT");
+        let set = ((line / nd) as usize) % cfg.l1d_sets;
+        let tag = line / nd;
         (set, tag)
     }
 
@@ -411,7 +442,7 @@ impl DataTile {
     ) {
         let tile = self.tile_id();
         // GCN commit/flush.
-        while let Some(msg) = nets.gcn.recv(now, gcn_pos(self.tile_id())) {
+        while let Some(msg) = nets.gcn.recv(now, self.geom.gcn_pos(self.tile_id())) {
             match msg {
                 GcnMsg::Commit { frame, gen } => {
                     if self.frame_ok(frame, gen) {
@@ -422,7 +453,7 @@ impl DataTile {
                 }
                 GcnMsg::Flush { mask, gens } => {
                     tracer.record(now, || TraceKind::FlushWave { tile, mask });
-                    for (fi, &new_gen) in gens.iter().enumerate() {
+                    for (fi, &new_gen) in gens.iter().enumerate().take(self.frames.len()) {
                         if mask & (1 << fi) == 0 {
                             continue;
                         }
@@ -431,7 +462,7 @@ impl DataTile {
                             self.occupancy = self
                                 .occupancy
                                 .saturating_sub(f.own_stores.len() + f.performed_loads.len());
-                            *f = DtFrame { active: false, gen: new_gen, ..DtFrame::default() };
+                            f.reset(false, new_gen, false);
                             self.active_mask &= !(1 << fi);
                             self.committing_mask &= !(1 << fi);
                             self.deferred_mask &= !(1 << fi);
@@ -740,7 +771,7 @@ impl DataTile {
         self.occupancy += 1;
 
         // Broadcast arrival on the DSN so every DT can count (§4.4).
-        for other in 0..4usize {
+        for other in 0..self.geom.num_dts() {
             if other != self.index as usize {
                 nets.dsn.send(now, self.index as usize, other, DsnMsg { frame, gen, lsid, ev });
             }
@@ -815,7 +846,8 @@ impl DataTile {
         // load (`deferred_mask` is exactly the full scan's
         // `active && !deferred.is_empty()` predicate); the full scan
         // stays available for the equivalence suite.
-        let mut pending: u8 = if cfg.work_lists { self.deferred_mask } else { !0 };
+        let all: FrameMask = ((1 as FrameMask) << self.frames.len()) - 1;
+        let mut pending: FrameMask = if cfg.work_lists { self.deferred_mask } else { all };
         while pending != 0 {
             let fi = pending.trailing_zeros() as usize;
             pending &= pending - 1;
@@ -853,11 +885,11 @@ impl DataTile {
         match ld.target {
             Target::None => {}
             Target::Inst { idx, slot } => self.outbox.push(
-                TileId::of_inst(idx),
+                self.geom.tile_of_inst(idx),
                 OpnPayload::Operand { frame: ld.frame, gen: ld.gen, idx, slot, tok, ev },
             ),
             Target::Write { slot } => self.outbox.push(
-                TileId::of_header_slot(slot),
+                self.geom.tile_of_header_slot(slot),
                 OpnPayload::WriteVal { frame: ld.frame, gen: ld.gen, wslot: slot, tok, ev },
             ),
         }
@@ -932,7 +964,8 @@ impl DataTile {
         // the frames the full scan could flip (`active && committing
         // && !commit_done`; a frame already done is a no-op there), so
         // the masked walk is the same transition set.
-        let mut drain: u8 = if cfg.work_lists { self.committing_mask } else { !0 };
+        let all: FrameMask = ((1 as FrameMask) << self.frames.len()) - 1;
+        let mut drain: FrameMask = if cfg.work_lists { self.committing_mask } else { all };
         while drain != 0 {
             let fi = drain.trailing_zeros() as usize;
             drain &= drain - 1;
@@ -947,7 +980,7 @@ impl DataTile {
         // Detection and acks only ever act on active frames; with
         // work lists on, walk the active-frame mask (same ascending
         // order the full scan visits them in).
-        let mut pending: u8 = if cfg.work_lists { self.active_mask } else { !0 };
+        let mut pending: FrameMask = if cfg.work_lists { self.active_mask } else { all };
         while pending != 0 {
             let fi = pending.trailing_zeros() as usize;
             pending &= pending - 1;

@@ -12,10 +12,10 @@
 use trips_isa::semantics::{eval, Tok};
 use trips_isa::{Instruction, Opcode, OperandNeeds, OperandSlot, Pred, Target};
 
-use crate::config::{CoreConfig, NUM_FRAMES, RS_PER_FRAME};
+use crate::config::{CoreConfig, CoreGeometry, FrameMask, StationMask};
 use crate::critpath::{Cat, CritPath};
 use crate::msg::{EvId, FrameId, GcnMsg, Gen, OpnPayload, RowMsg, TileId};
-use crate::nets::{gcn_pos, opn_recv_batch, row_pos_of_col, Nets, OpnOutbox};
+use crate::nets::{opn_recv_batch, row_pos_of_col, Nets, OpnOutbox};
 use crate::stats::CoreStats;
 use crate::trace::{TraceKind, Tracer};
 
@@ -40,14 +40,30 @@ struct Station {
 struct EtFrame {
     active: bool,
     gen: Gen,
-    stations: [Option<Station>; RS_PER_FRAME],
+    stations: Vec<Option<Station>>,
     /// Bit `s` set iff `stations[s]` is waiting with all needed
     /// operands present — maintained at dispatch and operand delivery
     /// so the select stage walks a mask instead of rescanning every
     /// station each cycle.
-    ready: u8,
+    ready: StationMask,
     early: Vec<(u8, OperandSlot, Tok, EvId)>,
     fired: u64,
+}
+
+impl EtFrame {
+    /// Re-arms the frame in place, preserving the station vector's
+    /// length and the `early` buffer's capacity (the prototype used
+    /// `EtFrame::default()` here; with geometry-sized `Vec` stations
+    /// the replacement would both shrink the array and reallocate
+    /// every flush).
+    fn reset(&mut self, active: bool, gen: Gen) {
+        self.active = active;
+        self.gen = gen;
+        self.stations.fill(None);
+        self.ready = 0;
+        self.early.clear();
+        self.fired = 0;
+    }
 }
 
 #[derive(Debug)]
@@ -60,11 +76,12 @@ struct InFlight {
 
 /// One execution tile.
 pub struct ExecTile {
-    /// Grid row (0..4).
+    /// Grid row (0..geometry rows).
     pub row: u8,
-    /// Grid column (0..4).
+    /// Grid column (0..geometry cols).
     pub col: u8,
-    frames: [EtFrame; NUM_FRAMES],
+    geom: CoreGeometry,
+    frames: Vec<EtFrame>,
     order: Vec<FrameId>,
     inflight: Vec<InFlight>,
     local_q: Vec<(u64, FrameId, Gen, u8, OperandSlot, Tok, EvId)>,
@@ -84,7 +101,7 @@ pub struct ExecTile {
     /// walk is empty and it cannot set the unpipelined-deferral
     /// flag), so skipping it is invisible; `cfg.work_lists` only
     /// selects which iteration the tick uses.
-    ready_frames: u8,
+    ready_frames: FrameMask,
     /// Frames examined by the select walk (not in [`CoreStats`];
     /// host-side observability for the non-vacuousness tests).
     pub(crate) select_visits: u64,
@@ -100,14 +117,17 @@ fn slot_ix(slot: OperandSlot) -> usize {
 
 impl ExecTile {
     /// A fresh ET at (row, col).
-    pub fn new(row: u8, col: u8) -> ExecTile {
+    pub fn new(row: u8, col: u8, geom: CoreGeometry) -> ExecTile {
         ExecTile {
             row,
             col,
-            frames: Default::default(),
-            order: Vec::with_capacity(NUM_FRAMES),
-            inflight: Vec::with_capacity(RS_PER_FRAME),
-            local_q: Vec::with_capacity(RS_PER_FRAME),
+            geom,
+            frames: (0..geom.frames)
+                .map(|_| EtFrame { stations: vec![None; geom.rs_per_frame], ..EtFrame::default() })
+                .collect(),
+            order: Vec::with_capacity(geom.frames),
+            inflight: Vec::with_capacity(geom.rs_per_frame),
+            local_q: Vec::with_capacity(geom.rs_per_frame),
             fu_busy_until: 0,
             outbox: OpnOutbox::with_capacity(16),
             maybe_ready: false,
@@ -132,7 +152,7 @@ impl ExecTile {
     /// bound for this tile on the GCN, its GDN row, or the OPN.
     pub fn active(&self, nets: &Nets) -> bool {
         self.busy()
-            || nets.gcn.has_pending_at(gcn_pos(TileId::Et(self.row, self.col)))
+            || nets.gcn.has_pending_at(self.geom.gcn_pos(TileId::Et(self.row, self.col)))
             || nets.gdn_rows[self.row as usize + 1]
                 .has_pending_at(row_pos_of_col(self.col as usize))
             || nets.opn_delivered_at(TileId::Et(self.row, self.col))
@@ -189,11 +209,11 @@ impl ExecTile {
     }
 
     /// ET-side protocol invariants (see [`crate::invariants`]).
-    pub(crate) fn audit(&self, gt_gens: &[Gen; 8], gt_free: &[bool; 8]) -> Result<(), String> {
+    pub(crate) fn audit(&self, gt_gens: &[Gen], gt_free: &[bool]) -> Result<(), String> {
         let at = format!("ET({},{})", self.row, self.col);
-        let mut seen = 0u8;
+        let mut seen: FrameMask = 0;
         for &f in &self.order {
-            let bit = 1u8 << f.0;
+            let bit = (1 as FrameMask) << f.0;
             if seen & bit != 0 {
                 return Err(format!("{at}: frame {} twice in activation order", f.0));
             }
@@ -257,8 +277,8 @@ impl ExecTile {
         if f.gen > gen {
             return false;
         }
-        *f = EtFrame { active: true, gen, ..EtFrame::default() };
-        self.ready_frames &= !(1 << frame.0);
+        f.reset(true, gen);
+        self.ready_frames &= !((1 as FrameMask) << frame.0);
         self.order.push(frame);
         true
     }
@@ -280,7 +300,7 @@ impl ExecTile {
     ) {
         let tile = self.tile_id();
         // GCN commit/flush.
-        while let Some(msg) = nets.gcn.recv(now, gcn_pos(self.tile_id())) {
+        while let Some(msg) = nets.gcn.recv(now, self.geom.gcn_pos(tile)) {
             match msg {
                 GcnMsg::Commit { frame, gen } => {
                     if self.frame_ok(frame, gen) {
@@ -294,23 +314,23 @@ impl ExecTile {
                         // of this incarnation are recognized as stale.
                         f.active = false;
                         f.gen += 1;
-                        f.stations = Default::default();
+                        f.stations.fill(None);
                         f.ready = 0;
                         f.early.clear();
-                        self.ready_frames &= !(1 << frame.0);
+                        self.ready_frames &= !((1 as FrameMask) << frame.0);
                         self.order.retain(|&x| x != frame);
                     }
                 }
                 GcnMsg::Flush { mask, gens } => {
                     tracer.record(now, || TraceKind::FlushWave { tile, mask });
-                    for (fi, &new_gen) in gens.iter().enumerate() {
-                        if mask & (1 << fi) == 0 {
+                    for (fi, &new_gen) in gens.iter().enumerate().take(self.frames.len()) {
+                        if mask & ((1 as FrameMask) << fi) == 0 {
                             continue;
                         }
                         let f = &mut self.frames[fi];
                         if f.gen < new_gen {
-                            *f = EtFrame { active: false, gen: new_gen, ..EtFrame::default() };
-                            self.ready_frames &= !(1 << fi);
+                            f.reset(false, new_gen);
+                            self.ready_frames &= !((1 as FrameMask) << fi);
                             self.order.retain(|&x| x.0 as usize != fi);
                         }
                     }
@@ -327,7 +347,7 @@ impl ExecTile {
                     continue;
                 }
                 let dev = crit.event(now, ev, Cat::IFetch, now.saturating_sub(crit.time_of(ev)));
-                let slot = trips_isa::InstSlot::from_index(idx).slot as usize;
+                let slot = self.geom.inst_slot(idx);
                 let f = &mut self.frames[frame.0 as usize];
                 debug_assert!(f.stations[slot].is_none(), "reservation station collision");
                 let mut st =
@@ -402,8 +422,8 @@ impl ExecTile {
 
     fn deliver_operand(&mut self, frame: FrameId, idx: u8, slot: OperandSlot, tok: Tok, ev: EvId) {
         self.maybe_ready = true;
+        let sslot = self.geom.inst_slot(idx);
         let f = &mut self.frames[frame.0 as usize];
-        let sslot = trips_isa::InstSlot::from_index(idx).slot as usize;
         match &mut f.stations[sslot] {
             Some(st) if st.idx == idx => {
                 let cell = &mut st.ops[slot_ix(slot)];
@@ -474,6 +494,7 @@ impl ExecTile {
                 if self.frames[fi].ready == 0 {
                     self.ready_frames &= !(1 << fi);
                 }
+                self.frames[fi].fired += 1;
                 let st = self.frames[fi].stations[slot].as_mut().expect("checked above");
                 st.state = SState::Issued;
                 let mut parent = st.disp_ev;
@@ -487,7 +508,6 @@ impl ExecTile {
                     self.fu_busy_until = now + lat;
                 }
                 stats.insts_executed += 1;
-                self.frames[fi].fired += 1;
                 if st.inst.opcode == Opcode::Mov {
                     stats.fanout_movs += 1;
                 }
@@ -525,12 +545,12 @@ impl ExecTile {
 
         if inst.opcode.is_store() {
             let (ea, val, dst) = if nullified {
-                (0, 0, TileId::Dt(inst.lsid % 4))
+                (0, 0, TileId::Dt(self.geom.dt_of_lsid(inst.lsid)))
             } else {
                 let a = l.and_then(Tok::value).expect("store address");
                 let v = r.and_then(Tok::value).expect("store data");
                 let ea = a.wrapping_add(inst.imm as i64 as u64);
-                (ea, v, TileId::of_addr(ea))
+                (ea, v, self.geom.tile_of_addr(ea))
             };
             self.outbox.push(
                 dst,
@@ -557,7 +577,7 @@ impl ExecTile {
                 let ea = a.wrapping_add(inst.imm as i64 as u64);
                 stats.loads += 1;
                 self.outbox.push(
-                    TileId::of_addr(ea),
+                    self.geom.tile_of_addr(ea),
                     OpnPayload::LoadReq {
                         frame: fin.frame,
                         gen,
@@ -614,7 +634,7 @@ impl ExecTile {
         match target {
             Target::None => {}
             Target::Inst { idx, slot } => {
-                let dest = TileId::of_inst(idx);
+                let dest = self.geom.tile_of_inst(idx);
                 if dest == self.tile_id() {
                     // Local bypass: delivered this cycle so the
                     // consumer can issue back-to-back next cycle.
@@ -625,7 +645,7 @@ impl ExecTile {
             }
             Target::Write { slot } => {
                 self.outbox.push(
-                    TileId::of_header_slot(slot),
+                    self.geom.tile_of_header_slot(slot),
                     OpnPayload::WriteVal { frame, gen, wslot: slot, tok, ev },
                 );
             }

@@ -19,6 +19,8 @@
 use trips_harness::Rng;
 use trips_micronet::{ChainFaultConfig, Coord, FaultPort, MeshFaultConfig, PortStall};
 
+use crate::config::CoreGeometry;
+
 /// Sub-seed tag: the OPN mesh for network `n` uses `TAG_MESH + n`.
 pub(crate) const TAG_MESH: u64 = 0x10;
 /// Sub-seed tag: GDN column chain.
@@ -162,6 +164,21 @@ impl FaultPlan {
             })
             .collect();
         FaultPlan { seed, rotate_arbitration, links, ocn_links, chain_delay, flush_storm }
+    }
+
+    /// [`FaultPlan::random`] retargeted at an arbitrary tile-array
+    /// geometry: the seed draws exactly the plan [`FaultPlan::random`]
+    /// would, then each OPN router coordinate is folded into `geom`'s
+    /// mesh. On the prototype (a 5×5 mesh, matching the draw range)
+    /// the fold is the identity, so historical seeds keep producing
+    /// byte-identical plans.
+    pub fn random_for(seed: u64, geom: CoreGeometry) -> FaultPlan {
+        let mut plan = FaultPlan::random(seed);
+        for l in &mut plan.links {
+            l.row %= geom.mesh_rows() as u8;
+            l.col %= geom.mesh_cols() as u8;
+        }
+        plan
     }
 
     /// A plan that installs a fault state on *every* hook but with all

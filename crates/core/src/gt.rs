@@ -10,7 +10,7 @@
 use trips_isa::mem::SparseMem;
 use trips_isa::{decode_header, BlockFlags, BranchKind, CHUNK_BYTES};
 
-use crate::config::CoreConfig;
+use crate::config::{CoreConfig, CoreGeometry, FrameMask, MAX_FRAMES};
 use crate::critpath::{Cat, CritPath, NO_EVENT};
 use crate::diag::FrameDiag;
 use crate::fault::StormState;
@@ -119,7 +119,8 @@ struct FetchOp {
 
 /// The global control tile.
 pub struct GlobalTile {
-    frames: [Frame; 8],
+    geom: CoreGeometry,
+    frames: Vec<Frame>,
     order: VecDeque<FrameId>,
     next_pc: Option<u64>,
     pc_ready_ev: EvId,
@@ -132,7 +133,7 @@ pub struct GlobalTile {
     halt_pending: bool,
     /// True once the halt block deallocated and the machine drained.
     pub halted: bool,
-    slot_free_ev: [EvId; 8],
+    slot_free_ev: Vec<EvId>,
     last_commit_ev: EvId,
     /// Event of the final deallocation, the root for the critical-path
     /// walk.
@@ -148,7 +149,8 @@ impl GlobalTile {
     /// A GT that will start fetching at `entry`.
     pub fn new(cfg: &CoreConfig, entry: u64) -> GlobalTile {
         GlobalTile {
-            frames: Default::default(),
+            geom: cfg.geometry,
+            frames: vec![Frame::default(); cfg.geometry.frames],
             order: VecDeque::new(),
             next_pc: Some(entry),
             pc_ready_ev: NO_EVENT,
@@ -159,7 +161,7 @@ impl GlobalTile {
             predictor: NextBlockPredictor::new(cfg.predictor),
             halt_pending: false,
             halted: false,
-            slot_free_ev: [NO_EVENT; 8],
+            slot_free_ev: vec![NO_EVENT; cfg.geometry.frames],
             last_commit_ev: NO_EVENT,
             final_ev: NO_EVENT,
             storm: cfg.faults.as_ref().and_then(crate::fault::FaultPlan::storm_state),
@@ -173,36 +175,28 @@ impl GlobalTile {
 
     /// Current generation of every frame slot (for the invariant
     /// checker's cross-tile generation comparison).
-    pub(crate) fn slot_gens(&self) -> [Gen; 8] {
-        let mut g = [0; 8];
-        for (o, f) in g.iter_mut().zip(&self.frames) {
-            *o = f.gen;
-        }
-        g
+    pub(crate) fn slot_gens(&self) -> Vec<Gen> {
+        self.frames.iter().map(|f| f.gen).collect()
     }
 
     /// Which frame slots are free (for the invariant checker).
-    pub(crate) fn slot_free(&self) -> [bool; 8] {
-        let mut fr = [false; 8];
-        for (o, f) in fr.iter_mut().zip(&self.frames) {
-            *o = f.state == FState::Free;
-        }
-        fr
+    pub(crate) fn slot_free(&self) -> Vec<bool> {
+        self.frames.iter().map(|f| f.state == FState::Free).collect()
     }
 
     /// GT-internal protocol invariants, checked every tick under
     /// fuzzing (see [`crate::invariants`] for the full catalogue).
     pub(crate) fn audit(&self) -> Result<(), String> {
         // Age order holds each in-flight frame exactly once.
-        let mut seen = 0u8;
+        let mut seen: FrameMask = 0;
         for &f in &self.order {
-            let bit = 1u8 << f.0;
+            let bit = (1 as FrameMask) << f.0;
             if seen & bit != 0 {
                 return Err(format!("frame {} appears twice in the GT age order", f.0));
             }
             seen |= bit;
         }
-        for fi in 0..8 {
+        for fi in 0..self.frames.len() {
             let f = &self.frames[fi];
             let in_order = seen & (1 << fi) != 0;
             if in_order == (f.state == FState::Free) {
@@ -620,15 +614,15 @@ impl GlobalTile {
             return;
         };
         let first_victim = if inclusive { pos } else { pos + 1 };
-        let mut mask = 0u8;
-        let mut gens = [0u32; 8];
+        let mut mask: FrameMask = 0;
+        let mut gens = [0u32; MAX_FRAMES];
         for (g, f) in gens.iter_mut().zip(&self.frames) {
             *g = f.gen;
         }
         while self.order.len() > first_victim {
             let v = self.order.pop_back().expect("length checked");
             let vi = v.0 as usize;
-            mask |= 1 << vi;
+            mask |= (1 as FrameMask) << vi;
             let f = &mut self.frames[vi];
             let gen = f.gen + 1;
             *f = Frame { gen, ..Frame::default() };
@@ -636,7 +630,7 @@ impl GlobalTile {
             self.slot_free_ev[vi] = cause_ev;
         }
         if let Some(op) = self.fetch {
-            if mask & (1 << op.frame.0) != 0 {
+            if mask & ((1 as FrameMask) << op.frame.0) != 0 {
                 self.fetch = None;
             }
         }
@@ -677,7 +671,7 @@ impl GlobalTile {
     }
 
     fn check_completion(&mut self, now: u64, crit: &mut CritPath, tracer: &mut Tracer) {
-        for fi in 0..8 {
+        for fi in 0..self.frames.len() {
             self.try_complete(fi, now, crit, tracer);
         }
     }
@@ -901,7 +895,7 @@ impl GlobalTile {
                                 });
                             } else {
                                 stats.icache_refills += 1;
-                                for it in 0..5 {
+                                for it in 0..self.geom.num_its() {
                                     nets.grn.send(
                                         now,
                                         0,
@@ -936,7 +930,7 @@ impl GlobalTile {
                     let inhibit = self.frames[fi].flags.contains(BlockFlags::INHIBIT_SPECULATION);
                     let oldest = self.order.front() == Some(&op.frame);
                     if now >= self.dispatch_free_at && (!inhibit || oldest) {
-                        self.dispatch_free_at = now + 8;
+                        self.dispatch_free_at = now + self.geom.beats() as u64;
                         let f = &mut self.frames[fi];
                         f.state = FState::Executing;
                         f.t_dispatch = now;
@@ -954,7 +948,7 @@ impl GlobalTile {
                             store_mask: f.store_mask,
                             ev,
                         };
-                        for it in 0..5 {
+                        for it in 0..self.geom.num_its() {
                             nets.gdn_col.send(now, 0, it_col_pos(it), cmd);
                         }
                         stats.blocks_fetched += 1;
@@ -975,7 +969,8 @@ impl GlobalTile {
             if self.order.len() >= cfg.max_frames {
                 return;
             }
-            let Some(slot) = (0..8).find(|&i| self.frames[i].state == FState::Free) else {
+            let Some(slot) = (0..self.frames.len()).find(|&i| self.frames[i].state == FState::Free)
+            else {
                 return;
             };
             let frame = FrameId(slot as u8);

@@ -1,11 +1,13 @@
 //! Instruction tiles (§3.2).
 //!
 //! Each IT holds one bank of the L1 I-cache and acts as a slave to the
-//! GT: on a dispatch command it streams its 128-byte chunk to its row
-//! over eight cycles, four instructions per cycle (§4.1). IT0 holds
-//! header chunks and feeds the register tiles; IT1..IT4 hold body
-//! chunks and feed the ET rows (delivering the store mask to their
-//! row's DT on the first beat).
+//! GT: on a dispatch command it streams its slice of the block to its
+//! row, one beat per cycle, one instruction per ET column per beat
+//! (§4.1: the prototype's 128-byte chunk over eight four-wide beats).
+//! IT0 holds header chunks and feeds the register tiles; the body ITs
+//! hold `insts_per_row` consecutive body instructions each and feed
+//! the ET rows (delivering the store mask to their row's DT on the
+//! first beat).
 //!
 //! Tag state lives at the GT (which holds "the single tag array"); the
 //! ITs model bank-port occupancy, dispatch pipelining, and the refill
@@ -16,17 +18,15 @@ use std::collections::VecDeque;
 use trips_isa::mem::SparseMem;
 use trips_isa::{decode_body_chunk, decode_header, BlockHeader, Instruction, CHUNK_BYTES};
 
-use crate::config::CoreConfig;
+use crate::config::{CoreConfig, CoreGeometry};
 use crate::memsys::{FillPath, MemClient, MemEvent, MemSys};
 use crate::msg::{GdnFetch, GsnMsg, RowMsg};
 use crate::nets::{it_col_pos, row_pos_of_col, Nets};
 use crate::trace::{TraceKind, Tracer};
 
-const BEATS: u8 = 8;
-
-/// A dispatch job's chunk, fetched and decoded once at its first beat
-/// and reused for the remaining seven — re-reading and re-decoding the
-/// same 128 bytes every beat was the single hottest path in the whole
+/// A dispatch job's slice, fetched and decoded once at its first beat
+/// and reused for the remaining ones — re-reading and re-decoding the
+/// same bytes every beat was the single hottest path in the whole
 /// simulator. The bank's read-port occupancy (one beat per cycle) is
 /// modelled by the beat counter, not by when the host happens to read
 /// the bytes.
@@ -35,9 +35,11 @@ enum Decoded {
     /// IT0: the block header, or `None` when the bytes don't decode
     /// (every beat is then a no-op, as the per-beat decode would be).
     Header(Option<Box<BlockHeader>>),
-    /// IT1..4: this tile's body-chunk instructions, or `None` when the
-    /// chunk lies past the block's end or doesn't decode (beats then
-    /// still deliver the beat-0 store mask, nothing else).
+    /// Body ITs: this tile's slice of the block body, or `None` when
+    /// the slice lies entirely past the block's end (beats then still
+    /// deliver the beat-0 store mask, nothing else). Covering chunks
+    /// that fail to decode contribute `nop`s, which dispatch skips —
+    /// the same traffic the prototype's whole-chunk `None` produced.
     Body(Option<Vec<Instruction>>),
 }
 
@@ -51,14 +53,18 @@ struct DispatchJob {
 #[derive(Debug)]
 struct Refill {
     addr: u64,
-    /// Cycle the bank's chunk arrives (perfect backend; `u64::MAX`
+    /// First byte of this tile's slice (header chunk for IT0).
+    base: u64,
+    /// 64-byte lines the slice spans (2 for the prototype's chunks).
+    nlines: u8,
+    /// Cycle the bank's slice arrives (perfect backend; `u64::MAX`
     /// when the NUCA backend resolves it by fill events instead).
     done_at: u64,
     own_done: bool,
     south_done: bool,
     signalled: bool,
-    /// NUCA line fills still outstanding for this tile's chunk (two
-    /// 64-byte lines per 128-byte chunk; 0 on the perfect backend).
+    /// NUCA line fills still outstanding for this tile's slice
+    /// (0 on the perfect backend).
     lines_pending: u8,
 }
 
@@ -150,12 +156,13 @@ impl InstTile {
     pub fn tick(
         &mut self,
         now: u64,
-        _cfg: &CoreConfig,
+        cfg: &CoreConfig,
         nets: &mut Nets,
         mem: &SparseMem,
         memsys: &mut MemSys,
         tracer: &mut Tracer,
     ) {
+        let g = cfg.geometry;
         let pos = it_col_pos(self.index);
 
         // Forwarded fetch commands arrive down the column.
@@ -165,7 +172,8 @@ impl InstTile {
 
         // Refill commands.
         while let Some(r) = nets.grn.recv(now, pos) {
-            let participates = self.index == 0 || self.index <= r.chunks as usize;
+            let span = Self::slice_span(g, self.index, r.chunks);
+            let participates = span.is_some();
             if participates {
                 tracer
                     .record(now, || TraceKind::RefillStart { it: self.index as u8, addr: r.addr });
@@ -174,42 +182,49 @@ impl InstTile {
             if let Some(k) = early {
                 self.pending_south.remove(k);
             }
-            // A participating tile fetches its 128-byte chunk: the
+            // A participating tile fetches its slice of the block: the
             // perfect backend delivers it whole after the flat
-            // latency; the NUCA backend carries its two 64-byte lines
-            // as separate fill requests.
+            // latency; the NUCA backend carries each of its 64-byte
+            // lines as a separate fill request.
+            let (base, nlines) = match span {
+                None => (r.addr, 0),
+                Some((off, bytes)) => (r.addr + off, bytes.div_ceil(64) as u8),
+            };
             let (done_at, lines_pending) = if !participates {
                 (now, 0)
             } else {
-                let base = r.addr + CHUNK_BYTES as u64 * self.index as u64;
                 match memsys.iside_fill(now, self.index as u8, base) {
                     FillPath::At(t) => (t, 0),
                     FillPath::Queued => {
-                        memsys.iside_fill(now, self.index as u8, base + 64);
-                        (u64::MAX, 2)
+                        for k in 1..nlines as u64 {
+                            memsys.iside_fill(now, self.index as u8, base + 64 * k);
+                        }
+                        (u64::MAX, nlines)
                     }
                 }
             };
             self.refill = Some(Refill {
                 addr: r.addr,
+                base,
+                nlines,
                 done_at,
                 own_done: !participates,
-                south_done: self.index == 4 || early.is_some(),
+                south_done: self.index == g.num_its() - 1 || early.is_some(),
                 signalled: false,
                 lines_pending,
             });
         }
 
         // NUCA fill completions. Fills for a superseded refill no
-        // longer match the live chunk range and are discarded — the
+        // longer match the live slice range and are discarded — the
         // replacing command re-requested its own lines.
         while let Some(ev) = memsys.pop_event(MemClient::It(self.index as u8)) {
             let MemEvent::Fill { line } = ev else {
                 continue;
             };
             if let Some(r) = &mut self.refill {
-                let base = (r.addr + CHUNK_BYTES as u64 * self.index as u64) >> 6;
-                if r.lines_pending > 0 && (line == base || line == base + 1) {
+                let base = r.base >> 6;
+                if r.lines_pending > 0 && line >= base && line < base + r.nlines as u64 {
                     r.lines_pending -= 1;
                     if r.lines_pending == 0 {
                         r.own_done = true;
@@ -263,39 +278,69 @@ impl InstTile {
             let cmd = job.cmd;
             let beat = job.beat;
             job.beat += 1;
-            let finished = job.beat >= BEATS;
+            let finished = job.beat >= g.beats() as u8;
             self.beats_issued += 1;
             tracer.record(now, || TraceKind::DispatchBeat {
                 it: index as u8,
                 frame: cmd.frame,
                 beat,
             });
-            let decoded = job.decoded.get_or_insert_with(|| Self::decode_job(index, mem, &cmd));
-            Self::issue_beat(index, now, nets, decoded, &cmd, beat);
+            let decoded = job.decoded.get_or_insert_with(|| Self::decode_job(g, index, mem, &cmd));
+            Self::issue_beat(g, index, now, nets, decoded, &cmd, beat);
             if finished {
                 self.jobs.pop_front();
             }
         }
     }
 
-    /// Fetches and decodes this tile's chunk for `cmd` (once per job).
-    fn decode_job(index: usize, mem: &SparseMem, cmd: &GdnFetch) -> Decoded {
+    /// The (byte offset, byte length) of this tile's slice of a
+    /// `chunks`-chunk block, or `None` when the tile holds none of it.
+    /// IT0 always holds the header chunk; body IT `i` holds body
+    /// instructions `(i-1)*insts_per_row ..` capped at the block's
+    /// end (4 bytes per instruction, after the 128-byte header).
+    fn slice_span(g: CoreGeometry, index: usize, chunks: u8) -> Option<(u64, usize)> {
+        if index == 0 {
+            return Some((0, CHUNK_BYTES));
+        }
+        let a = (index - 1) * g.insts_per_row();
+        let b = (a + g.insts_per_row()).min(chunks as usize * 32);
+        if b <= a {
+            return None;
+        }
+        Some(((CHUNK_BYTES + 4 * a) as u64, 4 * (b - a)))
+    }
+
+    /// Fetches and decodes this tile's slice for `cmd` (once per job).
+    /// Body slices decode their covering 32-instruction chunks (the
+    /// encoding's unit) and keep the slice's portion.
+    fn decode_job(g: CoreGeometry, index: usize, mem: &SparseMem, cmd: &GdnFetch) -> Decoded {
         let mut bytes = [0u8; CHUNK_BYTES];
         if index == 0 {
             mem.read_bytes(cmd.addr, &mut bytes);
-            Decoded::Header(decode_header(&bytes).ok().map(|(h, _)| Box::new(h)))
-        } else {
-            let chunk = index - 1;
-            if chunk >= cmd.chunks as usize {
-                return Decoded::Body(None);
-            }
+            return Decoded::Header(decode_header(&bytes).ok().map(|(h, _)| Box::new(h)));
+        }
+        let a = (index - 1) * g.insts_per_row();
+        let b = (a + g.insts_per_row()).min(cmd.chunks as usize * 32);
+        if b <= a {
+            return Decoded::Body(None);
+        }
+        let mut insts = Vec::with_capacity(b - a);
+        for chunk in (a / 32)..=((b - 1) / 32) {
             let base = cmd.addr + CHUNK_BYTES as u64 * (1 + chunk as u64);
             mem.read_bytes(base, &mut bytes);
-            Decoded::Body(decode_body_chunk(&bytes).ok())
+            let decoded = decode_body_chunk(&bytes).ok();
+            let lo = a.max(chunk * 32) - chunk * 32;
+            let hi = b.min((chunk + 1) * 32) - chunk * 32;
+            match decoded {
+                Some(c) => insts.extend_from_slice(&c[lo..hi]),
+                None => insts.extend(std::iter::repeat_with(Instruction::nop).take(hi - lo)),
+            }
         }
+        Decoded::Body(Some(insts))
     }
 
     fn issue_beat(
+        g: CoreGeometry,
         index: usize,
         now: u64,
         nets: &mut Nets,
@@ -305,13 +350,16 @@ impl InstTile {
     ) {
         let row = &mut nets.gdn_rows[index];
         if let Decoded::Header(header) = decoded {
-            // Header chunk: reads and writes to the RTs, four header
-            // slots per beat.
+            // Header chunk: reads and writes to the RTs,
+            // `header_slots_per_beat` header slots per beat.
             let Some(header) = header else {
                 return;
             };
-            for s in (beat * 4)..(beat * 4 + 4) {
-                let rt_col = (s / 8) as usize;
+            let per_beat = g.header_slots_per_beat();
+            let slots_per_rt = g.slots_per_rt() as u8;
+            for s in (beat as usize * per_beat)..((beat as usize + 1) * per_beat) {
+                let s = s as u8;
+                let rt_col = (s / slots_per_rt) as usize;
                 if let Some(read) = header.reads[s as usize] {
                     row.send(
                         now,
@@ -335,9 +383,9 @@ impl InstTile {
                     );
                 }
             }
-            if beat == BEATS - 1 {
+            if beat as usize == g.beats() - 1 {
                 // Declarations complete: tell every RT.
-                for rt in 0..4usize {
+                for rt in 0..g.num_rts() {
                     row.send(
                         now,
                         0,
@@ -347,8 +395,8 @@ impl InstTile {
                 }
             }
         } else if let Decoded::Body(insts) = decoded {
-            // Body chunk: four instructions per beat to the row's ETs,
-            // plus the store mask to the row's DT on beat zero.
+            // Body slice: one instruction per ET column per beat, plus
+            // the store mask to the row's DT on beat zero.
             if beat == 0 {
                 row.send(
                     now,
@@ -365,13 +413,14 @@ impl InstTile {
             let Some(insts) = insts else {
                 return;
             };
-            let chunk = index - 1;
-            for (s, &inst) in insts.iter().enumerate().skip(beat as usize * 4).take(4) {
+            let a = (index - 1) * g.insts_per_row();
+            let cols = g.et_cols;
+            for (s, &inst) in insts.iter().enumerate().skip(beat as usize * cols).take(cols) {
                 if inst.is_nop() {
                     continue;
                 }
-                let idx = (chunk * 32 + s) as u8;
-                let col = s % 4;
+                let idx = (a + s) as u8;
+                let col = s % cols;
                 row.send(
                     now,
                     0,

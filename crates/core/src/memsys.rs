@@ -44,27 +44,28 @@ use std::collections::VecDeque;
 
 use trips_mem::{MemReq, OcnGeometry, SecondarySystem};
 
-use crate::config::{CoreConfig, MemBackend, NUM_DTS, NUM_ITS};
+use crate::config::{CoreConfig, CoreGeometry, MemBackend};
 use crate::stats::MemSysStats;
 use crate::trace::{TraceKind, Tracer};
 
 /// Clients of the secondary system, in deterministic arbitration
-/// order: the four DTs, then the five ITs.
+/// order: the DTs, then the ITs (the prototype's four-then-five).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum MemClient {
-    /// Data tile `0..4`.
+    /// Data tile (geometry-sized column; `0..4` on the prototype).
     Dt(u8),
-    /// Instruction tile `0..5`.
+    /// Instruction tile (`0..5` on the prototype).
     It(u8),
 }
 
-const NUM_CLIENTS: usize = NUM_DTS + NUM_ITS;
-
 impl MemClient {
-    fn index(self) -> usize {
+    /// Flat client index: DTs first, then ITs. The split point is the
+    /// geometry's DT count, so every geometry keeps the prototype's
+    /// deterministic arbitration order over its own prefix.
+    fn index(self, num_dts: usize) -> usize {
         match self {
             MemClient::Dt(d) => d as usize,
-            MemClient::It(i) => NUM_DTS + i as usize,
+            MemClient::It(i) => num_dts + i as usize,
         }
     }
 }
@@ -119,17 +120,21 @@ impl PortMap {
         }
     }
 
-    fn port_of(&self, c: usize) -> usize {
-        if c < NUM_DTS {
+    fn port_of(&self, c: usize, num_dts: usize) -> usize {
+        if c < num_dts {
             self.dt_base + c
         } else {
-            self.it_base + (c - NUM_DTS)
+            self.it_base + (c - num_dts)
         }
     }
 
-    /// All OCN ports this map drives, for tagging.
-    pub(crate) fn ports(&self) -> impl Iterator<Item = usize> + '_ {
-        (0..NUM_CLIENTS).map(|c| self.port_of(c))
+    /// All OCN ports this map drives, for tagging. Every supported
+    /// geometry's clients fit the prototype port blocks: `num_dts ≤ 8`
+    /// stays below `it_base = 10`, and `num_its ≤ 9` fits the ten
+    /// I-side ports.
+    pub(crate) fn ports(&self, geom: CoreGeometry) -> impl Iterator<Item = usize> + '_ {
+        let num_dts = geom.num_dts();
+        (0..num_dts + geom.num_its()).map(move |c| self.port_of(c, num_dts))
     }
 }
 
@@ -215,6 +220,10 @@ impl BankArb {
 /// solo `MemSys` or the chip).
 struct Adapter {
     ports: PortMap,
+    /// Client split point (DTs before, ITs after), from the geometry.
+    num_dts: usize,
+    /// Total clients (`num_dts + num_its`).
+    num_clients: usize,
     /// Per-client requests the network has not accepted yet.
     pending: Vec<VecDeque<MemReq>>,
     /// Per-client completions the tile has not consumed yet.
@@ -233,12 +242,15 @@ struct Adapter {
 }
 
 impl Adapter {
-    fn new(ports: PortMap) -> Adapter {
+    fn new(ports: PortMap, geom: CoreGeometry) -> Adapter {
+        let num_clients = geom.num_dts() + geom.num_its();
         Adapter {
             ports,
-            pending: vec![VecDeque::new(); NUM_CLIENTS],
-            ready: vec![VecDeque::new(); NUM_CLIENTS],
-            outstanding: vec![0; NUM_CLIENTS],
+            num_dts: geom.num_dts(),
+            num_clients,
+            pending: vec![VecDeque::new(); num_clients],
+            ready: vec![VecDeque::new(); num_clients],
+            outstanding: vec![0; num_clients],
             sent_at: Vec::new(),
             issued: 0,
             delivered: 0,
@@ -247,7 +259,7 @@ impl Adapter {
     }
 
     fn push_fill(&mut self, client: MemClient, line: u64) {
-        let c = client.index();
+        let c = client.index(self.num_dts);
         debug_assert_eq!(line << 6 >> 6, line, "line index collides with phys_base");
         self.pending[c]
             .push_back(MemReq::read_line(ID_FILL | line, self.ports.phys_base | (line << 6)));
@@ -259,7 +271,7 @@ impl Adapter {
     }
 
     fn push_store(&mut self, dt: u8, frame: u8, ea: u64) {
-        let c = MemClient::Dt(dt).index();
+        let c = MemClient::Dt(dt).index(self.num_dts);
         self.pending[c].push_back(MemReq::write_line(
             u64::from(frame),
             self.ports.phys_base | ea,
@@ -293,8 +305,8 @@ impl Adapter {
         tracer: &mut Tracer,
         mut arb: Option<(&mut BankArb, u8)>,
     ) {
-        for c in 0..NUM_CLIENTS {
-            let port = self.ports.port_of(c);
+        for c in 0..self.num_clients {
+            let port = self.ports.port_of(c, self.num_dts);
             while let Some(req) = self.pending[c].front() {
                 let is_fill = req.id & ID_FILL != 0;
                 let addr = req.addr;
@@ -329,8 +341,8 @@ impl Adapter {
     /// cycle). Fill lines are recovered from the request id, which
     /// carries the core-local line index regardless of `phys_base`.
     fn drain(&mut self, now: u64, sys: &mut SecondarySystem, tracer: &mut Tracer) {
-        for c in 0..NUM_CLIENTS {
-            let port = self.ports.port_of(c);
+        for c in 0..self.num_clients {
+            let port = self.ports.port_of(c, self.num_dts);
             while let Some(resp) = sys.pop_response(now, port) {
                 self.delivered += 1;
                 let is_fill = resp.id & ID_FILL != 0;
@@ -415,7 +427,7 @@ impl MemSys {
                 if let Some(plan) = &cfg.faults {
                     sys.set_ocn_fault(plan.ocn_fault().as_ref());
                 }
-                Imp::Owned { sys: Box::new(sys), ad: Adapter::new(PortMap::SOLO) }
+                Imp::Owned { sys: Box::new(sys), ad: Adapter::new(PortMap::SOLO, cfg.geometry) }
             }
         };
         MemSys { imp }
@@ -423,8 +435,8 @@ impl MemSys {
 
     /// A shared-NUCA adapter for core `k` of an `ncores`-core chip
     /// (the chip owns the [`SecondarySystem`] and drives the phases).
-    pub(crate) fn shared(k: usize, ncores: usize) -> MemSys {
-        MemSys { imp: Imp::Shared { ad: Adapter::new(PortMap::for_core(k, ncores)) } }
+    pub(crate) fn shared(k: usize, ncores: usize, geom: CoreGeometry) -> MemSys {
+        MemSys { imp: Imp::Shared { ad: Adapter::new(PortMap::for_core(k, ncores), geom) } }
     }
 
     /// The port map of core `k` of an `ncores`-core die (for tagging
@@ -473,7 +485,7 @@ impl MemSys {
         match &mut self.imp {
             Imp::Perfect { .. } => None,
             Imp::Owned { ad, .. } | Imp::Shared { ad } => {
-                let c = client.index();
+                let c = client.index(ad.num_dts);
                 let ev = ad.ready[c].pop_front();
                 if ev.is_some() {
                     ad.outstanding[c] -= 1;
@@ -489,7 +501,9 @@ impl MemSys {
     pub(crate) fn has_events(&self, client: MemClient) -> bool {
         match &self.imp {
             Imp::Perfect { .. } => false,
-            Imp::Owned { ad, .. } | Imp::Shared { ad } => !ad.ready[client.index()].is_empty(),
+            Imp::Owned { ad, .. } | Imp::Shared { ad } => {
+                !ad.ready[client.index(ad.num_dts)].is_empty()
+            }
         }
     }
 

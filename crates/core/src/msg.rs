@@ -5,7 +5,11 @@ use trips_isa::semantics::Tok;
 use trips_isa::{BranchKind, Instruction, Opcode, OperandSlot, ReadInst, Target, WriteInst};
 use trips_micronet::Coord;
 
-/// An in-flight block slot (0..8).
+use crate::config::{FrameMask, MAX_FRAMES};
+
+/// An in-flight block slot (0..[`CoreGeometry::frames`]).
+///
+/// [`CoreGeometry::frames`]: crate::CoreGeometry
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FrameId(pub u8);
 
@@ -43,34 +47,43 @@ impl TileId {
     }
 
     /// The tile at an OPN coordinate — the inverse of
-    /// [`TileId::opn`].
+    /// [`TileId::opn`]. The perimeter map (row 0 = GT/RTs, column 0 =
+    /// DTs, interior = ETs) is the same for every
+    /// [`CoreGeometry`](crate::CoreGeometry)'s mesh, so no geometry is
+    /// needed to invert it.
     ///
     /// # Panics
     ///
-    /// Panics if the coordinate is outside the 5×5 array.
+    /// Panics if the coordinate is outside the largest supported
+    /// (9×9) mesh.
     pub fn from_opn(c: Coord) -> TileId {
         match (c.row, c.col) {
             (0, 0) => TileId::Gt,
-            (0, col) if col <= 4 => TileId::Rt(col - 1),
-            (row, 0) if row <= 4 => TileId::Dt(row - 1),
-            (row, col) if row <= 4 && col <= 4 => TileId::Et(row - 1, col - 1),
-            _ => panic!("coordinate {c} outside the 5x5 OPN"),
+            (0, col) if col <= 8 => TileId::Rt(col - 1),
+            (row, 0) if row <= 8 => TileId::Dt(row - 1),
+            (row, col) if row <= 8 && col <= 8 => TileId::Et(row - 1, col - 1),
+            _ => panic!("coordinate {c} outside the OPN"),
         }
     }
 
-    /// The tile that hosts block-body instruction `idx`.
+    /// The tile that hosts block-body instruction `idx` **on the
+    /// prototype die**. Geometry-aware code uses
+    /// [`CoreGeometry::tile_of_inst`](crate::CoreGeometry::tile_of_inst).
     pub fn of_inst(idx: u8) -> TileId {
         let s = trips_isa::InstSlot::from_index(idx);
         TileId::Et(s.et.row, s.et.col)
     }
 
-    /// The RT that hosts header read/write slot `slot`.
+    /// The RT that hosts header read/write slot `slot` **on the
+    /// prototype die** (see
+    /// [`CoreGeometry::tile_of_header_slot`](crate::CoreGeometry::tile_of_header_slot)).
     pub fn of_header_slot(slot: u8) -> TileId {
         TileId::Rt(slot / 8)
     }
 
-    /// The DT owning byte address `ea` (cache lines interleave across
-    /// the four DTs at 64-byte granularity, §3.5).
+    /// The DT owning byte address `ea` **on the prototype die**
+    /// (§3.5; see
+    /// [`CoreGeometry::tile_of_addr`](crate::CoreGeometry::tile_of_addr)).
     pub fn of_addr(ea: u64) -> TileId {
         TileId::Dt(((ea >> 6) & 3) as u8)
     }
@@ -320,9 +333,10 @@ pub enum GcnMsg {
     /// bumped to the paired value.
     Flush {
         /// Bit `i` set = flush frame `i`.
-        mask: u8,
-        /// New generation for each flushed frame.
-        gens: [Gen; 8],
+        mask: FrameMask,
+        /// New generation for each flushed frame (indices past the
+        /// geometry's frame count are unused).
+        gens: [Gen; MAX_FRAMES],
     },
 }
 

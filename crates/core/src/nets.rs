@@ -4,47 +4,38 @@ use std::collections::VecDeque;
 
 use trips_micronet::{Chain, Mesh, MeshMsg};
 
-use crate::config::CoreConfig;
+use crate::config::{CoreConfig, CoreGeometry};
 use crate::diag::NetDiag;
 use crate::fault;
 use crate::msg::{DsnMsg, GcnMsg, GdnFetch, GrnRefill, GsnMsg, OpnPayload, RowMsg, TileId};
 use crate::trace::{OpnClass, TraceKind, Tracer};
 
 /// Chain positions of the GDN/GRN instruction-tile column: the GT at
-/// 0, IT0..IT4 at 1..=5.
+/// 0, then IT0..ITn.
 pub fn it_col_pos(it: usize) -> usize {
     1 + it
 }
 
 /// Chain positions within a GDN row: the IT at 0, the GT or DT at 1,
-/// and the RTs or ETs at 2..=5.
+/// and the RTs or ETs from 2.
 pub fn row_pos_of_col(col: usize) -> usize {
     2 + col
 }
 
-/// Chain positions of the RT status chain: GT at 0, RT0..RT3 at 1..=4.
+/// Chain positions of the RT status chain: GT at 0, then RT0..RTn.
 pub fn rt_chain_pos(rt: usize) -> usize {
     1 + rt
 }
 
-/// Chain positions of the DT status chain: GT at 0, DT0..DT3 at 1..=4.
+/// Chain positions of the DT status chain: GT at 0, then DT0..DTn.
 pub fn dt_chain_pos(dt: usize) -> usize {
     1 + dt
 }
 
-/// GCN position of a routed tile (0 = GT, 1..=4 RTs, 5..=8 DTs,
-/// 9..=24 ETs row-major).
-pub fn gcn_pos(tile: TileId) -> usize {
-    match tile {
-        TileId::Gt => 0,
-        TileId::Rt(b) => 1 + b as usize,
-        TileId::Dt(d) => 5 + d as usize,
-        TileId::Et(r, c) => 9 + r as usize * 4 + c as usize,
-    }
-}
-
 /// All micronetworks of one core.
 pub struct Nets {
+    /// The tile-array geometry the networks are sized for.
+    pub geom: CoreGeometry,
     /// Operand network(s): one in the prototype, two for the
     /// bandwidth ablation. Traffic steers by destination so that
     /// same-destination operands stay ordered.
@@ -56,7 +47,7 @@ pub struct Nets {
     pub opn_highwater: Vec<usize>,
     /// GDN, GT → IT column (fetch commands).
     pub gdn_col: Chain<GdnFetch>,
-    /// GDN rows, IT → row tiles (dispatch), one chain per row 0..=4.
+    /// GDN rows, IT → row tiles (dispatch), one chain per IT.
     pub gdn_rows: Vec<Chain<RowMsg>>,
     /// GSN along the RT row (block status / commit acks).
     pub gsn_rt: Chain<GsnMsg>,
@@ -64,7 +55,8 @@ pub struct Nets {
     pub gsn_dt: Chain<GsnMsg>,
     /// GSN along the IT column (refill completion).
     pub gsn_it: Chain<GsnMsg>,
-    /// GCN commit/flush wave over all 25 routed tiles.
+    /// GCN commit/flush wave over all routed tiles
+    /// ([`CoreGeometry::gcn_len`] of them).
     pub gcn: Chain<GcnMsg>,
     /// GRN refill commands, GT → ITs.
     pub grn: Chain<GrnRefill>,
@@ -78,18 +70,26 @@ impl Nets {
     /// compiled fault state here, seeded per network so runs replay
     /// exactly.
     pub fn new(cfg: &CoreConfig) -> Nets {
+        let g = cfg.geometry;
+        let mesh = (g.mesh_rows() as u8, g.mesh_cols() as u8);
+        // Row 0 of the GDN carries the GT and RTs, body rows a DT and
+        // their ETs; each chain is as long as its row's tile count.
+        let row_len = |it: usize| if it == 0 { 2 + g.num_rts() } else { 2 + g.et_cols };
         let mut nets = Nets {
-            opn: (0..cfg.opn_networks.max(1)).map(|_| Mesh::new(5, 5, cfg.opn_fifo)).collect(),
+            geom: g,
+            opn: (0..cfg.opn_networks.max(1))
+                .map(|_| Mesh::new(mesh.0, mesh.1, cfg.opn_fifo))
+                .collect(),
             opn_inject_stalls: 0,
             opn_highwater: vec![0; cfg.opn_networks.max(1)],
-            gdn_col: Chain::new(6),
-            gdn_rows: (0..5).map(|_| Chain::new(6)).collect(),
-            gsn_rt: Chain::new(5),
-            gsn_dt: Chain::new(5),
-            gsn_it: Chain::new(6),
-            gcn: Chain::new(25),
-            grn: Chain::new(6),
-            dsn: Chain::new(4),
+            gdn_col: Chain::new(1 + g.num_its()),
+            gdn_rows: (0..g.num_its()).map(|it| Chain::new(row_len(it))).collect(),
+            gsn_rt: Chain::new(1 + g.num_rts()),
+            gsn_dt: Chain::new(1 + g.num_dts()),
+            gsn_it: Chain::new(1 + g.num_its()),
+            gcn: Chain::new(g.gcn_len()),
+            grn: Chain::new(1 + g.num_its()),
+            dsn: Chain::new(g.num_dts()),
         };
         if let Some(plan) = &cfg.faults {
             for (n, m) in nets.opn.iter_mut().enumerate() {
@@ -113,19 +113,20 @@ impl Nets {
     /// tile after its two-dimensional manhattan distance (§4.3: one
     /// hop per cycle across the array).
     pub fn gcn_broadcast(&mut self, now: u64, msg: GcnMsg) {
+        let g = self.geom;
         let from = TileId::Gt.opn();
-        for b in 0..4u8 {
-            let t = TileId::Rt(b);
-            self.gcn.send_delayed(now, gcn_pos(t), u64::from(from.distance(t.opn())), msg);
+        let send = |gcn: &mut Chain<GcnMsg>, t: TileId| {
+            gcn.send_delayed(now, g.gcn_pos(t), u64::from(from.distance(t.opn())), msg);
+        };
+        for b in 0..g.num_rts() as u8 {
+            send(&mut self.gcn, TileId::Rt(b));
         }
-        for d in 0..4u8 {
-            let t = TileId::Dt(d);
-            self.gcn.send_delayed(now, gcn_pos(t), u64::from(from.distance(t.opn())), msg);
+        for d in 0..g.num_dts() as u8 {
+            send(&mut self.gcn, TileId::Dt(d));
         }
-        for r in 0..4u8 {
-            for c in 0..4u8 {
-                let t = TileId::Et(r, c);
-                self.gcn.send_delayed(now, gcn_pos(t), u64::from(from.distance(t.opn())), msg);
+        for r in 0..g.et_rows as u8 {
+            for c in 0..g.et_cols as u8 {
+                send(&mut self.gcn, TileId::Et(r, c));
             }
         }
     }
@@ -391,7 +392,7 @@ mod tests {
 
     #[test]
     fn outbox_single_port_per_network() {
-        let cfg = CoreConfig::prototype();
+        let cfg = CoreConfig::prototype_pinned();
         let mut nets = Nets::new(&cfg);
         let mut tr = Tracer::disabled();
         let mut ob = OpnOutbox::default();
@@ -405,7 +406,7 @@ mod tests {
 
     #[test]
     fn two_networks_double_injection_for_distinct_destinations() {
-        let cfg = CoreConfig { opn_networks: 2, ..CoreConfig::prototype() };
+        let cfg = CoreConfig { opn_networks: 2, ..CoreConfig::prototype_pinned() };
         let mut nets = Nets::new(&cfg);
         let mut tr = Tracer::disabled();
         let mut ob = OpnOutbox::default();
@@ -420,7 +421,7 @@ mod tests {
 
     #[test]
     fn same_destination_shares_a_network_and_stays_ordered() {
-        let cfg = CoreConfig { opn_networks: 2, ..CoreConfig::prototype() };
+        let cfg = CoreConfig { opn_networks: 2, ..CoreConfig::prototype_pinned() };
         let mut nets = Nets::new(&cfg);
         let mut tr = Tracer::disabled();
         let mut ob = OpnOutbox::default();
@@ -445,7 +446,7 @@ mod tests {
 
     #[test]
     fn blocked_network_does_not_block_the_other() {
-        let cfg = CoreConfig { opn_networks: 2, ..CoreConfig::prototype() };
+        let cfg = CoreConfig { opn_networks: 2, ..CoreConfig::prototype_pinned() };
         let mut nets = Nets::new(&cfg);
         let mut tr = Tracer::disabled();
         let src = TileId::Et(0, 0);
@@ -477,7 +478,7 @@ mod tests {
         // `can_inject` first), so adding the two terms would count a
         // single full-FIFO episode twice for any client that also
         // drives `inject` directly.
-        let cfg = CoreConfig::prototype();
+        let cfg = CoreConfig::prototype_pinned();
         let mut nets = Nets::new(&cfg);
         let mut tr = Tracer::disabled();
         let src = TileId::Et(0, 0);
@@ -504,20 +505,20 @@ mod tests {
 
     #[test]
     fn gcn_wave_arrives_at_manhattan_distance() {
-        let cfg = CoreConfig::prototype();
+        let cfg = CoreConfig::prototype_pinned();
         let mut nets = Nets::new(&cfg);
         let msg = GcnMsg::Commit { frame: FrameId(1), gen: 0 };
         nets.gcn_broadcast(0, msg);
         // RT0 is one hop away.
-        assert_eq!(nets.gcn.recv(1, gcn_pos(TileId::Rt(0))), Some(msg));
+        assert_eq!(nets.gcn.recv(1, nets.geom.gcn_pos(TileId::Rt(0))), Some(msg));
         // ET(3,3) is eight hops away.
-        assert_eq!(nets.gcn.recv(7, gcn_pos(TileId::Et(3, 3))), None);
-        assert_eq!(nets.gcn.recv(8, gcn_pos(TileId::Et(3, 3))), Some(msg));
+        assert_eq!(nets.gcn.recv(7, nets.geom.gcn_pos(TileId::Et(3, 3))), None);
+        assert_eq!(nets.gcn.recv(8, nets.geom.gcn_pos(TileId::Et(3, 3))), Some(msg));
     }
 
     #[test]
     fn opn_roundtrip_through_fabric() {
-        let cfg = CoreConfig::prototype();
+        let cfg = CoreConfig::prototype_pinned();
         let mut nets = Nets::new(&cfg);
         let mut tr = Tracer::enabled(16);
         let mut ob = OpnOutbox::default();

@@ -1,5 +1,7 @@
-//! The assembled processor: one GT, five ITs, four RTs, sixteen ETs,
-//! four DTs, and the seven micronetworks connecting them.
+//! The assembled processor: one GT, a column of ITs, a row of RTs, an
+//! ET array, and a column of DTs (sized by [`CoreGeometry`]; the
+//! prototype is 1 + 5 + 4 + 16 + 4), plus the seven micronetworks
+//! connecting them.
 
 use std::fmt;
 
@@ -7,7 +9,7 @@ use trips_isa::mem::SparseMem;
 use trips_isa::{ArchReg, ProgramImage};
 use trips_micronet::MeshStats;
 
-use crate::config::{CoreConfig, ET_COLS, ET_ROWS, NUM_DTS, NUM_ITS, NUM_RTS};
+use crate::config::{CoreConfig, CoreGeometry, TileMask};
 use crate::critpath::CritPath;
 use crate::diag::{HangReport, TileDiag};
 use crate::dt::DataTile;
@@ -17,7 +19,7 @@ use crate::invariants::{self, InvariantViolation};
 use crate::it::InstTile;
 use crate::memsys::{MemClient, MemSys};
 use crate::msg::TileId;
-use crate::nets::{dt_chain_pos, gcn_pos, it_col_pos, row_pos_of_col, rt_chain_pos, Nets};
+use crate::nets::{dt_chain_pos, it_col_pos, row_pos_of_col, rt_chain_pos, Nets};
 use crate::profile::{TickPhase, TickProfile};
 use crate::rt::RegTile;
 use crate::stats::CoreStats;
@@ -103,19 +105,11 @@ impl GatingStats {
     }
 }
 
-/// Tile ticks per simulated cycle: 1 GT + 5 ITs + 4 RTs + 16 ETs +
-/// 4 DTs.
-const TILE_TICKS: u64 =
-    1 + NUM_ITS as u64 + NUM_RTS as u64 + (ET_ROWS * ET_COLS) as u64 + NUM_DTS as u64;
-
-/// Activity-mask bit for each tile, in tick order.
+/// Activity-mask bit of the GT (the per-geometry first bits of the
+/// other tile classes come from [`CoreGeometry::it_bit`] and friends;
+/// the mask itself is a [`TileMask`] so the 8×8 "fat" geometry's 86
+/// tile ticks fit).
 const GT_BIT: u32 = 0;
-const IT_BIT: u32 = 1;
-const RT_BIT: u32 = IT_BIT + NUM_ITS as u32;
-const ET_BIT: u32 = RT_BIT + NUM_RTS as u32;
-const DT_BIT: u32 = ET_BIT + (ET_ROWS * ET_COLS) as u32;
-/// Mask with every tile bit set (the ungated / fully-busy mask).
-pub(crate) const FULL_MASK: u32 = (1 << TILE_TICKS) - 1;
 
 /// A TRIPS processor core.
 pub struct Processor {
@@ -169,13 +163,14 @@ impl Processor {
     }
 
     fn reset(&mut self, entry: u64) {
+        let g = self.cfg.geometry;
         self.gt = GlobalTile::new(&self.cfg, entry);
-        self.its = (0..NUM_ITS).map(InstTile::new).collect();
-        self.rts = (0..NUM_RTS).map(|b| RegTile::new(b as u8)).collect();
-        self.ets = (0..ET_ROWS)
-            .flat_map(|r| (0..ET_COLS).map(move |c| ExecTile::new(r as u8, c as u8)))
+        self.its = (0..g.num_its()).map(InstTile::new).collect();
+        self.rts = (0..g.num_rts()).map(|b| RegTile::new(b as u8, g)).collect();
+        self.ets = (0..g.et_rows)
+            .flat_map(|r| (0..g.et_cols).map(move |c| ExecTile::new(r as u8, c as u8, g)))
             .collect();
-        self.dts = (0..NUM_DTS).map(|d| DataTile::new(d as u8, &self.cfg)).collect();
+        self.dts = (0..g.num_dts()).map(|d| DataTile::new(d as u8, &self.cfg)).collect();
         self.nets = Nets::new(&self.cfg);
         self.memsys = MemSys::new(&self.cfg);
         self.crit = CritPath::new(self.cfg.critpath);
@@ -190,7 +185,7 @@ impl Processor {
     /// events (the recorder survives [`Processor::run`]'s reset, but
     /// each run starts from an empty buffer).
     pub fn enable_tracing(&mut self, capacity: usize) {
-        self.tracer = Tracer::enabled(capacity);
+        self.tracer = Tracer::enabled_with(capacity, self.cfg.geometry);
     }
 
     /// Turns the flight recorder off and discards its buffer.
@@ -238,7 +233,8 @@ impl Processor {
 
     /// An architectural register value (thread 0).
     pub fn arch_reg(&self, reg: ArchReg) -> u64 {
-        self.rts[reg.bank() as usize].arch_reg(reg.index_in_bank())
+        let g = self.cfg.geometry;
+        self.rts[g.reg_bank(reg.num())].arch_reg(g.reg_index(reg.num()) as u8)
     }
 
     /// The configuration.
@@ -378,10 +374,8 @@ impl Processor {
         }
         for (i, et) in self.ets.iter().enumerate() {
             if let Some(detail) = et.diag() {
-                tiles.push(TileDiag {
-                    tile: format!("ET({},{})", i / ET_COLS, i % ET_COLS),
-                    detail,
-                });
+                let cols = self.cfg.geometry.et_cols;
+                tiles.push(TileDiag { tile: format!("ET({},{})", i / cols, i % cols), detail });
             }
         }
         for (d, dt) in self.dts.iter().enumerate() {
@@ -453,8 +447,9 @@ impl Processor {
     /// no-op ticks.
     ///
     /// [`next_wake`]: GlobalTile::next_wake
-    pub(crate) fn scan_activity(&self, now: u64) -> (u32, Option<u64>) {
-        let mut mask: u32 = 0;
+    pub(crate) fn scan_activity(&self, now: u64) -> (TileMask, Option<u64>) {
+        let g = self.cfg.geometry;
+        let mut mask: TileMask = 0;
         // Earliest future wake seen so far (`u64::MAX` = none). Only
         // consumed when the final mask is 0 — i.e. when no source
         // anywhere was mature — so per-tile short-circuiting below
@@ -482,7 +477,7 @@ impl Processor {
             || chk(&mut wake, nets.gsn_it.next_arrival(0))
             || nets.opn_delivered_at(TileId::Gt)
         {
-            mask |= 1 << GT_BIT;
+            mask |= (1 as TileMask) << GT_BIT;
         }
         // ITs.
         for (i, it) in self.its.iter().enumerate() {
@@ -493,42 +488,42 @@ impl Processor {
                 || chk(&mut wake, nets.gsn_it.next_arrival(pos))
                 || self.memsys.has_events(MemClient::It(i as u8))
             {
-                mask |= 1 << (IT_BIT + i as u32);
+                mask |= (1 as TileMask) << (g.it_bit() + i as u32);
             }
         }
         // RTs.
         for (b, rt) in self.rts.iter().enumerate() {
             if chk(&mut wake, rt.next_wake(now))
                 || chk(&mut wake, nets.gdn_rows[0].next_arrival(row_pos_of_col(b)))
-                || chk(&mut wake, nets.gcn.next_arrival(gcn_pos(TileId::Rt(b as u8))))
+                || chk(&mut wake, nets.gcn.next_arrival(g.gcn_pos(TileId::Rt(b as u8))))
                 || chk(&mut wake, nets.gsn_rt.next_arrival(rt_chain_pos(b)))
                 || nets.opn_delivered_at(TileId::Rt(b as u8))
             {
-                mask |= 1 << (RT_BIT + b as u32);
+                mask |= (1 as TileMask) << (g.rt_bit() + b as u32);
             }
         }
         // ETs.
         for (k, et) in self.ets.iter().enumerate() {
-            let (r, c) = (k / ET_COLS, k % ET_COLS);
+            let (r, c) = (k / g.et_cols, k % g.et_cols);
             if chk(&mut wake, et.next_wake(now))
-                || chk(&mut wake, nets.gcn.next_arrival(gcn_pos(TileId::Et(r as u8, c as u8))))
+                || chk(&mut wake, nets.gcn.next_arrival(g.gcn_pos(TileId::Et(r as u8, c as u8))))
                 || chk(&mut wake, nets.gdn_rows[r + 1].next_arrival(row_pos_of_col(c)))
                 || nets.opn_delivered_at(TileId::Et(r as u8, c as u8))
             {
-                mask |= 1 << (ET_BIT + k as u32);
+                mask |= (1 as TileMask) << (g.et_bit() + k as u32);
             }
         }
         // DTs.
         for (d, dt) in self.dts.iter().enumerate() {
             if chk(&mut wake, dt.next_wake(now))
-                || chk(&mut wake, nets.gcn.next_arrival(gcn_pos(TileId::Dt(d as u8))))
+                || chk(&mut wake, nets.gcn.next_arrival(g.gcn_pos(TileId::Dt(d as u8))))
                 || chk(&mut wake, nets.gdn_rows[d + 1].next_arrival(1))
                 || chk(&mut wake, nets.dsn.next_arrival(d))
                 || chk(&mut wake, nets.gsn_dt.next_arrival(dt_chain_pos(d)))
                 || nets.opn_delivered_at(TileId::Dt(d as u8))
                 || self.memsys.has_events(MemClient::Dt(d as u8))
             {
-                mask |= 1 << (DT_BIT + d as u32);
+                mask |= (1 as TileMask) << (g.dt_bit() + d as u32);
             }
         }
         // The OPN meshes tick every cycle they hold packets; the
@@ -564,7 +559,7 @@ impl Processor {
     pub(crate) fn skip_to(&mut self, w: u64) {
         debug_assert!(w > self.cycle);
         let skipped = w - self.cycle;
-        self.gating.ticks_gated += TILE_TICKS * skipped;
+        self.gating.ticks_gated += self.cfg.geometry.tile_ticks() as u64 * skipped;
         self.gating.cycles_skipped += skipped;
         self.gating.epochs_skipped += 1;
         self.cycle = w;
@@ -587,15 +582,16 @@ impl Processor {
     /// `gating_equivalence` test suite).
     pub fn tick(&mut self) {
         let gate = self.cfg.gate_ticks;
+        let full = self.cfg.geometry.full_mask();
         let mask = if !gate {
-            FULL_MASK
+            full
         } else if self.scan_holiday {
             // The previous scan found every tile active; tick them all
             // again without paying for a scan. Any tile that went idle
             // in between ticks as a no-op — bit-identical by the same
             // argument that makes ungated runs identical to gated ones.
             self.scan_holiday = false;
-            FULL_MASK
+            full
         } else {
             let tp = self.profile.begin();
             let mask = loop {
@@ -613,7 +609,7 @@ impl Processor {
                 }
                 break mask;
             };
-            self.scan_holiday = mask == FULL_MASK;
+            self.scan_holiday = mask == full;
             self.profile.end(TickPhase::Scan, tp);
             mask
         };
@@ -625,9 +621,9 @@ impl Processor {
     /// [`Chip`](crate::chip::Chip) computes its cores' masks up front
     /// so it can coordinate epoch skips across the whole chip before
     /// committing any core to a tick.
-    pub(crate) fn tick_with_mask(&mut self, mask: u32) {
+    pub(crate) fn tick_with_mask(&mut self, mask: TileMask) {
         let now = self.cycle;
-        if mask == FULL_MASK {
+        if mask == self.cfg.geometry.full_mask() {
             self.tick_tiles_all(now);
         } else {
             self.tick_tiles_masked(now, mask);
@@ -707,12 +703,13 @@ impl Processor {
             );
         }
         self.profile.end(TickPhase::Dt, tp);
-        self.gating.ticks_run += TILE_TICKS;
+        self.gating.ticks_run += self.cfg.geometry.tile_ticks() as u64;
     }
 
     /// The gated path: tick exactly the tiles whose mask bit is set.
-    fn tick_tiles_masked(&mut self, now: u64, mask: u32) {
-        if mask & (1 << GT_BIT) != 0 {
+    fn tick_tiles_masked(&mut self, now: u64, mask: TileMask) {
+        let g: CoreGeometry = self.cfg.geometry;
+        if mask & ((1 as TileMask) << GT_BIT) != 0 {
             self.gt.tick(
                 now,
                 &self.cfg,
@@ -726,7 +723,7 @@ impl Processor {
         }
         let tp = self.profile.begin();
         for i in 0..self.its.len() {
-            if mask & (1 << (IT_BIT + i as u32)) != 0 {
+            if mask & ((1 as TileMask) << (g.it_bit() + i as u32)) != 0 {
                 self.its[i].tick(
                     now,
                     &self.cfg,
@@ -740,7 +737,7 @@ impl Processor {
         self.profile.end(TickPhase::It, tp);
         let tp = self.profile.begin();
         for i in 0..self.rts.len() {
-            if mask & (1 << (RT_BIT + i as u32)) != 0 {
+            if mask & ((1 as TileMask) << (g.rt_bit() + i as u32)) != 0 {
                 self.rts[i].tick(
                     now,
                     &self.cfg,
@@ -754,7 +751,7 @@ impl Processor {
         self.profile.end(TickPhase::Rt, tp);
         let tp = self.profile.begin();
         for i in 0..self.ets.len() {
-            if mask & (1 << (ET_BIT + i as u32)) != 0 {
+            if mask & ((1 as TileMask) << (g.et_bit() + i as u32)) != 0 {
                 self.ets[i].tick(
                     now,
                     &self.cfg,
@@ -768,7 +765,7 @@ impl Processor {
         self.profile.end(TickPhase::Et, tp);
         let tp = self.profile.begin();
         for i in 0..self.dts.len() {
-            if mask & (1 << (DT_BIT + i as u32)) != 0 {
+            if mask & ((1 as TileMask) << (g.dt_bit() + i as u32)) != 0 {
                 self.dts[i].tick(
                     now,
                     &self.cfg,
@@ -784,6 +781,6 @@ impl Processor {
         self.profile.end(TickPhase::Dt, tp);
         let run = u64::from(mask.count_ones());
         self.gating.ticks_run += run;
-        self.gating.ticks_gated += TILE_TICKS - run;
+        self.gating.ticks_gated += g.tile_ticks() as u64 - run;
     }
 }

@@ -12,10 +12,10 @@
 use trips_isa::semantics::Tok;
 use trips_isa::{ArchReg, ReadInst, Target};
 
-use crate::config::{CoreConfig, NUM_FRAMES};
+use crate::config::{CoreConfig, CoreGeometry, FrameMask, MAX_FRAMES};
 use crate::critpath::{Cat, CritPath, NO_EVENT};
 use crate::msg::{EvId, FrameId, GcnMsg, Gen, GsnMsg, OpnPayload, RowMsg, TileId};
-use crate::nets::{gcn_pos, opn_recv_batch, row_pos_of_col, rt_chain_pos, Nets, OpnOutbox};
+use crate::nets::{opn_recv_batch, row_pos_of_col, rt_chain_pos, Nets, OpnOutbox};
 use crate::stats::CoreStats;
 use crate::trace::{TraceKind, Tracer};
 
@@ -42,7 +42,7 @@ struct Waiter {
 struct RtFrame {
     active: bool,
     gen: Gen,
-    writes: [WriteEntry; 8],
+    writes: Vec<WriteEntry>,
     header_done: bool,
     done_sent: bool,
     east_done: bool,
@@ -54,12 +54,38 @@ struct RtFrame {
     ack_sent: bool,
 }
 
+impl RtFrame {
+    /// Reinitializes in place, keeping the write-queue and waiter
+    /// allocations (frame churn is hot; `*f = default()` would free
+    /// and re-grow every queue on every block).
+    fn reset(&mut self, active: bool, gen: Gen, eastmost: bool, done_ev: EvId) {
+        self.active = active;
+        self.gen = gen;
+        for w in &mut self.writes {
+            w.reg = None;
+            w.declared = false;
+            w.value = None;
+            w.waiters.clear();
+        }
+        self.header_done = false;
+        self.done_sent = false;
+        self.east_done = eastmost;
+        self.done_ev = done_ev;
+        self.committing = false;
+        self.commit_cursor = 0;
+        self.commit_done = false;
+        self.east_ack = eastmost;
+        self.ack_sent = false;
+    }
+}
+
 /// One register tile.
 pub struct RegTile {
-    /// Bank index 0..4.
+    /// Bank index.
     pub bank: u8,
-    regs: [u64; 32],
-    frames: [RtFrame; NUM_FRAMES],
+    geom: CoreGeometry,
+    regs: Vec<u64>,
+    frames: Vec<RtFrame>,
     order: Vec<FrameId>,
     outbox: OpnOutbox,
     /// Bit `fi` set iff `frames[fi]` is active — the dirty-frame work
@@ -68,14 +94,14 @@ pub struct RegTile {
     /// masked walk visits exactly the frames the full scan would act
     /// on. Maintained unconditionally; `cfg.work_lists` only selects
     /// which iteration the tick uses.
-    active_mask: u8,
+    active_mask: FrameMask,
     /// Bit `fi` set iff `frames[fi]` is active, saw its commit wave,
     /// and has not finished draining (`committing && !commit_done`) —
     /// the exact predicate of [`RegTile::busy`]'s old frame scan.
     /// Always maintained and always used: this mask drives the
     /// clock-gating predicate, which must stay exact or the scheduler
     /// sleeps through a commit drain.
-    committing_mask: u8,
+    committing_mask: FrameMask,
     /// Frames examined by the advance walk (not in [`CoreStats`]; a
     /// host-side observability counter for the non-vacuousness tests,
     /// like [`GatingStats`](crate::GatingStats)).
@@ -83,13 +109,21 @@ pub struct RegTile {
 }
 
 impl RegTile {
-    /// A fresh RT for `bank`.
-    pub fn new(bank: u8) -> RegTile {
+    /// A fresh RT for `bank` of a `geom`-sized core.
+    pub fn new(bank: u8, geom: CoreGeometry) -> RegTile {
+        let mut frames = Vec::with_capacity(geom.frames);
+        for _ in 0..geom.frames {
+            frames.push(RtFrame {
+                writes: vec![WriteEntry::default(); geom.slots_per_rt()],
+                ..RtFrame::default()
+            });
+        }
         RegTile {
             bank,
-            regs: [0; 32],
-            frames: Default::default(),
-            order: Vec::with_capacity(NUM_FRAMES),
+            geom,
+            regs: vec![0; geom.regs_per_bank()],
+            frames,
+            order: Vec::with_capacity(geom.frames),
             outbox: OpnOutbox::with_capacity(16),
             active_mask: 0,
             committing_mask: 0,
@@ -126,7 +160,7 @@ impl RegTile {
     pub fn active(&self, nets: &Nets) -> bool {
         self.busy()
             || nets.gdn_rows[0].has_pending_at(row_pos_of_col(self.bank as usize))
-            || nets.gcn.has_pending_at(gcn_pos(TileId::Rt(self.bank)))
+            || nets.gcn.has_pending_at(self.geom.gcn_pos(TileId::Rt(self.bank)))
             || nets.gsn_rt.has_pending_at(rt_chain_pos(self.bank as usize))
             || nets.opn_delivered_at(TileId::Rt(self.bank))
     }
@@ -166,10 +200,10 @@ impl RegTile {
     }
 
     /// RT-side protocol invariants (see [`crate::invariants`]).
-    pub(crate) fn audit(&self, gt_gens: &[Gen; 8], gt_free: &[bool; 8]) -> Result<(), String> {
-        let mut seen = 0u8;
+    pub(crate) fn audit(&self, gt_gens: &[Gen], gt_free: &[bool]) -> Result<(), String> {
+        let mut seen: FrameMask = 0;
         for &f in &self.order {
-            let bit = 1u8 << f.0;
+            let bit = (1 as FrameMask) << f.0;
             if seen & bit != 0 {
                 return Err(format!("RT{}: frame {} twice in dispatch order", self.bank, f.0));
             }
@@ -207,7 +241,7 @@ impl RegTile {
                     self.bank, f.gen
                 ));
             }
-            if f.commit_cursor > 8 {
+            if f.commit_cursor > f.writes.len() {
                 return Err(format!(
                     "RT{}: frame {fi} commit cursor ran past the write queue",
                     self.bank
@@ -227,14 +261,8 @@ impl RegTile {
             return false; // stale message for a flushed/retired incarnation
         }
         if !(f.active && f.gen == gen) {
-            *f = RtFrame {
-                active: true,
-                gen,
-                east_done: self.bank == 3,
-                east_ack: self.bank == 3,
-                done_ev: NO_EVENT,
-                ..RtFrame::default()
-            };
+            let eastmost = self.bank as usize == self.geom.num_rts() - 1;
+            f.reset(true, gen, eastmost, NO_EVENT);
             self.active_mask |= 1 << frame.0;
             self.committing_mask &= !(1 << frame.0);
         }
@@ -272,7 +300,8 @@ impl RegTile {
                 }
                 RowMsg::Write { frame, gen, slot, write, .. } => {
                     if self.ensure_frame(frame, gen, true) {
-                        let e = &mut self.frames[frame.0 as usize].writes[slot as usize % 8];
+                        let w = slot as usize % self.geom.slots_per_rt();
+                        let e = &mut self.frames[frame.0 as usize].writes[w];
                         e.reg = Some(write.reg);
                         e.declared = true;
                     }
@@ -311,7 +340,7 @@ impl RegTile {
         });
 
         // GCN commit/flush.
-        while let Some(msg) = nets.gcn.recv(now, gcn_pos(TileId::Rt(self.bank))) {
+        while let Some(msg) = nets.gcn.recv(now, self.geom.gcn_pos(TileId::Rt(self.bank))) {
             match msg {
                 GcnMsg::Commit { frame, gen } => {
                     if self.frame_ok(frame, gen) {
@@ -397,18 +426,18 @@ impl RegTile {
             if f.commit_done {
                 continue;
             }
-            while f.commit_cursor < 8 {
+            while f.commit_cursor < f.writes.len() {
                 let e = &f.writes[f.commit_cursor];
                 if let (true, Some(reg), Some((Tok::Val(v), _))) = (e.declared, e.reg, e.value) {
                     if budget == 0 {
                         break;
                     }
-                    self.regs[reg.index_in_bank() as usize] = v;
+                    self.regs[self.geom.reg_index(reg.num())] = v;
                     budget -= 1;
                 }
                 f.commit_cursor += 1;
             }
-            if f.commit_cursor >= 8 {
+            if f.commit_cursor >= f.writes.len() {
                 f.commit_done = true;
                 self.committing_mask &= !(1 << fi);
             }
@@ -419,7 +448,8 @@ impl RegTile {
         // frame order as the full scan, which skips the inactive
         // rest). The toggle exists so the equivalence suite can
         // compare the two walks bit for bit.
-        let mut pending: u8 = if cfg.work_lists { self.active_mask } else { !0 };
+        let all: FrameMask = ((1 as FrameMask) << self.frames.len()) - 1;
+        let mut pending: FrameMask = if cfg.work_lists { self.active_mask } else { all };
         while pending != 0 {
             let fi = pending.trailing_zeros() as usize;
             pending &= pending - 1;
@@ -477,9 +507,9 @@ impl RegTile {
         }
     }
 
-    fn flush(&mut self, now: u64, mask: u8, gens: [Gen; 8], crit: &mut CritPath) {
+    fn flush(&mut self, now: u64, mask: FrameMask, gens: [Gen; MAX_FRAMES], crit: &mut CritPath) {
         let mut orphaned: Vec<Waiter> = Vec::new();
-        for (fi, &new_gen) in gens.iter().enumerate() {
+        for (fi, &new_gen) in gens.iter().enumerate().take(self.frames.len()) {
             if mask & (1 << fi) == 0 {
                 continue;
             }
@@ -488,7 +518,7 @@ impl RegTile {
                 for w in &mut f.writes {
                     orphaned.append(&mut w.waiters);
                 }
-                *f = RtFrame { active: false, gen: new_gen, ..RtFrame::default() };
+                f.reset(false, new_gen, false, 0);
                 self.active_mask &= !(1 << fi);
                 self.committing_mask &= !(1 << fi);
                 self.order.retain(|&x| x.0 as usize != fi);
@@ -561,7 +591,7 @@ impl RegTile {
             }
         }
         // Architectural file.
-        let v = self.regs[read.reg.index_in_bank() as usize];
+        let v = self.regs[self.geom.reg_index(read.reg.num())];
         let dev = crit.event(now, ev, Cat::Other, 1);
         self.deliver(frame, gen, read.targets, Tok::Val(v), dev);
     }
@@ -576,7 +606,7 @@ impl RegTile {
         crit: &mut CritPath,
     ) {
         let fi = frame.0 as usize;
-        let slot = wslot as usize % 8;
+        let slot = wslot as usize % self.geom.slots_per_rt();
         let waiters;
         {
             let f = &mut self.frames[fi];
@@ -624,13 +654,13 @@ impl RegTile {
                 Target::None => {}
                 Target::Inst { idx, slot } => {
                     self.outbox.push(
-                        TileId::of_inst(idx),
+                        self.geom.tile_of_inst(idx),
                         OpnPayload::Operand { frame, gen, idx, slot, tok, ev },
                     );
                 }
                 Target::Write { slot } => {
                     self.outbox.push(
-                        TileId::of_header_slot(slot),
+                        self.geom.tile_of_header_slot(slot),
                         OpnPayload::WriteVal { frame, gen, wslot: slot, tok, ev },
                     );
                 }

@@ -20,6 +20,7 @@
 
 use std::fmt::Write as _;
 
+use crate::config::{CoreGeometry, FrameMask};
 use crate::msg::{FrameId, OpnPayload, TileId};
 
 /// Classes of operand-network payloads, for trace labelling.
@@ -167,7 +168,7 @@ pub enum TraceKind {
         /// The tile.
         tile: TileId,
         /// Frame mask being flushed.
-        mask: u8,
+        mask: FrameMask,
     },
     /// A tile finished its commit work and joined the ack chain.
     CommitAck {
@@ -246,6 +247,9 @@ pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 16;
 pub struct Tracer {
     enabled: bool,
     cap: usize,
+    /// Geometry the lane layout is derived from (the prototype's
+    /// 4×4 array reproduces the original fixed lane numbers exactly).
+    geom: CoreGeometry,
     buf: Vec<TraceEvent>,
     /// Index of the oldest event once the ring has wrapped.
     head: usize,
@@ -268,6 +272,7 @@ impl Tracer {
         Tracer {
             enabled: false,
             cap: 0,
+            geom: CoreGeometry::prototype(),
             buf: Vec::new(),
             head: 0,
             dropped: 0,
@@ -282,10 +287,20 @@ impl Tracer {
     ///
     /// Panics if `capacity == 0`.
     pub fn enabled(capacity: usize) -> Tracer {
+        Tracer::enabled_with(capacity, CoreGeometry::prototype())
+    }
+
+    /// An enabled tracer whose lane layout is sized for `geom`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn enabled_with(capacity: usize, geom: CoreGeometry) -> Tracer {
         assert!(capacity > 0, "trace ring must hold at least one event");
         Tracer {
             enabled: true,
             cap: capacity,
+            geom,
             buf: Vec::with_capacity(capacity),
             head: 0,
             dropped: 0,
@@ -380,26 +395,29 @@ impl Tracer {
     /// The lane metadata and events of one core, written as process
     /// `pid` — the body shared between the solo and chip exporters.
     fn chrome_body(&self, out: &mut String, pid: u32, first: &mut bool) {
-        // Lane names.
+        // Lane names, derived from the geometry (prototype layout:
+        // GT 0, IT 1..6, RT 6..10, DT 10..14, ET 14..30, OPN 30..34,
+        // OCN 34 — exactly the original fixed numbering).
+        let g = self.geom;
         let mut lanes: Vec<(u32, String)> = vec![(LANE_GT, "GT".into())];
-        for it in 0..5u8 {
+        for it in 0..g.num_its() as u8 {
             lanes.push((lane_it(it), format!("IT{it}")));
         }
-        for rt in 0..4u8 {
-            lanes.push((lane_tile(TileId::Rt(rt)), format!("RT{rt}")));
+        for rt in 0..g.num_rts() as u8 {
+            lanes.push((lane_tile(g, TileId::Rt(rt)), format!("RT{rt}")));
         }
-        for dt in 0..4u8 {
-            lanes.push((lane_tile(TileId::Dt(dt)), format!("DT{dt}")));
+        for dt in 0..g.num_dts() as u8 {
+            lanes.push((lane_tile(g, TileId::Dt(dt)), format!("DT{dt}")));
         }
-        for r in 0..4u8 {
-            for c in 0..4u8 {
-                lanes.push((lane_tile(TileId::Et(r, c)), format!("ET({r},{c})")));
+        for r in 0..g.et_rows as u8 {
+            for c in 0..g.et_cols as u8 {
+                lanes.push((lane_tile(g, TileId::Et(r, c)), format!("ET({r},{c})")));
             }
         }
         for net in 0..4u8 {
-            lanes.push((lane_opn(net), format!("OPN{net}")));
+            lanes.push((lane_opn(g, net), format!("OPN{net}")));
         }
-        lanes.push((LANE_OCN, "OCN".into()));
+        lanes.push((lane_ocn(g), "OCN".into()));
         for (tid, name) in lanes {
             if !*first {
                 out.push_str(",\n");
@@ -419,7 +437,7 @@ impl Tracer {
 
     fn chrome_event(&self, out: &mut String, pid: u32, ev: &TraceEvent) {
         let ts = ev.cycle;
-        let (tid, name, args) = describe(&ev.kind);
+        let (tid, name, args) = describe(self.geom, &ev.kind);
         let _ = write!(
             out,
             "{{\"name\":\"{name}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{tid},\
@@ -460,24 +478,33 @@ fn lane_it(it: u8) -> u32 {
     1 + u32::from(it)
 }
 
-fn lane_tile(t: TileId) -> u32 {
+/// Lane of a routed tile: GT, then ITs, RTs, DTs, and the ET array
+/// row-major — packed per the geometry so no two tiles collide at any
+/// supported size (prototype: RT 6.., DT 10.., ET 14..).
+fn lane_tile(g: CoreGeometry, t: TileId) -> u32 {
+    let rt_base = 1 + g.num_its() as u32;
+    let dt_base = rt_base + g.num_rts() as u32;
+    let et_base = dt_base + g.num_dts() as u32;
     match t {
         TileId::Gt => LANE_GT,
-        TileId::Rt(b) => 6 + u32::from(b),
-        TileId::Dt(d) => 10 + u32::from(d),
-        TileId::Et(r, c) => 14 + u32::from(r) * 4 + u32::from(c),
+        TileId::Rt(b) => rt_base + u32::from(b),
+        TileId::Dt(d) => dt_base + u32::from(d),
+        TileId::Et(r, c) => et_base + u32::from(r) * g.et_cols as u32 + u32::from(c),
     }
 }
 
-fn lane_opn(net: u8) -> u32 {
-    30 + u32::from(net)
+fn lane_opn(g: CoreGeometry, net: u8) -> u32 {
+    // First lane past the tiles (prototype: 30).
+    g.tile_ticks() as u32 + u32::from(net)
 }
 
 /// The secondary system's OCN gets one lane after the OPNs.
-const LANE_OCN: u32 = 34;
+fn lane_ocn(g: CoreGeometry) -> u32 {
+    lane_opn(g, 4)
+}
 
 /// (lane, event name, json args body) for one event kind.
-fn describe(kind: &TraceKind) -> (u32, String, String) {
+fn describe(g: CoreGeometry, kind: &TraceKind) -> (u32, String, String) {
     match *kind {
         TraceKind::FetchIssued { frame, pc } => (
             LANE_GT,
@@ -495,12 +522,12 @@ fn describe(kind: &TraceKind) -> (u32, String, String) {
             format!("\"frame\":{},\"beat\":{beat}", frame.0),
         ),
         TraceKind::OpnInject { net, class, src, dst } => (
-            lane_opn(net),
+            lane_opn(g, net),
             format!("inject {}", class.name()),
             format!("\"src\":\"{src}\",\"dst\":\"{dst}\",\"net\":{net}"),
         ),
         TraceKind::OpnEject { net, class, src, dst, hops, queued } => (
-            lane_opn(net),
+            lane_opn(g, net),
             format!("eject {}", class.name()),
             format!(
                 "\"src\":\"{src}\",\"dst\":\"{dst}\",\"net\":{net},\"hops\":{hops},\
@@ -508,22 +535,22 @@ fn describe(kind: &TraceKind) -> (u32, String, String) {
             ),
         ),
         TraceKind::LsqInsert { dt, frame, lsid, store } => (
-            lane_tile(TileId::Dt(dt)),
+            lane_tile(g, TileId::Dt(dt)),
             format!("lsq {} f{}", if store { "store" } else { "load" }, frame.0),
             format!("\"frame\":{},\"lsid\":{lsid},\"store\":{store}", frame.0),
         ),
         TraceKind::LsqWakeup { dt, frame, lsid } => (
-            lane_tile(TileId::Dt(dt)),
+            lane_tile(g, TileId::Dt(dt)),
             format!("lsq wakeup f{}", frame.0),
             format!("\"frame\":{},\"lsid\":{lsid}", frame.0),
         ),
         TraceKind::WritesDone { rt, frame } => (
-            lane_tile(TileId::Rt(rt)),
+            lane_tile(g, TileId::Rt(rt)),
             format!("writes done f{}", frame.0),
             format!("\"frame\":{}", frame.0),
         ),
         TraceKind::StoresDone { frame } => (
-            lane_tile(TileId::Dt(0)),
+            lane_tile(g, TileId::Dt(0)),
             format!("stores done f{}", frame.0),
             format!("\"frame\":{}", frame.0),
         ),
@@ -533,14 +560,16 @@ fn describe(kind: &TraceKind) -> (u32, String, String) {
         TraceKind::CommitCmd { frame } => {
             (LANE_GT, format!("commit f{}", frame.0), format!("\"frame\":{}", frame.0))
         }
-        TraceKind::CommitWave { tile, frame } => {
-            (lane_tile(tile), format!("commit wave f{}", frame.0), format!("\"frame\":{}", frame.0))
-        }
+        TraceKind::CommitWave { tile, frame } => (
+            lane_tile(g, tile),
+            format!("commit wave f{}", frame.0),
+            format!("\"frame\":{}", frame.0),
+        ),
         TraceKind::FlushWave { tile, mask } => {
-            (lane_tile(tile), "flush wave".to_string(), format!("\"mask\":\"{mask:#010b}\""))
+            (lane_tile(g, tile), "flush wave".to_string(), format!("\"mask\":\"{mask:#010b}\""))
         }
         TraceKind::CommitAck { tile, frame } => {
-            (lane_tile(tile), format!("ack f{}", frame.0), format!("\"frame\":{}", frame.0))
+            (lane_tile(g, tile), format!("ack f{}", frame.0), format!("\"frame\":{}", frame.0))
         }
         TraceKind::BlockAck { frame, pc } => (
             LANE_GT,
@@ -548,7 +577,7 @@ fn describe(kind: &TraceKind) -> (u32, String, String) {
             format!("\"frame\":{},\"pc\":\"{pc:#x}\"", frame.0),
         ),
         TraceKind::Violation { dt, frame } => (
-            lane_tile(TileId::Dt(dt)),
+            lane_tile(g, TileId::Dt(dt)),
             format!("violation f{}", frame.0),
             format!("\"frame\":{}", frame.0),
         ),
@@ -559,12 +588,12 @@ fn describe(kind: &TraceKind) -> (u32, String, String) {
             (lane_it(it), "refill done".to_string(), format!("\"addr\":\"{addr:#x}\""))
         }
         TraceKind::OcnInject { port, addr, write } => (
-            LANE_OCN,
+            lane_ocn(g),
             format!("inject {}", if write { "writeback" } else { "fill" }),
             format!("\"port\":{port},\"addr\":\"{addr:#x}\",\"write\":{write}"),
         ),
         TraceKind::OcnEject { port, addr, write } => (
-            LANE_OCN,
+            lane_ocn(g),
             format!("eject {}", if write { "ack" } else { "fill" }),
             format!("\"port\":{port},\"addr\":\"{addr:#x}\",\"write\":{write}"),
         ),

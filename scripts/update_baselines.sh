@@ -20,6 +20,10 @@ echo "== chipsim (dual-core shared-NUCA pairings) =="
 ./target/release/chipsim --smoke
 
 echo
+echo "== paretosweep (geometry lattice, area vs IPC) =="
+./target/release/paretosweep --smoke
+
+echo
 echo "== baseline changes =="
 git --no-pager diff --stat -- 'BENCH_*.json'
 if git diff --quiet -- 'BENCH_*.json'; then

@@ -37,7 +37,10 @@ fn four_way_agreement_on_cfar() {
 fn fetch_protocol_cadence() {
     let wl = suite::by_name("vadd").expect("registered");
     let image = wl.build_trips(Quality::Compiled).expect("compiles").image;
-    let mut cpu = Processor::new(CoreConfig::prototype());
+    // The eight-cycle cadence is a property of the paper's 4x4 die
+    // (beats = 128 insts / 16 ETs), so pin the geometry rather than
+    // following TRIPS_GEOMETRY.
+    let mut cpu = Processor::new(CoreConfig::prototype_pinned());
     let stats = cpu.run(&image, 10_000_000).unwrap_or_else(|e| panic!("{e}"));
 
     let tl = &stats.timeline;

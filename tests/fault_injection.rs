@@ -13,8 +13,8 @@
 //! (the helper it calls is [`assert_plan_matches_oracle`]).
 
 use trips::core::{
-    ChainDelay, CoreConfig, FaultPlan, FaultPort, LinkFault, MemBackend, OcnFault, Processor,
-    Ratio, SimError,
+    ChainDelay, CoreConfig, CoreGeometry, FaultPlan, FaultPort, LinkFault, MemBackend, OcnFault,
+    Processor, Ratio, SimError,
 };
 use trips::tasm::Quality;
 use trips::workloads::suite;
@@ -34,6 +34,28 @@ fn assert_plan_matches_oracle(workload: &str, quality: Quality, plan: &FaultPlan
     let oracle = Oracle::build(&wl, quality);
     if let Err(why) = fuzz::run_against_oracle(&oracle, Some(plan), true, REPRO_MAX_CYCLES) {
         panic!("{workload} ({quality:?}) under plan seed {:#x}: {why}", plan.seed);
+    }
+}
+
+/// [`assert_plan_matches_oracle`] on a named non-prototype die — the
+/// entry point for reproducers `protofuzz` found on its geometry-axis
+/// seeds (`seed % 8 == 2`, which run the `mini` die). The plan's OPN
+/// coordinates were drawn folded into that die's mesh, so the named
+/// geometry is part of the reproducer.
+#[allow(dead_code)]
+fn assert_plan_matches_oracle_geom(workload: &str, quality: Quality, geom: &str, plan: &FaultPlan) {
+    let wl = suite::by_name(workload).expect("workload registered in the suite");
+    let oracle = Oracle::build(&wl, quality);
+    let geometry = CoreGeometry::parse(geom).expect("reproducer names a valid geometry");
+    if let Err(why) = fuzz::run_against_oracle_geom(
+        &oracle,
+        MemBackend::prototype(),
+        geometry,
+        Some(plan),
+        true,
+        REPRO_MAX_CYCLES,
+    ) {
+        panic!("{workload} ({quality:?}, {geom}) under plan seed {:#x}: {why}", plan.seed);
     }
 }
 

@@ -280,3 +280,63 @@ fn gating_actually_skips_ticks() {
     let u = ungated.gating_stats();
     assert_eq!(u.ticks_gated, 0, "ungated mode must never skip a tile");
 }
+
+#[test]
+fn prototype_geometry_is_bit_identical_to_the_fixed_constants() {
+    use trips_core::{
+        CoreGeometry, ET_COLS, ET_ROWS, NUM_DTS, NUM_FRAMES, NUM_ITS, NUM_RTS, RS_PER_FRAME,
+    };
+    // Structural gate: every quantity the tiles, networks, and tick
+    // scheduler size themselves by must reduce, at the prototype
+    // point, to exactly the constants the pre-geometry code baked in.
+    let g = CoreGeometry::prototype();
+    assert_eq!((g.et_rows, g.et_cols), (ET_ROWS, ET_COLS));
+    assert_eq!(g.frames, NUM_FRAMES);
+    assert_eq!(g.rs_per_frame, RS_PER_FRAME);
+    assert_eq!(g.lsq_depth, 256);
+    assert_eq!(g.num_its(), NUM_ITS);
+    assert_eq!(g.num_rts(), NUM_RTS);
+    assert_eq!(g.num_dts(), NUM_DTS);
+    assert_eq!(g.num_ets(), 16);
+    assert_eq!(g.beats(), 8, "one block dispatches in eight GDN beats");
+    assert_eq!(g.tile_ticks(), 30, "1 GT + 5 ITs + 4 RTs + 16 ETs + 4 DTs");
+    assert_eq!((g.mesh_rows(), g.mesh_cols()), (5, 5), "the OPN is the paper's 5x5 mesh");
+
+    // Dynamic gate: a core built from the geometry seam must be
+    // bit-identical — stats, registers, memory — to the pinned
+    // prototype configuration on real runs.
+    let items: Vec<(Workload, Quality)> = ["vadd", "matrix", "dct8x8"]
+        .into_iter()
+        .map(|n| (suite::by_name(n).expect("registered"), Quality::Hand))
+        .collect();
+    let failures: Vec<String> = parallel_map(items, num_threads(), |(wl, quality)| {
+        let image = wl.build_trips(quality).expect("compiles").image;
+        let run = |cfg: CoreConfig| {
+            let mut cpu = Processor::new(cfg);
+            let stats = cpu.run(&image, MAX_CYCLES).expect("halts");
+            let regs: Vec<u64> = (0..128).map(|r| cpu.arch_reg(ArchReg::new(r))).collect();
+            (stats, regs, cpu.memory().clone())
+        };
+        let seam = run(CoreConfig::with_geometry(CoreGeometry::prototype()));
+        let pinned = run(CoreConfig::prototype_pinned());
+        let mut errs = Vec::new();
+        if seam.0 != pinned.0 {
+            errs.push(format!(
+                "{}: CoreStats diverge\n  geometry seam: {:?}\n  pinned consts: {:?}",
+                wl.name, seam.0, pinned.0
+            ));
+        }
+        if seam.1 != pinned.1 || seam.2 != pinned.2 {
+            errs.push(format!("{}: architectural state diverges", wl.name));
+        }
+        errs
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    assert!(
+        failures.is_empty(),
+        "the geometry seam changed prototype behaviour:\n{}",
+        failures.join("\n")
+    );
+}

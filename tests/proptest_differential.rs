@@ -7,7 +7,7 @@
 //! (Seeded generation via `trips_harness::Rng`; the environment has no
 //! crates.io access so `proptest` is unavailable.)
 
-use trips::core::{Chip, ChipConfig, CoreConfig, Processor};
+use trips::core::{Chip, ChipConfig, CoreConfig, CoreGeometry, FaultPlan, Processor};
 use trips::isa::Opcode;
 use trips::tasm::{blockinterp, compile, interp, ProgramBuilder, Quality, VReg};
 use trips_harness::Rng;
@@ -156,6 +156,44 @@ fn random_programs_agree_everywhere() {
                          fused {fused_gt}, steps {steps:?})"
                     );
                 }
+            }
+        }
+    }
+}
+
+#[test]
+fn random_programs_agree_across_geometries() {
+    // The geometry axis: the same random image on the mini and
+    // prototype dies — each under a seeded random fault plan folded
+    // into that die's OPN mesh, invariants checked every tick — must
+    // match the architectural block interpreter cell for cell. The
+    // distributed protocols carry no prototype-shaped constants, so
+    // shrinking the array may slow a run but never change memory.
+    let mut rng = Rng::new(0x9e0d_5eed);
+    for case in 0..8u64 {
+        let steps: Vec<Step> = (0..rng.range_usize(1, 24)).map(|_| random_step(&mut rng)).collect();
+        let (prog, cells) = build_program(&steps);
+        prog.check().expect("generated IR is structurally valid");
+        let compiled = compile(&prog, Quality::Hand).expect("compiles");
+        let oracle = blockinterp::run_image(&compiled.image, 100_000).expect("block interp");
+
+        for geom in [CoreGeometry::mini(), CoreGeometry::prototype()] {
+            let plan = FaultPlan::random_for(0x9e0_0000 + case, geom);
+            let cfg = CoreConfig {
+                faults: Some(plan),
+                check_invariants: true,
+                ..CoreConfig::with_geometry(geom)
+            };
+            let mut cpu = Processor::new(cfg);
+            cpu.run(&compiled.image, 10_000_000)
+                .unwrap_or_else(|e| panic!("core run (case {case}, {}): {e}", geom.name()));
+            for &c in &cells {
+                assert_eq!(
+                    cpu.memory().read_u64(c),
+                    oracle.mem.read_u64(c),
+                    "{} die diverged at {c:#x} (case {case}, steps {steps:?})",
+                    geom.name()
+                );
             }
         }
     }
