@@ -41,8 +41,19 @@ pub type FrameMask = u16;
 pub type StationMask = u32;
 
 /// A set of tile-tick slots for the activity scan (bit layout per
-/// [`CoreGeometry::tile_ticks`]). An 8×8 array needs 90 bits.
+/// [`CoreGeometry::tile_ticks`]). An 8×8 array needs 86 bits
+/// (1 GT + 9 ITs + 4 RTs + 64 ETs + 8 DTs).
 pub type TileMask = u128;
+
+/// The mask selecting every frame of a `frames`-deep frame file (bit
+/// `i` set for `i < frames`). Computed by shifting `MAX` down rather
+/// than `1` up because `frames == MAX_FRAMES` fills the whole
+/// [`FrameMask`]: `(1 << 16) - 1` on a u16 is a shift by the type
+/// width — a debug-build panic and release-build garbage.
+pub fn all_frames_mask(frames: usize) -> FrameMask {
+    debug_assert!((1..=MAX_FRAMES).contains(&frames));
+    FrameMask::MAX >> (FrameMask::BITS as usize - frames)
+}
 
 /// Runtime-parameterized core geometry: the ET array, the frame file,
 /// and the LSQ — everything Table 1 and the tick loop size from.
@@ -124,7 +135,9 @@ impl CoreGeometry {
 
     /// Parses a geometry name (`prototype`, `mini`, `fat`) or a
     /// custom `RxC/F` spec (rows×cols ETs, `F` frames; `rs_per_frame`
-    /// and `lsq_depth` derived).
+    /// and `lsq_depth` derived). A spec matching a blessed point's
+    /// dims and frames canonicalizes to that point, so `8x8/16` is
+    /// exactly [`CoreGeometry::fat`].
     ///
     /// # Errors
     ///
@@ -147,13 +160,25 @@ impl CoreGeometry {
                 if ets == 0 {
                     return Err("zero-sized ET array".into());
                 }
-                CoreGeometry {
+                let derived = CoreGeometry {
                     et_rows,
                     et_cols,
                     frames,
                     rs_per_frame: 128 / ets,
                     lsq_depth: (256 * ets / 16).max(16),
-                }
+                };
+                // A spec naming a blessed die *is* that die: the
+                // blessed points pin lsq_depth (fat caps it at 512
+                // where the linear derivation would say 1024), and a
+                // spelled-out `8x8/16` must reproduce the swept
+                // configuration, not a near-miss of it.
+                [CoreGeometry::mini(), CoreGeometry::prototype(), CoreGeometry::fat()]
+                    .into_iter()
+                    .find(|b| {
+                        (b.et_rows, b.et_cols, b.frames)
+                            == (derived.et_rows, derived.et_cols, derived.frames)
+                    })
+                    .unwrap_or(derived)
             }
         };
         g.validate()?;
@@ -738,10 +763,30 @@ mod tests {
     }
 
     #[test]
+    fn all_frames_mask_covers_every_legal_depth() {
+        // The MAX_FRAMES point fills the whole FrameMask — the naive
+        // `(1 << frames) - 1` overflows there (the fat die).
+        assert_eq!(all_frames_mask(1), 0b1);
+        assert_eq!(all_frames_mask(NUM_FRAMES), 0xff);
+        assert_eq!(all_frames_mask(MAX_FRAMES), FrameMask::MAX);
+        for frames in 1..=MAX_FRAMES {
+            assert_eq!(all_frames_mask(frames).count_ones() as usize, frames);
+        }
+    }
+
+    #[test]
     fn geometry_parser_round_trips_the_blessed_names() {
         for name in ["mini", "prototype", "fat"] {
             assert_eq!(CoreGeometry::parse(name).unwrap().name(), name);
         }
+        // A spec spelling out a blessed die's dims/frames canonicalizes
+        // to that die — same lsq_depth, round-tripping name() — so
+        // TRIPS_GEOMETRY=8x8/16 reproduces the swept fat point whose
+        // lsq_depth (512) differs from the linear derivation (1024).
+        assert_eq!(CoreGeometry::parse("2x2/4").unwrap(), CoreGeometry::mini());
+        assert_eq!(CoreGeometry::parse("4x4/8").unwrap(), CoreGeometry::prototype());
+        assert_eq!(CoreGeometry::parse("8x8/16").unwrap(), CoreGeometry::fat());
+        assert_eq!(CoreGeometry::parse("8x8/16").unwrap().name(), "fat");
         assert!(CoreGeometry::parse("3x3/8").is_err(), "non-power-of-two dims");
         assert!(CoreGeometry::parse("1x2/8").is_err(), "needs ≥4 ETs");
         assert!(CoreGeometry::parse("4x4/0").is_err(), "zero frames");

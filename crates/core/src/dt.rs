@@ -846,7 +846,7 @@ impl DataTile {
         // load (`deferred_mask` is exactly the full scan's
         // `active && !deferred.is_empty()` predicate); the full scan
         // stays available for the equivalence suite.
-        let all: FrameMask = ((1 as FrameMask) << self.frames.len()) - 1;
+        let all: FrameMask = crate::config::all_frames_mask(self.frames.len());
         let mut pending: FrameMask = if cfg.work_lists { self.deferred_mask } else { all };
         while pending != 0 {
             let fi = pending.trailing_zeros() as usize;
@@ -964,7 +964,7 @@ impl DataTile {
         // the frames the full scan could flip (`active && committing
         // && !commit_done`; a frame already done is a no-op there), so
         // the masked walk is the same transition set.
-        let all: FrameMask = ((1 as FrameMask) << self.frames.len()) - 1;
+        let all: FrameMask = crate::config::all_frames_mask(self.frames.len());
         let mut drain: FrameMask = if cfg.work_lists { self.committing_mask } else { all };
         while drain != 0 {
             let fi = drain.trailing_zeros() as usize;

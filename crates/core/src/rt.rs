@@ -448,7 +448,7 @@ impl RegTile {
         // frame order as the full scan, which skips the inactive
         // rest). The toggle exists so the equivalence suite can
         // compare the two walks bit for bit.
-        let all: FrameMask = ((1 as FrameMask) << self.frames.len()) - 1;
+        let all: FrameMask = crate::config::all_frames_mask(self.frames.len());
         let mut pending: FrameMask = if cfg.work_lists { self.active_mask } else { all };
         while pending != 0 {
             let fi = pending.trailing_zeros() as usize;

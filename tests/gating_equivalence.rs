@@ -282,6 +282,30 @@ fn gating_actually_skips_ticks() {
 }
 
 #[test]
+fn fat_die_full_scan_handles_the_max_frames_mask() {
+    use trips_core::{CoreGeometry, MAX_FRAMES};
+    // The 16-frame fat die fills `FrameMask` exactly, so the full-scan
+    // constant must be computed without a shift by the type width — a
+    // debug-build panic (this test runs unoptimized) and an empty mask
+    // in release, where the `work_lists=false` walks silently visit no
+    // frames. Run the boundary die with work lists off, which iterates
+    // the all-frames mask every advancement walk, and require
+    // bit-identity with the work-list schedule.
+    let fat = CoreGeometry::fat();
+    assert_eq!(fat.frames, MAX_FRAMES, "fat must pin the FrameMask boundary");
+    let wl = suite::by_name("vadd").expect("registered");
+    let image = wl.build_trips(Quality::Hand).expect("compiles").image;
+    let run = |work_lists: bool| {
+        let mut cpu =
+            Processor::new(CoreConfig { work_lists, ..CoreConfig::with_geometry(fat) });
+        let stats = cpu.run(&image, MAX_CYCLES).expect("halts");
+        let regs: Vec<u64> = (0..128).map(|r| cpu.arch_reg(ArchReg::new(r))).collect();
+        (stats, regs, cpu.memory().clone())
+    };
+    assert_eq!(run(false), run(true), "full-scan vs work-list walks diverge on the fat die");
+}
+
+#[test]
 fn prototype_geometry_is_bit_identical_to_the_fixed_constants() {
     use trips_core::{
         CoreGeometry, ET_COLS, ET_ROWS, NUM_DTS, NUM_FRAMES, NUM_ITS, NUM_RTS, RS_PER_FRAME,
