@@ -16,23 +16,34 @@
 //!   --smoke      one contended pairing + one compute control, and a
 //!                1→4-core curve (CI)
 //!   --ncores N   run only the N-core curve point (exploration)
+//!   --shared     run the **coherent shared-memory** suite instead:
+//!                every shared-registry workload on dual (and, full
+//!                mode, quad) dies with `ChipConfig::shared_memory`
+//!                on, self-gated on each workload's sequential
+//!                final-state oracle, reporting coherence traffic
+//!                (GetS/GetM, invalidations, deferred write acks),
+//!                directory occupancy/high-water and coherence
+//!                flushes into `BENCH_coherence.json`
 //!
-//! Writes `BENCH_chipsim.json` in the current directory (same
+//! Writes `BENCH_chipsim.json` (or, under `--shared`,
+//! `BENCH_coherence.json`) in the current directory (same
 //! `workloads[].{name, sim_cycles, wall_secs}` shape the perf gate
 //! diffs; curve rows are named `curve_nN` and report **aggregate**
 //! core cycles as `sim_cycles`, so throughput stays comparable as the
 //! die widens). Exits nonzero if the memory-bound pairing shows no
 //! cross-core bank conflicts, or if curve contention fails to grow
 //! with the core count — a chip that cannot contend is not modelling
-//! shared memory.
+//! shared memory. Under `--shared` it exits nonzero if any replica
+//! disagrees with its oracle or a run generates no coherence traffic.
 
 use std::collections::HashMap;
 use std::time::Instant;
 
-use trips_core::{Chip, ChipConfig, CoreConfig, MemBackend, Processor};
+use trips_core::{Chip, ChipConfig, CohSnapshot, CoreConfig, MemBackend, Processor};
 use trips_harness::{num_threads, parallel_map};
 use trips_mem::MemConfig;
 use trips_tasm::Quality;
+use trips_workloads::shared::{SharedProgram, SharedWorkload};
 use trips_workloads::{suite, Workload};
 
 const MAX_CYCLES: u64 = trips_bench::MAX_CYCLES;
@@ -117,9 +128,157 @@ fn run_curve_point(n: usize, solo: &HashMap<&'static str, u64>) -> CurvePerf {
     }
 }
 
+struct SharedPerf {
+    name: String,
+    ncores: usize,
+    chip_cycles: u64,
+    host_secs: f64,
+    coh: CohSnapshot,
+    invals_received: u64,
+    coherence_flushes: u64,
+    oracle_ok: bool,
+}
+
+/// One shared-memory point: the workload on a coherent `n`-core chip,
+/// self-gated on its sequential final-state oracle across every
+/// core's replica.
+fn run_shared_point(wl: &SharedWorkload, n: usize) -> SharedPerf {
+    let SharedProgram { images, expected } = (wl.gen)(n);
+    let mut cfg = ChipConfig::with_cores(n, CoreConfig::prototype(), MemConfig::prototype());
+    cfg.shared_memory = true;
+    let mut chip = Chip::new(cfg);
+    let start = Instant::now();
+    let stats = chip.run(&images, MAX_CYCLES).unwrap_or_else(|e| panic!("{} x{n}: {e}", wl.name));
+    let host_secs = start.elapsed().as_secs_f64();
+    let oracle_ok = expected
+        .iter()
+        .all(|&(addr, want)| (0..n).all(|k| chip.core(k).memory().read_u64(addr) == want));
+    SharedPerf {
+        name: format!("{}_n{n}", wl.name),
+        ncores: n,
+        chip_cycles: stats.cycles,
+        host_secs,
+        coh: stats.coherence.expect("a shared-memory run reports a coherence snapshot"),
+        invals_received: stats
+            .cores
+            .iter()
+            .filter_map(|c| c.mem.as_ref())
+            .map(|m| m.invals_received)
+            .sum(),
+        coherence_flushes: stats.cores.iter().map(|c| c.coherence_flushes).sum(),
+        oracle_ok,
+    }
+}
+
+/// The `--shared` experiment: the shared-memory registry across die
+/// widths, the coherence-traffic table, and `BENCH_coherence.json`.
+fn run_shared_suite(smoke: bool, threads: usize) {
+    let widths: &[usize] = if smoke { &[2] } else { &[2, 4] };
+    let points: Vec<(SharedWorkload, usize)> = suite::shared_memory()
+        .into_iter()
+        .flat_map(|wl| widths.iter().map(move |&n| (wl, n)))
+        .collect();
+    println!(
+        "chipsim: coherent shared-memory suite ({} points, {threads} thread(s))",
+        points.len()
+    );
+    println!();
+    let rows = parallel_map(points, threads, |(wl, n)| run_shared_point(&wl, n));
+
+    println!(
+        "{:<14} {:>12} {:>8} {:>8} {:>8} {:>8} {:>9} {:>9} {:>8}",
+        "workload", "chip cycles", "gets", "getms", "invals", "recv", "dir hw", "flushes", "oracle"
+    );
+    for r in &rows {
+        println!(
+            "{:<14} {:>12} {:>8} {:>8} {:>8} {:>8} {:>9} {:>9} {:>8}",
+            r.name,
+            r.chip_cycles,
+            r.coh.gets,
+            r.coh.getms,
+            r.coh.invals_sent,
+            r.invals_received,
+            r.coh.dir_highwater,
+            r.coherence_flushes,
+            if r.oracle_ok { "ok" } else { "FAIL" },
+        );
+    }
+
+    // Hand-built JSON (no serde in the container); same
+    // `workloads[].{name, sim_cycles, wall_secs}` shape the perf gate
+    // diffs with `--label coherence`.
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str("  \"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"sim_cycles\": {}, \"wall_secs\": {:.6}, \"ncores\": {}, \
+             \"gets\": {}, \"getms\": {}, \"invalidations\": {}, \"inval_acks\": {}, \
+             \"deferred_acks\": {}, \"invals_received\": {}, \"dir_lines\": {}, \
+             \"dir_highwater\": {}, \"coherence_flushes\": {}}}{}\n",
+            r.name,
+            r.chip_cycles,
+            r.host_secs,
+            r.ncores,
+            r.coh.gets,
+            r.coh.getms,
+            r.coh.invals_sent,
+            r.coh.inval_acks,
+            r.coh.deferred_acks,
+            r.invals_received,
+            r.coh.dir_lines,
+            r.coh.dir_highwater,
+            r.coherence_flushes,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_coherence.json", &json).expect("write BENCH_coherence.json");
+    println!("\nwrote BENCH_coherence.json");
+
+    // Self-gates: every replica must match the sequential oracle, and
+    // a coherent run that moved no coherence traffic tested nothing.
+    // GetM traffic is per-row (every shared workload writes);
+    // invalidations are gated suite-wide — a workload with disjoint
+    // write sets (psum) can legitimately send none on a die whose
+    // timing never interleaves a reader between two writes.
+    let mut failed = false;
+    let mut suite_invals = 0;
+    for r in &rows {
+        if !r.oracle_ok {
+            eprintln!("chipsim: FAIL — {} diverged from its sequential oracle", r.name);
+            failed = true;
+        }
+        if r.coh.getms == 0 {
+            eprintln!("chipsim: FAIL — {} generated no coherence traffic", r.name);
+            failed = true;
+        }
+        if r.coh.invals_sent != r.coh.inval_acks {
+            eprintln!(
+                "chipsim: FAIL — {} leaked invalidations ({} sent, {} acked)",
+                r.name, r.coh.invals_sent, r.coh.inval_acks
+            );
+            failed = true;
+        }
+        suite_invals += r.coh.invals_sent;
+    }
+    if suite_invals == 0 {
+        eprintln!("chipsim: FAIL — the whole suite sent no invalidations");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    if args.iter().any(|a| a == "--shared") {
+        run_shared_suite(smoke, num_threads());
+        return;
+    }
     let ncores_override: Option<usize> = args.iter().position(|a| a == "--ncores").map(|i| {
         args.get(i + 1)
             .and_then(|v| v.parse().ok())

@@ -11,7 +11,7 @@
 //!
 //! ```text
 //! protofuzz [--smoke] [--seeds N] [--start S] [--workloads a,b,c]
-//!           [--quality hand|compiled] [--gate on|off]
+//!           [--quality hand|compiled] [--gate on|off] [--coherence]
 //!           [--demo-bug] [--artifact FILE] [--threads N]
 //! ```
 //!
@@ -34,10 +34,20 @@
 //! runs on the [`CoreGeometry::mini`] die — same plan draw stream,
 //! OPN coordinates folded into the smaller mesh
 //! ([`FaultPlan::random_for`]) — so the protocols fuzz on a
-//! non-prototype geometry too. All choices are pure functions of the
-//! seed, so a seed reproduces identically in the sweep, the shrinker,
-//! and a repro test, and every historical seed's plan and
-//! configuration are unchanged by the geometry axis.
+//! non-prototype geometry too. Every sixteenth seed (`seed % 16 ==
+//! 6`, again a disjoint residue) runs the **coherence axis**: a
+//! shared-memory chip (`ChipConfig::shared_memory`) executing one of
+//! the shared-registry workloads with OCN link faults and chain
+//! delays live, the §5g invariant suite (SWMR, directory/cache
+//! agreement, message conservation) checked every tick, and every
+//! core's replica compared against the workload's sequential
+//! final-state oracle. Those seeds pick quad over dual at `seed % 32
+//! == 22` and the mini die at `(seed / 16) % 4 == 1`; `--coherence`
+//! remaps *all* seeds onto this axis (the nightly deep-fuzz
+//! configuration). All choices are pure functions of the seed, so a
+//! seed reproduces identically in the sweep, the shrinker, and a
+//! repro test, and every historical seed's plan and configuration are
+//! unchanged by the geometry axis.
 //!
 //! Under the default `--gate on`, the fuzzed cores run with epoch
 //! skipping live (`CoreConfig::prototype()` sets `skip_epochs`), so
@@ -60,6 +70,7 @@ struct Args {
     workloads: Vec<String>,
     quality: Quality,
     gate: bool,
+    coherence: bool,
     demo_bug: bool,
     artifact: String,
     threads: usize,
@@ -73,6 +84,7 @@ fn parse_args() -> Result<Args, String> {
         workloads: vec!["dct8x8".into(), "matrix".into(), "sha".into(), "vadd".into()],
         quality: Quality::Hand,
         gate: true,
+        coherence: false,
         demo_bug: false,
         artifact: "protofuzz-failure.json".into(),
         threads: num_threads(),
@@ -106,6 +118,7 @@ fn parse_args() -> Result<Args, String> {
                     g => return Err(format!("unknown gate mode {g:?} (on|off)")),
                 }
             }
+            "--coherence" => args.coherence = true,
             "--demo-bug" => args.demo_bug = true,
             "--artifact" => args.artifact = value("--artifact")?,
             "--threads" => {
@@ -171,6 +184,20 @@ fn chip_co_indices(seed: u64, slots: usize, n: usize) -> Vec<usize> {
     (0..slots).map(|s| ((seed / 8 + s as u64) % n as u64) as usize).collect()
 }
 
+/// The coherence-axis configuration for a seed — workload, core
+/// count, die — as a pure function of the seed, so the shrinker and
+/// any repro test reconstruct the exact case. Under `--coherence`
+/// (every seed remapped) the workload rotates per seed and quad dies
+/// alternate with dual; on the default axis (`seed % 16 == 6`) the
+/// choices use disjoint seed bits so historical residues stay put.
+fn coherence_case(seed: u64, remapped: bool) -> (String, usize, CoreGeometry) {
+    let wls = suite::shared_memory();
+    let wi = if remapped { seed % wls.len() as u64 } else { (seed / 16) % wls.len() as u64 };
+    let quad = if remapped { seed % 2 == 1 } else { seed % 32 == 22 };
+    let geom = if (seed / 16) % 4 == 1 { CoreGeometry::mini() } else { CoreGeometry::prototype() };
+    (wls[wi as usize].name.to_string(), if quad { 4 } else { 2 }, geom)
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -210,6 +237,30 @@ fn main() -> ExitCode {
     );
 
     let failures: Vec<FuzzFailure> = parallel_map(cases, args.threads, |(seed, oi)| {
+        if args.coherence || seed % 16 == 6 {
+            let (name, ncores, geom) = coherence_case(seed, args.coherence);
+            let plan = FaultPlan::random_for(seed, geom);
+            let why = fuzz::run_shared_against_oracle(
+                &name,
+                ncores,
+                geom,
+                Some(&plan),
+                args.gate,
+                args.max_cycles,
+            )
+            .err()?;
+            return Some(FuzzFailure {
+                seed,
+                workload: name,
+                quality: args.quality,
+                nuca: false,
+                co_runner: None,
+                shared_cores: Some(ncores),
+                geom,
+                plan,
+                why,
+            });
+        }
         let oracle = &oracles[oi];
         let chip = seed % 8 == 5;
         let nuca = seed % 4 == 3;
@@ -231,6 +282,7 @@ fn main() -> ExitCode {
                 nuca,
                 co_runner: (!co.is_empty())
                     .then(|| co.iter().map(|o| o.name.as_str()).collect::<Vec<_>>().join(",")),
+                shared_cores: None,
                 geom,
                 plan,
                 why,
@@ -252,10 +304,11 @@ fn main() -> ExitCode {
 
     eprintln!("protofuzz: {} failing plan(s); minimizing the first", failures.len());
     for f in failures.iter().take(10) {
-        let mode = match &f.co_runner {
-            Some(co) => format!(", chip with {co}"),
-            None if f.nuca => ", nuca".into(),
-            None => String::new(),
+        let mode = match (f.shared_cores, &f.co_runner) {
+            (Some(n), _) => format!(", shared-memory chip x{n}"),
+            (None, Some(co)) => format!(", chip with {co}"),
+            (None, None) if f.nuca => ", nuca".into(),
+            (None, None) => String::new(),
         };
         let mode = format!("{mode}, {}", f.geom.name());
         eprintln!(
@@ -268,6 +321,35 @@ fn main() -> ExitCode {
     }
 
     let fail = &failures[0];
+    if let Some(ncores) = fail.shared_cores {
+        // Coherence-axis failure: shrink against the shared-memory
+        // oracle predicate and emit the shared artifact and snippet.
+        let (shrunk, shrunk_why) = fuzz::shrink(fail.plan.clone(), fail.why.clone(), |p| {
+            fuzz::run_shared_against_oracle(
+                &fail.workload,
+                ncores,
+                fail.geom,
+                Some(p),
+                args.gate,
+                args.max_cycles,
+            )
+            .err()
+        });
+        eprintln!("protofuzz: shrunk plan:\n{}", shrunk.to_rust_literal());
+        eprintln!("protofuzz: still fails with: {}", first_line(&shrunk_why));
+        let artifact =
+            fuzz::failure_artifact_shared(fail, &shrunk, &shrunk_why, args.gate, args.max_cycles);
+        match std::fs::write(&args.artifact, &artifact) {
+            Ok(()) => eprintln!("protofuzz: wrote failure artifact to {}", args.artifact),
+            Err(e) => eprintln!("protofuzz: writing {}: {e}", args.artifact),
+        }
+        println!("// ---- paste into tests/fault_injection.rs ----");
+        println!(
+            "{}",
+            fuzz::repro_snippet_shared(&fail.workload, ncores, fail.geom, &shrunk, &shrunk_why)
+        );
+        return ExitCode::FAILURE;
+    }
     let oracle = &oracles[args.workloads.iter().position(|w| *w == fail.workload).unwrap_or(0)];
     // The co-runner field is the comma-joined slot list; map each name
     // back to its oracle for the shrinker and the artifact.

@@ -23,7 +23,8 @@ use trips_isa::mem::SparseMem;
 use trips_isa::{ArchReg, ProgramImage};
 use trips_mem::MemConfig;
 use trips_tasm::{blockinterp, Quality};
-use trips_workloads::Workload;
+use trips_workloads::shared::SharedProgram;
+use trips_workloads::{suite, Workload};
 
 /// Cycle budget for one fuzzed run. Random plans slow a run down
 /// (stall bursts, chain delays, flush storms) but never wedge it —
@@ -181,6 +182,84 @@ pub fn run_chip_against_oracles(
             .map_err(|e| format!("core {k} ({}): {e}", oracle.name))?;
     }
     Ok(stats)
+}
+
+/// Runs shared-memory workload `name` on a **coherent** `ncores`-core
+/// chip (die `geom`) under `plan` — invariants, including the §5g
+/// coherence suite (SWMR, directory/cache agreement, message
+/// conservation), checked every tick — then checks every core's
+/// memory replica against the workload's sequential final-state
+/// oracle and requires all replicas byte-identical. Fault plans still
+/// perturb timing only, so under *any* plan the oracle must hold:
+/// a miss here indicts the coherence protocol, not the workload.
+///
+/// # Errors
+///
+/// A description of the first failure: simulation error (hang,
+/// invariant violation) or a replica that disagrees with the oracle.
+///
+/// # Panics
+///
+/// Panics if `name` is not in the shared registry — the harness's
+/// fault, not the protocols'.
+pub fn run_shared_against_oracle(
+    name: &str,
+    ncores: usize,
+    geom: CoreGeometry,
+    plan: Option<&FaultPlan>,
+    gate: bool,
+    max_cycles: u64,
+) -> Result<ChipStats, String> {
+    let wl = suite::shared_by_name(name)
+        .unwrap_or_else(|| panic!("unknown shared-memory workload {name:?}"));
+    let SharedProgram { images, expected } = (wl.gen)(ncores);
+    let mut chip = Chip::new(shared_chip_config(ncores, geom, plan, gate));
+    let stats = chip.run(&images, max_cycles).map_err(|e| e.to_string())?;
+    compare_shared_state(&chip, &expected)?;
+    Ok(stats)
+}
+
+/// The chip configuration every shared-memory fuzz case runs:
+/// coherence on, invariants on, the plan in every core.
+fn shared_chip_config(
+    ncores: usize,
+    geom: CoreGeometry,
+    plan: Option<&FaultPlan>,
+    gate: bool,
+) -> ChipConfig {
+    let core_cfg = CoreConfig {
+        gate_ticks: gate,
+        faults: plan.cloned(),
+        check_invariants: true,
+        ..CoreConfig::with_geometry(geom)
+    };
+    let mut cfg = ChipConfig::with_cores(ncores, core_cfg, MemConfig::prototype());
+    cfg.shared_memory = true;
+    cfg
+}
+
+/// Checks every replica of a finished coherent chip against the
+/// sequential oracle, then requires replica convergence (the value
+/// plane applied every drained store to every replica in one global
+/// order, so any divergence is a propagation bug).
+fn compare_shared_state(chip: &Chip, expected: &[(u64, u64)]) -> Result<(), String> {
+    for &(addr, want) in expected {
+        for k in 0..chip.ncores() {
+            let got = chip.core(k).memory().read_u64(addr);
+            if got != want {
+                return Err(format!(
+                    "core {k}'s replica at {addr:#x}: got {got:#x}, the sequential oracle says \
+                     {want:#x}"
+                ));
+            }
+        }
+    }
+    for k in 1..chip.ncores() {
+        if chip.core(0).memory() != chip.core(k).memory() {
+            return Err(format!("core {k}'s memory replica diverged from core 0's"));
+        }
+    }
+    Ok(())
 }
 
 /// Compares a finished core against the oracle: every architectural
@@ -346,6 +425,10 @@ pub struct FuzzFailure {
     /// For dual-core chip cases: the co-runner workload on core 1
     /// (the run then used the shared NUCA regardless of `nuca`).
     pub co_runner: Option<String>,
+    /// For coherence-axis cases: the core count of the shared-memory
+    /// chip (`workload` then names a shared-registry entry and the
+    /// run compared every replica against its final-state oracle).
+    pub shared_cores: Option<usize>,
     /// Tile-array geometry the failing run used (chip cases are
     /// always the prototype die).
     pub geom: CoreGeometry,
@@ -463,6 +546,86 @@ pub fn failure_artifact_chip(
     let _ = writeln!(s, "  \"chrome_trace\": {}", chip.chrome_trace().trim_end());
     s.push('}');
     s.push('\n');
+    s
+}
+
+/// [`failure_artifact`] for a coherence-axis case: re-runs the shrunk
+/// plan on the shared-memory chip with every flight recorder on and
+/// embeds the per-core hang reports, the final coherence snapshot,
+/// and the combined Chrome trace.
+pub fn failure_artifact_shared(
+    fail: &FuzzFailure,
+    shrunk: &FaultPlan,
+    shrunk_why: &str,
+    gate: bool,
+    max_cycles: u64,
+) -> String {
+    let ncores = fail.shared_cores.expect("a shared-axis failure records its core count");
+    let wl = suite::shared_by_name(&fail.workload).expect("shared workload registered");
+    let SharedProgram { images, .. } = (wl.gen)(ncores);
+    let mut chip = Chip::new(shared_chip_config(ncores, fail.geom, Some(shrunk), gate));
+    chip.enable_tracing(1 << 14);
+    let rerun = chip.run(&images, max_cycles);
+    let hangs: Vec<String> =
+        (0..ncores).map(|k| format!("core {k}: {}", chip.core(k).diagnose().summary())).collect();
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"workload\": \"{}\",", json_escape(&fail.workload));
+    let _ = writeln!(s, "  \"quality\": \"{:?}\",", fail.quality);
+    let _ = writeln!(s, "  \"geometry\": \"{}\",", fail.geom.name());
+    let _ = writeln!(s, "  \"backend\": \"shared-chip\",");
+    let _ = writeln!(s, "  \"cores\": {ncores},");
+    let _ = writeln!(s, "  \"seed\": {},", fail.seed);
+    let _ = writeln!(s, "  \"failure\": \"{}\",", json_escape(&fail.why));
+    let _ = writeln!(s, "  \"plan\": \"{}\",", json_escape(&fail.plan.to_rust_literal()));
+    let _ = writeln!(s, "  \"shrunk_plan\": \"{}\",", json_escape(&shrunk.to_rust_literal()));
+    let _ = writeln!(s, "  \"shrunk_failure\": \"{}\",", json_escape(shrunk_why));
+    let _ = writeln!(
+        s,
+        "  \"rerun\": \"{}\",",
+        json_escape(&match &rerun {
+            Ok(st) => format!(
+                "ran to halt: {} chip cycles, coherence {:?}",
+                st.cycles,
+                st.coherence.unwrap_or_default()
+            ),
+            Err(e) => e.to_string(),
+        })
+    );
+    let _ = writeln!(s, "  \"hang_report\": \"{}\",", json_escape(&hangs.join("; ")));
+    let _ = writeln!(s, "  \"chrome_trace\": {}", chip.chrome_trace().trim_end());
+    s.push('}');
+    s.push('\n');
+    s
+}
+
+/// [`repro_snippet`] for a coherence-axis failure: pastes into
+/// `tests/fault_injection.rs`, which provides
+/// `assert_shared_plan_matches_oracle`.
+pub fn repro_snippet_shared(
+    workload: &str,
+    ncores: usize,
+    geom: CoreGeometry,
+    plan: &FaultPlan,
+    why: &str,
+) -> String {
+    let mut s = String::new();
+    let gname = geom.name();
+    let ident: String = format!("{workload}_{ncores}c_{gname}")
+        .chars()
+        .map(|c| if c.is_alphanumeric() { c } else { '_' })
+        .collect();
+    let _ = writeln!(s, "/// Minimized protofuzz coherence reproducer (seed {:#x}).", plan.seed);
+    for line in why.lines().take(4) {
+        let _ = writeln!(s, "/// Failure: {line}");
+    }
+    let _ = writeln!(s, "#[test]");
+    let _ = writeln!(s, "fn protofuzz_repro_shared_{ident}_{:x}() {{", plan.seed);
+    let _ = writeln!(s, "    let plan = {};", indent_continuation(&plan.to_rust_literal(), 4));
+    let _ = writeln!(
+        s,
+        "    assert_shared_plan_matches_oracle(\"{workload}\", {ncores}, \"{gname}\", &plan);"
+    );
+    let _ = writeln!(s, "}}");
     s
 }
 

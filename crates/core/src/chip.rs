@@ -23,17 +23,30 @@
 //! order preserved) and the priority rotates every cycle, so the wait
 //! for a contested bank is bounded by `ncores − 1` cycles.
 //!
-//! **What is (and is not) coherent.** Nothing is: the cores run
-//! disjoint address spaces — each adapter offsets its physical
+//! **What is (and is not) coherent.** By default, nothing: the cores
+//! run disjoint address spaces — each adapter offsets its physical
 //! addresses by a per-core base so lines never alias in the shared
 //! bank tags — and data authority stays with each core's own memory
 //! image (the backend is timing-only, as in DESIGN.md §5d).
 //! Contention is therefore purely a *timing* interaction: per-core
 //! architectural results are independent of the co-runner, which the
 //! equivalence suite asserts across workload pairs.
+//!
+//! With [`ChipConfig::shared_memory`] set, the cores instead share
+//! one physical address space under a directory MSI protocol: each
+//! NUCA bank carries a directory slice over the lines it homes,
+//! D-side fills travel as GetS, store writebacks as GetM, and the
+//! directory invalidates remote copies over the same OCN. Values
+//! still follow the timing-only discipline — every committed store is
+//! propagated to every core's memory replica in one global order (the
+//! chip's *value plane*), while the protocol messages decide *when*
+//! fills and store acks complete (the *timing plane*). See DESIGN.md
+//! §5g for the protocol tables and the invariant arguments.
+
+use std::collections::BTreeMap;
 
 use trips_isa::ProgramImage;
-use trips_mem::{MemConfig, SecondarySystem};
+use trips_mem::{CohSnapshot, DirView, MemConfig, SecondarySystem};
 use trips_micronet::MAX_TAGS;
 
 use crate::config::TileMask;
@@ -62,6 +75,12 @@ pub struct ChipConfig {
     /// serial chips are bit-identical (pinned by
     /// `tests/chip_equivalence.rs`).
     pub threaded: Option<bool>,
+    /// Run the cores in one coherent physical address space (MSI
+    /// directory protocol at the NUCA banks) instead of the default
+    /// disjoint multiprogrammed spaces. Off must be — and is, pinned
+    /// by `tests/chip_equivalence.rs` — bit-identical to a chip built
+    /// before this field existed.
+    pub shared_memory: bool,
 }
 
 impl ChipConfig {
@@ -71,13 +90,14 @@ impl ChipConfig {
             cores: vec![CoreConfig::prototype(); 2],
             mem: MemConfig::prototype(),
             threaded: None,
+            shared_memory: false,
         }
     }
 
     /// A chip of `n` identical cores (1..=16; the OCN geometry tiles
     /// a twenty-port prototype block per core pair).
     pub fn with_cores(n: usize, core: CoreConfig, mem: MemConfig) -> ChipConfig {
-        ChipConfig { cores: vec![core; n], mem, threaded: None }
+        ChipConfig { cores: vec![core; n], mem, threaded: None, shared_memory: false }
     }
 
     /// An `n`-core die of prototype cores on the prototype NUCA — the
@@ -105,6 +125,10 @@ pub struct ChipStats {
     pub ocn_tag_highwater: Vec<usize>,
     /// Per-core OCN `(injected, ejected)` packet counts.
     pub ocn_tag_counts: Vec<(u64, u64)>,
+    /// Coherence-protocol counters (`Some` only on a
+    /// [`ChipConfig::shared_memory`] chip, keeping the off-mode stats
+    /// bit-identical to the pre-coherence chip).
+    pub coherence: Option<CohSnapshot>,
 }
 
 impl ChipStats {
@@ -171,7 +195,11 @@ impl Chip {
 
     fn build_sys(cfg: &ChipConfig) -> SecondarySystem {
         let n = cfg.cores.len();
-        let mut sys = SecondarySystem::for_cores(cfg.mem.clone(), n);
+        let mut sys = if cfg.shared_memory {
+            SecondarySystem::for_cores_shared(cfg.mem.clone(), n)
+        } else {
+            SecondarySystem::for_cores(cfg.mem.clone(), n)
+        };
         if let Some(plan) = &cfg.cores[0].faults {
             sys.set_ocn_fault(plan.ocn_fault().as_ref());
         }
@@ -276,7 +304,24 @@ impl Chip {
             }
             // `start` rebuilt the core-owned backend from its config;
             // a chip core instead adapts to the shared system.
-            core.memsys = MemSys::shared(k, n, self.cfg.cores[k].geometry);
+            core.memsys = if self.cfg.shared_memory {
+                MemSys::shared_coherent(k, n, self.cfg.cores[k].geometry)
+            } else {
+                MemSys::shared(k, n, self.cfg.cores[k].geometry)
+            };
+        }
+        if self.cfg.shared_memory {
+            // One physical address space: every core's memory replica
+            // is the union of every live image, loaded in slot order —
+            // identical across cores by construction, which is the
+            // value plane's starting condition (store propagation
+            // keeps the replicas identical from here on).
+            for core in self.cores.iter_mut() {
+                core.mem = trips_isa::mem::SparseMem::new();
+                for image in images.iter().flatten() {
+                    core.mem.load_image(image);
+                }
+            }
         }
         for (k, image) in images.iter().enumerate() {
             if image.is_none() {
@@ -337,6 +382,7 @@ impl Chip {
             bank_conflict_stalls: self.arb.conflict_stalls.clone(),
             ocn_tag_highwater: tag_hw[..n].to_vec(),
             ocn_tag_counts: tag_counts[..n].to_vec(),
+            coherence: self.cfg.shared_memory.then(|| self.sys.coherence()),
         }
     }
 
@@ -410,6 +456,9 @@ impl Chip {
                 core.tick_with_mask(self.scans[k].0);
             }
         }
+        if self.cfg.shared_memory {
+            self.propagate_stores(now);
+        }
         if self.cores.iter().any(|c| !c.memsys.quiet()) {
             self.arb.begin_cycle();
             for i in 0..n {
@@ -425,6 +474,30 @@ impl Chip {
         }
         self.rr = (self.rr + 1) % n;
         self.cycle += 1;
+    }
+
+    /// The value plane of the coherent chip: every store drained at
+    /// commit this cycle is applied to **every** core's memory
+    /// replica — the writer's included — in one global order (writer
+    /// core index, then drain order within the core), so same-cycle
+    /// conflicting stores resolve identically everywhere and the
+    /// replicas stay byte-for-byte equal. A serial phase, run after
+    /// the (possibly threaded) core-tick join. Remote cores also take
+    /// the speculation repair: cached copies of the touched lines are
+    /// dropped, in-flight fills poisoned, and any speculatively
+    /// performed overlapping load squashed via a violation flush.
+    fn propagate_stores(&mut self, now: u64) {
+        for k in 0..self.cores.len() {
+            let props = self.cores[k].memsys.take_propagations();
+            for (ea, val, bytes) in props {
+                for j in 0..self.cores.len() {
+                    self.cores[j].mem.write_uint(ea, val, bytes as u32);
+                    if j != k {
+                        self.cores[j].shared_invalidate(now, ea, bytes);
+                    }
+                }
+            }
+        }
     }
 
     /// Ticks until every core quiesces (or `budget` cycles elapse —
@@ -464,7 +537,120 @@ impl Chip {
                 violation: format!("core {k}: {}", v.detail),
             })?;
         }
-        self.audit().map_err(|e| SimError::Invariant { cycle: self.cycle, violation: e })
+        self.audit().map_err(|e| SimError::Invariant { cycle: self.cycle, violation: e })?;
+        if self.cfg.shared_memory {
+            self.check_coherence()
+                .map_err(|e| SimError::Invariant { cycle: self.cycle, violation: e })?;
+        }
+        Ok(())
+    }
+
+    /// The coherence invariant suite, run every checked tick of a
+    /// shared-memory chip (see DESIGN.md §5g for the arguments):
+    ///
+    /// 1. **Directory sanity** — no duplicate sharers, the owner is
+    ///    not also a sharer, pending victims are disjoint from the
+    ///    sharer list, and a stable M entry (owner set, no pending
+    ///    invalidations) lists no sharers.
+    /// 2. **Inclusion / agreement** — every line a DT cache actually
+    ///    holds is listed for that DT's port at the line's home
+    ///    directory (as owner, sharer, or pending victim). The
+    ///    directory may over-approximate (silent evictions), never
+    ///    under-approximate.
+    /// 3. **SWMR** — a stable M line has exactly one cached copy:
+    ///    the owner's. (With 2., any other copy would have to be
+    ///    listed, and 1. says a stable M entry lists nobody else.)
+    /// 4. **Message conservation** — unacknowledged invalidations
+    ///    equal invalidations sent minus acks counted, and every
+    ///    entry mid-invalidation parks exactly one deferred write
+    ///    ack.
+    fn check_coherence(&self) -> Result<(), String> {
+        let views = self.sys.dir_views();
+        let coh = self.sys.coherence();
+        let mut by_line: BTreeMap<u64, &DirView> = BTreeMap::new();
+        for v in &views {
+            if let Some(o) = v.owner_port {
+                if v.sharer_ports.contains(&o) {
+                    return Err(format!(
+                        "dir bank {} line {:#x}: owner port {o} also on the sharer list",
+                        v.bank, v.line
+                    ));
+                }
+            }
+            for (i, &s) in v.sharer_ports.iter().enumerate() {
+                if v.sharer_ports[..i].contains(&s) {
+                    return Err(format!(
+                        "dir bank {} line {:#x}: duplicate sharer port {s}",
+                        v.bank, v.line
+                    ));
+                }
+            }
+            if v.pending_ports.iter().any(|p| v.sharer_ports.contains(p)) {
+                return Err(format!(
+                    "dir bank {} line {:#x}: a pending victim is still on the sharer list",
+                    v.bank, v.line
+                ));
+            }
+            if v.owner_port.is_some() && v.pending_ports.is_empty() && !v.sharer_ports.is_empty() {
+                return Err(format!(
+                    "dir bank {} line {:#x}: stable M (owner {:?}) with sharers {:?}",
+                    v.bank, v.line, v.owner_port, v.sharer_ports
+                ));
+            }
+            by_line.insert(v.line, v);
+        }
+        // Inclusion, and SWMR via the holder sets it implies.
+        for (k, core) in self.cores.iter().enumerate() {
+            for dt in &core.dts {
+                let port = core.memsys.dt_port(dt.index) as u16;
+                for line in dt.cached_lines() {
+                    let Some(v) = by_line.get(&line) else {
+                        return Err(format!(
+                            "core {k} DT{} caches line {line:#x} with no directory entry",
+                            dt.index
+                        ));
+                    };
+                    let listed = v.owner_port == Some(port)
+                        || v.sharer_ports.contains(&port)
+                        || v.pending_ports.contains(&port);
+                    if !listed {
+                        return Err(format!(
+                            "core {k} DT{} caches line {line:#x} but the home directory \
+                             (bank {}) does not list port {port}: owner {:?} sharers {:?} \
+                             pending {:?}",
+                            dt.index, v.bank, v.owner_port, v.sharer_ports, v.pending_ports
+                        ));
+                    }
+                    if let Some(o) = v.owner_port {
+                        if v.pending_ports.is_empty() && o != port {
+                            return Err(format!(
+                                "SWMR violated: line {line:#x} is stable M at port {o} but \
+                                 core {k} DT{} (port {port}) holds a copy",
+                                dt.index
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        // Conservation.
+        let pending_total: u64 = views.iter().map(|v| v.pending_ports.len() as u64).sum();
+        if pending_total != coh.invals_sent - coh.inval_acks {
+            return Err(format!(
+                "invalidation conservation broken: {pending_total} pending victims != \
+                 {} sent - {} acked",
+                coh.invals_sent, coh.inval_acks
+            ));
+        }
+        let mid_inval = views.iter().filter(|v| !v.pending_ports.is_empty()).count();
+        if mid_inval != self.sys.dir_deferred() {
+            return Err(format!(
+                "deferred-ack conservation broken: {mid_inval} entries mid-invalidation != \
+                 {} parked write acks",
+                self.sys.dir_deferred()
+            ));
+        }
+        Ok(())
     }
 
     /// The chip-wide conservation audit (see
@@ -480,11 +666,20 @@ impl Chip {
             .iter()
             .map(|c| c.memsys.flow())
             .fold((0u64, 0u64), |(i, d), (ci, cd)| (i + ci, d + cd));
-        let in_system = self.sys.in_system() as u64;
-        if issued - delivered != in_system {
+        // Coherence tokens (invalidations and their acks) travel the
+        // OCN outside the request/response ledger, and a write ack
+        // parked at the directory mid-invalidation is *outside* the
+        // system until released — both terms are zero on a
+        // non-coherent chip, degenerating to the original equation.
+        let in_system = self.sys.in_system() as i64;
+        let flow = issued as i64 - delivered as i64;
+        let expect = in_system - self.sys.coh_tokens_in_system() + self.sys.dir_deferred() as i64;
+        if flow != expect {
             return Err(format!(
                 "chip conservation broken: Σissued {issued} - Σdelivered {delivered} \
-                 != in-system {in_system}"
+                 != in-system {in_system} - coherence tokens {} + parked acks {}",
+                self.sys.coh_tokens_in_system(),
+                self.sys.dir_deferred()
             ));
         }
         Ok(())

@@ -125,6 +125,11 @@ struct Mshr {
     line: u64,
     fill_at: u64,
     waiting: Vec<ExecLoad>,
+    /// The line was invalidated while the fill was in flight
+    /// (coherent chips only): the fill still completes for timing —
+    /// the waiting loads respond — but skips the tag install, so the
+    /// cache never holds a line the directory no longer lists.
+    poisoned: bool,
 }
 
 /// One data tile.
@@ -423,6 +428,92 @@ impl DataTile {
         self.lru[set] = (self.lru[set] + 1) % cfg.l1d_ways as u8;
     }
 
+    /// Drops the cached copy of `ea`'s line, if held (coherent chips:
+    /// directory invalidations and value-plane store propagation).
+    fn drop_line(&mut self, ea: u64, cfg: &CoreConfig) {
+        let (set, tag) = self.set_index(ea, cfg);
+        if let Some(w) = self.tags[set].iter().position(|&t| t == Some(tag)) {
+            self.tags[set][w] = None;
+        }
+    }
+
+    /// Every line this DT's cache currently holds (global line
+    /// indices), for the chip's directory-inclusion invariant. The
+    /// stored tag is `line / num_dts` and this DT only caches lines
+    /// with `line % num_dts == index`, so the line reconstructs
+    /// exactly.
+    pub(crate) fn cached_lines(&self) -> Vec<u64> {
+        let nd = self.geom.num_dts() as u64;
+        let mut lines = Vec::new();
+        for ways in &self.tags {
+            for tag in ways.iter().flatten() {
+                lines.push(tag * nd + u64::from(self.index));
+            }
+        }
+        lines
+    }
+
+    /// A remote core's committed store landed in this core's memory
+    /// replica (coherent chips, value plane). Drops any cached copy of
+    /// the touched line(s) this DT homes, poisons overlapping in-flight
+    /// fills, and — the speculation repair — squashes from the oldest
+    /// non-committing block that already performed an overlapping
+    /// load, exactly like a memory-ordering violation (§3.5): that
+    /// load observed the old value, so the block and everything
+    /// younger re-execute against the updated replica. Blocks already
+    /// committing are exempt — their loads are architecturally
+    /// committed, and the store propagation order makes that the
+    /// sequential order.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn shared_invalidate(
+        &mut self,
+        now: u64,
+        ea: u64,
+        bytes: usize,
+        cfg: &CoreConfig,
+        nets: &mut Nets,
+        stats: &mut CoreStats,
+        tracer: &mut Tracer,
+    ) {
+        let dt = self.index;
+        let nd = self.geom.num_dts() as u64;
+        let (s0, s1) = (ea, ea + bytes as u64);
+        for line in (s0 >> 6)..=((s1 - 1) >> 6) {
+            if line % nd != u64::from(self.index) {
+                continue;
+            }
+            self.drop_line(line << 6, cfg);
+            for m in self.mshrs.iter_mut().filter(|m| m.line == line) {
+                m.poisoned = true;
+            }
+        }
+        let mut victim: Option<(FrameId, Gen)> = None;
+        for &yf in &self.order {
+            let f = &self.frames[yf.0 as usize];
+            if f.committing {
+                continue;
+            }
+            let overlaps = f.performed_loads.iter().any(|l| {
+                let (l0, l1) = (l.ea, l.ea + u64::from(l.bytes));
+                l0 < s1 && s0 < l1
+            });
+            if overlaps {
+                victim = Some((yf, f.gen));
+                break;
+            }
+        }
+        if let Some((frame, gen)) = victim {
+            stats.coherence_flushes += 1;
+            tracer.record(now, || TraceKind::Violation { dt, frame });
+            nets.gsn_dt.send(
+                now,
+                dt_chain_pos(self.index as usize),
+                0,
+                GsnMsg::Violation { frame, gen },
+            );
+        }
+    }
+
     fn deppred_index(&self, ea: u64) -> usize {
         ((ea >> 3) as usize ^ (ea >> 13) as usize) % self.deppred.len().max(1)
     }
@@ -530,6 +621,19 @@ impl DataTile {
             }
         }
 
+        // Directory invalidations (coherent chips only). The copy is
+        // dropped — tag and in-flight fills both — *before* the ack is
+        // queued; the ack enters the OCN in the chip's memory phase,
+        // after every core tick of this cycle, so the home directory
+        // can only count an ack for a copy that is already gone.
+        while let Some(line) = memsys.pop_inval(MemClient::Dt(self.index)) {
+            self.drop_line(line << 6, cfg);
+            for m in self.mshrs.iter_mut().filter(|m| m.line == line) {
+                m.poisoned = true;
+            }
+            memsys.ack_inval(MemClient::Dt(self.index), line);
+        }
+
         // Secondary-system completions (only the NUCA backend queues
         // events; the perfect backend resolves fills by timestamp).
         while let Some(ev) = memsys.pop_event(MemClient::Dt(self.index)) {
@@ -556,7 +660,9 @@ impl DataTile {
         while k < self.mshrs.len() {
             if self.mshrs[k].fill_at <= now {
                 let m = self.mshrs.swap_remove(k);
-                self.install(m.line << 6, cfg);
+                if !m.poisoned {
+                    self.install(m.line << 6, cfg);
+                }
                 for ld in m.waiting {
                     self.respond_q.push((now + cfg.l1d_hit_lat, ld));
                 }
@@ -670,7 +776,7 @@ impl DataTile {
                     FillPath::At(t) => t,
                     FillPath::Queued => PENDING_FILL,
                 };
-                self.mshrs.push(Mshr { line, fill_at, waiting: vec![ld] });
+                self.mshrs.push(Mshr { line, fill_at, waiting: vec![ld], poisoned: false });
             } else {
                 // MSHR full: model a structural stall by serializing
                 // behind the earliest fill.
@@ -944,11 +1050,19 @@ impl DataTile {
                 if !s.nullified {
                     mem.write_uint(s.ea, s.val, s.bytes);
                     stats.stores += 1;
-                    self.install(s.ea, cfg);
+                    // A coherent chip must not adopt the line here:
+                    // the GetM is still in flight, and a silent
+                    // install would put a copy in the cache the home
+                    // directory does not list (inclusion). The writer
+                    // re-acquires the line through a GetS fill like
+                    // any other reader.
+                    if !memsys.is_coherent() {
+                        self.install(s.ea, cfg);
+                    }
                     // ESN-style store completion: under the NUCA
                     // backend the line is written back and commit
                     // completion waits for the acknowledgement.
-                    if memsys.store_write(self.index, fi as u8, s.ea) {
+                    if memsys.store_write(self.index, fi as u8, s.ea, s.val, s.bytes as usize) {
                         self.frames[fi].acks_pending += 1;
                     }
                     break 'drain; // the store port is spent this cycle

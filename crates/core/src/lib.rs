@@ -83,4 +83,5 @@ pub use proc::{GatingStats, Processor, SimError};
 pub use profile::{PhaseAcc, TickPhase, TickProfile};
 pub use stats::{BlockTiming, CoreStats, Histogram, MemSysStats, ProtocolStats};
 pub use trace::{OpnClass, TraceEvent, TraceKind, Tracer};
+pub use trips_mem::CohSnapshot;
 pub use trips_micronet::FaultPort;

@@ -42,7 +42,7 @@
 
 use std::collections::VecDeque;
 
-use trips_mem::{MemReq, OcnGeometry, SecondarySystem};
+use trips_mem::{MemReq, OcnGeometry, SecondarySystem, ID_COH};
 
 use crate::config::{CoreConfig, CoreGeometry, MemBackend};
 use crate::stats::MemSysStats;
@@ -118,6 +118,15 @@ impl PortMap {
             phys_base: (k as u64) << 40,
             block: geo.core_block(k),
         }
+    }
+
+    /// The shared-memory mapping for core `k`: the same port slice as
+    /// [`PortMap::for_core`], but `phys_base = 0` — every core names
+    /// the **same** physical lines, which is the whole point of the
+    /// coherent mode (the directory, not address disjointness, keeps
+    /// the bank tags honest).
+    pub(crate) fn for_core_shared(k: usize, ncores: usize) -> PortMap {
+        PortMap { phys_base: 0, ..PortMap::for_core(k, ncores) }
     }
 
     fn port_of(&self, c: usize, num_dts: usize) -> usize {
@@ -220,17 +229,37 @@ impl BankArb {
 /// solo `MemSys` or the chip).
 struct Adapter {
     ports: PortMap,
+    /// Coherent (shared-memory) mode: D-side fills become MSI GetS,
+    /// store writebacks become GetM, and received invalidations are
+    /// acknowledged from the [`Adapter::coh_pending`] side channel.
+    coherent: bool,
     /// Client split point (DTs before, ITs after), from the geometry.
     num_dts: usize,
     /// Total clients (`num_dts + num_its`).
     num_clients: usize,
     /// Per-client requests the network has not accepted yet.
     pending: Vec<VecDeque<MemReq>>,
+    /// Per-client invalidation acks awaiting injection. Coherence
+    /// tokens live entirely outside the request/response ledger
+    /// (`outstanding`/`issued`/`delivered` never see them); they take
+    /// priority over `pending` so a stalled writeback can never wedge
+    /// the ack that would release it.
+    coh_pending: Vec<VecDeque<MemReq>>,
+    /// Per-client invalidated lines the owning DT has not consumed
+    /// yet. The DT drops its tag *before* the ack is queued (see
+    /// [`MemSys::ack_inval`]), which is what makes the chip's SWMR
+    /// invariant sound: by the time the directory counts the last ack,
+    /// every victim copy is provably gone.
+    inval_ready: Vec<VecDeque<u64>>,
     /// Per-client completions the tile has not consumed yet.
     ready: Vec<VecDeque<MemEvent>>,
     /// Per-client accepted-but-undelivered request count (the
     /// conservation ledger: pending + in-system + ready).
     outstanding: Vec<u64>,
+    /// Committed stores awaiting chip-level propagation to every
+    /// core's replica (coherent mode only): `(ea, val, bytes)` in
+    /// commit-drain order.
+    prop: Vec<(u64, u64, usize)>,
     /// Fill-request issue times, for the miss-latency histogram:
     /// `(client, line, requested_at)`.
     sent_at: Vec<(u64, u64, u64)>,
@@ -242,15 +271,19 @@ struct Adapter {
 }
 
 impl Adapter {
-    fn new(ports: PortMap, geom: CoreGeometry) -> Adapter {
+    fn new(ports: PortMap, geom: CoreGeometry, coherent: bool) -> Adapter {
         let num_clients = geom.num_dts() + geom.num_its();
         Adapter {
             ports,
+            coherent,
             num_dts: geom.num_dts(),
             num_clients,
             pending: vec![VecDeque::new(); num_clients],
+            coh_pending: vec![VecDeque::new(); num_clients],
+            inval_ready: vec![VecDeque::new(); num_clients],
             ready: vec![VecDeque::new(); num_clients],
             outstanding: vec![0; num_clients],
+            prop: Vec::new(),
             sent_at: Vec::new(),
             issued: 0,
             delivered: 0,
@@ -261,8 +294,17 @@ impl Adapter {
     fn push_fill(&mut self, client: MemClient, line: u64) {
         let c = client.index(self.num_dts);
         debug_assert_eq!(line << 6 >> 6, line, "line index collides with phys_base");
-        self.pending[c]
-            .push_back(MemReq::read_line(ID_FILL | line, self.ports.phys_base | (line << 6)));
+        let id = ID_FILL | line;
+        let addr = self.ports.phys_base | (line << 6);
+        // I-side refills stay plain reads even in coherent mode: code
+        // is never stored to, so instruction lines need no sharer
+        // tracking.
+        let req = if self.coherent && matches!(client, MemClient::Dt(_)) {
+            MemReq::get_s(id, addr)
+        } else {
+            MemReq::read_line(id, addr)
+        };
+        self.pending[c].push_back(req);
         self.outstanding[c] += 1;
         match client {
             MemClient::Dt(_) => self.stats.dside_fills += 1,
@@ -270,19 +312,25 @@ impl Adapter {
         }
     }
 
-    fn push_store(&mut self, dt: u8, frame: u8, ea: u64) {
+    fn push_store(&mut self, dt: u8, frame: u8, ea: u64, val: u64, bytes: usize) {
         let c = MemClient::Dt(dt).index(self.num_dts);
-        self.pending[c].push_back(MemReq::write_line(
-            u64::from(frame),
-            self.ports.phys_base | ea,
-            [0; 64],
-        ));
+        let id = u64::from(frame);
+        let addr = self.ports.phys_base | ea;
+        let req = if self.coherent {
+            self.prop.push((ea, val, bytes));
+            MemReq::get_m(id, addr, [0; 64])
+        } else {
+            MemReq::write_line(id, addr, [0; 64])
+        };
+        self.pending[c].push_back(req);
         self.outstanding[c] += 1;
         self.stats.store_writebacks += 1;
     }
 
     fn quiet(&self) -> bool {
         self.outstanding.iter().all(|&o| o == 0)
+            && self.coh_pending.iter().all(VecDeque::is_empty)
+            && self.inval_ready.iter().all(VecDeque::is_empty)
     }
 
     /// True when the adapter itself has same-cycle work: a request
@@ -290,7 +338,10 @@ impl Adapter {
     /// inside the OCN/banks are the [`SecondarySystem`]'s events, not
     /// the adapter's.
     fn busy_now(&self) -> bool {
-        self.pending.iter().any(|q| !q.is_empty()) || self.ready.iter().any(|q| !q.is_empty())
+        self.pending.iter().any(|q| !q.is_empty())
+            || self.coh_pending.iter().any(|q| !q.is_empty())
+            || self.inval_ready.iter().any(|q| !q.is_empty())
+            || self.ready.iter().any(|q| !q.is_empty())
     }
 
     /// Injects pending requests into `sys` in fixed client order. With
@@ -307,6 +358,36 @@ impl Adapter {
     ) {
         for c in 0..self.num_clients {
             let port = self.ports.port_of(c, self.num_dts);
+            // Invalidation acks first — outside the issued/delivered
+            // ledger, and never queued behind a request whose own
+            // completion may be waiting on this very ack. A client
+            // whose ack stalls injects nothing else this cycle.
+            let mut ack_stalled = false;
+            while let Some(req) = self.coh_pending[c].front() {
+                let addr = req.addr;
+                if let Some((arb, core)) = arb.as_mut() {
+                    if !arb.try_grant(sys.home_bank(port, addr), *core) {
+                        self.stats.bank_conflict_stalls += 1;
+                        ack_stalled = true;
+                        break;
+                    }
+                }
+                if sys.request(now, port, req.clone()) {
+                    self.coh_pending[c].pop_front();
+                    tracer.record(now, || TraceKind::OcnInject {
+                        port: port as u8,
+                        addr,
+                        write: false,
+                    });
+                } else {
+                    self.stats.inject_stalls += 1;
+                    ack_stalled = true;
+                    break;
+                }
+            }
+            if ack_stalled {
+                continue;
+            }
             while let Some(req) = self.pending[c].front() {
                 let is_fill = req.id & ID_FILL != 0;
                 let addr = req.addr;
@@ -344,6 +425,17 @@ impl Adapter {
         for c in 0..self.num_clients {
             let port = self.ports.port_of(c, self.num_dts);
             while let Some(resp) = sys.pop_response(now, port) {
+                // An unsolicited invalidation from the home directory:
+                // park it for the owning DT, which drops its tag and
+                // poisons overlapping MSHRs *before* acknowledging
+                // (via [`MemSys::ack_inval`] → `coh_pending`). The ack
+                // therefore proves the copy is gone — the ordering the
+                // directory's SWMR argument rests on.
+                if resp.id & ID_COH != 0 {
+                    self.stats.invals_received += 1;
+                    self.inval_ready[c].push_back(resp.id & !ID_COH);
+                    continue;
+                }
                 self.delivered += 1;
                 let is_fill = resp.id & ID_FILL != 0;
                 tracer.record(now, || TraceKind::OcnEject {
@@ -390,7 +482,9 @@ impl Adapter {
     }
 
     fn diag(&self, in_system: u64) -> String {
-        let pending: usize = self.pending.iter().map(VecDeque::len).sum();
+        let pending: usize = self.pending.iter().map(VecDeque::len).sum::<usize>()
+            + self.coh_pending.iter().map(VecDeque::len).sum::<usize>()
+            + self.inval_ready.iter().map(VecDeque::len).sum::<usize>();
         let ready: usize = self.ready.iter().map(VecDeque::len).sum();
         format!(
             "{pending} request(s) awaiting injection, {in_system} in the OCN/banks, \
@@ -427,7 +521,10 @@ impl MemSys {
                 if let Some(plan) = &cfg.faults {
                     sys.set_ocn_fault(plan.ocn_fault().as_ref());
                 }
-                Imp::Owned { sys: Box::new(sys), ad: Adapter::new(PortMap::SOLO, cfg.geometry) }
+                Imp::Owned {
+                    sys: Box::new(sys),
+                    ad: Adapter::new(PortMap::SOLO, cfg.geometry, false),
+                }
             }
         };
         MemSys { imp }
@@ -436,7 +533,18 @@ impl MemSys {
     /// A shared-NUCA adapter for core `k` of an `ncores`-core chip
     /// (the chip owns the [`SecondarySystem`] and drives the phases).
     pub(crate) fn shared(k: usize, ncores: usize, geom: CoreGeometry) -> MemSys {
-        MemSys { imp: Imp::Shared { ad: Adapter::new(PortMap::for_core(k, ncores), geom) } }
+        MemSys { imp: Imp::Shared { ad: Adapter::new(PortMap::for_core(k, ncores), geom, false) } }
+    }
+
+    /// A *coherent* shared-NUCA adapter: same port slice as
+    /// [`MemSys::shared`] but `phys_base = 0` (one physical address
+    /// space), D-side fills sent as GetS, writebacks as GetM, and
+    /// received invalidations delivered to the owning DT (which drops
+    /// its copy, then acknowledges via [`MemSys::ack_inval`]).
+    pub(crate) fn shared_coherent(k: usize, ncores: usize, geom: CoreGeometry) -> MemSys {
+        MemSys {
+            imp: Imp::Shared { ad: Adapter::new(PortMap::for_core_shared(k, ncores), geom, true) },
+        }
     }
 
     /// The port map of core `k` of an `ncores`-core die (for tagging
@@ -470,13 +578,41 @@ impl MemSys {
     /// as a [`MemEvent::StoreAck`]; the perfect backend acknowledges
     /// implicitly and returns false. The line payload is zeros — the
     /// core's memory image is the data authority (timing-only model).
-    pub(crate) fn store_write(&mut self, dt: u8, frame: u8, ea: u64) -> bool {
+    /// `val`/`bytes` matter only to the coherent mode, which queues
+    /// the store for chip-level propagation to every core's replica.
+    pub(crate) fn store_write(
+        &mut self,
+        dt: u8,
+        frame: u8,
+        ea: u64,
+        val: u64,
+        bytes: usize,
+    ) -> bool {
         match &mut self.imp {
             Imp::Perfect { .. } => false,
             Imp::Owned { ad, .. } | Imp::Shared { ad } => {
-                ad.push_store(dt, frame, ea);
+                ad.push_store(dt, frame, ea, val, bytes);
                 true
             }
+        }
+    }
+
+    /// Takes the committed stores queued for chip-level propagation
+    /// (coherent mode; empty otherwise): `(ea, val, bytes)` in
+    /// commit-drain order.
+    pub(crate) fn take_propagations(&mut self) -> Vec<(u64, u64, usize)> {
+        match &mut self.imp {
+            Imp::Perfect { .. } => Vec::new(),
+            Imp::Owned { ad, .. } | Imp::Shared { ad } => std::mem::take(&mut ad.prop),
+        }
+    }
+
+    /// The OCN port DT `dt` drives, for directory/cache agreement
+    /// checks (coherent chips only; the perfect backend has no ports).
+    pub(crate) fn dt_port(&self, dt: u8) -> usize {
+        match &self.imp {
+            Imp::Perfect { .. } => unreachable!("dt_port on a perfect backend"),
+            Imp::Owned { ad, .. } | Imp::Shared { ad } => ad.ports.port_of(dt as usize, ad.num_dts),
         }
     }
 
@@ -502,7 +638,45 @@ impl MemSys {
         match &self.imp {
             Imp::Perfect { .. } => false,
             Imp::Owned { ad, .. } | Imp::Shared { ad } => {
-                !ad.ready[client.index(ad.num_dts)].is_empty()
+                let c = client.index(ad.num_dts);
+                !ad.ready[c].is_empty() || !ad.inval_ready[c].is_empty()
+            }
+        }
+    }
+
+    /// True when this adapter runs the coherent (shared-memory)
+    /// protocol — gates the DT behaviours that differ between the
+    /// multiprogrammed and coherent chips (e.g. no silent line install
+    /// at commit drain, which would break directory inclusion).
+    pub(crate) fn is_coherent(&self) -> bool {
+        match &self.imp {
+            Imp::Perfect { .. } => false,
+            Imp::Owned { ad, .. } | Imp::Shared { ad } => ad.coherent,
+        }
+    }
+
+    /// Pops the next directory invalidation delivered to `client`
+    /// (coherent mode). The DT must drop its tag and poison matching
+    /// MSHRs, then call [`MemSys::ack_inval`] in the same tick.
+    pub(crate) fn pop_inval(&mut self, client: MemClient) -> Option<u64> {
+        match &mut self.imp {
+            Imp::Perfect { .. } => None,
+            Imp::Owned { ad, .. } | Imp::Shared { ad } => {
+                ad.inval_ready[client.index(ad.num_dts)].pop_front()
+            }
+        }
+    }
+
+    /// Queues the acknowledgement for an invalidation previously
+    /// popped via [`MemSys::pop_inval`]. Called *after* the victim
+    /// copy is dropped; the ack is injected in the chip's memory phase
+    /// (which runs after the core ticks of the same cycle), so the
+    /// directory can only observe it once the drop has happened.
+    pub(crate) fn ack_inval(&mut self, client: MemClient, line: u64) {
+        match &mut self.imp {
+            Imp::Perfect { .. } => unreachable!("ack_inval on a perfect backend"),
+            Imp::Owned { ad, .. } | Imp::Shared { ad } => {
+                ad.coh_pending[client.index(ad.num_dts)].push_back(MemReq::inval_ack(line));
             }
         }
     }

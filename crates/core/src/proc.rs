@@ -307,6 +307,33 @@ impl Processor {
         self.gt.halted
     }
 
+    /// The invalidation half of the chip's value-plane store
+    /// propagation, run on every core *except* the writer (whose
+    /// replica simply takes the write): each DT homing a line the
+    /// store touched drops/poisons its copy and raises a violation
+    /// flush for any speculatively performed overlapping load.
+    pub(crate) fn shared_invalidate(&mut self, now: u64, ea: u64, bytes: usize) {
+        let (s0, s1) = (ea, ea + bytes as u64);
+        let nd = self.cfg.geometry.num_dts() as u64;
+        let mut seen: u64 = 0; // bitmask of DTs already visited
+        for line in (s0 >> 6)..=((s1 - 1) >> 6) {
+            let d = (line % nd) as usize;
+            if seen & (1 << d) != 0 {
+                continue;
+            }
+            seen |= 1 << d;
+            self.dts[d].shared_invalidate(
+                now,
+                ea,
+                bytes,
+                &self.cfg,
+                &mut self.nets,
+                &mut self.stats,
+                &mut self.tracer,
+            );
+        }
+    }
+
     /// Finalizes and snapshots the run statistics — the second half of
     /// [`Processor::run`], called at halt time (before any post-halt
     /// drain ticks, so the counters describe the program run).

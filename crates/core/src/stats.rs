@@ -144,6 +144,9 @@ pub struct MemSysStats {
     pub bank_peak_occupancy: Vec<u64>,
     /// High-water mark of outstanding requests across all clients.
     pub peak_outstanding: u64,
+    /// Directory invalidations received by this core's DTs (coherent
+    /// shared-memory chips only; always 0 otherwise).
+    pub invals_received: u64,
 }
 
 impl MemSysStats {
@@ -182,6 +185,10 @@ pub struct CoreStats {
     pub branch_flushes: u64,
     /// Pipeline flushes from memory-ordering violations.
     pub violation_flushes: u64,
+    /// Pipeline flushes forced by a remote core's store overlapping a
+    /// speculatively performed load (coherent shared-memory chips
+    /// only; always 0 otherwise).
+    pub coherence_flushes: u64,
     /// Next-block predictions made.
     pub predictions: u64,
     /// Next-block mispredictions.

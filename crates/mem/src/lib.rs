@@ -47,5 +47,7 @@ mod tiles;
 
 pub use dma::{DmaEngine, DmaJob};
 pub use geometry::{OcnGeometry, BLOCK_ROWS, BLOCK_SIDE_PORTS, CORES_PER_BLOCK, MAX_CORES};
-pub use system::{MemConfig, MemMode, MemReq, MemResp, ReqKind, SecondarySystem};
+pub use system::{
+    CohSnapshot, DirView, MemConfig, MemMode, MemReq, MemResp, ReqKind, SecondarySystem, ID_COH,
+};
 pub use tiles::{MemTile, NetTile};

@@ -76,7 +76,30 @@ pub enum ReqKind {
     ReadLine,
     /// Write a 64-byte line back.
     WriteLine,
+    /// Coherent line fetch (MSI GetS): identical to [`ReqKind::ReadLine`]
+    /// on the wire and in the bank, but the home bank's directory slice
+    /// records the requester as a sharer (and downgrades a remote M
+    /// owner to S). Only sent by shared-memory adapters.
+    GetS,
+    /// Coherent writeback (MSI GetM): identical to
+    /// [`ReqKind::WriteLine`] on the wire and in the bank, but the home
+    /// directory claims ownership for the requester, invalidates every
+    /// other sharer over the OCN, and withholds the write
+    /// acknowledgement until every invalidation is acknowledged — so
+    /// the ESN store-completion role now spans the whole coherence
+    /// transaction.
+    GetM,
+    /// A client port's acknowledgement of a received invalidation
+    /// (one header flit back to the home bank). Processed at the
+    /// bank's router on arrival — no service slot, no tag access.
+    InvalAck,
 }
+
+/// Marker bit for coherence-token ids: invalidations are delivered as
+/// unsolicited responses with `id = ID_COH | line`, and their acks echo
+/// the same id, so adapters can separate protocol tokens from the
+/// request/response ledger.
+pub const ID_COH: u64 = 1 << 62;
 
 /// A request from an IT/DT port into the secondary system.
 #[derive(Debug, Clone)]
@@ -100,6 +123,22 @@ impl MemReq {
     /// A line writeback.
     pub fn write_line(id: u64, addr: u64, data: [u8; LINE]) -> MemReq {
         MemReq { id, addr: addr & !(LINE as u64 - 1), kind: ReqKind::WriteLine, data }
+    }
+
+    /// A coherent read (MSI GetS).
+    pub fn get_s(id: u64, addr: u64) -> MemReq {
+        MemReq { id, addr: addr & !(LINE as u64 - 1), kind: ReqKind::GetS, data: [0; LINE] }
+    }
+
+    /// A coherent writeback (MSI GetM).
+    pub fn get_m(id: u64, addr: u64, data: [u8; LINE]) -> MemReq {
+        MemReq { id, addr: addr & !(LINE as u64 - 1), kind: ReqKind::GetM, data }
+    }
+
+    /// An invalidation acknowledgement for `line` (echoes the
+    /// invalidation's `ID_COH | line` id back to the home bank).
+    pub fn inval_ack(line: u64) -> MemReq {
+        MemReq { id: ID_COH | line, addr: line << 6, kind: ReqKind::InvalAck, data: [0; LINE] }
     }
 }
 
@@ -131,6 +170,65 @@ enum Packet {
     },
 }
 
+/// The observable state of one directory line, for the coherence
+/// invariant suite and occupancy reports (DESIGN.md §5g).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirView {
+    /// The home bank holding this slice entry.
+    pub bank: usize,
+    /// The 64-byte line index (`addr / 64`).
+    pub line: u64,
+    /// The port holding M, if any. A nonempty `pending_ports` means
+    /// the claim is transient: invalidations are still in flight.
+    pub owner_port: Option<u16>,
+    /// Ports the directory believes hold S copies. An
+    /// over-approximation: L1 banks evict silently, so a listed port
+    /// may no longer hold the line — but an unlisted one never does.
+    pub sharer_ports: Vec<u16>,
+    /// Ports whose invalidation ack is still owed before the deferred
+    /// write ack of an in-flight GetM may be released. A victim stays
+    /// listed here (it may still hold its copy until the invalidation
+    /// reaches it), which is what keeps the inclusion invariant
+    /// checkable every tick.
+    pub pending_ports: Vec<u16>,
+}
+
+/// Aggregate coherence counters (all zero unless the system was built
+/// by [`SecondarySystem::for_cores_shared`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CohSnapshot {
+    /// GetS transactions matured at a directory.
+    pub gets: u64,
+    /// GetM transactions matured at a directory.
+    pub getms: u64,
+    /// Invalidations issued by directories.
+    pub invals_sent: u64,
+    /// Invalidation acks processed by directories.
+    pub inval_acks: u64,
+    /// GetM transactions whose write ack had to wait for invalidations.
+    pub deferred_acks: u64,
+    /// Directory entries currently allocated across all slices.
+    pub dir_lines: usize,
+    /// High-water mark of `dir_lines`.
+    pub dir_highwater: usize,
+}
+
+/// One line's directory state, co-located with its home bank. Stable
+/// states are I (no entry), S (`owner: None`, nonempty sharers), and
+/// M (`owner: Some`, `pending` empty); the single transient is the
+/// GetM mid-invalidation (`pending` nonempty), during which the write
+/// ack is parked in `deferred` (DESIGN.md §5g).
+#[derive(Debug, Default)]
+struct DirEntry {
+    owner: Option<u16>,
+    sharers: Vec<u16>,
+    /// Victim ports whose invalidation ack has not arrived yet.
+    pending: Vec<u16>,
+    /// (port, id, addr) of the write ack withheld until the last
+    /// invalidation ack arrives.
+    deferred: Option<(usize, u64, u64)>,
+}
+
 /// The secondary memory system: banks, NTs, the OCN, and the DRAM
 /// backing store.
 pub struct SecondarySystem {
@@ -151,6 +249,23 @@ pub struct SecondarySystem {
     /// Client tag carried by each port's packets (core attribution in
     /// a multi-core chip; all zero for a single client).
     port_tag: Vec<u8>,
+    /// Shared-memory mode: every bank carries a directory slice and
+    /// GetS/GetM requests drive the MSI protocol. Off for every system
+    /// built by [`SecondarySystem::for_cores`], which keeps the
+    /// multiprogrammed path bit-identical.
+    coherent: bool,
+    /// Per-bank directory slices, keyed by line index. A `BTreeMap` so
+    /// iteration (invariant walks, reports) is deterministic.
+    dir: Vec<std::collections::BTreeMap<u64, DirEntry>>,
+    /// Coherence counters (see [`CohSnapshot`]).
+    coh: CohSnapshot,
+    /// Coherence tokens (invalidations + acks) currently inside
+    /// [`SecondarySystem::in_system`] — they sit outside the
+    /// request/response ledger, so conservation audits subtract them.
+    coh_in_system: i64,
+    /// GetM transactions whose write ack is currently parked at a
+    /// directory (no packet anywhere in the system represents them).
+    dir_deferred_now: usize,
     /// Total requests accepted.
     pub requests: u64,
     /// Total DRAM accesses.
@@ -177,6 +292,26 @@ impl SecondarySystem {
     /// Panics unless `1 <= ncores <= 16` (see
     /// [`OcnGeometry::for_cores`]).
     pub fn for_cores(cfg: MemConfig, ncores: usize) -> SecondarySystem {
+        SecondarySystem::build(cfg, ncores, false)
+    }
+
+    /// Builds the shared-memory system for an `ncores`-core die: the
+    /// same banks and OCN as [`SecondarySystem::for_cores`], but every
+    /// port's routing table stripes over **all** of the die's banks
+    /// (per-block striping would home the same line at a different
+    /// bank per block, so cross-block sharing would never meet at one
+    /// directory), and each bank carries an MSI directory slice for
+    /// the lines it homes. On a one-block die in `L2Shared` mode the
+    /// routing is identical to the multiprogrammed system.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= ncores <= 16`.
+    pub fn for_cores_shared(cfg: MemConfig, ncores: usize) -> SecondarySystem {
+        SecondarySystem::build(cfg, ncores, true)
+    }
+
+    fn build(cfg: MemConfig, ncores: usize, coherent: bool) -> SecondarySystem {
         let geo = OcnGeometry::with_banks(ncores, cfg.banks);
         let banks: Vec<MemTile> = (0..geo.banks())
             .map(|i| {
@@ -188,14 +323,21 @@ impl SecondarySystem {
         let nts = (0..geo.ports())
             .map(|p| {
                 let block = geo.block_banks(geo.port_block(p));
-                let table: Vec<usize> = match cfg.mode {
-                    MemMode::L2Shared | MemMode::Scratchpad => block.collect(),
-                    MemMode::L2Split => {
-                        let half = cfg.banks / 2;
-                        if geo.is_west_port(p) {
-                            block.take(half).collect()
-                        } else {
-                            block.skip(half).collect()
+                let table: Vec<usize> = if coherent {
+                    // One die-wide stripe: every port homes line L at
+                    // the same bank, so each line has exactly one
+                    // directory slice.
+                    (0..geo.banks()).collect()
+                } else {
+                    match cfg.mode {
+                        MemMode::L2Shared | MemMode::Scratchpad => block.collect(),
+                        MemMode::L2Split => {
+                            let half = cfg.banks / 2;
+                            if geo.is_west_port(p) {
+                                block.take(half).collect()
+                            } else {
+                                block.skip(half).collect()
+                            }
                         }
                     }
                 };
@@ -214,11 +356,69 @@ impl SecondarySystem {
             in_bank_count: vec![0; geo.banks()],
             bank_peak: vec![0; geo.banks()],
             port_tag: vec![0; geo.ports()],
+            coherent,
+            dir: (0..geo.banks()).map(|_| std::collections::BTreeMap::new()).collect(),
+            coh: CohSnapshot::default(),
+            coh_in_system: 0,
+            dir_deferred_now: 0,
             requests: 0,
             dram_accesses: 0,
             cfg,
             geo,
         }
+    }
+
+    /// Whether this system runs the MSI directory protocol (built by
+    /// [`SecondarySystem::for_cores_shared`]).
+    pub fn is_coherent(&self) -> bool {
+        self.coherent
+    }
+
+    /// Coherence counters and directory occupancy (all zero when the
+    /// system is not coherent).
+    pub fn coherence(&self) -> CohSnapshot {
+        let mut snap = self.coh;
+        snap.dir_lines = self.dir.iter().map(|d| d.len()).sum();
+        snap
+    }
+
+    /// Coherence tokens (invalidations and their acks) currently
+    /// inside [`SecondarySystem::in_system`]. These packets belong to
+    /// no request/response pair, so conservation audits subtract them:
+    /// `accepted - delivered == in_system() - coh_tokens_in_system()
+    /// + dir_deferred()`.
+    pub fn coh_tokens_in_system(&self) -> i64 {
+        self.coh_in_system
+    }
+
+    /// GetM transactions whose write ack is parked at a directory
+    /// awaiting invalidation acks — outstanding to their issuer, but
+    /// represented by no packet in the system.
+    pub fn dir_deferred(&self) -> usize {
+        self.dir_deferred_now
+    }
+
+    /// The client tag of `port` (see [`SecondarySystem::set_port_tag`]).
+    pub fn port_tag_of(&self, port: usize) -> u8 {
+        self.port_tag[port]
+    }
+
+    /// Every allocated directory entry, in (bank, line) order — the
+    /// raw material of the SWMR and inclusion invariants.
+    pub fn dir_views(&self) -> Vec<DirView> {
+        self.dir
+            .iter()
+            .enumerate()
+            .flat_map(|(bank, slice)| {
+                slice.iter().map(move |(&line, e)| DirView {
+                    bank,
+                    line,
+                    owner_port: e.owner,
+                    sharer_ports: e.sharers.clone(),
+                    pending_ports: e.pending.clone(),
+                })
+            })
+            .collect()
     }
 
     /// The die floorplan this system was built for.
@@ -280,18 +480,27 @@ impl SecondarySystem {
         let src = self.geo.port_coord(port);
         let dst = self.nts[port].route((req.addr / LINE as u64) >> self.cfg.interleave_shift);
         // A line plus header: five 16-byte flits; requests travel VC0,
-        // writes VC1 (separating traffic classes).
+        // writes VC1 (separating traffic classes). The coherent kinds
+        // ride the same classes as their plain counterparts; inval
+        // acks are a lone header flit on the request channel.
         let (flits, vc) = match req.kind {
-            ReqKind::ReadLine => (1, 0),
-            ReqKind::WriteLine => (5, 1),
+            ReqKind::ReadLine | ReqKind::GetS | ReqKind::InvalAck => (1, 0),
+            ReqKind::WriteLine | ReqKind::GetM => (5, 1),
         };
+        let is_ack = req.kind == ReqKind::InvalAck;
         let ok = self.ocn.inject(
             now,
             PacketMsg::new(src, dst, Packet::Req { port, req }, flits, vc)
                 .with_tag(self.port_tag[port]),
         );
         if ok {
-            self.requests += 1;
+            if is_ack {
+                // A protocol token, not a client transaction: it has
+                // no response and stays off the request ledger.
+                self.coh_in_system += 1;
+            } else {
+                self.requests += 1;
+            }
         }
         ok
     }
@@ -300,7 +509,14 @@ impl SecondarySystem {
     pub fn pop_response(&mut self, now: u64, port: usize) -> Option<MemResp> {
         match self.ocn.eject(now, self.geo.port_coord(port)) {
             Some(m) => match m.payload {
-                Packet::Resp { resp, .. } => Some(resp),
+                Packet::Resp { resp, .. } => {
+                    if resp.id & ID_COH != 0 {
+                        // An invalidation leaves the system here; its
+                        // ack re-enters via `request`.
+                        self.coh_in_system -= 1;
+                    }
+                    Some(resp)
+                }
                 Packet::Req { .. } => unreachable!("request delivered to a client port"),
             },
             None => None,
@@ -313,7 +529,13 @@ impl SecondarySystem {
     /// in, the bank access, or the response on its way out), so
     /// `accepted - delivered == in_system` at every tick boundary —
     /// the request/response conservation invariant the fuzzing harness
-    /// checks.
+    /// checks. In a coherent system the equation gains two terms:
+    /// invalidations and their acks are packets outside the ledger
+    /// ([`SecondarySystem::coh_tokens_in_system`]) and a deferred
+    /// write ack is a ledgered transaction with no packet
+    /// ([`SecondarySystem::dir_deferred`]), giving
+    /// `accepted - delivered ==
+    ///  in_system - coh_tokens_in_system + dir_deferred`.
     pub fn in_system(&self) -> usize {
         self.ocn.in_flight() + self.ocn.queued_ejects() + self.in_bank.len()
     }
@@ -385,6 +607,32 @@ impl SecondarySystem {
             }
             if let Some(m) = self.ocn.eject(now, bank.coord) {
                 match m.payload {
+                    Packet::Req { port, req } if req.kind == ReqKind::InvalAck => {
+                        // Processed on arrival: no service slot, no tag
+                        // access — the ack only moves directory state.
+                        self.coh_in_system -= 1;
+                        self.coh.inval_acks += 1;
+                        let line = req.addr / LINE as u64;
+                        if let Some(e) = self.dir[bi].get_mut(&line) {
+                            e.pending.retain(|&p| p != port as u16);
+                            if e.pending.is_empty() {
+                                if let Some((p, id, addr)) = e.deferred.take() {
+                                    // Every sharer is gone: release the
+                                    // writer's deferred ESN write ack.
+                                    self.dir_deferred_now -= 1;
+                                    let resp = MemResp { id, addr, data: [0; LINE] };
+                                    self.in_bank.push((
+                                        now,
+                                        bi,
+                                        Packet::Resp { port: p, resp, flits: 1, vc: 2 },
+                                    ));
+                                    self.in_bank_count[bi] += 1;
+                                    self.bank_peak[bi] =
+                                        self.bank_peak[bi].max(self.in_bank_count[bi] as u64);
+                                }
+                            }
+                        }
+                    }
                     Packet::Req { port, req } => {
                         let line = req.addr / LINE as u64;
                         let ready = if bank.present(line) {
@@ -419,21 +667,44 @@ impl SecondarySystem {
         while k < self.in_bank.len() {
             if self.in_bank[k].0 <= now {
                 let (_, bi, pkt) = self.in_bank.swap_remove(k);
+                // A directory line mid-invalidation admits no new
+                // coherent transaction: retry the matured request next
+                // cycle (the pending acks resolve at the router accept
+                // path, never here, so this cannot deadlock).
+                if let Packet::Req { req, .. } = &pkt {
+                    if matches!(req.kind, ReqKind::GetS | ReqKind::GetM) {
+                        let line = req.addr / LINE as u64;
+                        if self.dir[bi].get(&line).is_some_and(|e| !e.pending.is_empty()) {
+                            self.in_bank.push((now + 1, bi, pkt));
+                            continue;
+                        }
+                    }
+                }
                 let (port, resp, flits, vc) = match pkt {
                     Packet::Req { port, req } => match req.kind {
-                        ReqKind::WriteLine => {
+                        ReqKind::WriteLine | ReqKind::GetM => {
                             self.backing.write_bytes(req.addr, &req.data);
                             self.banks[bi].install(req.addr / LINE as u64);
+                            if req.kind == ReqKind::GetM && self.dir_getm(now, bi, port, &req) {
+                                // The ack is parked behind invalidations;
+                                // the GetM's own service slot ends here.
+                                self.in_bank_count[bi] = self.in_bank_count[bi].saturating_sub(1);
+                                continue;
+                            }
                             // Writes are acknowledged with a header flit.
                             let resp = MemResp { id: req.id, addr: req.addr, data: [0; LINE] };
                             (port, resp, 1, 2)
                         }
-                        ReqKind::ReadLine => {
+                        ReqKind::ReadLine | ReqKind::GetS => {
+                            if req.kind == ReqKind::GetS {
+                                self.dir_gets(bi, port, req.addr / LINE as u64);
+                            }
                             let mut data = [0u8; LINE];
                             self.backing.read_bytes(req.addr, &mut data);
                             // A full line back: five flits on VC2/3.
                             (port, MemResp { id: req.id, addr: req.addr, data }, 5, 3)
                         }
+                        ReqKind::InvalAck => unreachable!("acks are consumed at the router"),
                     },
                     Packet::Resp { port, resp, flits, vc } => (port, resp, flits, vc),
                 };
@@ -460,6 +731,77 @@ impl SecondarySystem {
         }
 
         self.ocn.tick(now);
+    }
+
+    /// GetS directory action at the home bank: record `port` as a
+    /// sharer, downgrading a remote M owner to S (the old owner keeps
+    /// its copy — the value plane is core-side, so there is no dirty
+    /// data to fetch, see DESIGN.md §5g).
+    fn dir_gets(&mut self, bi: usize, port: usize, line: u64) {
+        self.coh.gets += 1;
+        let me = port as u16;
+        let e = self.dir[bi].entry(line).or_default();
+        if let Some(o) = e.owner {
+            if o != me {
+                e.owner = None;
+                if !e.sharers.contains(&o) {
+                    e.sharers.push(o);
+                }
+            }
+        }
+        if e.owner != Some(me) && !e.sharers.contains(&me) {
+            e.sharers.push(me);
+        }
+        self.track_dir_highwater();
+    }
+
+    /// GetM directory action at the home bank: claim ownership for
+    /// `port` and invalidate every other holder. Returns true when the
+    /// write ack was parked behind the invalidations (their acks will
+    /// release it at the router accept path).
+    fn dir_getm(&mut self, now: u64, bi: usize, port: usize, req: &MemReq) -> bool {
+        let line = req.addr / LINE as u64;
+        self.coh.getms += 1;
+        let me = port as u16;
+        let victims: Vec<u16>;
+        let deferred;
+        {
+            let e = self.dir[bi].entry(line).or_default();
+            let mut v: Vec<u16> = e.sharers.iter().copied().filter(|&p| p != me).collect();
+            if let Some(o) = e.owner {
+                if o != me && !v.contains(&o) {
+                    v.push(o);
+                }
+            }
+            e.owner = Some(me);
+            e.sharers.clear();
+            deferred = !v.is_empty();
+            if deferred {
+                e.pending = v.clone();
+                e.deferred = Some((port, req.id, req.addr));
+            }
+            victims = v;
+        }
+        self.track_dir_highwater();
+        if !deferred {
+            return false;
+        }
+        self.coh.deferred_acks += 1;
+        self.dir_deferred_now += 1;
+        for v in victims {
+            self.coh.invals_sent += 1;
+            self.coh_in_system += 1;
+            let resp = MemResp { id: ID_COH | line, addr: req.addr, data: [0; LINE] };
+            self.in_bank.push((now, bi, Packet::Resp { port: v as usize, resp, flits: 1, vc: 2 }));
+            self.in_bank_count[bi] += 1;
+            self.bank_peak[bi] = self.bank_peak[bi].max(self.in_bank_count[bi] as u64);
+        }
+        true
+    }
+
+    fn track_dir_highwater(&mut self) {
+        let lines: usize = self.dir.iter().map(|d| d.len()).sum();
+        self.coh.dir_highwater = self.coh.dir_highwater.max(lines);
     }
 
     /// Aggregate hit rate across banks.

@@ -38,6 +38,7 @@ mod eembc;
 mod kernels;
 mod membound;
 mod micro;
+pub mod shared;
 mod spec;
 pub mod suite;
 

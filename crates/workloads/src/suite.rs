@@ -1,7 +1,8 @@
 //! The benchmark registry, in Table 3 order, plus the memory-bound
 //! extras that exercise the NUCA secondary system.
 
-use crate::{eembc, kernels, membound, micro, spec, Class, Workload};
+use crate::shared::SharedWorkload;
+use crate::{eembc, kernels, membound, micro, shared, spec, Class, Workload};
 
 /// All 21 benchmarks in Table 3 order.
 pub fn all() -> Vec<Workload> {
@@ -80,6 +81,18 @@ pub fn groups(n: usize) -> Vec<Vec<Workload>> {
         .into_iter()
         .map(|(a, b)| (0..n).map(|k| if k % 2 == 0 { a } else { b }).collect())
         .collect()
+}
+
+/// The shared-memory coherence workloads (one multi-function image
+/// per chip, final-state oracles) — run only on chips built with
+/// `ChipConfig::shared_memory`, so registered apart from [`all`].
+pub fn shared_memory() -> Vec<SharedWorkload> {
+    shared::all()
+}
+
+/// Look up a shared-memory workload by name.
+pub fn shared_by_name(name: &str) -> Option<SharedWorkload> {
+    shared::all().into_iter().find(|w| w.name == name)
 }
 
 /// Look up a benchmark by name (searches [`extended`]).

@@ -20,6 +20,13 @@ echo "== chipsim (dual-core shared-NUCA pairings) =="
 ./target/release/chipsim --smoke
 
 echo
+echo "== chipsim --shared (coherent shared-memory suite, full dual+quad table) =="
+# The coherence gate reruns the full table (not --smoke): the rows are
+# a few thousand simulated cycles each, so full costs nothing and the
+# quad-die rows carry most of the invalidation traffic worth pinning.
+./target/release/chipsim --shared
+
+echo
 echo "== paretosweep (geometry lattice, area vs IPC) =="
 ./target/release/paretosweep --smoke
 

@@ -338,6 +338,43 @@ fn sixteen_core_chip_conserves_packets_under_audit() {
 }
 
 #[test]
+fn shared_memory_off_is_bit_identical_to_the_default_chip() {
+    // PR 10's off-gate: `shared_memory` defaults off, and explicitly
+    // off must be *bit-identical* to the default multiprogrammed chip
+    // — cycles, whole-struct stats, registers, memory — across the
+    // pair table, with every coherence observable quiet. Everything
+    // the coherent mode adds (directory slices, GetS/GetM, the value
+    // plane) must be unreachable behind the flag.
+    for (a, b) in suite::pairs() {
+        let core = CoreConfig { check_invariants: false, ..CoreConfig::prototype() };
+        let mut cfg = ChipConfig::with_cores(2, core, MemConfig::prototype());
+        assert!(!cfg.shared_memory, "shared memory must default off");
+        cfg.shared_memory = false;
+        let (off_stats, off_arch) = chip_run_with(&[&a, &b], cfg);
+        let (def_stats, def_arch) = chip_run(&[&a, &b], false);
+        assert_eq!(
+            off_stats, def_stats,
+            "{}+{}: shared_memory=false must not perturb ChipStats",
+            a.name, b.name
+        );
+        assert_eq!(
+            off_arch, def_arch,
+            "{}+{}: shared_memory=false must not perturb architectural state",
+            a.name, b.name
+        );
+        assert!(
+            off_stats.coherence.is_none(),
+            "a multiprogrammed chip must not report a coherence snapshot"
+        );
+        for (k, c) in off_stats.cores.iter().enumerate() {
+            assert_eq!(c.coherence_flushes, 0, "core {k} flushed for coherence with it off");
+            let mem = c.mem.as_ref().expect("NUCA stats present");
+            assert_eq!(mem.invals_received, 0, "core {k} received invalidations with it off");
+        }
+    }
+}
+
+#[test]
 fn chip_invariants_and_conservation_hold_under_contention() {
     let a = suite::by_name("saxpy").expect("registered");
     let b = suite::by_name("vadd").expect("registered");

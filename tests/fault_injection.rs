@@ -59,6 +59,27 @@ fn assert_plan_matches_oracle_geom(workload: &str, quality: Quality, geom: &str,
     }
 }
 
+/// The entry point for reproducers `protofuzz` found on its
+/// coherence-axis seeds (`seed % 16 == 6`, or any seed under
+/// `--coherence`): re-runs the named shared-memory workload on a
+/// coherent `ncores`-core chip of the named die under the plan, with
+/// the §5g invariant suite checked every tick, and asserts every
+/// replica matches the sequential final-state oracle.
+#[allow(dead_code)]
+fn assert_shared_plan_matches_oracle(workload: &str, ncores: usize, geom: &str, plan: &FaultPlan) {
+    let geometry = CoreGeometry::parse(geom).expect("reproducer names a valid geometry");
+    if let Err(why) = fuzz::run_shared_against_oracle(
+        workload,
+        ncores,
+        geometry,
+        Some(plan),
+        true,
+        REPRO_MAX_CYCLES,
+    ) {
+        panic!("{workload} (shared x{ncores}, {geom}) under plan seed {:#x}: {why}", plan.seed);
+    }
+}
+
 /// [`assert_plan_matches_oracle`] under the NUCA secondary backend —
 /// the entry point for reproducers `protofuzz` found on its NUCA
 /// seeds (`seed % 4 == 3`), where OCN link stalls also perturb fill

@@ -296,8 +296,7 @@ fn fat_die_full_scan_handles_the_max_frames_mask() {
     let wl = suite::by_name("vadd").expect("registered");
     let image = wl.build_trips(Quality::Hand).expect("compiles").image;
     let run = |work_lists: bool| {
-        let mut cpu =
-            Processor::new(CoreConfig { work_lists, ..CoreConfig::with_geometry(fat) });
+        let mut cpu = Processor::new(CoreConfig { work_lists, ..CoreConfig::with_geometry(fat) });
         let stats = cpu.run(&image, MAX_CYCLES).expect("halts");
         let regs: Vec<u64> = (0..128).map(|r| cpu.arch_reg(ArchReg::new(r))).collect();
         (stats, regs, cpu.memory().clone())
